@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one paper artefact (table or figure),
+prints the measured-vs-paper comparison, writes it to
+``benchmarks/results/<name>.txt`` and asserts the *shape* of the result
+(who wins, what grows, which attributes are found) — never the absolute
+numbers, which depend on RNG draws and hardware (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,92 @@
+"""Extension E6 — the future-work experiment the paper could not run.
+
+The paper's immediate future work is to test the algorithms "on real
+datasets from Qapa and TaskRabbit".  That data is proprietary; this
+benchmark substitutes a realistic *correlated* population
+(:mod:`repro.simulation.realistic`) and runs the experiment the paper
+describes: audit the facially neutral scoring functions on data where
+language correlates with country and test scores with language.
+
+Asserted shapes:
+
+* the audit pinpoints the language channel for f4 (LanguageTest-only);
+* the measured unfairness is statistically significant (unlike the uniform
+  simulation's, which the significance ablation shows to be noise);
+* the signal strength grows monotonically with the planted correlation
+  strength.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_result
+from repro.analysis.significance import permutation_test
+from repro.core.algorithms import get_algorithm
+from repro.core.partition import Partition, Partitioning
+from repro.core.splitting import split_partition
+from repro.marketplace.scoring import paper_functions
+from repro.simulation.realistic import generate_realistic_population
+
+STRENGTHS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_realistic_audit_finds_language_channel(benchmark) -> None:
+    population = generate_realistic_population(3000, seed=0, bias_strength=1.0)
+    scores = paper_functions()["f4"](population)
+
+    result = benchmark.pedantic(
+        lambda: get_algorithm("balanced").run(population, scores),
+        rounds=3,
+        iterations=1,
+    )
+    assert "language" in result.partitioning.attributes_used()
+    test = permutation_test(scores, result.partitioning, n_permutations=199, rng=0)
+    assert test.significant
+    assert test.excess > 0.1
+
+    record_result(
+        "extension_realistic",
+        "realistic-population audit of f4 (LanguageTest only)\n"
+        f"  groups: {result.partitioning.k} on "
+        f"{result.partitioning.attributes_used()}\n"
+        f"  unfairness: {result.unfairness:.3f}\n"
+        f"  permutation test: {test}",
+    )
+
+
+def test_signal_grows_with_correlation_strength(benchmark) -> None:
+    def sweep():
+        rows = []
+        for strength in STRENGTHS:
+            population = generate_realistic_population(
+                3000, seed=3, bias_strength=strength
+            )
+            scores = paper_functions()["f4"](population)
+            by_language = Partitioning(
+                split_partition(
+                    population, Partition(population.all_indices()), "language"
+                ),
+                population.size,
+            )
+            test = permutation_test(scores, by_language, n_permutations=99, rng=1)
+            rows.append((strength, test))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "signal above noise vs planted correlation strength (f4, by language)",
+        f"{'strength':>9}  {'observed':>9}  {'noise floor':>12}  {'excess':>7}  {'p':>7}",
+    ]
+    for strength, test in rows:
+        lines.append(
+            f"{strength:>9.2f}  {test.observed:>9.3f}"
+            f"  {test.null_mean:>6.3f}±{test.null_std:.3f}"
+            f"  {test.excess:>7.3f}  {test.p_value:>7.3f}"
+        )
+    record_result("extension_realistic_sweep", "\n".join(lines))
+
+    excesses = [test.excess for __, test in rows]
+    assert all(b > a for a, b in zip(excesses, excesses[1:]))
+    assert rows[0][1].p_value > 0.05  # strength 0: pure noise
+    assert rows[-1][1].p_value == pytest.approx(1 / 100)  # strength 1: maximal signal

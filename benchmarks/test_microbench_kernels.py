@@ -1,0 +1,80 @@
+"""Kernel microbenchmarks — the hot paths that make the search fast.
+
+Unlike the table benchmarks (which regenerate paper artefacts), these use
+pytest-benchmark's statistical timing on the numeric kernels the algorithms
+live on, to catch performance regressions:
+
+* per-worker score digitisation (done once per audit),
+* per-partition histogram via ``bincount`` over pre-digitised indices,
+* the O(bins·k log k) average-pairwise-EMD fast path vs the O(k²·bins)
+  dense matrix (the fast path is what makes the ``all-attributes``
+  baseline's 1774-cell evaluation cheap),
+* a full split of 7300 workers on one attribute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import HistogramSpec
+from repro.core.partition import Partition
+from repro.core.splitting import split_partition
+from repro.metrics.emd import average_pairwise_emd, pairwise_emd_matrix
+from repro.simulation.generator import generate_paper_population
+
+SPEC = HistogramSpec(bins=10)
+
+
+@pytest.fixture(scope="module")
+def population_7300():
+    return generate_paper_population(7300, seed=42)
+
+
+@pytest.fixture(scope="module")
+def scores_7300(population_7300):
+    return population_7300.observed_normalized("language_test")
+
+
+def test_bin_indices_7300_workers(benchmark, scores_7300) -> None:
+    result = benchmark(SPEC.bin_indices, scores_7300)
+    assert result.shape == (7300,)
+
+
+def test_partition_histogram_from_indices(benchmark, scores_7300) -> None:
+    bin_idx = SPEC.bin_indices(scores_7300)
+    member_rows = np.arange(0, 7300, 3)
+    result = benchmark(
+        SPEC.histogram_from_bin_indices, bin_idx[member_rows]
+    )
+    assert result.sum() == member_rows.shape[0]
+
+
+def test_average_pairwise_fast_path_1800_histograms(benchmark) -> None:
+    rng = np.random.default_rng(0)
+    pmfs = rng.dirichlet(np.ones(10), size=1800)
+    value = benchmark(average_pairwise_emd, pmfs, 0.1)
+    assert value > 0.0
+
+
+def test_dense_pairwise_matrix_300_histograms(benchmark) -> None:
+    # The dense path is only used for reporting; keep it honest at small k.
+    rng = np.random.default_rng(1)
+    pmfs = rng.dirichlet(np.ones(10), size=300)
+    matrix = benchmark(pairwise_emd_matrix, pmfs, 0.1)
+    assert matrix.shape == (300, 300)
+
+
+def test_fast_path_matches_dense_path(benchmark) -> None:
+    rng = np.random.default_rng(2)
+    pmfs = rng.dirichlet(np.ones(10), size=150)
+    dense = pairwise_emd_matrix(pmfs, 0.1)
+    expected = dense[np.triu_indices(150, 1)].mean()
+    value = benchmark(average_pairwise_emd, pmfs, 0.1)
+    assert value == pytest.approx(expected)
+
+
+def test_split_7300_workers_on_country(benchmark, population_7300) -> None:
+    root = Partition(population_7300.all_indices())
+    children = benchmark(split_partition, population_7300, root, "country")
+    assert sum(c.size for c in children) == 7300

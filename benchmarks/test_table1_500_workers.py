@@ -1,0 +1,108 @@
+"""Experiment E2 — Table 1: 500 workers, random functions f1..f5.
+
+Regenerates the full table (5 algorithms x 5 scoring functions), prints the
+average EMD next to the paper's reported values, and asserts the paper's
+qualitative findings:
+
+* functions using a single observed attribute (f4, f5) exhibit higher
+  unfairness than the three mixtures, for every algorithm;
+* the proposed heuristics are at least as good as the baselines (within a
+  small noise tolerance);
+* most algorithms end at (or near) the full partitioning on random data.
+
+Absolute EMD values depend on RNG draws; absolute runtimes on hardware and
+implementation (ours is vectorised numpy, the authors' was not).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_result
+from repro.core.algorithms import PAPER_ALGORITHMS
+from repro.reporting.paper_reference import TABLE1_EMD, TABLE1_RUNTIME
+from repro.reporting.tables import format_comparison_table, format_table
+from repro.simulation.runner import ExperimentResult, run_scenario
+from repro.simulation.scenarios import table1_scenario
+
+MIXTURES = ("f1", "f2", "f3")
+SINGLE_ATTRIBUTE = ("f4", "f5")
+
+
+@pytest.fixture(scope="module")
+def table1() -> ExperimentResult:
+    return run_scenario(table1_scenario(), algorithms=PAPER_ALGORITHMS, seed=0)
+
+
+def test_regenerate_table1(benchmark, table1: ExperimentResult) -> None:
+    # Benchmark one representative cell (the heuristic the paper leads with).
+    scenario = table1_scenario()
+    scores = scenario.functions["f1"](scenario.population)
+    from repro.core.algorithms import get_algorithm
+
+    benchmark.pedantic(
+        lambda: get_algorithm("unbalanced").run(
+            scenario.population, scores, hist_spec=scenario.hist_spec
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    emd_table = format_comparison_table(
+        table1,
+        TABLE1_EMD,
+        "unfairness",
+        title="Table 1 — average EMD, 500 workers: measured (paper)",
+    )
+    runtime_table = format_comparison_table(
+        table1,
+        TABLE1_RUNTIME,
+        "runtime_seconds",
+        title="Table 1 — runtime seconds: ours (paper's implementation)",
+    )
+    partitions_table = format_table(
+        table1, "n_partitions", title="partitions found", precision=0
+    )
+    record_result("table1", "\n\n".join([emd_table, runtime_table, partitions_table]))
+
+
+def test_single_attribute_functions_most_unfair(
+    benchmark, table1: ExperimentResult
+) -> None:
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for algorithm in PAPER_ALGORITHMS:
+        mixture_max = max(table1.cell(algorithm, f).unfairness for f in MIXTURES)
+        for function in SINGLE_ATTRIBUTE:
+            assert table1.cell(algorithm, function).unfairness > mixture_max, (
+                f"{algorithm}: {function} should exceed all mixtures "
+                "(paper observation 1)"
+            )
+
+
+def test_heuristics_competitive_with_baselines(
+    benchmark, table1: ExperimentResult
+) -> None:
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for function in MIXTURES + SINGLE_ATTRIBUTE:
+        best_baseline = max(
+            table1.cell(a, function).unfairness
+            for a in ("r-unbalanced", "r-balanced", "all-attributes")
+        )
+        best_heuristic = max(
+            table1.cell(a, function).unfairness for a in ("unbalanced", "balanced")
+        )
+        # "our two algorithms consistently outperform or do as good as all
+        # other baselines" — allow 2% noise.
+        assert best_heuristic >= 0.98 * best_baseline, function
+
+
+def test_random_data_drives_toward_full_partitioning(
+    benchmark, table1: ExperimentResult
+) -> None:
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    full_k = max(row.n_partitions for row in table1.rows)
+    for function in MIXTURES + SINGLE_ATTRIBUTE:
+        # The paper: "in most cases all the algorithms returned the full
+        # partitioning tree".  balanced uses all attributes here.
+        row = table1.cell("balanced", function)
+        assert row.n_partitions >= 0.9 * full_k
+        assert len(row.attributes_used) == 6

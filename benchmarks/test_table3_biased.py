@@ -1,0 +1,127 @@
+"""Experiment E4 — Table 3: 7300 workers, biased-by-design functions f6..f9.
+
+The qualitative study: the algorithms must *recover the planted bias*.
+Asserted shapes (paper, §Qualitative Results):
+
+* ``balanced`` partitions on exactly the attributes each function was
+  designed to correlate with — gender for f6 (EMD ≈ 0.8), gender+country
+  for f7, and (ethnicity, language, year of birth) for f9;
+* the biased functions exhibit much higher unfairness than the random
+  functions of Tables 1-2;
+* the exact EMD of the gender split under f6 matches the paper's 0.800
+  within noise, since that value is pinned by the construction of f6.
+
+Note one intentional deviation recorded in EXPERIMENTS.md: the paper's
+``unbalanced`` over-split on f6/f7 (EMD 0.040/0.164) due to the "local
+nature of its stopping condition"; under our union reading of
+``averageEMD(X, S, f)`` the local test is better calibrated and unbalanced
+finds the gender split too.  The paper itself reports that across reruns
+"in some cases, unbalanced performed as well as balanced".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_result
+from repro.core.algorithms import PAPER_ALGORITHMS, get_algorithm
+from repro.reporting.paper_reference import TABLE3_EMD
+from repro.reporting.tables import format_comparison_table, format_table
+from repro.simulation.runner import ExperimentResult, run_scenario
+from repro.simulation.scenarios import table2_scenario, table3_scenario
+
+BIASED = ("f6", "f7", "f8", "f9")
+
+
+@pytest.fixture(scope="module")
+def table3() -> ExperimentResult:
+    return run_scenario(table3_scenario(), algorithms=PAPER_ALGORITHMS, seed=0)
+
+
+def test_regenerate_table3(benchmark, table3: ExperimentResult) -> None:
+    scenario = table3_scenario()
+    scores = scenario.functions["f6"](scenario.population)
+    benchmark.pedantic(
+        lambda: get_algorithm("balanced").run(
+            scenario.population, scores, hist_spec=scenario.hist_spec
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    emd_table = format_comparison_table(
+        table3,
+        TABLE3_EMD,
+        "unfairness",
+        title="Table 3 — average EMD, 7300 workers, biased functions: measured (paper)",
+    )
+    attributes_table = format_table(
+        table3,
+        lambda row: float(len(row.attributes_used)),
+        title="number of attributes in the returned partitioning",
+        precision=0,
+    )
+    record_result("table3", "\n\n".join([emd_table, attributes_table]))
+
+
+def test_f6_balanced_finds_gender_only_at_08(
+    benchmark, table3: ExperimentResult
+) -> None:
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    row = table3.cell("balanced", "f6")
+    assert row.attributes_used == ("gender",)
+    assert row.n_partitions == 2
+    # Pinned by construction: males U(0.8, 1), females U(0, 0.2) -> EMD 0.8.
+    assert row.unfairness == pytest.approx(TABLE3_EMD["balanced"]["f6"], abs=0.02)
+
+
+def test_f7_balanced_finds_gender_and_country(
+    benchmark, table3: ExperimentResult
+) -> None:
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    row = table3.cell("balanced", "f7")
+    assert row.attributes_used == ("country", "gender")
+    assert row.unfairness == pytest.approx(TABLE3_EMD["balanced"]["f7"], abs=0.05)
+
+
+def test_f8_balanced_matches_paper_value(
+    benchmark, table3: ExperimentResult
+) -> None:
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    row = table3.cell("balanced", "f8")
+    assert set(row.attributes_used) <= {"gender", "country"}
+    assert row.unfairness == pytest.approx(TABLE3_EMD["balanced"]["f8"], abs=0.05)
+
+
+def test_f9_finds_planted_attribute_triple(
+    benchmark, table3: ExperimentResult
+) -> None:
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    row = table3.cell("balanced", "f9")
+    assert set(row.attributes_used) == {"ethnicity", "language", "year_of_birth"}
+
+
+def test_biased_functions_exceed_random_functions(benchmark) -> None:
+    # Paper: "overall for all functions and algorithms, the average EMD is
+    # much higher compared to the functions used in our simulation".
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    random_result = run_scenario(
+        table2_scenario(), algorithms=("balanced",), seed=0
+    )
+    biased_result = run_scenario(
+        table3_scenario(), algorithms=("balanced",), seed=0
+    )
+    random_max = max(row.unfairness for row in random_result.rows)
+    for function in ("f6", "f7", "f8"):
+        assert biased_result.cell("balanced", function).unfairness > random_max
+
+
+def test_heuristic_beats_blind_full_partitioning_on_f6(
+    benchmark, table3: ExperimentResult
+) -> None:
+    # On f6, the informed gender split (EMD ~0.8) dominates the blind
+    # all-attributes partitioning (paper: 0.800 vs 0.420).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert (
+        table3.cell("balanced", "f6").unfairness
+        > table3.cell("all-attributes", "f6").unfairness + 0.2
+    )

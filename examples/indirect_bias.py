@@ -1,0 +1,74 @@
+"""Indirect discrimination on a realistic (correlated) marketplace.
+
+The paper's simulation draws every attribute independently at random, so
+the unfairness it measures on f1..f5 is sampling noise.  Real marketplaces
+are not like that: language correlates with country, test scores with
+language, approval rates with tenure.  This example audits the *facially
+neutral* f4 (LanguageTest only) on such a population and shows:
+
+1. the audit pinpoints the language/country channel the bias flows through;
+2. a permutation test separates this real signal from the noise the same
+   audit reports on the paper's uniform data;
+3. quantile repair on the discovered grouping closes the gap.
+
+Run:  python examples/indirect_bias.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FairnessAuditor,
+    UnfairnessEvaluator,
+    generate_paper_population,
+    paper_functions,
+    permutation_test,
+    repair_scores,
+)
+from repro.simulation.realistic import generate_realistic_population
+
+
+def main() -> None:
+    scoring = paper_functions()["f4"]  # LanguageTest only — facially neutral
+
+    realistic = generate_realistic_population(3000, seed=0, bias_strength=1.0)
+    uniform = generate_paper_population(3000, seed=0)
+
+    # 1. Audit both populations with the same function.
+    for name, population in (("realistic", realistic), ("uniform", uniform)):
+        report = FairnessAuditor(population).audit(scoring, algorithm="balanced")
+        partitioning = report.result.partitioning
+        test = permutation_test(
+            report.scores, partitioning, n_permutations=199, rng=0
+        )
+        print(f"--- {name} population ---")
+        print(
+            f"unfairness {report.unfairness:.3f} over {partitioning.k} groups "
+            f"on {partitioning.attributes_used()}"
+        )
+        print(f"permutation test: {test}")
+        print(
+            "verdict:",
+            "real bias" if test.excess > 5 * test.null_std else "sampling noise",
+        )
+        print()
+
+    # 2. Where does the bias flow? The most separated pair names the channel.
+    report = FairnessAuditor(realistic).audit(scoring, algorithm="balanced")
+    group_a, group_b, distance = report.most_separated_pair()
+    print(f"most separated pair on the realistic data (EMD {distance:.3f}):")
+    print(f"  {group_a}")
+    print(f"  {group_b}")
+
+    # 3. Repair the discovered grouping and re-measure.
+    repaired = repair_scores(report.scores, report.result.partitioning, amount=1.0)
+    after = UnfairnessEvaluator(realistic, repaired).unfairness(
+        report.result.partitioning
+    )
+    print(
+        f"\nafter quantile repair on the audited groups: "
+        f"{report.unfairness:.3f} -> {after:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Repairing the bias an audit found (the paper's future-work direction).
+
+Audits the gender-biased f6, then applies quantile-alignment repair to the
+scores at increasing strengths and re-measures unfairness — tracing the
+fairness/utility frontier.  A full repair drives the average pairwise EMD
+between the audited groups to ~0 while preserving each group's internal
+ranking of workers.
+
+Run:  python examples/repair_bias.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    FairnessAuditor,
+    UnfairnessEvaluator,
+    generate_paper_population,
+    paper_biased_functions,
+    repair_scores,
+)
+from repro.repair.quantile import repaired_unfairness_curve
+
+
+def main() -> None:
+    population = generate_paper_population(2000, seed=5)
+    scoring = paper_biased_functions()["f6"]
+    scores = scoring(population)
+
+    # 1. Audit: find the most unfair partitioning.
+    auditor = FairnessAuditor(population)
+    report = auditor.audit(scores, algorithm="balanced")
+    partitioning = report.result.partitioning
+    print(
+        f"audit: unfairness {report.unfairness:.3f} across "
+        f"{partitioning.k} groups on {partitioning.attributes_used()}"
+    )
+
+    # 2. The repair frontier: unfairness as a function of repair strength.
+    def evaluate(repaired: np.ndarray) -> float:
+        return UnfairnessEvaluator(population, repaired).unfairness(partitioning)
+
+    print("\nrepair amount -> unfairness (avg pairwise EMD):")
+    for amount, value in repaired_unfairness_curve(scores, partitioning, evaluate):
+        distortion = float(np.abs(repair_scores(scores, partitioning, amount) - scores).mean())
+        print(f"  {amount:>4.1f} -> {value:6.3f}   (mean score change {distortion:.3f})")
+
+    # 3. Full repair, re-audited from scratch: the searcher should no longer
+    #    find a strongly separated partitioning anywhere.
+    repaired = repair_scores(scores, partitioning, amount=1.0)
+    re_report = auditor.audit(repaired, algorithm="balanced")
+    re_partitioning = re_report.result.partitioning
+    print(
+        f"\nre-audit after full repair: unfairness {re_report.unfairness:.3f} "
+        f"(was {report.unfairness:.3f}), now spread over {re_partitioning.k} "
+        f"tiny groups on {re_partitioning.attributes_used()}"
+    )
+    print(
+        "  (the residual is small-sample noise: f6's repaired scores are "
+        "bimodal, so random small subgroups differ by chance — no single "
+        "attribute separates them the way gender did before the repair)"
+    )
+    gender_emd = UnfairnessEvaluator(population, repaired).unfairness(partitioning)
+    print(f"  EMD between the original male/female groups is now {gender_emd:.4f}")
+
+    # 4. Rankings within each group are untouched by the repair.
+    males = partitioning.partitions[0].indices
+    assert (np.argsort(scores[males]) == np.argsort(repaired[males])).all()
+    print("within-group worker rankings preserved by the repair.")
+
+
+if __name__ == "__main__":
+    main()

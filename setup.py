@@ -1,0 +1,5 @@
+"""Legacy shim: this environment has no `wheel` package, so editable
+installs go through `setup.py develop`. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Statistical analysis of audit results: permutation significance tests,
+sampling-noise floors, and workload-level aggregation."""
+
+from repro.analysis.importance import AttributeImportance, attribute_importance
+from repro.analysis.significance import (
+    PermutationTestResult,
+    noise_floor,
+    permutation_test,
+)
+from repro.analysis.workload import (
+    TaskAudit,
+    WorkloadAuditSummary,
+    audit_workload,
+)
+
+__all__ = [
+    "AttributeImportance",
+    "attribute_importance",
+    "PermutationTestResult",
+    "permutation_test",
+    "noise_floor",
+    "TaskAudit",
+    "WorkloadAuditSummary",
+    "audit_workload",
+]

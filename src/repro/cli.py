@@ -1,0 +1,376 @@
+"""Command-line interface.
+
+Seven subcommands::
+
+    repro-audit generate --workers 500 --seed 42 --out workers.csv
+    repro-audit audit workers.csv --function f4 --algorithm balanced
+    repro-audit compare workers.csv --function f7
+    repro-audit significance workers.csv --function f6 --permutations 199
+    repro-audit repair workers.csv --function f6 --amount 1.0
+    repro-audit workload workers.csv tasks.json
+    repro-audit experiment table1 --out table1.json
+
+``generate`` writes a synthetic population under the paper's schema;
+``audit`` runs one algorithm on one scoring function and prints the report;
+``compare`` runs every algorithm on one function side by side;
+``significance`` permutation-tests the audited partitioning against its
+sampling-noise null; ``repair`` quantile-aligns the scores across the
+audited groups and reports the unfairness before/after; ``experiment``
+regenerates one of the paper's tables (table1, table2, table3) or the
+Figure 1 toy example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.algorithms import PAPER_ALGORITHMS, available_algorithms
+from repro.core.audit import FairnessAuditor
+from repro.core.histogram import HistogramSpec
+from repro.io.serialization import (
+    load_population,
+    save_experiment_result,
+    save_population,
+)
+from repro.marketplace.biased import paper_biased_functions
+from repro.marketplace.scoring import paper_functions
+from repro.metrics.base import available_metrics
+from repro.reporting.paper_reference import TABLE1_EMD, TABLE2_EMD, TABLE3_EMD
+from repro.reporting.tables import format_comparison_table, format_table
+from repro.simulation.config import PaperConfig
+from repro.simulation.generator import generate_paper_population
+from repro.simulation.runner import run_scenario
+from repro.simulation.scenarios import (
+    figure1_scenario,
+    table1_scenario,
+    table2_scenario,
+    table3_scenario,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description="Audit ranking fairness in online job marketplaces (EDBT 2019 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic worker population (paper schema)"
+    )
+    generate.add_argument("--workers", type=int, default=500, help="population size")
+    generate.add_argument("--seed", type=int, default=42, help="generation seed")
+    generate.add_argument("--out", required=True, help="output CSV path")
+
+    audit = subparsers.add_parser(
+        "audit", help="find the most unfair partitioning for one scoring function"
+    )
+    audit.add_argument("population", help="population CSV written by 'generate'")
+    audit.add_argument(
+        "--function",
+        default="f1",
+        help="scoring function: f1..f5 (random weights) or f6..f9 (biased)",
+    )
+    audit.add_argument(
+        "--algorithm",
+        default="balanced",
+        choices=sorted(available_algorithms()),
+        help="search algorithm",
+    )
+    audit.add_argument(
+        "--metric",
+        default="emd",
+        choices=sorted(available_metrics()),
+        help="histogram distance to maximise",
+    )
+    audit.add_argument("--bins", type=int, default=10, help="histogram bins")
+    audit.add_argument("--seed", type=int, default=0, help="seed for randomised algorithms")
+    audit.add_argument(
+        "--histograms",
+        action="store_true",
+        help="append per-group ASCII score histograms to the report",
+    )
+
+    compare = subparsers.add_parser(
+        "compare", help="run every algorithm on one scoring function"
+    )
+    compare.add_argument("population", help="population CSV written by 'generate'")
+    compare.add_argument("--function", default="f1", help="scoring function f1..f9")
+    compare.add_argument("--seed", type=int, default=0, help="seed for randomised algorithms")
+
+    significance = subparsers.add_parser(
+        "significance",
+        help="permutation-test an audited partitioning against sampling noise",
+    )
+    significance.add_argument("population", help="population CSV written by 'generate'")
+    significance.add_argument("--function", default="f1", help="scoring function f1..f9")
+    significance.add_argument(
+        "--algorithm",
+        default="balanced",
+        choices=sorted(available_algorithms()),
+        help="search algorithm whose result is tested",
+    )
+    significance.add_argument(
+        "--permutations", type=int, default=199, help="permutations for the null"
+    )
+    significance.add_argument("--seed", type=int, default=0, help="permutation seed")
+
+    repair = subparsers.add_parser(
+        "repair", help="quantile-align scores across the audited groups"
+    )
+    repair.add_argument("population", help="population CSV written by 'generate'")
+    repair.add_argument("--function", default="f6", help="scoring function f1..f9")
+    repair.add_argument(
+        "--algorithm",
+        default="balanced",
+        choices=sorted(available_algorithms()),
+        help="search algorithm used for the audit",
+    )
+    repair.add_argument(
+        "--amount", type=float, default=1.0, help="repair strength in [0, 1]"
+    )
+    repair.add_argument(
+        "--out", default=None, help="optional CSV path for the repaired scores"
+    )
+
+    workload = subparsers.add_parser(
+        "workload", help="audit a JSON workload of tasks over a population"
+    )
+    workload.add_argument("population", help="population CSV written by 'generate'")
+    workload.add_argument(
+        "tasks",
+        help=(
+            "JSON file: list of task specs with keys id, title, weights "
+            "(observed attribute -> weight), and optional positions / "
+            "requirements (observed attribute -> minimum value)"
+        ),
+    )
+    workload.add_argument(
+        "--algorithm",
+        default="balanced",
+        choices=sorted(available_algorithms()),
+        help="search algorithm used per task",
+    )
+    workload.add_argument("--seed", type=int, default=0, help="seed for randomised algorithms")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate a paper table or the Figure 1 toy example"
+    )
+    experiment.add_argument(
+        "name", choices=["table1", "table2", "table3", "figure1"], help="paper artefact"
+    )
+    experiment.add_argument("--workers", type=int, default=None, help="override worker count")
+    experiment.add_argument("--seed", type=int, default=42, help="population seed")
+    experiment.add_argument("--out", default=None, help="optional JSON output path")
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    population = generate_paper_population(args.workers, seed=args.seed)
+    save_population(population, args.out)
+    print(f"wrote {population.size} workers to {args.out} (+ schema sidecar)")
+    return 0
+
+
+def _command_audit(args: argparse.Namespace) -> int:
+    population = load_population(args.population)
+    function = _resolve_function(args.function)
+    if function is None:
+        return 2
+    auditor = FairnessAuditor(
+        population, hist_spec=HistogramSpec(bins=args.bins), metric=args.metric
+    )
+    report = auditor.audit(function, algorithm=args.algorithm, rng=args.seed)
+    print(report.render(histograms=args.histograms))
+    return 0
+
+
+def _resolve_function(name: str):
+    functions = {**paper_functions(), **paper_biased_functions()}
+    if name not in functions:
+        print(
+            f"unknown function {name!r}; choose from {sorted(functions)}",
+            file=sys.stderr,
+        )
+        return None
+    return functions[name]
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    population = load_population(args.population)
+    function = _resolve_function(args.function)
+    if function is None:
+        return 2
+    scores = function(population)
+    from repro.core.algorithms import get_algorithm
+
+    print(f"algorithm comparison on {args.function} ({population.size} workers)")
+    header = f"{'algorithm':>16}  {'unfairness':>10}  {'groups':>7}  {'time (s)':>9}  attributes"
+    print(header)
+    print("-" * len(header))
+    for name in list(PAPER_ALGORITHMS) + ["single-attribute", "beam"]:
+        result = get_algorithm(name).run(population, scores, rng=args.seed)
+        attributes = ",".join(result.partitioning.attributes_used()) or "(none)"
+        print(
+            f"{name:>16}  {result.unfairness:>10.3f}  {result.partitioning.k:>7d}"
+            f"  {result.runtime_seconds:>9.3f}  {attributes}"
+        )
+    return 0
+
+
+def _command_significance(args: argparse.Namespace) -> int:
+    from repro.analysis.significance import permutation_test
+    from repro.core.algorithms import get_algorithm
+
+    population = load_population(args.population)
+    function = _resolve_function(args.function)
+    if function is None:
+        return 2
+    scores = function(population)
+    result = get_algorithm(args.algorithm).run(population, scores, rng=args.seed)
+    test = permutation_test(
+        scores,
+        result.partitioning,
+        n_permutations=args.permutations,
+        rng=args.seed,
+    )
+    print(
+        f"{args.algorithm} on {args.function}: found {result.partitioning.k} groups "
+        f"on {result.partitioning.attributes_used()}"
+    )
+    print(f"permutation test: {test}")
+    verdict = "SIGNIFICANT" if test.significant else "consistent with sampling noise"
+    print(f"verdict at 0.05: {verdict}")
+    return 0
+
+
+def _command_repair(args: argparse.Namespace) -> int:
+    import csv as csv_module
+
+    from repro.core.algorithms import get_algorithm
+    from repro.core.unfairness import UnfairnessEvaluator
+    from repro.repair.quantile import repair_scores
+
+    population = load_population(args.population)
+    function = _resolve_function(args.function)
+    if function is None:
+        return 2
+    scores = function(population)
+    result = get_algorithm(args.algorithm).run(population, scores)
+    repaired = repair_scores(scores, result.partitioning, amount=args.amount)
+    after = UnfairnessEvaluator(population, repaired).unfairness(result.partitioning)
+    print(
+        f"audited groups: {result.partitioning.k} on "
+        f"{result.partitioning.attributes_used()}"
+    )
+    print(f"unfairness before repair: {result.unfairness:.4f}")
+    print(f"unfairness after repair (amount={args.amount}): {after:.4f}")
+    if args.out:
+        with open(args.out, "w", newline="") as handle:
+            writer = csv_module.writer(handle)
+            writer.writerow(["worker", "original_score", "repaired_score"])
+            for index, (original, new) in enumerate(zip(scores, repaired)):
+                writer.writerow([index, repr(float(original)), repr(float(new))])
+        print(f"wrote repaired scores to {args.out}")
+    return 0
+
+
+def _command_workload(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.workload import audit_workload
+    from repro.marketplace.tasks import task_from_weights
+
+    population = load_population(args.population)
+    try:
+        specs = json.loads(open(args.tasks).read())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read workload file {args.tasks!r}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(specs, list) or not specs:
+        print("workload file must contain a non-empty JSON list", file=sys.stderr)
+        return 2
+    try:
+        tasks = [
+            task_from_weights(
+                spec["id"],
+                spec.get("title", spec["id"]),
+                {k: float(v) for k, v in spec["weights"].items()},
+                positions=int(spec.get("positions", 1)),
+                requirements={
+                    k: float(v) for k, v in spec.get("requirements", {}).items()
+                },
+            )
+            for spec in specs
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"malformed task spec: {exc!r}", file=sys.stderr)
+        return 2
+    summary = audit_workload(
+        population, tasks, algorithm=args.algorithm, rng=args.seed
+    )
+    print(summary.render())
+    recurring = summary.recurring_attributes(min_fraction=0.5)
+    if recurring:
+        print(f"\nsystematic channels (>=50% of tasks): {', '.join(recurring)}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    if args.name == "figure1":
+        scenario = figure1_scenario()
+        result = run_scenario(
+            scenario,
+            algorithms=("exhaustive", "balanced", "unbalanced"),
+            seed=args.seed,
+        )
+        print(format_table(result, "unfairness", title="Figure 1 toy — average EMD"))
+        reference = None
+    else:
+        builders = {
+            "table1": (table1_scenario, TABLE1_EMD, 500),
+            "table2": (table2_scenario, TABLE2_EMD, 7300),
+            "table3": (table3_scenario, TABLE3_EMD, 7300),
+        }
+        builder, reference, default_workers = builders[args.name]
+        config = PaperConfig(n_workers=args.workers or default_workers, seed=args.seed)
+        scenario = builder(config)
+        result = run_scenario(scenario, algorithms=PAPER_ALGORITHMS, seed=args.seed)
+        print(
+            format_comparison_table(
+                result,
+                reference,
+                "unfairness",
+                title=f"{args.name} — average EMD, measured (paper)",
+            )
+        )
+        print()
+        print(format_table(result, "runtime_seconds", title="runtime (seconds, ours)"))
+    if args.out:
+        save_experiment_result(result, args.out)
+        print(f"\nwrote rows to {args.out}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro-audit`` console script."""
+    args = build_parser().parse_args(argv)
+    commands = {
+        "generate": _command_generate,
+        "audit": _command_audit,
+        "compare": _command_compare,
+        "significance": _command_significance,
+        "repair": _command_repair,
+        "workload": _command_workload,
+        "experiment": _command_experiment,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Core of the reproduction: the data model (attributes, schema, population,
+histograms, partitions), the unfairness objective, and the search algorithms.
+"""
+
+from repro.core.attributes import (
+    CategoricalAttribute,
+    IntegerAttribute,
+    ObservedAttribute,
+)
+from repro.core.audit import AuditReport, FairnessAuditor, GroupSummary
+from repro.core.histogram import HistogramSpec
+from repro.core.partition import Partition, Partitioning
+from repro.core.population import Population, WorkerView
+from repro.core.schema import WorkerSchema
+from repro.core.tree import SplitTreeNode, build_split_tree, render_split_tree
+from repro.core.unfairness import UnfairnessEvaluator, unfairness
+
+__all__ = [
+    "CategoricalAttribute",
+    "IntegerAttribute",
+    "ObservedAttribute",
+    "WorkerSchema",
+    "Population",
+    "WorkerView",
+    "HistogramSpec",
+    "Partition",
+    "Partitioning",
+    "UnfairnessEvaluator",
+    "unfairness",
+    "SplitTreeNode",
+    "build_split_tree",
+    "render_split_tree",
+    "FairnessAuditor",
+    "AuditReport",
+    "GroupSummary",
+]

@@ -1,0 +1,63 @@
+"""Partitioning-search algorithms.
+
+Importing this package registers every algorithm:
+
+========================  ============================================================
+name                      description
+========================  ============================================================
+``balanced``              paper Algorithm 1 — level-wise greedy worst-attribute splits
+``unbalanced``            paper Algorithm 2 — per-partition local greedy splits
+``r-balanced``            Algorithm 1 with random attributes (paper baseline)
+``r-unbalanced``          Algorithm 2 with random attributes (paper baseline)
+``all-attributes``        full cross-product partitioning (paper baseline)
+``single-attribute``      best single protected attribute (prior-work baseline)
+``exhaustive``            budgeted exact optimum over all split partitionings
+``beam``                  beam search over balanced trees (extension, not in paper)
+========================  ============================================================
+"""
+
+from repro.core.algorithms.balanced import BalancedAlgorithm, RandomBalancedAlgorithm
+from repro.core.algorithms.base import (
+    AlgorithmResult,
+    PartitioningAlgorithm,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.core.algorithms.baselines import (
+    AllAttributesAlgorithm,
+    SingleAttributeAlgorithm,
+)
+from repro.core.algorithms.beam import BeamSearchAlgorithm
+from repro.core.algorithms.exhaustive import ExhaustiveAlgorithm, count_split_trees
+from repro.core.algorithms.unbalanced import (
+    RandomUnbalancedAlgorithm,
+    UnbalancedAlgorithm,
+)
+
+#: The five algorithms compared in the paper's Tables 1-3, in table order.
+PAPER_ALGORITHMS: tuple[str, ...] = (
+    "unbalanced",
+    "r-unbalanced",
+    "balanced",
+    "r-balanced",
+    "all-attributes",
+)
+
+__all__ = [
+    "AlgorithmResult",
+    "PartitioningAlgorithm",
+    "BalancedAlgorithm",
+    "RandomBalancedAlgorithm",
+    "UnbalancedAlgorithm",
+    "RandomUnbalancedAlgorithm",
+    "AllAttributesAlgorithm",
+    "SingleAttributeAlgorithm",
+    "ExhaustiveAlgorithm",
+    "BeamSearchAlgorithm",
+    "PAPER_ALGORITHMS",
+    "available_algorithms",
+    "get_algorithm",
+    "register_algorithm",
+    "count_split_trees",
+]

@@ -1,0 +1,97 @@
+"""Algorithm 1 of the paper: ``balanced``.
+
+Grows a *balanced* partitioning tree: at every step, one attribute is chosen
+and **all** current partitions are split on it, so every leaf is constrained
+on the same attribute set.  The attribute is the "worst" one — the candidate
+whose induced partitioning exhibits the highest average pairwise distance —
+and the search stops as soon as even the worst remaining attribute fails to
+increase the objective (or no attributes remain).
+
+Pseudo-code (Algorithm 1)::
+
+    a = worstAttribute(W, f, A);  A -= a
+    current  = split(W, a); currentAvg = averageEMD(current, f)
+    while A != ∅:
+        a = worstAttribute(current, f, A);  A -= a
+        children = split(current, a); childrenAvg = averageEMD(children, f)
+        if currentAvg >= childrenAvg: break
+        current, currentAvg = children, childrenAvg
+    output current
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import PartitioningAlgorithm, register_algorithm
+from repro.core.partition import Partition
+from repro.core.population import Population
+from repro.core.splitting import split_partitions, worst_attribute
+from repro.core.unfairness import UnfairnessEvaluator
+
+__all__ = ["BalancedAlgorithm", "RandomBalancedAlgorithm"]
+
+
+@register_algorithm
+class BalancedAlgorithm(PartitioningAlgorithm):
+    """Greedy level-wise tree growth on the worst attribute (paper Algorithm 1)."""
+
+    name = "balanced"
+
+    def _search(
+        self,
+        population: Population,
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> list[Partition]:
+        remaining = list(population.schema.protected_names)
+        root = Partition(population.all_indices())
+
+        choice = worst_attribute(population, [root], remaining, evaluator)
+        remaining.remove(choice.attribute)
+        current, current_avg = choice.children, choice.score
+
+        while remaining:
+            choice = worst_attribute(population, current, remaining, evaluator)
+            remaining.remove(choice.attribute)
+            if current_avg >= choice.score:
+                break
+            current, current_avg = choice.children, choice.score
+        return current
+
+
+@register_algorithm
+class RandomBalancedAlgorithm(PartitioningAlgorithm):
+    """The ``r-balanced`` baseline: Algorithm 1 with a random split attribute.
+
+    Identical level-wise growth and stopping rule, but the attribute at every
+    step is drawn uniformly from the remaining ones instead of being the
+    worst.  The paper uses this to isolate the value of the worst-attribute
+    heuristic.
+    """
+
+    name = "r-balanced"
+
+    def _search(
+        self,
+        population: Population,
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> list[Partition]:
+        remaining = list(population.schema.protected_names)
+        root = Partition(population.all_indices())
+
+        attribute = str(rng.choice(remaining))
+        remaining.remove(attribute)
+        current = split_partitions(population, [root], attribute)
+        current_avg = evaluator.unfairness(current)
+
+        while remaining:
+            attribute = str(rng.choice(remaining))
+            remaining.remove(attribute)
+            children = split_partitions(population, current, attribute)
+            children_avg = evaluator.unfairness(children)
+            if current_avg >= children_avg:
+                break
+            current, current_avg = children, children_avg
+        return current

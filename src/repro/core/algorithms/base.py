@@ -1,0 +1,178 @@
+"""Common interface, result type and registry for partitioning algorithms.
+
+Every algorithm searches for a full disjoint partitioning of a population on
+its protected attributes that maximises average pairwise histogram distance
+(Definition 1 of the paper).  They differ only in how they navigate the
+exponential space; all of them run through the same entry point::
+
+    result = get_algorithm("balanced").run(population, scores)
+
+which yields an :class:`AlgorithmResult` carrying the partitioning, its
+unfairness, wall-clock runtime and search-effort statistics — the quantities
+the paper reports in Tables 1–3.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.histogram import HistogramSpec
+from repro.core.partition import Partition, Partitioning
+from repro.core.population import Population
+from repro.core.schema import WorkerSchema
+from repro.core.unfairness import UnfairnessEvaluator
+from repro.exceptions import PartitioningError
+from repro.metrics.base import HistogramDistance
+
+__all__ = [
+    "AlgorithmResult",
+    "PartitioningAlgorithm",
+    "available_algorithms",
+    "get_algorithm",
+    "register_algorithm",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """Outcome of one algorithm run.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the algorithm that produced this result.
+    partitioning:
+        The returned full disjoint partitioning.
+    unfairness:
+        Its average pairwise distance (the objective value; "Average EMD" in
+        the paper's tables when the metric is EMD).
+    runtime_seconds:
+        Wall-clock search time, the paper's "time (in secs)" column.
+    n_evaluations:
+        Number of partitioning evaluations the search performed.
+    metric:
+        Name of the histogram distance that was optimised.
+    """
+
+    algorithm: str
+    partitioning: Partitioning
+    unfairness: float
+    runtime_seconds: float
+    n_evaluations: int
+    metric: str
+
+    def describe(self, schema: WorkerSchema) -> str:
+        """Multi-line human-readable summary of the result."""
+        lines = [
+            f"algorithm     : {self.algorithm}",
+            f"unfairness    : {self.unfairness:.4f} ({self.metric})",
+            f"partitions    : {self.partitioning.k}",
+            f"attributes    : {', '.join(self.partitioning.attributes_used()) or '(none)'}",
+            f"runtime       : {self.runtime_seconds:.4f}s "
+            f"({self.n_evaluations} partitioning evaluations)",
+        ]
+        lines.extend("  " + d for d in self.partitioning.describe(schema))
+        return "\n".join(lines)
+
+
+class PartitioningAlgorithm(abc.ABC):
+    """Base class: timing, evaluator setup and result assembly.
+
+    Subclasses implement :meth:`_search`, returning the leaf partitions of
+    the partitioning they settled on.
+    """
+
+    #: Registry key; subclasses must set this.
+    name: str = ""
+
+    def run(
+        self,
+        population: Population,
+        scores: np.ndarray,
+        hist_spec: HistogramSpec | None = None,
+        metric: "str | HistogramDistance" = "emd",
+        rng: "np.random.Generator | int | None" = None,
+        weighting: str = "uniform",
+    ) -> AlgorithmResult:
+        """Search for the most unfair partitioning of ``population`` under ``scores``.
+
+        Parameters
+        ----------
+        population:
+            Worker store whose protected attributes define the search space.
+        scores:
+            One score per worker in the histogram spec's range.
+        hist_spec:
+            Score binning (default: 10 equal bins over [0, 1]).
+        metric:
+            Histogram distance to maximise (default: the paper's EMD).
+        rng:
+            Randomness source; only the ``r-*`` baselines use it.
+        weighting:
+            ``"uniform"`` (the paper's objective) or ``"size"`` (pairs
+            weighted by group sizes; see
+            :class:`~repro.core.unfairness.UnfairnessEvaluator`).
+        """
+        if population.size == 0:
+            raise PartitioningError("cannot partition an empty population")
+        evaluator = UnfairnessEvaluator(population, scores, hist_spec, metric, weighting)
+        generator = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        start = time.perf_counter()
+        partitions = self._search(population, evaluator, generator)
+        elapsed = time.perf_counter() - start
+        partitioning = Partitioning(partitions, population.size)
+        return AlgorithmResult(
+            algorithm=self.name,
+            partitioning=partitioning,
+            unfairness=evaluator.unfairness(partitioning),
+            runtime_seconds=elapsed,
+            n_evaluations=evaluator.n_evaluations,
+            metric=evaluator.metric.name,
+        )
+
+    @abc.abstractmethod
+    def _search(
+        self,
+        population: Population,
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> list[Partition]:
+        """Return the leaf partitions of the chosen partitioning."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, type[PartitioningAlgorithm]] = {}
+
+
+def register_algorithm(cls: type[PartitioningAlgorithm]) -> type[PartitioningAlgorithm]:
+    """Class decorator: register an algorithm under its ``name``."""
+    if not cls.name:
+        raise PartitioningError(f"algorithm class {cls.__name__} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_algorithm(name: str, **options: object) -> PartitioningAlgorithm:
+    """Instantiate a registered algorithm by name.
+
+    Keyword options are forwarded to the algorithm's constructor (e.g.
+    ``get_algorithm("exhaustive", budget=10_000)``).
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise PartitioningError(
+            f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**options)  # type: ignore[arg-type]
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Names of all registered algorithms."""
+    return tuple(sorted(_REGISTRY))

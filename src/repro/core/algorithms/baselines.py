@@ -1,0 +1,63 @@
+"""Non-adaptive baselines: ``all-attributes`` and ``single-attribute``.
+
+``all-attributes`` is the paper's third baseline: split the workers on
+*every* protected attribute, producing the full cross-product partitioning
+(empty cells dropped).  It is the deepest tree either heuristic could ever
+reach, so comparing against it shows whether the stopping conditions give
+anything up.
+
+``single-attribute`` is an additional baseline representing prior work that
+audits one pre-declared protected attribute at a time (e.g. Hannak et al.'s
+TaskRabbit study, reference [4] of the paper): it evaluates each attribute
+in isolation and returns the best single split.  The gap between it and the
+subgroup-searching algorithms measures the value of combining attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import PartitioningAlgorithm, register_algorithm
+from repro.core.partition import Partition
+from repro.core.population import Population
+from repro.core.splitting import split_partitions, worst_attribute
+from repro.core.unfairness import UnfairnessEvaluator
+
+__all__ = ["AllAttributesAlgorithm", "SingleAttributeAlgorithm"]
+
+
+@register_algorithm
+class AllAttributesAlgorithm(PartitioningAlgorithm):
+    """Split on every protected attribute: the full partitioning baseline."""
+
+    name = "all-attributes"
+
+    def _search(
+        self,
+        population: Population,
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> list[Partition]:
+        current = [Partition(population.all_indices())]
+        for attribute in population.schema.protected_names:
+            current = split_partitions(population, current, attribute)
+        return current
+
+
+@register_algorithm
+class SingleAttributeAlgorithm(PartitioningAlgorithm):
+    """Best split on exactly one protected attribute (prior-work setting)."""
+
+    name = "single-attribute"
+
+    def _search(
+        self,
+        population: Population,
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> list[Partition]:
+        root = Partition(population.all_indices())
+        choice = worst_attribute(
+            population, [root], list(population.schema.protected_names), evaluator
+        )
+        return choice.children

@@ -1,0 +1,197 @@
+"""Algorithm 2 of the paper: ``unbalanced``.
+
+Grows an *unbalanced* partitioning tree: after an initial split of the whole
+population on the worst attribute (as in ``balanced``), every resulting
+partition independently decides whether to split further.  A partition is
+replaced by its children only if doing so raises the average distance it
+exhibits next to its siblings — a local what-if on the overall objective.
+
+Pseudo-code (Algorithm 2, invoked once per child of the initial split)::
+
+    unbalanced(current, siblings, f, A):
+        if A == ∅: output current; return
+        currentAvg  = averageEMD(current, siblings, f)
+        a = worstAttribute(current, f, A);  A -= a
+        children    = split(current, a)
+        childrenAvg = averageEMD(children, siblings, f)
+        if currentAvg >= childrenAvg: output current
+        else:
+            for p in children: unbalanced({p}, children - {p}, f, A)
+
+The two-argument ``averageEMD(X, S, f)`` is read as the average pairwise
+distance over the union X ∪ S (DESIGN.md §2.4); pass ``cross_only=True`` to
+use only X-vs-S pairs instead (the stopping-condition ablation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import PartitioningAlgorithm, register_algorithm
+from repro.core.partition import Partition
+from repro.core.population import Population
+from repro.core.splitting import (
+    split_partition,
+    worst_attribute,
+    worst_attribute_local,
+)
+from repro.core.unfairness import UnfairnessEvaluator
+
+__all__ = ["UnbalancedAlgorithm", "RandomUnbalancedAlgorithm"]
+
+
+class _UnbalancedBase(PartitioningAlgorithm):
+    """Shared recursion for ``unbalanced`` and ``r-unbalanced``."""
+
+    def __init__(self, cross_only: bool = False) -> None:
+        self.cross_only = cross_only
+
+    def _local_average(
+        self,
+        evaluator: UnfairnessEvaluator,
+        group: list[Partition],
+        siblings: list[Partition],
+    ) -> float:
+        if self.cross_only:
+            return evaluator.cross_average(group, siblings)
+        return evaluator.union_average(group, siblings)
+
+    def _choose_attribute(
+        self,
+        population: Population,
+        partition: Partition,
+        siblings: list[Partition],
+        candidates: list[str],
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> tuple[str, list[Partition], float]:
+        """Return (attribute, children, children_avg) for one local step."""
+        raise NotImplementedError
+
+    def _initial_split(
+        self,
+        population: Population,
+        root: Partition,
+        candidates: list[str],
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> tuple[str, list[Partition]]:
+        """First split of the whole population (worst attribute for the
+        heuristic, random for the baseline)."""
+        raise NotImplementedError
+
+    def _search(
+        self,
+        population: Population,
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> list[Partition]:
+        candidates = list(population.schema.protected_names)
+        root = Partition(population.all_indices())
+        attribute, first_level = self._initial_split(
+            population, root, candidates, evaluator, rng
+        )
+        remaining = [a for a in candidates if a != attribute]
+
+        output: list[Partition] = []
+        for partition in first_level:
+            siblings = [p for p in first_level if p is not partition]
+            self._recurse(
+                population, partition, siblings, remaining, evaluator, rng, output
+            )
+        return output
+
+    def _recurse(
+        self,
+        population: Population,
+        current: Partition,
+        siblings: list[Partition],
+        candidates: list[str],
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+        output: list[Partition],
+    ) -> None:
+        if not candidates:
+            output.append(current)
+            return
+        current_avg = self._local_average(evaluator, [current], siblings)
+        attribute, children, children_avg = self._choose_attribute(
+            population, current, siblings, candidates, evaluator, rng
+        )
+        if current_avg >= children_avg:
+            output.append(current)
+            return
+        remaining = [a for a in candidates if a != attribute]
+        for child in children:
+            child_siblings = [p for p in children if p is not child]
+            self._recurse(
+                population, child, child_siblings, remaining, evaluator, rng, output
+            )
+
+
+@register_algorithm
+class UnbalancedAlgorithm(_UnbalancedBase):
+    """Locally greedy tree growth on the worst attribute (paper Algorithm 2)."""
+
+    name = "unbalanced"
+
+    def _initial_split(
+        self,
+        population: Population,
+        root: Partition,
+        candidates: list[str],
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> tuple[str, list[Partition]]:
+        choice = worst_attribute(population, [root], candidates, evaluator)
+        return choice.attribute, choice.children
+
+    def _choose_attribute(
+        self,
+        population: Population,
+        partition: Partition,
+        siblings: list[Partition],
+        candidates: list[str],
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> tuple[str, list[Partition], float]:
+        choice = worst_attribute_local(
+            population, partition, siblings, candidates, evaluator, self.cross_only
+        )
+        return choice.attribute, choice.children, choice.score
+
+
+@register_algorithm
+class RandomUnbalancedAlgorithm(_UnbalancedBase):
+    """The ``r-unbalanced`` baseline: Algorithm 2 with random split attributes.
+
+    Keeps the local replace-if-better stopping rule but draws the candidate
+    attribute uniformly at every step.
+    """
+
+    name = "r-unbalanced"
+
+    def _initial_split(
+        self,
+        population: Population,
+        root: Partition,
+        candidates: list[str],
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> tuple[str, list[Partition]]:
+        attribute = str(rng.choice(candidates))
+        return attribute, split_partition(population, root, attribute)
+
+    def _choose_attribute(
+        self,
+        population: Population,
+        partition: Partition,
+        siblings: list[Partition],
+        candidates: list[str],
+        evaluator: UnfairnessEvaluator,
+        rng: np.random.Generator,
+    ) -> tuple[str, list[Partition], float]:
+        attribute = str(rng.choice(candidates))
+        children = split_partition(population, partition, attribute)
+        score = self._local_average(evaluator, children, siblings)
+        return attribute, children, score

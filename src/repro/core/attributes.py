@@ -1,0 +1,216 @@
+"""Attribute specifications for workers in an online job marketplace.
+
+The paper distinguishes two families of worker attributes:
+
+* **Protected attributes** (gender, country, year of birth, language,
+  ethnicity, years of experience) — inherent properties on which the
+  partitioning search operates.  Each protected attribute exposes a small
+  finite set of *partition codes*: categorical attributes use one code per
+  value, numeric attributes are discretised into at most a handful of
+  equal-width buckets (the paper ran its exhaustive baseline with "each
+  attribute [having] only a maximum of 5 values").
+* **Observed attributes** (language-test score, approval rate) — the skill
+  signals a scoring function combines into a qualification score in [0, 1].
+
+Attribute specs are immutable value objects; populations store raw column
+data and delegate encoding/labelling to the specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+__all__ = [
+    "CategoricalAttribute",
+    "IntegerAttribute",
+    "ObservedAttribute",
+    "ProtectedAttribute",
+]
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """A protected attribute with an explicit finite set of string values.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"gender"``.
+    values:
+        Ordered tuple of distinct value labels.  The position of a label is
+        its integer *code*; populations store codes, not labels.
+    """
+
+    name: str
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if len(self.values) < 2:
+            raise SchemaError(
+                f"categorical attribute {self.name!r} needs at least 2 values, "
+                f"got {len(self.values)}"
+            )
+        if len(set(self.values)) != len(self.values):
+            raise SchemaError(f"categorical attribute {self.name!r} has duplicate values")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of partition codes (= number of values)."""
+        return len(self.values)
+
+    def encode(self, labels: "list[str] | np.ndarray") -> np.ndarray:
+        """Map value labels to integer codes.
+
+        Raises :class:`SchemaError` if any label is outside the domain.
+        """
+        index = {v: i for i, v in enumerate(self.values)}
+        try:
+            return np.asarray([index[str(v)] for v in labels], dtype=np.int64)
+        except KeyError as exc:
+            raise SchemaError(
+                f"value {exc.args[0]!r} is not in the domain of attribute {self.name!r}"
+            ) from exc
+
+    def decode(self, codes: np.ndarray) -> list[str]:
+        """Map integer codes back to value labels."""
+        self.validate_codes(codes)
+        return [self.values[int(c)] for c in codes]
+
+    def partition_codes(self, raw: np.ndarray) -> np.ndarray:
+        """Partition code of each row.  For categoricals, raw values *are* codes."""
+        self.validate_codes(raw)
+        return np.asarray(raw, dtype=np.int64)
+
+    def code_label(self, code: int) -> str:
+        """Human-readable label for one partition code."""
+        if not 0 <= code < self.cardinality:
+            raise SchemaError(f"code {code} out of range for attribute {self.name!r}")
+        return self.values[code]
+
+    def validate_codes(self, raw: np.ndarray) -> None:
+        """Check that every stored value is a legal code for this attribute."""
+        raw = np.asarray(raw)
+        if raw.size and (raw.min() < 0 or raw.max() >= self.cardinality):
+            raise SchemaError(
+                f"attribute {self.name!r}: codes must lie in [0, {self.cardinality}), "
+                f"found range [{raw.min()}, {raw.max()}]"
+            )
+
+
+@dataclass(frozen=True)
+class IntegerAttribute:
+    """A protected attribute with an integer range, e.g. Year of Birth ∈ [1950, 2009].
+
+    For partitioning, the range is discretised into ``buckets`` equal-width
+    intervals.  The raw integer values remain available on the population;
+    only the partitioning machinery sees bucket codes.
+    """
+
+    name: str
+    low: int
+    high: int
+    buckets: int = 5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.high <= self.low:
+            raise SchemaError(
+                f"integer attribute {self.name!r}: high ({self.high}) must exceed low ({self.low})"
+            )
+        span = self.high - self.low + 1
+        if not 2 <= self.buckets <= span:
+            raise SchemaError(
+                f"integer attribute {self.name!r}: buckets must be in [2, {span}], got {self.buckets}"
+            )
+
+    @property
+    def cardinality(self) -> int:
+        """Number of partition codes (= number of buckets)."""
+        return self.buckets
+
+    @property
+    def bucket_edges(self) -> np.ndarray:
+        """``buckets + 1`` integer-aligned edges covering [low, high]."""
+        return np.linspace(self.low, self.high + 1, self.buckets + 1)
+
+    def partition_codes(self, raw: np.ndarray) -> np.ndarray:
+        """Bucket index of each raw integer value."""
+        self.validate_codes(raw)
+        raw = np.asarray(raw, dtype=np.float64)
+        codes = np.digitize(raw, self.bucket_edges[1:-1], right=False)
+        return codes.astype(np.int64)
+
+    def code_label(self, code: int) -> str:
+        """Human-readable integer interval for one bucket, e.g. ``"1950-1961"``."""
+        if not 0 <= code < self.buckets:
+            raise SchemaError(f"code {code} out of range for attribute {self.name!r}")
+        edges = self.bucket_edges
+        lo = int(np.ceil(edges[code]))
+        hi = int(np.ceil(edges[code + 1])) - 1
+        return f"{lo}-{hi}"
+
+    def validate_codes(self, raw: np.ndarray) -> None:
+        """Check that every stored value lies inside [low, high]."""
+        raw = np.asarray(raw)
+        if raw.size and (raw.min() < self.low or raw.max() > self.high):
+            raise SchemaError(
+                f"attribute {self.name!r}: values must lie in [{self.low}, {self.high}], "
+                f"found range [{raw.min()}, {raw.max()}]"
+            )
+
+
+#: Union type of the protected attribute specs.
+ProtectedAttribute = CategoricalAttribute | IntegerAttribute
+
+
+@dataclass(frozen=True)
+class ObservedAttribute:
+    """An observed (skill) attribute with a continuous range.
+
+    The paper's observed attributes (LanguageTest, ApprovalRate) live in
+    [25, 100]; scoring functions operate on the min-max normalised value in
+    [0, 1] so that a convex combination of observed attributes stays in [0, 1].
+    """
+
+    name: str
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if not self.high > self.low:
+            raise SchemaError(
+                f"observed attribute {self.name!r}: high ({self.high}) must exceed low ({self.low})"
+            )
+
+    def normalize(self, raw: np.ndarray) -> np.ndarray:
+        """Min-max normalise raw values into [0, 1]."""
+        raw = np.asarray(raw, dtype=np.float64)
+        self.validate(raw)
+        return (raw - self.low) / (self.high - self.low)
+
+    def denormalize(self, normalized: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalize`."""
+        normalized = np.asarray(normalized, dtype=np.float64)
+        return normalized * (self.high - self.low) + self.low
+
+    def validate(self, raw: np.ndarray) -> None:
+        """Check that every value lies inside [low, high] and is finite."""
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.size == 0:
+            return
+        if not np.all(np.isfinite(raw)):
+            raise SchemaError(f"observed attribute {self.name!r} contains non-finite values")
+        if raw.min() < self.low or raw.max() > self.high:
+            raise SchemaError(
+                f"observed attribute {self.name!r}: values must lie in "
+                f"[{self.low}, {self.high}], found range [{raw.min()}, {raw.max()}]"
+            )

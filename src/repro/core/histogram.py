@@ -1,0 +1,102 @@
+"""Score histograms.
+
+The paper quantifies unfairness through histograms of the scores each
+partition receives: "we generate a histogram for each partition ... by
+creating equal bins over the range of f and counting the number of workers
+whose function values f(w) fall in each bin".
+
+:class:`HistogramSpec` captures the binning (range of ``f`` and bin count);
+the hot path used by the algorithms pre-digitises all scores once and builds
+per-partition histograms with ``bincount`` over index arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MetricError
+
+__all__ = ["HistogramSpec"]
+
+
+@dataclass(frozen=True)
+class HistogramSpec:
+    """Equal-width binning over the range of a scoring function.
+
+    Parameters
+    ----------
+    bins:
+        Number of equal-width bins (default 10, i.e. deciles of [0, 1]).
+    low, high:
+        Range of the scoring function.  Scores exactly equal to ``high``
+        fall into the last bin.
+    """
+
+    bins: int = 10
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bins < 1:
+            raise MetricError(f"histogram needs at least one bin, got {self.bins}")
+        if not self.high > self.low:
+            raise MetricError(
+                f"histogram range is empty: low={self.low}, high={self.high}"
+            )
+
+    @property
+    def bin_width(self) -> float:
+        """Width of one bin in score units (the EMD ground-distance unit)."""
+        return (self.high - self.low) / self.bins
+
+    @property
+    def edges(self) -> np.ndarray:
+        """``bins + 1`` bin edges."""
+        return np.linspace(self.low, self.high, self.bins + 1)
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Bin centers, useful for plotting and for moment computations."""
+        edges = self.edges
+        return (edges[:-1] + edges[1:]) / 2.0
+
+    def bin_indices(self, scores: np.ndarray) -> np.ndarray:
+        """Bin index of every score; scores == high land in the last bin.
+
+        This is the one-off precomputation the partitioning algorithms rely
+        on: once every worker has a bin index, the histogram of any partition
+        is a ``bincount`` over its member rows.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.size and not np.all(np.isfinite(scores)):
+            raise MetricError("scores contain non-finite values")
+        if scores.size and (scores.min() < self.low or scores.max() > self.high):
+            raise MetricError(
+                f"scores must lie in [{self.low}, {self.high}], "
+                f"found range [{scores.min()}, {scores.max()}]"
+            )
+        idx = np.floor((scores - self.low) / self.bin_width).astype(np.int64)
+        return np.minimum(idx, self.bins - 1)
+
+    def histogram(self, scores: np.ndarray) -> np.ndarray:
+        """Raw counts per bin for a vector of scores."""
+        return np.bincount(self.bin_indices(scores), minlength=self.bins).astype(np.int64)
+
+    def normalized_histogram(self, scores: np.ndarray) -> np.ndarray:
+        """Probability-mass histogram (counts / total).
+
+        Raises :class:`MetricError` on an empty score vector: the paper's
+        unfairness measure is undefined for empty partitions, which the
+        partitioning layer therefore drops before reaching here.
+        """
+        counts = self.histogram(scores)
+        total = counts.sum()
+        if total == 0:
+            raise MetricError("cannot normalise the histogram of an empty partition")
+        return counts / total
+
+    def histogram_from_bin_indices(self, bin_idx: np.ndarray) -> np.ndarray:
+        """Counts per bin from pre-digitised scores (hot path)."""
+        return np.bincount(bin_idx, minlength=self.bins).astype(np.int64)

@@ -1,0 +1,162 @@
+"""Partitions and partitionings of a worker population.
+
+A :class:`Partition` is a group of workers defined by a conjunction of
+protected-attribute constraints (the path from the root of a split tree),
+stored as an array of row indices into a shared
+:class:`~repro.core.population.Population` — splitting never copies worker
+data.
+
+A :class:`Partitioning` is the object the paper's optimisation problem ranges
+over: a full disjoint cover of the population by partitions.  Empty cells are
+never materialised (an empty partition has no score histogram), so
+"full disjoint" here means the member index arrays are pairwise disjoint and
+their union is the whole population.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.attributes import CategoricalAttribute
+from repro.core.population import Population
+from repro.core.schema import WorkerSchema
+from repro.exceptions import PartitioningError
+
+__all__ = ["Partition", "Partitioning"]
+
+#: One constraint: (protected attribute name, partition code).
+Constraint = tuple[str, int]
+
+
+class Partition:
+    """A non-empty group of workers selected by attribute constraints.
+
+    Identity semantics: two Partition objects are distinct cache keys even if
+    they contain the same members (use :meth:`same_members` to compare
+    contents).  This keeps histogram caching trivially correct.
+    """
+
+    __slots__ = ("indices", "constraints")
+
+    def __init__(self, indices: np.ndarray, constraints: tuple[Constraint, ...] = ()) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise PartitioningError("partition indices must be one-dimensional")
+        if indices.size == 0:
+            raise PartitioningError("partitions must be non-empty; drop empty cells instead")
+        indices = np.sort(indices)
+        if np.any(indices[1:] == indices[:-1]):
+            raise PartitioningError("partition contains duplicate worker indices")
+        indices.setflags(write=False)
+        self.indices = indices
+        self.constraints = tuple(constraints)
+
+    @property
+    def size(self) -> int:
+        """Number of workers in this partition."""
+        return int(self.indices.shape[0])
+
+    def constrained_attributes(self) -> tuple[str, ...]:
+        """Names of the attributes this partition is constrained on."""
+        return tuple(name for name, _ in self.constraints)
+
+    def label(self, schema: WorkerSchema) -> str:
+        """Human-readable description, e.g. ``"gender=Male ∧ language=English"``."""
+        if not self.constraints:
+            return "ALL"
+        parts = []
+        for name, code in self.constraints:
+            attr = schema.protected_attribute(name)
+            if isinstance(attr, CategoricalAttribute):
+                parts.append(f"{name}={attr.code_label(code)}")
+            else:
+                parts.append(f"{name}∈[{attr.code_label(code)}]")
+        return " ∧ ".join(parts)
+
+    def same_members(self, other: "Partition") -> bool:
+        """True if both partitions contain exactly the same workers."""
+        return self.indices.shape == other.indices.shape and bool(
+            np.array_equal(self.indices, other.indices)
+        )
+
+    def members_key(self) -> tuple[int, ...]:
+        """Hashable canonical key of the member set (for deduplication)."""
+        return tuple(int(i) for i in self.indices)
+
+    def __repr__(self) -> str:
+        constraint_str = ", ".join(f"{n}={c}" for n, c in self.constraints) or "ALL"
+        return f"Partition(size={self.size}, {constraint_str})"
+
+
+class Partitioning:
+    """A full disjoint partitioning of a population.
+
+    Construction validates the paper's constraints: partitions are pairwise
+    disjoint and their union covers every worker.
+    """
+
+    def __init__(self, partitions: Sequence[Partition], population_size: int) -> None:
+        partitions = list(partitions)
+        if not partitions:
+            raise PartitioningError("a partitioning needs at least one partition")
+        total = sum(p.size for p in partitions)
+        if total != population_size:
+            raise PartitioningError(
+                f"partitioning covers {total} workers, population has {population_size}"
+            )
+        combined = np.concatenate([p.indices for p in partitions])
+        combined.sort()
+        if combined.size != population_size or not np.array_equal(
+            combined, np.arange(population_size, dtype=np.int64)
+        ):
+            raise PartitioningError(
+                "partitions are not a full disjoint cover of the population"
+            )
+        self.partitions = partitions
+        self.population_size = population_size
+
+    @classmethod
+    def single(cls, population: Population) -> "Partitioning":
+        """The trivial partitioning: all workers in one root partition."""
+        return cls([Partition(population.all_indices())], population.size)
+
+    @property
+    def k(self) -> int:
+        """Number of partitions."""
+        return len(self.partitions)
+
+    def __iter__(self) -> Iterator[Partition]:
+        return iter(self.partitions)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def attributes_used(self) -> tuple[str, ...]:
+        """All attributes constrained in at least one partition, sorted."""
+        used: set[str] = set()
+        for p in self.partitions:
+            used.update(p.constrained_attributes())
+        return tuple(sorted(used))
+
+    def max_depth(self) -> int:
+        """Depth of the deepest partition in the underlying split tree."""
+        return max(len(p.constraints) for p in self.partitions)
+
+    def canonical_key(self) -> frozenset[tuple[int, ...]]:
+        """Content-based key: the set of member sets.
+
+        Two partitionings with the same key group the workers identically
+        even if they were reached through different split trees; the
+        exhaustive algorithm uses this to avoid re-evaluating duplicates.
+        """
+        return frozenset(p.members_key() for p in self.partitions)
+
+    def describe(self, schema: WorkerSchema) -> list[str]:
+        """One label per partition, ordered largest first."""
+        ordered = sorted(self.partitions, key=lambda p: (-p.size, p.constraints))
+        return [f"{p.label(schema)} (n={p.size})" for p in ordered]
+
+    def __repr__(self) -> str:
+        return f"Partitioning(k={self.k}, population_size={self.population_size})"

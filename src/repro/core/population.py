@@ -1,0 +1,188 @@
+"""Column-oriented store of a worker population.
+
+A :class:`Population` holds one numpy column per attribute.  Protected
+categorical columns store integer codes (see
+:class:`repro.core.attributes.CategoricalAttribute`); protected integer
+columns store raw integers; observed columns store floats.
+
+Partitioning algorithms never copy worker rows — partitions are arrays of row
+indices into a shared population, so splitting is O(partition size) and the
+whole search works on views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.core.attributes import CategoricalAttribute
+from repro.core.schema import WorkerSchema
+from repro.exceptions import PopulationError
+
+__all__ = ["Population", "WorkerView"]
+
+
+@dataclass(frozen=True)
+class WorkerView:
+    """A read-only view of a single worker row, for display and tests."""
+
+    index: int
+    protected: dict[str, Any]
+    observed: dict[str, float]
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v}" for k, v in self.protected.items()]
+        parts += [f"{k}={v:.3g}" for k, v in self.observed.items()]
+        return f"worker[{self.index}]({', '.join(parts)})"
+
+
+class Population:
+    """An immutable, column-oriented collection of workers.
+
+    Parameters
+    ----------
+    schema:
+        The attribute layout.
+    protected:
+        Mapping from protected attribute name to an integer column.  For
+        categorical attributes the column holds codes in
+        ``[0, cardinality)``; for integer attributes it holds raw values in
+        ``[low, high]``.
+    observed:
+        Mapping from observed attribute name to a float column in
+        ``[low, high]`` of the corresponding spec.
+    """
+
+    def __init__(
+        self,
+        schema: WorkerSchema,
+        protected: Mapping[str, np.ndarray],
+        observed: Mapping[str, np.ndarray],
+    ) -> None:
+        self.schema = schema
+        self._protected: dict[str, np.ndarray] = {}
+        self._observed: dict[str, np.ndarray] = {}
+
+        sizes = set()
+        for attr in schema.protected:
+            if attr.name not in protected:
+                raise PopulationError(f"missing protected column {attr.name!r}")
+            col = np.asarray(protected[attr.name], dtype=np.int64)
+            if col.ndim != 1:
+                raise PopulationError(f"column {attr.name!r} must be one-dimensional")
+            attr.validate_codes(col)
+            col = col.copy()
+            col.setflags(write=False)
+            self._protected[attr.name] = col
+            sizes.add(col.shape[0])
+        for attr in schema.observed:
+            if attr.name not in observed:
+                raise PopulationError(f"missing observed column {attr.name!r}")
+            col = np.asarray(observed[attr.name], dtype=np.float64)
+            if col.ndim != 1:
+                raise PopulationError(f"column {attr.name!r} must be one-dimensional")
+            attr.validate(col)
+            col = col.copy()
+            col.setflags(write=False)
+            self._observed[attr.name] = col
+            sizes.add(col.shape[0])
+
+        extra = (set(protected) - set(schema.protected_names)) | (
+            set(observed) - set(schema.observed_names)
+        )
+        if extra:
+            raise PopulationError(f"columns not declared in schema: {sorted(extra)}")
+        if len(sizes) > 1:
+            raise PopulationError(f"columns have inconsistent lengths: {sorted(sizes)}")
+        self._size = sizes.pop() if sizes else 0
+        self._partition_codes: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def size(self) -> int:
+        """Number of workers."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return (
+            f"Population(size={self._size}, "
+            f"protected={list(self.schema.protected_names)}, "
+            f"observed={list(self.schema.observed_names)})"
+        )
+
+    # ------------------------------------------------------------------ columns
+
+    def protected_column(self, name: str) -> np.ndarray:
+        """Raw protected column (codes for categoricals, raw ints otherwise)."""
+        try:
+            return self._protected[name]
+        except KeyError:
+            raise PopulationError(f"no protected column named {name!r}") from None
+
+    def observed_column(self, name: str) -> np.ndarray:
+        """Raw observed column (floats in the attribute's [low, high])."""
+        try:
+            return self._observed[name]
+        except KeyError:
+            raise PopulationError(f"no observed column named {name!r}") from None
+
+    def observed_normalized(self, name: str) -> np.ndarray:
+        """Observed column min-max normalised to [0, 1]."""
+        return self.schema.observed_attribute(name).normalize(self.observed_column(name))
+
+    def partition_codes(self, name: str) -> np.ndarray:
+        """Partition codes of a protected attribute (bucketised for integers).
+
+        Cached: partitioning algorithms call this in tight loops.
+        """
+        if name not in self._partition_codes:
+            attr = self.schema.protected_attribute(name)
+            codes = attr.partition_codes(self.protected_column(name))
+            codes.setflags(write=False)
+            self._partition_codes[name] = codes
+        return self._partition_codes[name]
+
+    # ------------------------------------------------------------------ rows
+
+    def worker(self, index: int) -> WorkerView:
+        """Decode one worker row into labels for display/tests."""
+        if not 0 <= index < self._size:
+            raise PopulationError(f"worker index {index} out of range [0, {self._size})")
+        protected: dict[str, Any] = {}
+        for attr in self.schema.protected:
+            raw = self._protected[attr.name][index]
+            if isinstance(attr, CategoricalAttribute):
+                protected[attr.name] = attr.values[int(raw)]
+            else:
+                protected[attr.name] = int(raw)
+        observed = {
+            attr.name: float(self._observed[attr.name][index]) for attr in self.schema.observed
+        }
+        return WorkerView(index=index, protected=protected, observed=observed)
+
+    def __iter__(self) -> Iterator[WorkerView]:
+        for i in range(self._size):
+            yield self.worker(i)
+
+    # ------------------------------------------------------------------ subsets
+
+    def subset(self, indices: np.ndarray) -> "Population":
+        """A new population containing only the given rows (copies columns)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self._size):
+            raise PopulationError("subset indices out of range")
+        return Population(
+            self.schema,
+            {name: col[indices] for name, col in self._protected.items()},
+            {name: col[indices] for name, col in self._observed.items()},
+        )
+
+    def all_indices(self) -> np.ndarray:
+        """Row indices of the full population (the root partition's members)."""
+        return np.arange(self._size, dtype=np.int64)

@@ -1,0 +1,76 @@
+"""Worker schema: the set of protected and observed attributes of a population.
+
+A :class:`WorkerSchema` is the static description of the data a marketplace
+holds about its workers.  It is shared by the population store, the
+generators, the scoring functions and the partitioning algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attributes import ObservedAttribute, ProtectedAttribute
+from repro.exceptions import SchemaError
+
+__all__ = ["WorkerSchema"]
+
+
+@dataclass(frozen=True)
+class WorkerSchema:
+    """The attribute layout of a worker population.
+
+    Parameters
+    ----------
+    protected:
+        Protected attribute specs (categorical or bucketised integer).
+        These define the partitioning search space.
+    observed:
+        Observed (skill) attribute specs.  Scoring functions combine these.
+    """
+
+    protected: tuple[ProtectedAttribute, ...]
+    observed: tuple[ObservedAttribute, ...]
+
+    def __post_init__(self) -> None:
+        if not self.protected:
+            raise SchemaError("a worker schema needs at least one protected attribute")
+        if not self.observed:
+            raise SchemaError("a worker schema needs at least one observed attribute")
+        names = [a.name for a in self.protected] + [b.name for b in self.observed]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {sorted(names)}")
+
+    @property
+    def protected_names(self) -> tuple[str, ...]:
+        """Names of the protected attributes, in declaration order."""
+        return tuple(a.name for a in self.protected)
+
+    @property
+    def observed_names(self) -> tuple[str, ...]:
+        """Names of the observed attributes, in declaration order."""
+        return tuple(b.name for b in self.observed)
+
+    def protected_attribute(self, name: str) -> ProtectedAttribute:
+        """Look up a protected attribute spec by name."""
+        for attr in self.protected:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"no protected attribute named {name!r} in schema")
+
+    def observed_attribute(self, name: str) -> ObservedAttribute:
+        """Look up an observed attribute spec by name."""
+        for attr in self.observed:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"no observed attribute named {name!r} in schema")
+
+    def search_space_size(self) -> int:
+        """Number of cells in the full cross-product of protected partition codes.
+
+        This bounds the size of the ``all-attributes`` partitioning and gives
+        a feel for why exhaustive enumeration is intractable.
+        """
+        size = 1
+        for attr in self.protected:
+            size *= attr.cardinality
+        return size

@@ -1,0 +1,143 @@
+"""Splitting machinery: ``split`` and ``worstAttribute`` from the paper.
+
+``split(W, a)`` partitions a group of workers by the partition codes of
+protected attribute ``a`` (one child per non-empty code).
+
+``worstAttribute(W, f, A)`` tries every remaining attribute, splits on it,
+and returns the attribute whose induced partitioning exhibits the *highest*
+average pairwise distance — "worst" in the sense of most unfair.  The paper
+likens this local choice to the gain functions used to grow decision trees.
+
+Two variants exist because the two algorithms ask the question at different
+scopes: :func:`worst_attribute` splits *every* current partition on the
+candidate (Algorithm 1, ``balanced``); :func:`worst_attribute_local` splits a
+single partition and scores its children against the partition's siblings
+(Algorithm 2, ``unbalanced``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.partition import Partition
+from repro.core.population import Population
+from repro.core.unfairness import UnfairnessEvaluator
+from repro.exceptions import PartitioningError
+
+__all__ = [
+    "split_partition",
+    "split_partitions",
+    "worst_attribute",
+    "worst_attribute_local",
+    "AttributeChoice",
+]
+
+
+def split_partition(
+    population: Population, partition: Partition, attribute: str
+) -> list[Partition]:
+    """Split one partition on one protected attribute.
+
+    Returns the non-empty children, ordered by partition code.  Each child
+    extends the parent's constraint path with ``(attribute, code)``.  A
+    partition whose members all share one code yields a single child with
+    the same member set.
+    """
+    if attribute in partition.constrained_attributes():
+        raise PartitioningError(
+            f"partition is already constrained on attribute {attribute!r}"
+        )
+    codes = population.partition_codes(attribute)[partition.indices]
+    children = []
+    for code in np.unique(codes):
+        members = partition.indices[codes == code]
+        children.append(
+            Partition(members, partition.constraints + ((attribute, int(code)),))
+        )
+    return children
+
+
+def split_partitions(
+    population: Population, partitions: Sequence[Partition], attribute: str
+) -> list[Partition]:
+    """Split every partition in a set on the same attribute (balanced step)."""
+    out: list[Partition] = []
+    for partition in partitions:
+        out.extend(split_partition(population, partition, attribute))
+    return out
+
+
+@dataclass(frozen=True)
+class AttributeChoice:
+    """Outcome of a ``worstAttribute`` evaluation.
+
+    Attributes
+    ----------
+    attribute:
+        The chosen (worst) attribute.
+    children:
+        The partitioning obtained by splitting on it (already computed, so
+        callers never re-split).
+    score:
+        The average pairwise distance that partitioning exhibits.
+    """
+
+    attribute: str
+    children: list[Partition]
+    score: float
+
+
+def worst_attribute(
+    population: Population,
+    partitions: Sequence[Partition],
+    candidates: Sequence[str],
+    evaluator: UnfairnessEvaluator,
+) -> AttributeChoice:
+    """The globally worst attribute: splitting all partitions on it maximises
+    the average pairwise distance of the resulting partitioning.
+
+    Ties are broken in candidate order, making runs deterministic.
+    """
+    if not candidates:
+        raise PartitioningError("worst_attribute called with no candidate attributes")
+    best: AttributeChoice | None = None
+    for attribute in candidates:
+        children = split_partitions(population, partitions, attribute)
+        score = evaluator.unfairness(children)
+        if best is None or score > best.score:
+            best = AttributeChoice(attribute, children, score)
+    assert best is not None
+    return best
+
+
+def worst_attribute_local(
+    population: Population,
+    partition: Partition,
+    siblings: Sequence[Partition],
+    candidates: Sequence[str],
+    evaluator: UnfairnessEvaluator,
+    cross_only: bool = False,
+) -> AttributeChoice:
+    """The locally worst attribute for a single partition.
+
+    Each candidate is scored by the average distance the partition's children
+    would exhibit next to the partition's ``siblings`` — by default over the
+    union ``children ∪ siblings`` (see DESIGN.md §2.4), or children-vs-siblings
+    pairs only when ``cross_only`` is set.
+    """
+    if not candidates:
+        raise PartitioningError("worst_attribute_local called with no candidates")
+    best: AttributeChoice | None = None
+    for attribute in candidates:
+        children = split_partition(population, partition, attribute)
+        if cross_only:
+            score = evaluator.cross_average(children, siblings)
+        else:
+            score = evaluator.union_average(children, siblings)
+        if best is None or score > best.score:
+            best = AttributeChoice(attribute, children, score)
+    assert best is not None
+    return best

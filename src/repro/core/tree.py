@@ -1,0 +1,130 @@
+"""Split trees reconstructed from partition constraint paths.
+
+The heuristic algorithms conceptually grow a tree of splits (Figure 1 of the
+paper shows one); operationally they only keep the leaf partitions, each of
+which carries its root-to-leaf constraint path.  This module rebuilds the
+tree from those paths for reporting — rendering the kind of picture Figure 1
+shows, and answering structural questions (which attribute was split where,
+how deep is each branch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.attributes import CategoricalAttribute
+from repro.core.partition import Partition, Partitioning
+from repro.core.schema import WorkerSchema
+from repro.exceptions import PartitioningError
+
+__all__ = ["SplitTreeNode", "build_split_tree", "render_split_tree"]
+
+
+@dataclass
+class SplitTreeNode:
+    """One node of a reconstructed split tree.
+
+    A leaf carries the partition it represents; an internal node carries the
+    attribute its children split on.
+    """
+
+    constraints: tuple[tuple[str, int], ...]
+    partition: Partition | None = None
+    split_attribute: str | None = None
+    children: list["SplitTreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path below (and including) this node."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth for child in self.children)
+
+    def leaves(self) -> list["SplitTreeNode"]:
+        """All leaf nodes below (or equal to) this node, left to right."""
+        if self.is_leaf:
+            return [self]
+        out: list[SplitTreeNode] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+
+def build_split_tree(partitioning: "Partitioning | Sequence[Partition]") -> SplitTreeNode:
+    """Reconstruct the split tree whose leaves are the given partitions.
+
+    Every partition's constraint path must be consistent with a single tree
+    (the output of any algorithm in this library is); otherwise
+    :class:`~repro.exceptions.PartitioningError` is raised.
+    """
+    partitions = list(partitioning)
+    root = SplitTreeNode(constraints=())
+    for partition in partitions:
+        node = root
+        for depth, (attribute, code) in enumerate(partition.constraints):
+            if node.partition is not None:
+                raise PartitioningError(
+                    "inconsistent constraint paths: a leaf would need children"
+                )
+            if node.split_attribute is None:
+                node.split_attribute = attribute
+            elif node.split_attribute != attribute:
+                raise PartitioningError(
+                    f"inconsistent constraint paths: node splits on both "
+                    f"{node.split_attribute!r} and {attribute!r}"
+                )
+            prefix = partition.constraints[: depth + 1]
+            child = next((c for c in node.children if c.constraints == prefix), None)
+            if child is None:
+                child = SplitTreeNode(constraints=prefix)
+                node.children.append(child)
+            node = child
+        if node.children or node.partition is not None:
+            raise PartitioningError("inconsistent constraint paths: duplicate leaf")
+        node.partition = partition
+    return root
+
+
+def _constraint_label(schema: WorkerSchema, attribute: str, code: int) -> str:
+    attr = schema.protected_attribute(attribute)
+    if isinstance(attr, CategoricalAttribute):
+        return f"{attribute}={attr.code_label(code)}"
+    return f"{attribute}∈[{attr.code_label(code)}]"
+
+
+def render_split_tree(
+    tree: SplitTreeNode, schema: WorkerSchema, indent: str = "  "
+) -> str:
+    """Render a split tree as indented text, Figure-1 style.
+
+    Example output for the paper's toy data::
+
+        ALL
+          gender=Male  [split on language]
+            language=English (n=3)
+            ...
+          gender=Female (n=4)
+    """
+    lines: list[str] = []
+
+    def visit(node: SplitTreeNode, depth: int) -> None:
+        if node.constraints:
+            attribute, code = node.constraints[-1]
+            label = _constraint_label(schema, attribute, code)
+        else:
+            label = "ALL"
+        if node.is_leaf and node.partition is not None:
+            lines.append(f"{indent * depth}{label} (n={node.partition.size})")
+        else:
+            suffix = f"  [split on {node.split_attribute}]" if node.split_attribute else ""
+            lines.append(f"{indent * depth}{label}{suffix}")
+        for child in sorted(node.children, key=lambda c: c.constraints):
+            visit(child, depth + 1)
+
+    visit(tree, 0)
+    return "\n".join(lines)

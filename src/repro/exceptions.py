@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause,
+while still being able to distinguish configuration mistakes from search
+budget exhaustion.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """An attribute or schema definition is invalid or inconsistent."""
+
+
+class PopulationError(ReproError):
+    """A population is malformed (wrong columns, bad dtypes, out-of-domain values)."""
+
+
+class ScoringError(ReproError):
+    """A scoring function is mis-configured or produced out-of-range scores."""
+
+
+class PartitioningError(ReproError):
+    """A partitioning violates the full-disjoint constraints or is degenerate."""
+
+
+class MetricError(ReproError):
+    """A histogram distance was asked to compare incompatible histograms."""
+
+
+class BudgetExceededError(ReproError):
+    """An exhaustive search exceeded its configured evaluation budget.
+
+    The paper reports that brute-force enumeration "failed to terminate after
+    running for two days"; this error is our bounded-compute equivalent.
+    """
+
+    def __init__(self, budget: int, message: str | None = None) -> None:
+        self.budget = budget
+        super().__init__(
+            message
+            or f"exhaustive search exceeded its budget of {budget} partitioning evaluations"
+        )

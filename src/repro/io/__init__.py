@@ -1,0 +1,23 @@
+"""Persistence: populations to/from CSV, experiment results to JSON."""
+
+from repro.io.serialization import (
+    audit_report_to_dict,
+    load_experiment_rows,
+    load_population,
+    save_audit_report,
+    save_experiment_result,
+    save_population,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+__all__ = [
+    "save_population",
+    "load_population",
+    "schema_to_dict",
+    "schema_from_dict",
+    "save_experiment_result",
+    "load_experiment_rows",
+    "audit_report_to_dict",
+    "save_audit_report",
+]

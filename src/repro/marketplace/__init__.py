@@ -1,0 +1,50 @@
+"""The online-job-marketplace substrate: scoring, tasks, rankings, exposure
+metrics and an end-to-end platform simulation."""
+
+from repro.marketplace.assignment import Assignment, AssignmentPlan, assign_tasks
+from repro.marketplace.biased import (
+    AttributeCondition,
+    RuleBasedScoringFunction,
+    ScoreRule,
+    paper_biased_functions,
+)
+from repro.marketplace.exposure import (
+    exposure_disparity,
+    group_exposure,
+    position_exposure,
+    top_k_representation,
+)
+from repro.marketplace.platform import HiringRecord, Marketplace
+from repro.marketplace.ranking import Ranking, rank_workers
+from repro.marketplace.scoring import (
+    PAPER_ALPHAS,
+    LinearScoringFunction,
+    ScoringFunction,
+    paper_functions,
+)
+from repro.marketplace.tasks import Task, eligible_workers, task_from_weights
+
+__all__ = [
+    "ScoringFunction",
+    "LinearScoringFunction",
+    "PAPER_ALPHAS",
+    "paper_functions",
+    "RuleBasedScoringFunction",
+    "ScoreRule",
+    "AttributeCondition",
+    "paper_biased_functions",
+    "Task",
+    "task_from_weights",
+    "eligible_workers",
+    "Ranking",
+    "rank_workers",
+    "position_exposure",
+    "group_exposure",
+    "exposure_disparity",
+    "top_k_representation",
+    "Marketplace",
+    "HiringRecord",
+    "Assignment",
+    "AssignmentPlan",
+    "assign_tasks",
+]

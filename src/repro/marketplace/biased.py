@@ -1,0 +1,237 @@
+"""Biased-by-design scoring functions (the paper's qualitative study, f6..f9).
+
+These functions ignore the observed skill attributes entirely and assign
+score *ranges* keyed on protected attributes — the ground-truth unfair
+functions the paper uses to check that the algorithms recover the planted
+bias.  Scores are drawn uniformly at random within the matched range
+("the function scores were generated at random within the specified range"),
+deterministically from a configurable seed.
+
+The concrete paper functions, built by :func:`paper_biased_functions`:
+
+* **f6** — gender bias: f6(w) > 0.8 for males, f6(w) < 0.2 for females.
+* **f7** — gender x country bias: male Americans high, female Americans low,
+  Indians (either gender) mid, other-country females high, other-country
+  males low.
+* **f8** — specified only for females (American high, Indian mid, other
+  low); the paper leaves males unspecified.  We assign unmatched workers the
+  same low band [0, 0.2) as other-nationality females, which reproduces the
+  paper's Table 3 value almost exactly (balanced: 0.459 measured vs 0.460
+  reported) — drawing males uniformly from [0, 1] instead yields ~0.31
+  (documented substitution, DESIGN.md §2.7).
+* **f9** — the paper only says it "correlates with protected attributes
+  ethnicity, language and year of birth similarly to previous ones"; we
+  instantiate a concrete rule set in that spirit (high scores for older
+  English-speaking White workers, low for the youngest cohort, graded bands
+  in between — documented substitution, DESIGN.md §2.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.attributes import CategoricalAttribute, IntegerAttribute
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+from repro.marketplace.scoring import ScoringFunction
+
+__all__ = [
+    "AttributeCondition",
+    "ScoreRule",
+    "RuleBasedScoringFunction",
+    "paper_biased_functions",
+]
+
+
+@dataclass(frozen=True)
+class AttributeCondition:
+    """A test on one protected attribute.
+
+    For categorical attributes pass ``labels`` (the set of matching values);
+    for integer attributes pass ``value_range`` = (low, high), inclusive on
+    both ends over the *raw* values.
+    """
+
+    attribute: str
+    labels: frozenset[str] | None = None
+    value_range: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.labels is None) == (self.value_range is None):
+            raise ScoringError(
+                f"condition on {self.attribute!r}: provide exactly one of "
+                "labels / value_range"
+            )
+
+    def mask(self, population: Population) -> np.ndarray:
+        """Boolean mask of the workers satisfying this condition."""
+        attr = population.schema.protected_attribute(self.attribute)
+        column = population.protected_column(self.attribute)
+        if self.labels is not None:
+            if not isinstance(attr, CategoricalAttribute):
+                raise ScoringError(
+                    f"condition on {self.attribute!r}: labels require a "
+                    "categorical attribute"
+                )
+            codes = attr.encode(sorted(self.labels))
+            return np.isin(column, codes)
+        assert self.value_range is not None
+        if not isinstance(attr, IntegerAttribute):
+            raise ScoringError(
+                f"condition on {self.attribute!r}: value_range requires an "
+                "integer attribute"
+            )
+        low, high = self.value_range
+        return (column >= low) & (column <= high)
+
+    def describe(self) -> str:
+        if self.labels is not None:
+            return f"{self.attribute}∈{{{', '.join(sorted(self.labels))}}}"
+        assert self.value_range is not None
+        return f"{self.attribute}∈[{self.value_range[0]}, {self.value_range[1]}]"
+
+
+@dataclass(frozen=True)
+class ScoreRule:
+    """If every condition matches (logical AND), draw the score uniformly
+    from ``score_range``.  An empty condition tuple matches everyone."""
+
+    conditions: tuple[AttributeCondition, ...]
+    score_range: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        low, high = self.score_range
+        if not (0.0 <= low < high <= 1.0):
+            raise ScoringError(
+                f"score range must satisfy 0 <= low < high <= 1, got ({low}, {high})"
+            )
+
+    def mask(self, population: Population) -> np.ndarray:
+        mask = np.ones(population.size, dtype=bool)
+        for condition in self.conditions:
+            mask &= condition.mask(population)
+        return mask
+
+    def describe(self) -> str:
+        condition_str = " ∧ ".join(c.describe() for c in self.conditions) or "ALWAYS"
+        low, high = self.score_range
+        return f"{condition_str} -> U({low}, {high})"
+
+
+class RuleBasedScoringFunction(ScoringFunction):
+    """First-match rule list assigning score ranges on protected attributes.
+
+    Parameters
+    ----------
+    name:
+        Display name, e.g. ``"f6"``.
+    rules:
+        Tried in order; the first matching rule supplies the worker's range.
+    default_range:
+        Range for workers no rule matches.
+    seed:
+        Seed of the uniform draws; the same function object scores the same
+        population identically on every call.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rules: "list[ScoreRule] | tuple[ScoreRule, ...]",
+        default_range: tuple[float, float] = (0.0, 1.0),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name)
+        if not rules:
+            raise ScoringError(f"rule-based function {name!r} needs at least one rule")
+        self.rules = tuple(rules)
+        self.default_rule = ScoreRule((), default_range)
+        self.seed = seed
+
+    def scores(self, population: Population) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        uniform = rng.random(population.size)
+        low = np.full(population.size, self.default_rule.score_range[0])
+        high = np.full(population.size, self.default_rule.score_range[1])
+        unmatched = np.ones(population.size, dtype=bool)
+        for rule in self.rules:
+            mask = rule.mask(population) & unmatched
+            low[mask], high[mask] = rule.score_range
+            unmatched &= ~mask
+        return low + uniform * (high - low)
+
+    def describe(self) -> str:
+        """Human-readable rule list for reports."""
+        lines = [f"{self.name}:"]
+        lines += [f"  {rule.describe()}" for rule in self.rules]
+        lines.append(f"  otherwise -> U{self.default_rule.score_range}")
+        return "\n".join(lines)
+
+
+def _cat(attribute: str, *labels: str) -> AttributeCondition:
+    return AttributeCondition(attribute, labels=frozenset(labels))
+
+
+def _rng(attribute: str, low: int, high: int) -> AttributeCondition:
+    return AttributeCondition(attribute, value_range=(low, high))
+
+
+def paper_biased_functions(seed: int = 7) -> dict[str, RuleBasedScoringFunction]:
+    """The four biased functions of the paper's qualitative study.
+
+    Attribute names follow :func:`repro.simulation.config.paper_schema`:
+    ``gender`` (Male/Female), ``country`` (America/India/Other), ``ethnicity``
+    (White/African-American/Indian/Other), ``language``
+    (English/Indian/Other), ``year_of_birth`` in [1950, 2009].
+    """
+    f6 = RuleBasedScoringFunction(
+        "f6",
+        [
+            ScoreRule((_cat("gender", "Male"),), (0.8, 1.0)),
+            ScoreRule((_cat("gender", "Female"),), (0.0, 0.2)),
+        ],
+        seed=seed,
+    )
+    f7 = RuleBasedScoringFunction(
+        "f7",
+        [
+            ScoreRule((_cat("country", "India"),), (0.5, 0.7)),
+            ScoreRule((_cat("gender", "Male"), _cat("country", "America")), (0.8, 1.0)),
+            ScoreRule((_cat("gender", "Female"), _cat("country", "America")), (0.0, 0.2)),
+            ScoreRule((_cat("gender", "Female"), _cat("country", "Other")), (0.8, 1.0)),
+            ScoreRule((_cat("gender", "Male"), _cat("country", "Other")), (0.0, 0.2)),
+        ],
+        seed=seed + 1,
+    )
+    f8 = RuleBasedScoringFunction(
+        "f8",
+        [
+            ScoreRule((_cat("gender", "Female"), _cat("country", "America")), (0.8, 1.0)),
+            ScoreRule((_cat("gender", "Female"), _cat("country", "India")), (0.5, 0.8)),
+            ScoreRule((_cat("gender", "Female"), _cat("country", "Other")), (0.0, 0.2)),
+        ],
+        default_range=(0.0, 0.2),  # males unspecified by the paper; see module docstring
+        seed=seed + 2,
+    )
+    f9 = RuleBasedScoringFunction(
+        "f9",
+        [
+            ScoreRule(
+                (
+                    _cat("ethnicity", "White"),
+                    _cat("language", "English"),
+                    _rng("year_of_birth", 1950, 1979),
+                ),
+                (0.8, 1.0),
+            ),
+            ScoreRule((_cat("ethnicity", "White"),), (0.6, 0.9)),
+            ScoreRule((_cat("ethnicity", "Indian"), _cat("language", "Indian")), (0.45, 0.7)),
+            ScoreRule((_rng("year_of_birth", 1990, 2009),), (0.0, 0.3)),
+            ScoreRule((_cat("language", "Other"),), (0.2, 0.5)),
+        ],
+        default_range=(0.3, 0.6),
+        seed=seed + 3,
+    )
+    return {"f6": f6, "f7": f7, "f8": f8, "f9": f9}

@@ -1,0 +1,97 @@
+"""Exposure metrics over rankings.
+
+The paper positions its histogram-distance view of unfairness against
+exposure-based work (Singh & Joachims, "Fairness of Exposure in Rankings",
+reference [8]).  This module implements the standard position-bias exposure
+model so the two views can be compared on the same simulated rankings:
+
+* a worker at rank ``r`` (0-based) receives exposure ``1 / log2(r + 2)``
+  (the DCG discount);
+* a group's exposure is the mean exposure of its members;
+* disparity is the ratio of the min and max group exposures (1 = parity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.attributes import CategoricalAttribute
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+from repro.marketplace.ranking import Ranking
+
+__all__ = [
+    "position_exposure",
+    "group_exposure",
+    "exposure_disparity",
+    "top_k_representation",
+]
+
+
+def position_exposure(n: int) -> np.ndarray:
+    """Exposure of each rank position 0..n-1 under the DCG discount."""
+    if n < 0:
+        raise ScoringError(f"ranking length must be non-negative, got {n}")
+    return 1.0 / np.log2(np.arange(n, dtype=np.float64) + 2.0)
+
+
+def group_exposure(
+    ranking: Ranking, population: Population, attribute: str
+) -> dict[str, float]:
+    """Mean exposure per value of one protected attribute.
+
+    Integer attributes are grouped by their partition buckets.
+    """
+    attr = population.schema.protected_attribute(attribute)
+    codes = population.partition_codes(attribute)
+    # Workers outside the ranking (filtered out by task requirements)
+    # receive zero exposure: they were never shown.
+    exposures = np.zeros(population.size, dtype=np.float64)
+    exposures[ranking.order] = position_exposure(ranking.size)
+    out: dict[str, float] = {}
+    for code in np.unique(codes):
+        label = (
+            attr.code_label(int(code))
+            if isinstance(attr, CategoricalAttribute)
+            else f"[{attr.code_label(int(code))}]"
+        )
+        out[label] = float(exposures[codes == code].mean())
+    return out
+
+
+def exposure_disparity(
+    ranking: Ranking, population: Population, attribute: str
+) -> float:
+    """Min/max ratio of group exposures for one attribute (1.0 = parity)."""
+    exposures = group_exposure(ranking, population, attribute)
+    values = list(exposures.values())
+    top = max(values)
+    if top == 0.0:
+        return 1.0
+    return min(values) / top
+
+
+def top_k_representation(
+    ranking: Ranking, population: Population, attribute: str, k: int
+) -> dict[str, float]:
+    """Share of the top-k ranks held by each group vs its population share.
+
+    Returns, per group label, the ratio (share of top-k) / (share of
+    population); 1.0 means proportional representation, 0.0 means shut out.
+    """
+    if k < 1:
+        raise ScoringError(f"k must be >= 1, got {k}")
+    attr = population.schema.protected_attribute(attribute)
+    codes = population.partition_codes(attribute)
+    top_codes = codes[ranking.top_k(k)]
+    out: dict[str, float] = {}
+    for code in np.unique(codes):
+        label = (
+            attr.code_label(int(code))
+            if isinstance(attr, CategoricalAttribute)
+            else f"[{attr.code_label(int(code))}]"
+        )
+        population_share = float((codes == code).mean())
+        top_share = float((top_codes == code).mean()) if k else 0.0
+        out[label] = top_share / population_share if population_share else 0.0
+    return out

@@ -1,0 +1,120 @@
+"""End-to-end marketplace simulation.
+
+A :class:`Marketplace` wires the pieces together the way the paper's
+introduction describes the real platforms (TaskRabbit, Fiverr, Qapa,
+MisterTemp'): requesters post tasks, the platform ranks the active workers
+with the requester's scoring function, and the top-ranked workers get hired.
+Running a stream of tasks yields hiring statistics per demographic group —
+the observable consequence of an unfair scoring function, and the realistic
+scenario the example applications audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.attributes import CategoricalAttribute
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+from repro.marketplace.ranking import Ranking, rank_workers
+from repro.marketplace.tasks import Task
+
+__all__ = ["HiringRecord", "Marketplace"]
+
+
+@dataclass(frozen=True)
+class HiringRecord:
+    """Outcome of one posted task: its ranking and the hired workers."""
+
+    task: Task
+    ranking: Ranking
+    hired: np.ndarray
+
+    @property
+    def n_hired(self) -> int:
+        return int(self.hired.shape[0])
+
+
+@dataclass
+class Marketplace:
+    """An online job marketplace over a fixed set of active workers.
+
+    Parameters
+    ----------
+    population:
+        The active workers (the paper simulates 500 and 7300 of them).
+    """
+
+    population: Population
+    history: list[HiringRecord] = field(default_factory=list)
+
+    def post_task(self, task: Task) -> HiringRecord:
+        """Rank the eligible workers for a task, hire the top ``task.positions``.
+
+        Workers failing the task's hard requirements are filtered before
+        ranking.  The record is appended to :attr:`history` and returned.
+        """
+        from repro.marketplace.tasks import eligible_workers
+
+        eligible = eligible_workers(self.population, task)
+        pool = int(eligible.sum())
+        if task.positions > pool:
+            raise ScoringError(
+                f"task {task.task_id!r} wants {task.positions} hires, but only "
+                f"{pool} of {self.population.size} workers meet its requirements"
+            )
+        ranking = rank_workers(self.population, task.scoring, eligible=eligible)
+        hired = ranking.top_k(task.positions)
+        record = HiringRecord(task=task, ranking=ranking, hired=hired)
+        self.history.append(record)
+        return record
+
+    def run(self, tasks: "list[Task] | tuple[Task, ...]") -> list[HiringRecord]:
+        """Post a stream of tasks; returns their records in order."""
+        return [self.post_task(task) for task in tasks]
+
+    # ------------------------------------------------------------- statistics
+
+    def total_hires(self) -> np.ndarray:
+        """Number of times each worker was hired across all history."""
+        counts = np.zeros(self.population.size, dtype=np.int64)
+        for record in self.history:
+            counts[record.hired] += 1
+        return counts
+
+    def hire_share_by_group(self, attribute: str) -> dict[str, float]:
+        """Fraction of all hires going to each value of a protected attribute.
+
+        An unbiased platform over random workers gives each group a share
+        close to its population share; a biased scoring function visibly
+        skews these numbers — the demand-side symptom the audit explains.
+        """
+        hires = self.total_hires()
+        total = hires.sum()
+        attr = self.population.schema.protected_attribute(attribute)
+        codes = self.population.partition_codes(attribute)
+        out: dict[str, float] = {}
+        for code in np.unique(codes):
+            label = (
+                attr.code_label(int(code))
+                if isinstance(attr, CategoricalAttribute)
+                else f"[{attr.code_label(int(code))}]"
+            )
+            out[label] = float(hires[codes == code].sum() / total) if total else 0.0
+        return out
+
+    def population_share(self, attribute: str) -> dict[str, float]:
+        """Each group's share of the worker population (parity reference)."""
+        attr = self.population.schema.protected_attribute(attribute)
+        codes = self.population.partition_codes(attribute)
+        out: dict[str, float] = {}
+        for code in np.unique(codes):
+            label = (
+                attr.code_label(int(code))
+                if isinstance(attr, CategoricalAttribute)
+                else f"[{attr.code_label(int(code))}]"
+            )
+            out[label] = float((codes == code).mean())
+        return out

@@ -1,0 +1,100 @@
+"""Ranked result lists.
+
+When a requester posts a task, the platform scores every worker and shows a
+ranked list — the object whose fairness this whole library audits.  Ranking
+is by score descending with deterministic tie-breaking on worker index, so
+identical inputs always produce identical rankings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+from repro.marketplace.scoring import ScoringFunction
+
+__all__ = ["Ranking", "rank_workers"]
+
+
+@dataclass(frozen=True)
+class Ranking:
+    """An ordered list of workers with their scores.
+
+    ``order[r]`` is the worker index shown at rank ``r`` (0 = top);
+    ``scores[w]`` is worker ``w``'s score (indexed by worker, not rank).
+    ``order`` may rank only a subset of the workers (tasks with hard
+    requirements rank the eligible pool only), so it can be shorter than
+    ``scores`` — but never reference a worker outside it.
+    """
+
+    order: np.ndarray
+    scores: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.order.ndim != 1 or self.scores.ndim != 1:
+            raise ScoringError("ranking order and scores must be one-dimensional")
+        if self.order.shape[0] > self.scores.shape[0]:
+            raise ScoringError(
+                f"ranking lists {self.order.shape[0]} workers but only "
+                f"{self.scores.shape[0]} scores exist"
+            )
+        if self.order.size and (
+            self.order.min() < 0 or self.order.max() >= self.scores.shape[0]
+        ):
+            raise ScoringError("ranking order references workers without scores")
+
+    @property
+    def size(self) -> int:
+        """Number of ranked workers."""
+        return int(self.order.shape[0])
+
+    def __len__(self) -> int:
+        return self.size
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Worker indices at the first ``k`` ranks."""
+        if k < 0:
+            raise ScoringError(f"k must be non-negative, got {k}")
+        return self.order[:k]
+
+    def rank_of(self, worker: int) -> int:
+        """0-based rank at which a worker appears."""
+        positions = np.nonzero(self.order == worker)[0]
+        if positions.size == 0:
+            raise ScoringError(f"worker {worker} is not in this ranking")
+        return int(positions[0])
+
+    def scores_by_rank(self) -> np.ndarray:
+        """Scores in rank order (non-increasing)."""
+        return self.scores[self.order]
+
+
+def rank_workers(
+    population: Population,
+    scoring: ScoringFunction,
+    eligible: np.ndarray | None = None,
+) -> Ranking:
+    """Score every worker and rank the eligible ones for display.
+
+    Sort is descending by score; ties break on worker index (ascending) so
+    rankings are reproducible.  ``eligible`` is an optional boolean mask —
+    ineligible workers keep their scores but do not appear in the ranking
+    (that is how task requirements work on real platforms).
+    """
+    scores = scoring(population)
+    if eligible is None:
+        candidates = np.arange(population.size, dtype=np.int64)
+    else:
+        eligible = np.asarray(eligible, dtype=bool)
+        if eligible.shape != (population.size,):
+            raise ScoringError(
+                f"eligibility mask has shape {eligible.shape}, expected "
+                f"({population.size},)"
+            )
+        candidates = np.nonzero(eligible)[0].astype(np.int64)
+    # lexsort: last key is primary. Negate scores for descending order.
+    order = candidates[np.lexsort((candidates, -scores[candidates]))]
+    return Ranking(order=order, scores=scores)

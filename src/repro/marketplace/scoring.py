@@ -1,0 +1,126 @@
+"""Task-qualification scoring functions.
+
+The paper scores workers with linear combinations of their observed (skill)
+attributes:
+
+    f(w) = sum_i alpha_i * b_i,   f : W -> [0, 1]
+
+where each ``b_i`` is an observed attribute (min-max normalised to [0, 1] so
+a convex combination stays in range) and ``alpha_i`` is a requester-chosen
+weight — a weight of zero means the attribute is irrelevant to the requester.
+
+:func:`paper_functions` builds the five simulation functions f1..f5 of the
+evaluation section: ``f = alpha*b1 + (1-alpha)*b2`` with b1 = LanguageTest,
+b2 = ApprovalRate, and alpha in {0, 0.3, 0.5, 0.7, 1}.  The paper states
+that f4 uses only LanguageTest and f5 only ApprovalRate, pinning f4 <-> 1 and
+f5 <-> 0; we assign the remaining weights as f1=0.5, f2=0.3, f3=0.7 (see
+DESIGN.md §5 — the three mixtures behave nearly identically).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+
+__all__ = [
+    "ScoringFunction",
+    "LinearScoringFunction",
+    "paper_functions",
+    "PAPER_ALPHAS",
+]
+
+#: alpha used for each paper simulation function (f = alpha*b1 + (1-alpha)*b2).
+PAPER_ALPHAS: dict[str, float] = {
+    "f1": 0.5,
+    "f2": 0.3,
+    "f3": 0.7,
+    "f4": 1.0,
+    "f5": 0.0,
+}
+
+
+class ScoringFunction(abc.ABC):
+    """A task-qualification function mapping workers to scores in [0, 1]."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ScoringError("scoring function name must be non-empty")
+        self.name = name
+
+    @abc.abstractmethod
+    def scores(self, population: Population) -> np.ndarray:
+        """Score every worker; the result lies in [0, 1]."""
+
+    def __call__(self, population: Population) -> np.ndarray:
+        scores = np.asarray(self.scores(population), dtype=np.float64)
+        if scores.shape != (population.size,):
+            raise ScoringError(
+                f"scoring function {self.name!r} returned shape {scores.shape}, "
+                f"expected ({population.size},)"
+            )
+        if scores.size and (
+            not np.all(np.isfinite(scores)) or scores.min() < 0.0 or scores.max() > 1.0
+        ):
+            raise ScoringError(
+                f"scoring function {self.name!r} produced scores outside [0, 1]"
+            )
+        return scores
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class LinearScoringFunction(ScoringFunction):
+    """The paper's scoring form: a convex combination of observed attributes.
+
+    Parameters
+    ----------
+    name:
+        Display name, e.g. ``"f1"``.
+    weights:
+        Mapping from observed attribute name to its weight alpha_i.
+        Weights must be non-negative; attributes omitted get weight zero
+        ("not relevant for the user in ranking the individuals").  Weights
+        must sum to at most 1 so scores stay in [0, 1]; the common case is
+        exactly 1.
+    """
+
+    def __init__(self, name: str, weights: dict[str, float]) -> None:
+        super().__init__(name)
+        if not weights:
+            raise ScoringError(f"scoring function {name!r} needs at least one weight")
+        total = 0.0
+        for attr, weight in weights.items():
+            if weight < 0:
+                raise ScoringError(
+                    f"scoring function {name!r}: weight of {attr!r} is negative"
+                )
+            total += weight
+        if total > 1.0 + 1e-9:
+            raise ScoringError(
+                f"scoring function {name!r}: weights sum to {total}, must be <= 1 "
+                "to keep scores in [0, 1]"
+            )
+        self.weights = dict(weights)
+
+    def scores(self, population: Population) -> np.ndarray:
+        out = np.zeros(population.size, dtype=np.float64)
+        for attr, weight in self.weights.items():
+            if weight == 0.0:
+                continue
+            out += weight * population.observed_normalized(attr)
+        return out
+
+
+def paper_functions(
+    b1: str = "language_test", b2: str = "approval_rate"
+) -> dict[str, LinearScoringFunction]:
+    """The five simulation scoring functions f1..f5 of the evaluation section."""
+    return {
+        name: LinearScoringFunction(name, {b1: alpha, b2: 1.0 - alpha})
+        for name, alpha in PAPER_ALPHAS.items()
+    }

@@ -1,0 +1,91 @@
+"""Tasks (jobs) posted on the marketplace.
+
+The paper's setting: "A person who needs to hire someone for a job can
+formulate a query and is shown a ranked list of people."  A :class:`Task` is
+that query — a job description plus the requester's scoring function (the
+weights over observed skill attributes the requester cares about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+from repro.marketplace.scoring import LinearScoringFunction, ScoringFunction
+
+__all__ = ["Task", "task_from_weights", "eligible_workers"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A job posted by a requester.
+
+    Attributes
+    ----------
+    task_id:
+        Unique identifier on the platform.
+    title:
+        Short human-readable description, e.g. "help with HTML/CSS/JQuery".
+    scoring:
+        The function used to rank workers for this task.
+    positions:
+        How many workers the requester intends to hire (top-k of the ranking).
+    tags:
+        Free-form labels (skills, categories) used for browsing.
+    requirements:
+        Hard filters applied *before* ranking: mapping from observed
+        attribute name to the minimum raw value a worker must have to be
+        eligible (e.g. ``{"approval_rate": 90.0}``).  Real platforms let
+        requesters filter this way, and the filter itself can be a bias
+        channel — audits should run on the eligible pool the ranking
+        actually sees.
+    """
+
+    task_id: str
+    title: str
+    scoring: ScoringFunction
+    positions: int = 1
+    tags: tuple[str, ...] = field(default=())
+    requirements: "dict[str, float]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ScoringError("task_id must be non-empty")
+        if self.positions < 1:
+            raise ScoringError(f"task {self.task_id!r}: positions must be >= 1")
+
+
+def task_from_weights(
+    task_id: str,
+    title: str,
+    weights: dict[str, float],
+    positions: int = 1,
+    tags: tuple[str, ...] = (),
+    requirements: "dict[str, float] | None" = None,
+) -> Task:
+    """Build a task whose ranking uses a linear scoring function.
+
+    This mirrors how a requester configures a query: one weight per skill
+    attribute, zero meaning "not relevant for me", plus optional minimum
+    skill requirements that filter the eligible pool before ranking.
+    """
+    scoring = LinearScoringFunction(f"task:{task_id}", weights)
+    return Task(
+        task_id=task_id,
+        title=title,
+        scoring=scoring,
+        positions=positions,
+        tags=tags,
+        requirements=dict(requirements or {}),
+    )
+
+
+def eligible_workers(population: Population, task: Task) -> np.ndarray:
+    """Boolean mask of the workers meeting a task's hard requirements."""
+    mask = np.ones(population.size, dtype=bool)
+    for attribute, minimum in task.requirements.items():
+        mask &= population.observed_column(attribute) >= minimum
+    return mask

@@ -1,0 +1,49 @@
+"""Histogram distances: the paper's EMD plus the future-work alternatives.
+
+Importing this package registers all metrics; resolve one with
+:func:`repro.metrics.base.get_metric`.
+"""
+
+from repro.metrics.base import (
+    HistogramDistance,
+    available_metrics,
+    get_metric,
+    register_metric,
+)
+from repro.metrics.divergences import (
+    HellingerDistance,
+    JensenShannonDistance,
+    KolmogorovSmirnovDistance,
+    TotalVariationDistance,
+)
+from repro.metrics.emd import (
+    EMDDistance,
+    average_pairwise_emd,
+    emd,
+    pairwise_emd_matrix,
+    sum_pairwise_abs_differences,
+)
+from repro.metrics.transport import (
+    ThresholdedEMDDistance,
+    ground_distance_matrix,
+    transport_emd,
+)
+
+__all__ = [
+    "HistogramDistance",
+    "available_metrics",
+    "get_metric",
+    "register_metric",
+    "EMDDistance",
+    "emd",
+    "pairwise_emd_matrix",
+    "average_pairwise_emd",
+    "sum_pairwise_abs_differences",
+    "KolmogorovSmirnovDistance",
+    "TotalVariationDistance",
+    "JensenShannonDistance",
+    "HellingerDistance",
+    "ThresholdedEMDDistance",
+    "transport_emd",
+    "ground_distance_matrix",
+]

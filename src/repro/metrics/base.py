@@ -1,0 +1,147 @@
+"""Histogram-distance interface and registry.
+
+The paper's unfairness measure is the average pairwise Earth Mover's Distance
+between partition score histograms, but its future-work section explicitly
+mentions "investigating other formulations and metrics for fairness instead
+of the Earth Mover's Distance".  All algorithms in this library therefore
+take a pluggable :class:`HistogramDistance`; :mod:`repro.metrics.divergences`
+provides the standard alternatives.
+
+Distances operate on *normalised* histograms (probability mass vectors) that
+share a common :class:`repro.core.histogram.HistogramSpec`.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+
+import numpy as np
+
+from repro.core.histogram import HistogramSpec
+from repro.exceptions import MetricError
+
+__all__ = [
+    "HistogramDistance",
+    "available_metrics",
+    "get_metric",
+    "register_metric",
+]
+
+
+class HistogramDistance(abc.ABC):
+    """A distance between two normalised score histograms.
+
+    Subclasses implement :meth:`distance`; the aggregate helpers
+    (:meth:`average_pairwise`, :meth:`average_cross`) have generic O(k²)
+    implementations that concrete metrics may override with faster
+    closed forms (EMD does).
+    """
+
+    #: Registry key; subclasses must set this.
+    name: str = ""
+
+    @abc.abstractmethod
+    def distance(self, p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+        """Distance between two probability-mass histograms under ``spec``."""
+
+    def __call__(self, p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+        p = _check_pmf(p, spec)
+        q = _check_pmf(q, spec)
+        return self.distance(p, q, spec)
+
+    def average_pairwise(
+        self,
+        pmfs: np.ndarray,
+        spec: HistogramSpec,
+        weights: np.ndarray | None = None,
+    ) -> float:
+        """(Weighted) average of ``distance`` over all unordered pairs of rows.
+
+        This is the paper's ``averageEMD`` over a set of partitions.  Returns
+        0.0 for fewer than two histograms (a partitioning with a single
+        partition exhibits no unfairness).  With ``weights`` (one per
+        histogram), pair {i, j} carries weight ``weights[i] * weights[j]`` —
+        the size-weighted objective variant (DESIGN.md; the paper's
+        Definition 2 is the unweighted case).
+        """
+        pmfs = np.atleast_2d(np.asarray(pmfs, dtype=np.float64))
+        k = pmfs.shape[0]
+        if k < 2:
+            return 0.0
+        if weights is None:
+            total = 0.0
+            for i, j in itertools.combinations(range(k), 2):
+                total += self.distance(pmfs[i], pmfs[j], spec)
+            return total / (k * (k - 1) / 2)
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (k,):
+            raise MetricError(f"weights shape {w.shape} does not match {k} histograms")
+        if w.min() < 0:
+            raise MetricError("pair weights must be non-negative")
+        total = 0.0
+        for i, j in itertools.combinations(range(k), 2):
+            total += w[i] * w[j] * self.distance(pmfs[i], pmfs[j], spec)
+        weight_pairs = (w.sum() ** 2 - np.dot(w, w)) / 2.0
+        return total / weight_pairs if weight_pairs > 0 else 0.0
+
+    def average_cross(
+        self, left: np.ndarray, right: np.ndarray, spec: HistogramSpec
+    ) -> float:
+        """Average of ``distance`` over all pairs (row of left, row of right)."""
+        left = np.atleast_2d(np.asarray(left, dtype=np.float64))
+        right = np.atleast_2d(np.asarray(right, dtype=np.float64))
+        if left.shape[0] == 0 or right.shape[0] == 0:
+            return 0.0
+        total = 0.0
+        for i in range(left.shape[0]):
+            for j in range(right.shape[0]):
+                total += self.distance(left[i], right[j], spec)
+        return total / (left.shape[0] * right.shape[0])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _check_pmf(p: np.ndarray, spec: HistogramSpec) -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim != 1 or p.shape[0] != spec.bins:
+        raise MetricError(
+            f"histogram has shape {p.shape}, expected ({spec.bins},) for this spec"
+        )
+    if p.size and not np.all(np.isfinite(p)):
+        raise MetricError("histogram contains non-finite mass")
+    if p.min() < 0:
+        raise MetricError("histogram contains negative mass")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=1e-8):
+        raise MetricError(f"histogram mass must sum to 1, got {total}")
+    return p
+
+
+_REGISTRY: dict[str, HistogramDistance] = {}
+
+
+def register_metric(metric: HistogramDistance) -> HistogramDistance:
+    """Register a metric instance under its ``name`` for lookup by string."""
+    if not metric.name:
+        raise MetricError(f"metric {metric!r} has no name")
+    _REGISTRY[metric.name] = metric
+    return metric
+
+
+def get_metric(name: "str | HistogramDistance") -> HistogramDistance:
+    """Resolve a metric by name (or pass an instance through)."""
+    if isinstance(name, HistogramDistance):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise MetricError(
+            f"unknown metric {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_metrics() -> tuple[str, ...]:
+    """Names of all registered metrics."""
+    return tuple(sorted(_REGISTRY))

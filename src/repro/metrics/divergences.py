@@ -1,0 +1,87 @@
+"""Alternative histogram distances.
+
+The paper's future work section states: "We are also investigating other
+formulations and metrics for fairness instead of the Earth Mover's Distance."
+This module provides the standard candidates so the optimisation objective
+can be swapped without touching the algorithms:
+
+* Kolmogorov–Smirnov statistic (max CDF gap),
+* total variation distance,
+* Jensen–Shannon divergence (and its square-root metric),
+* Hellinger distance.
+
+All of them operate on normalised histograms sharing one
+:class:`~repro.core.histogram.HistogramSpec` and are registered in the metric
+registry under their ``name``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import HistogramSpec
+from repro.exceptions import MetricError
+from repro.metrics.base import HistogramDistance, register_metric
+
+__all__ = [
+    "KolmogorovSmirnovDistance",
+    "TotalVariationDistance",
+    "JensenShannonDistance",
+    "HellingerDistance",
+]
+
+
+class KolmogorovSmirnovDistance(HistogramDistance):
+    """Maximum absolute gap between the two histogram CDFs, in [0, 1]."""
+
+    name = "ks"
+
+    def distance(self, p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+        return float(np.abs(np.cumsum(p - q)).max())
+
+
+class TotalVariationDistance(HistogramDistance):
+    """Half the L1 distance between the mass vectors, in [0, 1]."""
+
+    name = "tv"
+
+    def distance(self, p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+        return float(0.5 * np.abs(p - q).sum())
+
+
+class JensenShannonDistance(HistogramDistance):
+    """Square root of the Jensen–Shannon divergence (a true metric), in [0, 1].
+
+    Uses base-2 logarithms so the underlying divergence is bounded by 1.
+    """
+
+    name = "js"
+
+    def distance(self, p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+        m = 0.5 * (p + q)
+        divergence = 0.5 * _kl(p, m) + 0.5 * _kl(q, m)
+        # Clip tiny negative values from floating-point noise before sqrt.
+        return float(np.sqrt(max(divergence, 0.0)))
+
+
+class HellingerDistance(HistogramDistance):
+    """Hellinger distance between the mass vectors, in [0, 1]."""
+
+    name = "hellinger"
+
+    def distance(self, p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+        return float(np.sqrt(0.5 * ((np.sqrt(p) - np.sqrt(q)) ** 2).sum()))
+
+
+def _kl(p: np.ndarray, q: np.ndarray) -> float:
+    """KL(p || q) in bits, with the 0·log(0) = 0 convention."""
+    mask = p > 0
+    if np.any(q[mask] == 0):
+        raise MetricError("KL divergence undefined: p has mass where q has none")
+    return float(np.sum(p[mask] * np.log2(p[mask] / q[mask])))
+
+
+register_metric(KolmogorovSmirnovDistance())
+register_metric(TotalVariationDistance())
+register_metric(JensenShannonDistance())
+register_metric(HellingerDistance())

@@ -1,0 +1,164 @@
+"""Earth Mover's Distance between one-dimensional score histograms.
+
+For histograms over the same equal-width binning, with ground distance equal
+to the distance between bin centers, the EMD has the classic closed form
+
+    EMD(p, q) = bin_width * sum_k | CDF_p(k) - CDF_q(k) |
+
+(Werman et al.; also the 1-D Wasserstein-1 distance).  Measuring the ground
+distance in *score units* (bin_width, not bin index) is what makes the
+paper's Table 3 readable: a function that scores one group above 0.8 and
+another below 0.2 produces an EMD of roughly 0.8 — exactly the value the
+paper reports for ``balanced`` on the gender-biased function f6.
+
+Two aggregate fast paths matter for the partitioning search:
+
+* :func:`pairwise_emd_matrix` — the dense k×k matrix, O(k² · bins), used for
+  reporting and small k.
+* :meth:`EMDDistance.average_pairwise` — the average over all pairs in
+  O(bins · k log k), using the fact that for each bin the sum over pairs of
+  |CDF_i - CDF_j| is a sorted-prefix-sum computation.  This keeps the
+  ``all-attributes`` baseline (hundreds to thousands of partitions) cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import HistogramSpec
+from repro.exceptions import MetricError
+from repro.metrics.base import HistogramDistance, register_metric
+
+__all__ = [
+    "EMDDistance",
+    "emd",
+    "pairwise_emd_matrix",
+    "average_pairwise_emd",
+    "sum_pairwise_abs_differences",
+]
+
+
+def emd(p: np.ndarray, q: np.ndarray, bin_width: float = 1.0) -> float:
+    """EMD between two probability-mass histograms on a shared binning.
+
+    ``bin_width`` is the ground distance between adjacent bins; pass
+    ``spec.bin_width`` to measure in score units, or 1.0 to measure in bins.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise MetricError(f"histogram shapes differ: {p.shape} vs {q.shape}")
+    delta = np.cumsum(p - q)
+    return float(bin_width * np.abs(delta).sum())
+
+
+def pairwise_emd_matrix(pmfs: np.ndarray, bin_width: float = 1.0) -> np.ndarray:
+    """Dense matrix of EMDs between all rows of a (k, bins) pmf matrix."""
+    pmfs = np.atleast_2d(np.asarray(pmfs, dtype=np.float64))
+    cdfs = np.cumsum(pmfs, axis=1)
+    k = cdfs.shape[0]
+    out = np.zeros((k, k), dtype=np.float64)
+    for i in range(k):
+        out[i, i + 1 :] = bin_width * np.abs(cdfs[i + 1 :] - cdfs[i]).sum(axis=1)
+    return out + out.T
+
+
+def sum_pairwise_abs_differences(
+    values: np.ndarray, weights: np.ndarray | None = None
+) -> float:
+    """(Weighted) sum over unordered pairs of |values[i] - values[j]|, O(n log n).
+
+    Unweighted: with ``x`` sorted ascending, sum_{i<j} (x[j] - x[i]) equals
+    sum_j x[j] * (2j - n + 1) for 0-based j.  Weighted: each pair {i, j}
+    contributes ``weights[i] * weights[j] * |x_i - x_j|``; with x sorted,
+    sum_{i<j} w_i w_j (x_j - x_i) = sum_j w_j (x_j * W_<j - S_<j) where
+    W_<j and S_<j are prefix sums of w and w*x.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    n = x.shape[0]
+    if n < 2:
+        return 0.0
+    if weights is None:
+        x = np.sort(x)
+        coeff = 2.0 * np.arange(n) - (n - 1)
+        return float(np.dot(x, coeff))
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != x.shape:
+        raise MetricError(f"weights shape {w.shape} does not match values {x.shape}")
+    order = np.argsort(x, kind="stable")
+    x, w = x[order], w[order]
+    weight_prefix = np.concatenate([[0.0], np.cumsum(w)[:-1]])
+    weighted_x_prefix = np.concatenate([[0.0], np.cumsum(w * x)[:-1]])
+    return float(np.sum(w * (x * weight_prefix - weighted_x_prefix)))
+
+
+def average_pairwise_emd(
+    pmfs: np.ndarray, bin_width: float = 1.0, weights: np.ndarray | None = None
+) -> float:
+    """(Weighted) average EMD over all unordered pairs, O(bins · k log k).
+
+    The EMD between rows i and j is bin_width * sum_k |CDF_i[k] - CDF_j[k]|,
+    so the sum over pairs decomposes per bin into a sum of pairwise absolute
+    differences of one column of the CDF matrix.
+
+    ``weights`` (one per histogram, e.g. partition sizes) makes the average
+    pair-weighted: pair {i, j} carries weight ``weights[i] * weights[j]``.
+    The unweighted case is the paper's Definition 2.
+    """
+    pmfs = np.atleast_2d(np.asarray(pmfs, dtype=np.float64))
+    k = pmfs.shape[0]
+    if k < 2:
+        return 0.0
+    cdfs = np.cumsum(pmfs, axis=1)
+    if weights is None:
+        total = sum(
+            sum_pairwise_abs_differences(cdfs[:, b]) for b in range(cdfs.shape[1])
+        )
+        n_pairs = k * (k - 1) / 2
+        return float(bin_width * total / n_pairs)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (k,):
+        raise MetricError(f"weights shape {w.shape} does not match {k} histograms")
+    if w.min() < 0:
+        raise MetricError("pair weights must be non-negative")
+    total = sum(
+        sum_pairwise_abs_differences(cdfs[:, b], w) for b in range(cdfs.shape[1])
+    )
+    weight_pairs = (w.sum() ** 2 - np.dot(w, w)) / 2.0
+    if weight_pairs <= 0:
+        return 0.0
+    return float(bin_width * total / weight_pairs)
+
+
+class EMDDistance(HistogramDistance):
+    """The paper's unfairness metric: 1-D EMD in score units."""
+
+    name = "emd"
+
+    def distance(self, p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+        return emd(p, q, spec.bin_width)
+
+    def average_pairwise(
+        self,
+        pmfs: np.ndarray,
+        spec: HistogramSpec,
+        weights: np.ndarray | None = None,
+    ) -> float:
+        return average_pairwise_emd(pmfs, spec.bin_width, weights)
+
+    def average_cross(
+        self, left: np.ndarray, right: np.ndarray, spec: HistogramSpec
+    ) -> float:
+        left = np.atleast_2d(np.asarray(left, dtype=np.float64))
+        right = np.atleast_2d(np.asarray(right, dtype=np.float64))
+        if left.shape[0] == 0 or right.shape[0] == 0:
+            return 0.0
+        lc = np.cumsum(left, axis=1)
+        rc = np.cumsum(right, axis=1)
+        # (nl, nr, bins) broadcast is fine here: cross sets are small (a node
+        # and its siblings), unlike the all-pairs case handled above.
+        diffs = np.abs(lc[:, None, :] - rc[None, :, :]).sum(axis=2)
+        return float(spec.bin_width * diffs.mean())
+
+
+register_metric(EMDDistance())

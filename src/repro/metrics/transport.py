@@ -1,0 +1,128 @@
+"""General EMD via the transportation linear program, and thresholded EMD.
+
+The paper cites Pele & Werman, *Fast and robust earth mover's distances*
+(ICCV 2009, reference [7]) as its EMD.  On one-dimensional equal-width
+histograms the EMD has the closed form implemented in
+:mod:`repro.metrics.emd`; this module supplies the general machinery that
+reference actually describes:
+
+* :func:`transport_emd` — EMD between two histograms under an *arbitrary*
+  ground-distance matrix, solved exactly as a transportation LP
+  (``scipy.optimize.linprog``, HiGHS).  Histogram sizes here are tiny
+  (tens of bins), so the LP is instantaneous.
+* :class:`ThresholdedEMDDistance` — Pele & Werman's robust EMD with ground
+  distance ``min(d, threshold)``: moving mass further than the threshold
+  costs no more than the threshold, which caps the influence of extreme
+  outlier bins.  Registered as ``"emd-t"``.
+
+Both are validated against the closed form in tests (with the plain
+``|i - j| * bin_width`` ground distance they must agree exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.histogram import HistogramSpec
+from repro.exceptions import MetricError
+from repro.metrics.base import HistogramDistance, register_metric
+
+__all__ = [
+    "ground_distance_matrix",
+    "transport_emd",
+    "ThresholdedEMDDistance",
+]
+
+
+def ground_distance_matrix(
+    spec: HistogramSpec, threshold: float | None = None
+) -> np.ndarray:
+    """Pairwise bin-center distances, optionally clamped at ``threshold``.
+
+    Entry (i, j) is ``|center_i - center_j|`` in score units — the cost of
+    moving one unit of probability mass from bin i to bin j.
+    """
+    centers = spec.centers
+    distances = np.abs(centers[:, None] - centers[None, :])
+    if threshold is not None:
+        if threshold <= 0:
+            raise MetricError(f"threshold must be positive, got {threshold}")
+        distances = np.minimum(distances, threshold)
+    return distances
+
+
+def transport_emd(p: np.ndarray, q: np.ndarray, distances: np.ndarray) -> float:
+    """Exact EMD between two equal-mass histograms for any ground distance.
+
+    Solves  min <F, D>  s.t.  F 1 = p,  F^T 1 = q,  F >= 0  (the classic
+    transportation problem).  ``p`` and ``q`` must carry the same total
+    mass (normalised histograms do).
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    distances = np.asarray(distances, dtype=np.float64)
+    n = p.shape[0]
+    if q.shape != (n,) or distances.shape != (n, n):
+        raise MetricError(
+            f"inconsistent shapes: p={p.shape}, q={q.shape}, D={distances.shape}"
+        )
+    if not np.isclose(p.sum(), q.sum(), atol=1e-8):
+        raise MetricError(
+            f"EMD needs equal total mass, got {p.sum()} vs {q.sum()}"
+        )
+    if np.any(distances < 0):
+        raise MetricError("ground distances must be non-negative")
+
+    # Rescale q so total masses match to machine precision — a float-epsilon
+    # mismatch otherwise makes the equality system strictly infeasible.
+    if q.sum() > 0:
+        q = q * (p.sum() / q.sum())
+
+    # Flatten the flow matrix row-major: F[i, j] = x[i * n + j].
+    cost = distances.reshape(-1)
+    # Row sums equal p (n constraints), column sums equal q.  The last
+    # column constraint is implied by the others (masses match), so drop it
+    # to keep the system non-degenerate.
+    row_constraints = np.zeros((n, n * n))
+    col_constraints = np.zeros((n, n * n))
+    for i in range(n):
+        row_constraints[i, i * n : (i + 1) * n] = 1.0
+        col_constraints[i, i::n] = 1.0
+    a_eq = np.vstack([row_constraints, col_constraints[:-1]])
+    b_eq = np.concatenate([p, q[:-1]])
+
+    result = linprog(cost, A_eq=a_eq, b_eq=b_eq, method="highs")
+    if not result.success:  # pragma: no cover - HiGHS solves feasible LPs
+        raise MetricError(f"transport LP failed: {result.message}")
+    return float(result.fun)
+
+
+class ThresholdedEMDDistance(HistogramDistance):
+    """Pele & Werman's robust EMD: ground distance clamped at a threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Maximum per-unit moving cost in score units.  With a threshold at
+        or above the score range this equals the plain EMD; small
+        thresholds make the metric insensitive to *how far* beyond the
+        threshold mass has moved (robustness to outliers).
+    """
+
+    name = "emd-t"
+
+    def __init__(self, threshold: float = 0.3) -> None:
+        if threshold <= 0:
+            raise MetricError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+
+    def distance(self, p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+        distances = ground_distance_matrix(spec, self.threshold)
+        return transport_emd(p, q, distances)
+
+    def __repr__(self) -> str:
+        return f"ThresholdedEMDDistance(threshold={self.threshold})"
+
+
+register_metric(ThresholdedEMDDistance())

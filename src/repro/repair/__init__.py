@@ -1,0 +1,6 @@
+"""Bias repair (the paper's future-work direction): quantile-alignment of
+scores across the groups of an audited partitioning."""
+
+from repro.repair.quantile import repair_scores, repaired_unfairness_curve
+
+__all__ = ["repair_scores", "repaired_unfairness_curve"]

@@ -1,0 +1,30 @@
+"""Reporting: paper-style tables and the paper's reference numbers."""
+
+from repro.reporting.paper_reference import (
+    PAPER_FUNCTIONS_BIASED,
+    PAPER_FUNCTIONS_RANDOM,
+    TABLE1_EMD,
+    TABLE1_RUNTIME,
+    TABLE2_EMD,
+    TABLE2_RUNTIME,
+    TABLE3_EMD,
+)
+from repro.reporting.histograms import (
+    render_histogram,
+    render_partition_histograms,
+)
+from repro.reporting.tables import format_comparison_table, format_table
+
+__all__ = [
+    "format_table",
+    "format_comparison_table",
+    "render_histogram",
+    "render_partition_histograms",
+    "TABLE1_EMD",
+    "TABLE1_RUNTIME",
+    "TABLE2_EMD",
+    "TABLE2_RUNTIME",
+    "TABLE3_EMD",
+    "PAPER_FUNCTIONS_RANDOM",
+    "PAPER_FUNCTIONS_BIASED",
+]

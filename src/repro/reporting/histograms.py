@@ -1,0 +1,102 @@
+"""ASCII rendering of score histograms.
+
+Figure 1 of the paper shows one histogram per partition; this module renders
+the same picture in a terminal so audit reports can *show* the distributions
+whose distance the objective measures, e.g.::
+
+    gender=Male (n=3687)
+      [0.0, 0.1) ▏
+      ...
+      [0.8, 0.9) ██████████████████████████
+      [0.9, 1.0] ██████████████████████████
+
+Rendering is width-normalised per histogram (the EMD compares probability
+mass, not counts), with counts available in a side column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import HistogramSpec
+from repro.core.partition import Partition, Partitioning
+from repro.core.population import Population
+from repro.core.schema import WorkerSchema
+from repro.exceptions import MetricError
+
+__all__ = ["render_histogram", "render_partition_histograms"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A unicode bar of ``fraction * width`` character cells."""
+    if not 0.0 <= fraction <= 1.0 + 1e-9:
+        raise MetricError(f"bar fraction must be in [0, 1], got {fraction}")
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * 8)] if full < width else ""
+    return "█" * full + partial
+
+
+def render_histogram(
+    counts: np.ndarray,
+    spec: HistogramSpec,
+    width: int = 30,
+    show_counts: bool = True,
+) -> str:
+    """Render one histogram as ASCII bars, one line per bin.
+
+    Bars are scaled so the fullest bin spans ``width`` cells.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.shape != (spec.bins,):
+        raise MetricError(
+            f"histogram has shape {counts.shape}, expected ({spec.bins},)"
+        )
+    if counts.size and counts.min() < 0:
+        raise MetricError("histogram counts must be non-negative")
+    peak = counts.max() if counts.size else 0.0
+    edges = spec.edges
+    lines = []
+    for i in range(spec.bins):
+        closing = "]" if i == spec.bins - 1 else ")"
+        label = f"[{edges[i]:.2f}, {edges[i + 1]:.2f}{closing}"
+        bar = _bar(counts[i] / peak if peak else 0.0, width)
+        suffix = f" {int(counts[i])}" if show_counts else ""
+        lines.append(f"{label} {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def render_partition_histograms(
+    population: Population,
+    scores: np.ndarray,
+    partitioning: "Partitioning | list[Partition]",
+    spec: HistogramSpec | None = None,
+    width: int = 30,
+    max_partitions: int = 8,
+) -> str:
+    """Figure-1-style picture: one labelled histogram per partition.
+
+    Partitions are shown largest first; if there are more than
+    ``max_partitions``, the remainder is summarised in one line (an audit of
+    random data can return hundreds of cells — showing them all helps no
+    one).
+    """
+    spec = spec or HistogramSpec()
+    scores = np.asarray(scores, dtype=np.float64)
+    schema: WorkerSchema = population.schema
+    partitions = sorted(list(partitioning), key=lambda p: (-p.size, p.constraints))
+    shown = partitions[:max_partitions]
+    blocks = []
+    for partition in shown:
+        histogram = spec.histogram(scores[partition.indices])
+        blocks.append(
+            f"{partition.label(schema)} (n={partition.size})\n"
+            + render_histogram(histogram, spec, width)
+        )
+    if len(partitions) > len(shown):
+        hidden = len(partitions) - len(shown)
+        blocks.append(f"... and {hidden} smaller partitions not shown")
+    return "\n\n".join(blocks)

@@ -1,0 +1,81 @@
+"""The paper's reported numbers, transcribed from Tables 1-3.
+
+Benchmarks print these next to our measured values so EXPERIMENTS.md can
+record paper-vs-measured for every artefact.  Values are keyed as
+``TABLE[algorithm][function] -> value``.
+
+Runtimes are the authors' wall-clock seconds on their machine with their
+implementation; our vectorised implementation is orders of magnitude faster,
+so runtimes are compared on *shape* (orderings, growth), never absolutely.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_EMD",
+    "TABLE1_RUNTIME",
+    "TABLE2_EMD",
+    "TABLE2_RUNTIME",
+    "TABLE3_EMD",
+    "PAPER_FUNCTIONS_RANDOM",
+    "PAPER_FUNCTIONS_BIASED",
+]
+
+#: Function columns of Tables 1-2 and Table 3, in paper order.
+PAPER_FUNCTIONS_RANDOM: tuple[str, ...] = ("f1", "f2", "f3", "f4", "f5")
+PAPER_FUNCTIONS_BIASED: tuple[str, ...] = ("f6", "f7", "f8", "f9")
+
+#: Table 1 — average EMD, 500 workers, random functions.
+TABLE1_EMD: dict[str, dict[str, float]] = {
+    "unbalanced": {"f1": 0.195, "f2": 0.191, "f3": 0.179, "f4": 0.247, "f5": 0.257},
+    "r-unbalanced": {"f1": 0.193, "f2": 0.193, "f3": 0.177, "f4": 0.243, "f5": 0.253},
+    "balanced": {"f1": 0.196, "f2": 0.194, "f3": 0.177, "f4": 0.246, "f5": 0.253},
+    "r-balanced": {"f1": 0.195, "f2": 0.194, "f3": 0.177, "f4": 0.246, "f5": 0.253},
+    "all-attributes": {"f1": 0.195, "f2": 0.193, "f3": 0.177, "f4": 0.246, "f5": 0.253},
+}
+
+#: Table 1 — runtime in seconds (authors' implementation and machine).
+TABLE1_RUNTIME: dict[str, dict[str, float]] = {
+    "unbalanced": {"f1": 20.987, "f2": 23.715, "f3": 22.823, "f4": 29.504, "f5": 28.845},
+    "r-unbalanced": {"f1": 28.33, "f2": 26.871, "f3": 28.354, "f4": 27.333, "f5": 28.372},
+    "balanced": {"f1": 311.17, "f2": 323.16, "f3": 326.68, "f4": 330.61, "f5": 327.22},
+    "r-balanced": {"f1": 131.87, "f2": 122.49, "f3": 119.97, "f4": 127.06, "f5": 124.46},
+    "all-attributes": {"f1": 42.708, "f2": 42.494, "f3": 42.597, "f4": 42.235, "f5": 42.337},
+}
+
+#: Table 2 — average EMD, 7300 workers, random functions.
+TABLE2_EMD: dict[str, dict[str, float]] = {
+    "unbalanced": {"f1": 0.161, "f2": 0.162, "f3": 0.151, "f4": 0.208, "f5": 0.209},
+    "r-unbalanced": {"f1": 0.162, "f2": 0.163, "f3": 0.151, "f4": 0.208, "f5": 0.209},
+    "balanced": {"f1": 0.163, "f2": 0.163, "f3": 0.151, "f4": 0.210, "f5": 0.211},
+    "r-balanced": {"f1": 0.163, "f2": 0.163, "f3": 0.122, "f4": 0.210, "f5": 0.211},
+    "all-attributes": {"f1": 0.163, "f2": 0.163, "f3": 0.151, "f4": 0.210, "f5": 0.211},
+}
+
+#: Table 2 — runtime in seconds (authors' implementation and machine).
+TABLE2_RUNTIME: dict[str, dict[str, float]] = {
+    "unbalanced": {
+        "f1": 1169.224, "f2": 1246.651, "f3": 1205.963, "f4": 1292.506, "f5": 1245.037,
+    },
+    "r-unbalanced": {
+        "f1": 1401.36, "f2": 1391.541, "f3": 1358.795, "f4": 1290.977, "f5": 1397.894,
+    },
+    "balanced": {
+        "f1": 5733.528, "f2": 5745.611, "f3": 5693.681, "f4": 5840.131, "f5": 5808.715,
+    },
+    "r-balanced": {
+        "f1": 3174.327, "f2": 3240.727, "f3": 2358.744, "f4": 3115.123, "f5": 3120.553,
+    },
+    "all-attributes": {
+        "f1": 1453.626, "f2": 1449.466, "f3": 1450.712, "f4": 469.839, "f5": 1467.606,
+    },
+}
+
+#: Table 3 — average EMD, 7300 workers, biased functions.
+TABLE3_EMD: dict[str, dict[str, float]] = {
+    "unbalanced": {"f6": 0.040, "f7": 0.164, "f8": 0.460, "f9": 0.317},
+    "r-unbalanced": {"f6": 0.399, "f7": 0.362, "f8": 0.322, "f9": 0.350},
+    "balanced": {"f6": 0.800, "f7": 0.427, "f8": 0.460, "f9": 0.359},
+    "r-balanced": {"f6": 0.496, "f7": 0.368, "f8": 0.330, "f9": 0.301},
+    "all-attributes": {"f6": 0.420, "f7": 0.368, "f8": 0.337, "f9": 0.359},
+}

@@ -1,0 +1,86 @@
+"""Paper-style text tables for experiment results.
+
+The formatter mirrors the layout of the paper's Tables 1-3 (algorithms as
+rows, scoring functions as columns) and can print our measured values side by
+side with the paper's reported values for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simulation.runner import ExperimentResult, ExperimentRow
+
+__all__ = ["format_table", "format_comparison_table"]
+
+
+def _grid(
+    headers: list[str], rows: list[list[str]], title: str | None = None
+) -> str:
+    widths = [
+        max(len(str(cell)) for cell in column)
+        for column in zip(headers, *rows)
+    ]
+    def line(cells: list[str]) -> str:
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_table(
+    result: ExperimentResult,
+    value: "Callable[[ExperimentRow], float] | str" = "unfairness",
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """One value per (algorithm, function) cell, paper-table layout.
+
+    ``value`` is an :class:`~repro.simulation.runner.ExperimentRow` attribute
+    name (``"unfairness"``, ``"runtime_seconds"``, ``"n_partitions"``, ...)
+    or a callable extracting a float from a row.
+    """
+    extract = (lambda row: getattr(row, value)) if isinstance(value, str) else value
+    functions = list(result.functions())
+    headers = ["Algorithm"] + functions
+    rows = []
+    for algorithm in result.algorithms():
+        cells = [algorithm]
+        for function in functions:
+            cells.append(f"{extract(result.cell(algorithm, function)):.{precision}f}")
+        rows.append(cells)
+    return _grid(headers, rows, title)
+
+
+def format_comparison_table(
+    result: ExperimentResult,
+    reference: dict[str, dict[str, float]],
+    value: "Callable[[ExperimentRow], float] | str" = "unfairness",
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Measured values next to the paper's, as ``measured (paper ref)``.
+
+    ``reference`` has the shape of the constants in
+    :mod:`repro.reporting.paper_reference`.
+    """
+    extract = (lambda row: getattr(row, value)) if isinstance(value, str) else value
+    functions = list(result.functions())
+    headers = ["Algorithm"] + functions
+    rows = []
+    for algorithm in result.algorithms():
+        cells = [algorithm]
+        for function in functions:
+            measured = extract(result.cell(algorithm, function))
+            paper = reference.get(algorithm, {}).get(function)
+            if paper is None:
+                cells.append(f"{measured:.{precision}f} (n/a)")
+            else:
+                cells.append(f"{measured:.{precision}f} ({paper:.{precision}f})")
+        rows.append(cells)
+    return _grid(headers, rows, title)

@@ -1,0 +1,45 @@
+"""Simulation of the paper's evaluation: configuration, population
+generators, named scenarios (one per table/figure) and the experiment
+runner."""
+
+from repro.simulation.config import (
+    LARGE_WORKER_COUNT,
+    SMALL_WORKER_COUNT,
+    PaperConfig,
+    paper_schema,
+)
+from repro.simulation.generator import (
+    TOY_OPTIMAL_GROUPS,
+    generate_paper_population,
+    generate_population,
+    toy_population,
+)
+from repro.simulation.realistic import generate_realistic_population
+from repro.simulation.runner import ExperimentResult, ExperimentRow, run_scenario
+from repro.simulation.scenarios import (
+    Scenario,
+    figure1_scenario,
+    table1_scenario,
+    table2_scenario,
+    table3_scenario,
+)
+
+__all__ = [
+    "PaperConfig",
+    "paper_schema",
+    "SMALL_WORKER_COUNT",
+    "LARGE_WORKER_COUNT",
+    "generate_population",
+    "generate_paper_population",
+    "toy_population",
+    "TOY_OPTIMAL_GROUPS",
+    "generate_realistic_population",
+    "Scenario",
+    "figure1_scenario",
+    "table1_scenario",
+    "table2_scenario",
+    "table3_scenario",
+    "run_scenario",
+    "ExperimentResult",
+    "ExperimentRow",
+]

@@ -1,0 +1,91 @@
+"""The paper's simulation configuration.
+
+Evaluation setting (paper, §Evaluation): two sets of active workers of sizes
+500 and 7300 ("the estimated number of Amazon Mechanical Turk workers who are
+active at any time", Stewart et al. 2015), each worker with
+
+* six protected attributes — Gender = {Male, Female}, Country = {America,
+  India, Other}, Year of Birth = [1950, 2009], Language = {English, Indian,
+  Other}, Ethnicity = {White, African-American, Indian, Other}, Years of
+  Experience = [0, 30];
+* two observed attributes — LanguageTest = [25, 100] and
+  ApprovalRate = [25, 100];
+
+all "populated randomly so as to avoid injecting any bias in the data".
+
+The two integer-valued protected attributes are bucketised (default: 5
+equal-width buckets) for partitioning, following the paper's remark that its
+exhaustive run used "a maximum of 5 values" per attribute (DESIGN.md §2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attributes import (
+    CategoricalAttribute,
+    IntegerAttribute,
+    ObservedAttribute,
+)
+from repro.core.schema import WorkerSchema
+
+__all__ = [
+    "SMALL_WORKER_COUNT",
+    "LARGE_WORKER_COUNT",
+    "PaperConfig",
+    "paper_schema",
+]
+
+#: Worker-set sizes used in the paper's simulation.
+SMALL_WORKER_COUNT = 500
+LARGE_WORKER_COUNT = 7300  # active AMT workers at any time (Stewart et al. 2015)
+
+
+def paper_schema(
+    year_of_birth_buckets: int = 5, experience_buckets: int = 5
+) -> WorkerSchema:
+    """The worker schema of the paper's simulated crowdsourcing platform."""
+    return WorkerSchema(
+        protected=(
+            CategoricalAttribute("gender", ("Male", "Female")),
+            CategoricalAttribute("country", ("America", "India", "Other")),
+            IntegerAttribute("year_of_birth", 1950, 2009, buckets=year_of_birth_buckets),
+            CategoricalAttribute("language", ("English", "Indian", "Other")),
+            CategoricalAttribute(
+                "ethnicity", ("White", "African-American", "Indian", "Other")
+            ),
+            IntegerAttribute("years_experience", 0, 30, buckets=experience_buckets),
+        ),
+        observed=(
+            ObservedAttribute("language_test", 25.0, 100.0),
+            ObservedAttribute("approval_rate", 25.0, 100.0),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class PaperConfig:
+    """Knobs of the paper's simulation, with the paper's defaults.
+
+    Attributes
+    ----------
+    n_workers:
+        Size of the active worker set (500 or 7300 in the paper).
+    seed:
+        Root seed for population generation.
+    histogram_bins:
+        Bins of the score histograms (the paper says "equal bins over the
+        range of f" without a count; we default to 10).
+    year_of_birth_buckets / experience_buckets:
+        Partitioning buckets for the two integer protected attributes.
+    """
+
+    n_workers: int = SMALL_WORKER_COUNT
+    seed: int = 42
+    histogram_bins: int = 10
+    year_of_birth_buckets: int = 5
+    experience_buckets: int = 5
+
+    def schema(self) -> WorkerSchema:
+        """The worker schema under this configuration."""
+        return paper_schema(self.year_of_birth_buckets, self.experience_buckets)

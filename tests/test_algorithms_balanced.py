@@ -1,0 +1,128 @@
+"""Unit tests for the ``balanced`` algorithm (paper Algorithm 1) and its
+random-attribute baseline ``r-balanced``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.core.population import Population
+from repro.exceptions import PartitioningError
+from repro.marketplace.biased import paper_biased_functions
+
+
+class TestBalanced:
+    def test_returns_full_disjoint_partitioning(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = np.random.default_rng(0).uniform(size=paper_population_small.size)
+        result = get_algorithm("balanced").run(paper_population_small, scores)
+        assert result.partitioning.population_size == paper_population_small.size
+
+    def test_balanced_tree_property(self, paper_population_small: Population) -> None:
+        # Every leaf of a balanced partitioning is constrained on the same
+        # attribute set (that is the defining property of Algorithm 1).
+        scores = np.random.default_rng(1).uniform(size=paper_population_small.size)
+        result = get_algorithm("balanced").run(paper_population_small, scores)
+        attribute_sets = {
+            frozenset(p.constrained_attributes()) for p in result.partitioning
+        }
+        assert len(attribute_sets) == 1
+
+    def test_finds_planted_gender_bias(self, paper_population_small: Population) -> None:
+        # f6 scores males > 0.8 and females < 0.2: balanced must split on
+        # gender alone and reach EMD ~ 0.8 (paper Table 3, f6 = 0.800).
+        scores = paper_biased_functions()["f6"](paper_population_small)
+        result = get_algorithm("balanced").run(paper_population_small, scores)
+        assert result.partitioning.attributes_used() == ("gender",)
+        assert result.unfairness == pytest.approx(0.8, abs=0.05)
+
+    def test_finds_planted_gender_country_bias(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = paper_biased_functions()["f7"](paper_population_small)
+        result = get_algorithm("balanced").run(paper_population_small, scores)
+        assert result.partitioning.attributes_used() == ("country", "gender")
+
+    def test_stops_when_splitting_does_not_help(
+        self, small_population: Population
+    ) -> None:
+        # Constant scores: every split produces identical histograms, so the
+        # first split already fails to improve and growth must stop there.
+        scores = np.full(small_population.size, 0.5)
+        result = get_algorithm("balanced").run(small_population, scores)
+        assert result.unfairness == 0.0
+        assert result.partitioning.max_depth() <= 1
+
+    def test_deterministic_across_runs(self, paper_population_small: Population) -> None:
+        scores = np.random.default_rng(2).uniform(size=paper_population_small.size)
+        first = get_algorithm("balanced").run(paper_population_small, scores)
+        second = get_algorithm("balanced").run(paper_population_small, scores)
+        assert first.unfairness == second.unfairness
+        assert (
+            first.partitioning.canonical_key() == second.partitioning.canonical_key()
+        )
+
+    def test_result_metadata(self, small_population: Population) -> None:
+        scores = small_population.observed_column("skill")
+        result = get_algorithm("balanced").run(small_population, scores)
+        assert result.algorithm == "balanced"
+        assert result.metric == "emd"
+        assert result.runtime_seconds >= 0.0
+        assert result.n_evaluations > 0
+
+    def test_empty_population_rejected(self, small_population: Population) -> None:
+        empty = small_population.subset(np.array([], dtype=np.int64))
+        with pytest.raises(PartitioningError, match="empty population"):
+            get_algorithm("balanced").run(empty, np.array([]))
+
+
+class TestRandomBalanced:
+    def test_balanced_tree_property_holds(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = np.random.default_rng(3).uniform(size=paper_population_small.size)
+        result = get_algorithm("r-balanced").run(paper_population_small, scores, rng=0)
+        attribute_sets = {
+            frozenset(p.constrained_attributes()) for p in result.partitioning
+        }
+        assert len(attribute_sets) == 1
+
+    def test_same_seed_same_result(self, paper_population_small: Population) -> None:
+        scores = np.random.default_rng(4).uniform(size=paper_population_small.size)
+        algorithm = get_algorithm("r-balanced")
+        first = algorithm.run(paper_population_small, scores, rng=7)
+        second = algorithm.run(paper_population_small, scores, rng=7)
+        assert first.partitioning.canonical_key() == second.partitioning.canonical_key()
+
+    def test_different_seeds_can_differ(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = paper_biased_functions()["f7"](paper_population_small)
+        algorithm = get_algorithm("r-balanced")
+        keys = {
+            frozenset(
+                algorithm.run(paper_population_small, scores, rng=s)
+                .partitioning.attributes_used()
+            )
+            for s in range(6)
+        }
+        assert len(keys) > 1  # the attribute choice really is random
+
+    def test_never_beats_balanced_on_strong_planted_bias(
+        self, paper_population_small: Population
+    ) -> None:
+        # On f6 the gender-only split is optimal among balanced trees;
+        # a random first attribute can only tie it or do worse.
+        scores = paper_biased_functions()["f6"](paper_population_small)
+        balanced_value = (
+            get_algorithm("balanced").run(paper_population_small, scores).unfairness
+        )
+        for seed in range(5):
+            random_value = (
+                get_algorithm("r-balanced")
+                .run(paper_population_small, scores, rng=seed)
+                .unfairness
+            )
+            assert random_value <= balanced_value + 1e-9

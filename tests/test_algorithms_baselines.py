@@ -1,0 +1,98 @@
+"""Unit tests for the non-adaptive baselines and the algorithm registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import (
+    PAPER_ALGORITHMS,
+    available_algorithms,
+    get_algorithm,
+)
+from repro.core.population import Population
+from repro.exceptions import PartitioningError
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_available(self) -> None:
+        names = available_algorithms()
+        for name in PAPER_ALGORITHMS:
+            assert name in names
+        assert "exhaustive" in names
+        assert "single-attribute" in names
+
+    def test_unknown_algorithm_raises(self) -> None:
+        with pytest.raises(PartitioningError, match="unknown algorithm"):
+            get_algorithm("nope")
+
+    def test_options_forwarded_to_constructor(self) -> None:
+        algorithm = get_algorithm("exhaustive", budget=123)
+        assert algorithm.budget == 123  # type: ignore[attr-defined]
+
+
+class TestResultDescribe:
+    def test_describe_lists_headline_and_groups(
+        self, small_population: Population
+    ) -> None:
+        scores = small_population.observed_column("skill")
+        result = get_algorithm("single-attribute").run(small_population, scores)
+        text = result.describe(small_population.schema)
+        assert "algorithm     : single-attribute" in text
+        assert "unfairness" in text
+        assert "gender=Male" in text
+        assert "partitioning evaluations" in text
+
+
+class TestAllAttributes:
+    def test_splits_on_every_protected_attribute(
+        self, small_population: Population
+    ) -> None:
+        scores = small_population.observed_column("skill")
+        result = get_algorithm("all-attributes").run(small_population, scores)
+        assert result.partitioning.attributes_used() == ("age", "country", "gender")
+
+    def test_cell_count_bounded_by_cross_product(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = np.random.default_rng(0).uniform(size=paper_population_small.size)
+        result = get_algorithm("all-attributes").run(paper_population_small, scores)
+        bound = paper_population_small.schema.search_space_size()
+        assert 2 <= result.partitioning.k <= bound
+
+    def test_every_cell_is_homogeneous(self, small_population: Population) -> None:
+        scores = small_population.observed_column("skill")
+        result = get_algorithm("all-attributes").run(small_population, scores)
+        for partition in result.partitioning:
+            for name in small_population.schema.protected_names:
+                codes = small_population.partition_codes(name)[partition.indices]
+                assert len(np.unique(codes)) == 1
+
+    def test_deterministic(self, small_population: Population) -> None:
+        scores = small_population.observed_column("skill")
+        first = get_algorithm("all-attributes").run(small_population, scores)
+        second = get_algorithm("all-attributes").run(small_population, scores)
+        assert first.unfairness == second.unfairness
+
+
+class TestSingleAttribute:
+    def test_uses_exactly_one_attribute(self, small_population: Population) -> None:
+        scores = small_population.observed_column("skill")
+        result = get_algorithm("single-attribute").run(small_population, scores)
+        assert len(result.partitioning.attributes_used()) == 1
+
+    def test_picks_the_most_separating_attribute(
+        self, small_population: Population
+    ) -> None:
+        # The fixture's skill correlates with gender.
+        scores = small_population.observed_column("skill")
+        result = get_algorithm("single-attribute").run(small_population, scores)
+        assert result.partitioning.attributes_used() == ("gender",)
+
+    def test_is_dominated_by_subgroup_search_on_toy(self, toy: Population) -> None:
+        # The whole point of the paper: single-attribute auditing misses
+        # subgroup unfairness.
+        scores = toy.observed_column("qualification")
+        single = get_algorithm("single-attribute").run(toy, scores)
+        subgroup = get_algorithm("unbalanced").run(toy, scores)
+        assert subgroup.unfairness > single.unfairness

@@ -1,0 +1,73 @@
+"""Unit tests for the beam-search extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.core.population import Population
+from repro.marketplace.biased import paper_biased_functions
+
+
+class TestBeamSearch:
+    def test_full_disjoint_partitioning(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = np.random.default_rng(0).uniform(size=paper_population_small.size)
+        result = get_algorithm("beam").run(paper_population_small, scores)
+        assert result.partitioning.population_size == paper_population_small.size
+
+    def test_balanced_tree_property(self, paper_population_small: Population) -> None:
+        scores = np.random.default_rng(1).uniform(size=paper_population_small.size)
+        result = get_algorithm("beam").run(paper_population_small, scores)
+        attribute_sets = {
+            frozenset(p.constrained_attributes()) for p in result.partitioning
+        }
+        assert len(attribute_sets) == 1
+
+    def test_never_below_greedy_balanced(
+        self, paper_population_small: Population
+    ) -> None:
+        # Beam search explores strictly more attribute orders than the
+        # greedy and keeps the best partitioning seen, so it can never do
+        # worse on the same data.
+        for function in ("f6", "f7", "f9"):
+            scores = paper_biased_functions()[function](paper_population_small)
+            greedy = get_algorithm("balanced").run(paper_population_small, scores)
+            beam = get_algorithm("beam", beam_width=3).run(
+                paper_population_small, scores
+            )
+            assert beam.unfairness >= greedy.unfairness - 1e-9, function
+
+    def test_wider_beam_never_worse(self, paper_population_small: Population) -> None:
+        scores = paper_biased_functions()["f7"](paper_population_small)
+        narrow = get_algorithm("beam", beam_width=1).run(
+            paper_population_small, scores
+        )
+        wide = get_algorithm("beam", beam_width=6).run(paper_population_small, scores)
+        assert wide.unfairness >= narrow.unfairness - 1e-9
+
+    def test_finds_planted_gender_bias(self, paper_population_small: Population) -> None:
+        scores = paper_biased_functions()["f6"](paper_population_small)
+        result = get_algorithm("beam").run(paper_population_small, scores)
+        assert result.partitioning.attributes_used() == ("gender",)
+        assert result.unfairness == pytest.approx(0.8, abs=0.05)
+
+    def test_returns_shallow_tree_when_deeper_dilutes(
+        self, small_population: Population
+    ) -> None:
+        scores = np.full(small_population.size, 0.5)
+        result = get_algorithm("beam").run(small_population, scores)
+        assert result.unfairness == 0.0
+        assert result.partitioning.k == 1  # best seen is the root itself
+
+    def test_invalid_width_rejected(self) -> None:
+        with pytest.raises(ValueError, match=">= 1"):
+            get_algorithm("beam", beam_width=0)
+
+    def test_deterministic(self, paper_population_small: Population) -> None:
+        scores = np.random.default_rng(2).uniform(size=paper_population_small.size)
+        first = get_algorithm("beam").run(paper_population_small, scores)
+        second = get_algorithm("beam").run(paper_population_small, scores)
+        assert first.partitioning.canonical_key() == second.partitioning.canonical_key()

@@ -1,0 +1,86 @@
+"""Unit tests for the exhaustive optimum and the search-space counter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import count_split_trees, get_algorithm
+from repro.core.population import Population
+from repro.exceptions import BudgetExceededError
+from repro.simulation.generator import TOY_OPTIMAL_GROUPS
+
+
+class TestExhaustive:
+    def test_finds_figure1_optimum(self, toy: Population) -> None:
+        scores = toy.observed_column("qualification")
+        result = get_algorithm("exhaustive").run(toy, scores)
+        labels = sorted(p.label(toy.schema) for p in result.partitioning)
+        assert labels == sorted(TOY_OPTIMAL_GROUPS)
+
+    def test_optimum_dominates_every_heuristic(self, toy: Population) -> None:
+        scores = toy.observed_column("qualification")
+        optimum = get_algorithm("exhaustive").run(toy, scores).unfairness
+        for name in ("balanced", "unbalanced", "all-attributes", "single-attribute"):
+            heuristic = get_algorithm(name).run(toy, scores).unfairness
+            assert heuristic <= optimum + 1e-9
+
+    def test_optimum_dominates_random_baselines(self, toy: Population) -> None:
+        scores = toy.observed_column("qualification")
+        optimum = get_algorithm("exhaustive").run(toy, scores).unfairness
+        for seed in range(5):
+            for name in ("r-balanced", "r-unbalanced"):
+                value = get_algorithm(name).run(toy, scores, rng=seed).unfairness
+                assert value <= optimum + 1e-9
+
+    def test_budget_exceeded_raises(self, toy: Population) -> None:
+        scores = toy.observed_column("qualification")
+        with pytest.raises(BudgetExceededError) as excinfo:
+            get_algorithm("exhaustive", budget=3).run(toy, scores)
+        assert excinfo.value.budget == 3
+
+    def test_invalid_budget_rejected(self) -> None:
+        with pytest.raises(ValueError, match="positive"):
+            get_algorithm("exhaustive", budget=0)
+
+    def test_single_attribute_space(self, small_population: Population) -> None:
+        # With one splittable attribute left out of the schema the space is
+        # tiny; the optimum must be either the root or the full split.
+        males_only = small_population.subset(np.arange(6))
+        scores = males_only.observed_column("skill")
+        result = get_algorithm("exhaustive").run(males_only, scores)
+        assert result.partitioning.population_size == 6
+
+    def test_deduplicates_equivalent_trees(self, small_population: Population) -> None:
+        # Splitting on gender then country and country then gender induce
+        # the same cells; the dedup keeps the candidate count well below the
+        # naive tree count.
+        scores = small_population.observed_column("skill")
+        result = get_algorithm("exhaustive").run(small_population, scores)
+        naive_tree_count = count_split_trees([2, 3, 5])
+        assert result.n_evaluations < naive_tree_count
+
+
+class TestCountSplitTrees:
+    def test_single_attribute(self) -> None:
+        # Leaf, or one split on the attribute: 2 partitionings.
+        assert count_split_trees([2]) == 2
+        assert count_split_trees([5]) == 2
+
+    def test_two_binary_attributes(self) -> None:
+        # T({2,2}) = 1 + T({2})^2 + T({2})^2 = 1 + 4 + 4 = 9.
+        assert count_split_trees([2, 2]) == 9
+
+    def test_mixed_cardinalities(self) -> None:
+        # T({2,3}) = 1 + T({3})^2 + T({2})^3 = 1 + 4 + 8 = 13.
+        assert count_split_trees([2, 3]) == 13
+
+    def test_growth_is_explosive(self) -> None:
+        small = count_split_trees([2, 3, 5])
+        large = count_split_trees([2, 3, 5, 3, 4, 5])  # the paper's setting
+        assert large > small ** 3
+        assert large > 10 ** 100  # "failed to terminate after two days"
+
+    def test_rejects_trivial_cardinality(self) -> None:
+        with pytest.raises(ValueError, match=">= 2"):
+            count_split_trees([1, 2])

@@ -1,0 +1,122 @@
+"""Integration tests across the algorithm suite.
+
+These check the relationships the paper's evaluation relies on: heuristics
+never beat the exact optimum, planted bias is recovered, and the objective
+the result reports matches an independent re-evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import PAPER_ALGORITHMS, get_algorithm
+from repro.core.attributes import CategoricalAttribute, ObservedAttribute
+from repro.core.population import Population
+from repro.core.schema import WorkerSchema
+from repro.core.unfairness import UnfairnessEvaluator
+from repro.marketplace.biased import paper_biased_functions
+
+
+def _three_attribute_population(n: int = 60, seed: int = 0) -> Population:
+    """Small random population with 3 binary/ternary protected attributes,
+    small enough for exhaustive search."""
+    schema = WorkerSchema(
+        protected=(
+            CategoricalAttribute("a", ("a0", "a1")),
+            CategoricalAttribute("b", ("b0", "b1", "b2")),
+            CategoricalAttribute("c", ("c0", "c1")),
+        ),
+        observed=(ObservedAttribute("skill", 0.0, 1.0),),
+    )
+    rng = np.random.default_rng(seed)
+    return Population(
+        schema,
+        protected={
+            "a": rng.integers(0, 2, n),
+            "b": rng.integers(0, 3, n),
+            "c": rng.integers(0, 2, n),
+        },
+        observed={"skill": rng.uniform(size=n)},
+    )
+
+
+class TestOptimumDominance:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heuristics_never_beat_exhaustive(self, seed: int) -> None:
+        population = _three_attribute_population(seed=seed)
+        scores = population.observed_column("skill")
+        optimum = get_algorithm("exhaustive").run(population, scores).unfairness
+        for name in PAPER_ALGORITHMS:
+            value = get_algorithm(name).run(population, scores, rng=seed).unfairness
+            assert value <= optimum + 1e-9, f"{name} beat the exhaustive optimum"
+
+
+class TestPlantedBias:
+    def test_planted_single_attribute_bias_recovered_by_all(self) -> None:
+        population = _three_attribute_population(n=200, seed=1)
+        # Plant bias on attribute "b": value determines the score band.
+        codes = population.protected_column("b")
+        rng = np.random.default_rng(2)
+        scores = np.choose(codes, [0.1, 0.5, 0.9]) + rng.uniform(-0.05, 0.05, population.size)
+        scores = np.clip(scores, 0.0, 1.0)
+        for name in ("balanced", "unbalanced", "exhaustive", "single-attribute"):
+            result = get_algorithm(name).run(population, scores)
+            assert "b" in result.partitioning.attributes_used(), name
+
+    def test_planted_interaction_bias_needs_subgroups(self) -> None:
+        # Score high iff a=a0 AND c=c0 — an interaction neither single
+        # attribute reveals strongly, the paper's motivating case.
+        population = _three_attribute_population(n=400, seed=3)
+        a = population.protected_column("a")
+        c = population.protected_column("c")
+        rng = np.random.default_rng(4)
+        base = np.where((a == 0) & (c == 0), 0.9, 0.1)
+        scores = np.clip(base + rng.uniform(-0.05, 0.05, population.size), 0.0, 1.0)
+        single = get_algorithm("single-attribute").run(population, scores)
+        subgroup = get_algorithm("unbalanced").run(population, scores)
+        assert subgroup.unfairness > single.unfairness
+        assert {"a", "c"} <= set(subgroup.partitioning.attributes_used())
+
+
+class TestReportedObjective:
+    @pytest.mark.parametrize("name", list(PAPER_ALGORITHMS) + ["single-attribute"])
+    def test_reported_unfairness_matches_independent_evaluation(
+        self, name: str, paper_population_small: Population
+    ) -> None:
+        scores = paper_biased_functions()["f7"](paper_population_small)
+        result = get_algorithm(name).run(paper_population_small, scores, rng=0)
+        evaluator = UnfairnessEvaluator(paper_population_small, scores)
+        independent = evaluator.unfairness(result.partitioning)
+        assert result.unfairness == pytest.approx(independent)
+
+
+class TestMetricPluggability:
+    @pytest.mark.parametrize("metric", ["emd", "ks", "tv", "js", "hellinger"])
+    def test_every_algorithm_runs_under_every_metric(
+        self, metric: str, small_population: Population
+    ) -> None:
+        scores = small_population.observed_column("skill")
+        result = get_algorithm("balanced").run(small_population, scores, metric=metric)
+        assert result.metric == metric
+        assert result.unfairness >= 0.0
+
+    def test_ks_objective_can_choose_differently_from_emd(self) -> None:
+        # Construct scores where EMD ranks attribute "a" worst (mass far
+        # apart) but KS ranks "b" worst (bigger CDF gap, nearby mass).
+        population = _three_attribute_population(n=300, seed=5)
+        a = population.protected_column("a")
+        b = population.protected_column("b")
+        rng = np.random.default_rng(6)
+        scores = np.where(a == 0, 0.05, 0.95) * 0.5 + 0.25  # a: far-apart mass
+        scores = np.where(b == 0, scores - 0.25, scores + 0.02)
+        scores = np.clip(scores + rng.uniform(0, 0.02, population.size), 0.0, 1.0)
+        emd_result = get_algorithm("single-attribute").run(population, scores, metric="emd")
+        ks_result = get_algorithm("single-attribute").run(population, scores, metric="ks")
+        # Not asserting they differ (depends on draw); assert both are valid
+        # and consistent with their own metric's evaluation.
+        for result, metric in ((emd_result, "emd"), (ks_result, "ks")):
+            evaluator = UnfairnessEvaluator(population, scores, metric=metric)
+            assert result.unfairness == pytest.approx(
+                evaluator.unfairness(result.partitioning)
+            )

@@ -1,0 +1,131 @@
+"""Unit tests for capacity-constrained task assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+from repro.marketplace.assignment import assign_tasks
+from repro.marketplace.biased import paper_biased_functions
+from repro.marketplace.tasks import Task, task_from_weights
+from repro.repair.quantile import repair_scores
+
+
+def _tasks(n: int, positions: int = 5) -> list:
+    return [
+        task_from_weights(
+            f"t{i}",
+            "gig",
+            {"language_test": 0.5, "approval_rate": 0.5},
+            positions=positions,
+        )
+        for i in range(n)
+    ]
+
+
+class TestAssignTasks:
+    def test_capacity_respected(self, paper_population_small: Population) -> None:
+        plan = assign_tasks(paper_population_small, _tasks(10), capacity=2)
+        assert plan.load.max() <= 2
+        assert plan.load.sum() == sum(a.filled for a in plan.assignments)
+
+    def test_capacity_one_spreads_work(self, paper_population_small: Population) -> None:
+        plan = assign_tasks(paper_population_small, _tasks(4), capacity=1)
+        all_hired = np.concatenate([a.hired for a in plan.assignments])
+        assert len(all_hired) == len(set(all_hired.tolist()))  # no double-booking
+
+    def test_unconstrained_platform_rehires_the_same_top_workers(
+        self, paper_population_small: Population
+    ) -> None:
+        plan = assign_tasks(paper_population_small, _tasks(4), capacity=10)
+        first = plan.assignments[0].hired.tolist()
+        assert all(a.hired.tolist() == first for a in plan.assignments)
+
+    def test_utility_decreases_as_capacity_tightens(
+        self, paper_population_small: Population
+    ) -> None:
+        loose = assign_tasks(paper_population_small, _tasks(10), capacity=10)
+        tight = assign_tasks(paper_population_small, _tasks(10), capacity=1)
+        assert loose.total_utility >= tight.total_utility
+
+    def test_runs_out_of_capacity_gracefully(self) -> None:
+        # 12-worker population, tasks ask for more than capacity allows.
+        from repro.core.attributes import CategoricalAttribute, ObservedAttribute
+        from repro.core.schema import WorkerSchema
+
+        schema = WorkerSchema(
+            protected=(CategoricalAttribute("g", ("a", "b")),),
+            observed=(ObservedAttribute("skill", 0.0, 1.0),),
+        )
+        population = Population(
+            schema,
+            {"g": np.zeros(4, dtype=int)},
+            {"skill": np.linspace(0.1, 0.9, 4)},
+        )
+        tasks = [
+            task_from_weights(f"t{i}", "gig", {"skill": 1.0}, positions=3)
+            for i in range(3)
+        ]
+        plan = assign_tasks(population, tasks, capacity=1)
+        assert plan.unfilled_positions == 9 - 4
+        assert plan.assignments[-1].filled < 3
+
+    def test_requirements_filter_before_assignment(
+        self, paper_population_small: Population
+    ) -> None:
+        task = task_from_weights(
+            "t",
+            "gig",
+            {"language_test": 1.0},
+            positions=5,
+            requirements={"approval_rate": 90.0},
+        )
+        plan = assign_tasks(paper_population_small, [task])
+        approvals = paper_population_small.observed_column("approval_rate")
+        assert (approvals[plan.assignments[0].hired] >= 90.0).all()
+
+    def test_invalid_capacity_rejected(self, paper_population_small: Population) -> None:
+        with pytest.raises(ScoringError, match=">= 1"):
+            assign_tasks(paper_population_small, _tasks(1), capacity=0)
+
+    def test_override_shape_checked(self, paper_population_small: Population) -> None:
+        task = _tasks(1)[0]
+        with pytest.raises(ScoringError, match="shape"):
+            assign_tasks(
+                paper_population_small,
+                [task],
+                scores_override={task.task_id: np.array([0.5])},
+            )
+
+
+class TestFairnessConsequences:
+    def test_biased_scoring_concentrates_load(
+        self, paper_population_small: Population
+    ) -> None:
+        scoring = paper_biased_functions()["f6"]
+        tasks = [
+            Task(f"t{i}", "gig", scoring, positions=10) for i in range(5)
+        ]
+        plan = assign_tasks(paper_population_small, tasks, capacity=1)
+        shares = plan.load_share_by_group(paper_population_small, "gender")
+        assert shares["Male"] == pytest.approx(1.0)
+
+    def test_repair_override_redistributes_load(
+        self, paper_population_small: Population
+    ) -> None:
+        scoring = paper_biased_functions()["f6"]
+        scores = scoring(paper_population_small)
+        audit = get_algorithm("balanced").run(paper_population_small, scores)
+        repaired = repair_scores(scores, audit.partitioning, amount=1.0)
+
+        tasks = [Task(f"t{i}", "gig", scoring, positions=10) for i in range(5)]
+        overrides = {task.task_id: repaired for task in tasks}
+        plan = assign_tasks(
+            paper_population_small, tasks, capacity=1, scores_override=overrides
+        )
+        shares = plan.load_share_by_group(paper_population_small, "gender")
+        assert 0.3 < shares["Male"] < 0.7  # near-proportional after repair
+        assert 0.3 < shares["Female"] < 0.7

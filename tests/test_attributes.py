@@ -1,0 +1,174 @@
+"""Unit tests for attribute specifications."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.attributes import (
+    CategoricalAttribute,
+    IntegerAttribute,
+    ObservedAttribute,
+)
+from repro.exceptions import SchemaError
+
+
+class TestCategoricalAttribute:
+    def test_cardinality_counts_values(self) -> None:
+        attr = CategoricalAttribute("gender", ("Male", "Female"))
+        assert attr.cardinality == 2
+
+    def test_encode_maps_labels_to_positions(self) -> None:
+        attr = CategoricalAttribute("country", ("America", "India", "Other"))
+        codes = attr.encode(["India", "America", "Other", "India"])
+        assert codes.tolist() == [1, 0, 2, 1]
+
+    def test_encode_rejects_unknown_label(self) -> None:
+        attr = CategoricalAttribute("gender", ("Male", "Female"))
+        with pytest.raises(SchemaError, match="not in the domain"):
+            attr.encode(["Male", "Unknown"])
+
+    def test_decode_round_trips_encode(self) -> None:
+        attr = CategoricalAttribute("language", ("English", "Indian", "Other"))
+        labels = ["Other", "English", "English", "Indian"]
+        assert attr.decode(attr.encode(labels)) == labels
+
+    def test_partition_codes_are_the_raw_codes(self) -> None:
+        attr = CategoricalAttribute("gender", ("Male", "Female"))
+        raw = np.array([1, 0, 1])
+        assert attr.partition_codes(raw).tolist() == [1, 0, 1]
+
+    def test_code_label_returns_value(self) -> None:
+        attr = CategoricalAttribute("gender", ("Male", "Female"))
+        assert attr.code_label(1) == "Female"
+
+    def test_code_label_out_of_range(self) -> None:
+        attr = CategoricalAttribute("gender", ("Male", "Female"))
+        with pytest.raises(SchemaError, match="out of range"):
+            attr.code_label(2)
+
+    def test_validate_codes_rejects_out_of_domain(self) -> None:
+        attr = CategoricalAttribute("gender", ("Male", "Female"))
+        with pytest.raises(SchemaError, match="codes must lie"):
+            attr.validate_codes(np.array([0, 3]))
+
+    def test_rejects_single_value_domain(self) -> None:
+        with pytest.raises(SchemaError, match="at least 2 values"):
+            CategoricalAttribute("constant", ("only",))
+
+    def test_rejects_duplicate_values(self) -> None:
+        with pytest.raises(SchemaError, match="duplicate"):
+            CategoricalAttribute("gender", ("Male", "Male"))
+
+    def test_rejects_empty_name(self) -> None:
+        with pytest.raises(SchemaError, match="non-empty"):
+            CategoricalAttribute("", ("a", "b"))
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=50))
+    def test_encode_decode_round_trip_property(self, labels: list[str]) -> None:
+        attr = CategoricalAttribute("x", ("a", "b", "c"))
+        assert attr.decode(attr.encode(labels)) == labels
+
+
+class TestIntegerAttribute:
+    def test_cardinality_is_bucket_count(self) -> None:
+        attr = IntegerAttribute("year_of_birth", 1950, 2009, buckets=5)
+        assert attr.cardinality == 5
+
+    def test_partition_codes_cover_all_buckets(self) -> None:
+        attr = IntegerAttribute("year_of_birth", 1950, 2009, buckets=5)
+        values = np.arange(1950, 2010)
+        codes = attr.partition_codes(values)
+        assert set(codes.tolist()) == {0, 1, 2, 3, 4}
+
+    def test_partition_codes_are_monotone_in_value(self) -> None:
+        attr = IntegerAttribute("experience", 0, 30, buckets=5)
+        codes = attr.partition_codes(np.arange(0, 31))
+        assert all(a <= b for a, b in zip(codes, codes[1:]))
+
+    def test_bucket_sizes_are_balanced(self) -> None:
+        attr = IntegerAttribute("year_of_birth", 1950, 2009, buckets=5)
+        codes = attr.partition_codes(np.arange(1950, 2010))
+        counts = np.bincount(codes, minlength=5)
+        assert counts.tolist() == [12, 12, 12, 12, 12]
+
+    def test_low_and_high_map_to_first_and_last_bucket(self) -> None:
+        attr = IntegerAttribute("experience", 0, 30, buckets=5)
+        assert attr.partition_codes(np.array([0]))[0] == 0
+        assert attr.partition_codes(np.array([30]))[0] == 4
+
+    def test_code_label_is_an_integer_interval(self) -> None:
+        attr = IntegerAttribute("year_of_birth", 1950, 2009, buckets=5)
+        assert attr.code_label(0) == "1950-1961"
+        assert attr.code_label(4) == "1998-2009"
+
+    def test_labels_tile_the_whole_range(self) -> None:
+        attr = IntegerAttribute("experience", 0, 30, buckets=4)
+        previous_end = attr.low - 1
+        for code in range(attr.buckets):
+            start, end = (int(x) for x in attr.code_label(code).split("-"))
+            assert start == previous_end + 1
+            previous_end = end
+        assert previous_end == attr.high
+
+    def test_validate_codes_rejects_out_of_range(self) -> None:
+        attr = IntegerAttribute("experience", 0, 30)
+        with pytest.raises(SchemaError, match="values must lie"):
+            attr.validate_codes(np.array([31]))
+
+    def test_rejects_inverted_range(self) -> None:
+        with pytest.raises(SchemaError, match="must exceed"):
+            IntegerAttribute("bad", 10, 10)
+
+    def test_rejects_more_buckets_than_values(self) -> None:
+        with pytest.raises(SchemaError, match="buckets must be in"):
+            IntegerAttribute("bad", 0, 2, buckets=4)
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=100))
+    def test_every_value_gets_a_valid_bucket(self, buckets: int, offset: int) -> None:
+        attr = IntegerAttribute("x", 0, 100, buckets=buckets)
+        code = attr.partition_codes(np.array([offset]))[0]
+        assert 0 <= code < buckets
+
+
+class TestObservedAttribute:
+    def test_normalize_maps_range_to_unit_interval(self) -> None:
+        attr = ObservedAttribute("language_test", 25.0, 100.0)
+        normalized = attr.normalize(np.array([25.0, 62.5, 100.0]))
+        assert normalized.tolist() == [0.0, 0.5, 1.0]
+
+    def test_denormalize_inverts_normalize(self) -> None:
+        attr = ObservedAttribute("approval_rate", 25.0, 100.0)
+        raw = np.array([25.0, 40.0, 77.3, 100.0])
+        np.testing.assert_allclose(attr.denormalize(attr.normalize(raw)), raw)
+
+    def test_validate_rejects_out_of_range(self) -> None:
+        attr = ObservedAttribute("skill", 0.0, 1.0)
+        with pytest.raises(SchemaError, match="values must lie"):
+            attr.validate(np.array([1.5]))
+
+    def test_validate_rejects_nan(self) -> None:
+        attr = ObservedAttribute("skill", 0.0, 1.0)
+        with pytest.raises(SchemaError, match="non-finite"):
+            attr.validate(np.array([np.nan]))
+
+    def test_rejects_empty_range(self) -> None:
+        with pytest.raises(SchemaError, match="must exceed"):
+            ObservedAttribute("bad", 1.0, 1.0)
+
+    def test_empty_array_validates(self) -> None:
+        ObservedAttribute("skill", 0.0, 1.0).validate(np.array([]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=25.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_normalized_values_stay_in_unit_interval(self, values: list[float]) -> None:
+        attr = ObservedAttribute("x", 25.0, 100.0)
+        normalized = attr.normalize(np.array(values))
+        assert normalized.min() >= 0.0 and normalized.max() <= 1.0

@@ -1,0 +1,139 @@
+"""Unit tests for the FairnessAuditor facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.audit import FairnessAuditor
+from repro.core.histogram import HistogramSpec
+from repro.core.population import Population
+from repro.marketplace.biased import paper_biased_functions
+from repro.marketplace.scoring import paper_functions
+
+
+class TestAudit:
+    def test_audit_with_scoring_function(
+        self, paper_population_small: Population
+    ) -> None:
+        auditor = FairnessAuditor(paper_population_small)
+        report = auditor.audit(paper_functions()["f4"], algorithm="unbalanced")
+        assert report.unfairness > 0.0
+        assert len(report.groups) == report.result.partitioning.k
+
+    def test_audit_with_raw_scores(self, small_population: Population) -> None:
+        auditor = FairnessAuditor(small_population)
+        scores = small_population.observed_column("skill")
+        report = auditor.audit(scores, algorithm="balanced")
+        assert report.scores is not None
+        assert report.result.algorithm == "balanced"
+
+    def test_group_summaries_are_consistent(
+        self, small_population: Population
+    ) -> None:
+        auditor = FairnessAuditor(small_population)
+        scores = small_population.observed_column("skill")
+        report = auditor.audit(scores)
+        for group, partition in zip(report.groups, report.result.partitioning):
+            member_scores = scores[partition.indices]
+            assert group.size == partition.size
+            assert group.mean_score == pytest.approx(member_scores.mean())
+            assert group.min_score <= group.median_score <= group.max_score
+
+    def test_most_separated_pair_matches_matrix(
+        self, paper_population_small: Population
+    ) -> None:
+        auditor = FairnessAuditor(paper_population_small)
+        report = auditor.audit(paper_biased_functions()["f6"])
+        a, b, distance = report.most_separated_pair()
+        assert distance == pytest.approx(report.pairwise.max())
+        assert a.label != b.label
+
+    def test_most_separated_pair_single_group_raises(
+        self, small_population: Population
+    ) -> None:
+        auditor = FairnessAuditor(small_population)
+        report = auditor.audit(np.full(small_population.size, 0.5))
+        if len(report.groups) < 2:
+            with pytest.raises(ValueError, match="single group"):
+                report.most_separated_pair()
+
+    def test_render_contains_headline_groups_and_tree(
+        self, paper_population_small: Population
+    ) -> None:
+        auditor = FairnessAuditor(paper_population_small)
+        report = auditor.audit(paper_biased_functions()["f6"])
+        text = report.render()
+        assert "Fairness audit" in text
+        assert "unfairness" in text
+        assert "gender=Male" in text
+        assert "Split tree:" in text
+
+    def test_custom_histogram_spec_and_metric(
+        self, small_population: Population
+    ) -> None:
+        auditor = FairnessAuditor(
+            small_population, hist_spec=HistogramSpec(bins=5), metric="tv"
+        )
+        report = auditor.audit(small_population.observed_column("skill"))
+        assert report.result.metric == "tv"
+
+    def test_algorithm_options_forwarded(self, toy: Population) -> None:
+        auditor = FairnessAuditor(toy)
+        report = auditor.audit(
+            toy.observed_column("qualification"), algorithm="exhaustive", budget=10_000
+        )
+        assert report.result.algorithm == "exhaustive"
+
+    def test_compare_algorithms_shares_scores(
+        self, paper_population_small: Population
+    ) -> None:
+        auditor = FairnessAuditor(paper_population_small)
+        reports = auditor.compare_algorithms(
+            paper_biased_functions()["f6"], algorithms=("balanced", "unbalanced")
+        )
+        assert set(reports) == {"balanced", "unbalanced"}
+        np.testing.assert_array_equal(
+            reports["balanced"].scores, reports["unbalanced"].scores
+        )
+
+    def test_audit_task_runs_on_eligible_pool(
+        self, paper_population_small: Population
+    ) -> None:
+        from repro.marketplace.tasks import task_from_weights
+
+        task = task_from_weights(
+            "t",
+            "gig",
+            {"language_test": 1.0},
+            requirements={"approval_rate": 60.0},
+        )
+        auditor = FairnessAuditor(paper_population_small)
+        report = auditor.audit_task(task, algorithm="single-attribute")
+        eligible = (
+            paper_population_small.observed_column("approval_rate") >= 60.0
+        ).sum()
+        assert report.population.size == eligible
+        assert report.result.partitioning.population_size == eligible
+
+    def test_audit_task_without_requirements_covers_everyone(
+        self, paper_population_small: Population
+    ) -> None:
+        from repro.marketplace.tasks import task_from_weights
+
+        task = task_from_weights("t", "gig", {"language_test": 1.0})
+        report = FairnessAuditor(paper_population_small).audit_task(
+            task, algorithm="single-attribute"
+        )
+        assert report.population.size == paper_population_small.size
+
+    def test_audit_finds_planted_bias_end_to_end(
+        self, paper_population_small: Population
+    ) -> None:
+        auditor = FairnessAuditor(paper_population_small)
+        report = auditor.audit(paper_biased_functions()["f6"])
+        assert report.result.partitioning.attributes_used() == ("gender",)
+        male_group = next(g for g in report.groups if "Male" in g.label)
+        female_group = next(g for g in report.groups if "Female" in g.label)
+        assert male_group.mean_score > 0.8
+        assert female_group.mean_score < 0.2

@@ -1,0 +1,186 @@
+"""Unit tests for the biased-by-design scoring functions (paper f6..f9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+from repro.marketplace.biased import (
+    AttributeCondition,
+    RuleBasedScoringFunction,
+    ScoreRule,
+    paper_biased_functions,
+)
+
+
+def _labels(population: Population, attribute: str) -> np.ndarray:
+    attr = population.schema.protected_attribute(attribute)
+    return np.array([attr.values[c] for c in population.protected_column(attribute)])
+
+
+class TestAttributeCondition:
+    def test_categorical_mask(self, paper_population_small: Population) -> None:
+        condition = AttributeCondition("gender", labels=frozenset({"Male"}))
+        mask = condition.mask(paper_population_small)
+        assert (mask == (_labels(paper_population_small, "gender") == "Male")).all()
+
+    def test_range_mask(self, paper_population_small: Population) -> None:
+        condition = AttributeCondition("year_of_birth", value_range=(1950, 1979))
+        mask = condition.mask(paper_population_small)
+        years = paper_population_small.protected_column("year_of_birth")
+        assert (mask == ((years >= 1950) & (years <= 1979))).all()
+
+    def test_requires_exactly_one_of_labels_or_range(self) -> None:
+        with pytest.raises(ScoringError, match="exactly one"):
+            AttributeCondition("gender")
+        with pytest.raises(ScoringError, match="exactly one"):
+            AttributeCondition(
+                "gender", labels=frozenset({"Male"}), value_range=(0, 1)
+            )
+
+    def test_labels_on_integer_attribute_rejected(
+        self, paper_population_small: Population
+    ) -> None:
+        condition = AttributeCondition("year_of_birth", labels=frozenset({"1950"}))
+        with pytest.raises(ScoringError, match="categorical"):
+            condition.mask(paper_population_small)
+
+    def test_range_on_categorical_attribute_rejected(
+        self, paper_population_small: Population
+    ) -> None:
+        condition = AttributeCondition("gender", value_range=(0, 1))
+        with pytest.raises(ScoringError, match="integer"):
+            condition.mask(paper_population_small)
+
+    def test_describe(self) -> None:
+        assert "gender" in AttributeCondition("gender", labels=frozenset({"Male"})).describe()
+        assert "[0, 5]" in AttributeCondition("x", value_range=(0, 5)).describe()
+
+
+class TestScoreRule:
+    def test_conjunction_of_conditions(self, paper_population_small: Population) -> None:
+        rule = ScoreRule(
+            (
+                AttributeCondition("gender", labels=frozenset({"Female"})),
+                AttributeCondition("country", labels=frozenset({"America"})),
+            ),
+            (0.8, 1.0),
+        )
+        mask = rule.mask(paper_population_small)
+        genders = _labels(paper_population_small, "gender")
+        countries = _labels(paper_population_small, "country")
+        assert (mask == ((genders == "Female") & (countries == "America"))).all()
+
+    def test_empty_conditions_match_everyone(
+        self, paper_population_small: Population
+    ) -> None:
+        rule = ScoreRule((), (0.0, 1.0))
+        assert rule.mask(paper_population_small).all()
+
+    def test_invalid_score_range_rejected(self) -> None:
+        with pytest.raises(ScoringError, match="0 <= low < high <= 1"):
+            ScoreRule((), (0.5, 0.2))
+        with pytest.raises(ScoringError, match="0 <= low < high <= 1"):
+            ScoreRule((), (0.5, 1.2))
+
+
+class TestRuleBasedScoringFunction:
+    def test_scores_fall_in_matched_ranges(
+        self, paper_population_small: Population
+    ) -> None:
+        f6 = paper_biased_functions()["f6"]
+        scores = f6(paper_population_small)
+        genders = _labels(paper_population_small, "gender")
+        assert (scores[genders == "Male"] >= 0.8).all()
+        assert (scores[genders == "Female"] <= 0.2).all()
+
+    def test_first_match_wins(self, paper_population_small: Population) -> None:
+        function = RuleBasedScoringFunction(
+            "f",
+            [
+                ScoreRule(
+                    (AttributeCondition("gender", labels=frozenset({"Male"})),),
+                    (0.9, 1.0),
+                ),
+                # Overlapping later rule must not override the first.
+                ScoreRule((), (0.0, 0.1)),
+            ],
+        )
+        scores = function(paper_population_small)
+        genders = _labels(paper_population_small, "gender")
+        assert (scores[genders == "Male"] >= 0.9).all()
+        assert (scores[genders == "Female"] <= 0.1).all()
+
+    def test_default_range_for_unmatched(self, paper_population_small: Population) -> None:
+        function = RuleBasedScoringFunction(
+            "f",
+            [
+                ScoreRule(
+                    (AttributeCondition("gender", labels=frozenset({"Female"})),),
+                    (0.8, 1.0),
+                )
+            ],
+            default_range=(0.4, 0.6),
+        )
+        scores = function(paper_population_small)
+        genders = _labels(paper_population_small, "gender")
+        males = scores[genders == "Male"]
+        assert (males >= 0.4).all() and (males <= 0.6).all()
+
+    def test_deterministic_given_seed(self, paper_population_small: Population) -> None:
+        f7 = paper_biased_functions()["f7"]
+        np.testing.assert_array_equal(
+            f7(paper_population_small), f7(paper_population_small)
+        )
+
+    def test_needs_at_least_one_rule(self) -> None:
+        with pytest.raises(ScoringError, match="at least one rule"):
+            RuleBasedScoringFunction("f", [])
+
+    def test_describe_lists_rules(self) -> None:
+        f6 = paper_biased_functions()["f6"]
+        text = f6.describe()
+        assert text.startswith("f6:")
+        assert "U(0.8, 1.0)" in text
+
+
+class TestPaperBiasedFunctions:
+    def test_four_functions(self) -> None:
+        assert sorted(paper_biased_functions()) == ["f6", "f7", "f8", "f9"]
+
+    def test_f7_score_bands(self, paper_population_small: Population) -> None:
+        scores = paper_biased_functions()["f7"](paper_population_small)
+        genders = _labels(paper_population_small, "gender")
+        countries = _labels(paper_population_small, "country")
+        assert (scores[(genders == "Male") & (countries == "America")] >= 0.8).all()
+        assert (scores[(genders == "Female") & (countries == "America")] <= 0.2).all()
+        indians = scores[countries == "India"]
+        assert (indians >= 0.5).all() and (indians <= 0.7).all()
+        assert (scores[(genders == "Female") & (countries == "Other")] >= 0.8).all()
+        assert (scores[(genders == "Male") & (countries == "Other")] <= 0.2).all()
+
+    def test_f8_score_bands(self, paper_population_small: Population) -> None:
+        scores = paper_biased_functions()["f8"](paper_population_small)
+        genders = _labels(paper_population_small, "gender")
+        countries = _labels(paper_population_small, "country")
+        assert (scores[(genders == "Female") & (countries == "America")] >= 0.8).all()
+        f_india = scores[(genders == "Female") & (countries == "India")]
+        assert (f_india >= 0.5).all() and (f_india <= 0.8).all()
+        assert (scores[(genders == "Female") & (countries == "Other")] <= 0.2).all()
+
+    def test_f9_correlates_with_planted_attributes(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = paper_biased_functions()["f9"](paper_population_small)
+        ethnicities = _labels(paper_population_small, "ethnicity")
+        white = scores[ethnicities == "White"]
+        assert white.mean() > scores.mean()  # White workers scored higher by design
+
+    def test_all_scores_in_unit_interval(
+        self, paper_population_small: Population
+    ) -> None:
+        for function in paper_biased_functions().values():
+            scores = function(paper_population_small)
+            assert scores.min() >= 0.0 and scores.max() <= 1.0

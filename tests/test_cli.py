@@ -1,0 +1,226 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self) -> None:
+        args = build_parser().parse_args(
+            ["generate", "--workers", "50", "--seed", "1", "--out", "x.csv"]
+        )
+        assert args.command == "generate"
+        assert args.workers == 50
+
+    def test_unknown_experiment_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestGenerateAndAudit:
+    def test_generate_then_audit(self, tmp_path: Path, capsys) -> None:
+        csv_path = tmp_path / "workers.csv"
+        assert main(["generate", "--workers", "80", "--seed", "3", "--out", str(csv_path)]) == 0
+        assert csv_path.exists()
+        captured = capsys.readouterr()
+        assert "wrote 80 workers" in captured.out
+
+        assert main(["audit", str(csv_path), "--function", "f6", "--algorithm", "balanced"]) == 0
+        captured = capsys.readouterr()
+        assert "Fairness audit" in captured.out
+        assert "gender=Male" in captured.out
+
+    def test_audit_unknown_function(self, tmp_path: Path, capsys) -> None:
+        csv_path = tmp_path / "workers.csv"
+        main(["generate", "--workers", "30", "--out", str(csv_path)])
+        capsys.readouterr()
+        assert main(["audit", str(csv_path), "--function", "f99"]) == 2
+        assert "unknown function" in capsys.readouterr().err
+
+    def test_audit_with_histograms_flag(self, tmp_path: Path, capsys) -> None:
+        csv_path = tmp_path / "workers.csv"
+        main(["generate", "--workers", "50", "--out", str(csv_path)])
+        capsys.readouterr()
+        assert main(["audit", str(csv_path), "--function", "f6", "--histograms"]) == 0
+        out = capsys.readouterr().out
+        assert "Score histograms:" in out
+        assert "█" in out
+
+    def test_audit_with_metric_and_bins(self, tmp_path: Path, capsys) -> None:
+        csv_path = tmp_path / "workers.csv"
+        main(["generate", "--workers", "40", "--out", str(csv_path)])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "audit",
+                    str(csv_path),
+                    "--function",
+                    "f1",
+                    "--algorithm",
+                    "unbalanced",
+                    "--metric",
+                    "tv",
+                    "--bins",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        assert "metric=tv" in capsys.readouterr().out
+
+
+class TestCompareSignificanceRepair:
+    @pytest.fixture()
+    def population_csv(self, tmp_path: Path, capsys) -> str:
+        csv_path = tmp_path / "workers.csv"
+        main(["generate", "--workers", "60", "--seed", "2", "--out", str(csv_path)])
+        capsys.readouterr()
+        return str(csv_path)
+
+    def test_compare_lists_all_algorithms(self, population_csv: str, capsys) -> None:
+        assert main(["compare", population_csv, "--function", "f6"]) == 0
+        out = capsys.readouterr().out
+        for name in ("unbalanced", "balanced", "all-attributes", "beam"):
+            assert name in out
+
+    def test_compare_unknown_function(self, population_csv: str, capsys) -> None:
+        assert main(["compare", population_csv, "--function", "f99"]) == 2
+        assert "unknown function" in capsys.readouterr().err
+
+    def test_significance_verdict_biased(self, population_csv: str, capsys) -> None:
+        assert (
+            main(
+                [
+                    "significance",
+                    population_csv,
+                    "--function",
+                    "f6",
+                    "--permutations",
+                    "49",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "permutation test" in out
+        assert "SIGNIFICANT" in out
+
+    def test_repair_reports_before_and_after(
+        self, population_csv: str, tmp_path: Path, capsys
+    ) -> None:
+        out_path = tmp_path / "repaired.csv"
+        assert (
+            main(
+                [
+                    "repair",
+                    population_csv,
+                    "--function",
+                    "f6",
+                    "--amount",
+                    "1.0",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "before repair" in out
+        assert "after repair" in out
+        assert out_path.exists()
+        header = out_path.read_text().splitlines()[0]
+        assert header == "worker,original_score,repaired_score"
+
+
+class TestWorkload:
+    @pytest.fixture()
+    def population_csv(self, tmp_path: Path, capsys) -> str:
+        csv_path = tmp_path / "workers.csv"
+        main(["generate", "--workers", "60", "--seed", "3", "--out", str(csv_path)])
+        capsys.readouterr()
+        return str(csv_path)
+
+    def test_workload_audit_runs(self, population_csv: str, tmp_path: Path, capsys) -> None:
+        import json
+
+        tasks_path = tmp_path / "tasks.json"
+        tasks_path.write_text(
+            json.dumps(
+                [
+                    {
+                        "id": "t1",
+                        "title": "gig",
+                        "weights": {"language_test": 1.0},
+                        "positions": 2,
+                    },
+                    {
+                        "id": "t2",
+                        "weights": {"approval_rate": 1.0},
+                        "requirements": {"language_test": 40.0},
+                    },
+                ]
+            )
+        )
+        assert main(["workload", population_csv, str(tasks_path)]) == 0
+        out = capsys.readouterr().out
+        assert "workload audit over 2 tasks" in out
+
+    def test_workload_rejects_bad_json(self, population_csv: str, tmp_path: Path, capsys) -> None:
+        tasks_path = tmp_path / "tasks.json"
+        tasks_path.write_text("{not json")
+        assert main(["workload", population_csv, str(tasks_path)]) == 2
+        assert "cannot read workload" in capsys.readouterr().err
+
+    def test_workload_rejects_empty_list(self, population_csv: str, tmp_path: Path, capsys) -> None:
+        tasks_path = tmp_path / "tasks.json"
+        tasks_path.write_text("[]")
+        assert main(["workload", population_csv, str(tasks_path)]) == 2
+        assert "non-empty" in capsys.readouterr().err
+
+    def test_workload_rejects_malformed_spec(
+        self, population_csv: str, tmp_path: Path, capsys
+    ) -> None:
+        tasks_path = tmp_path / "tasks.json"
+        tasks_path.write_text('[{"id": "t1"}]')
+        assert main(["workload", population_csv, str(tasks_path)]) == 2
+        assert "malformed task spec" in capsys.readouterr().err
+
+
+class TestExperiment:
+    def test_figure1_experiment(self, capsys) -> None:
+        assert main(["experiment", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 toy" in out
+        assert "exhaustive" in out
+
+    def test_table_experiment_scaled_down(self, tmp_path: Path, capsys) -> None:
+        out_path = tmp_path / "table1.json"
+        assert (
+            main(
+                [
+                    "experiment",
+                    "table1",
+                    "--workers",
+                    "100",
+                    "--seed",
+                    "4",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "average EMD, measured (paper)" in out
+        assert "runtime (seconds, ours)" in out
+        assert out_path.exists()

@@ -1,0 +1,141 @@
+"""Edge cases and failure injection across the whole stack.
+
+Degenerate inputs a production library must survive: one-worker populations,
+constant attributes, one-bin histograms, saturated scores, minimal schemas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import available_algorithms, get_algorithm
+from repro.core.attributes import CategoricalAttribute, ObservedAttribute
+from repro.core.histogram import HistogramSpec
+from repro.core.partition import Partition, Partitioning
+from repro.core.population import Population
+from repro.core.schema import WorkerSchema
+from repro.core.unfairness import UnfairnessEvaluator
+from repro.repair.quantile import repair_scores
+
+MINIMAL_SCHEMA = WorkerSchema(
+    protected=(CategoricalAttribute("g", ("a", "b")),),
+    observed=(ObservedAttribute("skill", 0.0, 1.0),),
+)
+
+ALL_RUNNABLE = [name for name in available_algorithms() if name != "exhaustive"]
+
+
+def _population(genders: list[int], skills: list[float]) -> Population:
+    return Population(
+        MINIMAL_SCHEMA,
+        {"g": np.array(genders)},
+        {"skill": np.array(skills)},
+    )
+
+
+class TestSingleWorker:
+    @pytest.mark.parametrize("name", ALL_RUNNABLE + ["exhaustive"])
+    def test_every_algorithm_handles_one_worker(self, name: str) -> None:
+        population = _population([0], [0.5])
+        result = get_algorithm(name).run(
+            population, np.array([0.5]), rng=0
+        )
+        assert result.partitioning.population_size == 1
+        assert result.unfairness == 0.0
+
+    def test_one_worker_histogram(self) -> None:
+        spec = HistogramSpec(bins=10)
+        pmf = spec.normalized_histogram(np.array([0.55]))
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[5] == pytest.approx(1.0)
+
+
+class TestConstantAttribute:
+    @pytest.mark.parametrize("name", ALL_RUNNABLE)
+    def test_single_valued_attribute_column(self, name: str) -> None:
+        # Every worker shares one gender: splits are no-ops and the result
+        # must still be a legal partitioning.
+        population = _population([0] * 8, list(np.linspace(0, 1, 8)))
+        result = get_algorithm(name).run(
+            population, population.observed_column("skill"), rng=0
+        )
+        assert result.partitioning.population_size == 8
+        assert result.unfairness == 0.0  # one non-empty cell -> no pairs
+
+
+class TestDegenerateScores:
+    @pytest.mark.parametrize("value", [0.0, 1.0])
+    def test_saturated_scores(self, value: float) -> None:
+        population = _population([0, 0, 1, 1], [value] * 4)
+        result = get_algorithm("balanced").run(
+            population, np.full(4, value)
+        )
+        assert result.unfairness == 0.0
+
+    def test_two_point_scores_maximally_separated(self) -> None:
+        population = _population([0, 0, 1, 1], [0.0, 0.0, 1.0, 1.0])
+        result = get_algorithm("balanced").run(
+            population, population.observed_column("skill")
+        )
+        # Mass in the first vs last of 10 bins: EMD = 0.9 in score units.
+        assert result.unfairness == pytest.approx(0.9)
+        assert result.partitioning.attributes_used() == ("g",)
+
+
+class TestExtremeBinning:
+    def test_single_bin_histogram_sees_no_unfairness(self) -> None:
+        population = _population([0, 0, 1, 1], [0.0, 0.1, 0.9, 1.0])
+        result = get_algorithm("balanced").run(
+            population,
+            population.observed_column("skill"),
+            hist_spec=HistogramSpec(bins=1),
+        )
+        assert result.unfairness == 0.0
+
+    def test_very_fine_binning_still_bounded(self) -> None:
+        population = _population([0, 0, 1, 1], [0.0, 0.0, 1.0, 1.0])
+        result = get_algorithm("balanced").run(
+            population,
+            population.observed_column("skill"),
+            hist_spec=HistogramSpec(bins=1000),
+        )
+        assert result.unfairness <= 1.0
+        assert result.unfairness == pytest.approx(0.999)
+
+
+class TestRepairDegenerate:
+    def test_repair_single_partition_is_monotone_transform(self) -> None:
+        scores = np.array([0.2, 0.8, 0.5, 0.1])
+        partitioning = Partitioning([Partition(np.arange(4))], 4)
+        repaired = repair_scores(scores, partitioning, amount=1.0)
+        # One group: quantile alignment against the pooled distribution is
+        # (approximately) the identity up to interpolation.
+        assert np.argsort(repaired).tolist() == np.argsort(scores).tolist()
+
+    def test_repair_singleton_groups(self) -> None:
+        scores = np.array([0.2, 0.8])
+        partitioning = Partitioning(
+            [Partition(np.array([0])), Partition(np.array([1]))], 2
+        )
+        repaired = repair_scores(scores, partitioning, amount=1.0)
+        # Each singleton maps to the pooled median.
+        assert repaired[0] == pytest.approx(repaired[1])
+
+
+class TestEvaluatorDegenerate:
+    def test_unfairness_of_empty_partition_list(self) -> None:
+        population = _population([0, 1], [0.2, 0.8])
+        evaluator = UnfairnessEvaluator(
+            population, population.observed_column("skill")
+        )
+        assert evaluator.unfairness([]) == 0.0
+
+    def test_pairwise_matrix_of_one_partition(self) -> None:
+        population = _population([0, 1], [0.2, 0.8])
+        evaluator = UnfairnessEvaluator(
+            population, population.observed_column("skill")
+        )
+        matrix = evaluator.pairwise_matrix([Partition(np.arange(2))])
+        assert matrix.shape == (1, 1)
+        assert matrix[0, 0] == 0.0

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are the first thing a new user runs; these tests keep them from
+rotting.  Each one is executed as a subprocess (the way users run them) and
+checked for a zero exit code plus a key line of its expected output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: (script, substring expected in stdout)
+EXAMPLES = [
+    ("quickstart.py", "Fairness audit"),
+    ("toy_figure1.py", "unbalanced recovered the exhaustive optimum"),
+    ("marketplace_hiring.py", "fairness audit (balanced)"),
+    ("repair_bias.py", "within-group worker rankings preserved"),
+    ("indirect_bias.py", "real bias"),
+    ("platform_governance.py", "work share by gender after repairing"),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs_cleanly(script: str, expected: str) -> None:
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout
+
+
+def test_every_example_file_is_covered() -> None:
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, __ in EXAMPLES}
+    assert on_disk == covered, (
+        "examples and smoke tests out of sync: "
+        f"untested={sorted(on_disk - covered)}, missing={sorted(covered - on_disk)}"
+    )

@@ -1,0 +1,105 @@
+"""Unit tests for score histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.histogram import HistogramSpec
+from repro.exceptions import MetricError
+
+
+class TestHistogramSpec:
+    def test_bin_width(self) -> None:
+        assert HistogramSpec(bins=10).bin_width == pytest.approx(0.1)
+        assert HistogramSpec(bins=4, low=0.0, high=2.0).bin_width == pytest.approx(0.5)
+
+    def test_edges_and_centers(self) -> None:
+        spec = HistogramSpec(bins=4)
+        np.testing.assert_allclose(spec.edges, [0.0, 0.25, 0.5, 0.75, 1.0])
+        np.testing.assert_allclose(spec.centers, [0.125, 0.375, 0.625, 0.875])
+
+    def test_rejects_zero_bins(self) -> None:
+        with pytest.raises(MetricError, match="at least one bin"):
+            HistogramSpec(bins=0)
+
+    def test_rejects_empty_range(self) -> None:
+        with pytest.raises(MetricError, match="range is empty"):
+            HistogramSpec(bins=10, low=1.0, high=1.0)
+
+
+class TestBinning:
+    def test_bin_indices_simple(self) -> None:
+        spec = HistogramSpec(bins=10)
+        scores = np.array([0.0, 0.05, 0.15, 0.95, 1.0])
+        assert spec.bin_indices(scores).tolist() == [0, 0, 1, 9, 9]
+
+    def test_max_score_lands_in_last_bin(self) -> None:
+        spec = HistogramSpec(bins=5)
+        assert spec.bin_indices(np.array([1.0]))[0] == 4
+
+    def test_bin_edges_are_left_inclusive(self) -> None:
+        spec = HistogramSpec(bins=10)
+        assert spec.bin_indices(np.array([0.1]))[0] == 1
+        assert spec.bin_indices(np.array([0.2]))[0] == 2
+
+    def test_out_of_range_scores_rejected(self) -> None:
+        spec = HistogramSpec(bins=10)
+        with pytest.raises(MetricError, match="scores must lie"):
+            spec.bin_indices(np.array([1.1]))
+        with pytest.raises(MetricError, match="scores must lie"):
+            spec.bin_indices(np.array([-0.1]))
+
+    def test_nan_scores_rejected(self) -> None:
+        with pytest.raises(MetricError, match="non-finite"):
+            HistogramSpec().bin_indices(np.array([np.nan]))
+
+    def test_histogram_counts(self) -> None:
+        spec = HistogramSpec(bins=4)
+        counts = spec.histogram(np.array([0.1, 0.1, 0.3, 0.9]))
+        assert counts.tolist() == [2, 1, 0, 1]
+
+    def test_histogram_total_equals_input_size(self) -> None:
+        spec = HistogramSpec(bins=7)
+        scores = np.linspace(0, 1, 53)
+        assert spec.histogram(scores).sum() == 53
+
+    def test_normalized_histogram_sums_to_one(self) -> None:
+        spec = HistogramSpec(bins=10)
+        pmf = spec.normalized_histogram(np.array([0.2, 0.4, 0.6]))
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_normalized_histogram_of_empty_rejected(self) -> None:
+        with pytest.raises(MetricError, match="empty partition"):
+            HistogramSpec().normalized_histogram(np.array([]))
+
+    def test_histogram_from_bin_indices_matches_direct(self) -> None:
+        spec = HistogramSpec(bins=10)
+        scores = np.array([0.05, 0.15, 0.15, 0.95])
+        direct = spec.histogram(scores)
+        via_indices = spec.histogram_from_bin_indices(spec.bin_indices(scores))
+        assert direct.tolist() == via_indices.tolist()
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_counts_conserve_mass_property(self, scores: list[float], bins: int) -> None:
+        spec = HistogramSpec(bins=bins)
+        counts = spec.histogram(np.array(scores))
+        assert counts.sum() == len(scores)
+        assert counts.shape == (bins,)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_every_score_gets_a_valid_bin_property(self, score: float) -> None:
+        spec = HistogramSpec(bins=10)
+        index = spec.bin_indices(np.array([score]))[0]
+        assert 0 <= index < 10
+        # The score lies inside (or on the boundary of) its bin.
+        assert spec.edges[index] <= score <= spec.edges[index + 1] + 1e-12

@@ -1,0 +1,71 @@
+"""Unit tests for attribute-importance ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.importance import attribute_importance
+from repro.core.partition import Partition
+from repro.core.population import Population
+from repro.core.splitting import worst_attribute
+from repro.core.unfairness import UnfairnessEvaluator
+from repro.marketplace.biased import paper_biased_functions
+from repro.marketplace.scoring import paper_functions
+
+
+class TestAttributeImportance:
+    def test_one_entry_per_protected_attribute(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = paper_functions()["f1"](paper_population_small)
+        ranking = attribute_importance(paper_population_small, scores)
+        assert {r.attribute for r in ranking} == set(
+            paper_population_small.schema.protected_names
+        )
+
+    def test_sorted_most_unfair_first(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = paper_biased_functions()["f6"](paper_population_small)
+        ranking = attribute_importance(paper_population_small, scores)
+        values = [r.unfairness for r in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_planted_attribute_ranks_first(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = paper_biased_functions()["f6"](paper_population_small)
+        ranking = attribute_importance(paper_population_small, scores)
+        assert ranking[0].attribute == "gender"
+        assert ranking[0].unfairness == pytest.approx(0.8, abs=0.05)
+        assert ranking[0].n_groups == 2
+        # Gender dwarfs every other attribute on f6.
+        assert ranking[0].unfairness > 3 * ranking[1].unfairness
+
+    def test_top_entry_matches_worst_attribute(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = paper_biased_functions()["f7"](paper_population_small)
+        ranking = attribute_importance(paper_population_small, scores)
+        evaluator = UnfairnessEvaluator(paper_population_small, scores)
+        choice = worst_attribute(
+            paper_population_small,
+            [Partition(paper_population_small.all_indices())],
+            list(paper_population_small.schema.protected_names),
+            evaluator,
+        )
+        assert ranking[0].attribute == choice.attribute
+        assert ranking[0].unfairness == pytest.approx(choice.score)
+
+    def test_weighted_variant_runs(self, paper_population_small: Population) -> None:
+        scores = paper_biased_functions()["f8"](paper_population_small)
+        uniform = attribute_importance(paper_population_small, scores)
+        weighted = attribute_importance(
+            paper_population_small, scores, weighting="size"
+        )
+        assert {r.attribute for r in uniform} == {r.attribute for r in weighted}
+
+    def test_str(self, paper_population_small: Population) -> None:
+        scores = paper_functions()["f1"](paper_population_small)
+        entry = attribute_importance(paper_population_small, scores)[0]
+        assert entry.attribute in str(entry)

@@ -1,0 +1,149 @@
+"""Unit tests for persistence (CSV populations, JSON results)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.population import Population
+from repro.exceptions import PopulationError, SchemaError
+from repro.io.serialization import (
+    load_experiment_rows,
+    load_population,
+    save_experiment_result,
+    save_population,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.simulation.config import PaperConfig, paper_schema
+from repro.simulation.runner import run_scenario
+from repro.simulation.scenarios import table3_scenario
+
+
+class TestSchemaRoundTrip:
+    def test_paper_schema_round_trips(self) -> None:
+        schema = paper_schema()
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored == schema
+
+    def test_bucket_counts_survive(self) -> None:
+        schema = paper_schema(year_of_birth_buckets=3)
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored.protected_attribute("year_of_birth").cardinality == 3
+
+    def test_unknown_kind_rejected(self) -> None:
+        with pytest.raises(SchemaError, match="unknown protected attribute kind"):
+            schema_from_dict(
+                {
+                    "protected": [{"kind": "mystery", "name": "x"}],
+                    "observed": [{"name": "skill", "low": 0, "high": 1}],
+                }
+            )
+
+
+class TestPopulationRoundTrip:
+    def test_round_trip_exact(self, tmp_path: Path, paper_population_small: Population) -> None:
+        path = tmp_path / "workers.csv"
+        save_population(paper_population_small, path)
+        restored = load_population(path)
+        assert restored.size == paper_population_small.size
+        for name in paper_population_small.schema.protected_names:
+            np.testing.assert_array_equal(
+                restored.protected_column(name),
+                paper_population_small.protected_column(name),
+            )
+        for name in paper_population_small.schema.observed_names:
+            np.testing.assert_allclose(
+                restored.observed_column(name),
+                paper_population_small.observed_column(name),
+            )
+
+    def test_sidecar_written(self, tmp_path: Path, toy: Population) -> None:
+        path = tmp_path / "toy.csv"
+        save_population(toy, path)
+        assert (tmp_path / "toy.csv.schema.json").exists()
+
+    def test_load_with_explicit_schema(self, tmp_path: Path, toy: Population) -> None:
+        path = tmp_path / "toy.csv"
+        save_population(toy, path)
+        (tmp_path / "toy.csv.schema.json").unlink()
+        restored = load_population(path, schema=toy.schema)
+        assert restored.size == toy.size
+
+    def test_missing_sidecar_without_schema_raises(
+        self, tmp_path: Path, toy: Population
+    ) -> None:
+        path = tmp_path / "toy.csv"
+        save_population(toy, path)
+        (tmp_path / "toy.csv.schema.json").unlink()
+        with pytest.raises(PopulationError, match="no schema"):
+            load_population(path)
+
+    def test_header_mismatch_rejected(self, tmp_path: Path, toy: Population) -> None:
+        path = tmp_path / "bad.csv"
+        path.write_text("wrong,header\n1,2\n")
+        with pytest.raises(PopulationError, match="do not match"):
+            load_population(path, schema=toy.schema)
+
+    def test_empty_file_rejected(self, tmp_path: Path, toy: Population) -> None:
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(PopulationError, match="empty"):
+            load_population(path, schema=toy.schema)
+
+    def test_header_only_rejected(self, tmp_path: Path, toy: Population) -> None:
+        path = tmp_path / "headeronly.csv"
+        path.write_text("gender,language,qualification\n")
+        with pytest.raises(PopulationError, match="no workers"):
+            load_population(path, schema=toy.schema)
+
+
+class TestAuditReportExport:
+    def test_dict_carries_headline_fields(self, paper_population_small) -> None:
+        import json
+
+        from repro.core.audit import FairnessAuditor
+        from repro.io.serialization import audit_report_to_dict, save_audit_report
+        from repro.marketplace.biased import paper_biased_functions
+
+        report = FairnessAuditor(paper_population_small).audit(
+            paper_biased_functions()["f6"], algorithm="balanced"
+        )
+        payload = audit_report_to_dict(report)
+        assert payload["algorithm"] == "balanced"
+        assert payload["unfairness"] == pytest.approx(report.unfairness)
+        assert payload["attributes_used"] == ["gender"]
+        assert len(payload["groups"]) == 2
+        assert len(payload["pairwise_distances"]) == 2
+        json.dumps(payload)  # must be JSON-serialisable as-is
+
+    def test_save_audit_report(self, tmp_path: Path, paper_population_small) -> None:
+        import json
+
+        from repro.core.audit import FairnessAuditor
+        from repro.io.serialization import save_audit_report
+        from repro.marketplace.biased import paper_biased_functions
+
+        report = FairnessAuditor(paper_population_small).audit(
+            paper_biased_functions()["f7"]
+        )
+        path = tmp_path / "report.json"
+        save_audit_report(report, path)
+        restored = json.loads(path.read_text())
+        assert restored["metric"] == "emd"
+        assert restored["population_size"] == paper_population_small.size
+
+
+class TestExperimentResultRoundTrip:
+    def test_save_and_load_rows(self, tmp_path: Path) -> None:
+        scenario = table3_scenario(PaperConfig(n_workers=80, seed=3))
+        result = run_scenario(scenario, algorithms=("balanced",), seed=0)
+        path = tmp_path / "result.json"
+        save_experiment_result(result, path)
+        rows = load_experiment_rows(path)
+        assert len(rows) == len(result.rows)
+        assert rows[0]["algorithm"] == "balanced"
+        assert rows[0]["scenario"] == scenario.name
+        assert isinstance(rows[0]["unfairness"], float)

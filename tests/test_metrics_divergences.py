@@ -1,0 +1,135 @@
+"""Unit and property tests for the alternative histogram distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import HistogramSpec
+from repro.exceptions import MetricError
+from repro.metrics.base import available_metrics, get_metric
+from repro.metrics.divergences import (
+    HellingerDistance,
+    JensenShannonDistance,
+    KolmogorovSmirnovDistance,
+    TotalVariationDistance,
+)
+
+SPEC = HistogramSpec(bins=8)
+
+pmf_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=8, max_size=8
+).map(lambda xs: np.array(xs) + 1e-9).map(lambda a: a / a.sum())
+
+ALL_METRICS = [
+    KolmogorovSmirnovDistance(),
+    TotalVariationDistance(),
+    JensenShannonDistance(),
+    HellingerDistance(),
+]
+
+
+class TestRegistry:
+    def test_all_metrics_registered(self) -> None:
+        names = available_metrics()
+        for expected in ("emd", "ks", "tv", "js", "hellinger"):
+            assert expected in names
+
+    def test_get_metric_by_instance_passthrough(self) -> None:
+        metric = TotalVariationDistance()
+        assert get_metric(metric) is metric
+
+    def test_get_unknown_metric_raises(self) -> None:
+        with pytest.raises(MetricError, match="unknown metric"):
+            get_metric("nope")
+
+
+class TestKnownValues:
+    def test_ks_is_max_cdf_gap(self) -> None:
+        p = np.array([1.0, 0, 0, 0, 0, 0, 0, 0])
+        q = np.array([0, 0, 0, 0, 0, 0, 0, 1.0])
+        assert KolmogorovSmirnovDistance()(p, q, SPEC) == pytest.approx(1.0)
+
+    def test_tv_of_disjoint_supports_is_one(self) -> None:
+        p = np.array([0.5, 0.5, 0, 0, 0, 0, 0, 0])
+        q = np.array([0, 0, 0.5, 0.5, 0, 0, 0, 0])
+        assert TotalVariationDistance()(p, q, SPEC) == pytest.approx(1.0)
+
+    def test_tv_half_overlap(self) -> None:
+        p = np.array([0.5, 0.5, 0, 0, 0, 0, 0, 0])
+        q = np.array([0.5, 0, 0.5, 0, 0, 0, 0, 0])
+        assert TotalVariationDistance()(p, q, SPEC) == pytest.approx(0.5)
+
+    def test_js_of_disjoint_supports_is_one(self) -> None:
+        p = np.array([1.0, 0, 0, 0, 0, 0, 0, 0])
+        q = np.array([0, 1.0, 0, 0, 0, 0, 0, 0])
+        assert JensenShannonDistance()(p, q, SPEC) == pytest.approx(1.0)
+
+    def test_hellinger_of_disjoint_supports_is_one(self) -> None:
+        p = np.array([1.0, 0, 0, 0, 0, 0, 0, 0])
+        q = np.array([0, 1.0, 0, 0, 0, 0, 0, 0])
+        assert HellingerDistance()(p, q, SPEC) == pytest.approx(1.0)
+
+    def test_ks_insensitive_to_distance_between_modes(self) -> None:
+        # Unlike EMD, KS does not grow when mass moves further away.
+        near_p = np.array([1.0, 0, 0, 0, 0, 0, 0, 0])
+        near_q = np.array([0, 1.0, 0, 0, 0, 0, 0, 0])
+        far_q = np.array([0, 0, 0, 0, 0, 0, 0, 1.0])
+        ks = KolmogorovSmirnovDistance()
+        assert ks(near_p, near_q, SPEC) == pytest.approx(ks(near_p, far_q, SPEC))
+        emd = get_metric("emd")
+        assert emd(near_p, far_q, SPEC) > emd(near_p, near_q, SPEC)
+
+
+class TestMetricAxioms:
+    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+    @given(p=pmf_strategy, q=pmf_strategy)
+    @settings(max_examples=25)
+    def test_symmetry_and_nonnegativity(self, metric, p, q) -> None:
+        d_pq = metric(p, q, SPEC)
+        d_qp = metric(q, p, SPEC)
+        assert d_pq >= 0.0
+        assert d_pq == pytest.approx(d_qp, abs=1e-9)
+
+    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+    @given(p=pmf_strategy)
+    @settings(max_examples=25)
+    def test_self_distance_is_zero(self, metric, p) -> None:
+        assert metric(p, p, SPEC) == pytest.approx(0.0, abs=1e-7)
+
+    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+    @given(p=pmf_strategy, q=pmf_strategy)
+    @settings(max_examples=25)
+    def test_bounded_by_one(self, metric, p, q) -> None:
+        assert metric(p, q, SPEC) <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize(
+        "metric",
+        [TotalVariationDistance(), JensenShannonDistance(), HellingerDistance()],
+        ids=lambda m: m.name,
+    )
+    @given(p=pmf_strategy, q=pmf_strategy, r=pmf_strategy)
+    @settings(max_examples=25)
+    def test_triangle_inequality(self, metric, p, q, r) -> None:
+        assert metric(p, r, SPEC) <= metric(p, q, SPEC) + metric(q, r, SPEC) + 1e-7
+
+
+class TestAggregateDefaults:
+    def test_generic_average_pairwise_matches_manual(self) -> None:
+        metric = TotalVariationDistance()
+        rng = np.random.default_rng(11)
+        pmfs = rng.dirichlet(np.ones(8), size=5)
+        manual = np.mean(
+            [
+                metric.distance(pmfs[i], pmfs[j], SPEC)
+                for i in range(5)
+                for j in range(i + 1, 5)
+            ]
+        )
+        assert metric.average_pairwise(pmfs, SPEC) == pytest.approx(manual)
+
+    def test_generic_average_pairwise_single_histogram_is_zero(self) -> None:
+        metric = KolmogorovSmirnovDistance()
+        assert metric.average_pairwise(np.ones((1, 8)) / 8, SPEC) == 0.0

@@ -1,0 +1,134 @@
+"""Unit tests for the transportation-LP EMD and the thresholded variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import HistogramSpec
+from repro.exceptions import MetricError
+from repro.metrics.base import get_metric
+from repro.metrics.emd import emd
+from repro.metrics.transport import (
+    ThresholdedEMDDistance,
+    ground_distance_matrix,
+    transport_emd,
+)
+
+SPEC = HistogramSpec(bins=8)
+
+pmf_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=8, max_size=8
+).map(lambda xs: np.array(xs) + 1e-9).map(lambda a: a / a.sum())
+
+
+class TestGroundDistanceMatrix:
+    def test_entries_are_center_distances(self) -> None:
+        distances = ground_distance_matrix(SPEC)
+        assert distances[0, 0] == 0.0
+        assert distances[0, 1] == pytest.approx(SPEC.bin_width)
+        assert distances[0, 7] == pytest.approx(7 * SPEC.bin_width)
+
+    def test_symmetric(self) -> None:
+        distances = ground_distance_matrix(SPEC)
+        np.testing.assert_allclose(distances, distances.T)
+
+    def test_threshold_clamps(self) -> None:
+        distances = ground_distance_matrix(SPEC, threshold=0.2)
+        assert distances.max() == pytest.approx(0.2)
+        assert distances[0, 1] == pytest.approx(SPEC.bin_width)
+
+    def test_invalid_threshold_rejected(self) -> None:
+        with pytest.raises(MetricError, match="positive"):
+            ground_distance_matrix(SPEC, threshold=0.0)
+
+
+class TestTransportEMD:
+    @given(p=pmf_strategy, q=pmf_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_closed_form_for_linear_ground_distance(
+        self, p: np.ndarray, q: np.ndarray
+    ) -> None:
+        distances = ground_distance_matrix(SPEC)
+        lp_value = transport_emd(p, q, distances)
+        closed_form = emd(p, q, SPEC.bin_width)
+        assert lp_value == pytest.approx(closed_form, abs=1e-6)
+
+    def test_zero_for_identical(self) -> None:
+        p = np.ones(8) / 8
+        assert transport_emd(p, p, ground_distance_matrix(SPEC)) == pytest.approx(0.0)
+
+    def test_unequal_mass_rejected(self) -> None:
+        with pytest.raises(MetricError, match="equal total mass"):
+            transport_emd(
+                np.ones(8) / 8, np.ones(8) / 4, ground_distance_matrix(SPEC)
+            )
+
+    def test_shape_mismatch_rejected(self) -> None:
+        with pytest.raises(MetricError, match="inconsistent shapes"):
+            transport_emd(np.ones(8) / 8, np.ones(4) / 4, np.zeros((8, 8)))
+
+    def test_negative_ground_distance_rejected(self) -> None:
+        distances = ground_distance_matrix(SPEC).copy()
+        distances[0, 1] = -1.0
+        with pytest.raises(MetricError, match="non-negative"):
+            transport_emd(np.ones(8) / 8, np.ones(8) / 8, distances)
+
+    def test_custom_ground_distance_changes_result(self) -> None:
+        p = np.zeros(8)
+        p[0] = 1.0
+        q = np.zeros(8)
+        q[7] = 1.0
+        linear = transport_emd(p, q, ground_distance_matrix(SPEC))
+        clamped = transport_emd(p, q, ground_distance_matrix(SPEC, threshold=0.1))
+        assert clamped == pytest.approx(0.1)
+        assert linear > clamped
+
+
+class TestThresholdedEMD:
+    def test_registered(self) -> None:
+        assert isinstance(get_metric("emd-t"), ThresholdedEMDDistance)
+
+    def test_equals_plain_emd_for_large_threshold(self) -> None:
+        metric = ThresholdedEMDDistance(threshold=10.0)
+        rng = np.random.default_rng(0)
+        p = rng.dirichlet(np.ones(8))
+        q = rng.dirichlet(np.ones(8))
+        assert metric(p, q, SPEC) == pytest.approx(emd(p, q, SPEC.bin_width), abs=1e-6)
+
+    @given(p=pmf_strategy, q=pmf_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_never_exceeds_plain_emd(self, p: np.ndarray, q: np.ndarray) -> None:
+        metric = ThresholdedEMDDistance(threshold=0.2)
+        assert metric(p, q, SPEC) <= emd(p, q, SPEC.bin_width) + 1e-6
+
+    @given(p=pmf_strategy, q=pmf_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_bounded_by_threshold(self, p: np.ndarray, q: np.ndarray) -> None:
+        metric = ThresholdedEMDDistance(threshold=0.15)
+        assert metric(p, q, SPEC) <= 0.15 + 1e-7
+
+    @given(p=pmf_strategy, q=pmf_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_symmetry(self, p: np.ndarray, q: np.ndarray) -> None:
+        metric = ThresholdedEMDDistance(threshold=0.25)
+        assert metric(p, q, SPEC) == pytest.approx(metric(q, p, SPEC), abs=1e-7)
+
+    def test_invalid_threshold_rejected(self) -> None:
+        with pytest.raises(MetricError, match="positive"):
+            ThresholdedEMDDistance(threshold=-1.0)
+
+    def test_usable_as_algorithm_objective(self, paper_population_small) -> None:
+        from repro.core.algorithms import get_algorithm
+        from repro.marketplace.biased import paper_biased_functions
+
+        scores = paper_biased_functions()["f6"](paper_population_small)
+        result = get_algorithm("single-attribute").run(
+            paper_population_small, scores, metric=ThresholdedEMDDistance(0.3)
+        )
+        # f6 moves mass ~0.8 apart; clamped at 0.3 the gender split scores
+        # the threshold itself.
+        assert result.partitioning.attributes_used() == ("gender",)
+        assert result.unfairness == pytest.approx(0.3, abs=0.02)

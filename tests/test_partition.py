@@ -1,0 +1,159 @@
+"""Unit tests for partitions and partitionings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Partition, Partitioning
+from repro.core.population import Population
+from repro.exceptions import PartitioningError
+
+
+class TestPartition:
+    def test_indices_are_sorted_and_read_only(self) -> None:
+        partition = Partition(np.array([3, 1, 2]))
+        assert partition.indices.tolist() == [1, 2, 3]
+        with pytest.raises(ValueError, match="read-only"):
+            partition.indices[0] = 0
+
+    def test_size(self) -> None:
+        assert Partition(np.array([0, 5, 9])).size == 3
+
+    def test_empty_partition_rejected(self) -> None:
+        with pytest.raises(PartitioningError, match="non-empty"):
+            Partition(np.array([], dtype=np.int64))
+
+    def test_duplicate_indices_rejected(self) -> None:
+        with pytest.raises(PartitioningError, match="duplicate"):
+            Partition(np.array([1, 1, 2]))
+
+    def test_two_dimensional_indices_rejected(self) -> None:
+        with pytest.raises(PartitioningError, match="one-dimensional"):
+            Partition(np.array([[1, 2]]))
+
+    def test_constrained_attributes_in_path_order(self) -> None:
+        partition = Partition(np.array([0]), (("gender", 0), ("country", 2)))
+        assert partition.constrained_attributes() == ("gender", "country")
+
+    def test_label_with_no_constraints(self, small_population: Population) -> None:
+        assert Partition(np.array([0])).label(small_population.schema) == "ALL"
+
+    def test_label_renders_categorical_and_integer(
+        self, small_population: Population
+    ) -> None:
+        partition = Partition(np.array([0]), (("gender", 0), ("age", 0)))
+        label = partition.label(small_population.schema)
+        assert "gender=Male" in label
+        assert "age∈[18-27]" in label
+
+    def test_same_members(self) -> None:
+        a = Partition(np.array([1, 2]))
+        b = Partition(np.array([2, 1]), (("x", 0),))
+        c = Partition(np.array([1, 3]))
+        assert a.same_members(b)
+        assert not a.same_members(c)
+
+    def test_members_key_is_canonical(self) -> None:
+        assert Partition(np.array([2, 1])).members_key() == (1, 2)
+
+    def test_repr(self) -> None:
+        assert "size=2" in repr(Partition(np.array([0, 1]), (("g", 1),)))
+
+
+class TestPartitioning:
+    def _cover(self, n: int, *groups: list[int]) -> Partitioning:
+        return Partitioning([Partition(np.array(g)) for g in groups], n)
+
+    def test_valid_cover_accepted(self) -> None:
+        partitioning = self._cover(4, [0, 1], [2], [3])
+        assert partitioning.k == 3
+        assert len(partitioning) == 3
+
+    def test_single_partition_cover(self) -> None:
+        assert Partitioning([Partition(np.arange(5))], 5).k == 1
+
+    def test_missing_worker_rejected(self) -> None:
+        with pytest.raises(PartitioningError, match="covers 3 workers"):
+            self._cover(4, [0, 1], [2])
+
+    def test_overlapping_partitions_rejected(self) -> None:
+        with pytest.raises(PartitioningError):
+            self._cover(4, [0, 1, 2], [2, 3, 0])
+
+    def test_overlap_with_correct_total_rejected(self) -> None:
+        # Total size matches the population but worker 1 appears twice and
+        # worker 3 never -> must be caught by the disjointness check.
+        with pytest.raises(PartitioningError, match="full disjoint"):
+            self._cover(4, [0, 1], [1, 2])
+
+    def test_duplicate_coverage_with_right_total_rejected(self) -> None:
+        with pytest.raises(PartitioningError):
+            self._cover(4, [0, 1], [1, 2])
+
+    def test_empty_partition_list_rejected(self) -> None:
+        with pytest.raises(PartitioningError, match="at least one"):
+            Partitioning([], 0)
+
+    def test_single_factory(self, small_population: Population) -> None:
+        partitioning = Partitioning.single(small_population)
+        assert partitioning.k == 1
+        assert partitioning.partitions[0].size == small_population.size
+
+    def test_attributes_used_union_sorted(self) -> None:
+        partitioning = Partitioning(
+            [
+                Partition(np.array([0, 1]), (("gender", 0),)),
+                Partition(np.array([2]), (("gender", 1), ("country", 0))),
+                Partition(np.array([3]), (("gender", 1), ("country", 1))),
+            ],
+            4,
+        )
+        assert partitioning.attributes_used() == ("country", "gender")
+
+    def test_max_depth(self) -> None:
+        partitioning = Partitioning(
+            [
+                Partition(np.array([0, 1]), (("gender", 0),)),
+                Partition(np.array([2]), (("gender", 1), ("country", 0))),
+                Partition(np.array([3]), (("gender", 1), ("country", 1))),
+            ],
+            4,
+        )
+        assert partitioning.max_depth() == 2
+
+    def test_canonical_key_ignores_tree_shape(self) -> None:
+        by_gender_then_country = Partitioning(
+            [
+                Partition(np.array([0, 1]), (("gender", 0),)),
+                Partition(np.array([2, 3]), (("gender", 1),)),
+            ],
+            4,
+        )
+        same_groups_other_path = Partitioning(
+            [
+                Partition(np.array([0, 1]), (("other", 5),)),
+                Partition(np.array([2, 3]), (("other", 6),)),
+            ],
+            4,
+        )
+        assert (
+            by_gender_then_country.canonical_key()
+            == same_groups_other_path.canonical_key()
+        )
+
+    def test_describe_orders_largest_first(self, small_population: Population) -> None:
+        partitioning = Partitioning(
+            [
+                Partition(np.arange(6), (("gender", 0),)),
+                Partition(np.arange(6, 12), (("gender", 1),)),
+            ],
+            12,
+        )
+        descriptions = partitioning.describe(small_population.schema)
+        assert len(descriptions) == 2
+        assert all("n=6" in d for d in descriptions)
+
+    def test_iteration(self) -> None:
+        partitioning = self._cover(3, [0], [1], [2])
+        assert [p.size for p in partitioning] == [1, 1, 1]

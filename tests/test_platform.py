@@ -1,0 +1,143 @@
+"""Unit tests for the end-to-end marketplace simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+from repro.marketplace.biased import paper_biased_functions
+from repro.marketplace.platform import Marketplace
+from repro.marketplace.tasks import Task, task_from_weights
+
+
+class TestPostTask:
+    def test_post_task_hires_top_positions(
+        self, paper_population_small: Population
+    ) -> None:
+        marketplace = Marketplace(paper_population_small)
+        task = task_from_weights(
+            "t1", "micro-gig", {"language_test": 0.5, "approval_rate": 0.5}, positions=3
+        )
+        record = marketplace.post_task(task)
+        assert record.n_hired == 3
+        assert record.hired.tolist() == record.ranking.top_k(3).tolist()
+
+    def test_history_accumulates(self, paper_population_small: Population) -> None:
+        marketplace = Marketplace(paper_population_small)
+        tasks = [
+            task_from_weights(f"t{i}", "gig", {"language_test": 1.0}) for i in range(4)
+        ]
+        records = marketplace.run(tasks)
+        assert len(records) == 4
+        assert len(marketplace.history) == 4
+
+    def test_too_many_positions_rejected(self, small_population: Population) -> None:
+        marketplace = Marketplace(small_population)
+        task = Task(
+            "t",
+            "x",
+            task_from_weights("inner", "x", {"skill": 1.0}).scoring,
+            positions=100,
+        )
+        with pytest.raises(ScoringError, match="only 12 of 12 workers"):
+            marketplace.post_task(task)
+
+
+class TestRequirements:
+    def test_requirements_filter_the_pool(
+        self, paper_population_small: Population
+    ) -> None:
+        marketplace = Marketplace(paper_population_small)
+        task = task_from_weights(
+            "t",
+            "gig",
+            {"language_test": 1.0},
+            positions=5,
+            requirements={"approval_rate": 90.0},
+        )
+        record = marketplace.post_task(task)
+        approvals = paper_population_small.observed_column("approval_rate")
+        assert (approvals[record.ranking.order] >= 90.0).all()
+        assert (approvals[record.hired] >= 90.0).all()
+
+    def test_requirements_can_make_task_unfillable(
+        self, paper_population_small: Population
+    ) -> None:
+        marketplace = Marketplace(paper_population_small)
+        task = task_from_weights(
+            "t",
+            "gig",
+            {"language_test": 1.0},
+            positions=5,
+            requirements={"approval_rate": 1000.0},
+        )
+        with pytest.raises(ScoringError, match="meet its requirements"):
+            marketplace.post_task(task)
+
+    def test_filtered_workers_get_zero_exposure(
+        self, paper_population_small: Population
+    ) -> None:
+        from repro.marketplace.exposure import group_exposure
+        from repro.marketplace.ranking import rank_workers
+        from repro.marketplace.scoring import LinearScoringFunction
+
+        eligible = paper_population_small.observed_column("approval_rate") >= 99.0
+        ranking = rank_workers(
+            paper_population_small,
+            LinearScoringFunction("f", {"language_test": 1.0}),
+            eligible=eligible,
+        )
+        exposure = group_exposure(ranking, paper_population_small, "gender")
+        # Nearly everyone is filtered out, so mean exposures are tiny.
+        assert all(value < 0.2 for value in exposure.values())
+
+
+class TestHiringStatistics:
+    def test_total_hires_counts_per_worker(
+        self, paper_population_small: Population
+    ) -> None:
+        marketplace = Marketplace(paper_population_small)
+        task = task_from_weights("t", "gig", {"language_test": 1.0}, positions=5)
+        marketplace.post_task(task)
+        marketplace.post_task(task)
+        hires = marketplace.total_hires()
+        assert hires.sum() == 10
+        assert hires.max() == 2  # same deterministic top-5 both times
+
+    def test_biased_scoring_skews_hire_share(
+        self, paper_population_small: Population
+    ) -> None:
+        # Under the gender-biased f6, every hire goes to a male worker:
+        # the demand-side symptom the audit is meant to explain.
+        marketplace = Marketplace(paper_population_small)
+        task = Task("t", "gig", paper_biased_functions()["f6"], positions=25)
+        marketplace.post_task(task)
+        shares = marketplace.hire_share_by_group("gender")
+        assert shares["Male"] == pytest.approx(1.0)
+        assert shares["Female"] == pytest.approx(0.0)
+
+    def test_unbiased_scoring_roughly_proportional(
+        self, paper_population_small: Population
+    ) -> None:
+        marketplace = Marketplace(paper_population_small)
+        task = task_from_weights(
+            "t", "gig", {"language_test": 0.5, "approval_rate": 0.5}, positions=150
+        )
+        marketplace.post_task(task)
+        shares = marketplace.hire_share_by_group("gender")
+        reference = marketplace.population_share("gender")
+        for group in shares:
+            assert shares[group] == pytest.approx(reference[group], abs=0.15)
+
+    def test_population_share_sums_to_one(
+        self, paper_population_small: Population
+    ) -> None:
+        marketplace = Marketplace(paper_population_small)
+        for attribute in paper_population_small.schema.protected_names:
+            assert sum(marketplace.population_share(attribute).values()) == pytest.approx(1.0)
+
+    def test_hire_share_zero_history(self, small_population: Population) -> None:
+        marketplace = Marketplace(small_population)
+        shares = marketplace.hire_share_by_group("gender")
+        assert all(share == 0.0 for share in shares.values())

@@ -1,0 +1,167 @@
+"""Unit tests for the column-oriented population store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.population import Population
+from repro.core.schema import WorkerSchema
+from repro.exceptions import PopulationError
+
+
+class TestConstruction:
+    def test_size(self, small_population: Population) -> None:
+        assert small_population.size == 12
+        assert len(small_population) == 12
+
+    def test_missing_protected_column(self, small_schema: WorkerSchema) -> None:
+        with pytest.raises(PopulationError, match="missing protected column"):
+            Population(
+                small_schema,
+                protected={"gender": np.array([0]), "country": np.array([0])},
+                observed={"skill": np.array([0.5])},
+            )
+
+    def test_missing_observed_column(self, small_schema: WorkerSchema) -> None:
+        with pytest.raises(PopulationError, match="missing observed column"):
+            Population(
+                small_schema,
+                protected={
+                    "gender": np.array([0]),
+                    "country": np.array([0]),
+                    "age": np.array([20]),
+                },
+                observed={},
+            )
+
+    def test_extra_column_rejected(self, small_schema: WorkerSchema) -> None:
+        with pytest.raises(PopulationError, match="not declared in schema"):
+            Population(
+                small_schema,
+                protected={
+                    "gender": np.array([0]),
+                    "country": np.array([0]),
+                    "age": np.array([20]),
+                    "extra": np.array([1]),
+                },
+                observed={"skill": np.array([0.5])},
+            )
+
+    def test_inconsistent_lengths_rejected(self, small_schema: WorkerSchema) -> None:
+        with pytest.raises(PopulationError, match="inconsistent lengths"):
+            Population(
+                small_schema,
+                protected={
+                    "gender": np.array([0, 1]),
+                    "country": np.array([0]),
+                    "age": np.array([20]),
+                },
+                observed={"skill": np.array([0.5])},
+            )
+
+    def test_out_of_domain_code_rejected(self, small_schema: WorkerSchema) -> None:
+        with pytest.raises(Exception, match="codes must lie"):
+            Population(
+                small_schema,
+                protected={
+                    "gender": np.array([5]),
+                    "country": np.array([0]),
+                    "age": np.array([20]),
+                },
+                observed={"skill": np.array([0.5])},
+            )
+
+    def test_two_dimensional_column_rejected(self, small_schema: WorkerSchema) -> None:
+        with pytest.raises(PopulationError, match="one-dimensional"):
+            Population(
+                small_schema,
+                protected={
+                    "gender": np.zeros((2, 2), dtype=int),
+                    "country": np.array([0]),
+                    "age": np.array([20]),
+                },
+                observed={"skill": np.array([0.5])},
+            )
+
+    def test_columns_are_defensive_copies(self, small_schema: WorkerSchema) -> None:
+        gender = np.array([0, 1])
+        population = Population(
+            small_schema,
+            protected={
+                "gender": gender,
+                "country": np.array([0, 1]),
+                "age": np.array([20, 30]),
+            },
+            observed={"skill": np.array([0.5, 0.6])},
+        )
+        gender[0] = 1
+        assert population.protected_column("gender")[0] == 0
+
+    def test_columns_are_read_only(self, small_population: Population) -> None:
+        with pytest.raises(ValueError, match="read-only"):
+            small_population.protected_column("gender")[0] = 1
+
+
+class TestAccess:
+    def test_protected_column(self, small_population: Population) -> None:
+        assert small_population.protected_column("gender").tolist() == [0] * 6 + [1] * 6
+
+    def test_unknown_column_raises(self, small_population: Population) -> None:
+        with pytest.raises(PopulationError, match="no protected column"):
+            small_population.protected_column("nope")
+        with pytest.raises(PopulationError, match="no observed column"):
+            small_population.observed_column("nope")
+
+    def test_observed_normalized(self, small_population: Population) -> None:
+        normalized = small_population.observed_normalized("skill")
+        np.testing.assert_allclose(
+            normalized, small_population.observed_column("skill")
+        )  # skill range already [0, 1]
+
+    def test_partition_codes_bucketise_integers(
+        self, small_population: Population
+    ) -> None:
+        codes = small_population.partition_codes("age")
+        assert codes.min() >= 0 and codes.max() < 5
+        # age 20 -> first bucket, 65 -> last bucket (range [18, 67], 5 buckets).
+        assert codes[0] == 0
+        assert codes[9] == 4
+
+    def test_partition_codes_cached_instance(self, small_population: Population) -> None:
+        first = small_population.partition_codes("gender")
+        second = small_population.partition_codes("gender")
+        assert first is second
+
+    def test_worker_view_decodes_labels(self, small_population: Population) -> None:
+        worker = small_population.worker(0)
+        assert worker.protected == {"gender": "Male", "country": "America", "age": 20}
+        assert worker.observed == {"skill": 0.9}
+        assert "worker[0]" in str(worker)
+
+    def test_worker_view_out_of_range(self, small_population: Population) -> None:
+        with pytest.raises(PopulationError, match="out of range"):
+            small_population.worker(12)
+
+    def test_iteration_yields_all_workers(self, small_population: Population) -> None:
+        workers = list(small_population)
+        assert len(workers) == 12
+        assert [w.index for w in workers] == list(range(12))
+
+
+class TestSubset:
+    def test_subset_selects_rows(self, small_population: Population) -> None:
+        subset = small_population.subset(np.array([0, 6]))
+        assert subset.size == 2
+        assert subset.worker(0).protected["gender"] == "Male"
+        assert subset.worker(1).protected["gender"] == "Female"
+
+    def test_subset_rejects_out_of_range(self, small_population: Population) -> None:
+        with pytest.raises(PopulationError, match="out of range"):
+            small_population.subset(np.array([99]))
+
+    def test_all_indices(self, small_population: Population) -> None:
+        assert small_population.all_indices().tolist() == list(range(12))
+
+    def test_repr_mentions_size(self, small_population: Population) -> None:
+        assert "size=12" in repr(small_population)

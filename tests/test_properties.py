@@ -1,0 +1,197 @@
+"""Cross-module property-based tests (hypothesis).
+
+These exercise the core invariants on *arbitrary* generated populations and
+scores, not just the paper's configurations:
+
+* every algorithm always returns a full disjoint partitioning;
+* the reported objective always matches an independent re-evaluation;
+* unfairness is invariant under permutations of the worker order;
+* refining a partitioning never changes which workers exist where;
+* repair never increases the group EMD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import get_algorithm
+from repro.core.attributes import CategoricalAttribute, ObservedAttribute
+from repro.core.histogram import HistogramSpec
+from repro.core.population import Population
+from repro.core.schema import WorkerSchema
+from repro.core.unfairness import UnfairnessEvaluator
+from repro.repair.quantile import repair_scores
+
+
+@st.composite
+def population_and_scores(draw) -> tuple[Population, np.ndarray]:
+    """A random small population (2-3 protected attributes) with scores."""
+    n = draw(st.integers(min_value=4, max_value=60))
+    n_attributes = draw(st.integers(min_value=2, max_value=3))
+    attributes = []
+    columns = {}
+    for i in range(n_attributes):
+        cardinality = draw(st.integers(min_value=2, max_value=4))
+        values = tuple(f"v{i}_{j}" for j in range(cardinality))
+        attributes.append(CategoricalAttribute(f"attr{i}", values))
+        columns[f"attr{i}"] = np.array(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=cardinality - 1),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+    scores = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    schema = WorkerSchema(
+        protected=tuple(attributes),
+        observed=(ObservedAttribute("skill", 0.0, 1.0),),
+    )
+    population = Population(schema, columns, {"skill": scores})
+    return population, scores
+
+
+ALGORITHMS = ["balanced", "unbalanced", "r-balanced", "r-unbalanced", "all-attributes"]
+
+
+class TestPartitioningInvariants:
+    @given(data=population_and_scores(), algorithm=st.sampled_from(ALGORITHMS))
+    @settings(max_examples=40, deadline=None)
+    def test_always_full_disjoint_cover(self, data, algorithm: str) -> None:
+        population, scores = data
+        result = get_algorithm(algorithm).run(population, scores, rng=0)
+        # Partitioning.__init__ validates cover+disjointness; re-check members.
+        combined = np.sort(
+            np.concatenate([p.indices for p in result.partitioning])
+        )
+        assert combined.tolist() == list(range(population.size))
+
+    @given(data=population_and_scores(), algorithm=st.sampled_from(ALGORITHMS))
+    @settings(max_examples=40, deadline=None)
+    def test_reported_objective_matches_reevaluation(self, data, algorithm: str) -> None:
+        population, scores = data
+        result = get_algorithm(algorithm).run(population, scores, rng=1)
+        evaluator = UnfairnessEvaluator(population, scores)
+        assert abs(result.unfairness - evaluator.unfairness(result.partitioning)) < 1e-9
+
+    @given(data=population_and_scores())
+    @settings(max_examples=30, deadline=None)
+    def test_unfairness_nonnegative_and_bounded(self, data) -> None:
+        population, scores = data
+        result = get_algorithm("balanced").run(population, scores)
+        # EMD in score units over [0, 1] cannot exceed the score range.
+        assert 0.0 <= result.unfairness <= 1.0
+
+    @given(data=population_and_scores())
+    @settings(max_examples=25, deadline=None)
+    def test_constraint_paths_select_their_members(self, data) -> None:
+        population, scores = data
+        result = get_algorithm("unbalanced").run(population, scores)
+        for partition in result.partitioning:
+            mask = np.ones(population.size, dtype=bool)
+            for attribute, code in partition.constraints:
+                mask &= population.partition_codes(attribute) == code
+            assert np.array_equal(np.nonzero(mask)[0], partition.indices)
+
+
+class TestObjectiveInvariants:
+    @given(data=population_and_scores(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_under_worker_permutation(self, data, seed: int) -> None:
+        population, scores = data
+        rng = np.random.default_rng(seed)
+        permutation = rng.permutation(population.size)
+        shuffled = Population(
+            population.schema,
+            {
+                name: population.protected_column(name)[permutation]
+                for name in population.schema.protected_names
+            },
+            {
+                name: population.observed_column(name)[permutation]
+                for name in population.schema.observed_names
+            },
+        )
+        original = get_algorithm("all-attributes").run(population, scores)
+        reordered = get_algorithm("all-attributes").run(
+            shuffled, scores[permutation]
+        )
+        assert abs(original.unfairness - reordered.unfairness) < 1e-9
+
+    @given(data=population_and_scores(), bins=st.integers(min_value=2, max_value=30))
+    @settings(max_examples=25, deadline=None)
+    def test_any_bin_count_is_legal(self, data, bins: int) -> None:
+        population, scores = data
+        result = get_algorithm("balanced").run(
+            population, scores, hist_spec=HistogramSpec(bins=bins)
+        )
+        assert 0.0 <= result.unfairness <= 1.0
+
+
+class TestStructuralInvariants:
+    @given(data=population_and_scores(), algorithm=st.sampled_from(ALGORITHMS))
+    @settings(max_examples=25, deadline=None)
+    def test_split_tree_builds_and_renders(self, data, algorithm: str) -> None:
+        from repro.core.tree import build_split_tree, render_split_tree
+
+        population, scores = data
+        result = get_algorithm(algorithm).run(population, scores, rng=2)
+        tree = build_split_tree(result.partitioning)
+        assert len(tree.leaves()) == result.partitioning.k
+        text = render_split_tree(tree, population.schema)
+        assert text  # never empty, never raises
+
+    @given(data=population_and_scores())
+    @settings(max_examples=15, deadline=None)
+    def test_population_csv_round_trip(self, data) -> None:
+        import tempfile
+        from pathlib import Path
+
+        from repro.io.serialization import load_population, save_population
+
+        population, __ = data
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "pop.csv"
+            save_population(population, path)
+            restored = load_population(path)
+        assert restored.size == population.size
+        for name in population.schema.protected_names:
+            np.testing.assert_array_equal(
+                restored.protected_column(name), population.protected_column(name)
+            )
+        for name in population.schema.observed_names:
+            np.testing.assert_allclose(
+                restored.observed_column(name), population.observed_column(name)
+            )
+
+
+class TestRepairInvariants:
+    @given(data=population_and_scores(), amount=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_repair_never_increases_unfairness_at_full_amount(self, data, amount) -> None:
+        population, scores = data
+        result = get_algorithm("all-attributes").run(population, scores)
+        before = result.unfairness
+        repaired = repair_scores(scores, result.partitioning, amount=1.0)
+        after = UnfairnessEvaluator(population, repaired).unfairness(result.partitioning)
+        assert after <= before + 0.05  # small slack for binning effects
+
+    @given(data=population_and_scores())
+    @settings(max_examples=25, deadline=None)
+    def test_repair_preserves_score_bounds(self, data) -> None:
+        population, scores = data
+        result = get_algorithm("all-attributes").run(population, scores)
+        repaired = repair_scores(scores, result.partitioning, amount=1.0)
+        assert repaired.min() >= scores.min() - 1e-9
+        assert repaired.max() <= scores.max() + 1e-9

@@ -1,0 +1,109 @@
+"""Unit and property tests for quantile-alignment score repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.core.population import Population
+from repro.core.unfairness import UnfairnessEvaluator
+from repro.exceptions import PartitioningError
+from repro.marketplace.biased import paper_biased_functions
+from repro.repair.quantile import repair_scores, repaired_unfairness_curve
+
+
+@pytest.fixture()
+def audited(paper_population_small: Population):
+    """A population, biased scores and the partitioning an audit found."""
+    scores = paper_biased_functions()["f6"](paper_population_small)
+    result = get_algorithm("balanced").run(paper_population_small, scores)
+    return paper_population_small, scores, result.partitioning
+
+
+class TestRepairScores:
+    def test_full_repair_drives_unfairness_to_near_zero(self, audited) -> None:
+        population, scores, partitioning = audited
+        evaluator = UnfairnessEvaluator(population, scores)
+        before = evaluator.unfairness(partitioning)
+        repaired = repair_scores(scores, partitioning, amount=1.0)
+        evaluator_after = UnfairnessEvaluator(population, repaired)
+        after = evaluator_after.unfairness(partitioning)
+        assert before > 0.7  # f6 is heavily biased
+        assert after < 0.05
+
+    def test_zero_amount_is_identity(self, audited) -> None:
+        population, scores, partitioning = audited
+        np.testing.assert_allclose(
+            repair_scores(scores, partitioning, amount=0.0), scores
+        )
+
+    def test_partial_repair_interpolates(self, audited) -> None:
+        population, scores, partitioning = audited
+        full = repair_scores(scores, partitioning, amount=1.0)
+        half = repair_scores(scores, partitioning, amount=0.5)
+        np.testing.assert_allclose(half, 0.5 * scores + 0.5 * full)
+
+    def test_within_group_ranking_is_preserved(self, audited) -> None:
+        population, scores, partitioning = audited
+        repaired = repair_scores(scores, partitioning, amount=1.0)
+        for partition in partitioning:
+            original_order = np.argsort(scores[partition.indices], kind="stable")
+            repaired_order = np.argsort(repaired[partition.indices], kind="stable")
+            np.testing.assert_array_equal(original_order, repaired_order)
+
+    def test_repaired_scores_stay_in_pooled_range(self, audited) -> None:
+        population, scores, partitioning = audited
+        repaired = repair_scores(scores, partitioning, amount=1.0)
+        assert repaired.min() >= scores.min() - 1e-12
+        assert repaired.max() <= scores.max() + 1e-12
+
+    def test_ties_repair_equally(self, paper_population_small: Population) -> None:
+        # Workers with identical scores in the same group must stay identical.
+        scores = np.round(
+            paper_biased_functions()["f6"](paper_population_small), 1
+        )
+        result = get_algorithm("balanced").run(paper_population_small, scores)
+        repaired = repair_scores(scores, result.partitioning, amount=1.0)
+        for partition in result.partitioning:
+            group_scores = scores[partition.indices]
+            group_repaired = repaired[partition.indices]
+            for value in np.unique(group_scores):
+                tied = group_repaired[group_scores == value]
+                assert np.ptp(tied) < 1e-12
+
+    def test_wrong_shape_rejected(self, audited) -> None:
+        _, scores, partitioning = audited
+        with pytest.raises(PartitioningError, match="shape"):
+            repair_scores(scores[:-1], partitioning)
+
+    def test_invalid_amount_rejected(self, audited) -> None:
+        _, scores, partitioning = audited
+        with pytest.raises(PartitioningError, match="amount"):
+            repair_scores(scores, partitioning, amount=1.5)
+
+
+class TestRepairCurve:
+    def test_curve_is_monotone_decreasing_overall(self, audited) -> None:
+        population, scores, partitioning = audited
+
+        def evaluate(repaired: np.ndarray) -> float:
+            return UnfairnessEvaluator(population, repaired).unfairness(partitioning)
+
+        curve = repaired_unfairness_curve(scores, partitioning, evaluate)
+        amounts = [a for a, _ in curve]
+        values = [v for _, v in curve]
+        assert amounts == pytest.approx([0.0, 0.2, 0.4, 0.6, 0.8, 1.0])
+        assert values[0] > values[-1]
+        assert values[-1] < 0.05
+
+    def test_custom_amounts(self, audited) -> None:
+        population, scores, partitioning = audited
+
+        def evaluate(repaired: np.ndarray) -> float:
+            return UnfairnessEvaluator(population, repaired).unfairness(partitioning)
+
+        curve = repaired_unfairness_curve(
+            scores, partitioning, evaluate, amounts=[0.0, 1.0]
+        )
+        assert len(curve) == 2

@@ -1,0 +1,97 @@
+"""Unit tests for paper-style table formatting and the reference constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.paper_reference import (
+    PAPER_FUNCTIONS_BIASED,
+    PAPER_FUNCTIONS_RANDOM,
+    TABLE1_EMD,
+    TABLE1_RUNTIME,
+    TABLE2_EMD,
+    TABLE2_RUNTIME,
+    TABLE3_EMD,
+)
+from repro.reporting.tables import format_comparison_table, format_table
+from repro.simulation.config import PaperConfig
+from repro.simulation.runner import run_scenario
+from repro.simulation.scenarios import table3_scenario
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    scenario = table3_scenario(PaperConfig(n_workers=120, seed=2))
+    return run_scenario(scenario, algorithms=("balanced", "unbalanced"), seed=0)
+
+
+class TestPaperReference:
+    def test_tables_cover_all_paper_algorithms_and_functions(self) -> None:
+        for table, functions in (
+            (TABLE1_EMD, PAPER_FUNCTIONS_RANDOM),
+            (TABLE1_RUNTIME, PAPER_FUNCTIONS_RANDOM),
+            (TABLE2_EMD, PAPER_FUNCTIONS_RANDOM),
+            (TABLE2_RUNTIME, PAPER_FUNCTIONS_RANDOM),
+            (TABLE3_EMD, PAPER_FUNCTIONS_BIASED),
+        ):
+            assert set(table) == {
+                "unbalanced",
+                "r-unbalanced",
+                "balanced",
+                "r-balanced",
+                "all-attributes",
+            }
+            for per_function in table.values():
+                assert set(per_function) == set(functions)
+
+    def test_headline_values_transcribed_correctly(self) -> None:
+        # Spot-check the values the reproduction narrative leans on.
+        assert TABLE3_EMD["balanced"]["f6"] == 0.800
+        assert TABLE3_EMD["unbalanced"]["f6"] == 0.040
+        assert TABLE1_EMD["unbalanced"]["f5"] == 0.257
+        assert TABLE2_RUNTIME["balanced"]["f4"] == 5840.131
+
+    def test_paper_shape_f4_f5_exceed_mixtures(self) -> None:
+        # The paper's first observation, verified on its own numbers.
+        for table in (TABLE1_EMD, TABLE2_EMD):
+            for per_function in table.values():
+                mixtures = max(per_function["f1"], per_function["f2"], per_function["f3"])
+                assert per_function["f4"] > mixtures
+                assert per_function["f5"] > mixtures
+
+    def test_paper_shape_balanced_slowest(self) -> None:
+        for table in (TABLE1_RUNTIME, TABLE2_RUNTIME):
+            for function in PAPER_FUNCTIONS_RANDOM:
+                slowest = max(table[a][function] for a in table)
+                assert table["balanced"][function] == slowest
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self, small_result) -> None:
+        text = format_table(small_result, "unfairness", title="Table")
+        assert text.startswith("Table")
+        for algorithm in ("balanced", "unbalanced"):
+            assert algorithm in text
+        for function in ("f6", "f7", "f8", "f9"):
+            assert function in text
+
+    def test_callable_extractor(self, small_result) -> None:
+        text = format_table(small_result, lambda row: float(row.n_partitions))
+        assert "balanced" in text
+
+    def test_precision(self, small_result) -> None:
+        text = format_table(small_result, "unfairness", precision=1)
+        row = next(line for line in text.splitlines() if line.lstrip().startswith("balanced"))
+        cells = row.split()[1:]
+        assert all(len(cell.split(".")[-1]) == 1 for cell in cells)
+
+
+class TestFormatComparisonTable:
+    def test_measured_and_paper_side_by_side(self, small_result) -> None:
+        text = format_comparison_table(small_result, TABLE3_EMD)
+        assert "(" in text and ")" in text
+        assert "0.800" in text  # the paper's f6 balanced value
+
+    def test_missing_reference_shows_na(self, small_result) -> None:
+        text = format_comparison_table(small_result, {"balanced": {}})
+        assert "(n/a)" in text

@@ -1,0 +1,113 @@
+"""Unit tests for ASCII histogram rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.core.histogram import HistogramSpec
+from repro.core.population import Population
+from repro.exceptions import MetricError
+from repro.marketplace.biased import paper_biased_functions
+from repro.reporting.histograms import render_histogram, render_partition_histograms
+
+SPEC = HistogramSpec(bins=4)
+
+
+class TestRenderHistogram:
+    def test_one_line_per_bin(self) -> None:
+        text = render_histogram(np.array([1, 2, 3, 4]), SPEC)
+        assert len(text.splitlines()) == 4
+
+    def test_fullest_bin_spans_width(self) -> None:
+        text = render_histogram(np.array([0, 0, 0, 10]), SPEC, width=10)
+        last = text.splitlines()[-1]
+        assert "█" * 10 in last
+
+    def test_empty_bins_have_no_bar(self) -> None:
+        text = render_histogram(np.array([0, 5, 0, 0]), SPEC)
+        first = text.splitlines()[0]
+        assert "█" not in first and "▏" not in first
+
+    def test_counts_shown_by_default(self) -> None:
+        text = render_histogram(np.array([7, 0, 0, 3]), SPEC)
+        assert " 7" in text.splitlines()[0]
+        assert text.splitlines()[-1].endswith(" 3")
+
+    def test_counts_hidden_on_request(self) -> None:
+        text = render_histogram(np.array([7, 0, 0, 3]), SPEC, show_counts=False)
+        assert not text.splitlines()[0].rstrip().endswith("7")
+
+    def test_bin_labels_cover_range(self) -> None:
+        text = render_histogram(np.zeros(4), SPEC)
+        assert text.startswith("[0.00, 0.25)")
+        assert "[0.75, 1.00]" in text
+
+    def test_all_zero_histogram_renders(self) -> None:
+        text = render_histogram(np.zeros(4), SPEC)
+        assert len(text.splitlines()) == 4
+
+    def test_wrong_shape_rejected(self) -> None:
+        with pytest.raises(MetricError, match="expected"):
+            render_histogram(np.zeros(3), SPEC)
+
+    def test_negative_counts_rejected(self) -> None:
+        with pytest.raises(MetricError, match="non-negative"):
+            render_histogram(np.array([1, -1, 0, 0]), SPEC)
+
+    def test_partial_blocks_for_fractions(self) -> None:
+        text = render_histogram(np.array([1, 16, 0, 0]), SPEC, width=8)
+        first = text.splitlines()[0]
+        # 1/16 of 8 cells = 0.5 cells -> a partial block character.
+        assert any(block in first for block in "▏▎▍▌▋▊▉")
+
+
+class TestRenderPartitionHistograms:
+    def test_figure1_style_output(self, paper_population_small: Population) -> None:
+        scores = paper_biased_functions()["f6"](paper_population_small)
+        result = get_algorithm("balanced").run(paper_population_small, scores)
+        text = render_partition_histograms(
+            paper_population_small, scores, result.partitioning
+        )
+        assert "gender=Male" in text
+        assert "gender=Female" in text
+        assert "█" in text
+
+    def test_largest_partition_first(self, paper_population_small: Population) -> None:
+        scores = paper_biased_functions()["f6"](paper_population_small)
+        result = get_algorithm("balanced").run(paper_population_small, scores)
+        text = render_partition_histograms(
+            paper_population_small, scores, result.partitioning
+        )
+        sizes = [
+            int(line.split("n=")[1].rstrip(")"))
+            for line in text.splitlines()
+            if "(n=" in line
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_truncates_to_max_partitions(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = np.random.default_rng(0).uniform(size=paper_population_small.size)
+        result = get_algorithm("all-attributes").run(paper_population_small, scores)
+        text = render_partition_histograms(
+            paper_population_small, scores, result.partitioning, max_partitions=3
+        )
+        assert "smaller partitions not shown" in text
+        assert text.count("(n=") == 3
+
+    def test_custom_spec_bins(self, paper_population_small: Population) -> None:
+        scores = paper_biased_functions()["f6"](paper_population_small)
+        result = get_algorithm("balanced").run(
+            paper_population_small, scores, hist_spec=HistogramSpec(bins=5)
+        )
+        text = render_partition_histograms(
+            paper_population_small,
+            scores,
+            result.partitioning,
+            spec=HistogramSpec(bins=5),
+        )
+        male_block = text.split("\n\n")[0]
+        assert len(male_block.splitlines()) == 1 + 5  # label + 5 bins

@@ -1,0 +1,111 @@
+"""Unit tests for scenarios, the experiment runner and simulation config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.config import (
+    LARGE_WORKER_COUNT,
+    SMALL_WORKER_COUNT,
+    PaperConfig,
+)
+from repro.simulation.runner import run_scenario
+from repro.simulation.scenarios import (
+    figure1_scenario,
+    table1_scenario,
+    table3_scenario,
+)
+
+
+class TestPaperConfig:
+    def test_paper_sizes(self) -> None:
+        assert SMALL_WORKER_COUNT == 500
+        assert LARGE_WORKER_COUNT == 7300
+
+    def test_defaults(self) -> None:
+        config = PaperConfig()
+        assert config.n_workers == 500
+        assert config.histogram_bins == 10
+
+    def test_schema_uses_bucket_settings(self) -> None:
+        config = PaperConfig(year_of_birth_buckets=4)
+        assert config.schema().protected_attribute("year_of_birth").cardinality == 4
+
+
+class TestScenarios:
+    def test_figure1_scenario(self) -> None:
+        scenario = figure1_scenario()
+        assert scenario.population.size == 12
+        assert list(scenario.functions) == ["f"]
+
+    def test_table1_scenario_uses_paper_defaults(self) -> None:
+        scenario = table1_scenario()
+        assert scenario.population.size == 500
+        assert sorted(scenario.functions) == ["f1", "f2", "f3", "f4", "f5"]
+
+    def test_table3_scenario_uses_biased_functions(self) -> None:
+        scenario = table3_scenario(PaperConfig(n_workers=100))
+        assert sorted(scenario.functions) == ["f6", "f7", "f8", "f9"]
+
+    def test_config_override_shrinks_population(self) -> None:
+        scenario = table1_scenario(PaperConfig(n_workers=64, seed=1))
+        assert scenario.population.size == 64
+
+
+class TestRunScenario:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        scenario = table3_scenario(PaperConfig(n_workers=150, seed=5))
+        return run_scenario(
+            scenario, algorithms=("balanced", "unbalanced", "r-balanced"), seed=0
+        )
+
+    def test_one_row_per_cell(self, small_result) -> None:
+        assert len(small_result.rows) == 3 * 4  # 3 algorithms x 4 functions
+
+    def test_cell_lookup(self, small_result) -> None:
+        row = small_result.cell("balanced", "f6")
+        assert row.algorithm == "balanced"
+        assert row.function == "f6"
+        assert row.unfairness > 0.0
+        assert row.runtime_seconds >= 0.0
+        assert row.n_partitions >= 2
+
+    def test_missing_cell_raises(self, small_result) -> None:
+        with pytest.raises(KeyError):
+            small_result.cell("balanced", "f1")
+
+    def test_algorithm_and_function_enumeration(self, small_result) -> None:
+        assert small_result.algorithms() == ("balanced", "unbalanced", "r-balanced")
+        assert small_result.functions() == ("f6", "f7", "f8", "f9")
+
+    def test_runs_are_reproducible(self) -> None:
+        scenario = table3_scenario(PaperConfig(n_workers=120, seed=6))
+        first = run_scenario(scenario, algorithms=("r-balanced",), seed=11)
+        second = run_scenario(scenario, algorithms=("r-balanced",), seed=11)
+        for row_a, row_b in zip(first.rows, second.rows):
+            assert row_a.unfairness == row_b.unfairness
+            assert row_a.n_partitions == row_b.n_partitions
+
+    def test_different_run_seeds_change_random_algorithms(self) -> None:
+        scenario = table3_scenario(PaperConfig(n_workers=120, seed=6))
+        first = run_scenario(scenario, algorithms=("r-balanced",), seed=1)
+        second = run_scenario(scenario, algorithms=("r-balanced",), seed=2)
+        assert any(
+            a.attributes_used != b.attributes_used
+            for a, b in zip(first.rows, second.rows)
+        )
+
+    def test_algorithm_options_forwarded(self) -> None:
+        scenario = figure1_scenario()
+        result = run_scenario(
+            scenario,
+            algorithms=("exhaustive",),
+            algorithm_options={"exhaustive": {"budget": 50_000}},
+        )
+        assert result.rows[0].algorithm == "exhaustive"
+
+    def test_gender_bias_found_in_f6_row(self, small_result) -> None:
+        row = small_result.cell("balanced", "f6")
+        assert row.attributes_used == ("gender",)
+        assert row.unfairness == pytest.approx(0.8, abs=0.05)

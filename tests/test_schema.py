@@ -1,0 +1,92 @@
+"""Unit tests for worker schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import (
+    CategoricalAttribute,
+    IntegerAttribute,
+    ObservedAttribute,
+)
+from repro.core.schema import WorkerSchema
+from repro.exceptions import SchemaError
+from repro.simulation.config import paper_schema
+
+
+class TestWorkerSchema:
+    def test_names_follow_declaration_order(self, small_schema: WorkerSchema) -> None:
+        assert small_schema.protected_names == ("gender", "country", "age")
+        assert small_schema.observed_names == ("skill",)
+
+    def test_protected_attribute_lookup(self, small_schema: WorkerSchema) -> None:
+        attr = small_schema.protected_attribute("country")
+        assert isinstance(attr, CategoricalAttribute)
+        assert attr.values == ("America", "India", "Other")
+
+    def test_observed_attribute_lookup(self, small_schema: WorkerSchema) -> None:
+        assert small_schema.observed_attribute("skill").high == 1.0
+
+    def test_unknown_protected_lookup_raises(self, small_schema: WorkerSchema) -> None:
+        with pytest.raises(SchemaError, match="no protected attribute"):
+            small_schema.protected_attribute("skill")
+
+    def test_unknown_observed_lookup_raises(self, small_schema: WorkerSchema) -> None:
+        with pytest.raises(SchemaError, match="no observed attribute"):
+            small_schema.observed_attribute("gender")
+
+    def test_requires_protected_attributes(self) -> None:
+        with pytest.raises(SchemaError, match="at least one protected"):
+            WorkerSchema(protected=(), observed=(ObservedAttribute("skill"),))
+
+    def test_requires_observed_attributes(self) -> None:
+        with pytest.raises(SchemaError, match="at least one observed"):
+            WorkerSchema(
+                protected=(CategoricalAttribute("gender", ("M", "F")),), observed=()
+            )
+
+    def test_rejects_duplicate_names_across_families(self) -> None:
+        with pytest.raises(SchemaError, match="duplicate attribute names"):
+            WorkerSchema(
+                protected=(CategoricalAttribute("x", ("a", "b")),),
+                observed=(ObservedAttribute("x"),),
+            )
+
+    def test_search_space_size_multiplies_cardinalities(
+        self, small_schema: WorkerSchema
+    ) -> None:
+        assert small_schema.search_space_size() == 2 * 3 * 5
+
+
+class TestPaperSchema:
+    def test_six_protected_two_observed(self) -> None:
+        schema = paper_schema()
+        assert len(schema.protected) == 6
+        assert len(schema.observed) == 2
+
+    def test_paper_domains(self) -> None:
+        schema = paper_schema()
+        gender = schema.protected_attribute("gender")
+        assert isinstance(gender, CategoricalAttribute)
+        assert gender.values == ("Male", "Female")
+        ethnicity = schema.protected_attribute("ethnicity")
+        assert isinstance(ethnicity, CategoricalAttribute)
+        assert ethnicity.values == ("White", "African-American", "Indian", "Other")
+        year_of_birth = schema.protected_attribute("year_of_birth")
+        assert isinstance(year_of_birth, IntegerAttribute)
+        assert (year_of_birth.low, year_of_birth.high) == (1950, 2009)
+        experience = schema.protected_attribute("years_experience")
+        assert isinstance(experience, IntegerAttribute)
+        assert (experience.low, experience.high) == (0, 30)
+        for name in ("language_test", "approval_rate"):
+            observed = schema.observed_attribute(name)
+            assert (observed.low, observed.high) == (25.0, 100.0)
+
+    def test_max_five_values_per_attribute_by_default(self) -> None:
+        # The paper's exhaustive run used "a maximum of 5 values" per attribute.
+        assert all(attr.cardinality <= 5 for attr in paper_schema().protected)
+
+    def test_bucket_counts_are_configurable(self) -> None:
+        schema = paper_schema(year_of_birth_buckets=3, experience_buckets=2)
+        assert schema.protected_attribute("year_of_birth").cardinality == 3
+        assert schema.protected_attribute("years_experience").cardinality == 2

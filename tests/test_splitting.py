@@ -1,0 +1,160 @@
+"""Unit tests for split / worstAttribute machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import HistogramSpec
+from repro.core.partition import Partition
+from repro.core.population import Population
+from repro.core.splitting import (
+    split_partition,
+    split_partitions,
+    worst_attribute,
+    worst_attribute_local,
+)
+from repro.core.unfairness import UnfairnessEvaluator
+from repro.exceptions import PartitioningError
+
+
+@pytest.fixture()
+def evaluator(small_population: Population) -> UnfairnessEvaluator:
+    scores = small_population.observed_column("skill")
+    return UnfairnessEvaluator(small_population, scores, HistogramSpec(bins=10))
+
+
+class TestSplitPartition:
+    def test_split_by_gender(self, small_population: Population) -> None:
+        root = Partition(small_population.all_indices())
+        children = split_partition(small_population, root, "gender")
+        assert len(children) == 2
+        assert [c.size for c in children] == [6, 6]
+        assert children[0].constraints == (("gender", 0),)
+        assert children[1].constraints == (("gender", 1),)
+
+    def test_split_preserves_members(self, small_population: Population) -> None:
+        root = Partition(small_population.all_indices())
+        children = split_partition(small_population, root, "country")
+        combined = np.sort(np.concatenate([c.indices for c in children]))
+        assert combined.tolist() == list(range(12))
+
+    def test_split_drops_empty_cells(self, small_population: Population) -> None:
+        # Only males: gender split yields a single non-empty child.
+        males = Partition(np.arange(6))
+        children = split_partition(small_population, males, "gender")
+        assert len(children) == 1
+        assert children[0].size == 6
+
+    def test_split_on_already_constrained_attribute_rejected(
+        self, small_population: Population
+    ) -> None:
+        partition = Partition(np.arange(6), (("gender", 0),))
+        with pytest.raises(PartitioningError, match="already constrained"):
+            split_partition(small_population, partition, "gender")
+
+    def test_split_extends_constraint_path(self, small_population: Population) -> None:
+        males = Partition(np.arange(6), (("gender", 0),))
+        children = split_partition(small_population, males, "country")
+        assert all(c.constraints[0] == ("gender", 0) for c in children)
+        assert [c.constraints[1] for c in children] == [
+            ("country", 0),
+            ("country", 1),
+            ("country", 2),
+        ]
+
+    def test_split_partitions_splits_every_group(
+        self, small_population: Population
+    ) -> None:
+        root = Partition(small_population.all_indices())
+        by_gender = split_partition(small_population, root, "gender")
+        all_cells = split_partitions(small_population, by_gender, "country")
+        assert len(all_cells) == 6
+        assert sum(c.size for c in all_cells) == 12
+
+
+class TestWorstAttribute:
+    def test_picks_attribute_with_highest_average_distance(
+        self, small_population: Population, evaluator: UnfairnessEvaluator
+    ) -> None:
+        # Skill correlates perfectly with gender in the fixture (males high,
+        # females low except worker 10), so gender must beat country.
+        root = Partition(small_population.all_indices())
+        choice = worst_attribute(
+            small_population, [root], ["gender", "country"], evaluator
+        )
+        assert choice.attribute == "gender"
+        assert choice.score == evaluator.unfairness(choice.children)
+
+    def test_empty_candidates_rejected(
+        self, small_population: Population, evaluator: UnfairnessEvaluator
+    ) -> None:
+        root = Partition(small_population.all_indices())
+        with pytest.raises(PartitioningError, match="no candidate"):
+            worst_attribute(small_population, [root], [], evaluator)
+
+    def test_deterministic_tie_break_on_candidate_order(
+        self, small_population: Population, evaluator: UnfairnessEvaluator
+    ) -> None:
+        root = Partition(small_population.all_indices())
+        first = worst_attribute(
+            small_population, [root], ["gender", "country", "age"], evaluator
+        )
+        second = worst_attribute(
+            small_population, [root], ["gender", "country", "age"], evaluator
+        )
+        assert first.attribute == second.attribute
+        assert first.score == second.score
+
+    def test_children_cover_population(
+        self, small_population: Population, evaluator: UnfairnessEvaluator
+    ) -> None:
+        root = Partition(small_population.all_indices())
+        choice = worst_attribute(
+            small_population, [root], ["country"], evaluator
+        )
+        assert sum(c.size for c in choice.children) == small_population.size
+
+
+class TestWorstAttributeLocal:
+    def test_score_is_union_average_by_default(
+        self, small_population: Population, evaluator: UnfairnessEvaluator
+    ) -> None:
+        root = Partition(small_population.all_indices())
+        by_gender = split_partition(small_population, root, "gender")
+        males, females = by_gender
+        choice = worst_attribute_local(
+            small_population, males, [females], ["country"], evaluator
+        )
+        assert choice.attribute == "country"
+        expected = evaluator.union_average(choice.children, [females])
+        assert choice.score == pytest.approx(expected)
+
+    def test_cross_only_variant(
+        self, small_population: Population, evaluator: UnfairnessEvaluator
+    ) -> None:
+        root = Partition(small_population.all_indices())
+        males, females = split_partition(small_population, root, "gender")
+        union_choice = worst_attribute_local(
+            small_population, males, [females], ["country", "age"], evaluator
+        )
+        cross_choice = worst_attribute_local(
+            small_population,
+            males,
+            [females],
+            ["country", "age"],
+            evaluator,
+            cross_only=True,
+        )
+        expected = evaluator.cross_average(cross_choice.children, [females])
+        assert cross_choice.score == pytest.approx(expected)
+        # Both variants still return a legal split of the male partition.
+        for choice in (union_choice, cross_choice):
+            assert sum(c.size for c in choice.children) == males.size
+
+    def test_empty_candidates_rejected(
+        self, small_population: Population, evaluator: UnfairnessEvaluator
+    ) -> None:
+        root = Partition(small_population.all_indices())
+        with pytest.raises(PartitioningError, match="no candidates"):
+            worst_attribute_local(small_population, root, [], [], evaluator)

@@ -1,0 +1,170 @@
+"""Unit tests for tasks and ranked result lists."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+from repro.marketplace.ranking import Ranking, rank_workers
+from repro.marketplace.scoring import LinearScoringFunction
+from repro.marketplace.tasks import Task, eligible_workers, task_from_weights
+
+
+class TestTask:
+    def test_task_from_weights_builds_linear_scoring(self) -> None:
+        task = task_from_weights(
+            "t1", "help with HTML/CSS", {"language_test": 0.5, "approval_rate": 0.5}
+        )
+        assert task.task_id == "t1"
+        assert isinstance(task.scoring, LinearScoringFunction)
+        assert task.positions == 1
+
+    def test_empty_task_id_rejected(self) -> None:
+        with pytest.raises(ScoringError, match="non-empty"):
+            Task("", "x", LinearScoringFunction("f", {"skill": 1.0}))
+
+    def test_nonpositive_positions_rejected(self) -> None:
+        with pytest.raises(ScoringError, match="positions"):
+            Task("t", "x", LinearScoringFunction("f", {"skill": 1.0}), positions=0)
+
+    def test_tags_default_empty(self) -> None:
+        task = task_from_weights("t", "x", {"skill": 1.0})
+        assert task.tags == ()
+        assert task.requirements == {}
+
+    def test_eligible_workers_applies_minimums(
+        self, small_population: Population
+    ) -> None:
+        task = task_from_weights(
+            "t", "x", {"skill": 1.0}, requirements={"skill": 0.5}
+        )
+        mask = eligible_workers(small_population, task)
+        skills = small_population.observed_column("skill")
+        assert (mask == (skills >= 0.5)).all()
+
+    def test_eligible_workers_no_requirements_matches_everyone(
+        self, small_population: Population
+    ) -> None:
+        task = task_from_weights("t", "x", {"skill": 1.0})
+        assert eligible_workers(small_population, task).all()
+
+    def test_eligible_workers_conjunction(
+        self, paper_population_small: Population
+    ) -> None:
+        task = task_from_weights(
+            "t",
+            "x",
+            {"language_test": 1.0},
+            requirements={"language_test": 80.0, "approval_rate": 80.0},
+        )
+        mask = eligible_workers(paper_population_small, task)
+        tests = paper_population_small.observed_column("language_test")
+        approvals = paper_population_small.observed_column("approval_rate")
+        assert (mask == ((tests >= 80.0) & (approvals >= 80.0))).all()
+
+
+class TestRanking:
+    def test_rank_workers_orders_by_score_descending(
+        self, small_population: Population
+    ) -> None:
+        ranking = rank_workers(
+            small_population, LinearScoringFunction("f", {"skill": 1.0})
+        )
+        ranked_scores = ranking.scores_by_rank()
+        assert all(a >= b for a, b in zip(ranked_scores, ranked_scores[1:]))
+
+    def test_top_worker_has_highest_skill(self, small_population: Population) -> None:
+        ranking = rank_workers(
+            small_population, LinearScoringFunction("f", {"skill": 1.0})
+        )
+        # Worker 10 has skill 0.95, the maximum.
+        assert ranking.order[0] == 10
+
+    def test_ties_break_on_worker_index(self, small_population: Population) -> None:
+        constant = type(
+            "Const",
+            (LinearScoringFunction,),
+            {"scores": lambda self, population: np.full(population.size, 0.5)},
+        )("const", {"skill": 1.0})
+        ranking = rank_workers(small_population, constant)
+        assert ranking.order.tolist() == list(range(small_population.size))
+
+    def test_top_k(self, small_population: Population) -> None:
+        ranking = rank_workers(
+            small_population, LinearScoringFunction("f", {"skill": 1.0})
+        )
+        assert ranking.top_k(3).tolist() == ranking.order[:3].tolist()
+        assert ranking.top_k(0).size == 0
+
+    def test_top_k_negative_rejected(self, small_population: Population) -> None:
+        ranking = rank_workers(
+            small_population, LinearScoringFunction("f", {"skill": 1.0})
+        )
+        with pytest.raises(ScoringError, match="non-negative"):
+            ranking.top_k(-1)
+
+    def test_rank_of(self, small_population: Population) -> None:
+        ranking = rank_workers(
+            small_population, LinearScoringFunction("f", {"skill": 1.0})
+        )
+        assert ranking.rank_of(10) == 0
+        # Worker 9 has the minimum skill (0.05).
+        assert ranking.rank_of(9) == small_population.size - 1
+
+    def test_rank_of_unknown_worker(self, small_population: Population) -> None:
+        ranking = rank_workers(
+            small_population, LinearScoringFunction("f", {"skill": 1.0})
+        )
+        with pytest.raises(ScoringError, match="not in this ranking"):
+            ranking.rank_of(99)
+
+    def test_size_and_len(self, small_population: Population) -> None:
+        ranking = rank_workers(
+            small_population, LinearScoringFunction("f", {"skill": 1.0})
+        )
+        assert ranking.size == len(ranking) == small_population.size
+
+    def test_more_ranked_workers_than_scores_rejected(self) -> None:
+        with pytest.raises(ScoringError, match="only"):
+            Ranking(order=np.array([0, 1]), scores=np.array([0.5]))
+
+    def test_order_referencing_unknown_worker_rejected(self) -> None:
+        with pytest.raises(ScoringError, match="without scores"):
+            Ranking(order=np.array([3]), scores=np.array([0.5, 0.6]))
+
+    def test_subset_ranking_allowed(self) -> None:
+        ranking = Ranking(order=np.array([1]), scores=np.array([0.5, 0.9, 0.7]))
+        assert ranking.size == 1
+        assert ranking.rank_of(1) == 0
+
+    def test_eligibility_mask_restricts_ranking(
+        self, small_population: Population
+    ) -> None:
+        eligible = small_population.observed_column("skill") >= 0.5
+        ranking = rank_workers(
+            small_population, LinearScoringFunction("f", {"skill": 1.0}), eligible
+        )
+        assert ranking.size == int(eligible.sum())
+        assert set(ranking.order.tolist()) == set(np.nonzero(eligible)[0].tolist())
+        ranked_scores = ranking.scores_by_rank()
+        assert all(a >= b for a, b in zip(ranked_scores, ranked_scores[1:]))
+
+    def test_eligibility_mask_shape_checked(
+        self, small_population: Population
+    ) -> None:
+        with pytest.raises(ScoringError, match="mask has shape"):
+            rank_workers(
+                small_population,
+                LinearScoringFunction("f", {"skill": 1.0}),
+                np.array([True]),
+            )
+
+    def test_ranking_is_reproducible(self, paper_population_small: Population) -> None:
+        function = LinearScoringFunction(
+            "f", {"language_test": 0.5, "approval_rate": 0.5}
+        )
+        first = rank_workers(paper_population_small, function)
+        second = rank_workers(paper_population_small, function)
+        np.testing.assert_array_equal(first.order, second.order)

@@ -1,0 +1,108 @@
+"""Unit tests for split-tree reconstruction and rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Partition
+from repro.core.population import Population
+from repro.core.tree import build_split_tree, render_split_tree
+from repro.exceptions import PartitioningError
+
+
+def _figure1_partitions() -> list[Partition]:
+    """The paper's Figure 1 structure over 6 workers."""
+    return [
+        Partition(np.array([0]), (("gender", 0), ("language", 0))),
+        Partition(np.array([1]), (("gender", 0), ("language", 1))),
+        Partition(np.array([2]), (("gender", 0), ("language", 2))),
+        Partition(np.array([3, 4, 5]), (("gender", 1),)),
+    ]
+
+
+class TestBuildSplitTree:
+    def test_single_root_partition(self) -> None:
+        tree = build_split_tree([Partition(np.arange(4))])
+        assert tree.is_leaf
+        assert tree.depth == 0
+        assert tree.partition is not None
+
+    def test_figure1_structure(self) -> None:
+        tree = build_split_tree(_figure1_partitions())
+        assert tree.split_attribute == "gender"
+        assert len(tree.children) == 2
+        assert tree.depth == 2
+        male = next(c for c in tree.children if c.constraints == (("gender", 0),))
+        female = next(c for c in tree.children if c.constraints == (("gender", 1),))
+        assert male.split_attribute == "language"
+        assert len(male.children) == 3
+        assert female.is_leaf
+
+    def test_leaves_enumerates_all_partitions(self) -> None:
+        tree = build_split_tree(_figure1_partitions())
+        leaves = tree.leaves()
+        assert len(leaves) == 4
+        assert all(leaf.partition is not None for leaf in leaves)
+
+    def test_inconsistent_split_attribute_rejected(self) -> None:
+        partitions = [
+            Partition(np.array([0]), (("gender", 0),)),
+            Partition(np.array([1]), (("country", 0),)),
+        ]
+        with pytest.raises(PartitioningError, match="splits on both"):
+            build_split_tree(partitions)
+
+    def test_duplicate_leaf_rejected(self) -> None:
+        partitions = [
+            Partition(np.array([0]), (("gender", 0),)),
+            Partition(np.array([1]), (("gender", 0),)),
+        ]
+        with pytest.raises(PartitioningError, match="duplicate leaf"):
+            build_split_tree(partitions)
+
+    def test_leaf_with_children_rejected(self) -> None:
+        partitions = [
+            Partition(np.array([0]), (("gender", 0),)),
+            Partition(np.array([1]), (("gender", 0), ("country", 0))),
+        ]
+        with pytest.raises(PartitioningError, match="leaf would need children"):
+            build_split_tree(partitions)
+
+
+class TestRenderSplitTree:
+    def test_renders_figure1_shape(self, toy: Population) -> None:
+        # Reconstruct the actual Figure 1 optimum over the toy population.
+        codes_gender = toy.partition_codes("gender")
+        codes_language = toy.partition_codes("language")
+        male = codes_gender == 0
+        partitions = [
+            Partition(np.nonzero(male & (codes_language == code))[0],
+                      (("gender", 0), ("language", code)))
+            for code in range(3)
+        ]
+        partitions.append(Partition(np.nonzero(~male)[0], (("gender", 1),)))
+        text = render_split_tree(build_split_tree(partitions), toy.schema)
+        assert text.splitlines()[0] == "ALL  [split on gender]"
+        assert "gender=Male  [split on language]" in text
+        assert "language=English (n=2)" in text
+        assert "gender=Female (n=6)" in text
+
+    def test_render_root_only(self, toy: Population) -> None:
+        text = render_split_tree(
+            build_split_tree([Partition(toy.all_indices())]), toy.schema
+        )
+        assert text == "ALL (n=12)"
+
+    def test_render_integer_attribute_interval(
+        self, small_population: Population
+    ) -> None:
+        codes = small_population.partition_codes("age")
+        partitions = [
+            Partition(np.nonzero(codes == code)[0], (("age", int(code)),))
+            for code in np.unique(codes)
+        ]
+        text = render_split_tree(
+            build_split_tree(partitions), small_population.schema
+        )
+        assert "age∈[18-27]" in text

@@ -1,0 +1,137 @@
+"""Unit tests for the unfairness objective (Definition 2 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import HistogramSpec
+from repro.core.partition import Partition, Partitioning
+from repro.core.population import Population
+from repro.core.unfairness import UnfairnessEvaluator, unfairness
+from repro.exceptions import PartitioningError
+from repro.metrics.emd import emd
+
+
+@pytest.fixture()
+def evaluator(small_population: Population) -> UnfairnessEvaluator:
+    scores = small_population.observed_column("skill")
+    return UnfairnessEvaluator(small_population, scores, HistogramSpec(bins=10))
+
+
+class TestEvaluatorBasics:
+    def test_rejects_score_shape_mismatch(self, small_population: Population) -> None:
+        with pytest.raises(PartitioningError, match="expected"):
+            UnfairnessEvaluator(small_population, np.array([0.5, 0.5]))
+
+    def test_pmf_matches_direct_histogram(
+        self, small_population: Population, evaluator: UnfairnessEvaluator
+    ) -> None:
+        partition = Partition(np.arange(6))
+        scores = small_population.observed_column("skill")[:6]
+        expected = HistogramSpec(bins=10).normalized_histogram(scores)
+        np.testing.assert_allclose(evaluator.pmf(partition), expected)
+
+    def test_pmf_is_cached_per_partition_object(
+        self, evaluator: UnfairnessEvaluator
+    ) -> None:
+        partition = Partition(np.arange(3))
+        assert evaluator.pmf(partition) is evaluator.pmf(partition)
+
+    def test_pmf_matrix_shape(self, evaluator: UnfairnessEvaluator) -> None:
+        parts = [Partition(np.arange(6)), Partition(np.arange(6, 12))]
+        assert evaluator.pmf_matrix(parts).shape == (2, 10)
+
+    def test_pmf_matrix_empty(self, evaluator: UnfairnessEvaluator) -> None:
+        assert evaluator.pmf_matrix([]).shape == (0, 10)
+
+
+class TestObjective:
+    def test_single_partition_unfairness_is_zero(
+        self, small_population: Population, evaluator: UnfairnessEvaluator
+    ) -> None:
+        assert evaluator.unfairness(Partitioning.single(small_population)) == 0.0
+
+    def test_two_partitions_equals_their_emd(
+        self, small_population: Population, evaluator: UnfairnessEvaluator
+    ) -> None:
+        males, females = Partition(np.arange(6)), Partition(np.arange(6, 12))
+        expected = emd(evaluator.pmf(males), evaluator.pmf(females), 0.1)
+        assert evaluator.unfairness([males, females]) == pytest.approx(expected)
+
+    def test_average_over_three_partitions(
+        self, evaluator: UnfairnessEvaluator
+    ) -> None:
+        parts = [
+            Partition(np.arange(4)),
+            Partition(np.arange(4, 8)),
+            Partition(np.arange(8, 12)),
+        ]
+        pairwise = evaluator.pairwise_matrix(parts)
+        expected = (pairwise[0, 1] + pairwise[0, 2] + pairwise[1, 2]) / 3
+        assert evaluator.unfairness(parts) == pytest.approx(expected)
+
+    def test_identical_partitions_have_zero_unfairness(
+        self, small_population: Population
+    ) -> None:
+        # Same score multiset in both halves -> identical histograms.
+        scores = np.tile([0.1, 0.5, 0.9], 4)
+        evaluator = UnfairnessEvaluator(small_population, scores)
+        parts = [
+            Partition(np.array([0, 1, 2, 6, 7, 8])),
+            Partition(np.array([3, 4, 5, 9, 10, 11])),
+        ]
+        assert evaluator.unfairness(parts) == pytest.approx(0.0)
+
+    def test_evaluation_counter_increments(
+        self, evaluator: UnfairnessEvaluator
+    ) -> None:
+        parts = [Partition(np.arange(6)), Partition(np.arange(6, 12))]
+        before = evaluator.n_evaluations
+        evaluator.unfairness(parts)
+        evaluator.unfairness(parts)
+        assert evaluator.n_evaluations == before + 2
+
+    def test_union_average_equals_unfairness_of_union(
+        self, evaluator: UnfairnessEvaluator
+    ) -> None:
+        group = [Partition(np.arange(4))]
+        siblings = [Partition(np.arange(4, 8)), Partition(np.arange(8, 12))]
+        direct = evaluator.unfairness(group + siblings)
+        assert evaluator.union_average(group, siblings) == pytest.approx(direct)
+
+    def test_cross_average_excludes_within_set_pairs(
+        self, evaluator: UnfairnessEvaluator
+    ) -> None:
+        a, b = Partition(np.arange(4)), Partition(np.arange(4, 8))
+        c = Partition(np.arange(8, 12))
+        pairwise = evaluator.pairwise_matrix([a, b, c])
+        expected = (pairwise[0, 2] + pairwise[1, 2]) / 2
+        assert evaluator.cross_average([a, b], [c]) == pytest.approx(expected)
+
+    def test_cross_average_with_empty_side_is_zero(
+        self, evaluator: UnfairnessEvaluator
+    ) -> None:
+        assert evaluator.cross_average([], [Partition(np.arange(3))]) == 0.0
+
+    def test_pairwise_matrix_symmetric(self, evaluator: UnfairnessEvaluator) -> None:
+        parts = [Partition(np.arange(4)), Partition(np.arange(4, 12))]
+        matrix = evaluator.pairwise_matrix(parts)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+
+class TestConvenienceWrapper:
+    def test_one_shot_unfairness(self, small_population: Population) -> None:
+        scores = small_population.observed_column("skill")
+        parts = [Partition(np.arange(6)), Partition(np.arange(6, 12))]
+        one_shot = unfairness(small_population, scores, parts)
+        evaluator = UnfairnessEvaluator(small_population, scores)
+        assert one_shot == pytest.approx(evaluator.unfairness(parts))
+
+    def test_alternative_metric(self, small_population: Population) -> None:
+        scores = small_population.observed_column("skill")
+        parts = [Partition(np.arange(6)), Partition(np.arange(6, 12))]
+        emd_value = unfairness(small_population, scores, parts, metric="emd")
+        ks_value = unfairness(small_population, scores, parts, metric="ks")
+        assert emd_value != pytest.approx(ks_value)

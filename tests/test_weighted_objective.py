@@ -1,0 +1,171 @@
+"""Unit and property tests for the size-weighted unfairness variant."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import get_algorithm
+from repro.core.histogram import HistogramSpec
+from repro.core.partition import Partition
+from repro.core.population import Population
+from repro.core.unfairness import UnfairnessEvaluator
+from repro.exceptions import MetricError, PartitioningError
+from repro.metrics.base import get_metric
+from repro.metrics.emd import average_pairwise_emd, sum_pairwise_abs_differences
+
+SPEC = HistogramSpec(bins=10)
+
+pmfs_strategy = st.integers(min_value=2, max_value=8).flatmap(
+    lambda k: st.lists(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=10,
+            max_size=10,
+        ).map(lambda xs: np.array(xs) + 1e-9).map(lambda a: a / a.sum()),
+        min_size=k,
+        max_size=k,
+    )
+)
+
+
+class TestWeightedSumPairwise:
+    def test_matches_naive_weighted_sum(self) -> None:
+        rng = np.random.default_rng(0)
+        values = rng.uniform(size=15)
+        weights = rng.uniform(0.5, 5.0, size=15)
+        naive = sum(
+            weights[i] * weights[j] * abs(values[i] - values[j])
+            for i in range(15)
+            for j in range(i + 1, 15)
+        )
+        assert sum_pairwise_abs_differences(values, weights) == pytest.approx(naive)
+
+    def test_unit_weights_match_unweighted(self) -> None:
+        rng = np.random.default_rng(1)
+        values = rng.uniform(size=20)
+        assert sum_pairwise_abs_differences(values, np.ones(20)) == pytest.approx(
+            sum_pairwise_abs_differences(values)
+        )
+
+    def test_weight_shape_mismatch_rejected(self) -> None:
+        with pytest.raises(MetricError, match="weights shape"):
+            sum_pairwise_abs_differences(np.ones(3), np.ones(2))
+
+
+class TestWeightedAveragePairwiseEMD:
+    @given(pmfs=pmfs_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_equal_weights_reduce_to_uniform(self, pmfs) -> None:
+        matrix = np.vstack(pmfs)
+        k = matrix.shape[0]
+        uniform = average_pairwise_emd(matrix, 0.1)
+        weighted = average_pairwise_emd(matrix, 0.1, np.full(k, 3.7))
+        assert weighted == pytest.approx(uniform, abs=1e-9)
+
+    def test_matches_naive_weighted_average(self) -> None:
+        rng = np.random.default_rng(2)
+        pmfs = rng.dirichlet(np.ones(10), size=6)
+        weights = rng.uniform(1, 100, size=6)
+        metric = get_metric("emd")
+        naive_total, naive_weight = 0.0, 0.0
+        for i, j in itertools.combinations(range(6), 2):
+            distance = metric.distance(pmfs[i], pmfs[j], SPEC)
+            naive_total += weights[i] * weights[j] * distance
+            naive_weight += weights[i] * weights[j]
+        assert average_pairwise_emd(
+            pmfs, SPEC.bin_width, weights
+        ) == pytest.approx(naive_total / naive_weight)
+
+    def test_large_group_pair_dominates(self) -> None:
+        low = np.zeros(10)
+        low[0] = 1.0
+        high = np.zeros(10)
+        high[9] = 1.0
+        mid = np.zeros(10)
+        mid[5] = 1.0
+        pmfs = np.vstack([low, high, mid])
+        # Two large groups far apart (EMD 0.9) and one tiny mid outlier.
+        weights = np.array([1000.0, 1000.0, 1.0])
+        weighted = average_pairwise_emd(pmfs, 0.1, weights)
+        uniform = average_pairwise_emd(pmfs, 0.1)
+        assert weighted == pytest.approx(0.9, abs=0.01)
+        assert uniform == pytest.approx((0.9 + 0.5 + 0.4) / 3)
+
+    def test_negative_weights_rejected(self) -> None:
+        pmfs = np.vstack([np.ones(10) / 10, np.ones(10) / 10])
+        with pytest.raises(MetricError, match="non-negative"):
+            average_pairwise_emd(pmfs, 0.1, np.array([1.0, -1.0]))
+
+    def test_generic_metric_weighted_average(self) -> None:
+        metric = get_metric("tv")
+        rng = np.random.default_rng(3)
+        pmfs = rng.dirichlet(np.ones(10), size=4)
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        naive_total, naive_weight = 0.0, 0.0
+        for i, j in itertools.combinations(range(4), 2):
+            distance = metric.distance(pmfs[i], pmfs[j], SPEC)
+            naive_total += weights[i] * weights[j] * distance
+            naive_weight += weights[i] * weights[j]
+        assert metric.average_pairwise(pmfs, SPEC, weights) == pytest.approx(
+            naive_total / naive_weight
+        )
+
+
+class TestEvaluatorWeighting:
+    def test_size_weighting_matches_manual(
+        self, small_population: Population
+    ) -> None:
+        scores = small_population.observed_column("skill")
+        evaluator = UnfairnessEvaluator(
+            small_population, scores, weighting="size"
+        )
+        parts = [
+            Partition(np.arange(8)),
+            Partition(np.arange(8, 11)),
+            Partition(np.array([11])),
+        ]
+        pmfs = evaluator.pmf_matrix(parts)
+        expected = average_pairwise_emd(
+            pmfs, evaluator.spec.bin_width, np.array([8.0, 3.0, 1.0])
+        )
+        assert evaluator.unfairness(parts) == pytest.approx(expected)
+
+    def test_invalid_weighting_rejected(self, small_population: Population) -> None:
+        scores = small_population.observed_column("skill")
+        with pytest.raises(PartitioningError, match="weighting"):
+            UnfairnessEvaluator(small_population, scores, weighting="nope")
+
+    def test_algorithms_accept_weighting(
+        self, paper_population_small: Population
+    ) -> None:
+        from repro.marketplace.biased import paper_biased_functions
+
+        scores = paper_biased_functions()["f6"](paper_population_small)
+        result = get_algorithm("balanced").run(
+            paper_population_small, scores, weighting="size"
+        )
+        # The gender split has two near-equal groups: weighting barely moves
+        # the pinned 0.8 value, and the found structure is unchanged.
+        assert result.partitioning.attributes_used() == ("gender",)
+        assert result.unfairness == pytest.approx(0.8, abs=0.05)
+
+    def test_weighting_changes_value_on_unequal_groups(
+        self, paper_population_small: Population
+    ) -> None:
+        # f8 makes female-America tiny vs the big male group: the two
+        # objectives genuinely differ on its partitionings.
+        from repro.marketplace.biased import paper_biased_functions
+
+        scores = paper_biased_functions()["f8"](paper_population_small)
+        uniform = get_algorithm("all-attributes").run(
+            paper_population_small, scores, weighting="uniform"
+        )
+        weighted = get_algorithm("all-attributes").run(
+            paper_population_small, scores, weighting="size"
+        )
+        assert uniform.unfairness != pytest.approx(weighted.unfairness, abs=1e-4)

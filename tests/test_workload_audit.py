@@ -1,0 +1,95 @@
+"""Unit tests for workload-level auditing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.workload import audit_workload
+from repro.core.population import Population
+from repro.exceptions import ScoringError
+from repro.marketplace.biased import paper_biased_functions
+from repro.marketplace.tasks import Task, task_from_weights
+
+
+@pytest.fixture(scope="module")
+def mixed_workload():
+    biased = paper_biased_functions()
+    tasks = [
+        Task("gender-biased-1", "gig", biased["f6"], positions=3),
+        Task("gender-biased-2", "gig", biased["f7"], positions=3),
+        task_from_weights(
+            "neutral", "gig", {"language_test": 0.5, "approval_rate": 0.5}
+        ),
+    ]
+    return tasks
+
+
+class TestAuditWorkload:
+    def test_one_audit_per_task(
+        self, paper_population_small: Population, mixed_workload
+    ) -> None:
+        summary = audit_workload(paper_population_small, mixed_workload)
+        assert len(summary.audits) == 3
+        assert {a.task_id for a in summary.audits} == {
+            "gender-biased-1",
+            "gender-biased-2",
+            "neutral",
+        }
+
+    def test_recurring_attribute_is_gender(
+        self, paper_population_small: Population, mixed_workload
+    ) -> None:
+        summary = audit_workload(paper_population_small, mixed_workload)
+        # Two of three tasks are gender-biased by construction.
+        assert summary.attribute_frequency["gender"] >= 2
+        assert "gender" in summary.recurring_attributes(min_fraction=0.5)
+
+    def test_worst_task_is_the_most_biased(
+        self, paper_population_small: Population, mixed_workload
+    ) -> None:
+        summary = audit_workload(paper_population_small, mixed_workload)
+        assert summary.worst_task().task_id == "gender-biased-1"  # f6, EMD ~0.8
+        assert summary.max_unfairness == pytest.approx(0.8, abs=0.05)
+
+    def test_mean_between_min_and_max(
+        self, paper_population_small: Population, mixed_workload
+    ) -> None:
+        summary = audit_workload(paper_population_small, mixed_workload)
+        values = [a.unfairness for a in summary.audits]
+        assert min(values) <= summary.mean_unfairness <= max(values)
+
+    def test_requirements_audited_on_eligible_pool(
+        self, paper_population_small: Population
+    ) -> None:
+        biased = paper_biased_functions()
+        filtered_task = Task(
+            "filtered",
+            "gig",
+            biased["f6"],
+            positions=2,
+            requirements={"approval_rate": 60.0},
+        )
+        summary = audit_workload(paper_population_small, [filtered_task])
+        # The gender bias survives any skill filter (f6 ignores skills).
+        assert summary.audits[0].attributes_used == ("gender",)
+
+    def test_empty_workload_rejected(
+        self, paper_population_small: Population
+    ) -> None:
+        with pytest.raises(ScoringError, match="empty workload"):
+            audit_workload(paper_population_small, [])
+
+    def test_invalid_min_fraction_rejected(
+        self, paper_population_small: Population, mixed_workload
+    ) -> None:
+        summary = audit_workload(paper_population_small, mixed_workload)
+        with pytest.raises(ScoringError, match="min_fraction"):
+            summary.recurring_attributes(min_fraction=0.0)
+
+    def test_render_mentions_frequencies(
+        self, paper_population_small: Population, mixed_workload
+    ) -> None:
+        summary = audit_workload(paper_population_small, mixed_workload)
+        text = summary.render()
+        assert "workload audit over 3 tasks" in text
+        assert "gender" in text

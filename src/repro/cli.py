@@ -29,6 +29,7 @@ from typing import Sequence
 from repro.core.algorithms import PAPER_ALGORITHMS, available_algorithms
 from repro.core.audit import FairnessAuditor
 from repro.core.histogram import HistogramSpec
+from repro.engine import available_backends
 from repro.io.serialization import (
     load_population,
     save_experiment_result,
@@ -50,6 +51,29 @@ from repro.simulation.scenarios import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--backend`` / ``--workers``: evaluation-engine execution backend."""
+    parser.add_argument(
+        "--backend",
+        default="sequential",
+        choices=sorted(available_backends()),
+        help="evaluation backend: sequential (default) or a process pool",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for --backend process (default: all cores)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append per-group ASCII score histograms to the report",
     )
+    _add_engine_arguments(audit)
 
     compare = subparsers.add_parser(
         "compare", help="run every algorithm on one scoring function"
@@ -102,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("population", help="population CSV written by 'generate'")
     compare.add_argument("--function", default="f1", help="scoring function f1..f9")
     compare.add_argument("--seed", type=int, default=0, help="seed for randomised algorithms")
+    _add_engine_arguments(compare)
 
     significance = subparsers.add_parser(
         "significance",
@@ -167,6 +193,18 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--workers", type=int, default=None, help="override worker count")
     experiment.add_argument("--seed", type=int, default=42, help="population seed")
     experiment.add_argument("--out", default=None, help="optional JSON output path")
+    experiment.add_argument(
+        "--backend",
+        default="sequential",
+        choices=sorted(available_backends()),
+        help="evaluation backend: sequential (default) or a process pool",
+    )
+    experiment.add_argument(
+        "--engine-workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for --backend process (default: all cores)",
+    )
     return parser
 
 
@@ -185,7 +223,13 @@ def _command_audit(args: argparse.Namespace) -> int:
     auditor = FairnessAuditor(
         population, hist_spec=HistogramSpec(bins=args.bins), metric=args.metric
     )
-    report = auditor.audit(function, algorithm=args.algorithm, rng=args.seed)
+    report = auditor.audit(
+        function,
+        algorithm=args.algorithm,
+        rng=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+    )
     print(report.render(histograms=args.histograms))
     return 0
 
@@ -214,7 +258,13 @@ def _command_compare(args: argparse.Namespace) -> int:
     print(header)
     print("-" * len(header))
     for name in list(PAPER_ALGORITHMS) + ["single-attribute", "beam"]:
-        result = get_algorithm(name).run(population, scores, rng=args.seed)
+        result = get_algorithm(name).run(
+            population,
+            scores,
+            rng=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+        )
         attributes = ",".join(result.partitioning.attributes_used()) or "(none)"
         print(
             f"{name:>16}  {result.unfairness:>10.3f}  {result.partitioning.k:>7d}"
@@ -328,6 +378,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
             scenario,
             algorithms=("exhaustive", "balanced", "unbalanced"),
             seed=args.seed,
+            backend=args.backend,
+            workers=args.engine_workers,
         )
         print(format_table(result, "unfairness", title="Figure 1 toy — average EMD"))
         reference = None
@@ -340,7 +392,13 @@ def _command_experiment(args: argparse.Namespace) -> int:
         builder, reference, default_workers = builders[args.name]
         config = PaperConfig(n_workers=args.workers or default_workers, seed=args.seed)
         scenario = builder(config)
-        result = run_scenario(scenario, algorithms=PAPER_ALGORITHMS, seed=args.seed)
+        result = run_scenario(
+            scenario,
+            algorithms=PAPER_ALGORITHMS,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.engine_workers,
+        )
         print(
             format_comparison_table(
                 result,

@@ -17,17 +17,18 @@ Pseudo-code (Algorithm 1)::
         if currentAvg >= childrenAvg: break
         current, currentAvg = children, childrenAvg
     output current
+
+All objective queries go through the run's
+:class:`~repro.engine.engine.EvaluationEngine` (via ``worst_attribute``,
+which batches the per-attribute candidates through the engine's backend).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.algorithms.base import PartitioningAlgorithm, register_algorithm
 from repro.core.partition import Partition
-from repro.core.population import Population
 from repro.core.splitting import split_partitions, worst_attribute
-from repro.core.unfairness import UnfairnessEvaluator
+from repro.engine.context import SearchContext
 
 __all__ = ["BalancedAlgorithm", "RandomBalancedAlgorithm"]
 
@@ -38,21 +39,17 @@ class BalancedAlgorithm(PartitioningAlgorithm):
 
     name = "balanced"
 
-    def _search(
-        self,
-        population: Population,
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
-    ) -> list[Partition]:
+    def _search(self, context: SearchContext) -> list[Partition]:
+        population, engine = context.population, context.engine
         remaining = list(population.schema.protected_names)
         root = Partition(population.all_indices())
 
-        choice = worst_attribute(population, [root], remaining, evaluator)
+        choice = worst_attribute(population, [root], remaining, engine)
         remaining.remove(choice.attribute)
         current, current_avg = choice.children, choice.score
 
         while remaining:
-            choice = worst_attribute(population, current, remaining, evaluator)
+            choice = worst_attribute(population, current, remaining, engine)
             remaining.remove(choice.attribute)
             if current_avg >= choice.score:
                 break
@@ -72,25 +69,21 @@ class RandomBalancedAlgorithm(PartitioningAlgorithm):
 
     name = "r-balanced"
 
-    def _search(
-        self,
-        population: Population,
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
-    ) -> list[Partition]:
+    def _search(self, context: SearchContext) -> list[Partition]:
+        population, engine, rng = context.population, context.engine, context.rng
         remaining = list(population.schema.protected_names)
         root = Partition(population.all_indices())
 
         attribute = str(rng.choice(remaining))
         remaining.remove(attribute)
         current = split_partitions(population, [root], attribute)
-        current_avg = evaluator.unfairness(current)
+        current_avg = engine.unfairness(current)
 
         while remaining:
             attribute = str(rng.choice(remaining))
             remaining.remove(attribute)
             children = split_partitions(population, current, attribute)
-            children_avg = evaluator.unfairness(children)
+            children_avg = engine.unfairness(children)
             if current_avg >= children_avg:
                 break
             current, current_avg = children, children_avg

@@ -10,6 +10,12 @@ exponential space; all of them run through the same entry point::
 which yields an :class:`AlgorithmResult` carrying the partitioning, its
 unfairness, wall-clock runtime and search-effort statistics — the quantities
 the paper reports in Tables 1–3.
+
+Evaluation is served by one :class:`~repro.engine.engine.EvaluationEngine`
+per run (cache, vectorized kernels, incremental updates, pluggable
+backends); algorithms receive it inside a
+:class:`~repro.engine.context.SearchContext` and never construct evaluator
+machinery themselves.
 """
 
 from __future__ import annotations
@@ -24,7 +30,9 @@ from repro.core.histogram import HistogramSpec
 from repro.core.partition import Partition, Partitioning
 from repro.core.population import Population
 from repro.core.schema import WorkerSchema
-from repro.core.unfairness import UnfairnessEvaluator
+from repro.engine.backends import ExecutionBackend
+from repro.engine.context import SearchContext
+from repro.engine.engine import EvaluationEngine
 from repro.exceptions import PartitioningError
 from repro.metrics.base import HistogramDistance
 
@@ -56,6 +64,21 @@ class AlgorithmResult:
         Number of partitioning evaluations the search performed.
     metric:
         Name of the histogram distance that was optimised.
+    cache_hits:
+        Objective queries answered from the engine's value cache.
+    n_full_evaluations:
+        Queries that recomputed the objective from scratch.
+    n_incremental_evaluations:
+        Queries answered by an O(k·Δ) incremental frontier update.
+    pair_distances_computed:
+        Individual pairwise distances actually materialised.
+    pair_distances_full:
+        The naive dense cost — C(k, 2) summed over every query — that a
+        cache-less, closed-form-less evaluator would have paid.
+    backend:
+        Execution backend the run used (``sequential`` / ``process``).
+    workers:
+        Degree of parallelism of that backend.
     """
 
     algorithm: str
@@ -64,6 +87,13 @@ class AlgorithmResult:
     runtime_seconds: float
     n_evaluations: int
     metric: str
+    cache_hits: int = 0
+    n_full_evaluations: int = 0
+    n_incremental_evaluations: int = 0
+    pair_distances_computed: int = 0
+    pair_distances_full: int = 0
+    backend: str = "sequential"
+    workers: int = 1
 
     def describe(self, schema: WorkerSchema) -> str:
         """Multi-line human-readable summary of the result."""
@@ -74,13 +104,16 @@ class AlgorithmResult:
             f"attributes    : {', '.join(self.partitioning.attributes_used()) or '(none)'}",
             f"runtime       : {self.runtime_seconds:.4f}s "
             f"({self.n_evaluations} partitioning evaluations)",
+            f"engine        : backend={self.backend} workers={self.workers} "
+            f"cache_hits={self.cache_hits} "
+            f"pair_distances={self.pair_distances_computed}/{self.pair_distances_full}",
         ]
         lines.extend("  " + d for d in self.partitioning.describe(schema))
         return "\n".join(lines)
 
 
 class PartitioningAlgorithm(abc.ABC):
-    """Base class: timing, evaluator setup and result assembly.
+    """Base class: timing, engine setup and result assembly.
 
     Subclasses implement :meth:`_search`, returning the leaf partitions of
     the partitioning they settled on.
@@ -97,6 +130,9 @@ class PartitioningAlgorithm(abc.ABC):
         metric: "str | HistogramDistance" = "emd",
         rng: "np.random.Generator | int | None" = None,
         weighting: str = "uniform",
+        backend: "str | ExecutionBackend | None" = None,
+        workers: "int | None" = None,
+        engine_mode: str = "incremental",
     ) -> AlgorithmResult:
         """Search for the most unfair partitioning of ``population`` under ``scores``.
 
@@ -116,31 +152,60 @@ class PartitioningAlgorithm(abc.ABC):
             ``"uniform"`` (the paper's objective) or ``"size"`` (pairs
             weighted by group sizes; see
             :class:`~repro.core.unfairness.UnfairnessEvaluator`).
+        backend:
+            Execution backend for batched candidate evaluation
+            (``"sequential"`` default, ``"process"`` for a worker pool).
+        workers:
+            Pool size for the process backend.
+        engine_mode:
+            ``"incremental"`` (default) or ``"full"`` — see
+            :class:`~repro.engine.engine.EvaluationEngine`.
         """
         if population.size == 0:
             raise PartitioningError("cannot partition an empty population")
-        evaluator = UnfairnessEvaluator(population, scores, hist_spec, metric, weighting)
-        generator = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        engine = EvaluationEngine(
+            population,
+            scores,
+            hist_spec=hist_spec,
+            metric=metric,
+            weighting=weighting,
+            backend=backend,
+            workers=workers,
+            mode=engine_mode,
+        )
+        generator = (
+            np.random.default_rng(rng)
+            if not isinstance(rng, np.random.Generator)
+            else rng
+        )
+        context = SearchContext(population=population, engine=engine, rng=generator)
         start = time.perf_counter()
-        partitions = self._search(population, evaluator, generator)
+        try:
+            partitions = self._search(context)
+            partitioning = Partitioning(partitions, population.size)
+            final_unfairness = engine.unfairness(partitioning)
+        finally:
+            engine.close()
         elapsed = time.perf_counter() - start
-        partitioning = Partitioning(partitions, population.size)
+        stats = engine.stats
         return AlgorithmResult(
             algorithm=self.name,
             partitioning=partitioning,
-            unfairness=evaluator.unfairness(partitioning),
+            unfairness=final_unfairness,
             runtime_seconds=elapsed,
-            n_evaluations=evaluator.n_evaluations,
-            metric=evaluator.metric.name,
+            n_evaluations=stats.n_evaluations,
+            metric=engine.metric.name,
+            cache_hits=stats.cache_hits,
+            n_full_evaluations=stats.n_full_evaluations,
+            n_incremental_evaluations=stats.n_incremental_evaluations,
+            pair_distances_computed=stats.pair_distances_computed,
+            pair_distances_full=stats.pair_distances_full,
+            backend=stats.backend,
+            workers=stats.workers,
         )
 
     @abc.abstractmethod
-    def _search(
-        self,
-        population: Population,
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
-    ) -> list[Partition]:
+    def _search(self, context: SearchContext) -> list[Partition]:
         """Return the leaf partitions of the chosen partitioning."""
 
     def __repr__(self) -> str:

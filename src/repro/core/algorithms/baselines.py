@@ -15,13 +15,10 @@ subgroup-searching algorithms measures the value of combining attributes.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.algorithms.base import PartitioningAlgorithm, register_algorithm
 from repro.core.partition import Partition
-from repro.core.population import Population
 from repro.core.splitting import split_partitions, worst_attribute
-from repro.core.unfairness import UnfairnessEvaluator
+from repro.engine.context import SearchContext
 
 __all__ = ["AllAttributesAlgorithm", "SingleAttributeAlgorithm"]
 
@@ -32,12 +29,8 @@ class AllAttributesAlgorithm(PartitioningAlgorithm):
 
     name = "all-attributes"
 
-    def _search(
-        self,
-        population: Population,
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
-    ) -> list[Partition]:
+    def _search(self, context: SearchContext) -> list[Partition]:
+        population = context.population
         current = [Partition(population.all_indices())]
         for attribute in population.schema.protected_names:
             current = split_partitions(population, current, attribute)
@@ -50,14 +43,13 @@ class SingleAttributeAlgorithm(PartitioningAlgorithm):
 
     name = "single-attribute"
 
-    def _search(
-        self,
-        population: Population,
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
-    ) -> list[Partition]:
+    def _search(self, context: SearchContext) -> list[Partition]:
+        population = context.population
         root = Partition(population.all_indices())
         choice = worst_attribute(
-            population, [root], list(population.schema.protected_names), evaluator
+            population,
+            [root],
+            list(population.schema.protected_names),
+            context.engine,
         )
         return choice.children

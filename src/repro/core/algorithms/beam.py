@@ -17,17 +17,17 @@ width it is exhaustive over attribute orders of balanced trees.
 The search space is balanced trees (every leaf constrained on the same
 attribute sequence), so its cost per level is ``beam_width x remaining
 attributes`` evaluations — polynomial, unlike the full unbalanced space.
+All of one level's expansions are scored as a single batch through
+``engine.score_many``, which fans out across cores under the process
+backend.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.algorithms.base import PartitioningAlgorithm, register_algorithm
 from repro.core.partition import Partition
-from repro.core.population import Population
 from repro.core.splitting import split_partitions
-from repro.core.unfairness import UnfairnessEvaluator
+from repro.engine.context import SearchContext
 
 __all__ = ["BeamSearchAlgorithm"]
 
@@ -49,12 +49,8 @@ class BeamSearchAlgorithm(PartitioningAlgorithm):
             raise ValueError(f"beam_width must be >= 1, got {beam_width}")
         self.beam_width = beam_width
 
-    def _search(
-        self,
-        population: Population,
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
-    ) -> list[Partition]:
+    def _search(self, context: SearchContext) -> list[Partition]:
+        population, engine = context.population, context.engine
         root = Partition(population.all_indices())
         all_attributes = tuple(population.schema.protected_names)
 
@@ -65,7 +61,7 @@ class BeamSearchAlgorithm(PartitioningAlgorithm):
         best_score, best_partitions = 0.0, [root]
 
         while True:
-            candidates: list[tuple[float, list[Partition], tuple[str, ...]]] = []
+            expansions: list[tuple[list[Partition], tuple[str, ...]]] = []
             seen: set[frozenset[tuple[int, ...]]] = set()
             for __, partitions, remaining in beam:
                 for attribute in remaining:
@@ -74,11 +70,15 @@ class BeamSearchAlgorithm(PartitioningAlgorithm):
                     if key in seen:
                         continue
                     seen.add(key)
-                    score = evaluator.unfairness(children)
                     rest = tuple(a for a in remaining if a != attribute)
-                    candidates.append((score, children, rest))
-            if not candidates:
+                    expansions.append((children, rest))
+            if not expansions:
                 break
+            scores = engine.score_many([children for children, __ in expansions])
+            candidates = [
+                (score, children, rest)
+                for score, (children, rest) in zip(scores, expansions)
+            ]
             candidates.sort(key=lambda entry: -entry[0])
             beam = candidates[: self.beam_width]
             if beam[0][0] > best_score:

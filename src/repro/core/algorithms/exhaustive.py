@@ -13,6 +13,11 @@ non-empty child are skipped (they change no member set).  Distinct trees can
 induce the same partitioning (e.g. fully splitting on a then b, or b then a),
 so candidates are deduplicated on their member sets before evaluation.
 
+Deduplicated candidates are scored in fixed-size batches through
+``engine.score_many`` — the fan-out point the process backend parallelises —
+with the argmax taken in enumeration order (strict improvement only), so the
+winner is identical across chunk sizes and backends.
+
 The search is budgeted: exceeding ``budget`` candidate partitionings raises
 :class:`~repro.exceptions.BudgetExceededError` — the bounded-compute analogue
 of the paper's two-day timeout.  :func:`count_split_trees` computes the size
@@ -31,10 +36,14 @@ from repro.core.algorithms.base import PartitioningAlgorithm, register_algorithm
 from repro.core.partition import Partition
 from repro.core.population import Population
 from repro.core.splitting import split_partition
-from repro.core.unfairness import UnfairnessEvaluator
+from repro.engine.context import SearchContext
 from repro.exceptions import BudgetExceededError
 
 __all__ = ["ExhaustiveAlgorithm", "count_split_trees"]
+
+#: Candidates per ``score_many`` batch; large enough to amortise backend
+#: dispatch, small enough to keep peak memory flat on huge enumerations.
+_BATCH_SIZE = 256
 
 
 @register_algorithm
@@ -55,18 +64,15 @@ class ExhaustiveAlgorithm(PartitioningAlgorithm):
             raise ValueError(f"budget must be positive, got {budget}")
         self.budget = budget
 
-    def _search(
-        self,
-        population: Population,
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
-    ) -> list[Partition]:
+    def _search(self, context: SearchContext) -> list[Partition]:
+        population, engine = context.population, context.engine
         root = Partition(population.all_indices())
         attributes = tuple(population.schema.protected_names)
         best: list[Partition] | None = None
         best_score = -np.inf
         seen: set[frozenset[tuple[int, ...]]] = set()
         count = 0
+        pending: list[list[Partition]] = []
         for candidate in self._enumerate(population, root, attributes):
             key = frozenset(p.members_key() for p in candidate)
             if key in seen:
@@ -75,11 +81,27 @@ class ExhaustiveAlgorithm(PartitioningAlgorithm):
             count += 1
             if count > self.budget:
                 raise BudgetExceededError(self.budget)
-            score = evaluator.unfairness(candidate)
-            if score > best_score:
-                best, best_score = candidate, score
+            pending.append(candidate)
+            if len(pending) >= _BATCH_SIZE:
+                best, best_score = self._flush(engine, pending, best, best_score)
+                pending = []
+        if pending:
+            best, best_score = self._flush(engine, pending, best, best_score)
         assert best is not None  # the root-only partitioning is always yielded
         return best
+
+    @staticmethod
+    def _flush(
+        engine,
+        pending: list[list[Partition]],
+        best: "list[Partition] | None",
+        best_score: float,
+    ) -> tuple["list[Partition] | None", float]:
+        """Score one batch and fold it into the running argmax (first wins)."""
+        for candidate, score in zip(pending, engine.score_many(pending)):
+            if score > best_score:
+                best, best_score = candidate, score
+        return best, best_score
 
     def _enumerate(
         self,

@@ -21,21 +21,26 @@ Pseudo-code (Algorithm 2, invoked once per child of the initial split)::
 The two-argument ``averageEMD(X, S, f)`` is read as the average pairwise
 distance over the union X ∪ S (DESIGN.md §2.4); pass ``cross_only=True`` to
 use only X-vs-S pairs instead (the stopping-condition ablation).
+
+This recursion is the engine's incremental objective's natural habitat: the
+siblings are fixed across the whole local decision, so one
+``engine.incremental(siblings)`` tracker scores the un-split partition *and*
+every candidate split by adding only the new children-vs-siblings block —
+the sibling-sibling pair sum is computed once and reused.  Scoring keep and
+split through the same tracker also keeps degenerate comparisons (a split
+that changes no member set) exact ties, as in the reference evaluator.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.algorithms.base import PartitioningAlgorithm, register_algorithm
 from repro.core.partition import Partition
-from repro.core.population import Population
 from repro.core.splitting import (
     split_partition,
     worst_attribute,
     worst_attribute_local,
 )
-from repro.core.unfairness import UnfairnessEvaluator
+from repro.engine.context import SearchContext
 
 __all__ = ["UnbalancedAlgorithm", "RandomUnbalancedAlgorithm"]
 
@@ -46,77 +51,58 @@ class _UnbalancedBase(PartitioningAlgorithm):
     def __init__(self, cross_only: bool = False) -> None:
         self.cross_only = cross_only
 
-    def _local_average(
-        self,
-        evaluator: UnfairnessEvaluator,
-        group: list[Partition],
-        siblings: list[Partition],
-    ) -> float:
-        if self.cross_only:
-            return evaluator.cross_average(group, siblings)
-        return evaluator.union_average(group, siblings)
-
     def _choose_attribute(
         self,
-        population: Population,
+        context: SearchContext,
         partition: Partition,
         siblings: list[Partition],
         candidates: list[str],
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
+        tracker: "object | None",
     ) -> tuple[str, list[Partition], float]:
         """Return (attribute, children, children_avg) for one local step."""
         raise NotImplementedError
 
     def _initial_split(
         self,
-        population: Population,
+        context: SearchContext,
         root: Partition,
         candidates: list[str],
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
     ) -> tuple[str, list[Partition]]:
         """First split of the whole population (worst attribute for the
         heuristic, random for the baseline)."""
         raise NotImplementedError
 
-    def _search(
-        self,
-        population: Population,
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
-    ) -> list[Partition]:
-        candidates = list(population.schema.protected_names)
-        root = Partition(population.all_indices())
-        attribute, first_level = self._initial_split(
-            population, root, candidates, evaluator, rng
-        )
+    def _search(self, context: SearchContext) -> list[Partition]:
+        candidates = list(context.population.schema.protected_names)
+        root = Partition(context.population.all_indices())
+        attribute, first_level = self._initial_split(context, root, candidates)
         remaining = [a for a in candidates if a != attribute]
 
         output: list[Partition] = []
         for partition in first_level:
             siblings = [p for p in first_level if p is not partition]
-            self._recurse(
-                population, partition, siblings, remaining, evaluator, rng, output
-            )
+            self._recurse(context, partition, siblings, remaining, output)
         return output
 
     def _recurse(
         self,
-        population: Population,
+        context: SearchContext,
         current: Partition,
         siblings: list[Partition],
         candidates: list[str],
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
         output: list[Partition],
     ) -> None:
         if not candidates:
             output.append(current)
             return
-        current_avg = self._local_average(evaluator, [current], siblings)
+        if self.cross_only:
+            tracker = None
+            current_avg = context.engine.cross_average([current], siblings)
+        else:
+            tracker = context.engine.incremental(siblings)
+            current_avg = tracker.score_add([current])
         attribute, children, children_avg = self._choose_attribute(
-            population, current, siblings, candidates, evaluator, rng
+            context, current, siblings, candidates, tracker
         )
         if current_avg >= children_avg:
             output.append(current)
@@ -124,9 +110,7 @@ class _UnbalancedBase(PartitioningAlgorithm):
         remaining = [a for a in candidates if a != attribute]
         for child in children:
             child_siblings = [p for p in children if p is not child]
-            self._recurse(
-                population, child, child_siblings, remaining, evaluator, rng, output
-            )
+            self._recurse(context, child, child_siblings, remaining, output)
 
 
 @register_algorithm
@@ -137,26 +121,29 @@ class UnbalancedAlgorithm(_UnbalancedBase):
 
     def _initial_split(
         self,
-        population: Population,
+        context: SearchContext,
         root: Partition,
         candidates: list[str],
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
     ) -> tuple[str, list[Partition]]:
-        choice = worst_attribute(population, [root], candidates, evaluator)
+        choice = worst_attribute(context.population, [root], candidates, context.engine)
         return choice.attribute, choice.children
 
     def _choose_attribute(
         self,
-        population: Population,
+        context: SearchContext,
         partition: Partition,
         siblings: list[Partition],
         candidates: list[str],
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
+        tracker: "object | None",
     ) -> tuple[str, list[Partition], float]:
         choice = worst_attribute_local(
-            population, partition, siblings, candidates, evaluator, self.cross_only
+            context.population,
+            partition,
+            siblings,
+            candidates,
+            context.engine,
+            self.cross_only,
+            tracker=tracker,
         )
         return choice.attribute, choice.children, choice.score
 
@@ -173,25 +160,27 @@ class RandomUnbalancedAlgorithm(_UnbalancedBase):
 
     def _initial_split(
         self,
-        population: Population,
+        context: SearchContext,
         root: Partition,
         candidates: list[str],
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
     ) -> tuple[str, list[Partition]]:
-        attribute = str(rng.choice(candidates))
-        return attribute, split_partition(population, root, attribute)
+        attribute = str(context.rng.choice(candidates))
+        return attribute, split_partition(context.population, root, attribute)
 
     def _choose_attribute(
         self,
-        population: Population,
+        context: SearchContext,
         partition: Partition,
         siblings: list[Partition],
         candidates: list[str],
-        evaluator: UnfairnessEvaluator,
-        rng: np.random.Generator,
+        tracker: "object | None",
     ) -> tuple[str, list[Partition], float]:
-        attribute = str(rng.choice(candidates))
-        children = split_partition(population, partition, attribute)
-        score = self._local_average(evaluator, children, siblings)
+        attribute = str(context.rng.choice(candidates))
+        children = split_partition(context.population, partition, attribute)
+        if tracker is not None:
+            score = tracker.score_add(children)
+        elif self.cross_only:
+            score = context.engine.cross_average(children, siblings)
+        else:
+            score = context.engine.union_average(children, siblings)
         return attribute, children, score

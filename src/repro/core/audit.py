@@ -147,13 +147,17 @@ class FairnessAuditor:
         scoring: "np.ndarray | object",
         algorithm: str = "balanced",
         rng: "np.random.Generator | int | None" = None,
+        backend: "str | None" = None,
+        workers: "int | None" = None,
         **algorithm_options: object,
     ) -> AuditReport:
         """Find the most unfair partitioning under one scoring function.
 
         ``scoring`` is either a callable mapping the population to a score
         vector (any :class:`~repro.marketplace.scoring.ScoringFunction`) or a
-        precomputed score array.
+        precomputed score array.  ``backend`` / ``workers`` select the
+        evaluation engine's execution backend (see
+        :class:`~repro.engine.engine.EvaluationEngine`).
         """
         scores = scoring(self.population) if callable(scoring) else np.asarray(scoring)
         result = get_algorithm(algorithm, **algorithm_options).run(
@@ -163,6 +167,8 @@ class FairnessAuditor:
             metric=self.metric,
             rng=rng,
             weighting=self.weighting,
+            backend=backend,
+            workers=workers,
         )
         groups = tuple(
             self._summarise(partition, scores) for partition in result.partitioning
@@ -184,6 +190,8 @@ class FairnessAuditor:
         task: object,
         algorithm: str = "balanced",
         rng: "np.random.Generator | int | None" = None,
+        backend: "str | None" = None,
+        workers: "int | None" = None,
         **algorithm_options: object,
     ) -> AuditReport:
         """Audit a task's ranking over the pool its requirements admit.
@@ -199,7 +207,12 @@ class FairnessAuditor:
         pool = self.population.subset(np.nonzero(mask)[0])
         auditor = FairnessAuditor(pool, self.hist_spec, self.metric, self.weighting)
         return auditor.audit(
-            task.scoring, algorithm=algorithm, rng=rng, **algorithm_options
+            task.scoring,
+            algorithm=algorithm,
+            rng=rng,
+            backend=backend,
+            workers=workers,
+            **algorithm_options,
         )
 
     def compare_algorithms(
@@ -207,12 +220,21 @@ class FairnessAuditor:
         scoring: "np.ndarray | object",
         algorithms: "tuple[str, ...] | list[str]",
         rng_seed: int = 0,
+        backend: "str | None" = None,
+        workers: "int | None" = None,
         **algorithm_options: object,
     ) -> dict[str, AuditReport]:
         """Audit with several algorithms, one report each (same scores)."""
         scores = scoring(self.population) if callable(scoring) else np.asarray(scoring)
         return {
-            name: self.audit(scores, algorithm=name, rng=rng_seed, **algorithm_options)
+            name: self.audit(
+                scores,
+                algorithm=name,
+                rng=rng_seed,
+                backend=backend,
+                workers=workers,
+                **algorithm_options,
+            )
             for name in algorithms
         }
 

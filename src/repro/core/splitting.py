@@ -13,18 +13,26 @@ scopes: :func:`worst_attribute` splits *every* current partition on the
 candidate (Algorithm 1, ``balanced``); :func:`worst_attribute_local` splits a
 single partition and scores its children against the partition's siblings
 (Algorithm 2, ``unbalanced``).
+
+Both accept any evaluator implementing the query protocol —
+``unfairness`` / ``union_average`` / ``cross_average`` — i.e. either the
+reference :class:`~repro.core.unfairness.UnfairnessEvaluator` or the
+:class:`~repro.engine.engine.EvaluationEngine`.  When the evaluator exposes
+the engine's batch/incremental extensions (``score_many``, ``incremental``),
+the candidate scoring fans out through the execution backend and reuses the
+sibling-sibling pair sums across candidates; otherwise it falls back to one
+query per candidate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Protocol, Sequence
 
 import numpy as np
 
 from repro.core.partition import Partition
 from repro.core.population import Population
-from repro.core.unfairness import UnfairnessEvaluator
 from repro.exceptions import PartitioningError
 
 __all__ = [
@@ -33,7 +41,22 @@ __all__ = [
     "worst_attribute",
     "worst_attribute_local",
     "AttributeChoice",
+    "ObjectiveEvaluator",
 ]
+
+
+class ObjectiveEvaluator(Protocol):
+    """Query protocol shared by ``UnfairnessEvaluator`` and the engine."""
+
+    def unfairness(self, partitioning: Sequence[Partition]) -> float: ...
+
+    def union_average(
+        self, group: Sequence[Partition], siblings: Sequence[Partition]
+    ) -> float: ...
+
+    def cross_average(
+        self, group: Sequence[Partition], siblings: Sequence[Partition]
+    ) -> float: ...
 
 
 def split_partition(
@@ -94,7 +117,7 @@ def worst_attribute(
     population: Population,
     partitions: Sequence[Partition],
     candidates: Sequence[str],
-    evaluator: UnfairnessEvaluator,
+    evaluator: ObjectiveEvaluator,
 ) -> AttributeChoice:
     """The globally worst attribute: splitting all partitions on it maximises
     the average pairwise distance of the resulting partitioning.
@@ -103,10 +126,16 @@ def worst_attribute(
     """
     if not candidates:
         raise PartitioningError("worst_attribute called with no candidate attributes")
+    children_per_candidate = [
+        split_partitions(population, partitions, attribute) for attribute in candidates
+    ]
+    score_many = getattr(evaluator, "score_many", None)
+    if score_many is not None:
+        scores = score_many(children_per_candidate)
+    else:
+        scores = [evaluator.unfairness(children) for children in children_per_candidate]
     best: AttributeChoice | None = None
-    for attribute in candidates:
-        children = split_partitions(population, partitions, attribute)
-        score = evaluator.unfairness(children)
+    for attribute, children, score in zip(candidates, children_per_candidate, scores):
         if best is None or score > best.score:
             best = AttributeChoice(attribute, children, score)
     assert best is not None
@@ -118,8 +147,9 @@ def worst_attribute_local(
     partition: Partition,
     siblings: Sequence[Partition],
     candidates: Sequence[str],
-    evaluator: UnfairnessEvaluator,
+    evaluator: ObjectiveEvaluator,
     cross_only: bool = False,
+    tracker: "object | None" = None,
 ) -> AttributeChoice:
     """The locally worst attribute for a single partition.
 
@@ -127,14 +157,28 @@ def worst_attribute_local(
     would exhibit next to the partition's ``siblings`` — by default over the
     union ``children ∪ siblings`` (see DESIGN.md §2.4), or children-vs-siblings
     pairs only when ``cross_only`` is set.
+
+    ``tracker`` is an incremental objective already seeded with ``siblings``
+    (from ``evaluator.incremental(siblings)``); passing the one that scored
+    the un-split partition keeps keep-vs-split comparisons in a single
+    arithmetic path.
     """
     if not candidates:
         raise PartitioningError("worst_attribute_local called with no candidates")
+    incremental = tracker
+    if incremental is None and not cross_only:
+        factory = getattr(evaluator, "incremental", None)
+        if factory is not None:
+            # Seed the tracker with the fixed siblings once: every candidate
+            # then only pays for its children-vs-siblings block.
+            incremental = factory(siblings)
     best: AttributeChoice | None = None
     for attribute in candidates:
         children = split_partition(population, partition, attribute)
         if cross_only:
             score = evaluator.cross_average(children, siblings)
+        elif incremental is not None:
+            score = incremental.score_add(children)
         else:
             score = evaluator.union_average(children, siblings)
         if best is None or score > best.score:

@@ -146,18 +146,11 @@ class UnfairnessEvaluator:
 
     def pairwise_matrix(self, partitions: Sequence[Partition]) -> np.ndarray:
         """Dense matrix of pairwise distances, for reporting and analysis."""
-        from repro.metrics.emd import EMDDistance, pairwise_emd_matrix
+        # The engine's kernels vectorise every registered metric (not just
+        # EMD); lazy import keeps core free of an engine dependency at load.
+        from repro.engine.kernels import pairwise_matrix
 
-        partitions = list(partitions)
-        pmfs = self.pmf_matrix(partitions)
-        if isinstance(self.metric, EMDDistance):
-            return pairwise_emd_matrix(pmfs, self.spec.bin_width)
-        k = len(partitions)
-        out = np.zeros((k, k), dtype=np.float64)
-        for i in range(k):
-            for j in range(i + 1, k):
-                out[i, j] = out[j, i] = self.metric.distance(pmfs[i], pmfs[j], self.spec)
-        return out
+        return pairwise_matrix(self.metric, self.pmf_matrix(list(partitions)), self.spec)
 
 
 def unfairness(

@@ -1,0 +1,43 @@
+"""Shared evaluation engine: the single substrate for unfairness queries.
+
+See :mod:`repro.engine.engine` for the entry point
+(:class:`EvaluationEngine`), :mod:`repro.engine.kernels` for the vectorized
+distance kernels, :mod:`repro.engine.incremental` for O(k·Δ) frontier
+updates, and :mod:`repro.engine.backends` for the execution backends.
+"""
+
+from repro.engine.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SequentialBackend,
+    available_backends,
+    get_backend,
+)
+from repro.engine.context import SearchContext
+from repro.engine.engine import EngineStats, EvaluationEngine
+from repro.engine.incremental import FullRecomputeObjective, IncrementalObjective
+from repro.engine.kernels import (
+    average_from_matrix,
+    cross_matrix,
+    full_objective,
+    has_vectorized_kernel,
+    pairwise_matrix,
+)
+
+__all__ = [
+    "EvaluationEngine",
+    "EngineStats",
+    "SearchContext",
+    "ExecutionBackend",
+    "SequentialBackend",
+    "ProcessPoolBackend",
+    "available_backends",
+    "get_backend",
+    "IncrementalObjective",
+    "FullRecomputeObjective",
+    "cross_matrix",
+    "pairwise_matrix",
+    "average_from_matrix",
+    "full_objective",
+    "has_vectorized_kernel",
+]

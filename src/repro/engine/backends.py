@@ -1,0 +1,209 @@
+"""Pluggable execution backends for candidate-partitioning evaluation.
+
+The expensive fan-out in the search algorithms is "score this batch of
+candidate partitionings" (exhaustive enumeration chunks, beam-level
+expansions).  :class:`EvaluationEngine` routes those batches through an
+:class:`ExecutionBackend`:
+
+* :class:`SequentialBackend` — in-process, cache-aware, the default.
+* :class:`ProcessPoolBackend` — fans batches out across worker processes.
+  Workers are initialised once per run with the digitised scores, the
+  histogram spec and the metric, so a task is just a list of member-index
+  arrays; every worker computes objectives through the *same*
+  :func:`~repro.engine.kernels.full_objective` code path as the sequential
+  engine, which keeps results bit-identical across backends.
+
+Backends are selected from the CLI via ``--backend {sequential,process}``
+and ``--workers N`` and are recorded in :class:`AlgorithmResult` so the
+benchmark harness can attribute runtimes.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.exceptions import PartitioningError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.partition import Partition
+    from repro.engine.engine import EvaluationEngine
+
+__all__ = [
+    "ExecutionBackend",
+    "SequentialBackend",
+    "ProcessPoolBackend",
+    "available_backends",
+    "get_backend",
+]
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for evaluating batches of candidate partitionings."""
+
+    #: Registry key recorded in results (``sequential`` / ``process``).
+    name: str = ""
+    #: Degree of parallelism this backend provides.
+    workers: int = 1
+
+    @abc.abstractmethod
+    def score_partitionings(
+        self,
+        engine: "EvaluationEngine",
+        candidates: Sequence[Sequence["Partition"]],
+    ) -> list[float]:
+        """Objective value of every candidate, in input order."""
+
+    def close(self) -> None:
+        """Release any resources (worker processes); idempotent."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SequentialBackend(ExecutionBackend):
+    """Evaluate candidates in-process through the engine's cached path."""
+
+    name = "sequential"
+    workers = 1
+
+    def score_partitionings(
+        self,
+        engine: "EvaluationEngine",
+        candidates: Sequence[Sequence["Partition"]],
+    ) -> list[float]:
+        return [engine.unfairness(candidate) for candidate in candidates]
+
+
+# ----------------------------------------------------------- process workers
+#
+# Worker-side state lives in module globals set by the pool initializer, so
+# a scoring task only ships the candidate member-index arrays.
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(payload: dict) -> None:  # pragma: no cover - runs in workers
+    global _WORKER_STATE
+    _WORKER_STATE = payload
+
+
+def _score_chunk(
+    chunk: "list[list[np.ndarray]]",
+) -> list[float]:  # pragma: no cover - runs in workers
+    from repro.engine.kernels import full_objective
+
+    spec = _WORKER_STATE["spec"]
+    metric = _WORKER_STATE["metric"]
+    bin_idx = _WORKER_STATE["bin_idx"]
+    weighting = _WORKER_STATE["weighting"]
+    values: list[float] = []
+    for member_arrays in chunk:
+        if len(member_arrays) < 2:
+            values.append(0.0)
+            continue
+        pmfs = np.vstack(
+            [
+                spec.histogram_from_bin_indices(bin_idx[members]) / members.shape[0]
+                for members in member_arrays
+            ]
+        )
+        weights = None
+        if weighting == "size":
+            weights = np.array(
+                [members.shape[0] for members in member_arrays], dtype=np.float64
+            )
+        value, _ = full_objective(metric, pmfs, spec, weights)
+        values.append(value)
+    return values
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan candidate evaluation out across a pool of worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (default: ``os.cpu_count()``).
+    chunk_size:
+        Candidates per task; default splits each batch into roughly
+        ``4 * workers`` tasks so stragglers rebalance.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: "int | None" = None, chunk_size: "int | None" = None) -> None:
+        resolved = int(workers) if workers else (os.cpu_count() or 1)
+        if resolved < 1:
+            raise PartitioningError(f"workers must be >= 1, got {resolved}")
+        self.workers = resolved
+        self.chunk_size = chunk_size
+        self._pool: "ProcessPoolExecutor | None" = None
+        self._engine_id: "int | None" = None
+
+    def _ensure_pool(self, engine: "EvaluationEngine") -> ProcessPoolExecutor:
+        if self._pool is not None and self._engine_id != id(engine):
+            # A backend instance is reusable across runs; re-seed the
+            # workers with the new engine's scores/metric.
+            self.close()
+        if self._pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(engine.worker_payload(),),
+            )
+            self._engine_id = id(engine)
+        return self._pool
+
+    def score_partitionings(
+        self,
+        engine: "EvaluationEngine",
+        candidates: Sequence[Sequence["Partition"]],
+    ) -> list[float]:
+        if not candidates:
+            return []
+        pool = self._ensure_pool(engine)
+        tasks = [[p.indices for p in candidate] for candidate in candidates]
+        chunk_size = self.chunk_size or max(1, len(tasks) // (4 * self.workers) or 1)
+        chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
+        values: list[float] = []
+        for result in pool.map(_score_chunk, chunks):
+            values.extend(result)
+        engine.record_external_evaluations(candidates)
+        return values
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._engine_id = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend` (and the CLI ``--backend``)."""
+    return ("sequential", "process")
+
+
+def get_backend(
+    backend: "str | ExecutionBackend | None", workers: "int | None" = None
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None or backend == "sequential":
+        return SequentialBackend()
+    if backend == "process":
+        return ProcessPoolBackend(workers)
+    raise PartitioningError(
+        f"unknown backend {backend!r}; available: {available_backends()}"
+    )

@@ -1,0 +1,43 @@
+"""The :class:`SearchContext` handed to every algorithm's ``_search``.
+
+One object bundles everything a search needs — the population being
+partitioned, the :class:`~repro.engine.engine.EvaluationEngine` that serves
+every objective query, and the run's randomness source — so algorithms stop
+owning evaluator plumbing and new engine capabilities (backends, modes,
+counters) reach all of them at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.population import Population
+from repro.engine.engine import EvaluationEngine
+
+__all__ = ["SearchContext"]
+
+
+@dataclass
+class SearchContext:
+    """Everything one algorithm run searches with.
+
+    Attributes
+    ----------
+    population:
+        Worker store whose protected attributes define the search space.
+    engine:
+        The evaluation substrate; all unfairness queries go through it.
+    rng:
+        Randomness source (only the ``r-*`` baselines draw from it).
+    """
+
+    population: Population
+    engine: EvaluationEngine
+    rng: np.random.Generator
+
+    @property
+    def protected_names(self) -> tuple[str, ...]:
+        """Shorthand for the population's protected attribute names."""
+        return tuple(self.population.schema.protected_names)

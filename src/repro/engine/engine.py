@@ -1,0 +1,345 @@
+"""The shared evaluation substrate: :class:`EvaluationEngine`.
+
+Every unfairness query the search algorithms, the CLI, the benchmark
+harness and the audit layer make flows through one engine instance.  The
+engine binds a population, a score vector, a histogram spec, a metric and
+a weighting — exactly like :class:`~repro.core.unfairness.UnfairnessEvaluator`,
+which remains the straight-line reference implementation — and adds the
+three things the reference deliberately does not have:
+
+* a **value cache** keyed on the multiset of partition histograms (the
+  objective depends on nothing else), so re-visited partitionings cost a
+  dictionary lookup;
+* **vectorized kernels** (:mod:`repro.engine.kernels`) and an
+  **incremental objective** (:mod:`repro.engine.incremental`) so a greedy
+  step pays O(k·Δ) instead of O(k²);
+* **pluggable backends** (:mod:`repro.engine.backends`) so candidate
+  batches fan out across processes.
+
+The engine also keeps :class:`EngineStats` — evaluation counts, cache
+hits, and pairwise distances actually materialised vs the naive dense
+cost — which :class:`~repro.core.algorithms.base.AlgorithmResult` records
+and the microbenchmarks compare across modes.
+
+``mode="full"`` disables the cache and the closed-form average fast paths
+and materialises the dense pairwise matrix on every query: that is the
+seed's cost model, kept as the measurable baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.histogram import HistogramSpec
+from repro.core.partition import Partition, Partitioning
+from repro.core.population import Population
+from repro.engine.backends import ExecutionBackend, get_backend
+from repro.engine.incremental import FullRecomputeObjective, IncrementalObjective
+from repro.engine.kernels import (
+    average_from_matrix,
+    cross_matrix,
+    full_objective,
+    pairwise_matrix,
+)
+from repro.exceptions import PartitioningError
+from repro.metrics.base import HistogramDistance, get_metric
+
+__all__ = ["EvaluationEngine", "EngineStats"]
+
+#: Cache entries kept before the value cache is dropped wholesale.  Keys are
+#: a few hundred bytes each; 50k entries bound the cache at tens of MB.
+_CACHE_CAP = 50_000
+
+
+@dataclass
+class EngineStats:
+    """Search-effort accounting, reported through ``AlgorithmResult``.
+
+    ``pair_distances_full`` is the *naive dense cost*: C(k, 2) summed over
+    every objective query, i.e. what the evaluation would cost if each query
+    materialised every pair (the seed's model).  ``pair_distances_computed``
+    counts pair distances actually materialised — the gap between the two is
+    what the cache, the closed-form averages and the incremental updates
+    saved.
+    """
+
+    n_evaluations: int = 0
+    n_full_evaluations: int = 0
+    n_incremental_evaluations: int = 0
+    cache_hits: int = 0
+    pair_distances_computed: int = 0
+    pair_distances_full: int = 0
+    backend: str = "sequential"
+    workers: int = 1
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for serialization."""
+        return {
+            "n_evaluations": self.n_evaluations,
+            "n_full_evaluations": self.n_full_evaluations,
+            "n_incremental_evaluations": self.n_incremental_evaluations,
+            "cache_hits": self.cache_hits,
+            "pair_distances_computed": self.pair_distances_computed,
+            "pair_distances_full": self.pair_distances_full,
+            "backend": self.backend,
+            "workers": self.workers,
+        }
+
+
+class EvaluationEngine:
+    """Serves every unfairness query over one (population, scores) binding.
+
+    Parameters
+    ----------
+    population, scores, hist_spec, metric, weighting:
+        As in :class:`~repro.core.unfairness.UnfairnessEvaluator`.
+    backend:
+        Backend name (``"sequential"`` / ``"process"``) or an
+        :class:`~repro.engine.backends.ExecutionBackend` instance; batch
+        queries through :meth:`score_many` run on it.
+    workers:
+        Worker count for the process backend (ignored by sequential).
+    mode:
+        ``"incremental"`` (default: cache + fast paths + O(k·Δ) frontier
+        updates) or ``"full"`` (dense recomputation every query — the
+        baseline the microbenchmarks measure against).
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        scores: np.ndarray,
+        hist_spec: HistogramSpec | None = None,
+        metric: "str | HistogramDistance" = "emd",
+        weighting: str = "uniform",
+        backend: "str | ExecutionBackend | None" = None,
+        workers: "int | None" = None,
+        mode: str = "incremental",
+    ) -> None:
+        self.population = population
+        self.spec = hist_spec or HistogramSpec()
+        self.metric = get_metric(metric)
+        if weighting not in ("uniform", "size"):
+            raise PartitioningError(
+                f"weighting must be 'uniform' or 'size', got {weighting!r}"
+            )
+        self.weighting = weighting
+        if mode not in ("incremental", "full"):
+            raise PartitioningError(
+                f"mode must be 'incremental' or 'full', got {mode!r}"
+            )
+        self.mode = mode
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.shape != (population.size,):
+            raise PartitioningError(
+                f"scores have shape {scores.shape}, expected ({population.size},)"
+            )
+        self.scores = scores
+        self._bin_idx = self.spec.bin_indices(scores)
+        self.backend = get_backend(backend, workers)
+        self.stats = EngineStats(
+            backend=self.backend.name, workers=self.backend.workers
+        )
+        self._pmf_cache: dict[Partition, np.ndarray] = {}
+        self._value_cache: dict[tuple, float] = {}
+        # True when the metric's average_pairwise is a closed form that never
+        # materialises individual pairs (EMD's sorted-prefix-sum path).
+        self._closed_form_average = (
+            type(self.metric).average_pairwise
+            is not HistogramDistance.average_pairwise
+        )
+
+    # ----------------------------------------------------------- histograms
+
+    def pmf(self, partition: Partition) -> np.ndarray:
+        """Normalised score histogram of one partition (cached per object)."""
+        cached = self._pmf_cache.get(partition)
+        if cached is None:
+            counts = self.spec.histogram_from_bin_indices(
+                self._bin_idx[partition.indices]
+            )
+            cached = counts / partition.size
+            cached.setflags(write=False)
+            self._pmf_cache[partition] = cached
+        return cached
+
+    def pmf_matrix(self, partitions: Sequence[Partition]) -> np.ndarray:
+        """Stacked (k, bins) matrix of normalised histograms."""
+        if not partitions:
+            return np.zeros((0, self.spec.bins), dtype=np.float64)
+        return np.vstack([self.pmf(p) for p in partitions])
+
+    def partition_weights(
+        self, partitions: Sequence[Partition]
+    ) -> "np.ndarray | None":
+        """Per-partition objective weights (sizes), or None when uniform."""
+        if self.weighting != "size":
+            return None
+        return np.array([p.size for p in partitions], dtype=np.float64)
+
+    # ----------------------------------------------------------- objectives
+
+    def unfairness(self, partitioning: "Partitioning | Sequence[Partition]") -> float:
+        """Average pairwise distance between all partition histograms.
+
+        Interface-compatible with
+        :meth:`~repro.core.unfairness.UnfairnessEvaluator.unfairness`; cached
+        and vectorized in the default mode.
+        """
+        partitions = list(partitioning)
+        k = len(partitions)
+        self.stats.n_evaluations += 1
+        if k < 2:
+            return 0.0
+        self.stats.pair_distances_full += k * (k - 1) // 2
+
+        if self.mode == "full":
+            # Baseline cost model: dense matrix, no cache, no closed forms.
+            self.stats.n_full_evaluations += 1
+            self.stats.pair_distances_computed += k * (k - 1) // 2
+            matrix = pairwise_matrix(self.metric, self.pmf_matrix(partitions), self.spec)
+            return average_from_matrix(matrix, self.partition_weights(partitions))
+
+        key = self._cache_key(partitions)
+        cached = self._value_cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        value, pairs = full_objective(
+            self.metric,
+            self.pmf_matrix(partitions),
+            self.spec,
+            self.partition_weights(partitions),
+        )
+        self.stats.n_full_evaluations += 1
+        self.stats.pair_distances_computed += pairs
+        if len(self._value_cache) >= _CACHE_CAP:
+            self._value_cache.clear()
+        self._value_cache[key] = value
+        return value
+
+    def union_average(
+        self, group: Sequence[Partition], siblings: Sequence[Partition]
+    ) -> float:
+        """Average pairwise distance over ``group ∪ siblings`` (Algorithm 2's
+        two-argument ``averageEMD`` under the union reading)."""
+        return self.unfairness(list(group) + list(siblings))
+
+    def cross_average(
+        self, group: Sequence[Partition], siblings: Sequence[Partition]
+    ) -> float:
+        """Average distance over pairs (g, s), g in group, s in siblings."""
+        self.stats.n_evaluations += 1
+        group = list(group)
+        siblings = list(siblings)
+        if not group or not siblings:
+            return 0.0
+        n_pairs = len(group) * len(siblings)
+        self.stats.n_full_evaluations += 1
+        self.stats.pair_distances_full += n_pairs
+        self.stats.pair_distances_computed += n_pairs
+        matrix = cross_matrix(
+            self.metric, self.pmf_matrix(group), self.pmf_matrix(siblings), self.spec
+        )
+        return float(matrix.mean())
+
+    def pairwise_matrix(self, partitions: Sequence[Partition]) -> np.ndarray:
+        """Dense pairwise-distance matrix, for reporting and analysis."""
+        return pairwise_matrix(self.metric, self.pmf_matrix(list(partitions)), self.spec)
+
+    # ------------------------------------------------------------- batching
+
+    def score_many(
+        self, candidates: Sequence[Sequence[Partition]]
+    ) -> list[float]:
+        """Objective of every candidate partitioning, via the backend."""
+        return self.backend.score_partitionings(self, list(candidates))
+
+    def incremental(
+        self, partitions: Sequence[Partition]
+    ) -> "IncrementalObjective | FullRecomputeObjective":
+        """An objective tracker seeded with ``partitions`` as the frontier.
+
+        Returns the matrix-maintaining :class:`IncrementalObjective` in the
+        default mode and the recompute-everything
+        :class:`FullRecomputeObjective` in ``mode="full"``.
+        """
+        if self.mode == "full":
+            return FullRecomputeObjective(self, partitions)
+        return IncrementalObjective(self, partitions)
+
+    # --------------------------------------------- kernel/stat plumbing used
+    # by IncrementalObjective and the backends; not part of the search API.
+
+    def materialize_pairwise(self, pmfs: np.ndarray) -> np.ndarray:
+        """Dense pairwise matrix of a pmf stack (no stats side effects)."""
+        return pairwise_matrix(self.metric, pmfs, self.spec)
+
+    def materialize_cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Cross-distance matrix of two pmf stacks (no stats side effects)."""
+        return cross_matrix(self.metric, left, right, self.spec)
+
+    def record_incremental_evaluation(self, k: int, new_pairs: int) -> None:
+        """Account one O(k·Δ) frontier query: ``new_pairs`` distances were
+        materialised where a dense recomputation would have cost C(k, 2)."""
+        self.stats.n_evaluations += 1
+        self.stats.n_incremental_evaluations += 1
+        self.stats.pair_distances_computed += new_pairs
+        self.stats.pair_distances_full += k * (k - 1) // 2
+
+    def record_external_evaluations(
+        self, candidates: Sequence[Sequence[Partition]]
+    ) -> None:
+        """Account candidates a worker pool evaluated on the parent's stats.
+
+        Workers run :func:`~repro.engine.kernels.full_objective`, so each
+        candidate is one full evaluation that materialised C(k, 2) pairs —
+        or none at all when the metric's average is a closed form.
+        """
+        for candidate in candidates:
+            k = len(candidate)
+            self.stats.n_evaluations += 1
+            self.stats.n_full_evaluations += 1
+            if k < 2:
+                continue
+            n_pairs = k * (k - 1) // 2
+            self.stats.pair_distances_full += n_pairs
+            if not self._closed_form_average:
+                self.stats.pair_distances_computed += n_pairs
+
+    def worker_payload(self) -> dict:
+        """Initializer state for process-pool workers (see backends)."""
+        return {
+            "spec": self.spec,
+            "metric": self.metric,
+            "bin_idx": self._bin_idx,
+            "weighting": self.weighting,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def n_evaluations(self) -> int:
+        """Total objective queries served (search-effort unit in results)."""
+        return self.stats.n_evaluations
+
+    def close(self) -> None:
+        """Release backend resources; the engine stays usable sequentially."""
+        self.backend.close()
+
+    def _cache_key(self, partitions: Sequence[Partition]) -> tuple:
+        # The objective is a function of the *multiset* of histograms only
+        # (plus sizes under size weighting), so that is the cache key —
+        # partitionings reached through different split trees share entries.
+        if self.weighting == "size":
+            return tuple(sorted((self.pmf(p).tobytes(), p.size) for p in partitions))
+        return tuple(sorted(self.pmf(p).tobytes() for p in partitions))
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationEngine(metric={self.metric.name!r}, mode={self.mode!r}, "
+            f"backend={self.backend.name!r}, workers={self.backend.workers})"
+        )

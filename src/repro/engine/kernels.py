@@ -1,0 +1,192 @@
+"""Vectorized pairwise/cross distance kernels over histogram matrices.
+
+The search algorithms spend essentially all of their time asking "how far
+apart are these score histograms?".  The seed code answered that one pair at
+a time through :meth:`HistogramDistance.distance` (except for the EMD
+average, which has a closed-form fast path).  This module batches the
+question: all candidate histograms of one greedy step are stacked into a
+single ``(c, bins)`` matrix and every registered metric evaluates a whole
+``(c, k)`` block of candidate-vs-frontier distances in one NumPy call.
+
+Two entry points:
+
+* :func:`cross_matrix` — distances between every row of ``left`` and every
+  row of ``right``, shape ``(nl, nr)``.
+* :func:`pairwise_matrix` — the dense symmetric ``(k, k)`` matrix for one
+  stack of histograms.
+
+Both dispatch on the metric's registry ``name`` to a vectorized kernel and
+fall back to a scalar ``metric.distance`` loop for metrics without one
+(e.g. the LP-based ``emd-t``), so the engine works with *every* registered
+metric.  Vectorized and scalar paths agree to float round-off; the engine's
+property tests pin the agreement at 1e-12.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.histogram import HistogramSpec
+from repro.metrics.base import HistogramDistance
+
+__all__ = [
+    "cross_matrix",
+    "pairwise_matrix",
+    "has_vectorized_kernel",
+    "average_from_matrix",
+    "full_objective",
+]
+
+
+def _emd_cross(left: np.ndarray, right: np.ndarray, spec: HistogramSpec) -> np.ndarray:
+    lc = np.cumsum(left, axis=1)
+    rc = np.cumsum(right, axis=1)
+    return spec.bin_width * np.abs(lc[:, None, :] - rc[None, :, :]).sum(axis=2)
+
+
+def _ks_cross(left: np.ndarray, right: np.ndarray, spec: HistogramSpec) -> np.ndarray:
+    lc = np.cumsum(left, axis=1)
+    rc = np.cumsum(right, axis=1)
+    return np.abs(lc[:, None, :] - rc[None, :, :]).max(axis=2)
+
+
+def _tv_cross(left: np.ndarray, right: np.ndarray, spec: HistogramSpec) -> np.ndarray:
+    return 0.5 * np.abs(left[:, None, :] - right[None, :, :]).sum(axis=2)
+
+
+def _hellinger_cross(
+    left: np.ndarray, right: np.ndarray, spec: HistogramSpec
+) -> np.ndarray:
+    diff = np.sqrt(left)[:, None, :] - np.sqrt(right)[None, :, :]
+    return np.sqrt(0.5 * (diff**2).sum(axis=2))
+
+
+def _js_cross(left: np.ndarray, right: np.ndarray, spec: HistogramSpec) -> np.ndarray:
+    # sqrt(JS divergence) with base-2 logs, matching JensenShannonDistance.
+    # The mixture m = (p + q) / 2 is positive wherever p or q is, so the
+    # 0·log(0) = 0 convention is the only special case to handle.
+    p = left[:, None, :]
+    q = right[None, :, :]
+    m = 0.5 * (p + q)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        kl_p = np.where(p > 0, p * np.log2(np.where(p > 0, p / m, 1.0)), 0.0)
+        kl_q = np.where(q > 0, q * np.log2(np.where(q > 0, q / m, 1.0)), 0.0)
+    divergence = 0.5 * kl_p.sum(axis=2) + 0.5 * kl_q.sum(axis=2)
+    return np.sqrt(np.maximum(divergence, 0.0))
+
+
+_CROSS_KERNELS: dict[str, Callable[[np.ndarray, np.ndarray, HistogramSpec], np.ndarray]] = {
+    "emd": _emd_cross,
+    "ks": _ks_cross,
+    "tv": _tv_cross,
+    "hellinger": _hellinger_cross,
+    "js": _js_cross,
+}
+
+
+def has_vectorized_kernel(metric: HistogramDistance) -> bool:
+    """True when ``metric`` has a batched NumPy kernel (vs a scalar loop)."""
+    return metric.name in _CROSS_KERNELS
+
+
+def cross_matrix(
+    metric: HistogramDistance,
+    left: np.ndarray,
+    right: np.ndarray,
+    spec: HistogramSpec,
+) -> np.ndarray:
+    """``(nl, nr)`` matrix of distances between rows of ``left`` and ``right``.
+
+    One NumPy call per metric for the registered vectorized kernels; scalar
+    fallback otherwise.
+    """
+    left = np.atleast_2d(np.asarray(left, dtype=np.float64))
+    right = np.atleast_2d(np.asarray(right, dtype=np.float64))
+    if left.shape[0] == 0 or right.shape[0] == 0:
+        return np.zeros((left.shape[0], right.shape[0]), dtype=np.float64)
+    kernel = _CROSS_KERNELS.get(metric.name)
+    if kernel is not None:
+        return kernel(left, right, spec)
+    out = np.zeros((left.shape[0], right.shape[0]), dtype=np.float64)
+    for i in range(left.shape[0]):
+        for j in range(right.shape[0]):
+            out[i, j] = metric.distance(left[i], right[j], spec)
+    return out
+
+
+def pairwise_matrix(
+    metric: HistogramDistance, pmfs: np.ndarray, spec: HistogramSpec
+) -> np.ndarray:
+    """Dense symmetric ``(k, k)`` distance matrix for one histogram stack."""
+    pmfs = np.atleast_2d(np.asarray(pmfs, dtype=np.float64))
+    k = pmfs.shape[0]
+    if k == 0:
+        return np.zeros((0, 0), dtype=np.float64)
+    kernel = _CROSS_KERNELS.get(metric.name)
+    if kernel is not None:
+        out = kernel(pmfs, pmfs, spec)
+        # The kernels are exactly symmetric in exact arithmetic but can
+        # differ in the last ulp; symmetrise so downstream sums are stable.
+        np.fill_diagonal(out, 0.0)
+        return 0.5 * (out + out.T)
+    out = np.zeros((k, k), dtype=np.float64)
+    for i in range(k):
+        for j in range(i + 1, k):
+            out[i, j] = out[j, i] = metric.distance(pmfs[i], pmfs[j], spec)
+    return out
+
+
+def average_from_matrix(
+    matrix: np.ndarray, weights: np.ndarray | None = None
+) -> float:
+    """(Weighted) average over the unordered pairs of a symmetric distance
+    matrix with a zero diagonal.
+
+    Pair {i, j} carries weight ``weights[i] * weights[j]`` when weights are
+    given (the size-weighted objective variant); returns 0.0 for fewer than
+    two rows or degenerate weights.
+    """
+    k = matrix.shape[0]
+    if k < 2:
+        return 0.0
+    if weights is None:
+        return float(matrix.sum() / (k * (k - 1)))
+    w = np.asarray(weights, dtype=np.float64)
+    weight_pairs = (w.sum() ** 2 - np.dot(w, w)) / 2.0
+    if weight_pairs <= 0:
+        return 0.0
+    total = 0.5 * float(w @ matrix @ w)
+    return total / weight_pairs
+
+
+def full_objective(
+    metric: HistogramDistance,
+    pmfs: np.ndarray,
+    spec: HistogramSpec,
+    weights: np.ndarray | None = None,
+) -> tuple[float, int]:
+    """Average pairwise distance of a histogram stack, computed from scratch.
+
+    This is the one shared "full evaluation" code path: the sequential
+    engine, the process-pool workers and the incremental objective's
+    reference all call it, which is what keeps backend results
+    bit-identical.  Returns ``(value, pairs_materialized)`` where the second
+    element counts the individual pairwise distances actually computed —
+    0 for metrics with a closed-form average (EMD's sorted-prefix-sum path
+    never materialises a single pair).
+    """
+    pmfs = np.atleast_2d(np.asarray(pmfs, dtype=np.float64))
+    k = pmfs.shape[0]
+    if k < 2:
+        return 0.0, 0
+    overrides_average = (
+        type(metric).average_pairwise is not HistogramDistance.average_pairwise
+    )
+    if overrides_average:
+        return float(metric.average_pairwise(pmfs, spec, weights)), 0
+    n_pairs = k * (k - 1) // 2
+    if has_vectorized_kernel(metric):
+        return average_from_matrix(pairwise_matrix(metric, pmfs, spec), weights), n_pairs
+    return float(metric.average_pairwise(pmfs, spec, weights)), n_pairs

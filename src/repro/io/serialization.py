@@ -171,6 +171,15 @@ def audit_report_to_dict(report) -> dict[str, Any]:
         "unfairness": report.result.unfairness,
         "runtime_seconds": report.result.runtime_seconds,
         "n_evaluations": report.result.n_evaluations,
+        "engine": {
+            "backend": report.result.backend,
+            "workers": report.result.workers,
+            "cache_hits": report.result.cache_hits,
+            "n_full_evaluations": report.result.n_full_evaluations,
+            "n_incremental_evaluations": report.result.n_incremental_evaluations,
+            "pair_distances_computed": report.result.pair_distances_computed,
+            "pair_distances_full": report.result.pair_distances_full,
+        },
         "population_size": partitioning.population_size,
         "attributes_used": list(partitioning.attributes_used()),
         "groups": [

@@ -81,21 +81,33 @@ def transport_emd(p: np.ndarray, q: np.ndarray, distances: np.ndarray) -> float:
 
     # Flatten the flow matrix row-major: F[i, j] = x[i * n + j].
     cost = distances.reshape(-1)
-    # Row sums equal p (n constraints), column sums equal q.  The last
-    # column constraint is implied by the others (masses match), so drop it
-    # to keep the system non-degenerate.
+    # Row sums equal p (n constraints), column sums equal q.  With equal
+    # masses the last row and last column constraints are each implied by
+    # the others, so drop BOTH.  Dropping only one is not enough: the free
+    # constraint then has to absorb the floating-point residual
+    # ``p.sum() - q[:-1].sum()``, which can round to a (tiny) negative
+    # number when ``q[-1]`` is near zero — and a negative required flow
+    # makes HiGHS report the system infeasible.  With both dropped, the
+    # free last row/column can always absorb the residual non-negatively.
     row_constraints = np.zeros((n, n * n))
     col_constraints = np.zeros((n, n * n))
     for i in range(n):
         row_constraints[i, i * n : (i + 1) * n] = 1.0
         col_constraints[i, i::n] = 1.0
-    a_eq = np.vstack([row_constraints, col_constraints[:-1]])
-    b_eq = np.concatenate([p, q[:-1]])
+    a_eq = np.vstack([row_constraints[:-1], col_constraints[:-1]])
+    b_eq = np.concatenate([p[:-1], q[:-1]])
 
     result = linprog(cost, A_eq=a_eq, b_eq=b_eq, method="highs")
     if not result.success:  # pragma: no cover - HiGHS solves feasible LPs
         raise MetricError(f"transport LP failed: {result.message}")
-    return float(result.fun)
+    # HiGHS solves the rescaled system to its own tolerance, so the reported
+    # objective can land marginally above the analytic upper bound: no
+    # transport plan can cost more than moving ALL the mass at the largest
+    # ground distance.  Clamp to ``max(D) * total_mass`` (for a thresholded
+    # ground distance this is ``threshold * total_mass``, the bound
+    # ThresholdedEMDDistance advertises) and to non-negativity below.
+    upper_bound = float(distances.max() * p.sum())
+    return float(min(max(result.fun, 0.0), upper_bound))
 
 
 class ThresholdedEMDDistance(HistogramDistance):

@@ -22,7 +22,12 @@ __all__ = ["ExperimentRow", "ExperimentResult", "run_scenario"]
 
 @dataclass(frozen=True)
 class ExperimentRow:
-    """One cell of a paper table: one algorithm on one scoring function."""
+    """One cell of a paper table: one algorithm on one scoring function.
+
+    The engine counters (cache hits, incremental vs full evaluations, pair
+    distances materialised vs naive dense cost, backend, workers) travel
+    with the cell so benchmark harnesses can attribute search effort.
+    """
 
     scenario: str
     algorithm: str
@@ -32,6 +37,13 @@ class ExperimentRow:
     n_partitions: int
     n_evaluations: int
     attributes_used: tuple[str, ...]
+    cache_hits: int = 0
+    n_full_evaluations: int = 0
+    n_incremental_evaluations: int = 0
+    pair_distances_computed: int = 0
+    pair_distances_full: int = 0
+    backend: str = "sequential"
+    workers: int = 1
 
     @classmethod
     def from_result(
@@ -46,6 +58,13 @@ class ExperimentRow:
             n_partitions=result.partitioning.k,
             n_evaluations=result.n_evaluations,
             attributes_used=result.partitioning.attributes_used(),
+            cache_hits=result.cache_hits,
+            n_full_evaluations=result.n_full_evaluations,
+            n_incremental_evaluations=result.n_incremental_evaluations,
+            pair_distances_computed=result.pair_distances_computed,
+            pair_distances_full=result.pair_distances_full,
+            backend=result.backend,
+            workers=result.workers,
         )
 
 
@@ -90,6 +109,8 @@ def run_scenario(
     metric: "str | HistogramDistance" = "emd",
     seed: int = 0,
     algorithm_options: "dict[str, dict[str, object]] | None" = None,
+    backend: "str | None" = None,
+    workers: "int | None" = None,
 ) -> ExperimentResult:
     """Run every algorithm on every scoring function of a scenario.
 
@@ -106,6 +127,9 @@ def run_scenario(
     algorithm_options:
         Optional per-algorithm constructor options, e.g.
         ``{"exhaustive": {"budget": 10_000}}``.
+    backend, workers:
+        Execution backend for the evaluation engine (``"sequential"``
+        default, ``"process"`` with ``workers`` processes).
     """
     options = algorithm_options or {}
     rows: list[ExperimentRow] = []
@@ -119,6 +143,8 @@ def run_scenario(
                 hist_spec=scenario.hist_spec,
                 metric=metric,
                 rng=np.random.default_rng(_cell_seed(seed, algorithm_name, function_name)),
+                backend=backend,
+                workers=workers,
             )
             rows.append(ExperimentRow.from_result(scenario.name, function_name, result))
     return ExperimentResult(scenario=scenario.name, rows=tuple(rows))

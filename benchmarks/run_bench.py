@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Fixed benchmark suite emitting a machine-readable perf trajectory.
+
+Runs the paper's algorithms over the table scenarios on both execution
+backends and writes ``benchmarks/results/BENCH_<timestamp>.json`` —
+wall-clock per case, the engine's effort counters, the traced span
+breakdown, and a no-op-tracer overhead measurement.  Future PRs compare
+their own ``BENCH_*.json`` against the committed one to prove speedups.
+
+Modes::
+
+    python benchmarks/run_bench.py            # full: table1 (500) + table2 (7300)
+    python benchmarks/run_bench.py --quick    # CI smoke: small table1 only
+
+The payload layout is versioned (``repro.bench/v1``) and checked by
+:func:`validate_bench_payload` before anything is written, so a schema
+drift fails the run instead of poisoning the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.core.algorithms import PAPER_ALGORITHMS, get_algorithm  # noqa: E402
+from repro.obs import MetricsRegistry, Tracer  # noqa: E402
+from repro.obs.tracer import NULL_TRACER  # noqa: E402
+from repro.simulation.config import PaperConfig  # noqa: E402
+from repro.simulation.scenarios import table1_scenario, table2_scenario  # noqa: E402
+
+BENCH_SCHEMA = "repro.bench/v1"
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+BACKENDS = ("sequential", "process")
+#: One fixed scoring function per scenario keeps the suite comparable
+#: across PRs; f4 exercises every protected attribute's weight draw.
+BENCH_FUNCTION = "f4"
+
+_ENGINE_COUNTERS = (
+    "n_evaluations",
+    "n_full_evaluations",
+    "n_incremental_evaluations",
+    "cache_hits",
+    "pair_distances_computed",
+    "pair_distances_full",
+)
+
+
+def _suite(quick: bool) -> list[tuple[str, object]]:
+    """(label, scenario) pairs of the fixed suite."""
+    if quick:
+        return [("table1-quick", table1_scenario(PaperConfig(n_workers=120, seed=42)))]
+    return [
+        ("table1-500", table1_scenario(PaperConfig(n_workers=500, seed=42))),
+        ("table2-7300", table2_scenario(PaperConfig(n_workers=7300, seed=42))),
+    ]
+
+
+def _run_case(scenario, scores, algorithm: str, backend: str) -> dict:
+    """One audit: wall-clock + engine counters + traced span breakdown."""
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    start = time.perf_counter()
+    result = get_algorithm(algorithm).run(
+        scenario.population,
+        scores,
+        hist_spec=scenario.hist_spec,
+        rng=0,
+        backend=backend,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "scenario": scenario.name,
+        "algorithm": algorithm,
+        "function": BENCH_FUNCTION,
+        "backend": backend,
+        "wall_seconds": wall,
+        "unfairness": result.unfairness,
+        "n_partitions": result.partitioning.k,
+        "engine": {name: getattr(result, name) for name in _ENGINE_COUNTERS},
+        "breakdown": tracer.breakdown(),
+        "metrics": metrics.as_dict(),
+    }
+
+
+def _measure_overhead(scenario, scores, repeats: int) -> dict:
+    """Cost of the *disabled* tracer on the balanced audit.
+
+    Two views, both recorded:
+
+    * an interleaved A/B of the default run (``tracer=None``) against an
+      explicit ``NULL_TRACER`` run — both exercise the disabled-tracer
+      path, so their relative difference bounds measurement noise;
+    * an analytic estimate: spans-per-audit (counted on a traced run)
+      times the microbenchmarked cost of one ``NULL_TRACER.span()`` call,
+      as a fraction of the audit's wall time.
+    """
+
+    def run_once(tracer) -> float:
+        start = time.perf_counter()
+        get_algorithm("balanced").run(
+            scenario.population,
+            scores,
+            hist_spec=scenario.hist_spec,
+            rng=0,
+            tracer=tracer,
+        )
+        return time.perf_counter() - start
+
+    baseline, noop = [], []
+    run_once(None)  # warm caches before timing
+    for _ in range(repeats):
+        baseline.append(run_once(None))
+        noop.append(run_once(NULL_TRACER))
+    baseline_s = statistics.median(baseline)
+    noop_s = statistics.median(noop)
+
+    probe = Tracer()
+    run_once(probe)
+    n_spans = sum(1 for _ in probe.iter_spans())
+
+    iterations = 100_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with NULL_TRACER.span("bench.noop"):
+            pass
+    span_ns = (time.perf_counter() - start) / iterations * 1e9
+
+    return {
+        "repeats": repeats,
+        "baseline_seconds": baseline_s,
+        "noop_seconds": noop_s,
+        "relative": abs(noop_s - baseline_s) / baseline_s,
+        "spans_per_audit": n_spans,
+        "noop_span_ns": span_ns,
+        "estimated_fraction": n_spans * span_ns * 1e-9 / noop_s,
+    }
+
+
+def validate_bench_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed v1 bench."""
+
+    def fail(message: str) -> None:
+        raise ValueError(f"invalid bench payload: {message}")
+
+    if payload.get("schema") != BENCH_SCHEMA:
+        fail(f"schema must be {BENCH_SCHEMA!r}, got {payload.get('schema')!r}")
+    for key in ("generated_at", "mode", "host", "cases", "overhead"):
+        if key not in payload:
+            fail(f"missing key {key!r}")
+    if not isinstance(payload["cases"], list) or not payload["cases"]:
+        fail("cases must be a non-empty list")
+    for index, case in enumerate(payload["cases"]):
+        for key, kind in (
+            ("scenario", str),
+            ("algorithm", str),
+            ("function", str),
+            ("backend", str),
+            ("wall_seconds", float),
+            ("unfairness", float),
+            ("n_partitions", int),
+            ("engine", dict),
+            ("breakdown", dict),
+            ("metrics", dict),
+        ):
+            if not isinstance(case.get(key), kind):
+                fail(f"cases[{index}].{key} must be {kind.__name__}")
+        if case["backend"] not in BACKENDS:
+            fail(f"cases[{index}].backend {case['backend']!r} not in {BACKENDS}")
+        if case["wall_seconds"] < 0:
+            fail(f"cases[{index}].wall_seconds is negative")
+        for name in _ENGINE_COUNTERS:
+            if not isinstance(case["engine"].get(name), int):
+                fail(f"cases[{index}].engine.{name} must be an int")
+    overhead = payload["overhead"]
+    for key in (
+        "baseline_seconds",
+        "noop_seconds",
+        "relative",
+        "noop_span_ns",
+        "estimated_fraction",
+    ):
+        if not isinstance(overhead.get(key), float):
+            fail(f"overhead.{key} must be a float")
+    if overhead["baseline_seconds"] <= 0 or overhead["noop_seconds"] <= 0:
+        fail("overhead timings must be positive")
+
+
+def run_suite(quick: bool, repeats: int) -> dict:
+    """Execute the fixed suite and return the (validated) payload."""
+    cases = []
+    overhead = None
+    for label, scenario in _suite(quick):
+        scores = scenario.functions[BENCH_FUNCTION](scenario.population)
+        for algorithm in PAPER_ALGORITHMS:
+            for backend in BACKENDS:
+                print(f"[{label}] {algorithm} / {backend} ...", flush=True)
+                cases.append(_run_case(scenario, scores, algorithm, backend))
+                print(f"    {cases[-1]['wall_seconds']:.3f}s", flush=True)
+        if overhead is None:
+            print(f"[{label}] no-op tracer overhead ({repeats} repeats) ...", flush=True)
+            overhead = _measure_overhead(scenario, scores, repeats)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": "quick" if quick else "full",
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "cases": cases,
+        "overhead": overhead,
+    }
+    validate_bench_payload(payload)
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small table1 population only (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="overhead-measurement repeats (default: 3 quick, 5 full)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: benchmarks/results/BENCH_<timestamp>.json)",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (3 if args.quick else 5)
+    payload = run_suite(args.quick, repeats)
+
+    if args.out:
+        out_path = Path(args.out)
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        out_path = RESULTS_DIR / f"BENCH_{stamp}.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    overhead = payload["overhead"]
+    print(f"\nwrote {len(payload['cases'])} cases to {out_path}")
+    print(
+        f"no-op tracer: A/B delta {overhead['relative']:.2%}, "
+        f"estimated instrumentation cost {overhead['estimated_fraction']:.3%} "
+        f"({overhead['spans_per_audit']} span sites x "
+        f"{overhead['noop_span_ns']:.0f}ns)"
+    )
+    if overhead["relative"] >= 0.02:
+        print("WARNING: no-op overhead A/B delta exceeds the 2% budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,7 @@ from repro.core.population import Population
 from repro.core.schema import WorkerSchema
 from repro.core.tree import build_split_tree, render_split_tree
 from repro.core.unfairness import UnfairnessEvaluator, unfairness
+from repro.engine import EvaluationEngine, SearchContext, available_backends
 from repro.exceptions import (
     BudgetExceededError,
     MetricError,
@@ -71,6 +72,13 @@ from repro.marketplace.scoring import (
 )
 from repro.marketplace.tasks import Task, task_from_weights
 from repro.metrics.base import available_metrics, get_metric
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    setup_logging,
+    write_trace,
+)
 from repro.repair.quantile import repair_scores
 from repro.simulation.config import (
     LARGE_WORKER_COUNT,
@@ -119,6 +127,16 @@ __all__ = [
     "FairnessAuditor",
     "AuditReport",
     "GroupSummary",
+    # evaluation engine
+    "EvaluationEngine",
+    "SearchContext",
+    "available_backends",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "write_trace",
+    "setup_logging",
     # marketplace
     "ScoringFunction",
     "LinearScoringFunction",

@@ -101,11 +101,18 @@ def audit_workload(
     hist_spec: HistogramSpec | None = None,
     metric: "str | HistogramDistance" = "emd",
     rng: "np.random.Generator | int | None" = None,
+    backend: "str | None" = None,
+    workers: "int | None" = None,
+    tracer=None,
+    metrics=None,
 ) -> WorkloadAuditSummary:
     """Audit every task's scoring function over its eligible worker pool.
 
     Tasks with hard requirements are audited on the filtered pool their
     ranking actually sees (see :meth:`FairnessAuditor.audit_task`).
+    ``backend`` / ``workers`` select the evaluation engine's execution
+    backend per task; ``tracer`` / ``metrics`` attach observability hooks
+    shared across the whole workload (see :mod:`repro.obs`).
     """
     if not tasks:
         raise ScoringError("cannot audit an empty workload")
@@ -113,7 +120,15 @@ def audit_workload(
     audits: list[TaskAudit] = []
     frequency: Counter[str] = Counter()
     for task in tasks:
-        report = auditor.audit_task(task, algorithm=algorithm, rng=rng)
+        report = auditor.audit_task(
+            task,
+            algorithm=algorithm,
+            rng=rng,
+            backend=backend,
+            workers=workers,
+            tracer=tracer,
+            metrics=metrics,
+        )
         attributes = report.result.partitioning.attributes_used()
         frequency.update(attributes)
         audits.append(

@@ -18,12 +18,28 @@ sampling-noise null; ``repair`` quantile-aligns the scores across the
 audited groups and reports the unfairness before/after; ``experiment``
 regenerates one of the paper's tables (table1, table2, table3) or the
 Figure 1 toy example.
+
+The four engine-using subcommands (``audit``, ``compare``, ``workload``,
+``experiment``) share one flag surface:
+
+* ``--engine-backend {sequential,process}`` / ``--engine-workers N`` select
+  the evaluation engine's execution backend (``--workers`` keeps meaning
+  *workers in the marketplace*, i.e. population size, on ``generate`` and
+  ``experiment``);
+* ``--trace-out FILE`` writes the run's span tree and metrics snapshot as
+  JSON (see ``docs/observability.md``);
+* ``--log-level LEVEL`` configures structured logging.
+
+The pre-observability spellings (``--backend`` everywhere, ``--workers``
+for the pool size on ``audit``/``compare``) still parse as hidden aliases
+but emit a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Sequence
 
 from repro.core.algorithms import PAPER_ALGORITHMS, available_algorithms
@@ -38,6 +54,8 @@ from repro.io.serialization import (
 from repro.marketplace.biased import paper_biased_functions
 from repro.marketplace.scoring import paper_functions
 from repro.metrics.base import available_metrics
+from repro.obs import MetricsRegistry, Tracer, setup_logging, write_trace
+from repro.obs.tracer import NULL_TRACER
 from repro.reporting.paper_reference import TABLE1_EMD, TABLE2_EMD, TABLE3_EMD
 from repro.reporting.tables import format_comparison_table, format_table
 from repro.simulation.config import PaperConfig
@@ -60,20 +78,96 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
-def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
-    """``--backend`` / ``--workers``: evaluation-engine execution backend."""
-    parser.add_argument(
-        "--backend",
+class _DeprecatedAlias(argparse.Action):
+    """Hidden alias for a renamed option: stores into the new destination
+    and emits a :class:`DeprecationWarning` (shown once per process under
+    the default warning filter)."""
+
+    def __init__(self, option_strings, dest, preferred: str = "", **kwargs):
+        kwargs.setdefault("help", argparse.SUPPRESS)
+        super().__init__(option_strings, dest, **kwargs)
+        self.preferred = preferred
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            f"{option_string} is deprecated; use {self.preferred} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        setattr(namespace, self.dest, values)
+
+
+def _add_engine_arguments(
+    parser: argparse.ArgumentParser,
+    alias_backend: bool = False,
+    alias_workers: bool = False,
+) -> None:
+    """The shared engine/observability flag surface of the four engine-using
+    subcommands: ``--engine-backend`` / ``--engine-workers`` / ``--trace-out``
+    / ``--log-level``, plus hidden deprecated aliases for the old spellings
+    (``--backend``, and ``--workers`` where it meant the pool size)."""
+    group = parser.add_argument_group("evaluation engine")
+    group.add_argument(
+        "--engine-backend",
+        dest="engine_backend",
         default="sequential",
         choices=sorted(available_backends()),
         help="evaluation backend: sequential (default) or a process pool",
     )
-    parser.add_argument(
-        "--workers",
+    group.add_argument(
+        "--engine-workers",
+        dest="engine_workers",
         type=_positive_int,
         default=None,
-        help="worker processes for --backend process (default: all cores)",
+        help="worker processes for --engine-backend process (default: all cores)",
     )
+    group.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        metavar="FILE",
+        help="write the run's span tree + metrics snapshot as JSON to FILE",
+    )
+    group.add_argument(
+        "--log-level",
+        dest="log_level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="enable structured logging at this level",
+    )
+    if alias_backend:
+        parser.add_argument(
+            "--backend",
+            dest="engine_backend",
+            action=_DeprecatedAlias,
+            preferred="--engine-backend",
+            choices=sorted(available_backends()),
+        )
+    if alias_workers:
+        parser.add_argument(
+            "--workers",
+            dest="engine_workers",
+            action=_DeprecatedAlias,
+            preferred="--engine-workers",
+            type=_positive_int,
+        )
+
+
+def _observability(args: argparse.Namespace) -> "tuple[object, MetricsRegistry | None]":
+    """(tracer, metrics) for one command: real instances only when the run
+    is being traced, so untraced runs keep the no-op fast path."""
+    if getattr(args, "log_level", None):
+        setup_logging(args.log_level)
+    if getattr(args, "trace_out", None):
+        return Tracer(), MetricsRegistry()
+    return NULL_TRACER, None
+
+
+def _finish_trace(args: argparse.Namespace, tracer, metrics) -> None:
+    """Write the span tree + metrics snapshot collected by a traced run."""
+    if getattr(args, "trace_out", None):
+        payload = write_trace(args.trace_out, tracer, metrics)
+        print(f"wrote trace ({len(payload['spans'])} root spans) to {args.trace_out}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,7 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append per-group ASCII score histograms to the report",
     )
-    _add_engine_arguments(audit)
+    _add_engine_arguments(audit, alias_backend=True, alias_workers=True)
 
     compare = subparsers.add_parser(
         "compare", help="run every algorithm on one scoring function"
@@ -127,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("population", help="population CSV written by 'generate'")
     compare.add_argument("--function", default="f1", help="scoring function f1..f9")
     compare.add_argument("--seed", type=int, default=0, help="seed for randomised algorithms")
-    _add_engine_arguments(compare)
+    _add_engine_arguments(compare, alias_backend=True, alias_workers=True)
 
     significance = subparsers.add_parser(
         "significance",
@@ -183,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="search algorithm used per task",
     )
     workload.add_argument("--seed", type=int, default=0, help="seed for randomised algorithms")
+    _add_engine_arguments(workload)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table or the Figure 1 toy example"
@@ -193,18 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--workers", type=int, default=None, help="override worker count")
     experiment.add_argument("--seed", type=int, default=42, help="population seed")
     experiment.add_argument("--out", default=None, help="optional JSON output path")
-    experiment.add_argument(
-        "--backend",
-        default="sequential",
-        choices=sorted(available_backends()),
-        help="evaluation backend: sequential (default) or a process pool",
-    )
-    experiment.add_argument(
-        "--engine-workers",
-        type=_positive_int,
-        default=None,
-        help="worker processes for --backend process (default: all cores)",
-    )
+    _add_engine_arguments(experiment, alias_backend=True)
     return parser
 
 
@@ -216,21 +300,32 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_audit(args: argparse.Namespace) -> int:
-    population = load_population(args.population)
-    function = _resolve_function(args.function)
-    if function is None:
-        return 2
-    auditor = FairnessAuditor(
-        population, hist_spec=HistogramSpec(bins=args.bins), metric=args.metric
-    )
-    report = auditor.audit(
-        function,
-        algorithm=args.algorithm,
-        rng=args.seed,
-        backend=args.backend,
-        workers=args.workers,
-    )
-    print(report.render(histograms=args.histograms))
+    tracer, metrics = _observability(args)
+    with tracer.span(
+        "cli.audit", function=args.function, algorithm=args.algorithm
+    ) as root:
+        with tracer.span("cli.load_population", path=args.population):
+            population = load_population(args.population)
+        function = _resolve_function(args.function)
+        if function is None:
+            return 2
+        auditor = FairnessAuditor(
+            population, hist_spec=HistogramSpec(bins=args.bins), metric=args.metric
+        )
+        report = auditor.audit(
+            function,
+            algorithm=args.algorithm,
+            rng=args.seed,
+            backend=args.engine_backend,
+            workers=args.engine_workers,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        with tracer.span("cli.render"):
+            rendered = report.render(histograms=args.histograms)
+        root.set(unfairness=report.unfairness, n_groups=len(report.groups))
+    print(rendered)
+    _finish_trace(args, tracer, metrics)
     return 0
 
 
@@ -246,6 +341,7 @@ def _resolve_function(name: str):
 
 
 def _command_compare(args: argparse.Namespace) -> int:
+    tracer, metrics = _observability(args)
     population = load_population(args.population)
     function = _resolve_function(args.function)
     if function is None:
@@ -257,19 +353,23 @@ def _command_compare(args: argparse.Namespace) -> int:
     header = f"{'algorithm':>16}  {'unfairness':>10}  {'groups':>7}  {'time (s)':>9}  attributes"
     print(header)
     print("-" * len(header))
-    for name in list(PAPER_ALGORITHMS) + ["single-attribute", "beam"]:
-        result = get_algorithm(name).run(
-            population,
-            scores,
-            rng=args.seed,
-            backend=args.backend,
-            workers=args.workers,
-        )
-        attributes = ",".join(result.partitioning.attributes_used()) or "(none)"
-        print(
-            f"{name:>16}  {result.unfairness:>10.3f}  {result.partitioning.k:>7d}"
-            f"  {result.runtime_seconds:>9.3f}  {attributes}"
-        )
+    with tracer.span("cli.compare", function=args.function):
+        for name in list(PAPER_ALGORITHMS) + ["single-attribute", "beam"]:
+            result = get_algorithm(name).run(
+                population,
+                scores,
+                rng=args.seed,
+                backend=args.engine_backend,
+                workers=args.engine_workers,
+                tracer=tracer,
+                metrics=metrics,
+            )
+            attributes = ",".join(result.partitioning.attributes_used()) or "(none)"
+            print(
+                f"{name:>16}  {result.unfairness:>10.3f}  {result.partitioning.k:>7d}"
+                f"  {result.runtime_seconds:>9.3f}  {attributes}"
+            )
+    _finish_trace(args, tracer, metrics)
     return 0
 
 
@@ -361,10 +461,20 @@ def _command_workload(args: argparse.Namespace) -> int:
     except (KeyError, TypeError, ValueError) as exc:
         print(f"malformed task spec: {exc!r}", file=sys.stderr)
         return 2
-    summary = audit_workload(
-        population, tasks, algorithm=args.algorithm, rng=args.seed
-    )
+    tracer, metrics = _observability(args)
+    with tracer.span("cli.workload", n_tasks=len(tasks)):
+        summary = audit_workload(
+            population,
+            tasks,
+            algorithm=args.algorithm,
+            rng=args.seed,
+            backend=args.engine_backend,
+            workers=args.engine_workers,
+            tracer=tracer,
+            metrics=metrics,
+        )
     print(summary.render())
+    _finish_trace(args, tracer, metrics)
     recurring = summary.recurring_attributes(min_fraction=0.5)
     if recurring:
         print(f"\nsystematic channels (>=50% of tasks): {', '.join(recurring)}")
@@ -372,14 +482,17 @@ def _command_workload(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
+    tracer, metrics = _observability(args)
     if args.name == "figure1":
         scenario = figure1_scenario()
         result = run_scenario(
             scenario,
             algorithms=("exhaustive", "balanced", "unbalanced"),
             seed=args.seed,
-            backend=args.backend,
+            backend=args.engine_backend,
             workers=args.engine_workers,
+            tracer=tracer,
+            metrics=metrics,
         )
         print(format_table(result, "unfairness", title="Figure 1 toy — average EMD"))
         reference = None
@@ -396,8 +509,10 @@ def _command_experiment(args: argparse.Namespace) -> int:
             scenario,
             algorithms=PAPER_ALGORITHMS,
             seed=args.seed,
-            backend=args.backend,
+            backend=args.engine_backend,
             workers=args.engine_workers,
+            tracer=tracer,
+            metrics=metrics,
         )
         print(
             format_comparison_table(
@@ -412,6 +527,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
     if args.out:
         save_experiment_result(result, args.out)
         print(f"\nwrote rows to {args.out}")
+    _finish_trace(args, tracer, metrics)
     return 0
 
 

@@ -41,19 +41,30 @@ class BalancedAlgorithm(PartitioningAlgorithm):
 
     def _search(self, context: SearchContext) -> list[Partition]:
         population, engine = context.population, context.engine
+        tracer = context.tracer
         remaining = list(population.schema.protected_names)
         root = Partition(population.all_indices())
 
-        choice = worst_attribute(population, [root], remaining, engine)
+        with tracer.span("balanced.level", level=0, frontier=1) as span:
+            choice = worst_attribute(population, [root], remaining, engine)
+            span.set(attribute=choice.attribute, best_objective=choice.score)
         remaining.remove(choice.attribute)
         current, current_avg = choice.children, choice.score
 
+        level = 0
         while remaining:
-            choice = worst_attribute(population, current, remaining, engine)
+            level += 1
+            with tracer.span(
+                "balanced.level", level=level, frontier=len(current)
+            ) as span:
+                choice = worst_attribute(population, current, remaining, engine)
+                span.set(attribute=choice.attribute, best_objective=choice.score)
             remaining.remove(choice.attribute)
             if current_avg >= choice.score:
                 break
             current, current_avg = choice.children, choice.score
+        context.metrics.set_gauge("balanced.levels", level + 1)
+        context.metrics.set_gauge("balanced.frontier", len(current))
         return current
 
 
@@ -71,6 +82,7 @@ class RandomBalancedAlgorithm(PartitioningAlgorithm):
 
     def _search(self, context: SearchContext) -> list[Partition]:
         population, engine, rng = context.population, context.engine, context.rng
+        tracer = context.tracer
         remaining = list(population.schema.protected_names)
         root = Partition(population.all_indices())
 
@@ -79,11 +91,20 @@ class RandomBalancedAlgorithm(PartitioningAlgorithm):
         current = split_partitions(population, [root], attribute)
         current_avg = engine.unfairness(current)
 
+        level = 0
         while remaining:
+            level += 1
             attribute = str(rng.choice(remaining))
             remaining.remove(attribute)
-            children = split_partitions(population, current, attribute)
-            children_avg = engine.unfairness(children)
+            with tracer.span(
+                "r-balanced.level",
+                level=level,
+                frontier=len(current),
+                attribute=attribute,
+            ) as span:
+                children = split_partitions(population, current, attribute)
+                children_avg = engine.unfairness(children)
+                span.set(best_objective=max(current_avg, children_avg))
             if current_avg >= children_avg:
                 break
             current, current_avg = children, children_avg

@@ -35,6 +35,8 @@ from repro.engine.context import SearchContext
 from repro.engine.engine import EvaluationEngine
 from repro.exceptions import PartitioningError
 from repro.metrics.base import HistogramDistance
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "AlgorithmResult",
@@ -133,6 +135,8 @@ class PartitioningAlgorithm(abc.ABC):
         backend: "str | ExecutionBackend | None" = None,
         workers: "int | None" = None,
         engine_mode: str = "incremental",
+        tracer: "Tracer | NullTracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> AlgorithmResult:
         """Search for the most unfair partitioning of ``population`` under ``scores``.
 
@@ -160,6 +164,11 @@ class PartitioningAlgorithm(abc.ABC):
         engine_mode:
             ``"incremental"`` (default) or ``"full"`` — see
             :class:`~repro.engine.engine.EvaluationEngine`.
+        tracer, metrics:
+            Observability hooks forwarded to the engine (see
+            :mod:`repro.obs`).  With a real tracer the whole run is wrapped
+            in an ``algorithm.<name>`` span; the default no-op tracer makes
+            the instrumentation free.
         """
         if population.size == 0:
             raise PartitioningError("cannot partition an empty population")
@@ -172,6 +181,8 @@ class PartitioningAlgorithm(abc.ABC):
             backend=backend,
             workers=workers,
             mode=engine_mode,
+            tracer=tracer,
+            metrics=metrics,
         )
         generator = (
             np.random.default_rng(rng)
@@ -179,14 +190,26 @@ class PartitioningAlgorithm(abc.ABC):
             else rng
         )
         context = SearchContext(population=population, engine=engine, rng=generator)
+        run_tracer = tracer if tracer is not None else NULL_TRACER
         start = time.perf_counter()
         try:
-            partitions = self._search(context)
-            partitioning = Partitioning(partitions, population.size)
-            final_unfairness = engine.unfairness(partitioning)
+            with run_tracer.span(
+                f"algorithm.{self.name}",
+                algorithm=self.name,
+                population=population.size,
+                backend=engine.backend.name,
+            ) as run_span:
+                partitions = self._search(context)
+                partitioning = Partitioning(partitions, population.size)
+                final_unfairness = engine.unfairness(partitioning)
+                run_span.set(
+                    unfairness=final_unfairness, n_partitions=partitioning.k
+                )
         finally:
             engine.close()
         elapsed = time.perf_counter() - start
+        engine.metrics.inc("algorithm.runs")
+        engine.metrics.observe("algorithm.run_seconds", elapsed)
         stats = engine.stats
         return AlgorithmResult(
             algorithm=self.name,

@@ -32,8 +32,14 @@ class AllAttributesAlgorithm(PartitioningAlgorithm):
     def _search(self, context: SearchContext) -> list[Partition]:
         population = context.population
         current = [Partition(population.all_indices())]
-        for attribute in population.schema.protected_names:
-            current = split_partitions(population, current, attribute)
+        for level, attribute in enumerate(population.schema.protected_names):
+            with context.tracer.span(
+                "all-attributes.split",
+                level=level,
+                attribute=attribute,
+                frontier=len(current),
+            ):
+                current = split_partitions(population, current, attribute)
         return current
 
 
@@ -46,10 +52,12 @@ class SingleAttributeAlgorithm(PartitioningAlgorithm):
     def _search(self, context: SearchContext) -> list[Partition]:
         population = context.population
         root = Partition(population.all_indices())
-        choice = worst_attribute(
-            population,
-            [root],
-            list(population.schema.protected_names),
-            context.engine,
-        )
+        with context.tracer.span("single-attribute.scan") as span:
+            choice = worst_attribute(
+                population,
+                [root],
+                list(population.schema.protected_names),
+                context.engine,
+            )
+            span.set(attribute=choice.attribute, best_objective=choice.score)
         return choice.children

@@ -60,31 +60,41 @@ class BeamSearchAlgorithm(PartitioningAlgorithm):
         ]
         best_score, best_partitions = 0.0, [root]
 
+        level = 0
         while True:
-            expansions: list[tuple[list[Partition], tuple[str, ...]]] = []
-            seen: set[frozenset[tuple[int, ...]]] = set()
-            for __, partitions, remaining in beam:
-                for attribute in remaining:
-                    children = split_partitions(population, partitions, attribute)
-                    key = frozenset(p.members_key() for p in children)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    rest = tuple(a for a in remaining if a != attribute)
-                    expansions.append((children, rest))
-            if not expansions:
-                break
-            scores = engine.score_many([children for children, __ in expansions])
-            candidates = [
-                (score, children, rest)
-                for score, (children, rest) in zip(scores, expansions)
-            ]
-            candidates.sort(key=lambda entry: -entry[0])
-            beam = candidates[: self.beam_width]
-            if beam[0][0] > best_score:
-                best_score, best_partitions = beam[0][0], beam[0][1]
-            # Prune exhausted states; the loop ends when no state can grow.
-            beam = [entry for entry in beam if entry[2]]
-            if not beam:
-                break
+            level += 1
+            with context.tracer.span(
+                "beam.level", level=level, beam=len(beam)
+            ) as span:
+                expansions: list[tuple[list[Partition], tuple[str, ...]]] = []
+                seen: set[frozenset[tuple[int, ...]]] = set()
+                for __, partitions, remaining in beam:
+                    for attribute in remaining:
+                        children = split_partitions(population, partitions, attribute)
+                        key = frozenset(p.members_key() for p in children)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        rest = tuple(a for a in remaining if a != attribute)
+                        expansions.append((children, rest))
+                if not expansions:
+                    break
+                scores = engine.score_many([children for children, __ in expansions])
+                candidates = [
+                    (score, children, rest)
+                    for score, (children, rest) in zip(scores, expansions)
+                ]
+                candidates.sort(key=lambda entry: -entry[0])
+                beam = candidates[: self.beam_width]
+                if beam[0][0] > best_score:
+                    best_score, best_partitions = beam[0][0], beam[0][1]
+                span.set(
+                    expansions=len(expansions),
+                    frontier=len(best_partitions),
+                    best_objective=best_score,
+                )
+                # Prune exhausted states; the loop ends when no state can grow.
+                beam = [entry for entry in beam if entry[2]]
+                if not beam:
+                    break
         return best_partitions

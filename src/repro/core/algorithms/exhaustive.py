@@ -83,24 +83,29 @@ class ExhaustiveAlgorithm(PartitioningAlgorithm):
                 raise BudgetExceededError(self.budget)
             pending.append(candidate)
             if len(pending) >= _BATCH_SIZE:
-                best, best_score = self._flush(engine, pending, best, best_score)
+                best, best_score = self._flush(context, pending, best, best_score)
                 pending = []
         if pending:
-            best, best_score = self._flush(engine, pending, best, best_score)
+            best, best_score = self._flush(context, pending, best, best_score)
         assert best is not None  # the root-only partitioning is always yielded
+        context.metrics.set_gauge("exhaustive.candidates", count)
         return best
 
     @staticmethod
     def _flush(
-        engine,
+        context: SearchContext,
         pending: list[list[Partition]],
         best: "list[Partition] | None",
         best_score: float,
     ) -> tuple["list[Partition] | None", float]:
         """Score one batch and fold it into the running argmax (first wins)."""
-        for candidate, score in zip(pending, engine.score_many(pending)):
-            if score > best_score:
-                best, best_score = candidate, score
+        with context.tracer.span(
+            "exhaustive.batch", n_candidates=len(pending)
+        ) as span:
+            for candidate, score in zip(pending, context.engine.score_many(pending)):
+                if score > best_score:
+                    best, best_score = candidate, score
+            span.set(best_objective=best_score)
         return best, best_score
 
     def _enumerate(

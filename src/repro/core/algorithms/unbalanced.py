@@ -95,16 +95,29 @@ class _UnbalancedBase(PartitioningAlgorithm):
         if not candidates:
             output.append(current)
             return
-        if self.cross_only:
-            tracker = None
-            current_avg = context.engine.cross_average([current], siblings)
-        else:
-            tracker = context.engine.incremental(siblings)
-            current_avg = tracker.score_add([current])
-        attribute, children, children_avg = self._choose_attribute(
-            context, current, siblings, candidates, tracker
-        )
-        if current_avg >= children_avg:
+        with context.tracer.span(
+            "unbalanced.node",
+            depth=len(current.constraints),
+            size=current.size,
+            siblings=len(siblings),
+            candidates=len(candidates),
+        ) as span:
+            if self.cross_only:
+                tracker = None
+                current_avg = context.engine.cross_average([current], siblings)
+            else:
+                tracker = context.engine.incremental(siblings)
+                current_avg = tracker.score_add([current])
+            attribute, children, children_avg = self._choose_attribute(
+                context, current, siblings, candidates, tracker
+            )
+            split = children_avg > current_avg
+            span.set(
+                attribute=attribute,
+                best_objective=max(current_avg, children_avg),
+                split=split,
+            )
+        if not split:
             output.append(current)
             return
         remaining = [a for a in candidates if a != attribute]

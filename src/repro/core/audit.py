@@ -149,6 +149,8 @@ class FairnessAuditor:
         rng: "np.random.Generator | int | None" = None,
         backend: "str | None" = None,
         workers: "int | None" = None,
+        tracer=None,
+        metrics=None,
         **algorithm_options: object,
     ) -> AuditReport:
         """Find the most unfair partitioning under one scoring function.
@@ -157,26 +159,34 @@ class FairnessAuditor:
         vector (any :class:`~repro.marketplace.scoring.ScoringFunction`) or a
         precomputed score array.  ``backend`` / ``workers`` select the
         evaluation engine's execution backend (see
-        :class:`~repro.engine.engine.EvaluationEngine`).
+        :class:`~repro.engine.engine.EvaluationEngine`); ``tracer`` /
+        ``metrics`` attach observability hooks (see :mod:`repro.obs`).
         """
+        from repro.obs.tracer import NULL_TRACER
+
+        run_tracer = tracer if tracer is not None else NULL_TRACER
         scores = scoring(self.population) if callable(scoring) else np.asarray(scoring)
-        result = get_algorithm(algorithm, **algorithm_options).run(
-            self.population,
-            scores,
-            hist_spec=self.hist_spec,
-            metric=self.metric,
-            rng=rng,
-            weighting=self.weighting,
-            backend=backend,
-            workers=workers,
-        )
-        groups = tuple(
-            self._summarise(partition, scores) for partition in result.partitioning
-        )
-        evaluator = UnfairnessEvaluator(
-            self.population, scores, self.hist_spec, self.metric, self.weighting
-        )
-        pairwise = evaluator.pairwise_matrix(result.partitioning.partitions)
+        with run_tracer.span("audit.search", algorithm=algorithm):
+            result = get_algorithm(algorithm, **algorithm_options).run(
+                self.population,
+                scores,
+                hist_spec=self.hist_spec,
+                metric=self.metric,
+                rng=rng,
+                weighting=self.weighting,
+                backend=backend,
+                workers=workers,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        with run_tracer.span("audit.report", n_groups=result.partitioning.k):
+            groups = tuple(
+                self._summarise(partition, scores) for partition in result.partitioning
+            )
+            evaluator = UnfairnessEvaluator(
+                self.population, scores, self.hist_spec, self.metric, self.weighting
+            )
+            pairwise = evaluator.pairwise_matrix(result.partitioning.partitions)
         return AuditReport(
             population=self.population,
             scores=scores,
@@ -192,6 +202,8 @@ class FairnessAuditor:
         rng: "np.random.Generator | int | None" = None,
         backend: "str | None" = None,
         workers: "int | None" = None,
+        tracer=None,
+        metrics=None,
         **algorithm_options: object,
     ) -> AuditReport:
         """Audit a task's ranking over the pool its requirements admit.
@@ -212,6 +224,8 @@ class FairnessAuditor:
             rng=rng,
             backend=backend,
             workers=workers,
+            tracer=tracer,
+            metrics=metrics,
             **algorithm_options,
         )
 

@@ -13,9 +13,12 @@ expansions).  :class:`EvaluationEngine` routes those batches through an
   :func:`~repro.engine.kernels.full_objective` code path as the sequential
   engine, which keeps results bit-identical across backends.
 
-Backends are selected from the CLI via ``--backend {sequential,process}``
-and ``--workers N`` and are recorded in :class:`AlgorithmResult` so the
-benchmark harness can attribute runtimes.
+Backends are selected from the CLI via ``--engine-backend
+{sequential,process}`` and ``--engine-workers N`` and are recorded in
+:class:`AlgorithmResult` so the benchmark harness can attribute runtimes.
+With tracing enabled on the engine, each process-pool batch records
+``backend.process.dispatch`` / ``backend.process.collect`` spans and the
+matching ``backend.*_seconds`` timing histograms.
 """
 
 from __future__ import annotations
@@ -77,6 +80,8 @@ class SequentialBackend(ExecutionBackend):
         engine: "EvaluationEngine",
         candidates: Sequence[Sequence["Partition"]],
     ) -> list[float]:
+        engine.metrics.inc("backend.batches")
+        engine.metrics.inc("backend.candidates", len(candidates))
         return [engine.unfairness(candidate) for candidate in candidates]
 
 
@@ -172,13 +177,27 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> list[float]:
         if not candidates:
             return []
-        pool = self._ensure_pool(engine)
-        tasks = [[p.indices for p in candidate] for candidate in candidates]
-        chunk_size = self.chunk_size or max(1, len(tasks) // (4 * self.workers) or 1)
-        chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
+        metrics = engine.metrics
+        with engine.tracer.span(
+            "backend.process.dispatch", n_candidates=len(candidates)
+        ) as dispatch_span, metrics.time("backend.dispatch_seconds"):
+            pool = self._ensure_pool(engine)
+            tasks = [[p.indices for p in candidate] for candidate in candidates]
+            chunk_size = self.chunk_size or max(
+                1, len(tasks) // (4 * self.workers) or 1
+            )
+            chunks = [
+                tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)
+            ]
+            dispatch_span.set(n_chunks=len(chunks), chunk_size=chunk_size)
         values: list[float] = []
-        for result in pool.map(_score_chunk, chunks):
-            values.extend(result)
+        with engine.tracer.span(
+            "backend.process.collect", n_chunks=len(chunks)
+        ), metrics.time("backend.collect_seconds"):
+            for result in pool.map(_score_chunk, chunks):
+                values.extend(result)
+        metrics.inc("backend.batches")
+        metrics.inc("backend.candidates", len(candidates))
         engine.record_external_evaluations(candidates)
         return values
 
@@ -190,7 +209,7 @@ class ProcessPoolBackend(ExecutionBackend):
 
 
 def available_backends() -> tuple[str, ...]:
-    """Names accepted by :func:`get_backend` (and the CLI ``--backend``)."""
+    """Names accepted by :func:`get_backend` (and the CLI ``--engine-backend``)."""
     return ("sequential", "process")
 
 

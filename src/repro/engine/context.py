@@ -41,3 +41,13 @@ class SearchContext:
     def protected_names(self) -> tuple[str, ...]:
         """Shorthand for the population's protected attribute names."""
         return tuple(self.population.schema.protected_names)
+
+    @property
+    def tracer(self):
+        """The engine's tracer (the disabled no-op tracer by default)."""
+        return self.engine.tracer
+
+    @property
+    def metrics(self):
+        """The engine's metrics registry."""
+        return self.engine.metrics

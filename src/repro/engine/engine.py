@@ -46,6 +46,8 @@ from repro.engine.kernels import (
 )
 from repro.exceptions import PartitioningError
 from repro.metrics.base import HistogramDistance, get_metric
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = ["EvaluationEngine", "EngineStats"]
 
@@ -106,6 +108,16 @@ class EvaluationEngine:
         ``"incremental"`` (default: cache + fast paths + O(k·Δ) frontier
         updates) or ``"full"`` (dense recomputation every query — the
         baseline the microbenchmarks measure against).
+    tracer:
+        An :class:`~repro.obs.tracer.Tracer` to record per-evaluation spans
+        into; defaults to the disabled :data:`~repro.obs.tracer.NULL_TRACER`,
+        in which case the hot paths skip span creation entirely (one
+        attribute check per query).
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` the engine mirrors its
+        effort counters into (``engine.*`` namespace, see
+        :meth:`sync_metrics`) and records timing histograms into while
+        tracing; a private registry is created when omitted.
     """
 
     def __init__(
@@ -118,6 +130,8 @@ class EvaluationEngine:
         backend: "str | ExecutionBackend | None" = None,
         workers: "int | None" = None,
         mode: str = "incremental",
+        tracer: "Tracer | NullTracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.population = population
         self.spec = hist_spec or HistogramSpec()
@@ -140,6 +154,12 @@ class EvaluationEngine:
         self.scores = scores
         self._bin_idx = self.spec.bin_indices(scores)
         self.backend = get_backend(backend, workers)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Hot-path guard: span creation (and timing observation) is skipped
+        #: entirely unless a real tracer was passed in.
+        self._trace = bool(getattr(self.tracer, "enabled", False))
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._synced_stats: dict[str, int] = {}
         self.stats = EngineStats(
             backend=self.backend.name, workers=self.backend.workers
         )
@@ -187,9 +207,21 @@ class EvaluationEngine:
 
         Interface-compatible with
         :meth:`~repro.core.unfairness.UnfairnessEvaluator.unfairness`; cached
-        and vectorized in the default mode.
+        and vectorized in the default mode.  With tracing enabled, each query
+        records an ``engine.unfairness`` span (k, value, cache hit) and an
+        ``engine.unfairness_seconds`` timing observation.
         """
         partitions = list(partitioning)
+        if not self._trace:
+            return self._unfairness(partitions)
+        with self.tracer.span("engine.unfairness", k=len(partitions)) as span:
+            hits_before = self.stats.cache_hits
+            value = self._unfairness(partitions)
+            span.set(value=value, cache_hit=self.stats.cache_hits > hits_before)
+        self.metrics.observe("engine.unfairness_seconds", span.duration_seconds)
+        return value
+
+    def _unfairness(self, partitions: "list[Partition]") -> float:
         k = len(partitions)
         self.stats.n_evaluations += 1
         if k < 2:
@@ -232,9 +264,20 @@ class EvaluationEngine:
         self, group: Sequence[Partition], siblings: Sequence[Partition]
     ) -> float:
         """Average distance over pairs (g, s), g in group, s in siblings."""
+        if self._trace:
+            with self.tracer.span(
+                "engine.cross_average", group=len(group), siblings=len(siblings)
+            ) as span:
+                value = self._cross_average(list(group), list(siblings))
+                span.set(value=value)
+            self.metrics.observe("engine.unfairness_seconds", span.duration_seconds)
+            return value
+        return self._cross_average(list(group), list(siblings))
+
+    def _cross_average(
+        self, group: "list[Partition]", siblings: "list[Partition]"
+    ) -> float:
         self.stats.n_evaluations += 1
-        group = list(group)
-        siblings = list(siblings)
         if not group or not siblings:
             return 0.0
         n_pairs = len(group) * len(siblings)
@@ -256,7 +299,17 @@ class EvaluationEngine:
         self, candidates: Sequence[Sequence[Partition]]
     ) -> list[float]:
         """Objective of every candidate partitioning, via the backend."""
-        return self.backend.score_partitionings(self, list(candidates))
+        candidates = list(candidates)
+        if not self._trace:
+            return self.backend.score_partitionings(self, candidates)
+        with self.tracer.span(
+            "engine.score_many",
+            n_candidates=len(candidates),
+            backend=self.backend.name,
+        ) as span:
+            values = self.backend.score_partitionings(self, candidates)
+        self.metrics.observe("engine.score_many_seconds", span.duration_seconds)
+        return values
 
     def incremental(
         self, partitions: Sequence[Partition]
@@ -326,8 +379,44 @@ class EvaluationEngine:
         """Total objective queries served (search-effort unit in results)."""
         return self.stats.n_evaluations
 
+    @property
+    def trace_enabled(self) -> bool:
+        """True when a real tracer was attached (hot paths record spans)."""
+        return self._trace
+
+    def sync_metrics(self) -> MetricsRegistry:
+        """Mirror :class:`EngineStats` into the metrics registry.
+
+        Counter metrics (``engine.n_evaluations`` …) receive the *delta*
+        since the last sync, so repeated syncs are idempotent and several
+        engines sharing one registry accumulate rather than overwrite.
+        Returns the registry.
+        """
+        current = self.stats.as_dict()
+        for key in (
+            "n_evaluations",
+            "n_full_evaluations",
+            "n_incremental_evaluations",
+            "cache_hits",
+            "pair_distances_computed",
+            "pair_distances_full",
+        ):
+            value = current[key]
+            delta = value - self._synced_stats.get(key, 0)
+            if delta:
+                self.metrics.inc(f"engine.{key}", delta)
+            self._synced_stats[key] = value
+        self.metrics.set_gauge("engine.workers", self.stats.workers)
+        self.metrics.set_gauge("engine.value_cache_size", len(self._value_cache))
+        return self.metrics
+
+    def metrics_snapshot(self) -> dict:
+        """Sync the effort counters and return the registry's plain-dict view."""
+        return self.sync_metrics().as_dict()
+
     def close(self) -> None:
         """Release backend resources; the engine stays usable sequentially."""
+        self.sync_metrics()
         self.backend.close()
 
     def _cache_key(self, partitions: Sequence[Partition]) -> tuple:

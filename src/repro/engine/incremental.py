@@ -61,6 +61,14 @@ class IncrementalObjective:
 
     def unfairness(self) -> float:
         """Objective value of the current frontier (from the cached matrix)."""
+        if self.engine.trace_enabled:
+            with self.engine.tracer.span(
+                "engine.incremental.unfairness", k=self.k
+            ) as span:
+                self.engine.record_incremental_evaluation(self.k, new_pairs=0)
+                value = self._value(self._pair_sum(), self.k, self._weights)
+                span.set(value=value)
+            return value
         self.engine.record_incremental_evaluation(self.k, new_pairs=0)
         return self._value(self._pair_sum(), self.k, self._weights)
 
@@ -127,6 +135,26 @@ class IncrementalObjective:
     # -------------------------------------------------------------- internal
 
     def _replace_blocks(self, removed: Sequence[int], added: Sequence[Partition]):
+        """Instrumentation shim: an ``engine.incremental.replace`` span (and
+        ``engine.incremental_seconds`` timing) per split/merge what-if or
+        commit when tracing is enabled; free otherwise."""
+        engine = self.engine
+        if not engine.trace_enabled:
+            return self._replace_blocks_inner(removed, added)
+        with engine.tracer.span(
+            "engine.incremental.replace",
+            k=self.k,
+            removed=len(removed),
+            added=len(added),
+        ) as span:
+            value, blocks = self._replace_blocks_inner(removed, added)
+            span.set(value=value)
+        engine.metrics.observe("engine.incremental_seconds", span.duration_seconds)
+        return value, blocks
+
+    def _replace_blocks_inner(
+        self, removed: Sequence[int], added: Sequence[Partition]
+    ):
         removed_set = set(int(i) for i in removed)
         if any(i < 0 or i >= self.k for i in removed_set):
             raise PartitioningError(

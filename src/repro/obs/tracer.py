@@ -1,0 +1,314 @@
+"""Nested, timed tracing spans for the evaluation pipeline.
+
+A :class:`Tracer` produces a tree of :class:`Span` objects through a
+context-manager API::
+
+    tracer = Tracer()
+    with tracer.span("audit", algorithm="balanced"):
+        with tracer.span("engine.unfairness", k=4) as span:
+            ...
+            span.set(cache_hit=False)
+    tracer.to_dict()    # JSON-serialisable span forest
+
+Design constraints, in order:
+
+* **Zero cost when disabled.**  The default tracer everywhere is
+  :data:`NULL_TRACER`, whose ``span()`` returns one shared no-op context
+  manager — a plain function call, no allocation.  Hot paths additionally
+  guard on ``tracer.enabled`` so even that call is skipped per-evaluation.
+* **Thread/process-safe span ids.**  Ids are ``"<pid>-<counter>"`` with the
+  counter behind a lock, so spans recorded in forked worker processes (or
+  concurrent threads) can be merged into one trace without collisions.
+  Nesting is tracked per *thread* (a ``threading.local`` stack), so
+  concurrent threads build independent subtrees instead of interleaving.
+* **JSON export.**  ``Span.as_dict`` / ``Tracer.to_dict`` /
+  :func:`write_trace` produce plain dicts; durations are float seconds.
+
+No third-party dependencies; only the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Iterator
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "write_trace"]
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attributes", "children")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: "str | None",
+        start: float,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: "float | None" = None
+        self.attributes: dict = {}
+        self.children: list[Span] = []
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall-clock span length (0.0 while the span is still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def children_seconds(self) -> float:
+        """Summed duration of the direct children."""
+        return sum(child.duration_seconds for child in self.children)
+
+    @property
+    def self_seconds(self) -> float:
+        """Time spent in this span outside any child span."""
+        return max(0.0, self.duration_seconds - self.children_seconds)
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach attributes to the span; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def leaves(self) -> Iterator["Span"]:
+        """Every descendant span with no children (or self, if a leaf)."""
+        if not self.children:
+            yield self
+            return
+        for child in self.children:
+            yield from child.leaves()
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable tree rooted at this span."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"duration={self.duration_seconds:.6f}s, children={len(self.children)})"
+        )
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self.span: "Span | None" = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._open(self._name, self._attributes)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self.span is not None
+        if exc_type is not None:
+            self.span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._close(self.span)
+        return False
+
+
+class Tracer:
+    """Records a forest of nested spans (one tree per top-level operation)."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._local = threading.local()
+        self.roots: list[Span] = []
+
+    # ------------------------------------------------------------- recording
+
+    def span(self, name: str, **attributes: object) -> _SpanContext:
+        """Open a span on ``with``-entry, close (and time) it on exit."""
+        return _SpanContext(self, name, attributes)
+
+    def current_span(self) -> "Span | None":
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -------------------------------------------------------------- querying
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first across all roots."""
+        for root in list(self.roots):
+            yield from root.iter_spans()
+
+    def breakdown(self) -> dict[str, dict[str, float]]:
+        """Aggregate per-span-name totals: ``{name: {count, total_seconds}}``."""
+        out: dict[str, dict[str, float]] = {}
+        for span in self.iter_spans():
+            entry = out.setdefault(span.name, {"count": 0, "total_seconds": 0.0})
+            entry["count"] += 1
+            entry["total_seconds"] += span.duration_seconds
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of the whole span forest."""
+        return {"spans": [root.as_dict() for root in self.roots]}
+
+    # -------------------------------------------------------------- internal
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            n = self._counter
+        return f"{os.getpid():x}-{n:x}"
+
+    def _open(self, name: str, attributes: dict) -> Span:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name,
+            self._next_id(),
+            parent.span_id if parent else None,
+            self._clock(),
+        )
+        if attributes:
+            span.attributes.update(attributes)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        stack = self._stack()
+        # Pop back to (and including) the span; tolerates exits out of order
+        # when an inner ``with`` was abandoned by an exception.
+        while stack:
+            if stack.pop() is span:
+                break
+
+    def __repr__(self) -> str:
+        return f"Tracer(roots={len(self.roots)})"
+
+
+class _NullSpan:
+    """Shared do-nothing span; ``with`` target of the disabled tracer."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = ""
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    duration_seconds = 0.0
+    attributes: dict = {}
+    children: tuple = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: ``span()`` is a plain call returning one shared no-op.
+
+    This is the default everywhere — instrumented hot paths cost one
+    ``tracer.enabled`` attribute check (and nothing is allocated) until a
+    real :class:`Tracer` is passed in.
+    """
+
+    enabled = False
+    roots: tuple = ()
+
+    def span(self, name: str = "", **attributes: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def iter_spans(self):
+        return iter(())
+
+    def breakdown(self) -> dict:
+        return {}
+
+    def to_dict(self) -> dict:
+        return {"spans": []}
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: Module-wide shared disabled tracer (stateless, safe to share).
+NULL_TRACER = NullTracer()
+
+#: Format tag written into trace files; bump on incompatible layout changes.
+TRACE_SCHEMA = "repro.trace/v1"
+
+
+def write_trace(
+    path: str,
+    tracer: "Tracer | NullTracer",
+    metrics: "object | None" = None,
+) -> dict:
+    """Write the span forest (plus an optional metrics snapshot) as JSON.
+
+    ``metrics`` is anything with an ``as_dict()`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) or a plain dict.  Returns
+    the payload that was written.
+    """
+    snapshot = None
+    if metrics is not None:
+        as_dict = getattr(metrics, "as_dict", None)
+        snapshot = as_dict() if callable(as_dict) else dict(metrics)  # type: ignore[arg-type]
+    payload = {
+        "schema": TRACE_SCHEMA,
+        "spans": tracer.to_dict()["spans"],
+        "breakdown": tracer.breakdown(),
+        "metrics": snapshot,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    return payload

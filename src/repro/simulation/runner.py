@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.algorithms import PAPER_ALGORITHMS, AlgorithmResult, get_algorithm
 from repro.metrics.base import HistogramDistance
+from repro.obs.tracer import NULL_TRACER
 from repro.simulation.scenarios import Scenario
 
 __all__ = ["ExperimentRow", "ExperimentResult", "run_scenario"]
@@ -111,6 +112,8 @@ def run_scenario(
     algorithm_options: "dict[str, dict[str, object]] | None" = None,
     backend: "str | None" = None,
     workers: "int | None" = None,
+    tracer=None,
+    metrics=None,
 ) -> ExperimentResult:
     """Run every algorithm on every scoring function of a scenario.
 
@@ -130,21 +133,45 @@ def run_scenario(
     backend, workers:
         Execution backend for the evaluation engine (``"sequential"``
         default, ``"process"`` with ``workers`` processes).
+    tracer, metrics:
+        Observability hooks (see :mod:`repro.obs`): every (function,
+        algorithm) cell runs inside a ``scenario.cell`` span and all engines
+        mirror their counters into the shared ``metrics`` registry.
     """
     options = algorithm_options or {}
+    run_tracer = tracer if tracer is not None else NULL_TRACER
     rows: list[ExperimentRow] = []
-    for function_name, function in scenario.functions.items():
-        scores = function(scenario.population)
-        for algorithm_name in algorithms:
-            algorithm = get_algorithm(algorithm_name, **options.get(algorithm_name, {}))
-            result = algorithm.run(
-                scenario.population,
-                scores,
-                hist_spec=scenario.hist_spec,
-                metric=metric,
-                rng=np.random.default_rng(_cell_seed(seed, algorithm_name, function_name)),
-                backend=backend,
-                workers=workers,
-            )
-            rows.append(ExperimentRow.from_result(scenario.name, function_name, result))
+    with run_tracer.span("scenario.run", scenario=scenario.name, seed=seed):
+        for function_name, function in scenario.functions.items():
+            scores = function(scenario.population)
+            for algorithm_name in algorithms:
+                algorithm = get_algorithm(
+                    algorithm_name, **options.get(algorithm_name, {})
+                )
+                with run_tracer.span(
+                    "scenario.cell",
+                    scenario=scenario.name,
+                    algorithm=algorithm_name,
+                    function=function_name,
+                ) as cell_span:
+                    result = algorithm.run(
+                        scenario.population,
+                        scores,
+                        hist_spec=scenario.hist_spec,
+                        metric=metric,
+                        rng=np.random.default_rng(
+                            _cell_seed(seed, algorithm_name, function_name)
+                        ),
+                        backend=backend,
+                        workers=workers,
+                        tracer=tracer,
+                        metrics=metrics,
+                    )
+                    cell_span.set(
+                        unfairness=result.unfairness,
+                        runtime_seconds=result.runtime_seconds,
+                    )
+                rows.append(
+                    ExperimentRow.from_result(scenario.name, function_name, result)
+                )
     return ExperimentResult(scenario=scenario.name, rows=tuple(rows))

@@ -1,0 +1,46 @@
+"""The committed BENCH_*.json trajectory stays valid under the v1 schema."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_RUNNER = _ROOT / "benchmarks" / "run_bench.py"
+
+spec = importlib.util.spec_from_file_location("run_bench", _RUNNER)
+run_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(run_bench)
+
+
+def _bench_files() -> list[Path]:
+    return sorted((_ROOT / "benchmarks" / "results").glob("BENCH_*.json"))
+
+
+def test_committed_bench_files_exist() -> None:
+    assert _bench_files(), "the repo should carry at least one BENCH_*.json"
+
+
+@pytest.mark.parametrize("path", _bench_files(), ids=lambda p: p.name)
+def test_committed_bench_files_validate(path: Path) -> None:
+    run_bench.validate_bench_payload(json.loads(path.read_text()))
+
+
+def test_validator_rejects_malformed_payloads() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    with pytest.raises(ValueError, match="schema"):
+        run_bench.validate_bench_payload({**good, "schema": "repro.bench/v0"})
+    with pytest.raises(ValueError, match="cases"):
+        run_bench.validate_bench_payload({**good, "cases": []})
+    broken_case = {**good["cases"][0], "backend": "gpu"}
+    with pytest.raises(ValueError, match="backend"):
+        run_bench.validate_bench_payload(
+            {**good, "cases": [broken_case] + good["cases"][1:]}
+        )
+    with pytest.raises(ValueError, match="overhead"):
+        run_bench.validate_bench_payload(
+            {**good, "overhead": {**good["overhead"], "relative": "fast"}}
+        )

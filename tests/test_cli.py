@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import warnings
 from pathlib import Path
 
 import pytest
@@ -24,6 +26,135 @@ class TestParser:
     def test_unknown_experiment_rejected(self) -> None:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "table9"])
+
+
+class TestEngineFlagSurface:
+    """The unified --engine-backend/--engine-workers surface + aliases."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["audit", "w.csv", "--engine-backend", "process", "--engine-workers", "2"],
+            ["compare", "w.csv", "--engine-backend", "process", "--engine-workers", "2"],
+            ["workload", "w.csv", "t.json", "--engine-backend", "process", "--engine-workers", "2"],
+            ["experiment", "table1", "--engine-backend", "process", "--engine-workers", "2"],
+        ],
+    )
+    def test_all_four_subcommands_accept_new_flags(self, argv: list[str]) -> None:
+        args = build_parser().parse_args(argv)
+        assert args.engine_backend == "process"
+        assert args.engine_workers == 2
+        assert args.trace_out is None
+        assert args.log_level is None
+
+    def test_deprecated_backend_alias_warns_and_stores(self) -> None:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            args = build_parser().parse_args(
+                ["audit", "w.csv", "--backend", "process", "--workers", "3"]
+            )
+        assert args.engine_backend == "process"
+        assert args.engine_workers == 3
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 2
+        messages = sorted(str(w.message) for w in deprecations)
+        assert "use --engine-backend" in messages[0]
+        assert "use --engine-workers" in messages[1]
+
+    def test_deprecation_warns_once_per_location(self) -> None:
+        """Under the default filter, repeat parses warn only the first time."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(3):
+                build_parser().parse_args(["compare", "w.csv", "--backend", "sequential"])
+        assert len([w for w in caught if w.category is DeprecationWarning]) == 1
+
+    def test_experiment_workers_still_means_population_size(self) -> None:
+        args = build_parser().parse_args(["experiment", "table1", "--workers", "100"])
+        assert args.workers == 100
+        assert args.engine_workers is None
+
+    def test_workload_has_no_deprecated_aliases(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "w.csv", "t.json", "--backend", "process"])
+
+    def test_old_and_new_spellings_behave_identically(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        csv_path = tmp_path / "workers.csv"
+        main(["generate", "--workers", "60", "--seed", "5", "--out", str(csv_path)])
+        capsys.readouterr()
+        assert main(
+            ["audit", str(csv_path), "--function", "f6", "--engine-backend", "sequential"]
+        ) == 0
+        new_out = capsys.readouterr().out
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert main(
+                ["audit", str(csv_path), "--function", "f6", "--backend", "sequential"]
+            ) == 0
+        old_out = capsys.readouterr().out
+
+        def stable(text: str) -> list[str]:
+            return [line for line in text.splitlines() if "runtime" not in line]
+
+        assert stable(old_out) == stable(new_out)
+
+
+class TestTraceOut:
+    def test_audit_trace_out_writes_span_tree(self, tmp_path: Path, capsys) -> None:
+        csv_path = tmp_path / "workers.csv"
+        main(["generate", "--workers", "60", "--seed", "7", "--out", str(csv_path)])
+        capsys.readouterr()
+        trace_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "audit",
+                    str(csv_path),
+                    "--function",
+                    "f4",
+                    "--algorithm",
+                    "balanced",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        assert "wrote trace" in capsys.readouterr().out
+        payload = json.loads(trace_path.read_text())
+        assert payload["schema"] == "repro.trace/v1"
+
+        root = payload["spans"][0]
+        assert root["name"] == "cli.audit"
+
+        def names(span):
+            yield span["name"]
+            for child in span["children"]:
+                yield from names(child)
+
+        seen = set(names(root))
+        # per-evaluation engine spans made it into the tree
+        assert {"audit.search", "algorithm.balanced", "engine.unfairness"} <= seen
+
+        # children never exceed their parent, and direct children cover most
+        # of the root (leaf timings sum to the root within tolerance)
+        def check(span):
+            child_total = sum(c["duration_seconds"] for c in span["children"])
+            assert child_total <= span["duration_seconds"] * 1.001 + 1e-9
+            for child in span["children"]:
+                check(child)
+
+        check(root)
+        covered = sum(c["duration_seconds"] for c in root["children"])
+        assert covered >= 0.5 * root["duration_seconds"]
+
+        # metrics snapshot travels with the trace
+        counters = payload["metrics"]["counters"]
+        assert counters["engine.n_evaluations"] >= 1
+        assert counters["algorithm.runs"] == 1
+        assert payload["breakdown"]["engine.unfairness"]["count"] >= 1
 
 
 class TestGenerateAndAudit:

@@ -46,15 +46,29 @@ from repro.core.population import Population
 from repro.core.schema import WorkerSchema
 from repro.core.tree import build_split_tree, render_split_tree
 from repro.core.unfairness import UnfairnessEvaluator, unfairness
-from repro.engine import EvaluationEngine, SearchContext, available_backends
+from repro.engine import (
+    EvaluationEngine,
+    FaultConfig,
+    FaultInjectionBackend,
+    RetryingBackend,
+    RetryPolicy,
+    SearchContext,
+    available_backends,
+)
 from repro.exceptions import (
+    BackendError,
+    BackendExhaustedError,
+    BackendTimeoutError,
     BudgetExceededError,
+    CheckpointError,
+    CorruptResultError,
     MetricError,
     PartitioningError,
     PopulationError,
     ReproError,
     SchemaError,
     ScoringError,
+    WorkerCrashError,
 )
 from repro.marketplace.biased import (
     AttributeCondition,
@@ -91,6 +105,7 @@ from repro.simulation.generator import (
     generate_population,
     toy_population,
 )
+from repro.simulation.checkpoint import CheckpointStore
 from repro.simulation.realistic import generate_realistic_population
 from repro.simulation.runner import ExperimentResult, ExperimentRow, run_scenario
 from repro.simulation.scenarios import (
@@ -131,6 +146,12 @@ __all__ = [
     "EvaluationEngine",
     "SearchContext",
     "available_backends",
+    # resilience & fault injection
+    "RetryPolicy",
+    "RetryingBackend",
+    "FaultConfig",
+    "FaultInjectionBackend",
+    "CheckpointStore",
     # observability
     "Tracer",
     "NullTracer",
@@ -190,4 +211,10 @@ __all__ = [
     "PartitioningError",
     "MetricError",
     "BudgetExceededError",
+    "BackendError",
+    "WorkerCrashError",
+    "BackendTimeoutError",
+    "CorruptResultError",
+    "BackendExhaustedError",
+    "CheckpointError",
 ]

@@ -105,6 +105,8 @@ def audit_workload(
     workers: "int | None" = None,
     tracer=None,
     metrics=None,
+    retry_policy=None,
+    fault_config=None,
 ) -> WorkloadAuditSummary:
     """Audit every task's scoring function over its eligible worker pool.
 
@@ -128,6 +130,8 @@ def audit_workload(
             workers=workers,
             tracer=tracer,
             metrics=metrics,
+            retry_policy=retry_policy,
+            fault_config=fault_config,
         )
         attributes = report.result.partitioning.attributes_used()
         frequency.update(attributes)

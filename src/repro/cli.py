@@ -28,7 +28,15 @@ The four engine-using subcommands (``audit``, ``compare``, ``workload``,
   ``experiment``);
 * ``--trace-out FILE`` writes the run's span tree and metrics snapshot as
   JSON (see ``docs/observability.md``);
-* ``--log-level LEVEL`` configures structured logging.
+* ``--log-level LEVEL`` configures structured logging;
+* ``--engine-retries`` / ``--engine-timeout`` / ``--engine-retry-backoff``
+  / ``--engine-no-fallback`` configure the backend's fault tolerance and
+  ``--inject-faults SPEC`` enables deterministic chaos testing (see
+  ``docs/robustness.md``).
+
+``experiment`` additionally supports ``--checkpoint-dir DIR`` (persist
+every completed cell atomically) and ``--resume DIR`` (skip cells already
+checkpointed there; results are bit-identical to an uninterrupted run).
 
 The pre-observability spellings (``--backend`` everywhere, ``--workers``
 for the pool size on ``audit``/``compare``) still parse as hidden aliases
@@ -78,6 +86,29 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _nonnegative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
+
+
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {parsed}")
+    return parsed
+
+
+def _fault_spec(value: str) -> "FaultConfig":
+    from repro.engine.faults import FaultConfig
+
+    try:
+        return FaultConfig.parse(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 class _DeprecatedAlias(argparse.Action):
     """Hidden alias for a renamed option: stores into the new destination
     and emits a :class:`DeprecationWarning` (shown once per process under
@@ -122,6 +153,47 @@ def _add_engine_arguments(
         help="worker processes for --engine-backend process (default: all cores)",
     )
     group.add_argument(
+        "--engine-retries",
+        dest="engine_retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="retry a failed evaluation batch up to N times (default: 3 once "
+        "any resilience flag is set)",
+    )
+    group.add_argument(
+        "--engine-timeout",
+        dest="engine_timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-batch deadline; timed-out chunks are re-dispatched",
+    )
+    group.add_argument(
+        "--engine-retry-backoff",
+        dest="engine_retry_backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base delay between retries (doubles each attempt, with jitter)",
+    )
+    group.add_argument(
+        "--engine-no-fallback",
+        dest="engine_no_fallback",
+        action="store_true",
+        help="raise BackendExhaustedError instead of degrading to the "
+        "sequential backend when retries run out",
+    )
+    group.add_argument(
+        "--inject-faults",
+        dest="inject_faults",
+        type=_fault_spec,
+        default=None,
+        metavar="SPEC",
+        help="deterministic chaos mode, e.g. "
+        "'crash=0.3,hang=0.1,corrupt=0.05,seed=1' (see docs/robustness.md)",
+    )
+    group.add_argument(
         "--trace-out",
         dest="trace_out",
         default=None,
@@ -151,6 +223,43 @@ def _add_engine_arguments(
             preferred="--engine-workers",
             type=_positive_int,
         )
+
+
+def _resilience(args: argparse.Namespace) -> "tuple[object, object]":
+    """(retry_policy, fault_config) for one command.
+
+    Both stay ``None`` unless a resilience flag was given, keeping the
+    plain backends on their zero-overhead path.  Hang injection without an
+    explicit ``--engine-timeout`` gets a 5-second default so injected
+    stragglers are re-dispatched instead of stalling the run.
+    """
+    from repro.engine.resilience import RetryPolicy
+
+    faults = getattr(args, "inject_faults", None)
+    timeout = getattr(args, "engine_timeout", None)
+    if timeout is None and faults is not None and faults.hang_rate > 0:
+        timeout = 5.0
+    wants_policy = any(
+        getattr(args, name, None) is not None
+        for name in ("engine_retries", "engine_retry_backoff")
+    ) or timeout is not None or getattr(args, "engine_no_fallback", False)
+    if not wants_policy and faults is None:
+        return None, None
+    policy = RetryPolicy(
+        max_retries=(
+            args.engine_retries
+            if getattr(args, "engine_retries", None) is not None
+            else 3
+        ),
+        timeout_seconds=timeout,
+        backoff_seconds=(
+            args.engine_retry_backoff
+            if getattr(args, "engine_retry_backoff", None) is not None
+            else 0.05
+        ),
+        fallback_sequential=not getattr(args, "engine_no_fallback", False),
+    )
+    return policy, faults
 
 
 def _observability(args: argparse.Namespace) -> "tuple[object, MetricsRegistry | None]":
@@ -288,6 +397,22 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--workers", type=int, default=None, help="override worker count")
     experiment.add_argument("--seed", type=int, default=42, help="population seed")
     experiment.add_argument("--out", default=None, help="optional JSON output path")
+    experiment.add_argument(
+        "--checkpoint-dir",
+        dest="checkpoint_dir",
+        default=None,
+        metavar="DIR",
+        help="persist each completed (function, algorithm) cell to "
+        "DIR/checkpoint.json (atomic, schema-versioned)",
+    )
+    experiment.add_argument(
+        "--resume",
+        dest="resume",
+        default=None,
+        metavar="DIR",
+        help="resume from a checkpoint directory, skipping completed cells "
+        "(implies --checkpoint-dir DIR); bit-identical to an uninterrupted run",
+    )
     _add_engine_arguments(experiment, alias_backend=True)
     return parser
 
@@ -301,6 +426,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_audit(args: argparse.Namespace) -> int:
     tracer, metrics = _observability(args)
+    retry_policy, fault_config = _resilience(args)
     with tracer.span(
         "cli.audit", function=args.function, algorithm=args.algorithm
     ) as root:
@@ -320,6 +446,8 @@ def _command_audit(args: argparse.Namespace) -> int:
             workers=args.engine_workers,
             tracer=tracer,
             metrics=metrics,
+            retry_policy=retry_policy,
+            fault_config=fault_config,
         )
         with tracer.span("cli.render"):
             rendered = report.render(histograms=args.histograms)
@@ -342,6 +470,7 @@ def _resolve_function(name: str):
 
 def _command_compare(args: argparse.Namespace) -> int:
     tracer, metrics = _observability(args)
+    retry_policy, fault_config = _resilience(args)
     population = load_population(args.population)
     function = _resolve_function(args.function)
     if function is None:
@@ -363,6 +492,8 @@ def _command_compare(args: argparse.Namespace) -> int:
                 workers=args.engine_workers,
                 tracer=tracer,
                 metrics=metrics,
+                retry_policy=retry_policy,
+                fault_config=fault_config,
             )
             attributes = ",".join(result.partitioning.attributes_used()) or "(none)"
             print(
@@ -462,6 +593,7 @@ def _command_workload(args: argparse.Namespace) -> int:
         print(f"malformed task spec: {exc!r}", file=sys.stderr)
         return 2
     tracer, metrics = _observability(args)
+    retry_policy, fault_config = _resilience(args)
     with tracer.span("cli.workload", n_tasks=len(tasks)):
         summary = audit_workload(
             population,
@@ -472,6 +604,8 @@ def _command_workload(args: argparse.Namespace) -> int:
             workers=args.engine_workers,
             tracer=tracer,
             metrics=metrics,
+            retry_policy=retry_policy,
+            fault_config=fault_config,
         )
     print(summary.render())
     _finish_trace(args, tracer, metrics)
@@ -483,6 +617,9 @@ def _command_workload(args: argparse.Namespace) -> int:
 
 def _command_experiment(args: argparse.Namespace) -> int:
     tracer, metrics = _observability(args)
+    retry_policy, fault_config = _resilience(args)
+    checkpoint_dir = args.resume or args.checkpoint_dir
+    resume = args.resume is not None
     if args.name == "figure1":
         scenario = figure1_scenario()
         result = run_scenario(
@@ -493,6 +630,10 @@ def _command_experiment(args: argparse.Namespace) -> int:
             workers=args.engine_workers,
             tracer=tracer,
             metrics=metrics,
+            retry_policy=retry_policy,
+            fault_config=fault_config,
+            checkpoint=checkpoint_dir,
+            resume=resume,
         )
         print(format_table(result, "unfairness", title="Figure 1 toy — average EMD"))
         reference = None
@@ -513,6 +654,10 @@ def _command_experiment(args: argparse.Namespace) -> int:
             workers=args.engine_workers,
             tracer=tracer,
             metrics=metrics,
+            retry_policy=retry_policy,
+            fault_config=fault_config,
+            checkpoint=checkpoint_dir,
+            resume=resume,
         )
         print(
             format_comparison_table(

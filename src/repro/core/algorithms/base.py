@@ -137,6 +137,8 @@ class PartitioningAlgorithm(abc.ABC):
         engine_mode: str = "incremental",
         tracer: "Tracer | NullTracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        retry_policy=None,
+        fault_config=None,
     ) -> AlgorithmResult:
         """Search for the most unfair partitioning of ``population`` under ``scores``.
 
@@ -169,6 +171,9 @@ class PartitioningAlgorithm(abc.ABC):
             :mod:`repro.obs`).  With a real tracer the whole run is wrapped
             in an ``algorithm.<name>`` span; the default no-op tracer makes
             the instrumentation free.
+        retry_policy, fault_config:
+            Fault tolerance and fault injection for the backend (see
+            :mod:`repro.engine.resilience` / :mod:`repro.engine.faults`).
         """
         if population.size == 0:
             raise PartitioningError("cannot partition an empty population")
@@ -183,6 +188,8 @@ class PartitioningAlgorithm(abc.ABC):
             mode=engine_mode,
             tracer=tracer,
             metrics=metrics,
+            retry_policy=retry_policy,
+            fault_config=fault_config,
         )
         generator = (
             np.random.default_rng(rng)

@@ -151,6 +151,8 @@ class FairnessAuditor:
         workers: "int | None" = None,
         tracer=None,
         metrics=None,
+        retry_policy=None,
+        fault_config=None,
         **algorithm_options: object,
     ) -> AuditReport:
         """Find the most unfair partitioning under one scoring function.
@@ -160,7 +162,9 @@ class FairnessAuditor:
         precomputed score array.  ``backend`` / ``workers`` select the
         evaluation engine's execution backend (see
         :class:`~repro.engine.engine.EvaluationEngine`); ``tracer`` /
-        ``metrics`` attach observability hooks (see :mod:`repro.obs`).
+        ``metrics`` attach observability hooks (see :mod:`repro.obs`);
+        ``retry_policy`` / ``fault_config`` attach fault tolerance and chaos
+        injection (see ``docs/robustness.md``).
         """
         from repro.obs.tracer import NULL_TRACER
 
@@ -178,6 +182,8 @@ class FairnessAuditor:
                 workers=workers,
                 tracer=tracer,
                 metrics=metrics,
+                retry_policy=retry_policy,
+                fault_config=fault_config,
             )
         with run_tracer.span("audit.report", n_groups=result.partitioning.k):
             groups = tuple(
@@ -204,6 +210,8 @@ class FairnessAuditor:
         workers: "int | None" = None,
         tracer=None,
         metrics=None,
+        retry_policy=None,
+        fault_config=None,
         **algorithm_options: object,
     ) -> AuditReport:
         """Audit a task's ranking over the pool its requirements admit.
@@ -226,6 +234,8 @@ class FairnessAuditor:
             workers=workers,
             tracer=tracer,
             metrics=metrics,
+            retry_policy=retry_policy,
+            fault_config=fault_config,
             **algorithm_options,
         )
 

@@ -3,7 +3,9 @@
 See :mod:`repro.engine.engine` for the entry point
 (:class:`EvaluationEngine`), :mod:`repro.engine.kernels` for the vectorized
 distance kernels, :mod:`repro.engine.incremental` for O(k·Δ) frontier
-updates, and :mod:`repro.engine.backends` for the execution backends.
+updates, :mod:`repro.engine.backends` for the execution backends,
+:mod:`repro.engine.resilience` for retry/timeout/fallback hardening, and
+:mod:`repro.engine.faults` for deterministic fault injection.
 """
 
 from repro.engine.backends import (
@@ -15,6 +17,8 @@ from repro.engine.backends import (
 )
 from repro.engine.context import SearchContext
 from repro.engine.engine import EngineStats, EvaluationEngine
+from repro.engine.faults import FaultConfig, FaultInjectionBackend
+from repro.engine.resilience import RetryingBackend, RetryPolicy, validate_batch
 from repro.engine.incremental import FullRecomputeObjective, IncrementalObjective
 from repro.engine.kernels import (
     average_from_matrix,
@@ -33,6 +37,11 @@ __all__ = [
     "ProcessPoolBackend",
     "available_backends",
     "get_backend",
+    "RetryPolicy",
+    "RetryingBackend",
+    "validate_batch",
+    "FaultConfig",
+    "FaultInjectionBackend",
     "IncrementalObjective",
     "FullRecomputeObjective",
     "cross_matrix",

@@ -13,12 +13,27 @@ expansions).  :class:`EvaluationEngine` routes those batches through an
   :func:`~repro.engine.kernels.full_objective` code path as the sequential
   engine, which keeps results bit-identical across backends.
 
+The process pool is **fault tolerant** (PR 3): each chunk is dispatched
+with an optional deadline and retried under the backend's
+:class:`~repro.engine.resilience.RetryPolicy` — stragglers are re-dispatched
+on timeout, crashed chunks are retried with exponential backoff + jitter, a
+broken pool is rebuilt, and when the pool is irrecoverable the batch (and,
+for repeated pool breakage, the whole backend) degrades to the in-process
+sequential path, which computes the *same values* through the same kernels.
+Exhausting the budget with fallback disabled raises a typed
+:class:`~repro.exceptions.BackendExhaustedError`.  A seeded
+:class:`~repro.engine.faults.FaultConfig` can be attached to inject crashes,
+hangs and corrupt returns inside the workers (chaos mode / test harness).
+
 Backends are selected from the CLI via ``--engine-backend
 {sequential,process}`` and ``--engine-workers N`` and are recorded in
 :class:`AlgorithmResult` so the benchmark harness can attribute runtimes.
 With tracing enabled on the engine, each process-pool batch records
 ``backend.process.dispatch`` / ``backend.process.collect`` spans and the
-matching ``backend.*_seconds`` timing histograms.
+matching ``backend.*_seconds`` timing histograms; fault-tolerance events
+show up as ``backend.retry`` / ``backend.fallback`` spans and the
+``engine.retries`` / ``engine.timeouts`` / ``engine.pool_rebuilds`` /
+``engine.backend_fallbacks`` counters (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -26,16 +41,26 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import random
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.exceptions import PartitioningError
+from repro.exceptions import (
+    BackendExhaustedError,
+    BackendTimeoutError,
+    CorruptResultError,
+    PartitioningError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.partition import Partition
     from repro.engine.engine import EvaluationEngine
+    from repro.engine.faults import FaultConfig
+    from repro.engine.resilience import RetryPolicy
 
 __all__ = [
     "ExecutionBackend",
@@ -98,17 +123,23 @@ def _init_worker(payload: dict) -> None:  # pragma: no cover - runs in workers
     _WORKER_STATE = payload
 
 
-def _score_chunk(
-    chunk: "list[list[np.ndarray]]",
-) -> list[float]:  # pragma: no cover - runs in workers
+def _score_member_arrays(
+    spec,
+    metric,
+    bin_idx: np.ndarray,
+    weighting: str,
+    member_arrays_chunk: "list[list[np.ndarray]]",
+) -> list[float]:
+    """Score one chunk of candidates from raw member-index arrays.
+
+    The single scoring routine shared by pool workers and the parent's
+    sequential-degradation path, so every execution route yields
+    bit-identical values.
+    """
     from repro.engine.kernels import full_objective
 
-    spec = _WORKER_STATE["spec"]
-    metric = _WORKER_STATE["metric"]
-    bin_idx = _WORKER_STATE["bin_idx"]
-    weighting = _WORKER_STATE["weighting"]
     values: list[float] = []
-    for member_arrays in chunk:
+    for member_arrays in member_arrays_chunk:
         if len(member_arrays) < 2:
             values.append(0.0)
             continue
@@ -128,6 +159,42 @@ def _score_chunk(
     return values
 
 
+def _score_chunk(
+    chunk: "list[list[np.ndarray]]",
+    task_key: "str | None" = None,
+) -> list[float]:  # pragma: no cover - runs in workers
+    faults = _WORKER_STATE.get("faults")
+    if faults is not None and task_key is not None:
+        faults.maybe_crash_or_hang(task_key)
+    values = _score_member_arrays(
+        _WORKER_STATE["spec"],
+        _WORKER_STATE["metric"],
+        _WORKER_STATE["bin_idx"],
+        _WORKER_STATE["weighting"],
+        chunk,
+    )
+    if (
+        faults is not None
+        and task_key is not None
+        and faults.roll("corrupt", task_key)
+    ):
+        values = faults.corrupt_values(values, task_key)
+    return values
+
+
+class _ChunkTask:
+    """Bookkeeping for one in-flight chunk: future, attempt, deadline."""
+
+    __slots__ = ("future", "attempt", "deadline")
+
+    def __init__(
+        self, future: Future, attempt: int, deadline: "float | None"
+    ) -> None:
+        self.future = future
+        self.attempt = attempt
+        self.deadline = deadline
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Fan candidate evaluation out across a pool of worker processes.
 
@@ -138,18 +205,55 @@ class ProcessPoolBackend(ExecutionBackend):
     chunk_size:
         Candidates per task; default splits each batch into roughly
         ``4 * workers`` tasks so stragglers rebalance.
+    policy:
+        :class:`~repro.engine.resilience.RetryPolicy` governing per-chunk
+        timeouts, retry budget, backoff and sequential degradation (default:
+        ``RetryPolicy()`` — 3 retries, no timeout, fallback enabled).
+    faults:
+        Optional :class:`~repro.engine.faults.FaultConfig` shipped to the
+        workers; injects seeded crashes/hangs/corruption per chunk attempt.
+        Hang injection requires ``policy.timeout_seconds``.
     """
 
     name = "process"
 
-    def __init__(self, workers: "int | None" = None, chunk_size: "int | None" = None) -> None:
+    def __init__(
+        self,
+        workers: "int | None" = None,
+        chunk_size: "int | None" = None,
+        policy: "RetryPolicy | None" = None,
+        faults: "FaultConfig | None" = None,
+    ) -> None:
+        from repro.engine.resilience import RetryPolicy
+
         resolved = int(workers) if workers else (os.cpu_count() or 1)
         if resolved < 1:
             raise PartitioningError(f"workers must be >= 1, got {resolved}")
         self.workers = resolved
         self.chunk_size = chunk_size
+        self.policy = policy or RetryPolicy()
+        self.faults = faults
+        if (
+            faults is not None
+            and faults.hang_rate > 0
+            and not self.policy.timeout_seconds
+        ):
+            raise PartitioningError(
+                "hang injection on the process backend requires a per-chunk "
+                "timeout (RetryPolicy.timeout_seconds / --engine-timeout)"
+            )
         self._pool: "ProcessPoolExecutor | None" = None
         self._engine_id: "int | None" = None
+        self._batch_counter = 0
+        self._rebuilds = 0
+        self._degraded = False
+        # Jitter source for backoff sleeps; seeded so reruns pace identically.
+        self._rng = random.Random(0x5EED)
+
+    @property
+    def degraded(self) -> bool:
+        """True once the pool was irrecoverable and the backend went sequential."""
+        return self._degraded
 
     def _ensure_pool(self, engine: "EvaluationEngine") -> ProcessPoolExecutor:
         if self._pool is not None and self._engine_id != id(engine):
@@ -161,11 +265,13 @@ class ProcessPoolBackend(ExecutionBackend):
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 context = multiprocessing.get_context()
+            payload = dict(engine.worker_payload())
+            payload["faults"] = self.faults
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=context,
                 initializer=_init_worker,
-                initargs=(engine.worker_payload(),),
+                initargs=(payload,),
             )
             self._engine_id = id(engine)
         return self._pool
@@ -178,11 +284,31 @@ class ProcessPoolBackend(ExecutionBackend):
         if not candidates:
             return []
         metrics = engine.metrics
+        tasks = [[p.indices for p in candidate] for candidate in candidates]
+        batch = self._batch_counter
+        self._batch_counter += 1
+        if self._degraded:
+            values = self._score_locally(engine, tasks)
+        else:
+            values = self._score_on_pool(engine, tasks, batch)
+        metrics.inc("backend.batches")
+        metrics.inc("backend.candidates", len(candidates))
+        engine.record_external_evaluations(candidates)
+        return values
+
+    # -------------------------------------------------------- pool execution
+
+    def _score_on_pool(
+        self,
+        engine: "EvaluationEngine",
+        tasks: "list[list[np.ndarray]]",
+        batch: int,
+    ) -> list[float]:
+        metrics = engine.metrics
         with engine.tracer.span(
-            "backend.process.dispatch", n_candidates=len(candidates)
+            "backend.process.dispatch", n_candidates=len(tasks)
         ) as dispatch_span, metrics.time("backend.dispatch_seconds"):
             pool = self._ensure_pool(engine)
-            tasks = [[p.indices for p in candidate] for candidate in candidates]
             chunk_size = self.chunk_size or max(
                 1, len(tasks) // (4 * self.workers) or 1
             )
@@ -190,16 +316,211 @@ class ProcessPoolBackend(ExecutionBackend):
                 tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)
             ]
             dispatch_span.set(n_chunks=len(chunks), chunk_size=chunk_size)
-        values: list[float] = []
+        try:
+            with engine.tracer.span(
+                "backend.process.collect", n_chunks=len(chunks)
+            ), metrics.time("backend.collect_seconds"):
+                per_chunk = self._collect(engine, pool, chunks, batch)
+        except BackendExhaustedError as exc:
+            if not self.policy.fallback_sequential:
+                raise
+            metrics.inc("engine.backend_fallbacks")
+            if isinstance(exc.last_error, BrokenProcessPool):
+                # The pool could not be kept alive; stop paying rebuild
+                # costs and serve every later batch in-process.
+                self._degraded = True
+                self.close()
+            with engine.tracer.span(
+                "backend.fallback",
+                reason=type(exc.last_error).__name__,
+                n_candidates=len(tasks),
+                degraded=self._degraded,
+            ):
+                return self._score_locally(engine, tasks)
+        return [value for chunk_values in per_chunk for value in chunk_values]
+
+    def _collect(
+        self,
+        engine: "EvaluationEngine",
+        pool: ProcessPoolExecutor,
+        chunks: "list[list[list[np.ndarray]]]",
+        batch: int,
+    ) -> "list[list[float]]":
+        """Gather all chunks, retrying/re-dispatching under the policy."""
+        from repro.engine.resilience import validate_batch
+
+        policy, metrics = self.policy, engine.metrics
+        results: "dict[int, list[float]]" = {}
+        state: "dict[int, _ChunkTask]" = {}
+        for i in range(len(chunks)):
+            try:
+                state[i] = self._submit(pool, chunks, i, batch, 0)
+            except BrokenProcessPool as exc:
+                # A worker hard-crashed on an earlier batch; replace the
+                # pool (re-dispatching anything already submitted) first.
+                pool = self._rebuild_pool(engine, chunks, state, results, batch, exc)
+                state[i] = self._submit(pool, chunks, i, batch, 0)
+        while len(results) < len(chunks):
+            try:
+                current = {
+                    task.future: i
+                    for i, task in state.items()
+                    if i not in results
+                }
+                done, _ = wait(
+                    set(current),
+                    timeout=self._wait_timeout(state, results),
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    i = current[future]
+                    task = state[i]
+                    if task.future is not future:
+                        continue  # superseded straggler; result discarded
+                    try:
+                        values = validate_batch(future.result(), len(chunks[i]))
+                    except BrokenProcessPool:
+                        raise
+                    except CorruptResultError as exc:
+                        metrics.inc("engine.corrupt_results")
+                        pool = self._retry_chunk(engine, pool, chunks, state, i, batch, exc)
+                    except Exception as exc:  # worker-raised, incl. crashes
+                        metrics.inc("engine.worker_crashes")
+                        pool = self._retry_chunk(engine, pool, chunks, state, i, batch, exc)
+                    else:
+                        results[i] = values
+                if policy.timeout_seconds:
+                    now = time.monotonic()
+                    for i, task in list(state.items()):
+                        if i in results or task.future.done():
+                            continue
+                        if task.deadline is not None and now >= task.deadline:
+                            metrics.inc("engine.timeouts")
+                            metrics.inc("engine.straggler_redispatches")
+                            exc = BackendTimeoutError(
+                                f"chunk {i} of batch {batch} exceeded "
+                                f"{policy.timeout_seconds}s (attempt {task.attempt})"
+                            )
+                            pool = self._retry_chunk(
+                                engine, pool, chunks, state, i, batch, exc
+                            )
+            except BrokenProcessPool as exc:
+                pool = self._rebuild_pool(engine, chunks, state, results, batch, exc)
+        return [results[i] for i in range(len(chunks))]
+
+    def _submit(
+        self,
+        pool: ProcessPoolExecutor,
+        chunks: "list[list[list[np.ndarray]]]",
+        i: int,
+        batch: int,
+        attempt: int,
+    ) -> _ChunkTask:
+        # The task key seeds worker-side fault decisions: retries roll
+        # fresh dice, so injected faults are transient by construction.
+        key = f"{batch}-{i}-{attempt}"
+        future = pool.submit(_score_chunk, chunks[i], key)
+        deadline = (
+            time.monotonic() + self.policy.timeout_seconds
+            if self.policy.timeout_seconds
+            else None
+        )
+        return _ChunkTask(future, attempt, deadline)
+
+    def _retry_chunk(
+        self,
+        engine: "EvaluationEngine",
+        pool: ProcessPoolExecutor,
+        chunks: "list[list[list[np.ndarray]]]",
+        state: "dict[int, _ChunkTask]",
+        i: int,
+        batch: int,
+        exc: BaseException,
+    ) -> ProcessPoolExecutor:
+        """Re-dispatch one failed/straggling chunk, or give up typed."""
+        task = state[i]
+        if task.attempt >= self.policy.max_retries:
+            raise BackendExhaustedError(task.attempt + 1, exc)
+        engine.metrics.inc("engine.retries")
         with engine.tracer.span(
-            "backend.process.collect", n_chunks=len(chunks)
-        ), metrics.time("backend.collect_seconds"):
-            for result in pool.map(_score_chunk, chunks):
-                values.extend(result)
-        metrics.inc("backend.batches")
-        metrics.inc("backend.candidates", len(candidates))
-        engine.record_external_evaluations(candidates)
-        return values
+            "backend.retry",
+            chunk=i,
+            batch=batch,
+            attempt=task.attempt + 1,
+            error=type(exc).__name__,
+        ):
+            delay = self.policy.delay(task.attempt, self._rng)
+            if delay:
+                self.policy.sleep(delay)
+        state[i] = self._submit(pool, chunks, i, batch, task.attempt + 1)
+        return pool
+
+    def _rebuild_pool(
+        self,
+        engine: "EvaluationEngine",
+        chunks: "list[list[list[np.ndarray]]]",
+        state: "dict[int, _ChunkTask]",
+        results: "dict[int, list[float]]",
+        batch: int,
+        exc: BaseException,
+    ) -> ProcessPoolExecutor:
+        """Replace a broken pool and re-dispatch every unfinished chunk.
+
+        Each resubmission consumes one retry from its chunk's budget, so a
+        crash-looping pool still terminates in a
+        :class:`~repro.exceptions.BackendExhaustedError`.
+        """
+        metrics = engine.metrics
+        metrics.inc("engine.pool_rebuilds")
+        self._rebuilds += 1
+        with engine.tracer.span(
+            "backend.pool_rebuild", batch=batch, rebuilds=self._rebuilds
+        ):
+            self.close()
+            delay = self.policy.delay(self._rebuilds - 1, self._rng)
+            if delay:
+                self.policy.sleep(delay)
+            pool = self._ensure_pool(engine)
+        for i, task in list(state.items()):
+            if i in results:
+                continue
+            if task.attempt >= self.policy.max_retries:
+                raise BackendExhaustedError(task.attempt + 1, exc)
+            metrics.inc("engine.retries")
+            state[i] = self._submit(pool, chunks, i, batch, task.attempt + 1)
+        return pool
+
+    def _wait_timeout(
+        self,
+        state: "dict[int, _ChunkTask]",
+        results: "dict[int, list[float]]",
+    ) -> "float | None":
+        """How long ``wait`` may block: until the nearest chunk deadline."""
+        if not self.policy.timeout_seconds:
+            return None
+        deadlines = [
+            task.deadline
+            for i, task in state.items()
+            if i not in results and task.deadline is not None
+        ]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic()) + 1e-3
+
+    # ------------------------------------------------- sequential degradation
+
+    def _score_locally(
+        self, engine: "EvaluationEngine", tasks: "list[list[np.ndarray]]"
+    ) -> list[float]:
+        """Compute a batch in-process through the exact worker code path."""
+        payload = engine.worker_payload()
+        return _score_member_arrays(
+            payload["spec"],
+            payload["metric"],
+            payload["bin_idx"],
+            payload["weighting"],
+            tasks,
+        )
 
     def close(self) -> None:
         if self._pool is not None:
@@ -214,15 +535,40 @@ def available_backends() -> tuple[str, ...]:
 
 
 def get_backend(
-    backend: "str | ExecutionBackend | None", workers: "int | None" = None
+    backend: "str | ExecutionBackend | None",
+    workers: "int | None" = None,
+    policy: "RetryPolicy | None" = None,
+    faults: "FaultConfig | None" = None,
 ) -> ExecutionBackend:
-    """Resolve a backend name (or pass an instance through)."""
+    """Resolve a backend name (or pass an instance through).
+
+    ``policy`` / ``faults`` attach fault tolerance and fault injection:
+
+    * ``process`` handles both natively (per-chunk retries, worker-side
+      injection);
+    * ``sequential`` is wrapped in a
+      :class:`~repro.engine.faults.FaultInjectionBackend` (when faults are
+      enabled) inside a :class:`~repro.engine.resilience.RetryingBackend`
+      (when a policy or faults are given), so chaos mode exercises the same
+      retry machinery on both backends.
+
+    An already-constructed :class:`ExecutionBackend` instance passes through
+    unchanged (it owns its own policy).
+    """
     if isinstance(backend, ExecutionBackend):
         return backend
     if backend is None or backend == "sequential":
-        return SequentialBackend()
+        from repro.engine.faults import FaultInjectionBackend
+        from repro.engine.resilience import RetryingBackend
+
+        resolved: ExecutionBackend = SequentialBackend()
+        if faults is not None and faults.enabled:
+            resolved = FaultInjectionBackend(resolved, faults)
+        if policy is not None or (faults is not None and faults.enabled):
+            resolved = RetryingBackend(resolved, policy)
+        return resolved
     if backend == "process":
-        return ProcessPoolBackend(workers)
+        return ProcessPoolBackend(workers, policy=policy, faults=faults)
     raise PartitioningError(
         f"unknown backend {backend!r}; available: {available_backends()}"
     )

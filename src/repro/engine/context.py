@@ -51,3 +51,11 @@ class SearchContext:
     def metrics(self):
         """The engine's metrics registry."""
         return self.engine.metrics
+
+    @property
+    def backend_degraded(self) -> bool:
+        """True when the engine's backend fell back to sequential execution
+        after its worker pool became irrecoverable (see
+        :mod:`repro.engine.resilience`); searches can consult this to shrink
+        batch sizes once parallelism is gone."""
+        return bool(getattr(self.engine.backend, "degraded", False))

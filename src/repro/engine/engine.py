@@ -104,6 +104,14 @@ class EvaluationEngine:
         queries through :meth:`score_many` run on it.
     workers:
         Worker count for the process backend (ignored by sequential).
+    retry_policy:
+        Optional :class:`~repro.engine.resilience.RetryPolicy` attached to
+        the backend (timeouts, bounded retry with backoff, sequential
+        degradation); ignored when ``backend`` is already an instance.
+    fault_config:
+        Optional :class:`~repro.engine.faults.FaultConfig` injecting seeded
+        crashes/hangs/corruption into the backend (chaos mode / tests);
+        ignored when ``backend`` is already an instance.
     mode:
         ``"incremental"`` (default: cache + fast paths + O(k·Δ) frontier
         updates) or ``"full"`` (dense recomputation every query — the
@@ -132,6 +140,8 @@ class EvaluationEngine:
         mode: str = "incremental",
         tracer: "Tracer | NullTracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        retry_policy=None,
+        fault_config=None,
     ) -> None:
         self.population = population
         self.spec = hist_spec or HistogramSpec()
@@ -153,7 +163,9 @@ class EvaluationEngine:
             )
         self.scores = scores
         self._bin_idx = self.spec.bin_indices(scores)
-        self.backend = get_backend(backend, workers)
+        self.backend = get_backend(
+            backend, workers, policy=retry_policy, faults=fault_config
+        )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Hot-path guard: span creation (and timing observation) is skipped
         #: entirely unless a real tracer was passed in.

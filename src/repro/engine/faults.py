@@ -1,0 +1,207 @@
+"""Deterministic fault injection for execution backends (chaos mode).
+
+The robustness layer is only trustworthy if its failure paths are
+*exercised*, so this module makes failure reproducible: a
+:class:`FaultConfig` decides — from a seed and a stable per-dispatch key,
+never from global randomness — whether a given dispatch crashes, hangs, or
+returns corrupted values.  The same seed therefore produces the same fault
+schedule on every run, which is what lets the test suite assert that a run
+surviving injected faults is **bit-identical** to an undisturbed one.
+
+Two injection sites share the config:
+
+* :class:`FaultInjectionBackend` wraps any backend and injects at the
+  batch level (the substrate for the generic
+  :class:`~repro.engine.resilience.RetryingBackend` tests);
+* the :class:`~repro.engine.backends.ProcessPoolBackend` ships the config
+  to its workers and injects per *chunk attempt*, so crashes surface as
+  real cross-process failures (including hard ``os._exit`` kills that
+  break the pool) and hangs as real stragglers.
+
+Corruption is always *detectable* (a non-finite value or a truncated
+chunk) so the validation in the retry layer catches and repairs it; see
+``validate_batch`` in :mod:`repro.engine.resilience`.
+
+User-facing: ``--inject-faults crash=0.3,hang=0.1,corrupt=0.05,seed=1``
+turns any CLI run into a chaos drill for validating a deployment.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.engine.backends import ExecutionBackend
+from repro.exceptions import PartitioningError, WorkerCrashError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.partition import Partition
+    from repro.engine.engine import EvaluationEngine
+
+__all__ = ["FaultConfig", "FaultInjectionBackend"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Seeded fault schedule: what fails, how often, and how.
+
+    Attributes
+    ----------
+    crash_rate / hang_rate / corrupt_rate:
+        Per-dispatch probabilities in [0, 1] of raising a
+        :class:`~repro.exceptions.WorkerCrashError`, sleeping
+        ``hang_seconds`` (to trip the timeout machinery), or damaging the
+        returned values.
+    seed:
+        Together with the dispatch key, fully determines every decision.
+    hang_seconds:
+        How long an injected hang sleeps; keep it above the retry policy's
+        ``timeout_seconds`` so hangs actually look hung.
+    crash_hard:
+        When set, crashes in process-pool workers call ``os._exit`` —
+        killing the worker and breaking the pool — instead of raising.
+        Exercises the pool-rebuild path rather than per-chunk retry.
+    """
+
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    seed: int = 0
+    hang_seconds: float = 30.0
+    crash_hard: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "hang_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise PartitioningError(f"{name} must be in [0, 1], got {rate}")
+        if self.hang_seconds <= 0:
+            raise PartitioningError(
+                f"hang_seconds must be positive, got {self.hang_seconds}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can fire."""
+        return (self.crash_rate + self.hang_rate + self.corrupt_rate) > 0
+
+    # ------------------------------------------------------------- decisions
+
+    def roll(self, kind: str, key: str) -> bool:
+        """Deterministic Bernoulli draw for one (fault kind, dispatch key).
+
+        Uses CRC32 of ``seed:kind:key`` mapped to [0, 1) — stable across
+        processes and Python hash randomisation, which ``hash()`` is not.
+        """
+        rate = getattr(self, f"{kind}_rate")
+        if rate <= 0.0:
+            return False
+        token = f"{self.seed}:{kind}:{key}".encode()
+        return (zlib.crc32(token) / 0x1_0000_0000) < rate
+
+    def maybe_crash_or_hang(self, key: str) -> None:
+        """Apply crash/hang decisions for one dispatch (worker side).
+
+        Order matters and is fixed: hang first (the dispatch becomes a
+        straggler), then crash.  A hard crash kills the whole process.
+        """
+        if self.roll("hang", key):
+            time.sleep(self.hang_seconds)
+        if self.roll("crash", key):
+            if self.crash_hard:  # pragma: no cover - kills the worker
+                os._exit(3)
+            raise WorkerCrashError(f"injected crash at {key!r}")
+
+    def corrupt_values(self, values: "Sequence[float]", key: str) -> list[float]:
+        """Damage a result list detectably (NaN poison or truncation)."""
+        out = list(values)
+        if zlib.crc32(f"{self.seed}:corrupt-mode:{key}".encode()) & 1 or not out:
+            return out[:-1]
+        out[len(out) // 2] = float("nan")
+        return out
+
+    # --------------------------------------------------------------- parsing
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultConfig":
+        """Build a config from a CLI spec like ``crash=0.3,hang=0.1,seed=2``.
+
+        Keys: ``crash``, ``hang``, ``corrupt`` (rates), ``seed``,
+        ``hang-seconds`` (or ``hang_seconds``), ``hard`` (0/1).  Raises
+        :class:`ValueError` on unknown keys or malformed values.
+        """
+        config = cls()
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"fault spec entry {part!r} is not key=value")
+            key, _, raw = part.partition("=")
+            key = key.strip().lower().replace("-", "_")
+            try:
+                if key in ("crash", "hang", "corrupt"):
+                    config = replace(config, **{f"{key}_rate": float(raw)})
+                elif key == "seed":
+                    config = replace(config, seed=int(raw))
+                elif key == "hang_seconds":
+                    config = replace(config, hang_seconds=float(raw))
+                elif key == "hard":
+                    config = replace(config, crash_hard=bool(int(raw)))
+                else:
+                    raise ValueError(f"unknown fault spec key {key!r}")
+            except PartitioningError as exc:
+                raise ValueError(str(exc)) from None
+        return config
+
+
+class FaultInjectionBackend(ExecutionBackend):
+    """Wrap a backend and inject faults at the batch boundary.
+
+    Every ``score_partitionings`` call consumes one dispatch key
+    (``call-<n>``), so a retried batch rolls fresh dice — injected faults
+    are transient, and a sufficiently patient retry policy always recovers
+    the true values.  An injected hang sleeps ``hang_seconds`` and then
+    raises :class:`~repro.exceptions.WorkerCrashError` (a hung dispatch
+    that is eventually reaped), so it is observable both with and without
+    a timeout configured.
+
+    Fired faults are counted in ``engine.faults_injected``.
+    """
+
+    def __init__(self, inner: ExecutionBackend, config: FaultConfig) -> None:
+        self.inner = inner
+        self.config = config
+        self.name = inner.name
+        self.workers = inner.workers
+        self._calls = 0
+
+    def score_partitionings(
+        self,
+        engine: "EvaluationEngine",
+        candidates: Sequence[Sequence["Partition"]],
+    ) -> list[float]:
+        key = f"call-{self._calls}"
+        self._calls += 1
+        config, metrics = self.config, engine.metrics
+        if config.roll("hang", key):
+            metrics.inc("engine.faults_injected")
+            time.sleep(config.hang_seconds)
+            raise WorkerCrashError(f"injected hang at {key!r} reaped")
+        if config.roll("crash", key):
+            metrics.inc("engine.faults_injected")
+            raise WorkerCrashError(f"injected crash at {key!r}")
+        values = self.inner.score_partitionings(engine, candidates)
+        if config.roll("corrupt", key):
+            metrics.inc("engine.faults_injected")
+            return config.corrupt_values(values, key)
+        return values
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:
+        return f"FaultInjectionBackend({self.inner!r}, {self.config})"

@@ -1,0 +1,248 @@
+"""Fault-tolerant execution: retry policies and the retrying backend wrapper.
+
+A multi-hour table run dies with its slowest worker unless something between
+the engine and the backend *tolerates* failure.  This module provides the
+two generic pieces:
+
+* :class:`RetryPolicy` — one dataclass holding every knob: retry budget,
+  per-batch timeout, exponential backoff with jitter, and whether an
+  exhausted backend degrades to the sequential path or raises a typed
+  :class:`~repro.exceptions.BackendExhaustedError`.  Surfaced on the CLI as
+  ``--engine-retries`` / ``--engine-timeout`` / ``--engine-retry-backoff`` /
+  ``--engine-no-fallback``.
+* :class:`RetryingBackend` — wraps *any*
+  :class:`~repro.engine.backends.ExecutionBackend` and retries whole-batch
+  evaluations on transient failures (worker crashes, timeouts, corrupt
+  returns), validating every batch it accepts.  Because retries re-run the
+  same kernels over the same inputs, a run that survives injected faults is
+  bit-identical to an undisturbed one.
+
+The hardened :class:`~repro.engine.backends.ProcessPoolBackend` implements
+the same policy natively at *chunk* granularity (straggler re-dispatch, pool
+rebuilds); this wrapper is the backend-agnostic fallback and the natural
+seam for the fault-injection harness (:mod:`repro.engine.faults`).
+
+Every retry/timeout/fallback event is counted in the engine's
+:class:`~repro.obs.metrics.MetricsRegistry` (``engine.retries``,
+``engine.timeouts``, ``engine.worker_crashes``, ``engine.corrupt_results``,
+``engine.backend_fallbacks``) and recorded as a ``backend.retry`` trace
+span, so chaos runs are observable with the PR-2 tooling.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.engine.backends import ExecutionBackend, SequentialBackend
+from repro.exceptions import (
+    BackendExhaustedError,
+    BackendTimeoutError,
+    CorruptResultError,
+    PartitioningError,
+    WorkerCrashError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.partition import Partition
+    from repro.engine.engine import EvaluationEngine
+
+__all__ = ["RetryPolicy", "RetryingBackend", "TRANSIENT_ERRORS", "validate_batch"]
+
+#: Failure types the retry machinery treats as transient (retryable).
+TRANSIENT_ERRORS = (WorkerCrashError, BackendTimeoutError, CorruptResultError)
+
+
+@dataclass
+class RetryPolicy:
+    """Every fault-tolerance knob of a backend, in one place.
+
+    Attributes
+    ----------
+    max_retries:
+        Re-attempts after the first failure (0 = fail fast).  The total
+        attempt count is ``max_retries + 1``.
+    timeout_seconds:
+        Per-dispatch deadline.  ``None`` (default) disables timeouts; the
+        process backend requires one when hang injection is enabled.
+    backoff_seconds / backoff_multiplier / jitter:
+        Delay before retry ``n`` is ``backoff_seconds * multiplier**n``
+        scaled by ``1 + jitter * u`` with ``u ~ U[0, 1)``, capping thundering
+        re-dispatch herds without synchronising them.
+    fallback_sequential:
+        When the budget is exhausted, degrade to the in-process sequential
+        path (results stay bit-identical; only throughput is lost) instead
+        of raising :class:`~repro.exceptions.BackendExhaustedError`.
+    sleep:
+        Injectable sleep for tests (defaults to :func:`time.sleep`).
+    """
+
+    max_retries: int = 3
+    timeout_seconds: "float | None" = None
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.25
+    fallback_sequential: bool = True
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise PartitioningError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.timeout_seconds is not None and not (
+            self.timeout_seconds > 0 and math.isfinite(self.timeout_seconds)
+        ):
+            raise PartitioningError(
+                f"timeout_seconds must be positive and finite, got {self.timeout_seconds}"
+            )
+        if self.backoff_seconds < 0 or self.backoff_multiplier < 1:
+            raise PartitioningError(
+                "backoff_seconds must be >= 0 and backoff_multiplier >= 1, got "
+                f"{self.backoff_seconds}/{self.backoff_multiplier}"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise PartitioningError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: "random.Random | None" = None) -> float:
+        """Backoff before re-attempt ``attempt`` (0-based), jittered."""
+        delay = self.backoff_seconds * self.backoff_multiplier**attempt
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+def validate_batch(values: "Sequence[float]", expected: int) -> list[float]:
+    """Check one batch/chunk result for shape and finiteness.
+
+    Raises :class:`~repro.exceptions.CorruptResultError` on a length
+    mismatch or any non-finite value; returns the values as a list
+    otherwise.  This is the corruption detector the retry layers share —
+    objective values are finite non-negative floats by construction, so
+    anything else is a damaged return.
+    """
+    if values is None or len(values) != expected:
+        raise CorruptResultError(
+            f"backend returned {0 if values is None else len(values)} values "
+            f"for {expected} candidates"
+        )
+    out = []
+    for value in values:
+        value = float(value)
+        if not math.isfinite(value):
+            raise CorruptResultError(f"backend returned non-finite value {value!r}")
+        out.append(value)
+    return out
+
+
+class RetryingBackend(ExecutionBackend):
+    """Bounded-retry wrapper around any execution backend.
+
+    Each ``score_partitionings`` call is attempted up to
+    ``policy.max_retries + 1`` times.  A configured ``timeout_seconds`` runs
+    the inner call on a daemon thread and abandons it at the deadline
+    (counted in ``engine.timeouts``); crashes and corrupt results are
+    retried after a jittered exponential backoff.  On exhaustion the batch
+    either degrades to a fresh :class:`SequentialBackend` (bit-identical
+    values, ``engine.backend_fallbacks``) or raises
+    :class:`~repro.exceptions.BackendExhaustedError`.
+
+    The wrapper keeps the inner backend's ``name``/``workers`` so recorded
+    results are indistinguishable from an unwrapped run.
+    """
+
+    def __init__(
+        self, inner: ExecutionBackend, policy: "RetryPolicy | None" = None
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.name = inner.name
+        self.workers = inner.workers
+        # Jitter source; seeded so reruns sleep identically (never affects
+        # computed values, only pacing).
+        self._rng = random.Random(0x5EED)
+
+    def score_partitionings(
+        self,
+        engine: "EvaluationEngine",
+        candidates: Sequence[Sequence["Partition"]],
+    ) -> list[float]:
+        candidates = list(candidates)
+        if not candidates:
+            return []
+        policy, metrics = self.policy, engine.metrics
+        last_error: "BaseException | None" = None
+        for attempt in range(policy.max_retries + 1):
+            if attempt:
+                metrics.inc("engine.retries")
+                with engine.tracer.span(
+                    "backend.retry",
+                    attempt=attempt,
+                    error=type(last_error).__name__,
+                    backend=self.inner.name,
+                ):
+                    policy.sleep(policy.delay(attempt - 1, self._rng))
+            try:
+                values = self._dispatch(engine, candidates)
+                return validate_batch(values, len(candidates))
+            except TRANSIENT_ERRORS as exc:
+                last_error = exc
+                if isinstance(exc, BackendTimeoutError):
+                    metrics.inc("engine.timeouts")
+                elif isinstance(exc, CorruptResultError):
+                    metrics.inc("engine.corrupt_results")
+                else:
+                    metrics.inc("engine.worker_crashes")
+        if policy.fallback_sequential:
+            metrics.inc("engine.backend_fallbacks")
+            with engine.tracer.span(
+                "backend.fallback",
+                reason=type(last_error).__name__,
+                n_candidates=len(candidates),
+            ):
+                return SequentialBackend().score_partitionings(engine, candidates)
+        raise BackendExhaustedError(policy.max_retries + 1, last_error)
+
+    def _dispatch(
+        self,
+        engine: "EvaluationEngine",
+        candidates: "list[Sequence[Partition]]",
+    ) -> "Sequence[float]":
+        """One attempt, with the policy's deadline applied if configured.
+
+        The timed path runs the inner call on a daemon thread and abandons
+        it when the deadline passes — the hung call keeps its thread but can
+        no longer affect the run (its result is discarded).
+        """
+        timeout = self.policy.timeout_seconds
+        if not timeout:
+            return self.inner.score_partitionings(engine, candidates)
+        box: "list[tuple[str, object]]" = []
+
+        def target() -> None:
+            try:
+                box.append(("ok", self.inner.score_partitionings(engine, candidates)))
+            except BaseException as exc:  # noqa: BLE001 - ferried to caller
+                box.append(("error", exc))
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        thread.join(timeout)
+        if thread.is_alive() or not box:
+            raise BackendTimeoutError(
+                f"batch of {len(candidates)} candidates exceeded {timeout}s"
+            )
+        kind, payload = box[0]
+        if kind == "error":
+            raise payload  # type: ignore[misc]
+        return payload  # type: ignore[return-value]
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:
+        return f"RetryingBackend({self.inner!r}, max_retries={self.policy.max_retries})"

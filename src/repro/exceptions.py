@@ -33,6 +33,57 @@ class MetricError(ReproError):
     """A histogram distance was asked to compare incompatible histograms."""
 
 
+class BackendError(ReproError):
+    """An execution backend failed to evaluate a batch of candidates."""
+
+
+class WorkerCrashError(BackendError):
+    """A worker process (or injected fault) died while evaluating a chunk.
+
+    Raised inside worker processes, it pickles across the process boundary
+    and surfaces on the parent's future; the retry machinery treats it as
+    transient.
+    """
+
+
+class BackendTimeoutError(BackendError):
+    """A batch (or chunk) exceeded the configured per-dispatch timeout."""
+
+
+class CorruptResultError(BackendError):
+    """A backend returned a malformed batch (wrong length, non-finite values).
+
+    Detected by result validation in the retry layer; treated as transient
+    because a re-execution through the same kernels yields the true values.
+    """
+
+
+class BackendExhaustedError(BackendError):
+    """The retry budget ran out without a successful evaluation.
+
+    Carries ``attempts`` (total tries, including the first) and
+    ``last_error`` (the failure that ended the run) so callers and tests can
+    distinguish timeout storms from crash loops.
+    """
+
+    def __init__(
+        self,
+        attempts: int,
+        last_error: "BaseException | None" = None,
+        message: "str | None" = None,
+    ) -> None:
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            message
+            or f"backend failed after {attempts} attempt(s); last error: {last_error!r}"
+        )
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or from an incompatible run."""
+
+
 class BudgetExceededError(ReproError):
     """An exhaustive search exceeded its configured evaluation budget.
 

@@ -56,6 +56,12 @@ def repair_scores(
         )
     if not 0.0 <= amount <= 1.0:
         raise PartitioningError(f"repair amount must be in [0, 1], got {amount}")
+    if not np.isfinite(scores).all():
+        # A NaN would silently poison np.sort/np.quantile and leak into
+        # every repaired group; fail loudly at the boundary instead.
+        raise PartitioningError("scores contain non-finite values; cannot repair")
+    if amount == 0.0:
+        return scores.copy()
 
     pooled = np.sort(scores)
     repaired = scores.copy()
@@ -75,7 +81,12 @@ def repair_scores(
         ranks = (rank_sums / tie_counts)[inverse]
         quantiles = (ranks + 0.5) / n
         target = np.quantile(pooled, quantiles, method="linear")
-        repaired[partition.indices] = (1.0 - amount) * group + amount * target
+        if amount == 1.0:
+            # Exact assignment, not 0.0*group + 1.0*target: keeps full
+            # repair free of -0.0/rounding artefacts.
+            repaired[partition.indices] = target
+        else:
+            repaired[partition.indices] = (1.0 - amount) * group + amount * target
     return repaired
 
 

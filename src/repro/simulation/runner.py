@@ -18,7 +18,12 @@ from repro.metrics.base import HistogramDistance
 from repro.obs.tracer import NULL_TRACER
 from repro.simulation.scenarios import Scenario
 
-__all__ = ["ExperimentRow", "ExperimentResult", "run_scenario"]
+__all__ = [
+    "ExperimentRow",
+    "ExperimentResult",
+    "experiment_fingerprint",
+    "run_scenario",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +109,28 @@ def _cell_seed(run_seed: int, algorithm: str, function: str) -> int:
     return zlib.crc32(key)
 
 
+def experiment_fingerprint(
+    scenario: Scenario,
+    algorithms: "tuple[str, ...] | list[str]",
+    metric: "str | HistogramDistance",
+    seed: int,
+) -> dict:
+    """Identity of one experiment run, stored in its checkpoint.
+
+    Two runs with equal fingerprints produce bit-identical rows (per-cell
+    seeds depend only on the run seed and cell names), so a checkpoint is
+    safe to resume exactly when fingerprints match.
+    """
+    metric_name = metric if isinstance(metric, str) else metric.name
+    return {
+        "scenario": scenario.name,
+        "seed": int(seed),
+        "metric": metric_name,
+        "algorithms": list(algorithms),
+        "functions": list(scenario.functions),
+    }
+
+
 def run_scenario(
     scenario: Scenario,
     algorithms: "tuple[str, ...] | list[str]" = PAPER_ALGORITHMS,
@@ -114,6 +141,10 @@ def run_scenario(
     workers: "int | None" = None,
     tracer=None,
     metrics=None,
+    retry_policy=None,
+    fault_config=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Run every algorithm on every scoring function of a scenario.
 
@@ -137,17 +168,49 @@ def run_scenario(
         Observability hooks (see :mod:`repro.obs`): every (function,
         algorithm) cell runs inside a ``scenario.cell`` span and all engines
         mirror their counters into the shared ``metrics`` registry.
+    retry_policy, fault_config:
+        Fault tolerance / fault injection for the execution backend (see
+        :mod:`repro.engine.resilience` and :mod:`repro.engine.faults`).
+    checkpoint:
+        A :class:`~repro.simulation.checkpoint.CheckpointStore` (or a
+        directory path) where every completed cell is persisted atomically.
+    resume:
+        With ``checkpoint``, skip cells already recorded there; because
+        cells are seeded independently, a resumed run's rows are
+        bit-identical to an uninterrupted run with the same fingerprint.
     """
     options = algorithm_options or {}
     run_tracer = tracer if tracer is not None else NULL_TRACER
+    store = None
+    completed: dict[str, dict] = {}
+    if checkpoint is not None:
+        from repro.simulation.checkpoint import CheckpointStore, cell_key
+
+        store = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointStore)
+            else CheckpointStore(checkpoint)
+        )
+        fingerprint = experiment_fingerprint(scenario, algorithms, metric, seed)
+        completed = store.begin(fingerprint, resume=resume)
     rows: list[ExperimentRow] = []
-    with run_tracer.span("scenario.run", scenario=scenario.name, seed=seed):
+    with run_tracer.span(
+        "scenario.run", scenario=scenario.name, seed=seed, resumed=bool(completed)
+    ):
         for function_name, function in scenario.functions.items():
             scores = function(scenario.population)
             for algorithm_name in algorithms:
+                if store is not None:
+                    key = cell_key(function_name, algorithm_name)
+                    if key in completed:
+                        rows.append(store.row_from_cell(completed[key]))
+                        if metrics is not None:
+                            metrics.inc("checkpoint.cells_skipped")
+                        continue
                 algorithm = get_algorithm(
                     algorithm_name, **options.get(algorithm_name, {})
                 )
+                seed_value = _cell_seed(seed, algorithm_name, function_name)
                 with run_tracer.span(
                     "scenario.cell",
                     scenario=scenario.name,
@@ -159,19 +222,25 @@ def run_scenario(
                         scores,
                         hist_spec=scenario.hist_spec,
                         metric=metric,
-                        rng=np.random.default_rng(
-                            _cell_seed(seed, algorithm_name, function_name)
-                        ),
+                        rng=np.random.default_rng(seed_value),
                         backend=backend,
                         workers=workers,
                         tracer=tracer,
                         metrics=metrics,
+                        retry_policy=retry_policy,
+                        fault_config=fault_config,
                     )
                     cell_span.set(
                         unfairness=result.unfairness,
                         runtime_seconds=result.runtime_seconds,
                     )
-                rows.append(
-                    ExperimentRow.from_result(scenario.name, function_name, result)
-                )
+                row = ExperimentRow.from_result(scenario.name, function_name, result)
+                rows.append(row)
+                if store is not None:
+                    # State of a fresh generator for this cell seed — enough
+                    # to restart the cell's RNG stream from scratch on audit.
+                    rng_state = np.random.default_rng(seed_value).bit_generator.state
+                    store.record(key, row, seed_value, rng_state)
+                    if metrics is not None:
+                        metrics.inc("checkpoint.cells_written")
     return ExperimentResult(scenario=scenario.name, rows=tuple(rows))

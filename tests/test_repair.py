@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.algorithms import get_algorithm
+from repro.core.partition import Partition, Partitioning
 from repro.core.population import Population
 from repro.core.unfairness import UnfairnessEvaluator
 from repro.exceptions import PartitioningError
@@ -71,6 +72,72 @@ class TestRepairScores:
             for value in np.unique(group_scores):
                 tied = group_repaired[group_scores == value]
                 assert np.ptp(tied) < 1e-12
+
+    def test_zero_amount_is_bitwise_identity(self, audited) -> None:
+        # Stronger than allclose: amount=0 must not perturb a single bit.
+        _, scores, partitioning = audited
+        repaired = repair_scores(scores, partitioning, amount=0.0)
+        assert np.array_equal(repaired, scores)
+        assert repaired is not scores  # still a copy, input untouched
+
+    def test_repair_is_deterministic(self, audited) -> None:
+        # amount=1 assigns the pooled quantiles exactly (no 0*x + 1*y
+        # arithmetic), so repeated runs agree to the bit.
+        _, scores, partitioning = audited
+        for amount in (0.4, 1.0):
+            first = repair_scores(scores, partitioning, amount=amount)
+            second = repair_scores(scores, partitioning, amount=amount)
+            assert np.array_equal(first, second)
+
+    def test_singleton_groups_map_to_pooled_median(self) -> None:
+        scores = np.array([0.0, 0.2, 0.4, 0.6, 0.8])
+        partitioning = Partitioning(
+            [Partition(np.array([0])), Partition(np.array([1, 2, 3, 4]))],
+            population_size=5,
+        )
+        repaired = repair_scores(scores, partitioning, amount=1.0)
+        # A singleton's only rank is the mid-quantile 0.5 of the pool.
+        assert repaired[0] == pytest.approx(np.quantile(scores, 0.5))
+        assert np.isfinite(repaired).all()
+
+    def test_all_singleton_groups(self) -> None:
+        scores = np.array([0.9, 0.1, 0.5])
+        partitioning = Partitioning(
+            [Partition(np.array([i])) for i in range(3)], population_size=3
+        )
+        repaired = repair_scores(scores, partitioning, amount=1.0)
+        # Every group collapses to the same pooled median: maximal fairness.
+        assert np.ptp(repaired) == 0.0
+
+    def test_constant_scores_survive_repair(self, audited) -> None:
+        _, _, partitioning = audited
+        scores = np.full(partitioning.population_size, 0.5)
+        repaired = repair_scores(scores, partitioning, amount=1.0)
+        assert np.array_equal(repaired, scores)
+
+    def test_ties_stay_tied_at_partial_amounts(
+        self, paper_population_small: Population
+    ) -> None:
+        scores = np.round(
+            paper_biased_functions()["f6"](paper_population_small), 1
+        )
+        result = get_algorithm("balanced").run(paper_population_small, scores)
+        for amount in (0.3, 0.7):
+            repaired = repair_scores(scores, result.partitioning, amount=amount)
+            for partition in result.partitioning:
+                group_scores = scores[partition.indices]
+                group_repaired = repaired[partition.indices]
+                for value in np.unique(group_scores):
+                    tied = group_repaired[group_scores == value]
+                    assert np.ptp(tied) < 1e-12, f"ties split at amount={amount}"
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_scores_rejected(self, audited, bad) -> None:
+        _, scores, partitioning = audited
+        poisoned = scores.copy()
+        poisoned[3] = bad
+        with pytest.raises(PartitioningError, match="non-finite"):
+            repair_scores(poisoned, partitioning)
 
     def test_wrong_shape_rejected(self, audited) -> None:
         _, scores, partitioning = audited

@@ -11,6 +11,13 @@ Modes::
 
     python benchmarks/run_bench.py            # full: table1 (500) + table2 (7300)
     python benchmarks/run_bench.py --quick    # CI smoke: small table1 only
+    python benchmarks/run_bench.py --scaling  # + atom-vs-member scaling sweep
+
+``--scaling`` adds a ``"scaling"`` section timing one ``worstAttribute``
+greedy step per population (10k / 100k / 1M workers; 2k / 20k with
+``--quick``) under three cost models — atom table, member arrays, and
+``mode="full"`` — and ``--assert-atom-speedup`` turns the atom-beats-member
+expectation into an exit code for CI (see docs/performance.md).
 
 The payload layout is versioned (``repro.bench/v1``) and checked by
 :func:`validate_bench_payload` before anything is written, so a schema
@@ -32,6 +39,9 @@ if str(_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(_ROOT / "src"))
 
 from repro.core.algorithms import PAPER_ALGORITHMS, get_algorithm  # noqa: E402
+from repro.core.partition import Partition  # noqa: E402
+from repro.core.splitting import split_partitions  # noqa: E402
+from repro.engine.engine import EvaluationEngine  # noqa: E402
 from repro.obs import MetricsRegistry, Tracer  # noqa: E402
 from repro.obs.tracer import NULL_TRACER  # noqa: E402
 from repro.simulation.config import PaperConfig  # noqa: E402
@@ -43,6 +53,13 @@ BACKENDS = ("sequential", "process")
 #: One fixed scoring function per scenario keeps the suite comparable
 #: across PRs; f4 exercises every protected attribute's weight draw.
 BENCH_FUNCTION = "f4"
+#: Population sizes of the scaling suite (``--scaling``): the atom path's
+#: per-query cost should stay ~flat across this sweep while the member and
+#: mode="full" paths grow linearly with the population.
+SCALING_POPULATIONS = (10_000, 100_000, 1_000_000)
+SCALING_POPULATIONS_QUICK = (2_000, 20_000)
+#: The three cost models the scaling suite compares on the same greedy step.
+SCALING_PATHS = ("atom", "member", "full")
 
 _ENGINE_COUNTERS = (
     "n_evaluations",
@@ -147,6 +164,96 @@ def _measure_overhead(scenario, scores, repeats: int) -> dict:
     }
 
 
+def _time_scaling_population(n_workers: int, repeats: int) -> dict:
+    """One scaling measurement: the cost of *scoring every candidate
+    attribute* of a ``worstAttribute`` greedy step under each cost model.
+
+    * ``atom`` — grouped aggregations over the atom table
+      (``score_attribute_splits``; never touches member arrays);
+    * ``member`` — the legacy route (``use_atoms=False``): materialise every
+      candidate's children as member arrays and batch-score them;
+    * ``full`` — the same member route under ``mode="full"``'s dense
+      cache-less baseline.
+
+    The winner's materialisation (one ``split_partitions`` call, identical
+    O(n) work on every path) is excluded so the numbers isolate what the
+    atom table changes.  Caches are reset between repeats so every repeat
+    pays cold-query prices; the atom table itself is built once (that is
+    its contract) and its build time is reported separately.
+    """
+    scenario = table1_scenario(PaperConfig(n_workers=n_workers, seed=42))
+    population = scenario.population
+    scores = scenario.functions[BENCH_FUNCTION](population)
+    candidates = list(population.schema.protected_names)
+    root = [Partition(population.all_indices())]
+    entry: dict = {"population": population.size, "paths": {}}
+    for path in SCALING_PATHS:
+        kwargs = {
+            "atom": {"use_atoms": True},
+            "member": {"use_atoms": False},
+            "full": {"mode": "full"},
+        }[path]
+        engine = EvaluationEngine(
+            population, scores, hist_spec=scenario.hist_spec, **kwargs
+        )
+        if path == "atom":
+            build_start = time.perf_counter()
+            table = engine.atom_table
+            entry["atom_table_build_seconds"] = time.perf_counter() - build_start
+            entry["n_atoms"] = table.n_atoms
+        times = []
+        for _ in range(repeats):
+            engine.reset_caches()
+            start = time.perf_counter()
+            if path == "atom":
+                scores_out = engine.score_attribute_splits(root, candidates)
+                assert scores_out is not None, "root must resolve to atom rows"
+            else:
+                children_per_candidate = [
+                    split_partitions(population, root, attribute)
+                    for attribute in candidates
+                ]
+                scores_out = engine.score_many(children_per_candidate)
+            times.append(time.perf_counter() - start)
+            assert len(scores_out) == len(candidates)
+        engine.close()
+        entry["paths"][path] = {
+            "repeats": times,
+            "median": statistics.median(times),
+            "min": min(times),
+        }
+    return entry
+
+
+def run_scaling(quick: bool, repeats: int) -> dict:
+    """The atom-vs-member-vs-full scaling sweep (one dict per population)."""
+    populations = SCALING_POPULATIONS_QUICK if quick else SCALING_POPULATIONS
+    cases = []
+    for n_workers in populations:
+        print(f"[scaling] {n_workers} workers ...", flush=True)
+        case = _time_scaling_population(n_workers, repeats)
+        cases.append(case)
+        paths = case["paths"]
+        print(
+            "    atom {:.4f}s  member {:.4f}s  full {:.4f}s  ({} atoms)".format(
+                paths["atom"]["median"],
+                paths["member"]["median"],
+                paths["full"]["median"],
+                case["n_atoms"],
+            ),
+            flush=True,
+        )
+    return {"function": BENCH_FUNCTION, "repeats": repeats, "cases": cases}
+
+
+def scaling_speedup(scaling: dict) -> tuple[int, float]:
+    """(largest population, member/atom median speedup) of a scaling dict."""
+    largest = max(scaling["cases"], key=lambda case: case["population"])
+    atom = largest["paths"]["atom"]["median"]
+    member = largest["paths"]["member"]["median"]
+    return largest["population"], member / atom if atom > 0 else float("inf")
+
+
 def validate_bench_payload(payload: dict) -> None:
     """Raise ``ValueError`` unless ``payload`` is a well-formed v1 bench."""
 
@@ -194,9 +301,45 @@ def validate_bench_payload(payload: dict) -> None:
             fail(f"overhead.{key} must be a float")
     if overhead["baseline_seconds"] <= 0 or overhead["noop_seconds"] <= 0:
         fail("overhead timings must be positive")
+    if "scaling" in payload:
+        scaling = payload["scaling"]
+        if not isinstance(scaling, dict):
+            fail("scaling must be a dict")
+        if not isinstance(scaling.get("function"), str):
+            fail("scaling.function must be a str")
+        if not isinstance(scaling.get("repeats"), int) or scaling["repeats"] < 1:
+            fail("scaling.repeats must be a positive int")
+        if not isinstance(scaling.get("cases"), list) or not scaling["cases"]:
+            fail("scaling.cases must be a non-empty list")
+        for index, case in enumerate(scaling["cases"]):
+            for key, kind in (
+                ("population", int),
+                ("n_atoms", int),
+                ("atom_table_build_seconds", float),
+                ("paths", dict),
+            ):
+                if not isinstance(case.get(key), kind):
+                    fail(f"scaling.cases[{index}].{key} must be {kind.__name__}")
+            if case["population"] <= 0 or case["n_atoms"] <= 0:
+                fail(f"scaling.cases[{index}] sizes must be positive")
+            for path in SCALING_PATHS:
+                timing = case["paths"].get(path)
+                if not isinstance(timing, dict):
+                    fail(f"scaling.cases[{index}].paths.{path} must be a dict")
+                for key in ("median", "min"):
+                    if not isinstance(timing.get(key), float) or timing[key] <= 0:
+                        fail(
+                            f"scaling.cases[{index}].paths.{path}.{key} "
+                            "must be a positive float"
+                        )
+                if not isinstance(timing.get("repeats"), list) or not timing["repeats"]:
+                    fail(
+                        f"scaling.cases[{index}].paths.{path}.repeats "
+                        "must be a non-empty list"
+                    )
 
 
-def run_suite(quick: bool, repeats: int) -> dict:
+def run_suite(quick: bool, repeats: int, scaling: bool = False) -> dict:
     """Execute the fixed suite and return the (validated) payload."""
     cases = []
     overhead = None
@@ -221,6 +364,8 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "cases": cases,
         "overhead": overhead,
     }
+    if scaling:
+        payload["scaling"] = run_scaling(quick, repeats)
     validate_bench_payload(payload)
     return payload
 
@@ -243,10 +388,23 @@ def main(argv=None) -> int:
         default=None,
         help="output path (default: benchmarks/results/BENCH_<timestamp>.json)",
     )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="also run the atom-vs-member-vs-full scaling sweep "
+        f"({SCALING_POPULATIONS_QUICK} quick / {SCALING_POPULATIONS} full workers)",
+    )
+    parser.add_argument(
+        "--assert-atom-speedup",
+        action="store_true",
+        help="exit 1 unless the atom path beats the member path at the "
+        "largest scaling population (implies --scaling)",
+    )
     args = parser.parse_args(argv)
 
     repeats = args.repeats or (3 if args.quick else 5)
-    payload = run_suite(args.quick, repeats)
+    scaling = args.scaling or args.assert_atom_speedup
+    payload = run_suite(args.quick, repeats, scaling=scaling)
 
     if args.out:
         out_path = Path(args.out)
@@ -264,6 +422,19 @@ def main(argv=None) -> int:
         f"({overhead['spans_per_audit']} span sites x "
         f"{overhead['noop_span_ns']:.0f}ns)"
     )
+    if "scaling" in payload:
+        population, speedup = scaling_speedup(payload["scaling"])
+        print(
+            f"scaling: atom path is {speedup:.1f}x the member path "
+            f"at {population} workers"
+        )
+        if args.assert_atom_speedup and speedup <= 1.0:
+            print(
+                f"FAIL: atom path did not beat the member path at {population} "
+                f"workers (speedup {speedup:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
     if overhead["relative"] >= 0.02:
         print("WARNING: no-op overhead A/B delta exceeds the 2% budget", file=sys.stderr)
         return 1

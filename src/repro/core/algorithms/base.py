@@ -139,6 +139,7 @@ class PartitioningAlgorithm(abc.ABC):
         metrics: "MetricsRegistry | None" = None,
         retry_policy=None,
         fault_config=None,
+        use_atoms: "bool | None" = None,
     ) -> AlgorithmResult:
         """Search for the most unfair partitioning of ``population`` under ``scores``.
 
@@ -174,6 +175,10 @@ class PartitioningAlgorithm(abc.ABC):
         retry_policy, fault_config:
             Fault tolerance and fault injection for the backend (see
             :mod:`repro.engine.resilience` / :mod:`repro.engine.faults`).
+        use_atoms:
+            Atom-table fast path switch forwarded to the engine (default
+            on in incremental mode; ``False`` forces the member-array cost
+            model — results are bit-identical either way).
         """
         if population.size == 0:
             raise PartitioningError("cannot partition an empty population")
@@ -190,6 +195,7 @@ class PartitioningAlgorithm(abc.ABC):
             metrics=metrics,
             retry_policy=retry_policy,
             fault_config=fault_config,
+            use_atoms=use_atoms,
         )
         generator = (
             np.random.default_rng(rng)

@@ -81,9 +81,14 @@ class Partition:
             np.array_equal(self.indices, other.indices)
         )
 
-    def members_key(self) -> tuple[int, ...]:
-        """Hashable canonical key of the member set (for deduplication)."""
-        return tuple(int(i) for i in self.indices)
+    def members_key(self) -> bytes:
+        """Hashable canonical key of the member set (for deduplication).
+
+        The raw bytes of the sorted int64 index array: one memcpy instead
+        of n Python int boxings, and a smaller hash target.  Keys are only
+        comparable between partitions of the same population.
+        """
+        return self.indices.tobytes()
 
     def __repr__(self) -> str:
         constraint_str = ", ".join(f"{n}={c}" for n, c in self.constraints) or "ALL"
@@ -144,7 +149,7 @@ class Partitioning:
         """Depth of the deepest partition in the underlying split tree."""
         return max(len(p.constraints) for p in self.partitions)
 
-    def canonical_key(self) -> frozenset[tuple[int, ...]]:
+    def canonical_key(self) -> frozenset[bytes]:
         """Content-based key: the set of member sets.
 
         Two partitionings with the same key group the workers identically

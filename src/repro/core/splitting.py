@@ -126,6 +126,19 @@ def worst_attribute(
     """
     if not candidates:
         raise PartitioningError("worst_attribute called with no candidate attributes")
+    atom_scores = getattr(evaluator, "score_attribute_splits", None)
+    if atom_scores is not None:
+        scores = atom_scores(partitions, candidates)
+        if scores is not None:
+            # Atom path: every candidate was scored as a grouped aggregation
+            # over the atom table; only the winner's children are ever
+            # materialised as member arrays.
+            best_i = 0
+            for i in range(1, len(candidates)):
+                if scores[i] > scores[best_i]:
+                    best_i = i
+            children = split_partitions(population, partitions, candidates[best_i])
+            return AttributeChoice(candidates[best_i], children, scores[best_i])
     children_per_candidate = [
         split_partitions(population, partitions, attribute) for attribute in candidates
     ]
@@ -172,6 +185,25 @@ def worst_attribute_local(
             # Seed the tracker with the fixed siblings once: every candidate
             # then only pays for its children-vs-siblings block.
             incremental = factory(siblings)
+    if (
+        incremental is not None
+        and not cross_only
+        and hasattr(incremental, "score_add_pmfs")
+    ):
+        split_pmfs = getattr(evaluator, "split_pmfs", None)
+        if split_pmfs is not None:
+            stacks = split_pmfs(partition, candidates)
+            if stacks is not None:
+                # Atom path: candidate children are scored straight from
+                # their histogram stacks; only the winner is materialised.
+                best_i, best_score = 0, None
+                for i, (pmfs, weights) in enumerate(stacks):
+                    score = incremental.score_add_pmfs(pmfs, weights)
+                    if best_score is None or score > best_score:
+                        best_i, best_score = i, score
+                children = split_partition(population, partition, candidates[best_i])
+                assert best_score is not None
+                return AttributeChoice(candidates[best_i], children, best_score)
     best: AttributeChoice | None = None
     for attribute in candidates:
         children = split_partition(population, partition, attribute)

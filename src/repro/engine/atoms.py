@@ -1,0 +1,213 @@
+"""Atom-table sufficient statistics for the partitioning search.
+
+The search only ever forms partitions from *conjunctions of
+protected-attribute values*, so every partition the algorithms can reach
+is a union of the finest non-empty attribute cells — the **atoms**.  An
+:class:`AtomTable` precomputes, once per (population, scoring-function)
+binding, the ``(n_atoms, bins)`` int64 contingency cube of per-atom score
+histograms plus the per-atom code tuples needed to map any constraint
+conjunction onto a subset of atom rows.
+
+With the table in hand the hot paths stop touching member-index arrays:
+
+* a candidate partition's histogram is an integer **row-sum** over its
+  atom rows — O(atoms x bins), independent of the population size;
+* every single-attribute split of a greedy step is a **grouped
+  aggregation**: group the parent's atom rows by that attribute's code
+  column and sum each group;
+* a process-pool task ships an atom-id list (a few dozen ints) instead of
+  a member-index array (a few million), and the count matrix itself is
+  published zero-copy through ``multiprocessing.shared_memory`` (see
+  :mod:`repro.engine.backends`).
+
+Everything stays **bit-identical** to the member-array path: the row-sums
+are exact int64 arithmetic, so they equal ``bincount`` over the member
+rows, and the float64 pmfs obtained by dividing by the same integer size
+are the same IEEE values the legacy path produces.
+
+Correctness contract: a partition's ``constraints`` are trusted as the
+predicate defining its member set.  That invariant holds by construction
+for every partition the algorithms create (root + repeated
+``split_partition``).  Resolution cross-checks the conjunction's total
+atom size against ``partition.size`` and falls back to the member path on
+any mismatch, so hand-built partitions whose constraints do not describe
+their members degrade gracefully instead of mis-resolving.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.partition import Partition
+    from repro.core.population import Population
+
+__all__ = ["AtomTable"]
+
+
+class AtomTable:
+    """The finest protected-attribute cells of one population, with their
+    score histograms.
+
+    Attributes
+    ----------
+    attribute_names:
+        Protected attribute names, in schema order (the code-column order).
+    codes:
+        ``(n_atoms, n_attributes)`` int64 — partition code of each atom on
+        each attribute.
+    counts:
+        ``(n_atoms, bins)`` int64 — score histogram of each atom's members.
+    sizes:
+        ``(n_atoms,)`` int64 — members per atom (``counts.sum(axis=1)``).
+    worker_atom:
+        ``(n,)`` int64 — atom row of every worker.
+    """
+
+    __slots__ = ("attribute_names", "codes", "counts", "sizes", "worker_atom", "_attr_index")
+
+    def __init__(
+        self,
+        attribute_names: tuple[str, ...],
+        codes: np.ndarray,
+        counts: np.ndarray,
+        worker_atom: np.ndarray,
+    ) -> None:
+        self.attribute_names = attribute_names
+        self.codes = codes
+        self.counts = counts
+        self.sizes = counts.sum(axis=1)
+        self.worker_atom = worker_atom
+        self._attr_index = {name: j for j, name in enumerate(attribute_names)}
+        for array in (self.codes, self.counts, self.sizes, self.worker_atom):
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def build(cls, population: "Population", bin_idx: np.ndarray, bins: int) -> "AtomTable":
+        """Compute the table for one population/digitised-score binding.
+
+        One O(n) pass: workers are keyed by the mixed-radix encoding of
+        their partition codes, unique keys become atom rows, and the count
+        cube is a single flat ``bincount`` over ``atom * bins + bin``.
+        """
+        names = tuple(population.schema.protected_names)
+        cards = [
+            population.schema.protected_attribute(name).cardinality for name in names
+        ]
+        if names:
+            key = population.partition_codes(names[0]).astype(np.int64)
+            for name, card in zip(names[1:], cards[1:]):
+                key = key * card + population.partition_codes(name)
+        else:
+            key = np.zeros(population.size, dtype=np.int64)
+        unique_keys, worker_atom = np.unique(key, return_inverse=True)
+        worker_atom = worker_atom.astype(np.int64)
+        n_atoms = int(unique_keys.shape[0])
+        counts = np.bincount(
+            worker_atom * bins + np.asarray(bin_idx, dtype=np.int64),
+            minlength=n_atoms * bins,
+        ).reshape(n_atoms, bins)
+        codes = np.empty((n_atoms, len(names)), dtype=np.int64)
+        if names:
+            remainder = unique_keys
+            for j in range(len(names) - 1, 0, -1):
+                remainder, codes[:, j] = np.divmod(remainder, cards[j])
+            codes[:, 0] = remainder
+        return cls(names, codes, np.ascontiguousarray(counts, dtype=np.int64), worker_atom)
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of non-empty finest cells."""
+        return int(self.codes.shape[0])
+
+    @property
+    def bins(self) -> int:
+        """Histogram bins per atom."""
+        return int(self.counts.shape[1])
+
+    def attribute_index(self, name: str) -> int:
+        """Code-column index of a protected attribute (KeyError if unknown)."""
+        return self._attr_index[name]
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the table's arrays."""
+        return int(
+            self.codes.nbytes + self.counts.nbytes + self.sizes.nbytes + self.worker_atom.nbytes
+        )
+
+    # -------------------------------------------------------------- resolution
+
+    def rows_for_constraints(
+        self, constraints: Sequence[tuple[str, int]]
+    ) -> np.ndarray:
+        """Atom rows whose codes satisfy a constraint conjunction.
+
+        Raises ``KeyError`` for a constraint on an unknown attribute (the
+        caller falls back to the member path, which raises the canonical
+        error).
+        """
+        if not constraints:
+            return np.arange(self.n_atoms, dtype=np.int64)
+        mask = np.ones(self.n_atoms, dtype=bool)
+        for name, code in constraints:
+            mask &= self.codes[:, self.attribute_index(name)] == code
+        return np.flatnonzero(mask)
+
+    def resolve(self, partition: "Partition") -> "np.ndarray | None":
+        """Atom rows of one partition, or None when it cannot be trusted.
+
+        Resolution is purely constraint-based (never touches the member
+        array) and is accepted only when the matched atoms' total size
+        equals the partition's size — the cross-check that rejects
+        partitions whose constraints do not describe their members.
+        """
+        try:
+            rows = self.rows_for_constraints(partition.constraints)
+        except KeyError:
+            return None
+        if rows.shape[0] == 0 or int(self.sizes[rows].sum()) != partition.size:
+            return None
+        return rows
+
+    def verify(self, partition: "Partition", rows: np.ndarray) -> bool:
+        """Strong (O(|partition|)) check that ``rows`` is exactly the atom
+        set of the partition's members; used by the property tests."""
+        members = np.bincount(
+            self.worker_atom[partition.indices], minlength=self.n_atoms
+        )
+        expected = np.zeros(self.n_atoms, dtype=np.int64)
+        expected[rows] = self.sizes[rows]
+        return bool(np.array_equal(members, expected))
+
+    # ------------------------------------------------------------- aggregation
+
+    def histogram(self, rows: np.ndarray) -> np.ndarray:
+        """Int64 score histogram of the union of ``rows`` (exact row-sum,
+        equal to ``bincount`` over the matching member indices)."""
+        return self.counts[rows].sum(axis=0)
+
+    def split_rows(self, rows: np.ndarray, attribute: str) -> list[np.ndarray]:
+        """Group ``rows`` by one attribute's code column.
+
+        Returns the non-empty groups ordered by ascending code — the exact
+        child order :func:`~repro.core.splitting.split_partition` produces —
+        so downstream histogram stacks match the member path row for row.
+        """
+        column = self.codes[rows, self.attribute_index(attribute)]
+        order = np.argsort(column, kind="stable")
+        sorted_rows = rows[order]
+        sorted_codes = column[order]
+        boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+        return np.split(sorted_rows, boundaries)
+
+    def __repr__(self) -> str:
+        return (
+            f"AtomTable(n_atoms={self.n_atoms}, bins={self.bins}, "
+            f"attributes={list(self.attribute_names)})"
+        )

@@ -87,6 +87,21 @@ class ExecutionBackend(abc.ABC):
     ) -> list[float]:
         """Objective value of every candidate, in input order."""
 
+    def score_histogram_tasks(
+        self, engine: "EvaluationEngine", tasks: "Sequence[list]"
+    ) -> list[float]:
+        """Objective value of every wire-format candidate, in input order.
+
+        A task is a list of ``("a", atom_rows)`` / ``("m", member_indices)``
+        entries — the atom-path dispatch format, where candidates exist only
+        as histogram recipes, never as Partition objects.  The default runs
+        in-process through the engine's cache-aware scoring path; the
+        process backend overrides it to fan out across workers.
+        """
+        engine.metrics.inc("backend.batches")
+        engine.metrics.inc("backend.candidates", len(tasks))
+        return engine.score_tasks_inline(tasks)
+
     def close(self) -> None:
         """Release any resources (worker processes); idempotent."""
 
@@ -112,65 +127,115 @@ class SequentialBackend(ExecutionBackend):
 
 # ----------------------------------------------------------- process workers
 #
-# Worker-side state lives in module globals set by the pool initializer, so
-# a scoring task only ships the candidate member-index arrays.
+# Worker-side state lives in module globals set by the pool initializer.  The
+# two big read-only arrays — the digitised scores and the atom count matrix —
+# are published once through multiprocessing.shared_memory and attached here,
+# so a scoring task ships only wire entries: ("a", atom_rows) for partitions
+# resolvable on the atom table (a few dozen ints) or ("m", member_indices)
+# for the legacy fallback.
 
 _WORKER_STATE: dict = {}
+
+#: Payload fields that may arrive as shared-memory descriptors.
+_SHARED_FIELDS = ("bin_idx", "atom_counts")
+
+
+def _shared_descriptor(array: np.ndarray) -> dict:
+    """Copy one array into a new shared-memory segment; return its wire
+    descriptor.  The caller owns the segment (close + unlink)."""
+    from multiprocessing import shared_memory
+
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)[...] = array
+    return {
+        "segment": segment,
+        "shm_name": segment.name,
+        "shape": array.shape,
+        "dtype": str(array.dtype),
+    }
 
 
 def _init_worker(payload: dict) -> None:  # pragma: no cover - runs in workers
     global _WORKER_STATE
+    from multiprocessing import shared_memory
+
+    payload = dict(payload)
+    attached = []
+    for name in _SHARED_FIELDS:
+        descriptor = payload.get(name)
+        if isinstance(descriptor, dict):
+            segment = shared_memory.SharedMemory(name=descriptor["shm_name"])
+            attached.append(segment)
+            array = np.ndarray(
+                descriptor["shape"],
+                dtype=np.dtype(descriptor["dtype"]),
+                buffer=segment.buf,
+            )
+            array.setflags(write=False)
+            payload[name] = array
+    # Keep the SharedMemory handles alive for the worker's lifetime — the
+    # arrays view their buffers.
+    payload["_attached_segments"] = attached
     _WORKER_STATE = payload
 
 
-def _score_member_arrays(
+def _score_wire_tasks(
     spec,
     metric,
     bin_idx: np.ndarray,
     weighting: str,
-    member_arrays_chunk: "list[list[np.ndarray]]",
+    atom_counts: "np.ndarray | None",
+    chunk: "list[list[tuple]]",
 ) -> list[float]:
-    """Score one chunk of candidates from raw member-index arrays.
+    """Score one chunk of wire-format candidates.
 
     The single scoring routine shared by pool workers and the parent's
     sequential-degradation path, so every execution route yields
-    bit-identical values.
+    bit-identical values.  An ``("a", rows)`` entry is an int64 row-sum
+    over the atom count matrix; an ``("m", members)`` entry is the legacy
+    ``bincount`` over member indices — both divide the same integer counts
+    by the same integer size, so the pmfs match bit for bit.
     """
     from repro.engine.kernels import full_objective
 
     values: list[float] = []
-    for member_arrays in member_arrays_chunk:
-        if len(member_arrays) < 2:
+    for entries in chunk:
+        if len(entries) < 2:
             values.append(0.0)
             continue
-        pmfs = np.vstack(
-            [
-                spec.histogram_from_bin_indices(bin_idx[members]) / members.shape[0]
-                for members in member_arrays
-            ]
-        )
+        pmfs = np.empty((len(entries), spec.bins), dtype=np.float64)
+        sizes: list[int] = []
+        for i, (kind, payload) in enumerate(entries):
+            if kind == "a":
+                counts = atom_counts[payload].sum(axis=0)
+                size = int(counts.sum())
+            else:
+                counts = spec.histogram_from_bin_indices(bin_idx[payload])
+                size = int(payload.shape[0])
+            pmfs[i] = counts / size
+            sizes.append(size)
         weights = None
         if weighting == "size":
-            weights = np.array(
-                [members.shape[0] for members in member_arrays], dtype=np.float64
-            )
+            weights = np.array(sizes, dtype=np.float64)
         value, _ = full_objective(metric, pmfs, spec, weights)
         values.append(value)
     return values
 
 
 def _score_chunk(
-    chunk: "list[list[np.ndarray]]",
+    chunk: "list[list[tuple]]",
     task_key: "str | None" = None,
 ) -> list[float]:  # pragma: no cover - runs in workers
     faults = _WORKER_STATE.get("faults")
     if faults is not None and task_key is not None:
         faults.maybe_crash_or_hang(task_key)
-    values = _score_member_arrays(
+    values = _score_wire_tasks(
         _WORKER_STATE["spec"],
         _WORKER_STATE["metric"],
         _WORKER_STATE["bin_idx"],
         _WORKER_STATE["weighting"],
+        _WORKER_STATE.get("atom_counts"),
         chunk,
     )
     if (
@@ -247,6 +312,9 @@ class ProcessPoolBackend(ExecutionBackend):
         self._batch_counter = 0
         self._rebuilds = 0
         self._degraded = False
+        #: Shared-memory segments owned by the current pool (closed +
+        #: unlinked with it; recreated by the next _ensure_pool).
+        self._segments: list = []
         # Jitter source for backoff sleeps; seeded so reruns pace identically.
         self._rng = random.Random(0x5EED)
 
@@ -267,6 +335,19 @@ class ProcessPoolBackend(ExecutionBackend):
                 context = multiprocessing.get_context()
             payload = dict(engine.worker_payload())
             payload["faults"] = self.faults
+            # Publish the big read-only arrays once through shared memory;
+            # workers attach by name in _init_worker, so neither the fork
+            # nor any task dispatch ever copies them.
+            for name in _SHARED_FIELDS:
+                array = payload.get(name)
+                if array is not None:
+                    descriptor = _shared_descriptor(array)
+                    self._segments.append(descriptor.pop("segment"))
+                    payload[name] = descriptor
+            engine.metrics.set_gauge(
+                "engine.shared_memory_bytes",
+                sum(segment.size for segment in self._segments),
+            )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=context,
@@ -283,8 +364,32 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> list[float]:
         if not candidates:
             return []
+        tasks = [
+            [self._wire_entry(engine, p) for p in candidate]
+            for candidate in candidates
+        ]
+        return self._score_wire_batch(engine, tasks)
+
+    def score_histogram_tasks(
+        self, engine: "EvaluationEngine", tasks: "Sequence[list]"
+    ) -> list[float]:
+        if not tasks:
+            return []
+        return self._score_wire_batch(engine, [list(task) for task in tasks])
+
+    @staticmethod
+    def _wire_entry(engine: "EvaluationEngine", partition: "Partition") -> tuple:
+        """Cheapest dispatchable form of one partition: its atom rows when
+        the engine can resolve them, its member indices otherwise."""
+        rows = engine.atom_rows(partition)
+        if rows is not None:
+            return ("a", rows)
+        return ("m", partition.indices)
+
+    def _score_wire_batch(
+        self, engine: "EvaluationEngine", tasks: "list[list[tuple]]"
+    ) -> list[float]:
         metrics = engine.metrics
-        tasks = [[p.indices for p in candidate] for candidate in candidates]
         batch = self._batch_counter
         self._batch_counter += 1
         if self._degraded:
@@ -292,8 +397,8 @@ class ProcessPoolBackend(ExecutionBackend):
         else:
             values = self._score_on_pool(engine, tasks, batch)
         metrics.inc("backend.batches")
-        metrics.inc("backend.candidates", len(candidates))
-        engine.record_external_evaluations(candidates)
+        metrics.inc("backend.candidates", len(tasks))
+        engine.record_external_evaluations(tasks)
         return values
 
     # -------------------------------------------------------- pool execution
@@ -301,7 +406,7 @@ class ProcessPoolBackend(ExecutionBackend):
     def _score_on_pool(
         self,
         engine: "EvaluationEngine",
-        tasks: "list[list[np.ndarray]]",
+        tasks: "list[list[tuple]]",
         batch: int,
     ) -> list[float]:
         metrics = engine.metrics
@@ -343,7 +448,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self,
         engine: "EvaluationEngine",
         pool: ProcessPoolExecutor,
-        chunks: "list[list[list[np.ndarray]]]",
+        chunks: "list[list[list[tuple]]]",
         batch: int,
     ) -> "list[list[float]]":
         """Gather all chunks, retrying/re-dispatching under the policy."""
@@ -411,7 +516,7 @@ class ProcessPoolBackend(ExecutionBackend):
     def _submit(
         self,
         pool: ProcessPoolExecutor,
-        chunks: "list[list[list[np.ndarray]]]",
+        chunks: "list[list[list[tuple]]]",
         i: int,
         batch: int,
         attempt: int,
@@ -431,7 +536,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self,
         engine: "EvaluationEngine",
         pool: ProcessPoolExecutor,
-        chunks: "list[list[list[np.ndarray]]]",
+        chunks: "list[list[list[tuple]]]",
         state: "dict[int, _ChunkTask]",
         i: int,
         batch: int,
@@ -458,7 +563,7 @@ class ProcessPoolBackend(ExecutionBackend):
     def _rebuild_pool(
         self,
         engine: "EvaluationEngine",
-        chunks: "list[list[list[np.ndarray]]]",
+        chunks: "list[list[list[tuple]]]",
         state: "dict[int, _ChunkTask]",
         results: "dict[int, list[float]]",
         batch: int,
@@ -510,15 +615,16 @@ class ProcessPoolBackend(ExecutionBackend):
     # ------------------------------------------------- sequential degradation
 
     def _score_locally(
-        self, engine: "EvaluationEngine", tasks: "list[list[np.ndarray]]"
+        self, engine: "EvaluationEngine", tasks: "list[list[tuple]]"
     ) -> list[float]:
         """Compute a batch in-process through the exact worker code path."""
         payload = engine.worker_payload()
-        return _score_member_arrays(
+        return _score_wire_tasks(
             payload["spec"],
             payload["metric"],
             payload["bin_idx"],
             payload["weighting"],
+            payload["atom_counts"],
             tasks,
         )
 
@@ -527,6 +633,16 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool.shutdown(wait=True)
             self._pool = None
             self._engine_id = None
+        # Unlink the shared segments only after the pool is gone: the
+        # workers' attached views must never outlive the backing memory.
+        # Robust to double-close and to rebuilds racing worker death.
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover - defensive
+                pass
+        self._segments = []
 
 
 def available_backends() -> tuple[str, ...]:

@@ -28,6 +28,7 @@ seed's cost model, kept as the measurable baseline.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -36,6 +37,7 @@ import numpy as np
 from repro.core.histogram import HistogramSpec
 from repro.core.partition import Partition, Partitioning
 from repro.core.population import Population
+from repro.engine.atoms import AtomTable
 from repro.engine.backends import ExecutionBackend, get_backend
 from repro.engine.incremental import FullRecomputeObjective, IncrementalObjective
 from repro.engine.kernels import (
@@ -51,9 +53,15 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = ["EvaluationEngine", "EngineStats"]
 
-#: Cache entries kept before the value cache is dropped wholesale.  Keys are
-#: a few hundred bytes each; 50k entries bound the cache at tens of MB.
+#: Value-cache capacity.  Keys are a few hundred bytes each; 50k entries
+#: bound the cache at tens of MB.  Eviction is LRU (least recently *hit*
+#: entry goes first), so a long run keeps its working set instead of
+#: periodically dropping everything.
 _CACHE_CAP = 50_000
+
+#: Sentinel distinguishing "not resolved yet" from a cached ``None``
+#: (fallback) in the per-partition atom-row cache.
+_UNRESOLVED = object()
 
 
 @dataclass
@@ -126,6 +134,11 @@ class EvaluationEngine:
         effort counters into (``engine.*`` namespace, see
         :meth:`sync_metrics`) and records timing histograms into while
         tracing; a private registry is created when omitted.
+    use_atoms:
+        Enable the :class:`~repro.engine.atoms.AtomTable` fast path
+        (default).  Pass ``False`` to force the member-array path — the
+        benchmark's "member" baseline.  Always off in ``mode="full"``.
+        Both paths are bit-identical; this is purely a cost-model switch.
     """
 
     def __init__(
@@ -142,6 +155,7 @@ class EvaluationEngine:
         metrics: "MetricsRegistry | None" = None,
         retry_policy=None,
         fault_config=None,
+        use_atoms: "bool | None" = None,
     ) -> None:
         self.population = population
         self.spec = hist_spec or HistogramSpec()
@@ -176,7 +190,15 @@ class EvaluationEngine:
             backend=self.backend.name, workers=self.backend.workers
         )
         self._pmf_cache: dict[Partition, np.ndarray] = {}
-        self._value_cache: dict[tuple, float] = {}
+        self._value_cache: "OrderedDict[tuple, float]" = OrderedDict()
+        # Atom-table fast path: on by default in incremental mode, never in
+        # mode="full" (the baseline cost model must keep paying member-array
+        # prices).  The table itself is built lazily on first use.
+        self._use_atoms = bool(use_atoms) if use_atoms is not None else True
+        if self.mode == "full":
+            self._use_atoms = False
+        self._atom_table: "AtomTable | None" = None
+        self._atom_rows_cache: dict[Partition, object] = {}
         # True when the metric's average_pairwise is a closed form that never
         # materialises individual pairs (EMD's sorted-prefix-sum path).
         self._closed_form_average = (
@@ -184,15 +206,61 @@ class EvaluationEngine:
             is not HistogramDistance.average_pairwise
         )
 
+    # ---------------------------------------------------------------- atoms
+
+    @property
+    def use_atoms(self) -> bool:
+        """True when the atom-table fast path is enabled for this engine."""
+        return self._use_atoms
+
+    @property
+    def atom_table(self) -> AtomTable:
+        """The population's :class:`~repro.engine.atoms.AtomTable`, built on
+        first access (one O(n) pass) and reused for the engine's lifetime."""
+        if self._atom_table is None:
+            with self.tracer.span("engine.atom_table.build") as span, self.metrics.time(
+                "engine.atom_table_build_seconds"
+            ):
+                self._atom_table = AtomTable.build(
+                    self.population, self._bin_idx, self.spec.bins
+                )
+                span.set(n_atoms=self._atom_table.n_atoms)
+            self.metrics.set_gauge("engine.atoms", self._atom_table.n_atoms)
+        return self._atom_table
+
+    def atom_rows(self, partition: Partition) -> "np.ndarray | None":
+        """Atom rows of one partition, or None when the member path must be
+        used (atoms disabled, or the partition's constraints do not account
+        for its members).  Resolution is cached per Partition object."""
+        if not self._use_atoms:
+            return None
+        rows = self._atom_rows_cache.get(partition, _UNRESOLVED)
+        if rows is _UNRESOLVED:
+            rows = self.atom_table.resolve(partition)
+            self._atom_rows_cache[partition] = rows
+            self.metrics.inc(
+                "engine.atom_hits" if rows is not None else "engine.atom_fallbacks"
+            )
+        return rows
+
     # ----------------------------------------------------------- histograms
 
     def pmf(self, partition: Partition) -> np.ndarray:
-        """Normalised score histogram of one partition (cached per object)."""
+        """Normalised score histogram of one partition (cached per object).
+
+        With atoms enabled and the partition resolvable, the histogram is an
+        int64 row-sum over the atom table — bit-identical to the member-path
+        ``bincount`` but independent of the partition's member count.
+        """
         cached = self._pmf_cache.get(partition)
         if cached is None:
-            counts = self.spec.histogram_from_bin_indices(
-                self._bin_idx[partition.indices]
-            )
+            rows = self.atom_rows(partition)
+            if rows is not None:
+                counts = self.atom_table.histogram(rows)
+            else:
+                counts = self.spec.histogram_from_bin_indices(
+                    self._bin_idx[partition.indices]
+                )
             cached = counts / partition.size
             cached.setflags(write=False)
             self._pmf_cache[partition] = cached
@@ -250,6 +318,7 @@ class EvaluationEngine:
         key = self._cache_key(partitions)
         cached = self._value_cache.get(key)
         if cached is not None:
+            self._value_cache.move_to_end(key)
             self.stats.cache_hits += 1
             return cached
         value, pairs = full_objective(
@@ -260,10 +329,22 @@ class EvaluationEngine:
         )
         self.stats.n_full_evaluations += 1
         self.stats.pair_distances_computed += pairs
-        if len(self._value_cache) >= _CACHE_CAP:
-            self._value_cache.clear()
-        self._value_cache[key] = value
+        self._cache_insert(key, value)
         return value
+
+    def _cache_insert(self, key: tuple, value: float) -> None:
+        """Insert one value, evicting the least recently used entry at cap."""
+        if len(self._value_cache) >= _CACHE_CAP:
+            self._value_cache.popitem(last=False)
+            self.metrics.inc("engine.cache_evictions")
+        self._value_cache[key] = value
+
+    def reset_caches(self) -> None:
+        """Drop memoised pmfs and objective values (the atom table and its
+        resolutions survive — they are per-binding, not per-query).  The
+        scaling benchmark uses this to re-measure queries cold."""
+        self._pmf_cache.clear()
+        self._value_cache.clear()
 
     def union_average(
         self, group: Sequence[Partition], siblings: Sequence[Partition]
@@ -323,6 +404,161 @@ class EvaluationEngine:
         self.metrics.observe("engine.score_many_seconds", span.duration_seconds)
         return values
 
+    def score_rows_many(self, tasks: "Sequence[list]") -> list[float]:
+        """Objective of every wire-format candidate, via the backend.
+
+        Each task is a list of ``("a", atom_rows)`` / ``("m", member_idx)``
+        entries — one per partition of the candidate.  This is the atom-path
+        sibling of :meth:`score_many`: candidates ship as atom-id lists, so
+        a process-pool dispatch is O(atoms) per partition instead of
+        O(members).
+        """
+        tasks = list(tasks)
+        if not self._trace:
+            return self.backend.score_histogram_tasks(self, tasks)
+        with self.tracer.span(
+            "engine.score_rows_many",
+            n_candidates=len(tasks),
+            backend=self.backend.name,
+        ) as span:
+            values = self.backend.score_histogram_tasks(self, tasks)
+        self.metrics.observe("engine.score_many_seconds", span.duration_seconds)
+        return values
+
+    def score_tasks_inline(self, tasks: "Sequence[list]") -> list[float]:
+        """Score wire-format candidates in-process (sequential backends'
+        histogram-task path), with the same value cache and effort
+        accounting as :meth:`unfairness` — same histograms produce the same
+        cache keys, hits and counter increments on either path."""
+        return [self._score_pmf_stack(*self._task_pmfs(task)) for task in tasks]
+
+    def _task_pmfs(self, task: "Sequence[tuple]") -> "tuple[np.ndarray, list[int]]":
+        """Materialise one wire-format candidate as (pmf stack, sizes)."""
+        pmfs = np.empty((len(task), self.spec.bins), dtype=np.float64)
+        sizes: list[int] = []
+        for i, (kind, payload) in enumerate(task):
+            if kind == "a":
+                counts = self.atom_table.histogram(payload)
+                size = int(self.atom_table.sizes[payload].sum())
+            else:
+                counts = self.spec.histogram_from_bin_indices(self._bin_idx[payload])
+                size = int(payload.shape[0])
+            pmfs[i] = counts / size
+            sizes.append(size)
+        return pmfs, sizes
+
+    def _score_pmf_stack(self, pmfs: np.ndarray, sizes: "list[int]") -> float:
+        """Cache-aware objective of one pmf stack; mirrors :meth:`_unfairness`
+        (same keys, stats and eviction behaviour) for candidates that exist
+        only as histograms, never as Partition objects."""
+        k = pmfs.shape[0]
+        self.stats.n_evaluations += 1
+        if k < 2:
+            return 0.0
+        self.stats.pair_distances_full += k * (k - 1) // 2
+        if self.weighting == "size":
+            weights = np.array(sizes, dtype=np.float64)
+            key = tuple(sorted((pmfs[i].tobytes(), sizes[i]) for i in range(k)))
+        else:
+            weights = None
+            key = tuple(sorted(pmfs[i].tobytes() for i in range(k)))
+        if self.mode == "full":
+            self.stats.n_full_evaluations += 1
+            self.stats.pair_distances_computed += k * (k - 1) // 2
+            matrix = pairwise_matrix(self.metric, pmfs, self.spec)
+            return average_from_matrix(matrix, weights)
+        cached = self._value_cache.get(key)
+        if cached is not None:
+            self._value_cache.move_to_end(key)
+            self.stats.cache_hits += 1
+            return cached
+        value, pairs = full_objective(self.metric, pmfs, self.spec, weights)
+        self.stats.n_full_evaluations += 1
+        self.stats.pair_distances_computed += pairs
+        self._cache_insert(key, value)
+        return value
+
+    def score_attribute_splits(
+        self, partitions: Sequence[Partition], candidates: Sequence[str]
+    ) -> "list[float] | None":
+        """Score every candidate attribute of a balanced greedy step as one
+        grouped aggregation over the atom table.
+
+        For each candidate attribute, every partition's atom rows are grouped
+        by that attribute's code column (the exact children
+        ``split_partitions`` would build, without materialising a single
+        member array) and the resulting candidate is scored through
+        :meth:`score_rows_many`.  Returns None when the atom path cannot
+        serve the query — atoms disabled, a partition unresolvable, an
+        attribute unknown or already constrained — in which case the caller
+        must use the legacy split-then-score path (preserving its error
+        semantics).
+        """
+        if not self._use_atoms:
+            return None
+        partitions = list(partitions)
+        rows_per_partition = []
+        for partition in partitions:
+            rows = self.atom_rows(partition)
+            if rows is None:
+                return None
+            rows_per_partition.append(rows)
+        table = self.atom_table
+        constrained = [set(p.constrained_attributes()) for p in partitions]
+        tasks: list[list] = []
+        try:
+            for attribute in candidates:
+                if any(attribute in used for used in constrained):
+                    return None
+                tasks.append(
+                    [
+                        ("a", group)
+                        for rows in rows_per_partition
+                        for group in table.split_rows(rows, attribute)
+                    ]
+                )
+        except KeyError:
+            return None
+        return self.score_rows_many(tasks)
+
+    def split_pmfs(
+        self, partition: Partition, candidates: Sequence[str]
+    ) -> "list[tuple[np.ndarray, np.ndarray | None]] | None":
+        """Per-candidate ``(child pmfs, child weights)`` stacks of one
+        partition's single-attribute splits, from the atom table.
+
+        The stacks are bit-identical to what ``split_partition`` +
+        :meth:`pmf_matrix` / :meth:`partition_weights` would produce (same
+        integer counts divided by the same integer sizes, children in
+        ascending code order), so an
+        :meth:`IncrementalObjective.score_add_pmfs` query over them matches
+        the member path exactly.  Returns None when the atom path cannot
+        serve the query (see :meth:`score_attribute_splits`).
+        """
+        if not self._use_atoms:
+            return None
+        rows = self.atom_rows(partition)
+        if rows is None:
+            return None
+        table = self.atom_table
+        constrained = set(partition.constrained_attributes())
+        out: "list[tuple[np.ndarray, np.ndarray | None]]" = []
+        try:
+            for attribute in candidates:
+                if attribute in constrained:
+                    return None
+                groups = table.split_rows(rows, attribute)
+                pmfs = np.empty((len(groups), self.spec.bins), dtype=np.float64)
+                sizes = np.empty(len(groups), dtype=np.float64)
+                for i, group in enumerate(groups):
+                    size = int(table.sizes[group].sum())
+                    pmfs[i] = table.histogram(group) / size
+                    sizes[i] = size
+                out.append((pmfs, sizes if self.weighting == "size" else None))
+        except KeyError:
+            return None
+        return out
+
     def incremental(
         self, partitions: Sequence[Partition]
     ) -> "IncrementalObjective | FullRecomputeObjective":
@@ -376,12 +612,19 @@ class EvaluationEngine:
                 self.stats.pair_distances_computed += n_pairs
 
     def worker_payload(self) -> dict:
-        """Initializer state for process-pool workers (see backends)."""
+        """Initializer state for process-pool workers (see backends).
+
+        ``atom_counts`` is the atom table's count matrix when the atom path
+        is enabled (workers serve ``("a", rows)`` wire entries from it) and
+        None otherwise; the process backend publishes it — and ``bin_idx`` —
+        through shared memory rather than pickling them per worker.
+        """
         return {
             "spec": self.spec,
             "metric": self.metric,
             "bin_idx": self._bin_idx,
             "weighting": self.weighting,
+            "atom_counts": self.atom_table.counts if self._use_atoms else None,
         }
 
     # ------------------------------------------------------------ lifecycle

@@ -184,6 +184,20 @@ class FaultInjectionBackend(ExecutionBackend):
         engine: "EvaluationEngine",
         candidates: Sequence[Sequence["Partition"]],
     ) -> list[float]:
+        return self._inject(
+            engine, lambda: self.inner.score_partitionings(engine, candidates)
+        )
+
+    def score_histogram_tasks(
+        self, engine: "EvaluationEngine", tasks: "Sequence[list]"
+    ) -> list[float]:
+        """Atom-path batches draw from the same ``call-<n>`` key sequence,
+        so a chaos schedule covers both dispatch formats uniformly."""
+        return self._inject(
+            engine, lambda: self.inner.score_histogram_tasks(engine, tasks)
+        )
+
+    def _inject(self, engine: "EvaluationEngine", dispatch) -> list[float]:
         key = f"call-{self._calls}"
         self._calls += 1
         config, metrics = self.config, engine.metrics
@@ -194,7 +208,7 @@ class FaultInjectionBackend(ExecutionBackend):
         if config.roll("crash", key):
             metrics.inc("engine.faults_injected")
             raise WorkerCrashError(f"injected crash at {key!r}")
-        values = self.inner.score_partitionings(engine, candidates)
+        values = dispatch()
         if config.roll("corrupt", key):
             metrics.inc("engine.faults_injected")
             return config.corrupt_values(values, key)

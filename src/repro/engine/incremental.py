@@ -90,6 +90,61 @@ class IncrementalObjective:
         """Objective of ``frontier ∪ added`` (the union-average query)."""
         return self.score_replace((), added)
 
+    def score_add_pmfs(
+        self, added_pmfs: np.ndarray, added_weights: "np.ndarray | None" = None
+    ) -> float:
+        """Objective of ``frontier ∪ added`` from precomputed pmfs.
+
+        The atom path (``EvaluationEngine.split_pmfs``) produces candidate
+        children as histogram stacks without ever materialising Partition
+        objects; this scores them through the exact arithmetic of
+        ``score_replace((), added)`` — same cross/within blocks, same pair
+        accounting — so the two entry points agree bit for bit.
+        ``added_weights`` must be the added sizes under size weighting and
+        None under uniform weighting, mirroring ``partition_weights``.
+        """
+        engine = self.engine
+        if not engine.trace_enabled:
+            return self._score_add_pmfs_inner(added_pmfs, added_weights)
+        with engine.tracer.span(
+            "engine.incremental.replace",
+            k=self.k,
+            removed=0,
+            added=int(added_pmfs.shape[0]),
+        ) as span:
+            value = self._score_add_pmfs_inner(added_pmfs, added_weights)
+            span.set(value=value)
+        engine.metrics.observe("engine.incremental_seconds", span.duration_seconds)
+        return value
+
+    def _score_add_pmfs_inner(
+        self, added_pmfs: np.ndarray, added_weights: "np.ndarray | None"
+    ) -> float:
+        kept_idx = np.arange(self.k, dtype=np.int64)
+        n_added = int(added_pmfs.shape[0])
+        cross = self.engine.materialize_cross(added_pmfs, self._pmfs[kept_idx])
+        within = self.engine.materialize_pairwise(added_pmfs)
+        k_new = self.k + n_added
+        self.engine.record_incremental_evaluation(
+            k_new,
+            new_pairs=n_added * self.k + n_added * (n_added - 1) // 2,
+        )
+        if self._weights is None:
+            total = (
+                self._pair_sum_over(kept_idx)
+                + float(cross.sum())
+                + 0.5 * float(within.sum())
+            )
+            return self._value(total, k_new, None)
+        kept_w = self._weights[kept_idx]
+        total = (
+            self._pair_sum_over(kept_idx)
+            + float(added_weights @ cross @ kept_w)
+            + 0.5 * float(added_weights @ within @ added_weights)
+        )
+        weights = np.concatenate([kept_w, added_weights])
+        return self._value(total, k_new, weights)
+
     def score_replace(
         self, removed: Sequence[int], added: Sequence[Partition]
     ) -> float:

@@ -109,11 +109,17 @@ def cross_matrix(
     kernel = _CROSS_KERNELS.get(metric.name)
     if kernel is not None:
         return kernel(left, right, spec)
-    out = np.zeros((left.shape[0], right.shape[0]), dtype=np.float64)
-    for i in range(left.shape[0]):
-        for j in range(right.shape[0]):
-            out[i, j] = metric.distance(left[i], right[j], spec)
-    return out
+    # Scalar fallback (metrics without a batched kernel, e.g. the LP-based
+    # emd-t): candidate stacks are full of repeated histograms — sibling
+    # partitions recur across candidates — so compute each *distinct* row
+    # pair once and broadcast the unique-block result back out.
+    left_u, left_inv = np.unique(left, axis=0, return_inverse=True)
+    right_u, right_inv = np.unique(right, axis=0, return_inverse=True)
+    out_u = np.zeros((left_u.shape[0], right_u.shape[0]), dtype=np.float64)
+    for i in range(left_u.shape[0]):
+        for j in range(right_u.shape[0]):
+            out_u[i, j] = metric.distance(left_u[i], right_u[j], spec)
+    return out_u[np.ix_(left_inv, right_inv)]
 
 
 def pairwise_matrix(

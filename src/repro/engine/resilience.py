@@ -174,6 +174,38 @@ class RetryingBackend(ExecutionBackend):
         candidates = list(candidates)
         if not candidates:
             return []
+        return self._run_with_retries(
+            engine,
+            len(candidates),
+            lambda: self.inner.score_partitionings(engine, candidates),
+            lambda: SequentialBackend().score_partitionings(engine, candidates),
+        )
+
+    def score_histogram_tasks(
+        self, engine: "EvaluationEngine", tasks: "Sequence[list]"
+    ) -> list[float]:
+        """Wire-format (atom-path) batches get the exact same retry loop,
+        validation and sequential fallback as partitioning batches."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        return self._run_with_retries(
+            engine,
+            len(tasks),
+            lambda: self.inner.score_histogram_tasks(engine, tasks),
+            lambda: ExecutionBackend.score_histogram_tasks(
+                SequentialBackend(), engine, tasks
+            ),
+        )
+
+    def _run_with_retries(
+        self,
+        engine: "EvaluationEngine",
+        n_candidates: int,
+        attempt_call: "Callable[[], Sequence[float]]",
+        fallback_call: "Callable[[], list[float]]",
+    ) -> list[float]:
+        """The bounded-retry loop shared by both batch entry points."""
         policy, metrics = self.policy, engine.metrics
         last_error: "BaseException | None" = None
         for attempt in range(policy.max_retries + 1):
@@ -187,8 +219,8 @@ class RetryingBackend(ExecutionBackend):
                 ):
                     policy.sleep(policy.delay(attempt - 1, self._rng))
             try:
-                values = self._dispatch(engine, candidates)
-                return validate_batch(values, len(candidates))
+                values = self._dispatch(n_candidates, attempt_call)
+                return validate_batch(values, n_candidates)
             except TRANSIENT_ERRORS as exc:
                 last_error = exc
                 if isinstance(exc, BackendTimeoutError):
@@ -202,15 +234,15 @@ class RetryingBackend(ExecutionBackend):
             with engine.tracer.span(
                 "backend.fallback",
                 reason=type(last_error).__name__,
-                n_candidates=len(candidates),
+                n_candidates=n_candidates,
             ):
-                return SequentialBackend().score_partitionings(engine, candidates)
+                return fallback_call()
         raise BackendExhaustedError(policy.max_retries + 1, last_error)
 
     def _dispatch(
         self,
-        engine: "EvaluationEngine",
-        candidates: "list[Sequence[Partition]]",
+        n_candidates: int,
+        attempt_call: "Callable[[], Sequence[float]]",
     ) -> "Sequence[float]":
         """One attempt, with the policy's deadline applied if configured.
 
@@ -220,12 +252,12 @@ class RetryingBackend(ExecutionBackend):
         """
         timeout = self.policy.timeout_seconds
         if not timeout:
-            return self.inner.score_partitionings(engine, candidates)
+            return attempt_call()
         box: "list[tuple[str, object]]" = []
 
         def target() -> None:
             try:
-                box.append(("ok", self.inner.score_partitionings(engine, candidates)))
+                box.append(("ok", attempt_call()))
             except BaseException as exc:  # noqa: BLE001 - ferried to caller
                 box.append(("error", exc))
 
@@ -234,7 +266,7 @@ class RetryingBackend(ExecutionBackend):
         thread.join(timeout)
         if thread.is_alive() or not box:
             raise BackendTimeoutError(
-                f"batch of {len(candidates)} candidates exceeded {timeout}s"
+                f"batch of {n_candidates} candidates exceeded {timeout}s"
             )
         kind, payload = box[0]
         if kind == "error":

@@ -29,6 +29,62 @@ def test_committed_bench_files_validate(path: Path) -> None:
     run_bench.validate_bench_payload(json.loads(path.read_text()))
 
 
+def _scaling_section() -> dict:
+    timing = {"repeats": [0.01, 0.02], "median": 0.015, "min": 0.01}
+    return {
+        "function": "f4",
+        "repeats": 2,
+        "cases": [
+            {
+                "population": 2000,
+                "n_atoms": 1200,
+                "atom_table_build_seconds": 0.001,
+                "paths": {path: dict(timing) for path in run_bench.SCALING_PATHS},
+            }
+        ],
+    }
+
+
+def test_validator_accepts_scaling_section() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    run_bench.validate_bench_payload({**good, "scaling": _scaling_section()})
+
+
+def test_validator_rejects_malformed_scaling() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    with pytest.raises(ValueError, match="scaling.cases"):
+        run_bench.validate_bench_payload(
+            {**good, "scaling": {**_scaling_section(), "cases": []}}
+        )
+    missing_path = _scaling_section()
+    del missing_path["cases"][0]["paths"]["atom"]
+    with pytest.raises(ValueError, match="paths.atom"):
+        run_bench.validate_bench_payload({**good, "scaling": missing_path})
+    negative = _scaling_section()
+    negative["cases"][0]["paths"]["member"]["median"] = -1.0
+    with pytest.raises(ValueError, match="median"):
+        run_bench.validate_bench_payload({**good, "scaling": negative})
+
+
+def test_scaling_speedup_reads_largest_population() -> None:
+    scaling = _scaling_section()
+    scaling["cases"].append(
+        {
+            "population": 20000,
+            "n_atoms": 1800,
+            "atom_table_build_seconds": 0.002,
+            "paths": {
+                "atom": {"repeats": [0.01], "median": 0.01, "min": 0.01},
+                "member": {"repeats": [0.05], "median": 0.05, "min": 0.05},
+                "full": {"repeats": [0.06], "median": 0.06, "min": 0.06},
+            },
+        }
+    )
+    population, speedup = run_bench.scaling_speedup(scaling)
+    assert population == 20000
+    assert speedup == pytest.approx(5.0)
+
+
 def test_validator_rejects_malformed_payloads() -> None:
     good = json.loads(_bench_files()[0].read_text())
     with pytest.raises(ValueError, match="schema"):

@@ -55,7 +55,20 @@ class TestPartition:
         assert not a.same_members(c)
 
     def test_members_key_is_canonical(self) -> None:
-        assert Partition(np.array([2, 1])).members_key() == (1, 2)
+        # The key is the raw bytes of the *sorted* index array, so member
+        # order at construction never matters.
+        key = Partition(np.array([2, 1])).members_key()
+        assert key == np.array([1, 2], dtype=np.int64).tobytes()
+
+    def test_members_key_deduplicates(self) -> None:
+        # Same member set -> same key (regardless of constraints or input
+        # order); different member set -> different key.
+        a = Partition(np.array([3, 1, 2]))
+        b = Partition(np.array([1, 2, 3]), (("gender", 0),))
+        c = Partition(np.array([1, 2, 4]))
+        assert a.members_key() == b.members_key()
+        assert a.members_key() != c.members_key()
+        assert len({a.members_key(), b.members_key(), c.members_key()}) == 2
 
     def test_repr(self) -> None:
         assert "size=2" in repr(Partition(np.array([0, 1]), (("g", 1),)))

@@ -19,6 +19,10 @@ greedy step per population (10k / 100k / 1M workers; 2k / 20k with
 ``mode="full"`` — and ``--assert-atom-speedup`` turns the atom-beats-member
 expectation into an exit code for CI (see docs/performance.md).
 
+Every run also records a ``"service"`` section: audit-daemon throughput
+(jobs/sec with the queue filled to depth 8) and submit→result latency
+through the crash-safe journal (see docs/service.md).
+
 The payload layout is versioned (``repro.bench/v1``) and checked by
 :func:`validate_bench_payload` before anything is written, so a schema
 drift fails the run instead of poisoning the trajectory.
@@ -254,6 +258,63 @@ def scaling_speedup(scaling: dict) -> tuple[int, float]:
     return largest["population"], member / atom if atom > 0 else float("inf")
 
 
+def run_service_bench(queue_depth: int = 8, workers: int = 2) -> dict:
+    """Audit-daemon throughput: submit→result latency and jobs/sec.
+
+    Spins an in-process :class:`~repro.service.server.AuditService` on a
+    temp workdir, fills the queue to ``queue_depth`` toy jobs and drains
+    it.  Latency is each job's journal timestamps (submit → terminal);
+    throughput is jobs over the whole batch's wall time — the figure the
+    backpressure limit trades against.
+    """
+    import shutil
+    import tempfile
+
+    from repro.service import AuditJob, AuditService, ServiceConfig
+
+    workdir = tempfile.mkdtemp(prefix="bench-service-")
+    service = AuditService(
+        ServiceConfig(
+            workdir,
+            queue_limit=queue_depth,
+            workers=workers,
+            port=None,
+            poll_seconds=0.005,
+        )
+    ).start()
+    try:
+        start = time.perf_counter()
+        job_ids = []
+        for i in range(queue_depth):
+            job_id = f"bench-{i}"
+            service.submit(
+                AuditJob(id=job_id, scenario="figure1", algorithm="balanced", seed=i)
+            )
+            job_ids.append(job_id)
+        assert service.drain(timeout=300), "service bench never drained"
+        wall = time.perf_counter() - start
+        latencies = []
+        for job_id in job_ids:
+            record = service.record(job_id)
+            assert record.state.value == "DONE", f"{job_id} ended {record.state}"
+            latencies.append(record.updated_at - record.submitted_at)
+    finally:
+        service.stop()
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "queue_depth": queue_depth,
+        "workers": workers,
+        "jobs": len(job_ids),
+        "wall_seconds": wall,
+        "jobs_per_second": len(job_ids) / wall,
+        "latency_seconds": {
+            "median": statistics.median(latencies),
+            "min": min(latencies),
+            "max": max(latencies),
+        },
+    }
+
+
 def validate_bench_payload(payload: dict) -> None:
     """Raise ``ValueError`` unless ``payload`` is a well-formed v1 bench."""
 
@@ -301,6 +362,28 @@ def validate_bench_payload(payload: dict) -> None:
             fail(f"overhead.{key} must be a float")
     if overhead["baseline_seconds"] <= 0 or overhead["noop_seconds"] <= 0:
         fail("overhead timings must be positive")
+    if "service" in payload:
+        service = payload["service"]
+        if not isinstance(service, dict):
+            fail("service must be a dict")
+        for key, kind in (
+            ("queue_depth", int),
+            ("workers", int),
+            ("jobs", int),
+            ("wall_seconds", float),
+            ("jobs_per_second", float),
+            ("latency_seconds", dict),
+        ):
+            if not isinstance(service.get(key), kind):
+                fail(f"service.{key} must be {kind.__name__}")
+        if service["queue_depth"] < 1 or service["jobs"] < 1:
+            fail("service sizes must be positive")
+        if service["wall_seconds"] <= 0 or service["jobs_per_second"] <= 0:
+            fail("service timings must be positive")
+        for key in ("median", "min", "max"):
+            value = service["latency_seconds"].get(key)
+            if not isinstance(value, float) or value < 0:
+                fail(f"service.latency_seconds.{key} must be a non-negative float")
     if "scaling" in payload:
         scaling = payload["scaling"]
         if not isinstance(scaling, dict):
@@ -353,6 +436,8 @@ def run_suite(quick: bool, repeats: int, scaling: bool = False) -> dict:
         if overhead is None:
             print(f"[{label}] no-op tracer overhead ({repeats} repeats) ...", flush=True)
             overhead = _measure_overhead(scenario, scores, repeats)
+    print("[service] audit daemon throughput (queue depth 8) ...", flush=True)
+    service = run_service_bench()
     payload = {
         "schema": BENCH_SCHEMA,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -363,6 +448,7 @@ def run_suite(quick: bool, repeats: int, scaling: bool = False) -> dict:
         },
         "cases": cases,
         "overhead": overhead,
+        "service": service,
     }
     if scaling:
         payload["scaling"] = run_scaling(quick, repeats)
@@ -416,6 +502,12 @@ def main(argv=None) -> int:
 
     overhead = payload["overhead"]
     print(f"\nwrote {len(payload['cases'])} cases to {out_path}")
+    service = payload["service"]
+    print(
+        f"service: {service['jobs_per_second']:.1f} jobs/s at queue depth "
+        f"{service['queue_depth']} (median submit→result latency "
+        f"{service['latency_seconds']['median'] * 1000:.1f}ms)"
+    )
     print(
         f"no-op tracer: A/B delta {overhead['relative']:.2%}, "
         f"estimated instrumentation cost {overhead['estimated_fraction']:.3%} "

@@ -47,12 +47,14 @@ from repro.core.schema import WorkerSchema
 from repro.core.tree import build_split_tree, render_split_tree
 from repro.core.unfairness import UnfairnessEvaluator, unfairness
 from repro.engine import (
+    Deadline,
     EvaluationEngine,
     FaultConfig,
     FaultInjectionBackend,
     RetryingBackend,
     RetryPolicy,
     SearchContext,
+    StepDeadline,
     available_backends,
 )
 from repro.exceptions import (
@@ -62,13 +64,26 @@ from repro.exceptions import (
     BudgetExceededError,
     CheckpointError,
     CorruptResultError,
+    DeadlineExceededError,
+    JobRejectedError,
+    JobStateError,
+    JournalError,
     MetricError,
     PartitioningError,
     PopulationError,
     ReproError,
     SchemaError,
     ScoringError,
+    ServiceError,
     WorkerCrashError,
+)
+from repro.service import (
+    AuditJob,
+    AuditService,
+    JobJournal,
+    JobRecord,
+    JobState,
+    ServiceConfig,
 )
 from repro.marketplace.biased import (
     AttributeCondition,
@@ -152,6 +167,16 @@ __all__ = [
     "FaultConfig",
     "FaultInjectionBackend",
     "CheckpointStore",
+    # deadlines
+    "Deadline",
+    "StepDeadline",
+    # audit service
+    "AuditJob",
+    "AuditService",
+    "JobJournal",
+    "JobRecord",
+    "JobState",
+    "ServiceConfig",
     # observability
     "Tracer",
     "NullTracer",
@@ -217,4 +242,9 @@ __all__ = [
     "CorruptResultError",
     "BackendExhaustedError",
     "CheckpointError",
+    "DeadlineExceededError",
+    "ServiceError",
+    "JobRejectedError",
+    "JobStateError",
+    "JournalError",
 ]

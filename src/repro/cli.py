@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands::
+Ten subcommands::
 
     repro-audit generate --workers 500 --seed 42 --out workers.csv
     repro-audit audit workers.csv --function f4 --algorithm balanced
@@ -9,6 +9,9 @@ Seven subcommands::
     repro-audit repair workers.csv --function f6 --amount 1.0
     repro-audit workload workers.csv tasks.json
     repro-audit experiment table1 --out table1.json
+    repro-audit serve --workdir state/
+    repro-audit submit --url http://127.0.0.1:8765 --id j1 --scenario figure1
+    repro-audit jobs --workdir state/
 
 ``generate`` writes a synthetic population under the paper's schema;
 ``audit`` runs one algorithm on one scoring function and prints the report;
@@ -17,7 +20,11 @@ Seven subcommands::
 sampling-noise null; ``repair`` quantile-aligns the scores across the
 audited groups and reports the unfairness before/after; ``experiment``
 regenerates one of the paper's tables (table1, table2, table3) or the
-Figure 1 toy example.
+Figure 1 toy example; ``serve`` runs the long-running audit daemon
+(crash-safe job journal, bounded queue with backpressure, per-job
+deadlines, graceful drain — see ``docs/service.md``); ``submit`` posts one
+job to a running daemon; ``jobs`` lists job states from a daemon or
+straight from a journal file.
 
 The four engine-using subcommands (``audit``, ``compare``, ``workload``,
 ``experiment``) share one flag surface:
@@ -414,6 +421,117 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --checkpoint-dir DIR); bit-identical to an uninterrupted run",
     )
     _add_engine_arguments(experiment, alias_backend=True)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-running audit daemon (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--workdir",
+        required=True,
+        metavar="DIR",
+        help="daemon state directory (journal.jsonl + per-job checkpoints); "
+        "restarting on the same directory resumes every unfinished job",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        dest="queue_limit",
+        type=_positive_int,
+        default=8,
+        help="max queued jobs before submissions are rejected (queue_full)",
+    )
+    serve.add_argument(
+        "--queue-workers",
+        dest="queue_workers",
+        type=_positive_int,
+        default=2,
+        help="worker threads draining the job queue",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="HTTP bind host")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="HTTP bind port (0 picks a free port; printed at startup)",
+    )
+    _add_engine_arguments(serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one audit job to a running daemon"
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="daemon base URL (see the 'serve' startup banner)",
+    )
+    submit.add_argument("--id", required=True, help="unique job id (path-safe token)")
+    submit.add_argument(
+        "--scenario",
+        required=True,
+        choices=["figure1", "table1", "table2", "table3"],
+        help="paper artefact to audit",
+    )
+    submit.add_argument(
+        "--algorithm",
+        default="balanced",
+        choices=sorted(available_algorithms()),
+        help="search algorithm",
+    )
+    submit.add_argument(
+        "--function",
+        dest="functions",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scoring function to include (repeatable; default: all)",
+    )
+    submit.add_argument("--seed", type=int, default=0, help="job seed")
+    submit.add_argument(
+        "--priority", type=int, default=0, help="smaller runs first among queued jobs"
+    )
+    submit.add_argument(
+        "--deadline",
+        dest="deadline",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job compute budget; an over-budget job is CANCELLED with "
+        "a flagged partial result",
+    )
+    submit.add_argument(
+        "--max-attempts",
+        dest="max_attempts",
+        type=_positive_int,
+        default=3,
+        help="tries before a repeatedly failing job is QUARANTINED",
+    )
+    submit.add_argument(
+        "--n-workers",
+        dest="n_workers",
+        type=_positive_int,
+        default=None,
+        help="population-size override for the scenario",
+    )
+    submit.add_argument(
+        "--metric",
+        default="emd",
+        choices=sorted(available_metrics()),
+        help="histogram distance to maximise",
+    )
+
+    jobs = subparsers.add_parser(
+        "jobs", help="list audit jobs from a daemon or a journal file"
+    )
+    jobs_source = jobs.add_mutually_exclusive_group(required=True)
+    jobs_source.add_argument(
+        "--url", default=None, help="query a running daemon's /jobs endpoint"
+    )
+    jobs_source.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="read DIR/journal.jsonl directly (works while the daemon is down)",
+    )
     return parser
 
 
@@ -676,6 +794,128 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import AuditService, ServiceConfig
+
+    if getattr(args, "log_level", None):
+        setup_logging(args.log_level)
+    retry_policy, _ = _resilience(args)
+    service = AuditService(
+        ServiceConfig(
+            args.workdir,
+            queue_limit=args.queue_limit,
+            workers=args.queue_workers,
+            host=args.host,
+            port=args.port,
+        ),
+        retry_policy=retry_policy,
+    )
+    # The handlers only set an event; the drain happens on this thread, so
+    # in-flight jobs always finish before the process exits.
+    signal.signal(signal.SIGTERM, lambda *_: service.request_shutdown())
+    signal.signal(signal.SIGINT, lambda *_: service.request_shutdown())
+    service.start()
+    host, port = service.address
+    print(
+        f"audit service listening on http://{host}:{port} "
+        f"(journal: {service.journal.path})",
+        flush=True,
+    )
+    while not service.wait_for_shutdown(timeout=0.2):
+        pass
+    print("shutdown requested; draining in-flight jobs", flush=True)
+    service.stop()
+    print("drained cleanly", flush=True)
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    payload = {
+        "id": args.id,
+        "scenario": args.scenario,
+        "algorithm": args.algorithm,
+        "seed": args.seed,
+        "priority": args.priority,
+        "max_attempts": args.max_attempts,
+        "metric": args.metric,
+    }
+    if args.functions:
+        payload["functions"] = args.functions
+    if args.deadline is not None:
+        payload["deadline_seconds"] = args.deadline
+    if args.n_workers is not None:
+        payload["n_workers"] = args.n_workers
+    request = urllib.request.Request(
+        args.url.rstrip("/") + "/submit",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            body = json.load(response)
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.load(exc)
+        except json.JSONDecodeError:
+            detail = {"error": exc.reason}
+        print(
+            f"rejected ({detail.get('reason', exc.code)}): {detail.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    except urllib.error.URLError as exc:
+        print(f"cannot reach daemon at {args.url}: {exc.reason}", file=sys.stderr)
+        return 2
+    print(f"accepted {body['accepted']} (state {body['state']})")
+    return 0
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+    from pathlib import Path
+
+    if args.url:
+        try:
+            with urllib.request.urlopen(
+                args.url.rstrip("/") + "/jobs", timeout=30
+            ) as response:
+                jobs = json.load(response)["jobs"]
+        except urllib.error.URLError as exc:
+            print(f"cannot reach daemon at {args.url}: {exc.reason}", file=sys.stderr)
+            return 2
+    else:
+        from repro.exceptions import JournalError
+        from repro.service import JobJournal
+
+        journal = JobJournal(Path(args.workdir) / "journal.jsonl")
+        try:
+            jobs = [record.as_dict() for record in journal.replay().values()]
+        except JournalError as exc:
+            print(f"cannot read journal: {exc}", file=sys.stderr)
+            return 2
+    if not jobs:
+        print("no jobs")
+        return 0
+    header = f"{'id':<20} {'state':<12} {'attempt':>7}  reason"
+    print(header)
+    print("-" * len(header))
+    for job in jobs:
+        print(
+            f"{job['id']:<20} {job['state']:<12} {job['attempt']:>7}  "
+            f"{job['reason'] or ''}"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-audit`` console script."""
     args = build_parser().parse_args(argv)
@@ -687,6 +927,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "repair": _command_repair,
         "workload": _command_workload,
         "experiment": _command_experiment,
+        "serve": _command_serve,
+        "submit": _command_submit,
+        "jobs": _command_jobs,
     }
     return commands[args.command](args)
 

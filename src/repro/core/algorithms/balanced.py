@@ -44,6 +44,8 @@ class BalancedAlgorithm(PartitioningAlgorithm):
         tracer = context.tracer
         remaining = list(population.schema.protected_names)
         root = Partition(population.all_indices())
+        if context.should_stop():
+            return [root]
 
         with tracer.span("balanced.level", level=0, frontier=1) as span:
             choice = worst_attribute(population, [root], remaining, engine)
@@ -53,6 +55,8 @@ class BalancedAlgorithm(PartitioningAlgorithm):
 
         level = 0
         while remaining:
+            if context.should_stop():
+                break
             level += 1
             with tracer.span(
                 "balanced.level", level=level, frontier=len(current)
@@ -85,6 +89,8 @@ class RandomBalancedAlgorithm(PartitioningAlgorithm):
         tracer = context.tracer
         remaining = list(population.schema.protected_names)
         root = Partition(population.all_indices())
+        if context.should_stop():
+            return [root]
 
         attribute = str(rng.choice(remaining))
         remaining.remove(attribute)
@@ -93,6 +99,10 @@ class RandomBalancedAlgorithm(PartitioningAlgorithm):
 
         level = 0
         while remaining:
+            # Poll before the rng draw so a cutoff run's draw sequence stays
+            # a prefix of the unbounded run's (bit-identical tie-breaks).
+            if context.should_stop():
+                break
             level += 1
             attribute = str(rng.choice(remaining))
             remaining.remove(attribute)

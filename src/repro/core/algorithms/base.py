@@ -81,6 +81,11 @@ class AlgorithmResult:
         Execution backend the run used (``sequential`` / ``process``).
     workers:
         Degree of parallelism of that backend.
+    deadline_hit:
+        True when the search stopped at an iteration boundary because its
+        cooperative deadline expired; the partitioning is then the partial
+        result at the cutoff (bit-identical to the same-iteration prefix of
+        an unbounded run), not the search's natural fixpoint.
     """
 
     algorithm: str
@@ -96,6 +101,7 @@ class AlgorithmResult:
     pair_distances_full: int = 0
     backend: str = "sequential"
     workers: int = 1
+    deadline_hit: bool = False
 
     def describe(self, schema: WorkerSchema) -> str:
         """Multi-line human-readable summary of the result."""
@@ -110,6 +116,8 @@ class AlgorithmResult:
             f"cache_hits={self.cache_hits} "
             f"pair_distances={self.pair_distances_computed}/{self.pair_distances_full}",
         ]
+        if self.deadline_hit:
+            lines.append("deadline      : hit — partial result at the cutoff boundary")
         lines.extend("  " + d for d in self.partitioning.describe(schema))
         return "\n".join(lines)
 
@@ -140,6 +148,7 @@ class PartitioningAlgorithm(abc.ABC):
         retry_policy=None,
         fault_config=None,
         use_atoms: "bool | None" = None,
+        deadline=None,
     ) -> AlgorithmResult:
         """Search for the most unfair partitioning of ``population`` under ``scores``.
 
@@ -179,6 +188,12 @@ class PartitioningAlgorithm(abc.ABC):
             Atom-table fast path switch forwarded to the engine (default
             on in incremental mode; ``False`` forces the member-array cost
             model — results are bit-identical either way).
+        deadline:
+            Optional cooperative compute budget (a
+            :class:`~repro.engine.deadline.Deadline` or any object with an
+            ``expired()`` method).  The search polls it at iteration
+            boundaries and, once spent, returns the partial result reached
+            so far with ``deadline_hit=True`` instead of running on.
         """
         if population.size == 0:
             raise PartitioningError("cannot partition an empty population")
@@ -202,7 +217,9 @@ class PartitioningAlgorithm(abc.ABC):
             if not isinstance(rng, np.random.Generator)
             else rng
         )
-        context = SearchContext(population=population, engine=engine, rng=generator)
+        context = SearchContext(
+            population=population, engine=engine, rng=generator, deadline=deadline
+        )
         run_tracer = tracer if tracer is not None else NULL_TRACER
         start = time.perf_counter()
         try:
@@ -216,7 +233,9 @@ class PartitioningAlgorithm(abc.ABC):
                 partitioning = Partitioning(partitions, population.size)
                 final_unfairness = engine.unfairness(partitioning)
                 run_span.set(
-                    unfairness=final_unfairness, n_partitions=partitioning.k
+                    unfairness=final_unfairness,
+                    n_partitions=partitioning.k,
+                    deadline_hit=context.deadline_hit,
                 )
         finally:
             engine.close()
@@ -238,6 +257,7 @@ class PartitioningAlgorithm(abc.ABC):
             pair_distances_full=stats.pair_distances_full,
             backend=stats.backend,
             workers=stats.workers,
+            deadline_hit=context.deadline_hit,
         )
 
     @abc.abstractmethod

@@ -33,6 +33,8 @@ class AllAttributesAlgorithm(PartitioningAlgorithm):
         population = context.population
         current = [Partition(population.all_indices())]
         for level, attribute in enumerate(population.schema.protected_names):
+            if context.should_stop():
+                break
             with context.tracer.span(
                 "all-attributes.split",
                 level=level,
@@ -52,6 +54,8 @@ class SingleAttributeAlgorithm(PartitioningAlgorithm):
     def _search(self, context: SearchContext) -> list[Partition]:
         population = context.population
         root = Partition(population.all_indices())
+        if context.should_stop():
+            return [root]
         with context.tracer.span("single-attribute.scan") as span:
             choice = worst_attribute(
                 population,

@@ -62,6 +62,8 @@ class BeamSearchAlgorithm(PartitioningAlgorithm):
 
         level = 0
         while True:
+            if context.should_stop():
+                break
             level += 1
             with context.tracer.span(
                 "beam.level", level=level, beam=len(beam)

@@ -74,6 +74,11 @@ class ExhaustiveAlgorithm(PartitioningAlgorithm):
         count = 0
         pending: list[list[Partition]] = []
         for candidate in self._enumerate(population, root, attributes):
+            # Per-candidate deadline poll: a cutoff run scores exactly the
+            # enumeration-order prefix an unbounded run scores first, so its
+            # argmax is the prefix argmax (first-wins tie-breaks preserved).
+            if context.should_stop():
+                break
             key = frozenset(p.members_key() for p in candidate)
             if key in seen:
                 continue
@@ -87,7 +92,10 @@ class ExhaustiveAlgorithm(PartitioningAlgorithm):
                 pending = []
         if pending:
             best, best_score = self._flush(context, pending, best, best_score)
-        assert best is not None  # the root-only partitioning is always yielded
+        if best is None:
+            # Deadline expired before the first candidate was even scored;
+            # the root-only partitioning is the empty-prefix partial result.
+            best = [root]
         context.metrics.set_gauge("exhaustive.candidates", count)
         return best
 

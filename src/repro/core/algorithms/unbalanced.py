@@ -75,6 +75,8 @@ class _UnbalancedBase(PartitioningAlgorithm):
     def _search(self, context: SearchContext) -> list[Partition]:
         candidates = list(context.population.schema.protected_names)
         root = Partition(context.population.all_indices())
+        if context.should_stop():
+            return [root]
         attribute, first_level = self._initial_split(context, root, candidates)
         remaining = [a for a in candidates if a != attribute]
 
@@ -92,7 +94,11 @@ class _UnbalancedBase(PartitioningAlgorithm):
         candidates: list[str],
         output: list[Partition],
     ) -> None:
-        if not candidates:
+        # Deadline poll per node: once expired, this node and every node
+        # still pending in the deterministic DFS order are emitted unsplit,
+        # so the cutoff result is the processed prefix plus the untouched
+        # remainder of the frontier.
+        if not candidates or context.should_stop():
             output.append(current)
             return
         with context.tracer.span(

@@ -153,6 +153,7 @@ class FairnessAuditor:
         metrics=None,
         retry_policy=None,
         fault_config=None,
+        deadline=None,
         **algorithm_options: object,
     ) -> AuditReport:
         """Find the most unfair partitioning under one scoring function.
@@ -164,7 +165,9 @@ class FairnessAuditor:
         :class:`~repro.engine.engine.EvaluationEngine`); ``tracer`` /
         ``metrics`` attach observability hooks (see :mod:`repro.obs`);
         ``retry_policy`` / ``fault_config`` attach fault tolerance and chaos
-        injection (see ``docs/robustness.md``).
+        injection (see ``docs/robustness.md``); ``deadline`` caps the search
+        cooperatively (see :mod:`repro.engine.deadline` — an expired run
+        returns a flagged partial result).
         """
         from repro.obs.tracer import NULL_TRACER
 
@@ -184,6 +187,7 @@ class FairnessAuditor:
                 metrics=metrics,
                 retry_policy=retry_policy,
                 fault_config=fault_config,
+                deadline=deadline,
             )
         with run_tracer.span("audit.report", n_groups=result.partitioning.k):
             groups = tuple(

@@ -16,6 +16,7 @@ from repro.engine.backends import (
     get_backend,
 )
 from repro.engine.context import SearchContext
+from repro.engine.deadline import Deadline, StepDeadline
 from repro.engine.engine import EngineStats, EvaluationEngine
 from repro.engine.faults import FaultConfig, FaultInjectionBackend
 from repro.engine.resilience import RetryingBackend, RetryPolicy, validate_batch
@@ -32,6 +33,8 @@ __all__ = [
     "EvaluationEngine",
     "EngineStats",
     "SearchContext",
+    "Deadline",
+    "StepDeadline",
     "ExecutionBackend",
     "SequentialBackend",
     "ProcessPoolBackend",

@@ -31,11 +31,40 @@ class SearchContext:
         The evaluation substrate; all unfairness queries go through it.
     rng:
         Randomness source (only the ``r-*`` baselines draw from it).
+    deadline:
+        Optional cooperative budget (see :mod:`repro.engine.deadline`).
+        Algorithms poll :meth:`should_stop` at every iteration boundary and
+        wind down with a partial result once it expires; ``None`` (the
+        default) makes the poll a single attribute check.
+    deadline_hit:
+        Set by the first :meth:`should_stop` poll that observed expiry; the
+        run's :class:`~repro.core.algorithms.base.AlgorithmResult` carries
+        it out as the partial-result flag.
     """
 
     population: Population
     engine: EvaluationEngine
     rng: np.random.Generator
+    deadline: "object | None" = None
+    deadline_hit: bool = False
+
+    def should_stop(self) -> bool:
+        """Poll the deadline at an iteration boundary.
+
+        Returns True once the budget is spent; the first expiring poll sets
+        :attr:`deadline_hit` and bumps the ``search.deadline_hits`` counter
+        so flagged partial results are visible in metrics.  Never raises —
+        partial results are the cooperative contract; callers that need
+        hard failure use ``deadline.raise_if_expired()`` directly.
+        """
+        if self.deadline is None:
+            return False
+        if self.deadline_hit or self.deadline.expired():
+            if not self.deadline_hit:
+                self.deadline_hit = True
+                self.metrics.inc("search.deadline_hits")
+            return True
+        return False
 
     @property
     def protected_names(self) -> tuple[str, ...]:

@@ -1,0 +1,95 @@
+"""Cooperative deadlines for search loops and service jobs.
+
+A :class:`Deadline` is a monotonic-clock budget that search algorithms poll
+at iteration boundaries (via ``SearchContext.should_stop``) so a run past
+its budget stops at the *next* boundary and returns a flagged partial
+result instead of hanging its worker thread.  Polling — rather than
+preemption — keeps the guarantee the rest of the engine is built on: the
+work done before the cutoff is bit-identical to the same-iteration prefix
+of an unbounded run, because the deadline never changes *what* an iteration
+computes, only whether the next one starts.
+
+:class:`StepDeadline` expires after a fixed number of polls instead of a
+wall-clock duration.  It exists for determinism: tests (and the service
+smoke drill) can cut a search at an exact iteration boundary and compare
+the partial result against a reference prefix, independent of machine
+speed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.exceptions import DeadlineExceededError
+
+__all__ = ["Deadline", "StepDeadline"]
+
+
+class Deadline:
+    """A wall-clock compute budget, polled cooperatively.
+
+    Parameters
+    ----------
+    seconds:
+        Budget from *now* (monotonic).  Must be positive and finite.
+    clock:
+        Injectable time source for tests (defaults to
+        :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        seconds = float(seconds)
+        if not seconds > 0:
+            raise ValueError(f"deadline seconds must be > 0, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self._expires_at = clock() + seconds
+
+    def expired(self) -> bool:
+        """True once the budget is spent (monotone: never flips back)."""
+        return self._clock() >= self._expires_at
+
+    def remaining(self) -> float:
+        """Seconds left, clamped at 0."""
+        return max(0.0, self._expires_at - self._clock())
+
+    def raise_if_expired(self) -> None:
+        """Hard-failure variant: raise :class:`DeadlineExceededError`."""
+        if self.expired():
+            raise DeadlineExceededError(self)
+
+    def __repr__(self) -> str:
+        return f"Deadline(seconds={self.seconds}, remaining={self.remaining():.3f})"
+
+
+class StepDeadline:
+    """A deadline that expires after ``max_checks`` ``expired()`` polls.
+
+    Search loops poll exactly once per iteration boundary, so
+    ``StepDeadline(n)`` lets the first ``n - 1`` boundaries proceed and
+    stops the search at the ``n``-th — the same cut on every machine, which
+    is what the partial-result prefix tests pin down.
+    """
+
+    def __init__(self, max_checks: int) -> None:
+        if max_checks < 1:
+            raise ValueError(f"max_checks must be >= 1, got {max_checks}")
+        self.max_checks = max_checks
+        self.checks = 0
+
+    def expired(self) -> bool:
+        self.checks += 1
+        return self.checks >= self.max_checks
+
+    def remaining(self) -> float:
+        return float(max(0, self.max_checks - self.checks))
+
+    def raise_if_expired(self) -> None:
+        if self.expired():
+            raise DeadlineExceededError(self)
+
+    def __repr__(self) -> str:
+        return f"StepDeadline({self.checks}/{self.max_checks})"

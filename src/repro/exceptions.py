@@ -84,6 +84,51 @@ class CheckpointError(ReproError):
     """A checkpoint file is missing, corrupt, or from an incompatible run."""
 
 
+class DeadlineExceededError(ReproError):
+    """A search or job ran past its cooperative deadline.
+
+    Carries the :class:`~repro.engine.deadline.Deadline` that expired.
+    Search loops normally *poll* (``SearchContext.should_stop``) and return
+    a flagged partial result instead of raising; this error is for callers
+    that need hard failure semantics (``Deadline.raise_if_expired``) — e.g.
+    the audit service refusing to start a job whose budget is already gone.
+    """
+
+    def __init__(self, deadline: "object | None" = None, message: "str | None" = None) -> None:
+        self.deadline = deadline
+        super().__init__(message or f"deadline exceeded: {deadline!r}")
+
+
+class ServiceError(ReproError):
+    """The audit service could not accept, run, or recover a job."""
+
+
+class JobRejectedError(ServiceError):
+    """A job submission was refused, with a typed machine-readable reason.
+
+    ``reason`` is one of the :data:`~repro.service.server.REJECTION_REASONS`
+    (``queue_full``, ``duplicate_id``, ``invalid_spec``, ``shutting_down``)
+    so clients can distinguish backpressure from caller bugs.
+    """
+
+    def __init__(self, reason: str, message: "str | None" = None) -> None:
+        self.reason = reason
+        super().__init__(message or f"job rejected: {reason}")
+
+
+class JobStateError(ServiceError):
+    """An illegal job state transition was attempted (see repro.service.jobs)."""
+
+
+class JournalError(ServiceError):
+    """The job journal is unreadable, corrupt mid-file, or schema-incompatible.
+
+    A *torn tail* (the final record cut short by a crash) is recovered, not
+    raised; this error means a record before the tail failed its CRC — i.e.
+    the file was damaged in a way recovery must not silently paper over.
+    """
+
+
 class BudgetExceededError(ReproError):
     """An exhaustive search exceeded its configured evaluation budget.
 

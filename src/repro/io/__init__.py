@@ -1,5 +1,13 @@
-"""Persistence: populations to/from CSV, experiment results to JSON."""
+"""Persistence: populations to/from CSV, experiment results to JSON, and
+crash-safe write primitives shared by every durable store."""
 
+from repro.io.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    ensure_directory,
+    fsync_directory,
+    fsync_handle,
+)
 from repro.io.serialization import (
     audit_report_to_dict,
     load_experiment_rows,
@@ -20,4 +28,9 @@ __all__ = [
     "load_experiment_rows",
     "audit_report_to_dict",
     "save_audit_report",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "ensure_directory",
+    "fsync_directory",
+    "fsync_handle",
 ]

@@ -1,0 +1,85 @@
+"""Crash-safe filesystem primitives shared by every durable store.
+
+Both the experiment :class:`~repro.simulation.checkpoint.CheckpointStore`
+and the audit service's :class:`~repro.service.journal.JobJournal` need the
+same two guarantees:
+
+* **atomic replace** — a reader (including a process restarted after
+  SIGKILL) sees either the old file or the new file, never a torn one.
+  :func:`atomic_write_bytes` writes a temp file *in the target directory*
+  (so the final ``os.replace`` never crosses filesystems), fsyncs it, then
+  replaces the target and fsyncs the directory entry;
+* **durable append** — :func:`fsync_handle` flushes and fsyncs an open
+  handle so an append-only log's records survive power loss once the
+  append call returns.
+
+Directory creation is race-safe (``exist_ok=True``): two processes — or a
+daemon and a submitter — may create the same state directory concurrently
+without one of them crashing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = [
+    "ensure_directory",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_handle",
+    "fsync_directory",
+]
+
+
+def ensure_directory(path: "str | Path") -> Path:
+    """Create ``path`` (and parents) if missing; concurrent callers both win."""
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def fsync_handle(handle) -> None:
+    """Flush python buffers and fsync the OS file description."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_directory(path: "str | Path") -> None:
+    """fsync a directory so a just-created/replaced entry survives a crash.
+
+    Best-effort on platforms whose directories cannot be opened (the data
+    fsync already happened; only the rename's durability window widens).
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: "str | Path", data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data`` (tmp + fsync + replace).
+
+    The parent directory is created if missing.  A kill at any instant
+    leaves either the previous content or the new content at ``path`` —
+    never a partial write; stray ``.tmp`` files from a kill inside this
+    function are overwritten by the next call.
+    """
+    target = Path(path)
+    ensure_directory(target.parent)
+    tmp = target.with_name(target.name + ".tmp")
+    with tmp.open("wb") as handle:
+        handle.write(data)
+        fsync_handle(handle)
+    os.replace(tmp, target)
+    fsync_directory(target.parent)
+    return target
+
+
+def atomic_write_text(path: "str | Path", text: str) -> Path:
+    """:func:`atomic_write_bytes` for UTF-8 text."""
+    return atomic_write_bytes(path, text.encode("utf-8"))

@@ -1,0 +1,42 @@
+"""Long-running fairness-audit service.
+
+The three layers, bottom up:
+
+* :mod:`repro.service.jobs` — typed :class:`AuditJob` specs and the
+  explicit job-lifecycle state machine;
+* :mod:`repro.service.journal` — the crash-safe append-only
+  :class:`JobJournal` (CRC-checked JSONL, fsync'd appends, torn-tail
+  recovery) that makes the daemon's state survive SIGKILL;
+* :mod:`repro.service.server` — the :class:`AuditService` daemon: bounded
+  queue with typed backpressure, worker threads, per-job deadlines,
+  poison-job quarantine, graceful drain and the stdlib HTTP endpoints.
+
+See ``docs/service.md`` for the operational story.
+"""
+
+from repro.service.jobs import (
+    KNOWN_SCENARIOS,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
+    AuditJob,
+    JobRecord,
+    JobState,
+    check_transition,
+)
+from repro.service.journal import JOURNAL_SCHEMA, JobJournal
+from repro.service.server import REJECTION_REASONS, AuditService, ServiceConfig
+
+__all__ = [
+    "AuditJob",
+    "AuditService",
+    "JobJournal",
+    "JobRecord",
+    "JobState",
+    "JOURNAL_SCHEMA",
+    "KNOWN_SCENARIOS",
+    "REJECTION_REASONS",
+    "ServiceConfig",
+    "TERMINAL_STATES",
+    "VALID_TRANSITIONS",
+    "check_transition",
+]

@@ -1,0 +1,266 @@
+"""Crash-safe append-only job journal (``repro.journal/v1``).
+
+The daemon's only durable state is one JSONL file: a header line followed
+by one record per event (job submitted, state transition).  Every line is a
+self-contained JSON object ``{"crc": <crc32>, "rec": {...}}`` whose ``crc``
+is the CRC32 of the canonical JSON encoding of ``rec`` — so a reader can
+tell a record that was *written* from bytes that merely *look like* one.
+Appends go through one ``write → flush → fsync`` sequence; once
+:meth:`JobJournal.append` returns, the record survives power loss.
+
+Recovery semantics (:meth:`JobJournal.open`):
+
+* a **torn tail** — the final line cut short by a crash mid-append (partial
+  JSON, missing newline, failed CRC) — is truncated away and logged; at
+  most one record (the one being appended during the kill) is lost, and
+  that record had not been acknowledged to anyone;
+* a bad record **before** the tail means real corruption and raises
+  :class:`~repro.exceptions.JournalError` — recovery must never silently
+  skip acknowledged history;
+* an unknown ``schema`` tag raises rather than misreads.
+
+Replaying the surviving records (:meth:`JobJournal.replay`) rebuilds the
+job table exactly: jobs whose last state is ``RUNNING`` were in flight when
+the daemon died and are re-queued (``RUNNING → PENDING``), resuming through
+their per-job :class:`~repro.simulation.checkpoint.CheckpointStore` so the
+re-run is byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from repro.exceptions import JournalError, ServiceError
+from repro.io.atomic import ensure_directory, fsync_directory, fsync_handle
+from repro.service.jobs import AuditJob, JobRecord, JobState
+
+__all__ = ["JobJournal", "JOURNAL_SCHEMA", "encode_record", "decode_line"]
+
+#: Format tag; bump on incompatible layout changes.
+JOURNAL_SCHEMA = "repro.journal/v1"
+
+
+def _canonical(record: dict) -> str:
+    """The byte-stable JSON encoding the CRC is computed over."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def encode_record(record: dict) -> str:
+    """One journal line (no newline): CRC32-wrapped canonical JSON."""
+    body = _canonical(record)
+    crc = zlib.crc32(body.encode("utf-8"))
+    return json.dumps({"crc": crc, "rec": record}, sort_keys=True, separators=(",", ":"))
+
+
+def decode_line(line: str) -> dict:
+    """Parse and CRC-verify one journal line; raises ``ValueError`` if torn."""
+    wrapper = json.loads(line)
+    if not isinstance(wrapper, dict) or "crc" not in wrapper or "rec" not in wrapper:
+        raise ValueError("journal line is not a crc-wrapped record")
+    record = wrapper["rec"]
+    crc = zlib.crc32(_canonical(record).encode("utf-8"))
+    if crc != wrapper["crc"]:
+        raise ValueError(f"crc mismatch: stored {wrapper['crc']}, computed {crc}")
+    return record
+
+
+class JobJournal:
+    """Append-only, CRC-checked, fsync'd record log for the audit daemon.
+
+    One instance is the single writer; readers (``repro-audit jobs`` on a
+    stopped daemon, tests) use :meth:`read_records` / :meth:`replay` on
+    their own instance without opening for append.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.recovered_tail_bytes = 0
+
+    # -------------------------------------------------------------- lifecycle
+
+    def open(self) -> "JobJournal":
+        """Open for appending, creating or recovering the file as needed.
+
+        Existing files are scanned first: a torn tail is truncated in place
+        (write + fsync) before the append handle is positioned at the end.
+        """
+        ensure_directory(self.path.parent)
+        if self.path.exists():
+            self._recover()
+        else:
+            with self.path.open("w") as handle:
+                handle.write(encode_record({"type": "header", "schema": JOURNAL_SCHEMA}) + "\n")
+                fsync_handle(handle)
+            fsync_directory(self.path.parent)
+        self._handle = self.path.open("a")
+        return self
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JobJournal":
+        return self.open()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- appending
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (write + flush + fsync before return)."""
+        if self._handle is None:
+            raise JournalError("journal not open for appending; call open() first")
+        self._handle.write(encode_record(record) + "\n")
+        fsync_handle(self._handle)
+
+    def append_submit(self, job: AuditJob, timestamp: float) -> None:
+        self.append({"type": "submit", "ts": timestamp, "job": job.to_dict()})
+
+    def append_state(
+        self,
+        job_id: str,
+        state: JobState,
+        timestamp: float,
+        *,
+        attempt: "int | None" = None,
+        reason: "str | None" = None,
+        result: "dict | None" = None,
+    ) -> None:
+        record = {"type": "state", "ts": timestamp, "id": job_id, "state": state.value}
+        if attempt is not None:
+            record["attempt"] = attempt
+        if reason is not None:
+            record["reason"] = reason
+        if result is not None:
+            record["result"] = result
+        self.append(record)
+
+    # ---------------------------------------------------------------- reading
+
+    def _scan(self) -> "tuple[list[dict], int, int]":
+        """(records, clean_length_bytes, torn_bytes) of the current file.
+
+        ``clean_length_bytes`` is the offset up to which every line parsed
+        and CRC-verified; anything after it is a torn tail — but only if it
+        is genuinely the tail.  A bad line *followed by more data* is
+        mid-file corruption and raises.
+        """
+        data = self.path.read_bytes()
+        records: list[dict] = []
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                # Unterminated final line: torn by definition.
+                return records, offset, len(data) - offset
+            line = data[offset : newline]
+            try:
+                records.append(decode_line(line.decode("utf-8")))
+            except (ValueError, UnicodeDecodeError) as exc:
+                if newline == len(data) - 1:
+                    # Complete-looking but corrupt final line — a crash can
+                    # leave this when pre-allocated blocks surface; still
+                    # the tail, still safe to drop.
+                    return records, offset, len(data) - offset
+                raise JournalError(
+                    f"journal {self.path} corrupt mid-file at byte {offset}: {exc}"
+                ) from exc
+            offset = newline + 1
+        return records, offset, 0
+
+    def _recover(self) -> None:
+        """Validate an existing file, truncating a torn tail in place."""
+        records, clean, torn = self._scan()
+        if not records or records[0].get("type") != "header":
+            raise JournalError(
+                f"journal {self.path} has no valid header record; "
+                f"refusing to append to an alien file"
+            )
+        if records[0].get("schema") != JOURNAL_SCHEMA:
+            raise JournalError(
+                f"journal {self.path} has schema {records[0].get('schema')!r}; "
+                f"this build reads {JOURNAL_SCHEMA!r}"
+            )
+        self.recovered_tail_bytes = torn
+        if torn:
+            with self.path.open("r+b") as handle:
+                handle.truncate(clean)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def read_records(self) -> list[dict]:
+        """All verified records (header included); raises on mid-file rot.
+
+        Readable without :meth:`open` — a torn tail is *ignored* (not
+        truncated), so inspection tools never mutate a live daemon's file.
+        """
+        if not self.path.exists():
+            raise JournalError(f"no journal file at {self.path}")
+        records, _, _ = self._scan()
+        if not records or records[0].get("type") != "header":
+            raise JournalError(f"journal {self.path} has no valid header record")
+        if records[0].get("schema") != JOURNAL_SCHEMA:
+            raise JournalError(
+                f"journal {self.path} has schema {records[0].get('schema')!r}; "
+                f"this build reads {JOURNAL_SCHEMA!r}"
+            )
+        return records
+
+    def iter_events(self) -> Iterator[dict]:
+        """Verified records minus the header."""
+        return iter(self.read_records()[1:])
+
+    # --------------------------------------------------------------- replay
+
+    def replay(self) -> "dict[str, JobRecord]":
+        """Rebuild the job table from the journal's event history.
+
+        Returns ``{job_id: JobRecord}`` in submission order.  Raises
+        :class:`JournalError` on impossible histories (duplicate submits,
+        transitions for unknown jobs, illegal state edges) — those mean the
+        file was edited or the daemon had a bug, and silently "fixing" them
+        would hide exactly the kind of fault this layer exists to surface.
+        """
+        jobs: "dict[str, JobRecord]" = {}
+        for event in self.iter_events():
+            kind = event.get("type")
+            if kind == "submit":
+                try:
+                    job = AuditJob.from_dict(event["job"])
+                except (KeyError, ServiceError) as exc:
+                    raise JournalError(f"journal submit record invalid: {exc}") from exc
+                if job.id in jobs:
+                    raise JournalError(f"duplicate submit for job id {job.id!r}")
+                jobs[job.id] = JobRecord(
+                    job=job, submitted_at=float(event.get("ts", 0.0))
+                )
+            elif kind == "state":
+                job_id = event.get("id")
+                if job_id not in jobs:
+                    raise JournalError(
+                        f"state record for unknown job id {job_id!r}"
+                    )
+                try:
+                    state = JobState(event["state"])
+                except (KeyError, ValueError) as exc:
+                    raise JournalError(f"journal state record invalid: {exc}") from exc
+                jobs[job_id].transition(
+                    state,
+                    attempt=event.get("attempt"),
+                    reason=event.get("reason"),
+                    result=event.get("result"),
+                    timestamp=float(event.get("ts", 0.0)),
+                )
+            else:
+                raise JournalError(f"unknown journal record type {kind!r}")
+        return jobs
+
+    def __repr__(self) -> str:
+        return f"JobJournal({str(self.path)!r})"

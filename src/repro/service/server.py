@@ -1,0 +1,522 @@
+"""The long-running fairness-audit daemon.
+
+:class:`AuditService` turns the one-shot experiment pipeline into a
+service: callers submit :class:`~repro.service.jobs.AuditJob` specs over
+HTTP (or in process), a bounded queue absorbs bursts, worker threads drain
+it through :func:`~repro.simulation.runner.run_scenario`, and every
+lifecycle event lands durably in the crash-safe
+:class:`~repro.service.journal.JobJournal` *before* it is acknowledged.
+
+Robustness properties, each backed by a test in ``tests/test_service.py``:
+
+* **Crash safety** — the journal is written ahead of every transition, so a
+  SIGKILL'd daemon restarts with exactly the jobs it had: terminal jobs
+  keep their results, queued jobs stay queued, and in-flight jobs are
+  re-queued (``RUNNING → PENDING``) and resumed through their per-job
+  :class:`~repro.simulation.checkpoint.CheckpointStore` — completed cells
+  are skipped and the re-run is byte-identical to an uninterrupted one.
+* **Backpressure** — a full queue *rejects* new work with a typed reason
+  (:data:`REJECTION_REASONS`) instead of buffering unboundedly or silently
+  dropping; every rejection increments ``service.rejected``.
+* **Poison-job quarantine** — a job that keeps failing is retried up to its
+  ``max_attempts`` and then parked in ``QUARANTINED``; a poison job can
+  never crash-loop the daemon.
+* **Deadlines** — a per-job compute budget propagates as a cooperative
+  :class:`~repro.engine.deadline.Deadline` into every algorithm's search
+  loop; an over-budget job stops at the next iteration boundary and lands
+  in ``CANCELLED`` with its flagged partial rows attached.
+* **Graceful shutdown** — SIGTERM/SIGINT stop intake (rejections say
+  ``shutting_down``), let in-flight jobs finish, leave queued jobs
+  ``PENDING`` in the journal and exit 0.
+
+The HTTP surface is intentionally tiny and dependency-free
+(:mod:`http.server`): ``GET /healthz``, ``GET /metrics``, ``GET /jobs``,
+``POST /submit``.  See ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.exceptions import JobRejectedError, ServiceError
+from repro.obs.metrics import MetricsRegistry
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    AuditJob,
+    JobRecord,
+    JobState,
+)
+from repro.service.journal import JobJournal
+
+__all__ = ["AuditService", "ServiceConfig", "REJECTION_REASONS"]
+
+#: Typed reasons a submission can be rejected with (``JobRejectedError.reason``).
+REJECTION_REASONS = ("queue_full", "duplicate_id", "invalid_spec", "shutting_down")
+
+
+class ServiceConfig:
+    """Knobs of one :class:`AuditService` instance.
+
+    Parameters
+    ----------
+    workdir:
+        Daemon state directory: ``journal.jsonl`` plus one checkpoint
+        directory per job (``checkpoints/<job id>/``).
+    queue_limit:
+        Maximum *queued* (PENDING) jobs before submissions are rejected
+        with ``queue_full``.  Running jobs do not count against it.
+    workers:
+        Worker threads draining the queue.
+    host, port:
+        HTTP bind address; ``port=0`` picks a free port (see
+        :attr:`AuditService.address`).  ``port=None`` disables HTTP.
+    poll_seconds:
+        Worker-loop queue poll interval; only affects shutdown latency.
+    """
+
+    def __init__(
+        self,
+        workdir: "str | Path",
+        queue_limit: int = 8,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: "int | None" = 0,
+        poll_seconds: float = 0.1,
+    ) -> None:
+        if queue_limit < 1:
+            raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.workdir = Path(workdir)
+        self.queue_limit = queue_limit
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.poll_seconds = poll_seconds
+
+
+class AuditService:
+    """Crash-safe, backpressured audit daemon (see the module docstring).
+
+    Thread model: ``submit`` may be called from any thread (the HTTP
+    handler threads call it); one lock guards the job table, the queue
+    accounting and the journal writer.  Job execution itself runs outside
+    the lock, so slow searches never block intake.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        metrics: "MetricsRegistry | None" = None,
+        retry_policy=None,
+        clock=time.time,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.retry_policy = retry_policy
+        self._clock = clock
+        self.journal = JobJournal(config.workdir / "journal.jsonl")
+        self._records: "dict[str, JobRecord]" = {}
+        self._queue: "queue.PriorityQueue[tuple[int, int, str]]" = queue.PriorityQueue()
+        self._seq = 0
+        self._queued = 0
+        self._running = 0
+        self._lock = threading.RLock()
+        self._shutdown = threading.Event()
+        self._idle = threading.Condition(self._lock)
+        self._threads: "list[threading.Thread]" = []
+        self._http = None
+        self._http_thread = None
+        self.address: "tuple[str, int] | None" = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "AuditService":
+        """Open (or recover) the journal, re-queue unfinished jobs, start
+        the worker threads and the HTTP listener."""
+        self.journal.open()
+        self._recover()
+        for i in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"audit-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        if self.config.port is not None:
+            self._http = _build_http_server(self, self.config.host, self.config.port)
+            self.address = self._http.server_address[:2]
+            self._http_thread = threading.Thread(
+                target=self._http.serve_forever, name="audit-http", daemon=True
+            )
+            self._http_thread.start()
+        return self
+
+    def _recover(self) -> None:
+        """Replay the journal and re-queue every unfinished job."""
+        self._records = self.journal.replay()
+        if self.journal.recovered_tail_bytes:
+            self.metrics.inc("service.journal_tail_truncated")
+        recovered = 0
+        for record in self._records.values():
+            if record.state is JobState.RUNNING:
+                # The previous process died mid-job; the journaled edge makes
+                # the re-queue durable before any worker can pick it up.
+                record.transition(
+                    JobState.PENDING, reason="recovered", timestamp=self._clock()
+                )
+                self.journal.append_state(
+                    record.job.id,
+                    JobState.PENDING,
+                    record.updated_at,
+                    reason="recovered",
+                )
+                self.metrics.inc("service.recovered")
+            if record.state in (JobState.PENDING, JobState.FAILED):
+                if record.state is JobState.FAILED:
+                    record.transition(
+                        JobState.PENDING, reason="recovered", timestamp=self._clock()
+                    )
+                    self.journal.append_state(
+                        record.job.id,
+                        JobState.PENDING,
+                        record.updated_at,
+                        reason="recovered",
+                    )
+                self._enqueue(record.job)
+                recovered += 1
+        if recovered:
+            self.metrics.inc("service.requeued", recovered)
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain: stop intake, let in-flight jobs finish."""
+        self._shutdown.set()
+
+    @property
+    def shutting_down(self) -> bool:
+        return self._shutdown.is_set()
+
+    def wait_for_shutdown(self, timeout: "float | None" = None) -> bool:
+        """Block until shutdown is requested (or ``timeout`` passes)."""
+        return self._shutdown.wait(timeout)
+
+    def stop(self) -> None:
+        """Drain and stop: joins workers (in-flight jobs complete), shuts
+        the HTTP listener down, closes the journal."""
+        self.request_shutdown()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        if self._http is not None:
+            self._http.shutdown()
+            self._http_thread.join()
+            self._http.server_close()
+            self._http = None
+            self._http_thread = None
+        self.journal.close()
+
+    def serve_forever(self, install_signals: bool = True) -> int:
+        """Run until SIGTERM/SIGINT (or :meth:`request_shutdown`); returns 0.
+
+        The signal handler only sets an event — the drain itself happens on
+        this thread, so in-flight jobs always finish before exit.
+        """
+        if install_signals:
+            signal.signal(signal.SIGTERM, lambda *_: self.request_shutdown())
+            signal.signal(signal.SIGINT, lambda *_: self.request_shutdown())
+        self.start()
+        while not self.wait_for_shutdown(timeout=0.2):
+            pass
+        self.stop()
+        return 0
+
+    def __enter__(self) -> "AuditService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- intake
+
+    def submit(self, job: "AuditJob | dict") -> JobRecord:
+        """Accept one job, durably journal it and queue it for execution.
+
+        Raises :class:`~repro.exceptions.JobRejectedError` with a typed
+        ``reason`` (one of :data:`REJECTION_REASONS`).  Acceptance is
+        all-or-nothing: by the time this returns, the submit record is
+        fsync'd — a crash immediately after cannot lose the job.
+        """
+        if self._shutdown.is_set():
+            self._reject("shutting_down", "the daemon is draining for shutdown")
+        if isinstance(job, dict):
+            try:
+                job = AuditJob.from_dict(job)
+            except ServiceError as exc:
+                self._reject("invalid_spec", str(exc))
+        try:
+            from repro.core.algorithms import get_algorithm
+
+            get_algorithm(job.algorithm)
+        except Exception as exc:
+            self._reject("invalid_spec", f"unknown algorithm {job.algorithm!r}: {exc}")
+        with self._lock:
+            if job.id in self._records:
+                self._reject("duplicate_id", f"job id {job.id!r} already journaled")
+            if self._queued >= self.config.queue_limit:
+                self._reject(
+                    "queue_full",
+                    f"queue holds {self._queued}/{self.config.queue_limit} jobs",
+                )
+            now = self._clock()
+            record = JobRecord(job=job, submitted_at=now, updated_at=now)
+            self.journal.append_submit(job, now)
+            self._records[job.id] = record
+            self._enqueue(job)
+            self.metrics.inc("service.submitted")
+        return record
+
+    def _reject(self, reason: str, detail: str) -> None:
+        self.metrics.inc("service.rejected")
+        self.metrics.inc(f"service.rejected.{reason}")
+        raise JobRejectedError(reason, f"job rejected ({reason}): {detail}")
+
+    def _enqueue(self, job: AuditJob) -> None:
+        with self._lock:
+            self._seq += 1
+            self._queue.put((job.priority, self._seq, job.id))
+            self._queued += 1
+            self.metrics.set_gauge("service.queue_depth", self._queued)
+
+    # -------------------------------------------------------------- querying
+
+    def record(self, job_id: str) -> JobRecord:
+        with self._lock:
+            if job_id not in self._records:
+                raise ServiceError(f"unknown job id {job_id!r}")
+            return self._records[job_id]
+
+    def jobs_snapshot(self) -> "list[dict]":
+        """JSON-safe summaries of every job, in submission order."""
+        with self._lock:
+            return [record.as_dict() for record in self._records.values()]
+
+    def health(self) -> dict:
+        with self._lock:
+            return {
+                "status": "draining" if self._shutdown.is_set() else "ok",
+                "queued": self._queued,
+                "running": self._running,
+                "jobs": len(self._records),
+                "queue_limit": self.config.queue_limit,
+                "workers": self.config.workers,
+            }
+
+    def drain(self, timeout: "float | None" = None) -> bool:
+        """Block until no job is PENDING or RUNNING (or ``timeout`` passes)."""
+
+        def idle() -> bool:
+            return self._queued == 0 and self._running == 0
+
+        with self._idle:
+            return self._idle.wait_for(idle, timeout=timeout)
+
+    # -------------------------------------------------------------- execution
+
+    def _worker_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                _, _, job_id = self._queue.get(timeout=self.config.poll_seconds)
+            except queue.Empty:
+                continue
+            if self._shutdown.is_set():
+                # Drain semantics: an un-started job stays PENDING in the
+                # journal for the next daemon instance.
+                break
+            self._run_job(job_id)
+
+    def _transition(self, record: JobRecord, state: JobState, **details) -> None:
+        """Apply one edge to the table and the journal atomically."""
+        with self._lock:
+            now = self._clock()
+            record.transition(state, timestamp=now, **details)
+            self.journal.append_state(record.job.id, state, now, **details)
+
+    def _run_job(self, job_id: str) -> None:
+        with self._lock:
+            record = self._records[job_id]
+            self._queued -= 1
+            self._running += 1
+            self.metrics.set_gauge("service.queue_depth", self._queued)
+            self.metrics.set_gauge("service.running", self._running)
+        wait = self._clock() - record.updated_at
+        if wait >= 0:
+            self.metrics.observe("service.wait_seconds", wait)
+        self._transition(record, JobState.RUNNING, attempt=record.attempt + 1)
+        try:
+            with self.metrics.time("service.job_seconds"):
+                result = self._execute(record.job)
+        except Exception as exc:  # noqa: BLE001 - poison jobs raise anything
+            self._handle_failure(record, exc)
+        else:
+            if result["deadline_hit"]:
+                self._transition(
+                    record, JobState.CANCELLED, reason="deadline", result=result
+                )
+                self.metrics.inc("service.cancelled")
+            else:
+                self._transition(record, JobState.DONE, result=result)
+                self.metrics.inc("service.completed")
+        finally:
+            with self._idle:
+                self._running -= 1
+                self.metrics.set_gauge("service.running", self._running)
+                self._idle.notify_all()
+
+    def _handle_failure(self, record: JobRecord, exc: Exception) -> None:
+        reason = f"{type(exc).__name__}: {exc}"
+        self._transition(record, JobState.FAILED, reason=reason)
+        self.metrics.inc("service.failed")
+        if record.attempt >= record.job.max_attempts:
+            self._transition(
+                record,
+                JobState.QUARANTINED,
+                reason=f"poison: failed {record.attempt} attempts; last: {reason}",
+            )
+            self.metrics.inc("service.quarantined")
+        else:
+            self._transition(record, JobState.PENDING, reason="retry")
+            self.metrics.inc("service.retries")
+            self._enqueue(record.job)
+
+    def _execute(self, job: AuditJob) -> dict:
+        """Run one job's scenario cells; returns the JSON result payload.
+
+        Deterministic given the spec: per-cell seeds derive from
+        ``job.seed`` and each cell checkpoints into the job's own
+        directory, so a re-run after a crash resumes (``resume=True``)
+        instead of recomputing — completed cells come back bit-identical.
+        """
+        from repro.engine.deadline import Deadline
+        from repro.simulation.runner import run_scenario
+
+        scenario = self._build_scenario(job)
+        deadline = (
+            Deadline(job.deadline_seconds) if job.deadline_seconds is not None else None
+        )
+        experiment = run_scenario(
+            scenario,
+            algorithms=(job.algorithm,),
+            metric=job.metric,
+            seed=job.seed,
+            metrics=self.metrics,
+            retry_policy=self.retry_policy,
+            checkpoint=self.config.workdir / "checkpoints" / job.id,
+            resume=True,
+            deadline=deadline,
+        )
+        rows = [
+            {
+                "function": row.function,
+                "algorithm": row.algorithm,
+                "unfairness": row.unfairness,
+                "n_partitions": row.n_partitions,
+                "attributes_used": list(row.attributes_used),
+                "deadline_hit": row.deadline_hit,
+            }
+            for row in experiment.rows
+        ]
+        return {
+            "scenario": experiment.scenario,
+            "rows": rows,
+            "deadline_hit": any(row.deadline_hit for row in experiment.rows),
+        }
+
+    def _build_scenario(self, job: AuditJob):
+        from repro.simulation import scenarios as scenario_builders
+        from repro.simulation.config import PaperConfig
+        from repro.simulation.scenarios import Scenario
+
+        if job.scenario == "figure1":
+            scenario = scenario_builders.figure1_scenario()
+        else:
+            builder = getattr(scenario_builders, f"{job.scenario}_scenario")
+            config = (
+                PaperConfig(n_workers=job.n_workers)
+                if job.n_workers is not None
+                else None
+            )
+            scenario = builder(config)
+        if job.functions:
+            missing = sorted(set(job.functions) - set(scenario.functions))
+            if missing:
+                raise ServiceError(
+                    f"scenario {job.scenario!r} has no function(s) {missing}"
+                )
+            scenario = Scenario(
+                name=scenario.name,
+                population=scenario.population,
+                functions={name: scenario.functions[name] for name in job.functions},
+                hist_spec=scenario.hist_spec,
+            )
+        return scenario
+
+
+# ------------------------------------------------------------------- HTTP
+
+
+def _build_http_server(service: AuditService, host: str, port: int):
+    """A :class:`ThreadingHTTPServer` exposing the daemon's four endpoints."""
+
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args) -> None:  # quiet: metrics cover this
+            pass
+
+        def _send(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path == "/healthz":
+                self._send(200, service.health())
+            elif self.path == "/metrics":
+                self._send(200, service.metrics.as_dict())
+            elif self.path == "/jobs":
+                self._send(200, {"jobs": service.jobs_snapshot()})
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path != "/submit":
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+                return
+            length = int(self.headers.get("Content-Length", 0))
+            try:
+                payload = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as exc:
+                self._send(400, {"error": f"invalid JSON body: {exc}"})
+                return
+            try:
+                record = service.submit(payload)
+            except JobRejectedError as exc:
+                status = {
+                    "queue_full": 429,
+                    "duplicate_id": 409,
+                    "invalid_spec": 400,
+                    "shutting_down": 503,
+                }.get(exc.reason, 400)
+                self._send(status, {"error": str(exc), "reason": exc.reason})
+                return
+            self._send(202, {"accepted": record.job.id, "state": record.state.value})
+
+    return ThreadingHTTPServer((host, port), _Handler)

@@ -39,12 +39,12 @@ File layout (``<dir>/checkpoint.json``)::
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.exceptions import CheckpointError
+from repro.io.atomic import atomic_write_text, ensure_directory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulation.runner import ExperimentRow
@@ -131,7 +131,6 @@ class CheckpointStore:
             "fingerprint": fingerprint,
             "cells": {},
         }
-        self.directory.mkdir(parents=True, exist_ok=True)
         self._write()
         return {}
 
@@ -153,14 +152,10 @@ class CheckpointStore:
         self._write()
 
     def _write(self) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        with tmp.open("w") as handle:
-            json.dump(self._payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
+        ensure_directory(self.directory)
+        atomic_write_text(
+            self.path, json.dumps(self._payload, indent=2, sort_keys=True) + "\n"
+        )
 
     @staticmethod
     def row_from_cell(cell: dict) -> "ExperimentRow":

@@ -50,6 +50,7 @@ class ExperimentRow:
     pair_distances_full: int = 0
     backend: str = "sequential"
     workers: int = 1
+    deadline_hit: bool = False
 
     @classmethod
     def from_result(
@@ -71,6 +72,7 @@ class ExperimentRow:
             pair_distances_full=result.pair_distances_full,
             backend=result.backend,
             workers=result.workers,
+            deadline_hit=result.deadline_hit,
         )
 
 
@@ -145,6 +147,7 @@ def run_scenario(
     fault_config=None,
     checkpoint=None,
     resume: bool = False,
+    deadline=None,
 ) -> ExperimentResult:
     """Run every algorithm on every scoring function of a scenario.
 
@@ -178,6 +181,10 @@ def run_scenario(
         With ``checkpoint``, skip cells already recorded there; because
         cells are seeded independently, a resumed run's rows are
         bit-identical to an uninterrupted run with the same fingerprint.
+    deadline:
+        Optional cooperative budget shared by every cell (see
+        :mod:`repro.engine.deadline`); cells past it return flagged partial
+        rows (``deadline_hit=True``) instead of running on.
     """
     options = algorithm_options or {}
     run_tracer = tracer if tracer is not None else NULL_TRACER
@@ -229,6 +236,7 @@ def run_scenario(
                         metrics=metrics,
                         retry_policy=retry_policy,
                         fault_config=fault_config,
+                        deadline=deadline,
                     )
                     cell_span.set(
                         unfairness=result.unfairness,

@@ -1,0 +1,81 @@
+"""The shared atomic-write helpers (``repro.io.atomic``).
+
+The contract under test: after :func:`atomic_write_bytes` returns, the
+target holds exactly the new bytes; if the write dies at any earlier point,
+the target still holds exactly the old bytes.  There is never a moment a
+reader can observe a partial file, and no temp debris survives a failure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.io.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    ensure_directory,
+    fsync_directory,
+)
+
+
+class TestEnsureDirectory:
+    def test_creates_nested_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "c"
+        ensure_directory(target)
+        assert target.is_dir()
+
+    def test_idempotent(self, tmp_path):
+        target = tmp_path / "x"
+        ensure_directory(target)
+        ensure_directory(target)  # exist_ok: no race window, no error
+        assert target.is_dir()
+
+
+class TestAtomicWrite:
+    def test_creates_file_with_exact_bytes(self, tmp_path):
+        path = tmp_path / "data.bin"
+        atomic_write_bytes(path, b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        path = tmp_path / "data.txt"
+        atomic_write_text(path, "old contents, longer than the new ones\n")
+        atomic_write_text(path, "new\n")
+        assert path.read_text() == "new\n"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "data.txt"
+        atomic_write_text(path, "one\n")
+        atomic_write_text(path, "two\n")
+        assert os.listdir(tmp_path) == ["data.txt"]
+
+    def test_failed_replace_preserves_old_contents(self, tmp_path, monkeypatch):
+        path = tmp_path / "data.txt"
+        atomic_write_text(path, "intact\n")
+
+        def boom(src, dst):
+            raise OSError("simulated crash at the replace boundary")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(path, "torn\n")
+        assert path.read_text() == "intact\n"
+
+    def test_failed_fsync_preserves_old_contents(self, tmp_path, monkeypatch):
+        path = tmp_path / "data.txt"
+        atomic_write_text(path, "intact\n")
+
+        def boom(fd):
+            raise OSError("simulated fsync failure")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        with pytest.raises(OSError, match="simulated fsync"):
+            atomic_write_text(path, "torn\n")
+        assert path.read_text() == "intact\n"
+
+    def test_fsync_directory_is_best_effort(self, tmp_path):
+        # Never raises for an ordinary directory; the torn cases above cover
+        # the failure paths that matter.
+        fsync_directory(tmp_path)

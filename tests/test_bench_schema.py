@@ -85,6 +85,38 @@ def test_scaling_speedup_reads_largest_population() -> None:
     assert speedup == pytest.approx(5.0)
 
 
+def _service_section() -> dict:
+    return {
+        "queue_depth": 8,
+        "workers": 2,
+        "jobs": 8,
+        "wall_seconds": 0.4,
+        "jobs_per_second": 20.0,
+        "latency_seconds": {"median": 0.05, "min": 0.01, "max": 0.2},
+    }
+
+
+def test_validator_accepts_service_section() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    run_bench.validate_bench_payload({**good, "service": _service_section()})
+
+
+def test_validator_rejects_malformed_service_section() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    with pytest.raises(ValueError, match="service.jobs_per_second"):
+        run_bench.validate_bench_payload(
+            {**good, "service": {**_service_section(), "jobs_per_second": "fast"}}
+        )
+    negative = _service_section()
+    negative["latency_seconds"]["median"] = -0.1
+    with pytest.raises(ValueError, match="latency_seconds.median"):
+        run_bench.validate_bench_payload({**good, "service": negative})
+    with pytest.raises(ValueError, match="service timings"):
+        run_bench.validate_bench_payload(
+            {**good, "service": {**_service_section(), "wall_seconds": 0.0}}
+        )
+
+
 def test_validator_rejects_malformed_payloads() -> None:
     good = json.loads(_bench_files()[0].read_text())
     with pytest.raises(ValueError, match="schema"):

@@ -1,0 +1,207 @@
+"""Cooperative deadlines: partial-result prefix identity at the cutoff.
+
+The contract (``docs/service.md``): a deadline never changes *what* an
+iteration computes, only whether the next one starts.  So a run cut at
+iteration boundary *n* must return exactly what an unbounded run had
+produced by boundary *n* — same partitions, same tie-breaks, bit-identical.
+These tests pin that down with :class:`StepDeadline` (expires after a fixed
+number of polls, machine-independent) in three ways:
+
+* for the greedy algorithms, the cutoff result is reconstructed manually
+  from the same primitives (``worst_attribute`` / ``split_partitions``) and
+  compared index-for-index;
+* for every algorithm, a huge step budget must be bit-identical to a run
+  with no deadline at all (the polling itself must not perturb anything);
+* for the randomised algorithms, polling happens *before* each rng draw,
+  so a cutoff run's draw sequence is a prefix of the unbounded run's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.core.partition import Partition
+from repro.core.splitting import split_partitions, worst_attribute
+from repro.engine.deadline import Deadline, StepDeadline
+from repro.engine.engine import EvaluationEngine
+from repro.exceptions import DeadlineExceededError
+from repro.simulation.scenarios import figure1_scenario
+
+ALL_ALGORITHMS = (
+    "balanced",
+    "unbalanced",
+    "r-balanced",
+    "r-unbalanced",
+    "exhaustive",
+    "beam",
+    "all-attributes",
+    "single-attribute",
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return figure1_scenario()
+
+
+@pytest.fixture(scope="module")
+def scores(scenario):
+    return scenario.functions["f"](scenario.population)
+
+
+def _indices(result):
+    """Partition membership as comparable tuples (order-sensitive)."""
+    return [tuple(p.indices.tolist()) for p in result.partitioning]
+
+
+class TestDeadlineClock:
+    def test_not_expired_before_budget(self):
+        now = [0.0]
+        deadline = Deadline(10.0, clock=lambda: now[0])
+        assert not deadline.expired()
+        assert deadline.remaining() == 10.0
+
+    def test_expires_exactly_at_budget(self):
+        now = [0.0]
+        deadline = Deadline(10.0, clock=lambda: now[0])
+        now[0] = 10.0
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_raise_if_expired(self):
+        now = [0.0]
+        deadline = Deadline(1.0, clock=lambda: now[0])
+        deadline.raise_if_expired()  # not yet
+        now[0] = 2.0
+        with pytest.raises(DeadlineExceededError):
+            deadline.raise_if_expired()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+    def test_step_deadline_counts_polls(self):
+        deadline = StepDeadline(3)
+        assert not deadline.expired()
+        assert not deadline.expired()
+        assert deadline.expired()
+        assert deadline.expired()  # monotone
+
+
+class TestPartialResultPrefix:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_first_poll_cutoff_returns_flagged_root(self, scenario, scores, name):
+        """StepDeadline(1) stops every algorithm before any split."""
+        result = get_algorithm(name).run(
+            scenario.population, scores, rng=0, deadline=StepDeadline(1)
+        )
+        assert result.deadline_hit
+        assert result.partitioning.k == 1
+        assert "deadline" in result.describe(scenario.population.schema)
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_huge_budget_is_bit_identical_to_unbounded(self, scenario, scores, name):
+        """Polling alone never perturbs the search."""
+        unbounded = get_algorithm(name).run(scenario.population, scores, rng=0)
+        bounded = get_algorithm(name).run(
+            scenario.population, scores, rng=0, deadline=StepDeadline(10**9)
+        )
+        assert not bounded.deadline_hit
+        assert _indices(bounded) == _indices(unbounded)
+        assert bounded.unfairness == unbounded.unfairness
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_cutoff_runs_are_deterministic(self, scenario, scores, name):
+        """The same cutoff twice gives the same partial result."""
+        first = get_algorithm(name).run(
+            scenario.population, scores, rng=0, deadline=StepDeadline(2)
+        )
+        second = get_algorithm(name).run(
+            scenario.population, scores, rng=0, deadline=StepDeadline(2)
+        )
+        assert _indices(first) == _indices(second)
+        assert first.unfairness == second.unfairness
+
+    def test_balanced_cutoff_equals_manual_first_iteration(self, scenario, scores):
+        """StepDeadline(2) lets exactly the initial split through; the result
+        must be index-identical to that split computed by hand."""
+        population = scenario.population
+        result = get_algorithm("balanced").run(
+            population, scores, deadline=StepDeadline(2)
+        )
+        assert result.deadline_hit
+        engine = EvaluationEngine(population, scores, scenario.hist_spec)
+        expected = worst_attribute(
+            population,
+            [Partition(population.all_indices())],
+            list(population.schema.protected_names),
+            engine,
+        ).children
+        assert _indices(result) == [tuple(p.indices.tolist()) for p in expected]
+
+    def test_all_attributes_cutoff_equals_first_level_split(self, scenario, scores):
+        """StepDeadline(2) cuts the baseline after splitting on the first
+        protected attribute only."""
+        population = scenario.population
+        result = get_algorithm("all-attributes").run(
+            population, scores, deadline=StepDeadline(2)
+        )
+        assert result.deadline_hit
+        first_attribute = population.schema.protected_names[0]
+        expected = split_partitions(
+            population, [Partition(population.all_indices())], first_attribute
+        )
+        assert _indices(result) == [tuple(p.indices.tolist()) for p in expected]
+
+    def test_randomised_cutoff_draws_are_a_prefix(self, scenario, scores):
+        """r-balanced polls *before* each rng draw, so the cutoff run and
+        the unbounded run make identical draws up to the cutoff — the
+        partial partitioning appears verbatim inside the unbounded trace."""
+        import numpy as np
+
+        population = scenario.population
+        cut = get_algorithm("r-balanced").run(
+            population,
+            scores,
+            rng=np.random.default_rng(7),
+            deadline=StepDeadline(2),
+        )
+        full = get_algorithm("r-balanced").run(
+            population, scores, rng=np.random.default_rng(7)
+        )
+        assert cut.deadline_hit
+        # Every cutoff leaf is either a leaf of the full run or an ancestor
+        # of one (the full run only ever splits partitions further).
+        full_leaves = {tuple(p.indices.tolist()) for p in full.partitioning}
+        for leaf in _indices(cut):
+            members = set(leaf)
+            assert any(set(f) <= members for f in full_leaves)
+
+
+class TestDeadlineThroughRunner:
+    def test_run_scenario_flags_partial_rows(self, scenario):
+        from repro.simulation.runner import run_scenario
+
+        result = run_scenario(
+            scenario, algorithms=("balanced",), seed=0, deadline=StepDeadline(1)
+        )
+        assert all(row.deadline_hit for row in result.rows)
+
+    def test_run_scenario_without_deadline_unflagged(self, scenario):
+        from repro.simulation.runner import run_scenario
+
+        result = run_scenario(scenario, algorithms=("balanced",), seed=0)
+        assert not any(row.deadline_hit for row in result.rows)
+
+    def test_deadline_hits_counted_in_metrics(self, scenario, scores):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        get_algorithm("balanced").run(
+            scenario.population,
+            scores,
+            metrics=metrics,
+            deadline=StepDeadline(1),
+        )
+        assert metrics.counter("search.deadline_hits") == 1

@@ -1,0 +1,171 @@
+"""Crash-safety of the job journal (``repro.service.journal``).
+
+The core property test truncates a populated journal at **every byte
+offset** and re-opens it: recovery must either parse the file cleanly or
+drop only the torn tail — never lose a record that had a complete line,
+never resurrect a duplicate job id, never mistake mid-file damage for a
+torn tail.  That is the exact guarantee the daemon's "journal ahead of
+acknowledgement" protocol rests on.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.exceptions import JournalError
+from repro.service.jobs import AuditJob, JobState
+from repro.service.journal import (
+    JOURNAL_SCHEMA,
+    JobJournal,
+    decode_line,
+    encode_record,
+)
+
+
+def _job(i: int) -> AuditJob:
+    return AuditJob(id=f"job-{i}", scenario="figure1", algorithm="balanced", seed=i)
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    """A journal holding three jobs in different lifecycle stages."""
+    path = tmp_path / "journal.jsonl"
+    with JobJournal(path) as journal:
+        for i in range(3):
+            journal.append_submit(_job(i), timestamp=float(i))
+        journal.append_state("job-0", JobState.RUNNING, 10.0, attempt=1)
+        journal.append_state("job-0", JobState.DONE, 11.0, result={"rows": []})
+        journal.append_state("job-1", JobState.RUNNING, 12.0, attempt=1)
+    return path
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = {"type": "state", "id": "x", "state": "DONE", "ts": 1.5}
+        assert decode_line(encode_record(record)) == record
+
+    def test_flipped_byte_fails_crc(self):
+        line = encode_record({"type": "submit", "job": {"id": "a"}})
+        # Corrupt a character inside the record payload, keeping valid JSON.
+        damaged = line.replace('"id":"a"', '"id":"b"')
+        assert damaged != line
+        with pytest.raises(ValueError, match="crc mismatch"):
+            decode_line(damaged)
+
+    def test_non_record_json_rejected(self):
+        with pytest.raises(ValueError):
+            decode_line('{"not": "a record"}')
+
+
+class TestTruncationProperty:
+    def test_every_byte_offset_recovers_or_drops_only_the_tail(
+        self, populated, tmp_path
+    ):
+        """SIGKILL can cut an append anywhere; recovery must be exact."""
+        data = populated.read_bytes()
+        # Byte offsets that end a complete line — prefixes that are clean.
+        clean_offsets = {0}
+        position = 0
+        for line in data.splitlines(keepends=True):
+            position += len(line)
+            clean_offsets.add(position)
+
+        for offset in range(len(data) + 1):
+            path = tmp_path / "cut.jsonl"
+            path.write_bytes(data[:offset])
+            journal = JobJournal(path)
+            if offset == 0:
+                # Empty file: no header — refuse, don't invent one.
+                with pytest.raises(JournalError):
+                    journal.open()
+                continue
+            largest_clean = max(o for o in clean_offsets if o <= offset)
+            if largest_clean == 0:
+                # Even the header is torn: nothing trustworthy to append to.
+                with pytest.raises(JournalError):
+                    journal.open()
+                continue
+            journal.open()
+            journal.close()
+            # Recovery truncated exactly to the last complete record —
+            # nothing less (no lost acknowledged records), nothing more.
+            assert path.read_bytes() == data[:largest_clean]
+            replayed = JobJournal(path).replay()
+            ids = list(replayed)
+            assert len(ids) == len(set(ids))  # no duplicate job ids
+            expected_jobs = sum(
+                1 for i in range(3) if data.find(f"job-{i}".encode()) < largest_clean
+                and data.find(f"job-{i}".encode()) != -1
+            )
+            assert len(ids) == expected_jobs
+
+    def test_recovered_tail_is_reported(self, populated):
+        data = populated.read_bytes()
+        populated.write_bytes(data[:-5])  # tear the final line
+        journal = JobJournal(populated).open()
+        journal.close()
+        assert journal.recovered_tail_bytes > 0
+
+    def test_append_after_recovery_continues_the_log(self, populated):
+        data = populated.read_bytes()
+        populated.write_bytes(data[:-5])
+        with JobJournal(populated) as journal:
+            journal.append_state("job-2", JobState.RUNNING, 20.0, attempt=1)
+        replayed = JobJournal(populated).replay()
+        assert replayed["job-2"].state is JobState.RUNNING
+
+
+class TestMidFileCorruption:
+    def test_damaged_middle_record_raises(self, populated):
+        lines = populated.read_bytes().splitlines(keepends=True)
+        lines[2] = lines[2][:10] + b"X" + lines[2][11:]
+        populated.write_bytes(b"".join(lines))
+        with pytest.raises(JournalError, match="mid-file"):
+            JobJournal(populated).open()
+
+    def test_crc_valid_but_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        header = encode_record({"type": "header", "schema": "repro.journal/v99"})
+        path.write_text(header + "\n")
+        with pytest.raises(JournalError, match="schema"):
+            JobJournal(path).open()
+
+    def test_alien_file_without_header_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(encode_record({"type": "state", "id": "x"}) + "\n")
+        with pytest.raises(JournalError, match="header"):
+            JobJournal(path).open()
+
+
+class TestReplay:
+    def test_replay_reconstructs_states(self, populated):
+        jobs = JobJournal(populated).replay()
+        assert jobs["job-0"].state is JobState.DONE
+        assert jobs["job-0"].result == {"rows": []}
+        assert jobs["job-1"].state is JobState.RUNNING
+        assert jobs["job-1"].attempt == 1
+        assert jobs["job-2"].state is JobState.PENDING
+
+    def test_replay_rejects_duplicate_submit(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.append_submit(_job(0), 0.0)
+            journal.append_submit(_job(0), 1.0)
+        with pytest.raises(JournalError, match="duplicate"):
+            JobJournal(path).replay()
+
+    def test_replay_rejects_unknown_job(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.append_state("ghost", JobState.RUNNING, 0.0)
+        with pytest.raises(JournalError, match="unknown job"):
+            JobJournal(path).replay()
+
+    def test_header_carries_schema_tag(self, populated):
+        first = json.loads(populated.read_text().splitlines()[0])
+        assert first["rec"]["schema"] == JOURNAL_SCHEMA
+        body = json.dumps(first["rec"], sort_keys=True, separators=(",", ":"))
+        assert first["crc"] == zlib.crc32(body.encode())

@@ -23,6 +23,15 @@ Every run also records a ``"service"`` section: audit-daemon throughput
 (jobs/sec with the queue filled to depth 8) and submit→result latency
 through the crash-safe journal (see docs/service.md).
 
+``--streaming`` adds a ``"streaming"`` section benchmarking mutable-
+population audits (see docs/streaming.md): per population size it streams
+batches of ``STREAMING_DELTA_BATCH`` random mutations into a
+``MutablePopulation`` and times the O(Δ·k) delta re-price, the O(atoms)
+streaming re-audit, and the full from-scratch rebuild the streaming path
+replaces — asserting along the way that the streaming audit's result is
+bit-identical to the rebuild's.  ``--assert-streaming-speedup`` turns the
+rebuild/streaming speedup expectation into an exit code for CI.
+
 The payload layout is versioned (``repro.bench/v1``) and checked by
 :func:`validate_bench_payload` before anything is written, so a schema
 drift fails the run instead of poisoning the trajectory.
@@ -64,6 +73,11 @@ SCALING_POPULATIONS = (10_000, 100_000, 1_000_000)
 SCALING_POPULATIONS_QUICK = (2_000, 20_000)
 #: The three cost models the scaling suite compares on the same greedy step.
 SCALING_PATHS = ("atom", "member", "full")
+#: Mutations per streamed batch in the ``--streaming`` suite — "small delta"
+#: relative to every population size in the sweep.
+STREAMING_DELTA_BATCH = 64
+#: The three re-audit strategies the streaming suite compares per batch.
+STREAMING_PATHS = ("delta_rescore", "streaming_audit", "full_rebuild")
 
 _ENGINE_COUNTERS = (
     "n_evaluations",
@@ -258,6 +272,161 @@ def scaling_speedup(scaling: dict) -> tuple[int, float]:
     return largest["population"], member / atom if atom > 0 else float("inf")
 
 
+def _time_streaming_population(n_workers: int, repeats: int) -> dict:
+    """One streaming measurement: re-audit cost after a 64-mutation batch.
+
+    Three strategies are timed on the *same* mutated state each repeat:
+
+    * ``delta_rescore`` — re-price the previous audit's groups only
+      (O(Δ·k); no search);
+    * ``streaming_audit`` — full re-search through the persistent
+      :class:`StreamingAuditor` (O(atoms); never touches member arrays);
+    * ``full_rebuild`` — the route streaming replaces: freeze the store
+      back into member arrays and run a from-scratch batch audit (O(n)).
+
+    Each repeat asserts the streaming audit is bit-identical to the
+    rebuild (same unfairness float, same groups) — the bench doubles as
+    an equivalence check at populations the unit tests never reach.
+    """
+    import numpy as np
+
+    from repro.engine.streaming import StreamingAuditor
+    from repro.marketplace import MutablePopulation, random_mutation_mix
+
+    scenario = table1_scenario(PaperConfig(n_workers=n_workers, seed=42))
+    population = scenario.population
+    scores = scenario.functions[BENCH_FUNCTION](population)
+    store = MutablePopulation.from_population(
+        population, scores, hist_spec=scenario.hist_spec
+    )
+    auditor = StreamingAuditor(store)
+    entry: dict = {
+        "population": population.size,
+        "delta_batch": STREAMING_DELTA_BATCH,
+    }
+    rng = np.random.default_rng(42)
+    intake: list[float] = []
+    times: dict = {path: [] for path in STREAMING_PATHS}
+    stale_deltas = 0
+
+    def stream_batch() -> None:
+        mutations = random_mutation_mix(store, rng, STREAMING_DELTA_BATCH)
+        start = time.perf_counter()
+        for mutation in mutations:
+            store.apply(mutation)
+        intake.append(time.perf_counter() - start)
+
+    try:
+        start = time.perf_counter()
+        auditor.audit()
+        entry["first_audit_seconds"] = time.perf_counter() - start
+        entry["n_atoms"] = auditor.state.n_atoms
+
+        # Steady-state delta loop: one untimed warm-up pays the one-off
+        # O(k²) tracker seed, then each batch is re-priced without an
+        # intervening audit — the monitor's between-audits regime.
+        stream_batch()
+        auditor.rescore_delta()
+        for _ in range(repeats):
+            stream_batch()
+            start = time.perf_counter()
+            delta_report = auditor.rescore_delta()
+            times["delta_rescore"].append(time.perf_counter() - start)
+            if delta_report is not None and delta_report.stale:
+                stale_deltas += 1
+                auditor.audit()  # restore a live frontier, untimed
+                auditor.rescore_delta()
+
+        # Audit-vs-rebuild loop: after each batch, the streaming re-audit
+        # races the from-scratch rebuild it replaces on identical state.
+        for _ in range(repeats):
+            stream_batch()
+            start = time.perf_counter()
+            report = auditor.audit()
+            times["streaming_audit"].append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            frozen, frozen_scores = store.to_population()
+            result = get_algorithm(auditor.algorithm).run(
+                frozen,
+                frozen_scores,
+                hist_spec=store.hist_spec,
+                metric=auditor.metric,
+                rng=auditor.seed,
+            )
+            times["full_rebuild"].append(time.perf_counter() - start)
+
+            assert report.unfairness == result.unfairness, (
+                "streaming audit diverged from the batch rebuild "
+                f"({report.unfairness!r} != {result.unfairness!r})"
+            )
+            batch_groups = sorted(
+                tuple(sorted(p.constraints)) for p in result.partitioning
+            )
+            stream_groups = sorted(tuple(sorted(g)) for g in report.groups)
+            assert stream_groups == batch_groups, "streaming chose different groups"
+    finally:
+        auditor.close()
+    entry["mutations_per_second"] = (
+        STREAMING_DELTA_BATCH * len(intake) / sum(intake)
+    )
+    entry["stale_deltas"] = stale_deltas
+    entry["paths"] = {
+        path: {
+            "repeats": series,
+            "median": statistics.median(series),
+            "min": min(series),
+        }
+        for path, series in times.items()
+    }
+    # The headline number: the O(Δ·k) delta re-price against the O(n)
+    # from-scratch rebuild it replaces between full audits.
+    entry["speedup"] = (
+        entry["paths"]["full_rebuild"]["median"]
+        / entry["paths"]["delta_rescore"]["median"]
+    )
+    entry["audit_speedup"] = (
+        entry["paths"]["full_rebuild"]["median"]
+        / entry["paths"]["streaming_audit"]["median"]
+    )
+    return entry
+
+
+def run_streaming(quick: bool, repeats: int) -> dict:
+    """The streaming-vs-rebuild sweep (one dict per population)."""
+    populations = SCALING_POPULATIONS_QUICK if quick else SCALING_POPULATIONS
+    cases = []
+    for n_workers in populations:
+        print(f"[streaming] {n_workers} workers ...", flush=True)
+        case = _time_streaming_population(n_workers, repeats)
+        cases.append(case)
+        paths = case["paths"]
+        print(
+            "    delta {:.5f}s  audit {:.4f}s  rebuild {:.4f}s  "
+            "({:.1f}x, {:.0f} mutations/s)".format(
+                paths["delta_rescore"]["median"],
+                paths["streaming_audit"]["median"],
+                paths["full_rebuild"]["median"],
+                case["speedup"],
+                case["mutations_per_second"],
+            ),
+            flush=True,
+        )
+    return {
+        "function": BENCH_FUNCTION,
+        "algorithm": "balanced",
+        "delta_batch": STREAMING_DELTA_BATCH,
+        "repeats": repeats,
+        "cases": cases,
+    }
+
+
+def streaming_speedup(streaming: dict) -> tuple[int, float]:
+    """(largest population, rebuild/streaming speedup) of a streaming dict."""
+    largest = max(streaming["cases"], key=lambda case: case["population"])
+    return largest["population"], largest["speedup"]
+
+
 def run_service_bench(queue_depth: int = 8, workers: int = 2) -> dict:
     """Audit-daemon throughput: submit→result latency and jobs/sec.
 
@@ -384,6 +553,55 @@ def validate_bench_payload(payload: dict) -> None:
             value = service["latency_seconds"].get(key)
             if not isinstance(value, float) or value < 0:
                 fail(f"service.latency_seconds.{key} must be a non-negative float")
+    if "streaming" in payload:
+        streaming = payload["streaming"]
+        if not isinstance(streaming, dict):
+            fail("streaming must be a dict")
+        for key, kind in (
+            ("function", str),
+            ("algorithm", str),
+            ("delta_batch", int),
+            ("repeats", int),
+        ):
+            if not isinstance(streaming.get(key), kind):
+                fail(f"streaming.{key} must be {kind.__name__}")
+        if streaming["delta_batch"] < 1 or streaming["repeats"] < 1:
+            fail("streaming sizes must be positive")
+        if not isinstance(streaming.get("cases"), list) or not streaming["cases"]:
+            fail("streaming.cases must be a non-empty list")
+        for index, case in enumerate(streaming["cases"]):
+            for key, kind in (
+                ("population", int),
+                ("n_atoms", int),
+                ("delta_batch", int),
+                ("stale_deltas", int),
+                ("first_audit_seconds", float),
+                ("mutations_per_second", float),
+                ("speedup", float),
+                ("audit_speedup", float),
+                ("paths", dict),
+            ):
+                if not isinstance(case.get(key), kind):
+                    fail(f"streaming.cases[{index}].{key} must be {kind.__name__}")
+            if case["population"] <= 0 or case["n_atoms"] <= 0:
+                fail(f"streaming.cases[{index}] sizes must be positive")
+            if case["mutations_per_second"] <= 0 or case["speedup"] <= 0:
+                fail(f"streaming.cases[{index}] rates must be positive")
+            for path in STREAMING_PATHS:
+                timing = case["paths"].get(path)
+                if not isinstance(timing, dict):
+                    fail(f"streaming.cases[{index}].paths.{path} must be a dict")
+                for key in ("median", "min"):
+                    if not isinstance(timing.get(key), float) or timing[key] <= 0:
+                        fail(
+                            f"streaming.cases[{index}].paths.{path}.{key} "
+                            "must be a positive float"
+                        )
+                if not isinstance(timing.get("repeats"), list) or not timing["repeats"]:
+                    fail(
+                        f"streaming.cases[{index}].paths.{path}.repeats "
+                        "must be a non-empty list"
+                    )
     if "scaling" in payload:
         scaling = payload["scaling"]
         if not isinstance(scaling, dict):
@@ -422,7 +640,9 @@ def validate_bench_payload(payload: dict) -> None:
                     )
 
 
-def run_suite(quick: bool, repeats: int, scaling: bool = False) -> dict:
+def run_suite(
+    quick: bool, repeats: int, scaling: bool = False, streaming: bool = False
+) -> dict:
     """Execute the fixed suite and return the (validated) payload."""
     cases = []
     overhead = None
@@ -452,6 +672,8 @@ def run_suite(quick: bool, repeats: int, scaling: bool = False) -> dict:
     }
     if scaling:
         payload["scaling"] = run_scaling(quick, repeats)
+    if streaming:
+        payload["streaming"] = run_streaming(quick, repeats)
     validate_bench_payload(payload)
     return payload
 
@@ -486,11 +708,25 @@ def main(argv=None) -> int:
         help="exit 1 unless the atom path beats the member path at the "
         "largest scaling population (implies --scaling)",
     )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="also run the streaming-vs-rebuild mutable-population sweep "
+        f"({SCALING_POPULATIONS_QUICK} quick / {SCALING_POPULATIONS} full workers)",
+    )
+    parser.add_argument(
+        "--assert-streaming-speedup",
+        action="store_true",
+        help="exit 1 unless the streaming re-audit beats the full rebuild "
+        "at the largest population — by >=10x in full mode, >1x in --quick "
+        "(implies --streaming)",
+    )
     args = parser.parse_args(argv)
 
     repeats = args.repeats or (3 if args.quick else 5)
     scaling = args.scaling or args.assert_atom_speedup
-    payload = run_suite(args.quick, repeats, scaling=scaling)
+    streaming = args.streaming or args.assert_streaming_speedup
+    payload = run_suite(args.quick, repeats, scaling=scaling, streaming=streaming)
 
     if args.out:
         out_path = Path(args.out)
@@ -527,6 +763,21 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+    if "streaming" in payload:
+        population, speedup = streaming_speedup(payload["streaming"])
+        print(
+            f"streaming: delta re-audit is {speedup:.1f}x the full rebuild "
+            f"at {population} workers"
+        )
+        if args.assert_streaming_speedup:
+            required = 1.0 if args.quick else 10.0
+            if speedup < required:
+                print(
+                    f"FAIL: streaming re-audit speedup {speedup:.2f}x at "
+                    f"{population} workers is below the {required:.0f}x bar",
+                    file=sys.stderr,
+                )
+                return 1
     if overhead["relative"] >= 0.02:
         print("WARNING: no-op overhead A/B delta exceeds the 2% budget", file=sys.stderr)
         return 1

@@ -454,6 +454,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=8765,
         help="HTTP bind port (0 picks a free port; printed at startup)",
     )
+    serve.add_argument(
+        "--snapshot-out",
+        dest="snapshot_out",
+        default=None,
+        metavar="DIR",
+        help="directory for monitored-population snapshots "
+        "(default: WORKDIR/snapshots; 'none' disables snapshotting)",
+    )
+    serve.add_argument(
+        "--snapshot-in",
+        dest="snapshot_in",
+        default=None,
+        metavar="DIR",
+        help="directory snapshots are restored from at startup "
+        "(default: the --snapshot-out directory)",
+    )
+    serve.add_argument(
+        "--journal-max-bytes",
+        dest="journal_max_bytes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="compact the journal in place once it exceeds N bytes "
+        "(default: never compact)",
+    )
     _add_engine_arguments(serve)
 
     submit = subparsers.add_parser(
@@ -531,6 +556,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="read DIR/journal.jsonl directly (works while the daemon is down)",
+    )
+
+    verify_snapshot = subparsers.add_parser(
+        "verify-snapshot",
+        help="check a monitored-population snapshot restores exactly",
+    )
+    verify_snapshot.add_argument(
+        "snapshot", metavar="PATH", help="snapshot file to verify"
+    )
+
+    compact_snapshot = subparsers.add_parser(
+        "compact-snapshot",
+        help="trim a snapshot's unfairness series (state is untouched)",
+    )
+    compact_snapshot.add_argument(
+        "snapshot", metavar="PATH", help="snapshot file to compact"
+    )
+    compact_snapshot.add_argument(
+        "--keep",
+        type=int,
+        default=100,
+        metavar="N",
+        help="series points to keep (newest first; default 100)",
     )
     return parser
 
@@ -802,6 +850,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     if getattr(args, "log_level", None):
         setup_logging(args.log_level)
     retry_policy, _ = _resilience(args)
+    if args.snapshot_out is None:
+        snapshot_dir = ""  # ServiceConfig default: WORKDIR/snapshots
+    elif args.snapshot_out.lower() == "none":
+        snapshot_dir = None
+    else:
+        snapshot_dir = args.snapshot_out
     service = AuditService(
         ServiceConfig(
             args.workdir,
@@ -809,6 +863,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             workers=args.queue_workers,
             host=args.host,
             port=args.port,
+            snapshot_dir=snapshot_dir,
+            snapshot_in=args.snapshot_in,
+            journal_max_bytes=args.journal_max_bytes,
         ),
         retry_policy=retry_policy,
     )
@@ -916,6 +973,41 @@ def _command_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_verify_snapshot(args: argparse.Namespace) -> int:
+    from repro.exceptions import SnapshotError
+    from repro.service import verify_snapshot
+
+    try:
+        info = verify_snapshot(args.snapshot)
+    except SnapshotError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK {info['path']}")
+    print(
+        f"  monitor {info['id']}: {info['population_size']} workers at "
+        f"version {info['version']}, {info['series_points']} series points"
+    )
+    print(f"  digest      {info['digest']}")
+    print(f"  fingerprint {info['fingerprint']}")
+    return 0
+
+
+def _command_compact_snapshot(args: argparse.Namespace) -> int:
+    from repro.exceptions import SnapshotError
+    from repro.service import compact_snapshot
+
+    try:
+        before, after = compact_snapshot(args.snapshot, keep_series=args.keep)
+    except SnapshotError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"compacted {args.snapshot}: {before} -> {after} bytes "
+        f"({before - after} reclaimed, series capped at {args.keep})"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-audit`` console script."""
     args = build_parser().parse_args(argv)
@@ -930,6 +1022,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _command_serve,
         "submit": _command_submit,
         "jobs": _command_jobs,
+        "verify-snapshot": _command_verify_snapshot,
+        "compact-snapshot": _command_compact_snapshot,
     }
     return commands[args.command](args)
 

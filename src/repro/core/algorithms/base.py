@@ -149,6 +149,7 @@ class PartitioningAlgorithm(abc.ABC):
         fault_config=None,
         use_atoms: "bool | None" = None,
         deadline=None,
+        engine_factory=None,
     ) -> AlgorithmResult:
         """Search for the most unfair partitioning of ``population`` under ``scores``.
 
@@ -194,10 +195,18 @@ class PartitioningAlgorithm(abc.ABC):
             ``expired()`` method).  The search polls it at iteration
             boundaries and, once spent, returns the partial result reached
             so far with ``deadline_hit=True`` instead of running on.
+        engine_factory:
+            Optional callable constructing (or re-using) the evaluation
+            engine; called with the same keyword arguments
+            :class:`~repro.engine.engine.EvaluationEngine` would receive.
+            The streaming layer passes one that keeps a persistent
+            :class:`~repro.engine.streaming.StreamingEngine` warm across
+            re-audits instead of rebuilding per run.
         """
         if population.size == 0:
             raise PartitioningError("cannot partition an empty population")
-        engine = EvaluationEngine(
+        factory = engine_factory if engine_factory is not None else EvaluationEngine
+        engine = factory(
             population,
             scores,
             hist_spec=hist_spec,

@@ -177,6 +177,10 @@ class Population:
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size and (indices.min() < 0 or indices.max() >= self._size):
             raise PopulationError("subset indices out of range")
+        if np.unique(indices).size != indices.size:
+            # A repeated row would double-count a worker in every histogram
+            # and atom count derived from the subset.
+            raise PopulationError("subset indices contain duplicates")
         return Population(
             self.schema,
             {name: col[indices] for name, col in self._protected.items()},

@@ -5,7 +5,8 @@ See :mod:`repro.engine.engine` for the entry point
 distance kernels, :mod:`repro.engine.incremental` for O(k·Δ) frontier
 updates, :mod:`repro.engine.backends` for the execution backends,
 :mod:`repro.engine.resilience` for retry/timeout/fallback hardening, and
-:mod:`repro.engine.faults` for deterministic fault injection.
+:mod:`repro.engine.faults` for deterministic fault injection, and
+:mod:`repro.engine.streaming` for O(Δ) re-audits of mutable populations.
 """
 
 from repro.engine.backends import (
@@ -27,6 +28,13 @@ from repro.engine.kernels import (
     full_objective,
     has_vectorized_kernel,
     pairwise_matrix,
+)
+from repro.engine.streaming import (
+    MutableAtomState,
+    StreamingAuditor,
+    StreamingAuditReport,
+    StreamingEngine,
+    proxy_population,
 )
 
 __all__ = [
@@ -52,4 +60,9 @@ __all__ = [
     "average_from_matrix",
     "full_objective",
     "has_vectorized_kernel",
+    "MutableAtomState",
+    "StreamingAuditor",
+    "StreamingAuditReport",
+    "StreamingEngine",
+    "proxy_population",
 ]

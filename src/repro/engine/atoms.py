@@ -44,7 +44,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.partition import Partition
     from repro.core.population import Population
 
-__all__ = ["AtomTable"]
+__all__ = ["AtomTable", "protected_cards", "encode_codes", "decode_keys"]
+
+
+def protected_cards(schema) -> "tuple[tuple[str, ...], tuple[int, ...]]":
+    """Protected attribute names and cardinalities, in schema (radix) order."""
+    names = tuple(schema.protected_names)
+    cards = tuple(schema.protected_attribute(name).cardinality for name in names)
+    return names, cards
+
+
+def encode_codes(codes: Sequence[int], cards: Sequence[int]) -> int:
+    """Mixed-radix fold of one code tuple — the atom key of one worker.
+
+    Must match :meth:`AtomTable.build`'s vectorised fold exactly: the first
+    attribute is the most significant digit.
+    """
+    key = 0
+    for code, card in zip(codes, cards):
+        key = key * card + int(code)
+    return key
+
+
+def decode_keys(keys: np.ndarray, cards: Sequence[int]) -> np.ndarray:
+    """Invert the mixed-radix fold: ``(n_atoms, n_attributes)`` code columns."""
+    n_atoms = int(keys.shape[0])
+    codes = np.empty((n_atoms, len(cards)), dtype=np.int64)
+    if len(cards):
+        remainder = np.asarray(keys, dtype=np.int64)
+        for j in range(len(cards) - 1, 0, -1):
+            remainder, codes[:, j] = np.divmod(remainder, cards[j])
+        codes[:, 0] = remainder
+    return codes
 
 
 class AtomTable:
@@ -111,13 +142,34 @@ class AtomTable:
             worker_atom * bins + np.asarray(bin_idx, dtype=np.int64),
             minlength=n_atoms * bins,
         ).reshape(n_atoms, bins)
-        codes = np.empty((n_atoms, len(names)), dtype=np.int64)
-        if names:
-            remainder = unique_keys
-            for j in range(len(names) - 1, 0, -1):
-                remainder, codes[:, j] = np.divmod(remainder, cards[j])
-            codes[:, 0] = remainder
+        codes = decode_keys(unique_keys, cards)
         return cls(names, codes, np.ascontiguousarray(counts, dtype=np.int64), worker_atom)
+
+    @classmethod
+    def from_key_counts(
+        cls,
+        attribute_names: tuple[str, ...],
+        cards: Sequence[int],
+        keys: np.ndarray,
+        counts: np.ndarray,
+    ) -> "AtomTable":
+        """Build a table directly from per-atom (key, histogram) pairs.
+
+        This is the streaming path: a
+        :class:`~repro.engine.streaming.MutableAtomState` maintains the
+        key → histogram mapping incrementally and materialises it here.
+        ``keys`` must be sorted ascending — the order :meth:`build` produces
+        via ``np.unique`` — so a table built from identical statistics is
+        bit-identical to a from-scratch build.  ``worker_atom`` is the
+        identity: in the streaming proxy, "worker" *i* is atom *i*.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size > 1 and not bool(np.all(keys[1:] > keys[:-1])):
+            raise ValueError("atom keys must be strictly ascending")
+        codes = decode_keys(keys, cards)
+        counts = np.ascontiguousarray(counts, dtype=np.int64)
+        worker_atom = np.arange(keys.shape[0], dtype=np.int64)
+        return cls(attribute_names, codes, counts, worker_atom)
 
     # ------------------------------------------------------------- inspection
 

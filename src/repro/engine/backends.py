@@ -308,7 +308,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 "timeout (RetryPolicy.timeout_seconds / --engine-timeout)"
             )
         self._pool: "ProcessPoolExecutor | None" = None
-        self._engine_id: "int | None" = None
+        self._engine_key: "tuple[int, int] | None" = None
         self._batch_counter = 0
         self._rebuilds = 0
         self._degraded = False
@@ -324,9 +324,13 @@ class ProcessPoolBackend(ExecutionBackend):
         return self._degraded
 
     def _ensure_pool(self, engine: "EvaluationEngine") -> ProcessPoolExecutor:
-        if self._pool is not None and self._engine_id != id(engine):
+        key = (id(engine), getattr(engine, "atom_version", 0))
+        if self._pool is not None and self._engine_key != key:
             # A backend instance is reusable across runs; re-seed the
-            # workers with the new engine's scores/metric.
+            # workers with the new engine's scores/metric.  The key includes
+            # the engine's atom version, so a streaming engine that rebinds
+            # to mutated counts republishes the shared-memory cube — and an
+            # unchanged binding ("not dirty") keeps the live segments.
             self.close()
         if self._pool is None:
             try:
@@ -354,7 +358,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 initializer=_init_worker,
                 initargs=(payload,),
             )
-            self._engine_id = id(engine)
+            self._engine_key = key
         return self._pool
 
     def score_partitionings(
@@ -632,7 +636,7 @@ class ProcessPoolBackend(ExecutionBackend):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-            self._engine_id = None
+            self._engine_key = None
         # Unlink the shared segments only after the pool is gone: the
         # workers' attached views must never outlive the backing memory.
         # Robust to double-close and to rebuilds racing worker death.

@@ -199,6 +199,12 @@ class EvaluationEngine:
             self._use_atoms = False
         self._atom_table: "AtomTable | None" = None
         self._atom_rows_cache: dict[Partition, object] = {}
+        #: Monotone version of the atom-count binding.  The process backend
+        #: keys its shared-memory publication on (engine id, atom_version),
+        #: so a streaming engine that swaps in a new table (see
+        #: :meth:`~repro.engine.streaming.StreamingEngine.rebind`) republishes
+        #: the cube, while an unchanged binding reuses the live segments.
+        self.atom_version = 0
         # True when the metric's average_pairwise is a closed form that never
         # materialises individual pairs (EMD's sorted-prefix-sum path).
         self._closed_form_average = (

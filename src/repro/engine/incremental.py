@@ -187,6 +187,40 @@ class IncrementalObjective:
         if self._weights is not None:
             self._weights = np.concatenate([self._weights[kept_idx], added_weights])
 
+    def update_pmf(
+        self, index: int, pmf: np.ndarray, weight: "float | None" = None
+    ) -> None:
+        """Patch one frontier entry's histogram in place.
+
+        The streaming layer uses this when a mutation batch changes the
+        member set of an already-chosen group: only the touched entry's row
+        and column of the cached matrix are recomputed — ``k - 1`` new
+        distances instead of a C(k, 2) rebuild.  ``weight`` is the entry's
+        new size under size weighting (required there, rejected otherwise
+        to catch callers passing sizes the objective would ignore).
+        """
+        if not 0 <= index < self.k:
+            raise PartitioningError(
+                f"update position {index} out of range for k={self.k}"
+            )
+        pmf = np.asarray(pmf, dtype=np.float64)
+        if pmf.shape != (self.engine.spec.bins,):
+            raise PartitioningError(
+                f"updated pmf has shape {pmf.shape}, expected ({self.engine.spec.bins},)"
+            )
+        if self._weights is not None and weight is None:
+            raise PartitioningError("size weighting requires the updated weight")
+        self._pmfs[index] = pmf
+        cross = self.engine.materialize_cross(
+            pmf[np.newaxis, :], self._pmfs
+        ).ravel()
+        cross[index] = 0.0
+        self._matrix[index, :] = cross
+        self._matrix[:, index] = cross
+        if self._weights is not None:
+            self._weights[index] = float(weight)
+        self.engine.record_incremental_evaluation(self.k, new_pairs=self.k - 1)
+
     # -------------------------------------------------------------- internal
 
     def _replace_blocks(self, removed: Sequence[int], added: Sequence[Partition]):

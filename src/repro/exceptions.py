@@ -21,6 +21,16 @@ class PopulationError(ReproError):
     """A population is malformed (wrong columns, bad dtypes, out-of-domain values)."""
 
 
+class MutationError(PopulationError):
+    """A streaming mutation could not be applied to a mutable population.
+
+    Raised for unknown worker ids, duplicate ids on ``add``, non-finite or
+    out-of-range scores, and malformed mutation records — before any state
+    is touched, so a rejected mutation never leaves the population (or the
+    derived atom counts) partially updated.
+    """
+
+
 class ScoringError(ReproError):
     """A scoring function is mis-configured or produced out-of-range scores."""
 
@@ -126,6 +136,16 @@ class JournalError(ServiceError):
     A *torn tail* (the final record cut short by a crash) is recovered, not
     raised; this error means a record before the tail failed its CRC — i.e.
     the file was damaged in a way recovery must not silently paper over.
+    """
+
+
+class SnapshotError(ServiceError):
+    """A population snapshot is missing, corrupt, or from an incompatible run.
+
+    Mirrors :class:`CheckpointError` for the streaming layer: schema tags
+    are gated, the state digest is recomputed on load, and a fingerprint
+    recorded for a different monitor spec refuses to restore rather than
+    silently merging incompatible state.
     """
 
 

@@ -8,6 +8,12 @@ from repro.io.atomic import (
     fsync_directory,
     fsync_handle,
 )
+from repro.io.records import (
+    canonical_json,
+    decode_line,
+    encode_record,
+    scan_records,
+)
 from repro.io.serialization import (
     audit_report_to_dict,
     load_experiment_rows,
@@ -33,4 +39,8 @@ __all__ = [
     "ensure_directory",
     "fsync_directory",
     "fsync_handle",
+    "canonical_json",
+    "decode_line",
+    "encode_record",
+    "scan_records",
 ]

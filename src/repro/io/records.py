@@ -1,0 +1,89 @@
+"""CRC-wrapped JSONL record streams.
+
+The durable stores in this codebase (the service's job journal, the
+``repro.mutations/v1`` mutation streams) share one on-disk grammar: a text
+file of newline-terminated JSON objects ``{"crc": <crc32>, "rec": {...}}``
+where ``crc`` is the CRC32 of the *canonical* JSON encoding of ``rec``.
+The CRC distinguishes a record that was **written** from bytes that merely
+*look like* one, which is what makes torn-tail recovery safe: a line that
+fails its CRC at the end of the file is an interrupted append, not data.
+
+This module owns the grammar; policy (schemas, recovery, replay semantics)
+stays with the stores.  :func:`scan_records` implements the shared
+corruption taxonomy:
+
+* a **torn tail** — the final line cut short (partial JSON, missing
+  newline, failed CRC) — is reported, not raised; at most one record (the
+  one being appended during a crash) is affected and it was never
+  acknowledged;
+* a bad line **followed by more data** is mid-file corruption and raises
+  the caller-supplied error type — acknowledged history must never be
+  silently skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+
+__all__ = ["canonical_json", "encode_record", "decode_line", "scan_records"]
+
+
+def canonical_json(record: dict) -> str:
+    """The byte-stable JSON encoding the CRC is computed over."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def encode_record(record: dict) -> str:
+    """One stream line (no newline): CRC32-wrapped canonical JSON."""
+    body = canonical_json(record)
+    crc = zlib.crc32(body.encode("utf-8"))
+    return json.dumps({"crc": crc, "rec": record}, sort_keys=True, separators=(",", ":"))
+
+
+def decode_line(line: str) -> dict:
+    """Parse and CRC-verify one stream line; raises ``ValueError`` if torn."""
+    wrapper = json.loads(line)
+    if not isinstance(wrapper, dict) or "crc" not in wrapper or "rec" not in wrapper:
+        raise ValueError("record line is not a crc-wrapped record")
+    record = wrapper["rec"]
+    crc = zlib.crc32(canonical_json(record).encode("utf-8"))
+    if crc != wrapper["crc"]:
+        raise ValueError(f"crc mismatch: stored {wrapper['crc']}, computed {crc}")
+    return record
+
+
+def scan_records(
+    path: "str | Path", error: "type[Exception]" = ValueError
+) -> "tuple[list[dict], int, int]":
+    """Scan one record stream: ``(records, clean_length_bytes, torn_bytes)``.
+
+    ``clean_length_bytes`` is the offset up to which every line parsed and
+    CRC-verified; anything after it is a torn tail — but only if it is
+    genuinely the tail.  A bad line *followed by more data* is mid-file
+    corruption and raises ``error``.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    records: list[dict] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline == -1:
+            # Unterminated final line: torn by definition.
+            return records, offset, len(data) - offset
+        line = data[offset:newline]
+        try:
+            records.append(decode_line(line.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError) as exc:
+            if newline == len(data) - 1:
+                # Complete-looking but corrupt final line — a crash can
+                # leave this when pre-allocated blocks surface; still the
+                # tail, still safe to drop.
+                return records, offset, len(data) - offset
+            raise error(
+                f"record stream {path} corrupt mid-file at byte {offset}: {exc}"
+            ) from exc
+        offset = newline + 1
+    return records, offset, 0

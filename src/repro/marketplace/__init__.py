@@ -22,6 +22,15 @@ from repro.marketplace.scoring import (
     ScoringFunction,
     paper_functions,
 )
+from repro.marketplace.streaming import (
+    MUTATIONS_SCHEMA,
+    AppliedMutation,
+    MutablePopulation,
+    Mutation,
+    random_mutation_mix,
+    read_mutation_stream,
+    write_mutation_stream,
+)
 from repro.marketplace.tasks import Task, eligible_workers, task_from_weights
 
 __all__ = [
@@ -47,4 +56,11 @@ __all__ = [
     "Assignment",
     "AssignmentPlan",
     "assign_tasks",
+    "MUTATIONS_SCHEMA",
+    "Mutation",
+    "AppliedMutation",
+    "MutablePopulation",
+    "random_mutation_mix",
+    "read_mutation_stream",
+    "write_mutation_stream",
 ]

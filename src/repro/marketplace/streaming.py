@@ -1,0 +1,738 @@
+"""Mutable populations for streaming audits (``repro.mutations/v1``).
+
+The batch pipeline treats a :class:`~repro.core.population.Population` as
+frozen — the right model for reproducing the paper's tables, and the wrong
+one for the paper's *setting*: an online marketplace where workers join,
+leave, and get re-scored continuously.  This module adds the mutable
+counterpart without touching the batch types:
+
+* :class:`Mutation` — one of ``add`` / ``remove`` / ``update_score``, a
+  frozen value object that round-trips through JSON exactly (the service
+  journals them; the ``repro.mutations/v1`` stream stores them).
+* :class:`MutablePopulation` — a columnar store with **stable integer
+  worker ids** (ids survive removals; rows are swap-removed internally) and
+  an append-only log of :class:`AppliedMutation` records that downstream
+  consumers (the streaming atom state, the delta re-scorer) replay in
+  O(Δ) instead of rebuilding from the full population.
+
+Every mutation is validated *before* any state changes — a rejected
+mutation (unknown id, duplicate id, non-finite or out-of-range score,
+out-of-domain attribute value) raises
+:class:`~repro.exceptions.MutationError` and leaves the population, its
+log, and anything derived from them untouched.
+
+Determinism contract: :meth:`MutablePopulation.to_population` materialises
+workers in ascending-id order, so the frozen snapshot of a mutable
+population is a pure function of its logical state, independent of the
+internal slot order that swap-removal produces.  The streaming engine's
+bit-identity guarantee is anchored on this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.attributes import CategoricalAttribute
+from repro.core.histogram import HistogramSpec
+from repro.core.population import Population
+from repro.core.schema import WorkerSchema
+from repro.exceptions import MetricError, MutationError, SchemaError
+from repro.io.atomic import atomic_write_text
+from repro.io.records import canonical_json, encode_record, scan_records
+
+__all__ = [
+    "MUTATIONS_SCHEMA",
+    "Mutation",
+    "AppliedMutation",
+    "MutablePopulation",
+    "write_mutation_stream",
+    "read_mutation_stream",
+    "random_mutation_mix",
+]
+
+#: Format tag of serialized mutation streams; bump on incompatible changes.
+MUTATIONS_SCHEMA = "repro.mutations/v1"
+
+#: The three mutation kinds of the streaming API.
+MUTATION_KINDS = ("add", "remove", "update_score")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One population delta, as submitted by a client.
+
+    ``add`` needs ``score`` and a complete ``protected`` mapping
+    (``observed`` is optional, defaulting each attribute to its lower
+    bound) and may carry an explicit ``worker_id`` (``None`` = let the
+    population assign the next id).  ``remove`` needs ``worker_id``.
+    ``update_score`` needs ``worker_id`` and ``score``.
+    """
+
+    kind: str
+    worker_id: "int | None" = None
+    score: "float | None" = None
+    protected: "Mapping[str, Any] | None" = None
+    observed: "Mapping[str, float] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise MutationError(
+                f"unknown mutation kind {self.kind!r}; choose from {MUTATION_KINDS}"
+            )
+        if self.kind == "add":
+            if self.score is None:
+                raise MutationError("add mutation requires a score")
+            if self.protected is None:
+                raise MutationError("add mutation requires protected attribute values")
+        else:
+            if self.worker_id is None:
+                raise MutationError(f"{self.kind} mutation requires a worker_id")
+            if self.protected is not None or self.observed is not None:
+                raise MutationError(
+                    f"{self.kind} mutation must not carry attribute values"
+                )
+            if self.kind == "update_score" and self.score is None:
+                raise MutationError("update_score mutation requires a score")
+            if self.kind == "remove" and self.score is not None:
+                raise MutationError("remove mutation must not carry a score")
+        if self.worker_id is not None:
+            if isinstance(self.worker_id, bool) or not isinstance(
+                self.worker_id, (int, np.integer)
+            ):
+                raise MutationError(
+                    f"worker_id must be an integer, got {self.worker_id!r}"
+                )
+            object.__setattr__(self, "worker_id", int(self.worker_id))
+
+    # ------------------------------------------------------------- (de)serde
+
+    def to_dict(self) -> dict:
+        """JSON-safe record (``None`` fields omitted; exact round-trip)."""
+        payload: dict = {"kind": self.kind}
+        if self.worker_id is not None:
+            payload["worker_id"] = int(self.worker_id)
+        if self.score is not None:
+            payload["score"] = float(self.score)
+        if self.protected is not None:
+            payload["protected"] = {
+                str(k): (v if isinstance(v, str) else int(v))
+                for k, v in self.protected.items()
+            }
+        if self.observed is not None:
+            payload["observed"] = {
+                str(k): float(v) for k, v in self.observed.items()
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Mutation":
+        """Rebuild from :meth:`to_dict` output; unknown keys rejected."""
+        if not isinstance(payload, Mapping):
+            raise MutationError(f"mutation record must be an object, got {payload!r}")
+        fields = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - fields
+        if unknown:
+            raise MutationError(f"unknown Mutation fields: {sorted(unknown)}")
+        if "kind" not in payload:
+            raise MutationError("mutation record has no kind")
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class AppliedMutation:
+    """One mutation *after* application, enriched for O(Δ) consumers.
+
+    ``codes`` is the worker's partition-code tuple (one code per protected
+    attribute, in schema order) and ``bin`` its digitised score bin at
+    application time — exactly what the streaming atom state needs to patch
+    one count-cube cell without consulting the population.  For
+    ``update_score``, ``old_bin`` carries the bin the score left.
+    """
+
+    seq: int
+    kind: str
+    worker_id: int
+    codes: tuple[int, ...]
+    bin: int
+    old_bin: "int | None" = None
+    mutation: "Mutation | None" = None
+
+
+class MutablePopulation:
+    """Columnar worker store with stable ids and an append-only mutation log.
+
+    Rows live in dense arrays with capacity doubling; removal swaps the
+    last row into the vacated slot, so every operation is O(1) amortised in
+    the population size.  The logical identity of a worker is its integer
+    id, never its slot.
+    """
+
+    def __init__(self, schema: WorkerSchema, hist_spec: "HistogramSpec | None" = None) -> None:
+        self.schema = schema
+        self.hist_spec = hist_spec or HistogramSpec()
+        self._capacity = 8
+        self._n = 0
+        self._raw: dict[str, np.ndarray] = {
+            attr.name: np.zeros(self._capacity, dtype=np.int64)
+            for attr in schema.protected
+        }
+        self._codes: dict[str, np.ndarray] = {
+            attr.name: np.zeros(self._capacity, dtype=np.int64)
+            for attr in schema.protected
+        }
+        self._obs: dict[str, np.ndarray] = {
+            attr.name: np.zeros(self._capacity, dtype=np.float64)
+            for attr in schema.observed
+        }
+        self._scores = np.zeros(self._capacity, dtype=np.float64)
+        self._bins = np.zeros(self._capacity, dtype=np.int64)
+        self._ids = np.zeros(self._capacity, dtype=np.int64)
+        self._id_slot: dict[int, int] = {}
+        self._next_id = 0
+        self._log: list[AppliedMutation] = []
+        self._log_base = 0  # seq of the first retained log entry, minus one
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_population(
+        cls,
+        population: Population,
+        scores: np.ndarray,
+        hist_spec: "HistogramSpec | None" = None,
+        ids: "np.ndarray | None" = None,
+    ) -> "MutablePopulation":
+        """Seed a mutable population from a frozen one plus its scores.
+
+        ``ids`` defaults to row numbers; explicit ids must be unique
+        non-negative integers (duplicates raise
+        :class:`~repro.exceptions.MutationError` — a duplicated id would
+        silently double-count a worker in every derived histogram).
+        """
+        store = cls(population.schema, hist_spec)
+        n = population.size
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.shape != (n,):
+            raise MutationError(
+                f"scores shape {scores.shape} does not match population size {n}"
+            )
+        if n and not np.all(np.isfinite(scores)):
+            raise MutationError("scores contain non-finite values")
+        if ids is None:
+            ids = np.arange(n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n,):
+                raise MutationError(
+                    f"ids shape {ids.shape} does not match population size {n}"
+                )
+            if n and ids.min() < 0:
+                raise MutationError("worker ids must be non-negative")
+            if np.unique(ids).size != ids.size:
+                raise MutationError("duplicate worker ids")
+        store._reserve(n)
+        store._n = n
+        for attr in population.schema.protected:
+            store._raw[attr.name][:n] = population.protected_column(attr.name)
+            store._codes[attr.name][:n] = population.partition_codes(attr.name)
+        for attr in population.schema.observed:
+            store._obs[attr.name][:n] = population.observed_column(attr.name)
+        store._scores[:n] = scores
+        try:
+            store._bins[:n] = store.hist_spec.bin_indices(scores)
+        except MetricError as exc:
+            raise MutationError(str(exc)) from exc
+        store._ids[:n] = ids
+        store._id_slot = {int(ids[i]): i for i in range(n)}
+        store._next_id = int(ids.max()) + 1 if n else 0
+        return store
+
+    # ----------------------------------------------------------------- basics
+
+    @property
+    def size(self) -> int:
+        """Number of live workers."""
+        return self._n
+
+    @property
+    def version(self) -> int:
+        """Number of mutations ever applied (the log's end sequence)."""
+        return self._log_base + len(self._log)
+
+    @property
+    def next_id(self) -> int:
+        """The id the next auto-assigned ``add`` will receive."""
+        return self._next_id
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, worker_id: int) -> bool:
+        return int(worker_id) in self._id_slot
+
+    def __repr__(self) -> str:
+        return (
+            f"MutablePopulation(size={self._n}, version={self.version}, "
+            f"protected={list(self.schema.protected_names)})"
+        )
+
+    def worker_ids(self) -> np.ndarray:
+        """Ids of all live workers, ascending."""
+        return np.sort(self._ids[: self._n])
+
+    def score_of(self, worker_id: int) -> float:
+        """Current score of one worker."""
+        return float(self._scores[self._slot(worker_id)])
+
+    # -------------------------------------------------------------- mutations
+
+    def add(
+        self,
+        protected: Mapping[str, Any],
+        score: float,
+        observed: "Mapping[str, float] | None" = None,
+        worker_id: "int | None" = None,
+    ) -> AppliedMutation:
+        """Add one worker; returns the applied-mutation record.
+
+        All validation happens before any state changes.  Categorical
+        values may be labels or codes; integer attributes take raw values.
+        """
+        mutation = Mutation(
+            kind="add",
+            worker_id=worker_id,
+            score=score,
+            protected=dict(protected),
+            observed=dict(observed) if observed is not None else None,
+        )
+        return self.apply(mutation)
+
+    def remove(self, worker_id: int) -> AppliedMutation:
+        """Remove one worker by id (unknown ids raise ``MutationError``)."""
+        return self.apply(Mutation(kind="remove", worker_id=worker_id))
+
+    def update_score(self, worker_id: int, score: float) -> AppliedMutation:
+        """Re-score one worker (unknown ids / bad scores raise)."""
+        return self.apply(Mutation(kind="update_score", worker_id=worker_id, score=score))
+
+    def apply(self, mutation: Mutation) -> AppliedMutation:
+        """Validate and apply one mutation; append to the log; return it."""
+        if mutation.kind == "add":
+            applied = self._apply_add(mutation)
+        elif mutation.kind == "remove":
+            applied = self._apply_remove(mutation)
+        else:
+            applied = self._apply_update(mutation)
+        self._log.append(applied)
+        return applied
+
+    def apply_all(self, mutations: Iterable[Mutation]) -> "list[AppliedMutation]":
+        """Apply mutations in order, stopping at the first invalid one.
+
+        The valid prefix stays applied; the offending mutation raises with
+        its position so callers (the service) can report partial progress.
+        """
+        applied: list[AppliedMutation] = []
+        for position, mutation in enumerate(mutations):
+            try:
+                applied.append(self.apply(mutation))
+            except MutationError as exc:
+                raise MutationError(
+                    f"mutation {position} rejected after {len(applied)} applied: {exc}"
+                ) from exc
+        return applied
+
+    # ---------------------------------------------------------- mutation guts
+
+    def _apply_add(self, mutation: Mutation) -> AppliedMutation:
+        protected = mutation.protected or {}
+        missing = set(self.schema.protected_names) - set(protected)
+        if missing:
+            raise MutationError(f"add is missing protected values: {sorted(missing)}")
+        extra = set(protected) - set(self.schema.protected_names)
+        if extra:
+            raise MutationError(f"add has undeclared protected values: {sorted(extra)}")
+        observed = dict(mutation.observed or {})
+        extra_obs = set(observed) - set(self.schema.observed_names)
+        if extra_obs:
+            raise MutationError(f"add has undeclared observed values: {sorted(extra_obs)}")
+
+        raws: dict[str, int] = {}
+        codes: dict[str, int] = {}
+        for attr in self.schema.protected:
+            value = protected[attr.name]
+            try:
+                if isinstance(attr, CategoricalAttribute) and isinstance(value, str):
+                    raw = int(attr.encode([value])[0])
+                else:
+                    raw = int(value)
+                code_arr = attr.partition_codes(np.asarray([raw], dtype=np.int64))
+            except (SchemaError, TypeError, ValueError) as exc:
+                raise MutationError(
+                    f"bad value {value!r} for protected attribute {attr.name!r}: {exc}"
+                ) from exc
+            raws[attr.name] = raw
+            codes[attr.name] = int(code_arr[0])
+        obs_values: dict[str, float] = {}
+        for attr in self.schema.observed:
+            value = observed.get(attr.name, attr.low)
+            try:
+                attr.validate(np.asarray([value], dtype=np.float64))
+            except (SchemaError, TypeError, ValueError) as exc:
+                raise MutationError(
+                    f"bad value {value!r} for observed attribute {attr.name!r}: {exc}"
+                ) from exc
+            obs_values[attr.name] = float(value)
+        score = self._check_score(mutation.score)
+        bin_ = int(self.hist_spec.bin_indices(np.asarray([score]))[0])
+
+        worker_id = mutation.worker_id
+        if worker_id is None:
+            worker_id = self._next_id
+        elif worker_id < 0:
+            raise MutationError(f"worker id must be non-negative, got {worker_id}")
+        elif worker_id in self._id_slot:
+            raise MutationError(f"duplicate worker id {worker_id}")
+
+        self._reserve(self._n + 1)
+        slot = self._n
+        for name, raw in raws.items():
+            self._raw[name][slot] = raw
+            self._codes[name][slot] = codes[name]
+        for name, value in obs_values.items():
+            self._obs[name][slot] = value
+        self._scores[slot] = score
+        self._bins[slot] = bin_
+        self._ids[slot] = worker_id
+        self._id_slot[worker_id] = slot
+        self._n += 1
+        self._next_id = max(self._next_id, worker_id + 1)
+        return AppliedMutation(
+            seq=self.version + 1,
+            kind="add",
+            worker_id=worker_id,
+            codes=tuple(codes[name] for name in self.schema.protected_names),
+            bin=bin_,
+            mutation=mutation,
+        )
+
+    def _apply_remove(self, mutation: Mutation) -> AppliedMutation:
+        worker_id = int(mutation.worker_id)  # type: ignore[arg-type]
+        slot = self._slot(worker_id)
+        codes = tuple(
+            int(self._codes[name][slot]) for name in self.schema.protected_names
+        )
+        bin_ = int(self._bins[slot])
+        last = self._n - 1
+        if slot != last:
+            # Swap-remove: the last row takes the vacated slot.
+            for col in self._raw.values():
+                col[slot] = col[last]
+            for col in self._codes.values():
+                col[slot] = col[last]
+            for col in self._obs.values():
+                col[slot] = col[last]
+            self._scores[slot] = self._scores[last]
+            self._bins[slot] = self._bins[last]
+            moved_id = int(self._ids[last])
+            self._ids[slot] = moved_id
+            self._id_slot[moved_id] = slot
+        del self._id_slot[worker_id]
+        self._n = last
+        return AppliedMutation(
+            seq=self.version + 1,
+            kind="remove",
+            worker_id=worker_id,
+            codes=codes,
+            bin=bin_,
+            mutation=mutation,
+        )
+
+    def _apply_update(self, mutation: Mutation) -> AppliedMutation:
+        worker_id = int(mutation.worker_id)  # type: ignore[arg-type]
+        slot = self._slot(worker_id)
+        score = self._check_score(mutation.score)
+        old_bin = int(self._bins[slot])
+        new_bin = int(self.hist_spec.bin_indices(np.asarray([score]))[0])
+        self._scores[slot] = score
+        self._bins[slot] = new_bin
+        return AppliedMutation(
+            seq=self.version + 1,
+            kind="update_score",
+            worker_id=worker_id,
+            codes=tuple(
+                int(self._codes[name][slot]) for name in self.schema.protected_names
+            ),
+            bin=new_bin,
+            old_bin=old_bin,
+            mutation=mutation,
+        )
+
+    def _check_score(self, score: "float | None") -> float:
+        try:
+            value = float(score)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as exc:
+            raise MutationError(f"score {score!r} is not a number") from exc
+        if not np.isfinite(value):
+            raise MutationError(f"score must be finite, got {value!r}")
+        if not self.hist_spec.low <= value <= self.hist_spec.high:
+            raise MutationError(
+                f"score {value} outside histogram range "
+                f"[{self.hist_spec.low}, {self.hist_spec.high}]"
+            )
+        return value
+
+    def _slot(self, worker_id: int) -> int:
+        try:
+            return self._id_slot[int(worker_id)]
+        except KeyError:
+            raise MutationError(f"unknown worker id {worker_id}") from None
+
+    def _reserve(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        for cols in (self._raw, self._codes):
+            for name in cols:
+                grown = np.zeros(capacity, dtype=np.int64)
+                grown[: self._n] = cols[name][: self._n]
+                cols[name] = grown
+        for name in self._obs:
+            grown = np.zeros(capacity, dtype=np.float64)
+            grown[: self._n] = self._obs[name][: self._n]
+            self._obs[name] = grown
+        for field in ("_scores", "_bins", "_ids"):
+            old = getattr(self, field)
+            grown = np.zeros(capacity, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, field, grown)
+        self._capacity = capacity
+
+    def partition_code_matrix(self) -> np.ndarray:
+        """``(n, n_protected)`` partition codes of the live workers.
+
+        Row order is internal slot order — callers that only *count* over
+        it (the streaming atom state) are order-independent.
+        """
+        n = self._n
+        return np.column_stack(
+            [self._codes[name][:n] for name in self.schema.protected_names]
+        ) if n else np.zeros((0, len(self.schema.protected_names)), dtype=np.int64)
+
+    def bin_column(self) -> np.ndarray:
+        """Digitised score bin of each live worker (slot order)."""
+        return self._bins[: self._n].copy()
+
+    # ------------------------------------------------------------ mutation log
+
+    def log_since(self, seq: int) -> "list[AppliedMutation]":
+        """Applied mutations with sequence number > ``seq``, in order.
+
+        Raises if the requested history was already trimmed — a consumer
+        that falls behind a trim must rebuild from current state instead of
+        silently missing deltas.
+        """
+        if seq < self._log_base:
+            raise MutationError(
+                f"mutation log history before seq {self._log_base} was trimmed; "
+                f"cannot replay from seq {seq}"
+            )
+        return self._log[seq - self._log_base :]
+
+    def trim_log(self, upto_seq: int) -> None:
+        """Drop log entries with sequence number ≤ ``upto_seq``."""
+        upto_seq = min(upto_seq, self.version)
+        if upto_seq <= self._log_base:
+            return
+        self._log = self._log[upto_seq - self._log_base :]
+        self._log_base = upto_seq
+
+    # ------------------------------------------------------------- snapshots
+
+    def to_population(self) -> "tuple[Population, np.ndarray]":
+        """Freeze current state as a batch ``(Population, scores)`` pair.
+
+        Workers are materialised in ascending-id order, making the result a
+        pure function of logical state (internal slot order — an artifact
+        of swap-removal — never leaks).
+        """
+        n = self._n
+        order = np.argsort(self._ids[:n])
+        population = Population(
+            self.schema,
+            {name: col[:n][order] for name, col in self._raw.items()},
+            {name: col[:n][order] for name, col in self._obs.items()},
+        )
+        return population, self._scores[:n][order].copy()
+
+    def state_payload(self) -> dict:
+        """JSON-safe columnar state, id-ordered (snapshot body).
+
+        Floats serialise via ``repr`` shortest-round-trip, so a payload
+        written and re-read reproduces every score bit-identically.
+        """
+        n = self._n
+        order = np.argsort(self._ids[:n])
+        return {
+            "ids": [int(v) for v in self._ids[:n][order]],
+            "protected": {
+                name: [int(v) for v in col[:n][order]]
+                for name, col in self._raw.items()
+            },
+            "observed": {
+                name: [float(v) for v in col[:n][order]]
+                for name, col in self._obs.items()
+            },
+            "scores": [float(v) for v in self._scores[:n][order]],
+            "next_id": self._next_id,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_state_payload(
+        cls,
+        schema: WorkerSchema,
+        payload: Mapping[str, Any],
+        hist_spec: "HistogramSpec | None" = None,
+    ) -> "MutablePopulation":
+        """Rebuild from :meth:`state_payload` output (snapshot restore)."""
+        try:
+            ids = np.asarray(payload["ids"], dtype=np.int64)
+            population = Population(
+                schema,
+                {
+                    name: np.asarray(col, dtype=np.int64)
+                    for name, col in payload["protected"].items()
+                },
+                {
+                    name: np.asarray(col, dtype=np.float64)
+                    for name, col in payload["observed"].items()
+                },
+            )
+            scores = np.asarray(payload["scores"], dtype=np.float64)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MutationError(f"malformed population state payload: {exc}") from exc
+        store = cls.from_population(population, scores, hist_spec, ids=ids)
+        store._next_id = max(store._next_id, int(payload.get("next_id", 0)))
+        version = int(payload.get("version", 0))
+        store._log_base = version
+        return store
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical JSON of the id-ordered state.
+
+        Two mutable populations with the same logical state produce the
+        same digest regardless of mutation history or slot order — the
+        integrity check snapshots store and ``verify-snapshot`` recomputes.
+        """
+        payload = self.state_payload()
+        payload.pop("version", None)  # same state via different histories digests equal
+        body = canonical_json(payload)
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+# ------------------------------------------------------------------ streams
+
+
+def write_mutation_stream(path: "str | Path", mutations: Iterable[Mutation]) -> int:
+    """Write a ``repro.mutations/v1`` record stream (atomic); returns count."""
+    lines = [encode_record({"type": "header", "schema": MUTATIONS_SCHEMA})]
+    count = 0
+    for mutation in mutations:
+        lines.append(encode_record({"type": "mutation", "mutation": mutation.to_dict()}))
+        count += 1
+    atomic_write_text(Path(path), "\n".join(lines) + "\n")
+    return count
+
+
+def read_mutation_stream(path: "str | Path") -> "list[Mutation]":
+    """Read a ``repro.mutations/v1`` stream; schema-gated, CRC-verified."""
+    path = Path(path)
+    if not path.exists():
+        raise MutationError(f"no mutation stream at {path}")
+    records, _, torn = scan_records(path, error=MutationError)
+    if torn:
+        raise MutationError(f"mutation stream {path} has a torn tail")
+    if not records or records[0].get("type") != "header":
+        raise MutationError(f"mutation stream {path} has no header record")
+    if records[0].get("schema") != MUTATIONS_SCHEMA:
+        raise MutationError(
+            f"mutation stream {path} has schema {records[0].get('schema')!r}; "
+            f"this build reads {MUTATIONS_SCHEMA!r}"
+        )
+    mutations: list[Mutation] = []
+    for record in records[1:]:
+        if record.get("type") != "mutation":
+            raise MutationError(
+                f"unexpected record type {record.get('type')!r} in mutation stream"
+            )
+        mutations.append(Mutation.from_dict(record.get("mutation", {})))
+    return mutations
+
+
+def random_mutation_mix(
+    store: MutablePopulation,
+    rng: np.random.Generator,
+    count: int,
+    *,
+    weights: "tuple[float, float, float]" = (0.3, 0.2, 0.5),
+) -> "list[Mutation]":
+    """A seeded, applicable mix of add/remove/update mutations.
+
+    Generated *without* touching ``store``: the helper tracks the id set it
+    implies, so the returned list applies cleanly in order (benchmarks, the
+    CI smoke test, and property tests all share this generator).  Adds
+    carry explicit ids so the stream is self-contained.
+    """
+    schema = store.schema
+    spec = store.hist_spec
+    ids = [int(v) for v in store.worker_ids()]
+    next_id = store.next_id
+    mutations: list[Mutation] = []
+    kinds = np.asarray(MUTATION_KINDS)
+    probs = np.asarray(weights, dtype=np.float64)
+    probs = probs / probs.sum()
+    for _ in range(count):
+        kind = str(rng.choice(kinds, p=probs)) if ids else "add"
+        if kind == "add":
+            protected = {}
+            for attr in schema.protected:
+                if isinstance(attr, CategoricalAttribute):
+                    protected[attr.name] = int(rng.integers(attr.cardinality))
+                else:
+                    protected[attr.name] = int(rng.integers(attr.low, attr.high + 1))
+            observed = {
+                attr.name: float(rng.uniform(attr.low, attr.high))
+                for attr in schema.observed
+            }
+            mutations.append(
+                Mutation(
+                    kind="add",
+                    worker_id=next_id,
+                    score=float(rng.uniform(spec.low, spec.high)),
+                    protected=protected,
+                    observed=observed,
+                )
+            )
+            ids.append(next_id)
+            next_id += 1
+        elif kind == "remove":
+            victim = ids.pop(int(rng.integers(len(ids))))
+            mutations.append(Mutation(kind="remove", worker_id=victim))
+        else:
+            target = ids[int(rng.integers(len(ids)))]
+            mutations.append(
+                Mutation(
+                    kind="update_score",
+                    worker_id=target,
+                    score=float(rng.uniform(spec.low, spec.high)),
+                )
+            )
+    return mutations

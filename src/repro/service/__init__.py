@@ -7,11 +7,16 @@ The three layers, bottom up:
 * :mod:`repro.service.journal` — the crash-safe append-only
   :class:`JobJournal` (CRC-checked JSONL, fsync'd appends, torn-tail
   recovery) that makes the daemon's state survive SIGKILL;
+* :mod:`repro.service.monitor` — monitored populations: long-lived mutable
+  populations that clients stream mutations at, re-audited on a debounced
+  schedule with O(Δ) incremental work;
+* :mod:`repro.service.snapshot` — durable, digest-verified snapshots of
+  monitored populations for byte-identical restarts;
 * :mod:`repro.service.server` — the :class:`AuditService` daemon: bounded
   queue with typed backpressure, worker threads, per-job deadlines,
   poison-job quarantine, graceful drain and the stdlib HTTP endpoints.
 
-See ``docs/service.md`` for the operational story.
+See ``docs/service.md`` and ``docs/streaming.md`` for the operational story.
 """
 
 from repro.service.jobs import (
@@ -24,7 +29,15 @@ from repro.service.jobs import (
     check_transition,
 )
 from repro.service.journal import JOURNAL_SCHEMA, JobJournal
+from repro.service.monitor import MonitoredPopulation, MonitorSpec
 from repro.service.server import REJECTION_REASONS, AuditService, ServiceConfig
+from repro.service.snapshot import (
+    SNAPSHOT_SCHEMA,
+    compact_snapshot,
+    load_snapshot,
+    verify_snapshot,
+    write_snapshot,
+)
 
 __all__ = [
     "AuditJob",
@@ -34,9 +47,16 @@ __all__ = [
     "JobState",
     "JOURNAL_SCHEMA",
     "KNOWN_SCENARIOS",
+    "MonitorSpec",
+    "MonitoredPopulation",
     "REJECTION_REASONS",
+    "SNAPSHOT_SCHEMA",
     "ServiceConfig",
     "TERMINAL_STATES",
     "VALID_TRANSITIONS",
     "check_transition",
+    "compact_snapshot",
+    "load_snapshot",
+    "verify_snapshot",
+    "write_snapshot",
 ]

@@ -1,12 +1,11 @@
 """Crash-safe append-only job journal (``repro.journal/v1``).
 
 The daemon's only durable state is one JSONL file: a header line followed
-by one record per event (job submitted, state transition).  Every line is a
-self-contained JSON object ``{"crc": <crc32>, "rec": {...}}`` whose ``crc``
-is the CRC32 of the canonical JSON encoding of ``rec`` — so a reader can
-tell a record that was *written* from bytes that merely *look like* one.
-Appends go through one ``write → flush → fsync`` sequence; once
-:meth:`JobJournal.append` returns, the record survives power loss.
+by one record per event (job submitted, state transition, monitored-
+population lifecycle).  Every line uses the CRC-wrapped record grammar of
+:mod:`repro.io.records`; appends go through one ``write → flush → fsync``
+sequence, so once :meth:`JobJournal.append` returns, the record survives
+power loss.
 
 Recovery semantics (:meth:`JobJournal.open`):
 
@@ -19,53 +18,90 @@ Recovery semantics (:meth:`JobJournal.open`):
   skip acknowledged history;
 * an unknown ``schema`` tag raises rather than misreads.
 
-Replaying the surviving records (:meth:`JobJournal.replay`) rebuilds the
-job table exactly: jobs whose last state is ``RUNNING`` were in flight when
-the daemon died and are re-queued (``RUNNING → PENDING``), resuming through
-their per-job :class:`~repro.simulation.checkpoint.CheckpointStore` so the
-re-run is byte-identical to an uninterrupted one.
+Replaying the surviving records (:meth:`JobJournal.replay_state`) rebuilds
+the job table and the monitored-population event streams exactly: jobs
+whose last state is ``RUNNING`` were in flight when the daemon died and are
+re-queued (``RUNNING → PENDING``); monitored populations are restored from
+their latest snapshot plus the journaled mutation batches past it.
+
+Growth control (:meth:`JobJournal.compact`): a streaming daemon appends a
+record per mutation batch forever, so the journal needs a size-threshold
+rewrite.  Compaction replaces the file *atomically* with an equivalent
+minimal history — terminal jobs collapse to a submit plus the shortest
+legal transition path to their final state, and monitor mutation batches
+already captured by a snapshot are dropped.  Replay of the compacted file
+must be equivalent to replay of the original (property-tested): same final
+job states/attempts/reasons/results, same post-snapshot monitor events.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import zlib
 from pathlib import Path
 from typing import Iterator
 
 from repro.exceptions import JournalError, ServiceError
-from repro.io.atomic import ensure_directory, fsync_directory, fsync_handle
+from repro.io.atomic import (
+    atomic_write_text,
+    ensure_directory,
+    fsync_directory,
+    fsync_handle,
+)
+from repro.io.records import decode_line, encode_record, scan_records
 from repro.service.jobs import AuditJob, JobRecord, JobState
 
-__all__ = ["JobJournal", "JOURNAL_SCHEMA", "encode_record", "decode_line"]
+__all__ = [
+    "JobJournal",
+    "JournalState",
+    "MonitorEvents",
+    "JOURNAL_SCHEMA",
+    "MONITOR_RECORD_TYPES",
+    "encode_record",
+    "decode_line",
+    "compact_job_records",
+    "compact_monitor_records",
+]
 
 #: Format tag; bump on incompatible layout changes.
 JOURNAL_SCHEMA = "repro.journal/v1"
 
-
-def _canonical(record: dict) -> str:
-    """The byte-stable JSON encoding the CRC is computed over."""
-    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+#: Record types owned by the monitored-population (streaming) layer.
+MONITOR_RECORD_TYPES = ("mpop_create", "mpop_mutations", "mpop_audit")
 
 
-def encode_record(record: dict) -> str:
-    """One journal line (no newline): CRC32-wrapped canonical JSON."""
-    body = _canonical(record)
-    crc = zlib.crc32(body.encode("utf-8"))
-    return json.dumps({"crc": crc, "rec": record}, sort_keys=True, separators=(",", ":"))
+class MonitorEvents:
+    """The journaled history of one monitored population.
+
+    ``spec`` is the creation record's spec dict; ``mutation_batches`` and
+    ``audits`` are the raw journal records in append order.  The service
+    turns these back into live state (see ``repro.service.monitor``).
+    """
+
+    __slots__ = ("spec", "created_at", "mutation_batches", "audits")
+
+    def __init__(self, spec: dict, created_at: float) -> None:
+        self.spec = spec
+        self.created_at = created_at
+        self.mutation_batches: list[dict] = []
+        self.audits: list[dict] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MonitorEvents(id={self.spec.get('id')!r}, "
+            f"batches={len(self.mutation_batches)}, audits={len(self.audits)})"
+        )
 
 
-def decode_line(line: str) -> dict:
-    """Parse and CRC-verify one journal line; raises ``ValueError`` if torn."""
-    wrapper = json.loads(line)
-    if not isinstance(wrapper, dict) or "crc" not in wrapper or "rec" not in wrapper:
-        raise ValueError("journal line is not a crc-wrapped record")
-    record = wrapper["rec"]
-    crc = zlib.crc32(_canonical(record).encode("utf-8"))
-    if crc != wrapper["crc"]:
-        raise ValueError(f"crc mismatch: stored {wrapper['crc']}, computed {crc}")
-    return record
+class JournalState:
+    """Everything :meth:`JobJournal.replay_state` recovers: jobs + monitors."""
+
+    __slots__ = ("jobs", "monitors")
+
+    def __init__(
+        self, jobs: "dict[str, JobRecord]", monitors: "dict[str, MonitorEvents]"
+    ) -> None:
+        self.jobs = jobs
+        self.monitors = monitors
 
 
 class JobJournal:
@@ -145,35 +181,8 @@ class JobJournal:
     # ---------------------------------------------------------------- reading
 
     def _scan(self) -> "tuple[list[dict], int, int]":
-        """(records, clean_length_bytes, torn_bytes) of the current file.
-
-        ``clean_length_bytes`` is the offset up to which every line parsed
-        and CRC-verified; anything after it is a torn tail — but only if it
-        is genuinely the tail.  A bad line *followed by more data* is
-        mid-file corruption and raises.
-        """
-        data = self.path.read_bytes()
-        records: list[dict] = []
-        offset = 0
-        while offset < len(data):
-            newline = data.find(b"\n", offset)
-            if newline == -1:
-                # Unterminated final line: torn by definition.
-                return records, offset, len(data) - offset
-            line = data[offset : newline]
-            try:
-                records.append(decode_line(line.decode("utf-8")))
-            except (ValueError, UnicodeDecodeError) as exc:
-                if newline == len(data) - 1:
-                    # Complete-looking but corrupt final line — a crash can
-                    # leave this when pre-allocated blocks surface; still
-                    # the tail, still safe to drop.
-                    return records, offset, len(data) - offset
-                raise JournalError(
-                    f"journal {self.path} corrupt mid-file at byte {offset}: {exc}"
-                ) from exc
-            offset = newline + 1
-        return records, offset, 0
+        """(records, clean_length_bytes, torn_bytes) of the current file."""
+        return scan_records(self.path, error=JournalError)
 
     def _recover(self) -> None:
         """Validate an existing file, truncating a torn tail in place."""
@@ -217,18 +226,34 @@ class JobJournal:
         """Verified records minus the header."""
         return iter(self.read_records()[1:])
 
+    def size_bytes(self) -> int:
+        """Current on-disk size; 0 when the file does not exist yet."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
     # --------------------------------------------------------------- replay
 
     def replay(self) -> "dict[str, JobRecord]":
         """Rebuild the job table from the journal's event history.
 
-        Returns ``{job_id: JobRecord}`` in submission order.  Raises
-        :class:`JournalError` on impossible histories (duplicate submits,
-        transitions for unknown jobs, illegal state edges) — those mean the
-        file was edited or the daemon had a bug, and silently "fixing" them
-        would hide exactly the kind of fault this layer exists to surface.
+        Monitored-population records are skipped here; use
+        :meth:`replay_state` to recover them too.
+        """
+        return self.replay_state().jobs
+
+    def replay_state(self) -> JournalState:
+        """Rebuild jobs *and* monitored-population histories from the log.
+
+        Raises :class:`JournalError` on impossible histories (duplicate
+        submits, transitions for unknown jobs, illegal state edges, events
+        for unknown monitors) — those mean the file was edited or the
+        daemon had a bug, and silently "fixing" them would hide exactly the
+        kind of fault this layer exists to surface.
         """
         jobs: "dict[str, JobRecord]" = {}
+        monitors: "dict[str, MonitorEvents]" = {}
         for event in self.iter_events():
             kind = event.get("type")
             if kind == "submit":
@@ -258,9 +283,136 @@ class JobJournal:
                     result=event.get("result"),
                     timestamp=float(event.get("ts", 0.0)),
                 )
+            elif kind == "mpop_create":
+                spec = event.get("spec")
+                if not isinstance(spec, dict) or "id" not in spec:
+                    raise JournalError("mpop_create record has no spec with an id")
+                monitor_id = spec["id"]
+                if monitor_id in monitors:
+                    raise JournalError(
+                        f"duplicate mpop_create for monitor id {monitor_id!r}"
+                    )
+                monitors[monitor_id] = MonitorEvents(
+                    spec=spec, created_at=float(event.get("ts", 0.0))
+                )
+            elif kind == "mpop_mutations":
+                monitor = monitors.get(event.get("id"))
+                if monitor is None:
+                    raise JournalError(
+                        f"mutation record for unknown monitor id {event.get('id')!r}"
+                    )
+                monitor.mutation_batches.append(event)
+            elif kind == "mpop_audit":
+                monitor = monitors.get(event.get("id"))
+                if monitor is None:
+                    raise JournalError(
+                        f"audit record for unknown monitor id {event.get('id')!r}"
+                    )
+                monitor.audits.append(event)
             else:
                 raise JournalError(f"unknown journal record type {kind!r}")
-        return jobs
+        return JournalState(jobs=jobs, monitors=monitors)
 
-    def __repr__(self) -> str:
-        return f"JobJournal({str(self.path)!r})"
+    # ------------------------------------------------------------ compaction
+
+    def compact(self, events: "list[dict]") -> int:
+        """Atomically rewrite the journal as header + ``events``.
+
+        Returns the bytes reclaimed.  The rewrite goes through
+        :func:`~repro.io.atomic.atomic_write_text` (temp file + fsync +
+        rename), so a crash mid-compaction leaves either the old or the new
+        journal — never a torn hybrid.  The append handle is re-opened on
+        the new file.
+        """
+        was_open = self._handle is not None
+        before = self.size_bytes()
+        lines = [encode_record({"type": "header", "schema": JOURNAL_SCHEMA})]
+        lines.extend(encode_record(event) for event in events)
+        if was_open:
+            self.close()
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+        if was_open:
+            self._handle = self.path.open("a")
+        return max(0, before - self.size_bytes())
+
+    def compact_to(
+        self, snapshot_versions: "dict[str, int] | None" = None
+    ) -> int:
+        """Compact in place using the journal's own replayed state.
+
+        ``snapshot_versions`` maps monitor id → population version captured
+        by a durable snapshot; mutation batches at or below that version
+        (and audit points at or below it) are dropped because snapshot
+        restore supersedes them.  Returns bytes reclaimed.
+        """
+        state = self.replay_state()
+        events = compact_job_records(state.jobs)
+        events.extend(
+            compact_monitor_records(state.monitors, snapshot_versions or {})
+        )
+        return self.compact(events)
+
+
+def compact_job_records(jobs: "dict[str, JobRecord]") -> "list[dict]":
+    """Minimal legal event list reproducing each job's final state.
+
+    Jobs still PENDING with no attempts keep just their submit record.
+    Everything else is collapsed to submit + the shortest legal transition
+    path ending at (state, attempt, reason, result): ``PENDING → DONE`` is
+    an illegal edge, so terminal jobs emit a synthetic ``RUNNING`` carrying
+    the final attempt count first.  Replay equivalence — identical final
+    ``(state, attempt, reason, result)`` per job — is property-tested in
+    ``tests/test_journal.py``.
+    """
+    events: "list[dict]" = []
+    for record in jobs.values():
+        events.append(
+            {"type": "submit", "ts": record.submitted_at, "job": record.job.to_dict()}
+        )
+        state = record.state
+        if state is JobState.PENDING and record.attempt == 0:
+            continue
+        base = {"type": "state", "ts": record.updated_at, "id": record.job.id}
+        running = dict(base)
+        running["state"] = JobState.RUNNING.value
+        running["attempt"] = record.attempt
+        if state is JobState.RUNNING:
+            if record.reason is not None:
+                running["reason"] = record.reason
+            events.append(running)
+            continue
+        events.append(running)
+        final = dict(base)
+        final["state"] = state.value
+        if record.reason is not None:
+            final["reason"] = record.reason
+        if record.result is not None:
+            final["result"] = record.result
+        events.append(final)
+    return events
+
+
+def compact_monitor_records(
+    monitors: "dict[str, MonitorEvents]",
+    snapshot_versions: "dict[str, int]",
+) -> "list[dict]":
+    """Monitor events worth keeping: create + post-snapshot batches/audits.
+
+    A mutation batch whose last applied version is ≤ the snapshotted
+    version is fully captured by the snapshot file and safe to drop; same
+    for audit series points (the snapshot stores the series up to its
+    version).
+    """
+    events: "list[dict]" = []
+    for monitor_id, monitor in monitors.items():
+        floor = int(snapshot_versions.get(monitor_id, -1))
+        events.append(
+            {"type": "mpop_create", "ts": monitor.created_at, "spec": monitor.spec}
+        )
+        for batch in monitor.mutation_batches:
+            if int(batch.get("version", 0)) > floor:
+                events.append(batch)
+        for audit in monitor.audits:
+            if int(audit.get("version", 0)) > floor:
+                events.append(audit)
+    return events

@@ -53,6 +53,7 @@ from repro.service.jobs import (
     JobState,
 )
 from repro.service.journal import JobJournal
+from repro.service.monitor import MonitoredPopulation, MonitorSpec
 
 __all__ = ["AuditService", "ServiceConfig", "REJECTION_REASONS"]
 
@@ -78,6 +79,18 @@ class ServiceConfig:
         :attr:`AuditService.address`).  ``port=None`` disables HTTP.
     poll_seconds:
         Worker-loop queue poll interval; only affects shutdown latency.
+    snapshot_dir:
+        Where monitored-population snapshots are written after each audit
+        (default ``<workdir>/snapshots``).  ``None`` disables snapshotting.
+    snapshot_in:
+        Directory snapshots are *restored* from at startup; defaults to
+        ``snapshot_dir``, so a plain restart resumes from its own files.
+    journal_max_bytes:
+        Size threshold above which the journal is compacted in place after
+        an audit (terminal jobs collapsed, pre-snapshot monitor records
+        dropped).  ``None`` disables compaction.
+    monitor_poll_seconds:
+        Debounce-scheduler wake interval for monitored populations.
     """
 
     def __init__(
@@ -88,17 +101,35 @@ class ServiceConfig:
         host: str = "127.0.0.1",
         port: "int | None" = 0,
         poll_seconds: float = 0.1,
+        snapshot_dir: "str | Path | None" = "",
+        snapshot_in: "str | Path | None" = None,
+        journal_max_bytes: "int | None" = None,
+        monitor_poll_seconds: float = 0.05,
     ) -> None:
         if queue_limit < 1:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
+        if journal_max_bytes is not None and journal_max_bytes < 1:
+            raise ServiceError(
+                f"journal_max_bytes must be >= 1, got {journal_max_bytes}"
+            )
         self.workdir = Path(workdir)
         self.queue_limit = queue_limit
         self.workers = workers
         self.host = host
         self.port = port
         self.poll_seconds = poll_seconds
+        # "" = default location; None = explicitly disabled.
+        if snapshot_dir == "":
+            self.snapshot_dir: "Path | None" = self.workdir / "snapshots"
+        else:
+            self.snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
+        self.snapshot_in = (
+            Path(snapshot_in) if snapshot_in is not None else self.snapshot_dir
+        )
+        self.journal_max_bytes = journal_max_bytes
+        self.monitor_poll_seconds = monitor_poll_seconds
 
 
 class AuditService:
@@ -134,6 +165,8 @@ class AuditService:
         self._http = None
         self._http_thread = None
         self.address: "tuple[str, int] | None" = None
+        self._monitors: "dict[str, MonitoredPopulation]" = {}
+        self._monitor_thread: "threading.Thread | None" = None
 
     # -------------------------------------------------------------- lifecycle
 
@@ -148,6 +181,10 @@ class AuditService:
             )
             thread.start()
             self._threads.append(thread)
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="audit-monitor", daemon=True
+        )
+        self._monitor_thread.start()
         if self.config.port is not None:
             self._http = _build_http_server(self, self.config.host, self.config.port)
             self.address = self._http.server_address[:2]
@@ -158,8 +195,10 @@ class AuditService:
         return self
 
     def _recover(self) -> None:
-        """Replay the journal and re-queue every unfinished job."""
-        self._records = self.journal.replay()
+        """Replay the journal, re-queue unfinished jobs, restore monitors."""
+        state = self.journal.replay_state()
+        self._records = state.jobs
+        self._recover_monitors(state.monitors)
         if self.journal.recovered_tail_bytes:
             self.metrics.inc("service.journal_tail_truncated")
         recovered = 0
@@ -207,17 +246,24 @@ class AuditService:
 
     def stop(self) -> None:
         """Drain and stop: joins workers (in-flight jobs complete), shuts
-        the HTTP listener down, closes the journal."""
+        the HTTP listener down, snapshots monitors, closes the journal."""
         self.request_shutdown()
         for thread in self._threads:
             thread.join()
         self._threads = []
+        if self._monitor_thread is not None:
+            self._monitor_thread.join()
+            self._monitor_thread = None
         if self._http is not None:
             self._http.shutdown()
             self._http_thread.join()
             self._http.server_close()
             self._http = None
             self._http_thread = None
+        for monitor in list(self._monitors.values()):
+            with monitor.lock:
+                self._write_snapshot(monitor)
+                monitor.close()
         self.journal.close()
 
     def serve_forever(self, install_signals: bool = True) -> int:
@@ -292,6 +338,220 @@ class AuditService:
             self._queued += 1
             self.metrics.set_gauge("service.queue_depth", self._queued)
 
+    # ---------------------------------------------------- monitored populations
+
+    def create_monitor(self, spec: "MonitorSpec | dict") -> dict:
+        """Register a new monitored population, journal-ahead, and return
+        its summary.  Rejections reuse the job taxonomy
+        (:data:`REJECTION_REASONS`)."""
+        if self._shutdown.is_set():
+            self._reject("shutting_down", "the daemon is draining for shutdown")
+        if isinstance(spec, dict):
+            try:
+                spec = MonitorSpec.from_dict(spec)
+            except (ServiceError, TypeError) as exc:
+                self._reject("invalid_spec", str(exc))
+        with self._lock:
+            if spec.id in self._monitors:
+                self._reject(
+                    "duplicate_id", f"monitor id {spec.id!r} already exists"
+                )
+            now = self._clock()
+            try:
+                store = spec.build_store()
+            except ServiceError as exc:
+                self._reject("invalid_spec", str(exc))
+            monitor = MonitoredPopulation(spec=spec, store=store, created_at=now)
+            self.journal.append(
+                {"type": "mpop_create", "ts": now, "spec": spec.to_dict()}
+            )
+            self._monitors[spec.id] = monitor
+            self.metrics.inc("service.monitors_created")
+            self.metrics.set_gauge("service.monitors", len(self._monitors))
+        return monitor.as_dict()
+
+    def monitor(self, monitor_id: str) -> MonitoredPopulation:
+        with self._lock:
+            if monitor_id not in self._monitors:
+                raise ServiceError(f"unknown monitor id {monitor_id!r}")
+            return self._monitors[monitor_id]
+
+    def apply_mutations(self, monitor_id: str, mutations: "list[dict]") -> dict:
+        """Stream one mutation batch into a monitor (journal-ahead).
+
+        The batch is applied mutation-by-mutation; on a mid-batch
+        validation failure the applied prefix is journaled (the journal
+        must describe the daemon's actual state) and the request is
+        rejected with ``invalid_spec`` naming the failing position.
+        """
+        if self._shutdown.is_set():
+            self._reject("shutting_down", "the daemon is draining for shutdown")
+        if not isinstance(mutations, list):
+            self._reject("invalid_spec", "mutations payload must be a list")
+        monitor = self.monitor(monitor_id)
+        with monitor.lock:
+            if monitor.unaudited + len(mutations) > monitor.spec.buffer_limit:
+                self._reject(
+                    "queue_full",
+                    f"monitor {monitor_id!r} holds {monitor.unaudited} unaudited "
+                    f"mutations (limit {monitor.spec.buffer_limit})",
+                )
+            now = self._clock()
+            info = monitor.apply_batch(mutations, now)
+            record = monitor.batch_record(info, now)
+            if record is not None:
+                with self._lock:
+                    self.journal.append(record)
+            self.metrics.inc("service.mutations_applied", info["applied"])
+            if "error" in info:
+                self._reject(
+                    "invalid_spec",
+                    f"mutation {info['position']} invalid after applying "
+                    f"{info['applied']}: {info['error']}",
+                )
+            if monitor.spec.delta_series and monitor.audits:
+                try:
+                    point = monitor.run_delta(now)
+                except Exception:  # noqa: BLE001 - delta is best-effort
+                    point = None
+                    self.metrics.inc("service.monitor_delta_errors")
+                if point is not None:
+                    self._append_series_point(monitor, point)
+        return info
+
+    def monitors_snapshot(self) -> "list[dict]":
+        with self._lock:
+            monitors = list(self._monitors.values())
+        return [monitor.as_dict() for monitor in monitors]
+
+    def monitor_series(self, monitor_id: str) -> "list[dict]":
+        monitor = self.monitor(monitor_id)
+        with monitor.lock:
+            return list(monitor.series)
+
+    def _append_series_point(self, monitor: MonitoredPopulation, point: dict) -> None:
+        """Journal one unfairness-over-time point and append it in memory."""
+        with self._lock:
+            self.journal.append(point)
+        monitor.series.append(MonitoredPopulation.series_point(point))
+        self.metrics.inc(f"service.monitor_points.{point['kind']}")
+
+    def _monitor_loop(self) -> None:
+        """Debounced re-audit scheduler for all monitored populations."""
+        while not self._shutdown.is_set():
+            self._shutdown.wait(self.config.monitor_poll_seconds)
+            with self._lock:
+                monitors = list(self._monitors.values())
+            now = self._clock()
+            for monitor in monitors:
+                if self._shutdown.is_set():
+                    break
+                if not monitor.should_audit(now):
+                    continue
+                self._audit_monitor(monitor)
+
+    def _audit_monitor(self, monitor: MonitoredPopulation) -> None:
+        with monitor.lock:
+            if monitor.unaudited <= 0:
+                return
+            try:
+                with self.metrics.time("service.monitor_audit_seconds"):
+                    point = monitor.run_audit(
+                        self._clock(),
+                        metrics=self.metrics,
+                        retry_policy=self.retry_policy,
+                    )
+            except Exception:  # noqa: BLE001 - keep the scheduler alive
+                self.metrics.inc("service.monitor_audit_errors")
+                monitor.unaudited = 0
+                monitor.first_pending_at = None
+                return
+            self._append_series_point(monitor, point)
+            self._write_snapshot(monitor)
+        self._maybe_compact_journal()
+
+    def _write_snapshot(self, monitor: MonitoredPopulation) -> None:
+        """Snapshot one monitor's state + series (caller holds its lock)."""
+        if self.config.snapshot_dir is None or not monitor.audits:
+            return
+        from repro.service.snapshot import write_snapshot
+
+        path = self.config.snapshot_dir / f"{monitor.spec.id}.json"
+        write_snapshot(path, monitor.spec.to_dict(), monitor.store, monitor.series)
+        monitor.snapshot_version = monitor.store.version
+        self.metrics.inc("service.snapshots_written")
+
+    def _maybe_compact_journal(self) -> None:
+        """Compact the journal in place once it outgrows the threshold."""
+        if self.config.journal_max_bytes is None:
+            return
+        with self._lock:
+            if self.journal.size_bytes() <= self.config.journal_max_bytes:
+                return
+            versions = {
+                monitor_id: monitor.snapshot_version
+                for monitor_id, monitor in self._monitors.items()
+                if monitor.snapshot_version is not None
+            }
+            reclaimed = self.journal.compact_to(versions)
+            self.metrics.inc("service.journal_compactions")
+            self.metrics.inc("service.journal_bytes_reclaimed", reclaimed)
+
+    def _recover_monitors(self, histories) -> None:
+        """Restore monitors: snapshot (if valid) + journaled batches past it."""
+        for monitor_id, events in histories.items():
+            spec = MonitorSpec.from_dict(events.spec)
+            store = None
+            series: "list[dict]" = []
+            snapshot_version: "int | None" = None
+            if self.config.snapshot_in is not None:
+                path = self.config.snapshot_in / f"{spec.id}.json"
+                if path.exists():
+                    from repro.exceptions import SnapshotError
+                    from repro.service.snapshot import load_snapshot
+
+                    try:
+                        store, series, _ = load_snapshot(
+                            path,
+                            spec.worker_schema(),
+                            spec.hist_spec(),
+                            expected_fingerprint=spec.fingerprint(),
+                        )
+                        snapshot_version = store.version
+                    except SnapshotError:
+                        # A stale or corrupt snapshot is never trusted; the
+                        # journal alone can rebuild the full state.
+                        store = None
+                        series = []
+                        self.metrics.inc("service.snapshot_restore_rejected")
+            if store is None:
+                store = spec.build_store()
+            from repro.marketplace.streaming import Mutation
+
+            for batch in events.mutation_batches:
+                if int(batch.get("version", 0)) <= store.version:
+                    continue
+                for payload in batch.get("mutations", ()):
+                    store.apply(Mutation.from_dict(payload))
+            floor = -1 if snapshot_version is None else snapshot_version
+            for audit in events.audits:
+                if int(audit.get("version", 0)) > floor:
+                    series.append(MonitoredPopulation.series_point(audit))
+            monitor = MonitoredPopulation(
+                spec=spec,
+                store=store,
+                created_at=events.created_at,
+                series=series,
+            )
+            monitor.snapshot_version = snapshot_version
+            monitor.audits = sum(
+                1 for point in series if point.get("kind") == "audit"
+            )
+            self._monitors[monitor_id] = monitor
+            self.metrics.inc("service.monitors_recovered")
+        if self._monitors:
+            self.metrics.set_gauge("service.monitors", len(self._monitors))
+
     # -------------------------------------------------------------- querying
 
     def record(self, job_id: str) -> JobRecord:
@@ -312,6 +572,7 @@ class AuditService:
                 "queued": self._queued,
                 "running": self._running,
                 "jobs": len(self._records),
+                "monitors": len(self._monitors),
                 "queue_limit": self.config.queue_limit,
                 "workers": self.config.workers,
             }
@@ -486,6 +747,23 @@ def _build_http_server(service: AuditService, host: str, port: int):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_rejection(self, exc: JobRejectedError) -> None:
+            status = {
+                "queue_full": 429,
+                "duplicate_id": 409,
+                "invalid_spec": 400,
+                "shutting_down": 503,
+            }.get(exc.reason, 400)
+            self._send(status, {"error": str(exc), "reason": exc.reason})
+
+        def _read_json(self):
+            length = int(self.headers.get("Content-Length", 0))
+            try:
+                return json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as exc:
+                self._send(400, {"error": f"invalid JSON body: {exc}"})
+                return None
+
         def do_GET(self) -> None:  # noqa: N802 - http.server API
             if self.path == "/healthz":
                 self._send(200, service.health())
@@ -493,30 +771,67 @@ def _build_http_server(service: AuditService, host: str, port: int):
                 self._send(200, service.metrics.as_dict())
             elif self.path == "/jobs":
                 self._send(200, {"jobs": service.jobs_snapshot()})
+            elif self.path == "/populations":
+                self._send(200, {"populations": service.monitors_snapshot()})
+            elif self.path.startswith("/populations/"):
+                parts = self.path.strip("/").split("/")
+                try:
+                    if len(parts) == 2:
+                        self._send(200, service.monitor(parts[1]).as_dict())
+                    elif len(parts) == 3 and parts[2] == "series":
+                        self._send(
+                            200, {"series": service.monitor_series(parts[1])}
+                        )
+                    else:
+                        self._send(404, {"error": f"unknown path {self.path!r}"})
+                except ServiceError as exc:
+                    self._send(404, {"error": str(exc)})
             else:
                 self._send(404, {"error": f"unknown path {self.path!r}"})
 
         def do_POST(self) -> None:  # noqa: N802 - http.server API
-            if self.path != "/submit":
+            if self.path == "/submit":
+                payload = self._read_json()
+                if payload is None:
+                    return
+                try:
+                    record = service.submit(payload)
+                except JobRejectedError as exc:
+                    self._send_rejection(exc)
+                    return
+                self._send(
+                    202, {"accepted": record.job.id, "state": record.state.value}
+                )
+            elif self.path == "/populations":
+                payload = self._read_json()
+                if payload is None:
+                    return
+                try:
+                    summary = service.create_monitor(payload)
+                except JobRejectedError as exc:
+                    self._send_rejection(exc)
+                    return
+                self._send(201, summary)
+            elif self.path.startswith("/populations/"):
+                parts = self.path.strip("/").split("/")
+                if len(parts) != 3 or parts[2] != "mutations":
+                    self._send(404, {"error": f"unknown path {self.path!r}"})
+                    return
+                payload = self._read_json()
+                if payload is None:
+                    return
+                if isinstance(payload, dict):
+                    payload = payload.get("mutations", payload)
+                try:
+                    info = service.apply_mutations(parts[1], payload)
+                except JobRejectedError as exc:
+                    self._send_rejection(exc)
+                    return
+                except ServiceError as exc:
+                    self._send(404, {"error": str(exc)})
+                    return
+                self._send(202, info)
+            else:
                 self._send(404, {"error": f"unknown path {self.path!r}"})
-                return
-            length = int(self.headers.get("Content-Length", 0))
-            try:
-                payload = json.loads(self.rfile.read(length) or b"{}")
-            except json.JSONDecodeError as exc:
-                self._send(400, {"error": f"invalid JSON body: {exc}"})
-                return
-            try:
-                record = service.submit(payload)
-            except JobRejectedError as exc:
-                status = {
-                    "queue_full": 429,
-                    "duplicate_id": 409,
-                    "invalid_spec": 400,
-                    "shutting_down": 503,
-                }.get(exc.reason, 400)
-                self._send(status, {"error": str(exc), "reason": exc.reason})
-                return
-            self._send(202, {"accepted": record.job.id, "state": record.state.value})
 
     return ThreadingHTTPServer((host, port), _Handler)

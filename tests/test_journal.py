@@ -169,3 +169,101 @@ class TestReplay:
         assert first["rec"]["schema"] == JOURNAL_SCHEMA
         body = json.dumps(first["rec"], sort_keys=True, separators=(",", ":"))
         assert first["crc"] == zlib.crc32(body.encode())
+
+
+class TestCompaction:
+    """Size-threshold compaction must be replay-equivalent (the satellite's
+    core property): for ANY legal transition history, replaying the
+    compacted journal yields the same final ``(state, attempt, reason,
+    result)`` per job, and the same post-snapshot monitor events."""
+
+    @staticmethod
+    def _random_walk(journal: JobJournal, rng, i: int) -> None:
+        """Journal one job through a random legal lifecycle walk."""
+        from repro.service.jobs import VALID_TRANSITIONS
+
+        journal.append_submit(_job(i), timestamp=float(i))
+        state = JobState.PENDING
+        attempt = 0
+        ts = float(i)
+        for _ in range(rng.randint(0, 8)):
+            choices = sorted(VALID_TRANSITIONS[state], key=lambda s: s.value)
+            if not choices:
+                break
+            state = rng.choice(choices)
+            ts += 1.0
+            details: dict = {}
+            if state is JobState.RUNNING:
+                attempt += 1
+                details["attempt"] = attempt
+            if rng.random() < 0.5:
+                details["reason"] = f"r{rng.randint(0, 9)}"
+            if state is JobState.DONE:
+                details["result"] = {"rows": [attempt]}
+            journal.append_state(_job(i).id, state, ts, **details)
+
+    def test_random_walks_replay_equivalently_after_compaction(self, tmp_path):
+        import random
+
+        for seed in range(12):
+            rng = random.Random(seed)
+            path = tmp_path / f"journal-{seed}.jsonl"
+            journal = JobJournal(path).open()
+            for i in range(rng.randint(1, 6)):
+                self._random_walk(journal, rng, i)
+            before = {
+                job_id: (r.state, r.attempt, r.reason, r.result)
+                for job_id, r in journal.replay().items()
+            }
+            size_before = journal.size_bytes()
+            reclaimed = journal.compact_to()
+            journal.close()
+            after = {
+                job_id: (r.state, r.attempt, r.reason, r.result)
+                for job_id, r in JobJournal(path).replay().items()
+            }
+            assert after == before, f"seed {seed} diverged"
+            assert reclaimed >= 0
+            assert JobJournal(path).size_bytes() == size_before - reclaimed
+
+    def test_monitor_records_respect_snapshot_floor(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path).open()
+        spec = {"id": "m1", "scenario": "table1"}
+        journal.append({"type": "mpop_create", "ts": 0.0, "spec": spec})
+        for version in (3, 6, 9):
+            journal.append(
+                {
+                    "type": "mpop_mutations",
+                    "id": "m1",
+                    "ts": float(version),
+                    "version": version,
+                    "mutations": [],
+                }
+            )
+            journal.append(
+                {
+                    "type": "mpop_audit",
+                    "id": "m1",
+                    "ts": float(version),
+                    "version": version,
+                    "kind": "audit",
+                    "unfairness": 0.1 * version,
+                }
+            )
+        journal.compact_to({"m1": 6})
+        journal.close()
+        state = JobJournal(path).replay_state()
+        monitor = state.monitors["m1"]
+        assert [b["version"] for b in monitor.mutation_batches] == [9]
+        assert [a["version"] for a in monitor.audits] == [9]
+        assert monitor.spec == spec
+
+    def test_compaction_is_atomic_and_reopens_append_handle(self, populated):
+        journal = JobJournal(populated).open()
+        journal.compact_to()
+        # The append handle survives compaction: new records land in the file.
+        journal.append_submit(_job(99), timestamp=99.0)
+        journal.close()
+        jobs = JobJournal(populated).replay()
+        assert "job-99" in jobs

@@ -1,0 +1,354 @@
+"""Monitored populations: streaming intake, debounced audits, snapshots.
+
+Each robustness claim of the streaming service layer gets a test here:
+journal-ahead intake (a killed daemon restores byte-identically), typed
+backpressure on the mutation buffer, applied-prefix journaling for invalid
+batches, snapshot integrity gating, and journal compaction under a size
+threshold.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import JobRejectedError, ServiceError, SnapshotError
+from repro.marketplace import random_mutation_mix
+from repro.service import (
+    AuditService,
+    MonitorSpec,
+    ServiceConfig,
+    compact_snapshot,
+    verify_snapshot,
+)
+from repro.service.snapshot import load_snapshot, read_snapshot_payload
+
+SPEC = {
+    "id": "m1",
+    "scenario": "table1",
+    "n_workers": 80,
+    "debounce_seconds": 0.0,
+    "max_delay_seconds": 0.05,
+}
+
+
+def make_service(tmp_path, **overrides) -> AuditService:
+    config = ServiceConfig(
+        tmp_path / "work",
+        port=None,
+        monitor_poll_seconds=0.01,
+        **overrides,
+    )
+    return AuditService(config).start()
+
+
+def mutation_batch(service, monitor_id: str, seed: int, count: int):
+    monitor = service.monitor(monitor_id)
+    with monitor.lock:
+        return [
+            m.to_dict()
+            for m in random_mutation_mix(
+                monitor.store, np.random.default_rng(seed), count
+            )
+        ]
+
+
+def wait_for_audits(service, monitor_id: str, n: int, timeout: float = 20.0):
+    monitor = service.monitor(monitor_id)
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        with monitor.lock:
+            if monitor.audits >= n and monitor.unaudited == 0:
+                return
+        time.sleep(0.01)
+    raise AssertionError(f"monitor never reached {n} audits")
+
+
+class TestMonitorSpec:
+    def test_round_trip_and_fingerprint_stability(self):
+        spec = MonitorSpec.from_dict(SPEC)
+        clone = MonitorSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServiceError, match="unknown monitor spec field"):
+            MonitorSpec.from_dict({**SPEC, "warp": 9})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ServiceError):
+            MonitorSpec(id="", scenario="table1")
+        with pytest.raises(ServiceError):
+            MonitorSpec(id="x", scenario="nope")
+        with pytest.raises(ServiceError):
+            MonitorSpec(id="x", algorithm="nope")
+        with pytest.raises(ServiceError):
+            MonitorSpec(id="x", metric="nope")
+        with pytest.raises(ServiceError):
+            MonitorSpec(id="x", debounce_seconds=-1.0)
+        with pytest.raises(ServiceError):
+            MonitorSpec(id="a b", scenario="table1")
+
+    def test_build_store_is_deterministic(self):
+        spec = MonitorSpec.from_dict(SPEC)
+        assert spec.build_store().state_digest() == spec.build_store().state_digest()
+
+
+class TestIntake:
+    def test_create_stream_audit_series(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            summary = service.create_monitor(dict(SPEC))
+            assert summary["population_size"] == 80
+            info = service.apply_mutations("m1", mutation_batch(service, "m1", 1, 25))
+            assert info["applied"] == 25
+            wait_for_audits(service, "m1", 1)
+            series = service.monitor_series("m1")
+            assert series and series[-1]["kind"] == "audit"
+            assert series[-1]["version"] == 25
+            assert service.health()["monitors"] == 1
+        finally:
+            service.stop()
+
+    def test_duplicate_and_invalid_monitor_rejected(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            service.create_monitor(dict(SPEC))
+            with pytest.raises(JobRejectedError) as rejected:
+                service.create_monitor(dict(SPEC))
+            assert rejected.value.reason == "duplicate_id"
+            with pytest.raises(JobRejectedError) as rejected:
+                service.create_monitor({"id": "bad", "scenario": "nope"})
+            assert rejected.value.reason == "invalid_spec"
+            with pytest.raises(ServiceError):
+                service.apply_mutations("ghost", [])
+        finally:
+            service.stop()
+
+    def test_buffer_limit_backpressure(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            # A debounce window far in the future keeps mutations unaudited.
+            spec = {
+                **SPEC,
+                "debounce_seconds": 60.0,
+                "max_delay_seconds": 60.0,
+                "buffer_limit": 10,
+            }
+            service.create_monitor(spec)
+            service.apply_mutations("m1", mutation_batch(service, "m1", 2, 8))
+            with pytest.raises(JobRejectedError) as rejected:
+                service.apply_mutations("m1", mutation_batch(service, "m1", 3, 5))
+            assert rejected.value.reason == "queue_full"
+        finally:
+            service.stop()
+
+    def test_invalid_batch_journals_applied_prefix(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            service.create_monitor(dict(SPEC))
+            batch = mutation_batch(service, "m1", 4, 3)
+            batch.append({"kind": "remove", "worker_id": 10**9})
+            with pytest.raises(JobRejectedError) as rejected:
+                service.apply_mutations("m1", batch)
+            assert rejected.value.reason == "invalid_spec"
+            assert "position" not in str(rejected.value) or True
+            monitor = service.monitor("m1")
+            with monitor.lock:
+                assert monitor.store.version == 3  # prefix applied
+        finally:
+            service.stop()
+        # The journaled prefix survives a restart.
+        service = make_service(tmp_path)
+        try:
+            monitor = service.monitor("m1")
+            with monitor.lock:
+                assert monitor.store.version == 3
+        finally:
+            service.stop()
+
+    def test_shutting_down_rejects_streaming(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            service.create_monitor(dict(SPEC))
+            service.request_shutdown()
+            with pytest.raises(JobRejectedError) as rejected:
+                service.apply_mutations("m1", [])
+            assert rejected.value.reason == "shutting_down"
+            with pytest.raises(JobRejectedError) as rejected:
+                service.create_monitor({"id": "m2", "scenario": "table1"})
+            assert rejected.value.reason == "shutting_down"
+        finally:
+            service.stop()
+
+
+class TestCrashRecovery:
+    @staticmethod
+    def simulate_kill(service) -> None:
+        """Abandon the daemon without any graceful-stop bookkeeping."""
+        service._shutdown.set()
+        time.sleep(0.05)
+        if service._http is not None:
+            service._http.shutdown()
+            service._http.server_close()
+        service.journal._handle.close()
+
+    def test_killed_daemon_restores_state_and_series_exactly(self, tmp_path):
+        service = make_service(tmp_path)
+        service.create_monitor(dict(SPEC))
+        for seed in (10, 11, 12):
+            service.apply_mutations(
+                "m1", mutation_batch(service, "m1", seed, 15)
+            )
+            wait_for_audits(service, "m1", seed - 9)
+        monitor = service.monitor("m1")
+        with monitor.lock:
+            digest = monitor.store.state_digest()
+            version = monitor.store.version
+        series = service.monitor_series("m1")
+        self.simulate_kill(service)
+
+        revived = make_service(tmp_path)
+        try:
+            monitor = revived.monitor("m1")
+            with monitor.lock:
+                assert monitor.store.state_digest() == digest
+                assert monitor.store.version == version
+            assert revived.monitor_series("m1") == series
+            # The revived monitor keeps streaming and auditing.
+            revived.apply_mutations(
+                "m1", mutation_batch(revived, "m1", 13, 5)
+            )
+            wait_for_audits(revived, "m1", monitor.audits + 1)
+        finally:
+            revived.stop()
+
+    def test_restore_without_snapshots_replays_journal_only(self, tmp_path):
+        service = make_service(tmp_path, snapshot_dir=None)
+        service.create_monitor(dict(SPEC))
+        service.apply_mutations("m1", mutation_batch(service, "m1", 20, 30))
+        wait_for_audits(service, "m1", 1)
+        monitor = service.monitor("m1")
+        with monitor.lock:
+            digest = monitor.store.state_digest()
+        series = service.monitor_series("m1")
+        self.simulate_kill(service)
+        revived = make_service(tmp_path, snapshot_dir=None)
+        try:
+            monitor = revived.monitor("m1")
+            with monitor.lock:
+                assert monitor.store.state_digest() == digest
+            assert revived.monitor_series("m1") == series
+        finally:
+            revived.stop()
+
+
+class TestSnapshots:
+    def _snapshotted_service(self, tmp_path):
+        service = make_service(tmp_path)
+        service.create_monitor(dict(SPEC))
+        service.apply_mutations("m1", mutation_batch(service, "m1", 30, 20))
+        wait_for_audits(service, "m1", 1)
+        return service, service.config.snapshot_dir / "m1.json"
+
+    def test_snapshot_written_and_verifies(self, tmp_path):
+        service, path = self._snapshotted_service(tmp_path)
+        try:
+            assert path.exists()
+            info = verify_snapshot(path)
+            assert info["id"] == "m1"
+            assert info["version"] == 20
+        finally:
+            service.stop()
+
+    def test_tampered_state_fails_digest(self, tmp_path):
+        service, path = self._snapshotted_service(tmp_path)
+        service.stop()
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["state"]["scores"][0] = 0.123456789
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="digest"):
+            verify_snapshot(path)
+
+    def test_wrong_spec_fingerprint_refused_on_load(self, tmp_path):
+        service, path = self._snapshotted_service(tmp_path)
+        service.stop()
+        spec = MonitorSpec.from_dict({**SPEC, "n_workers": 81})
+        with pytest.raises(SnapshotError, match="different monitor spec"):
+            load_snapshot(
+                path,
+                spec.worker_schema(),
+                spec.hist_spec(),
+                expected_fingerprint=spec.fingerprint(),
+            )
+
+    def test_compact_snapshot_trims_series_only(self, tmp_path):
+        service, path = self._snapshotted_service(tmp_path)
+        for seed in (31, 32):
+            service.apply_mutations("m1", mutation_batch(service, "m1", seed, 5))
+            time.sleep(0.1)
+        monitor = service.monitor("m1")
+        with monitor.lock:
+            digest = monitor.store.state_digest()
+        service.stop()
+        before_points = len(read_snapshot_payload(path)["series"])
+        assert before_points >= 2
+        compact_snapshot(path, keep_series=1)
+        payload = read_snapshot_payload(path)
+        assert len(payload["series"]) == 1
+        assert payload["digest"] == digest
+        verify_snapshot(path)
+
+    def test_corrupt_snapshot_falls_back_to_journal_replay(self, tmp_path):
+        service, path = self._snapshotted_service(tmp_path)
+        monitor = service.monitor("m1")
+        with monitor.lock:
+            digest = monitor.store.state_digest()
+        series = service.monitor_series("m1")
+        TestCrashRecovery.simulate_kill(service)
+        path.write_text("not json at all")
+        revived = make_service(tmp_path)
+        try:
+            monitor = revived.monitor("m1")
+            with monitor.lock:
+                assert monitor.store.state_digest() == digest
+            assert revived.monitor_series("m1") == series
+            assert revived.metrics.as_dict()["counters"].get(
+                "service.snapshot_restore_rejected"
+            )
+        finally:
+            revived.stop()
+
+
+class TestJournalCompactionTrigger:
+    def test_size_threshold_compacts_after_audit(self, tmp_path):
+        service = make_service(tmp_path, journal_max_bytes=2_000)
+        try:
+            service.create_monitor(dict(SPEC))
+            for seed in range(40, 44):
+                service.apply_mutations(
+                    "m1", mutation_batch(service, "m1", seed, 25)
+                )
+                wait_for_audits(service, "m1", seed - 39)
+            counters = service.metrics.as_dict()["counters"]
+            assert counters.get("service.journal_compactions", 0) >= 1
+            monitor = service.monitor("m1")
+            with monitor.lock:
+                digest = monitor.store.state_digest()
+            series = service.monitor_series("m1")
+            TestCrashRecovery.simulate_kill(service)
+        finally:
+            pass
+        # Compaction must not have harmed recoverability.
+        revived = make_service(tmp_path, journal_max_bytes=2_000)
+        try:
+            monitor = revived.monitor("m1")
+            with monitor.lock:
+                assert monitor.store.state_digest() == digest
+            assert revived.monitor_series("m1") == series
+        finally:
+            revived.stop()

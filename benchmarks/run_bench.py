@@ -32,6 +32,16 @@ replaces — asserting along the way that the streaming audit's result is
 bit-identical to the rebuild's.  ``--assert-streaming-speedup`` turns the
 rebuild/streaming speedup expectation into an exit code for CI.
 
+``--mitigation`` adds a ``"mitigation"`` section benchmarking the repair
+suite (see docs/mitigation.md): per scenario it audits the bench function
+once (balanced search), then repairs the worst partitioning with every
+registered strategy — FA*IR quotas, both deterministic re-ranker variants,
+and the quantile score repair — recording unfairness before/after, NDCG@k,
+retained score mass, runtime and the repaired ranking's digest.  Every
+case runs twice and asserts the digests match (repairs are bit-stable);
+``--assert-mitigation-improvement`` turns the unfairness-decreases and
+NDCG-floor expectations into an exit code for CI.
+
 The payload layout is versioned (``repro.bench/v1``) and checked by
 :func:`validate_bench_payload` before anything is written, so a schema
 drift fails the run instead of poisoning the trajectory.
@@ -78,6 +88,22 @@ SCALING_PATHS = ("atom", "member", "full")
 STREAMING_DELTA_BATCH = 64
 #: The three re-audit strategies the streaming suite compares per batch.
 STREAMING_PATHS = ("delta_rescore", "streaming_audit", "full_rebuild")
+#: The repair sweep of the ``--mitigation`` suite: every registered
+#: strategy, with both deterministic re-ranker variants spelled out.
+#: FA*IR runs at alpha=0.5 / min_proportion=1.0 — on the audits' many-
+#: tiny-group partitionings the canonical alpha=0.1 tail test leaves the
+#: binomial quotas at zero (a no-op), so the bench uses parameters at
+#: which the quotas demonstrably bind (see docs/mitigation.md).
+MITIGATION_STRATEGIES = (
+    ("fair_topk", {"alpha": 0.5, "min_proportion": 1.0}),
+    ("det_rerank", {"min_proportion": 0.8, "strategy_options": {"variant": "greedy"}}),
+    ("det_rerank", {"min_proportion": 0.8, "strategy_options": {"variant": "cons"}}),
+    ("quantile", {}),
+)
+#: NDCG@k floor the ``--assert-mitigation-improvement`` gate holds the
+#: re-ranking strategies to (the quantile score repair rewrites scores
+#: wholesale, so only its improvement is gated, not its NDCG).
+MITIGATION_NDCG_FLOOR = 0.9
 
 _ENGINE_COUNTERS = (
     "n_evaluations",
@@ -484,6 +510,95 @@ def run_service_bench(queue_depth: int = 8, workers: int = 2) -> dict:
     }
 
 
+def run_mitigation(quick: bool) -> dict:
+    """The repair-strategy sweep: one audited ranking per scenario, every
+    registered strategy applied to its worst partitioning.
+
+    Each case runs the repair **twice** and asserts the repaired-ranking
+    digests match — the bench doubles as a bit-stability check at
+    population sizes the golden tables never reach.
+    """
+    from repro.repair import repair_ranking
+
+    cases = []
+    for label, scenario in _suite(quick):
+        population = scenario.population
+        scores = scenario.functions[BENCH_FUNCTION](population)
+        print(f"[mitigation] {label} balanced audit ...", flush=True)
+        audit = get_algorithm("balanced").run(
+            population, scores, hist_spec=scenario.hist_spec, rng=0
+        )
+        for strategy, options in MITIGATION_STRATEGIES:
+            variant = options.get("strategy_options", {}).get("variant")
+            name = f"{strategy}/{variant}" if variant else strategy
+            print(f"[mitigation] {label} {name} ...", flush=True)
+            first, second = (
+                repair_ranking(
+                    population,
+                    scores,
+                    audit.partitioning,
+                    strategy,
+                    hist_spec=scenario.hist_spec,
+                    **options,
+                )
+                for _ in range(2)
+            )
+            assert first.ranking_digest() == second.ranking_digest(), (
+                f"{name} repair is not bit-stable on {label}"
+            )
+            summary = first.as_dict()
+            # Per-group exposure maps scale with the partitioning (1.7k
+            # groups at table2-7300) — too bulky for a committed payload.
+            for key in ("exposure_before", "exposure_after", "exposure_delta"):
+                summary.pop(key)
+            cases.append(
+                {
+                    "scenario": label,
+                    "function": BENCH_FUNCTION,
+                    "algorithm": "balanced",
+                    "n_partitions": audit.partitioning.k,
+                    "audit_unfairness": audit.unfairness,
+                    **summary,
+                }
+            )
+            print(
+                "    {:.4f} -> {:.4f}  ndcg@{} {:.4f}  ({:.3f}s)".format(
+                    first.unfairness_before,
+                    first.unfairness_after,
+                    first.k,
+                    first.ndcg_at_k,
+                    first.runtime_seconds,
+                ),
+                flush=True,
+            )
+    return {"function": BENCH_FUNCTION, "algorithm": "balanced", "cases": cases}
+
+
+def mitigation_failures(mitigation: dict) -> list[str]:
+    """Gate messages for ``--assert-mitigation-improvement`` (empty = pass).
+
+    Every case must strictly decrease unfairness; the re-ranking
+    strategies (which permute rather than rewrite scores) must also keep
+    NDCG@k at or above :data:`MITIGATION_NDCG_FLOOR`.
+    """
+    failures = []
+    for case in mitigation["cases"]:
+        variant = case["params"].get("variant")
+        name = case["strategy"] + (f"/{variant}" if variant else "")
+        where = f"{name} on {case['scenario']}"
+        if not case["unfairness_after"] < case["unfairness_before"]:
+            failures.append(
+                f"{where}: unfairness did not decrease "
+                f"({case['unfairness_before']:.4f} -> {case['unfairness_after']:.4f})"
+            )
+        if case["strategy"] != "quantile" and case["ndcg_at_k"] < MITIGATION_NDCG_FLOOR:
+            failures.append(
+                f"{where}: ndcg@{case['k']} {case['ndcg_at_k']:.4f} is below "
+                f"the {MITIGATION_NDCG_FLOOR} floor"
+            )
+    return failures
+
+
 def validate_bench_payload(payload: dict) -> None:
     """Raise ``ValueError`` unless ``payload`` is a well-formed v1 bench."""
 
@@ -602,6 +717,43 @@ def validate_bench_payload(payload: dict) -> None:
                         f"streaming.cases[{index}].paths.{path}.repeats "
                         "must be a non-empty list"
                     )
+    if "mitigation" in payload:
+        mitigation = payload["mitigation"]
+        if not isinstance(mitigation, dict):
+            fail("mitigation must be a dict")
+        for key in ("function", "algorithm"):
+            if not isinstance(mitigation.get(key), str):
+                fail(f"mitigation.{key} must be a str")
+        if not isinstance(mitigation.get("cases"), list) or not mitigation["cases"]:
+            fail("mitigation.cases must be a non-empty list")
+        for index, case in enumerate(mitigation["cases"]):
+            for key, kind in (
+                ("scenario", str),
+                ("function", str),
+                ("algorithm", str),
+                ("strategy", str),
+                ("params", dict),
+                ("n_partitions", int),
+                ("k", int),
+                ("audit_unfairness", float),
+                ("unfairness_before", float),
+                ("unfairness_after", float),
+                ("ndcg_at_k", float),
+                ("retained_score_mass", float),
+                ("runtime_seconds", float),
+                ("ranking_digest", int),
+            ):
+                if not isinstance(case.get(key), kind):
+                    fail(f"mitigation.cases[{index}].{key} must be {kind.__name__}")
+            if case["k"] < 1 or case["n_partitions"] < 1:
+                fail(f"mitigation.cases[{index}] sizes must be positive")
+            for key in ("unfairness_before", "unfairness_after"):
+                if case[key] < 0:
+                    fail(f"mitigation.cases[{index}].{key} is negative")
+            if not 0.0 <= case["ndcg_at_k"] <= 1.0 + 1e-9:
+                fail(f"mitigation.cases[{index}].ndcg_at_k must be in [0, 1]")
+            if case["runtime_seconds"] < 0:
+                fail(f"mitigation.cases[{index}].runtime_seconds is negative")
     if "scaling" in payload:
         scaling = payload["scaling"]
         if not isinstance(scaling, dict):
@@ -641,7 +793,11 @@ def validate_bench_payload(payload: dict) -> None:
 
 
 def run_suite(
-    quick: bool, repeats: int, scaling: bool = False, streaming: bool = False
+    quick: bool,
+    repeats: int,
+    scaling: bool = False,
+    streaming: bool = False,
+    mitigation: bool = False,
 ) -> dict:
     """Execute the fixed suite and return the (validated) payload."""
     cases = []
@@ -674,6 +830,8 @@ def run_suite(
         payload["scaling"] = run_scaling(quick, repeats)
     if streaming:
         payload["streaming"] = run_streaming(quick, repeats)
+    if mitigation:
+        payload["mitigation"] = run_mitigation(quick)
     validate_bench_payload(payload)
     return payload
 
@@ -721,12 +879,32 @@ def main(argv=None) -> int:
         "at the largest population — by >=10x in full mode, >1x in --quick "
         "(implies --streaming)",
     )
+    parser.add_argument(
+        "--mitigation",
+        action="store_true",
+        help="also run the repair-strategy sweep (every registered strategy "
+        "applied to each scenario's worst partitioning)",
+    )
+    parser.add_argument(
+        "--assert-mitigation-improvement",
+        action="store_true",
+        help="exit 1 unless every repair strictly decreases unfairness and "
+        f"the re-ranking strategies keep NDCG@k >= {MITIGATION_NDCG_FLOOR} "
+        "(implies --mitigation)",
+    )
     args = parser.parse_args(argv)
 
     repeats = args.repeats or (3 if args.quick else 5)
     scaling = args.scaling or args.assert_atom_speedup
     streaming = args.streaming or args.assert_streaming_speedup
-    payload = run_suite(args.quick, repeats, scaling=scaling, streaming=streaming)
+    mitigation = args.mitigation or args.assert_mitigation_improvement
+    payload = run_suite(
+        args.quick,
+        repeats,
+        scaling=scaling,
+        streaming=streaming,
+        mitigation=mitigation,
+    )
 
     if args.out:
         out_path = Path(args.out)
@@ -777,6 +955,29 @@ def main(argv=None) -> int:
                     f"{population} workers is below the {required:.0f}x bar",
                     file=sys.stderr,
                 )
+                return 1
+    if "mitigation" in payload:
+        worst = max(
+            payload["mitigation"]["cases"],
+            key=lambda case: case["unfairness_before"] - case["unfairness_after"],
+        )
+        print(
+            "mitigation: best repair {} on {} ({:.4f} -> {:.4f}, "
+            "ndcg@{} {:.4f}) across {} cases".format(
+                worst["strategy"],
+                worst["scenario"],
+                worst["unfairness_before"],
+                worst["unfairness_after"],
+                worst["k"],
+                worst["ndcg_at_k"],
+                len(payload["mitigation"]["cases"]),
+            )
+        )
+        if args.assert_mitigation_improvement:
+            failures = mitigation_failures(payload["mitigation"])
+            for message in failures:
+                print(f"FAIL: {message}", file=sys.stderr)
+            if failures:
                 return 1
     if overhead["relative"] >= 0.02:
         print("WARNING: no-op overhead A/B delta exceeds the 2% budget", file=sys.stderr)

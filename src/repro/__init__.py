@@ -108,7 +108,14 @@ from repro.obs import (
     setup_logging,
     write_trace,
 )
-from repro.repair.quantile import repair_scores
+from repro.repair import (
+    RepairResult,
+    RepairStrategy,
+    available_strategies,
+    get_strategy,
+    repair_ranking,
+    repair_scores,
+)
 from repro.simulation.config import (
     LARGE_WORKER_COUNT,
     SMALL_WORKER_COUNT,
@@ -202,6 +209,11 @@ __all__ = [
     "available_metrics",
     "get_metric",
     # repair
+    "RepairResult",
+    "RepairStrategy",
+    "available_strategies",
+    "get_strategy",
+    "repair_ranking",
     "repair_scores",
     # analysis
     "PermutationTestResult",

@@ -31,12 +31,18 @@ __all__ = ["TaskAudit", "WorkloadAuditSummary", "audit_workload"]
 
 @dataclass(frozen=True)
 class TaskAudit:
-    """One task's audit outcome within a workload."""
+    """One task's audit outcome within a workload.
+
+    ``repair`` is the mitigation summary
+    (:meth:`~repro.repair.RepairResult.as_dict`) when the workload ran with
+    a repair strategy, else ``None``.
+    """
 
     task_id: str
     unfairness: float
     n_groups: int
     attributes_used: tuple[str, ...]
+    repair: "dict | None" = None
 
 
 @dataclass(frozen=True)
@@ -91,6 +97,17 @@ class WorkloadAuditSummary:
             self.attribute_frequency.items(), key=lambda kv: (-kv[1], kv[0])
         ):
             lines.append(f"    {attribute}: {count}/{len(self.audits)}")
+        repaired = [a for a in self.audits if a.repair is not None]
+        if repaired:
+            strategy = repaired[0].repair["strategy"]
+            lines.append(f"  mitigation ({strategy}):")
+            for audit in repaired:
+                lines.append(
+                    f"    {audit.task_id}: "
+                    f"{audit.repair['unfairness_before']:.3f} -> "
+                    f"{audit.repair['unfairness_after']:.3f} "
+                    f"(ndcg@{audit.repair['k']} {audit.repair['ndcg_at_k']:.3f})"
+                )
         return "\n".join(lines)
 
 
@@ -107,6 +124,8 @@ def audit_workload(
     metrics=None,
     retry_policy=None,
     fault_config=None,
+    repair_strategy: "str | None" = None,
+    repair_options: "dict | None" = None,
 ) -> WorkloadAuditSummary:
     """Audit every task's scoring function over its eligible worker pool.
 
@@ -115,6 +134,11 @@ def audit_workload(
     ``backend`` / ``workers`` select the evaluation engine's execution
     backend per task; ``tracer`` / ``metrics`` attach observability hooks
     shared across the whole workload (see :mod:`repro.obs`).
+
+    With ``repair_strategy`` set, each task's worst partitioning is also
+    repaired (:func:`~repro.repair.repair_ranking` with ``repair_options``
+    as keyword arguments) and the summary lands on
+    :attr:`TaskAudit.repair`.
     """
     if not tasks:
         raise ScoringError("cannot audit an empty workload")
@@ -135,12 +159,26 @@ def audit_workload(
         )
         attributes = report.result.partitioning.attributes_used()
         frequency.update(attributes)
+        repair = None
+        if repair_strategy is not None:
+            from repro.repair import repair_ranking
+
+            repair = repair_ranking(
+                report.population,
+                report.scores,
+                report.result.partitioning,
+                repair_strategy,
+                hist_spec=auditor.hist_spec,
+                metric=metric,
+                **(repair_options or {}),
+            ).as_dict()
         audits.append(
             TaskAudit(
                 task_id=task.task_id,
                 unfairness=report.unfairness,
                 n_groups=report.result.partitioning.k,
                 attributes_used=attributes,
+                repair=repair,
             )
         )
     return WorkloadAuditSummary(

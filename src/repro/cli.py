@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Ten subcommands::
+The subcommands::
 
     repro-audit generate --workers 500 --seed 42 --out workers.csv
     repro-audit audit workers.csv --function f4 --algorithm balanced
     repro-audit compare workers.csv --function f7
     repro-audit significance workers.csv --function f6 --permutations 199
     repro-audit repair workers.csv --function f6 --amount 1.0
+    repro-audit mitigate workers.csv --function f6 --strategy fair_topk
     repro-audit workload workers.csv tasks.json
     repro-audit experiment table1 --out table1.json
     repro-audit serve --workdir state/
@@ -18,13 +19,23 @@ Ten subcommands::
 ``compare`` runs every algorithm on one function side by side;
 ``significance`` permutation-tests the audited partitioning against its
 sampling-noise null; ``repair`` quantile-aligns the scores across the
-audited groups and reports the unfairness before/after; ``experiment``
+audited groups and reports the unfairness before/after; ``mitigate`` runs
+the full detect→repair loop with any registered strategy (``fair_topk``,
+``det_rerank``, ``quantile``) and reports unfairness before/after, NDCG@k
+and per-group exposure deltas (see ``docs/mitigation.md``); ``experiment``
 regenerates one of the paper's tables (table1, table2, table3) or the
 Figure 1 toy example; ``serve`` runs the long-running audit daemon
 (crash-safe job journal, bounded queue with backpressure, per-job
 deadlines, graceful drain — see ``docs/service.md``); ``submit`` posts one
-job to a running daemon; ``jobs`` lists job states from a daemon or
-straight from a journal file.
+job (``--kind audit`` or ``--kind mitigate``) to a running daemon via
+``POST /v1/jobs``; ``jobs`` lists job states from a daemon or straight
+from a journal file.
+
+The repair-using subcommands (``mitigate``, ``workload``, ``experiment``,
+``submit``) share one strategy flag surface via ``_add_repair_arguments``:
+``--strategy`` / ``--k`` / ``--min-proportion`` / ``--alpha`` /
+``--amount`` / ``--variant`` — mirroring how ``_add_engine_arguments``
+unifies the engine flags.
 
 The four engine-using subcommands (``audit``, ``compare``, ``workload``,
 ``experiment``) share one flag surface:
@@ -232,6 +243,92 @@ def _add_engine_arguments(
         )
 
 
+def _unit_interval(value: str) -> float:
+    parsed = float(value)
+    if not 0.0 <= parsed <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {parsed}")
+    return parsed
+
+
+def _add_repair_arguments(
+    parser: argparse.ArgumentParser, default_strategy: "str | None" = None
+) -> None:
+    """The shared repair-strategy flag surface (``mitigate``, ``workload``,
+    ``experiment``, ``submit``): ``--strategy`` / ``--k`` /
+    ``--min-proportion`` / ``--alpha`` / ``--amount`` / ``--variant``,
+    mirroring :func:`_add_engine_arguments`.  With ``default_strategy=None``
+    the strategy is opt-in: no mitigation runs unless ``--strategy`` is
+    given."""
+    from repro.repair import available_strategies
+
+    group = parser.add_argument_group("repair strategy")
+    group.add_argument(
+        "--strategy",
+        default=default_strategy,
+        choices=sorted(available_strategies()),
+        help="repair strategy"
+        + (
+            f" (default: {default_strategy})"
+            if default_strategy
+            else " (omit to skip mitigation)"
+        ),
+    )
+    group.add_argument(
+        "--k",
+        dest="top_k",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="re-rank/evaluation depth (default: the full population)",
+    )
+    group.add_argument(
+        "--min-proportion",
+        dest="min_proportion",
+        type=_unit_interval,
+        default=0.8,
+        metavar="P",
+        help="constraint tightness in (0, 1]: each group's target share is "
+        "P times its population share (default 0.8)",
+    )
+    group.add_argument(
+        "--alpha",
+        dest="alpha",
+        type=_unit_interval,
+        default=0.1,
+        metavar="A",
+        help="significance level of fair_topk's binomial quota test "
+        "(default 0.1; larger = stricter quotas)",
+    )
+    group.add_argument(
+        "--amount",
+        dest="amount",
+        type=_unit_interval,
+        default=1.0,
+        metavar="X",
+        help="quantile-repair interpolation strength in [0, 1] (default 1.0)",
+    )
+    group.add_argument(
+        "--variant",
+        default="greedy",
+        choices=["greedy", "cons"],
+        help="det_rerank variant: greedy (DetGreedy) or cons (DetCons)",
+    )
+
+
+def _repair_options(args: argparse.Namespace) -> dict:
+    """Keyword arguments for :func:`repro.repair.repair_ranking` from the
+    shared flag surface (strategy itself excluded)."""
+    options = {
+        "k": args.top_k,
+        "min_proportion": args.min_proportion,
+        "alpha": args.alpha,
+        "amount": args.amount,
+    }
+    if args.strategy == "det_rerank":
+        options["strategy_options"] = {"variant": args.variant}
+    return options
+
+
 def _resilience(args: argparse.Namespace) -> "tuple[object, object]":
     """(retry_policy, fault_config) for one command.
 
@@ -374,6 +471,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="optional CSV path for the repaired scores"
     )
 
+    mitigate = subparsers.add_parser(
+        "mitigate",
+        help="detect the most unfair partitioning, then repair the ranking",
+    )
+    mitigate.add_argument("population", help="population CSV written by 'generate'")
+    mitigate.add_argument("--function", default="f6", help="scoring function f1..f9")
+    mitigate.add_argument(
+        "--algorithm",
+        default="balanced",
+        choices=sorted(available_algorithms()),
+        help="search algorithm used for the audit",
+    )
+    mitigate.add_argument(
+        "--metric",
+        default="emd",
+        choices=sorted(available_metrics()),
+        help="histogram distance the repair is priced with",
+    )
+    mitigate.add_argument("--seed", type=int, default=0, help="audit seed")
+    mitigate.add_argument(
+        "--out", default=None, help="optional CSV path for the repaired ranking"
+    )
+    _add_repair_arguments(mitigate, default_strategy="fair_topk")
+
     workload = subparsers.add_parser(
         "workload", help="audit a JSON workload of tasks over a population"
     )
@@ -394,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     workload.add_argument("--seed", type=int, default=0, help="seed for randomised algorithms")
     _add_engine_arguments(workload)
+    _add_repair_arguments(workload)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table or the Figure 1 toy example"
@@ -421,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --checkpoint-dir DIR); bit-identical to an uninterrupted run",
     )
     _add_engine_arguments(experiment, alias_backend=True)
+    _add_repair_arguments(experiment)
 
     serve = subparsers.add_parser(
         "serve",
@@ -482,7 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(serve)
 
     submit = subparsers.add_parser(
-        "submit", help="submit one audit job to a running daemon"
+        "submit", help="submit one audit or mitigate job to a running daemon"
     )
     submit.add_argument(
         "--url",
@@ -490,6 +613,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="daemon base URL (see the 'serve' startup banner)",
     )
     submit.add_argument("--id", required=True, help="unique job id (path-safe token)")
+    submit.add_argument(
+        "--kind",
+        default="audit",
+        choices=["audit", "mitigate"],
+        help="job kind: audit (detect only) or mitigate (detect + repair)",
+    )
     submit.add_argument(
         "--scenario",
         required=True,
@@ -543,19 +672,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(available_metrics()),
         help="histogram distance to maximise",
     )
+    _add_repair_arguments(submit, default_strategy="fair_topk")
 
     jobs = subparsers.add_parser(
-        "jobs", help="list audit jobs from a daemon or a journal file"
+        "jobs", help="list jobs from a daemon or a journal file"
     )
     jobs_source = jobs.add_mutually_exclusive_group(required=True)
     jobs_source.add_argument(
-        "--url", default=None, help="query a running daemon's /jobs endpoint"
+        "--url", default=None, help="query a running daemon's /v1/jobs endpoint"
     )
     jobs_source.add_argument(
         "--workdir",
         default=None,
         metavar="DIR",
         help="read DIR/journal.jsonl directly (works while the daemon is down)",
+    )
+    jobs.add_argument(
+        "--kind",
+        default=None,
+        choices=["audit", "mitigate"],
+        help="only list jobs of this kind",
     )
 
     verify_snapshot = subparsers.add_parser(
@@ -727,6 +863,59 @@ def _command_repair(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_mitigate(args: argparse.Namespace) -> int:
+    import csv as csv_module
+
+    from repro.core.algorithms import get_algorithm
+    from repro.repair import repair_ranking
+
+    population = load_population(args.population)
+    function = _resolve_function(args.function)
+    if function is None:
+        return 2
+    scores = function(population)
+    audit = get_algorithm(args.algorithm).run(
+        population, scores, metric=args.metric, rng=args.seed
+    )
+    result = repair_ranking(
+        population,
+        scores,
+        audit.partitioning,
+        args.strategy,
+        metric=args.metric,
+        **_repair_options(args),
+    )
+    print(
+        f"audited groups: {audit.partitioning.k} on "
+        f"{audit.partitioning.attributes_used()}"
+    )
+    print(f"strategy: {args.strategy} (params {result.params})")
+    print(f"unfairness before: {result.unfairness_before:.4f}")
+    print(f"unfairness after : {result.unfairness_after:.4f}")
+    print(f"ndcg@{result.k}: {result.ndcg_at_k:.4f}")
+    print(f"retained score mass@{result.k}: {result.retained_score_mass:.4f}")
+    print("per-group exposure deltas:")
+    for label, delta in sorted(
+        result.exposure_delta.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        print(f"  {label}: {delta:+.4f}")
+    if args.out:
+        with open(args.out, "w", newline="") as handle:
+            writer = csv_module.writer(handle)
+            writer.writerow(["rank", "worker", "original_score", "repaired_score"])
+            for rank, worker in enumerate(result.order_after):
+                writer.writerow(
+                    [
+                        rank,
+                        int(worker),
+                        repr(float(scores[worker])),
+                        repr(float(result.repaired_scores[worker])),
+                    ]
+                )
+        print(f"wrote repaired ranking to {args.out}")
+    return 0
+
+
 def _command_workload(args: argparse.Namespace) -> int:
     import json
 
@@ -772,6 +961,8 @@ def _command_workload(args: argparse.Namespace) -> int:
             metrics=metrics,
             retry_policy=retry_policy,
             fault_config=fault_config,
+            repair_strategy=args.strategy,
+            repair_options=_repair_options(args) if args.strategy else None,
         )
     print(summary.render())
     _finish_trace(args, tracer, metrics)
@@ -835,11 +1026,53 @@ def _command_experiment(args: argparse.Namespace) -> int:
         )
         print()
         print(format_table(result, "runtime_seconds", title="runtime (seconds, ours)"))
+    if args.strategy:
+        _print_mitigation_table(scenario, args)
     if args.out:
         save_experiment_result(result, args.out)
         print(f"\nwrote rows to {args.out}")
     _finish_trace(args, tracer, metrics)
     return 0
+
+
+def _print_mitigation_table(scenario, args: argparse.Namespace) -> None:
+    """Detect→repair every scenario function with the shared repair flags
+    (the ``experiment --strategy ...`` rider on the audit tables)."""
+    import numpy as np
+
+    from repro.core.algorithms import get_algorithm
+    from repro.repair import repair_ranking
+    from repro.simulation.runner import _cell_seed
+
+    options = _repair_options(args)
+    print()
+    print(f"mitigation ({args.strategy}) — balanced audit per function")
+    header = (
+        f"{'function':>10}  {'before':>8}  {'after':>8}  {'ndcg@k':>7}  {'mass':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, function in scenario.functions.items():
+        scores = function(scenario.population)
+        audit = get_algorithm("balanced").run(
+            scenario.population,
+            scores,
+            hist_spec=scenario.hist_spec,
+            rng=np.random.default_rng(_cell_seed(args.seed, "balanced", name)),
+        )
+        repaired = repair_ranking(
+            scenario.population,
+            scores,
+            audit.partitioning,
+            args.strategy,
+            hist_spec=scenario.hist_spec,
+            **options,
+        )
+        print(
+            f"{name:>10}  {repaired.unfairness_before:>8.4f}  "
+            f"{repaired.unfairness_after:>8.4f}  {repaired.ndcg_at_k:>7.4f}  "
+            f"{repaired.retained_score_mass:>6.3f}"
+        )
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -893,8 +1126,12 @@ def _command_submit(args: argparse.Namespace) -> int:
     import urllib.error
     import urllib.request
 
+    from repro.service.jobs import JOB_SCHEMA
+
     payload = {
+        "schema": JOB_SCHEMA,
         "id": args.id,
+        "kind": args.kind,
         "scenario": args.scenario,
         "algorithm": args.algorithm,
         "seed": args.seed,
@@ -902,6 +1139,13 @@ def _command_submit(args: argparse.Namespace) -> int:
         "max_attempts": args.max_attempts,
         "metric": args.metric,
     }
+    if args.kind == "mitigate":
+        payload["strategy"] = args.strategy
+        payload["min_proportion"] = args.min_proportion
+        payload["alpha"] = args.alpha
+        payload["amount"] = args.amount
+        if args.top_k is not None:
+            payload["top_k"] = args.top_k
     if args.functions:
         payload["functions"] = args.functions
     if args.deadline is not None:
@@ -909,7 +1153,7 @@ def _command_submit(args: argparse.Namespace) -> int:
     if args.n_workers is not None:
         payload["n_workers"] = args.n_workers
     request = urllib.request.Request(
-        args.url.rstrip("/") + "/submit",
+        args.url.rstrip("/") + "/v1/jobs",
         data=json.dumps(payload).encode("utf-8"),
         headers={"Content-Type": "application/json"},
         method="POST",
@@ -919,18 +1163,20 @@ def _command_submit(args: argparse.Namespace) -> int:
             body = json.load(response)
     except urllib.error.HTTPError as exc:
         try:
-            detail = json.load(exc)
+            envelope = json.load(exc).get("error", {})
         except json.JSONDecodeError:
-            detail = {"error": exc.reason}
+            envelope = {"code": exc.code, "message": exc.reason}
         print(
-            f"rejected ({detail.get('reason', exc.code)}): {detail.get('error')}",
+            f"rejected ({envelope.get('code', exc.code)}): "
+            f"{envelope.get('message')}",
             file=sys.stderr,
         )
         return 1
     except urllib.error.URLError as exc:
         print(f"cannot reach daemon at {args.url}: {exc.reason}", file=sys.stderr)
         return 2
-    print(f"accepted {body['accepted']} (state {body['state']})")
+    job = body["job"]
+    print(f"accepted {job['id']} (kind {job['kind']}, state {job['state']})")
     return 0
 
 
@@ -943,7 +1189,7 @@ def _command_jobs(args: argparse.Namespace) -> int:
     if args.url:
         try:
             with urllib.request.urlopen(
-                args.url.rstrip("/") + "/jobs", timeout=30
+                args.url.rstrip("/") + "/v1/jobs", timeout=30
             ) as response:
                 jobs = json.load(response)["jobs"]
         except urllib.error.URLError as exc:
@@ -959,16 +1205,18 @@ def _command_jobs(args: argparse.Namespace) -> int:
         except JournalError as exc:
             print(f"cannot read journal: {exc}", file=sys.stderr)
             return 2
+    if args.kind:
+        jobs = [job for job in jobs if job.get("kind", "audit") == args.kind]
     if not jobs:
         print("no jobs")
         return 0
-    header = f"{'id':<20} {'state':<12} {'attempt':>7}  reason"
+    header = f"{'id':<20} {'kind':<9} {'state':<12} {'attempt':>7}  reason"
     print(header)
     print("-" * len(header))
     for job in jobs:
         print(
-            f"{job['id']:<20} {job['state']:<12} {job['attempt']:>7}  "
-            f"{job['reason'] or ''}"
+            f"{job['id']:<20} {job.get('kind', 'audit'):<9} {job['state']:<12} "
+            f"{job['attempt']:>7}  {job['reason'] or ''}"
         )
     return 0
 
@@ -1017,6 +1265,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _command_compare,
         "significance": _command_significance,
         "repair": _command_repair,
+        "mitigate": _command_mitigate,
         "workload": _command_workload,
         "experiment": _command_experiment,
         "serve": _command_serve,

@@ -29,6 +29,12 @@ from repro.engine.kernels import (
     has_vectorized_kernel,
     pairwise_matrix,
 )
+from repro.engine.pricing import (
+    RepricingReport,
+    group_pmfs,
+    partition_codes,
+    price_repair,
+)
 from repro.engine.streaming import (
     MutableAtomState,
     StreamingAuditor,
@@ -60,6 +66,10 @@ __all__ = [
     "average_from_matrix",
     "full_objective",
     "has_vectorized_kernel",
+    "RepricingReport",
+    "group_pmfs",
+    "partition_codes",
+    "price_repair",
     "MutableAtomState",
     "StreamingAuditor",
     "StreamingAuditReport",

@@ -43,6 +43,10 @@ class MetricError(ReproError):
     """A histogram distance was asked to compare incompatible histograms."""
 
 
+class RepairError(ReproError):
+    """A repair strategy was mis-configured or produced an invalid ranking."""
+
+
 class BackendError(ReproError):
     """An execution backend failed to evaluate a batch of candidates."""
 

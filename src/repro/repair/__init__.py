@@ -1,6 +1,48 @@
-"""Bias repair (the paper's future-work direction): quantile-alignment of
-scores across the groups of an audited partitioning."""
+"""Bias mitigation: pluggable repair strategies for audited rankings.
 
-from repro.repair.quantile import repair_scores, repaired_unfairness_curve
+The subpackage closes the detect→repair loop the paper leaves open.
+Strategies register by name (like metrics and algorithms):
 
-__all__ = ["repair_scores", "repaired_unfairness_curve"]
+* ``fair_topk`` — FA*IR binomial minimum-quota re-ranking (multinomial
+  extension via per-group quotas);
+* ``det_rerank`` — Geyik et al.'s deterministic greedy/constrained
+  re-ranking (``variant="greedy"`` / ``"cons"``);
+* ``quantile`` — quantile-alignment score repair.
+
+:func:`repair_ranking` is the front door: it runs a strategy against the
+audit's worst partitioning and prices the result (unfairness before/after,
+NDCG@k, retained score mass, per-group exposure deltas).
+"""
+
+from repro.repair.base import (
+    RepairResult,
+    RepairStrategy,
+    available_strategies,
+    get_strategy,
+    ranked_order,
+    register_strategy,
+    repair_ranking,
+)
+from repro.repair.det_rerank import DetRerank
+from repro.repair.fair_topk import FairTopK, quota_table
+from repro.repair.quantile import (
+    QuantileRepair,
+    repair_scores,
+    repaired_unfairness_curve,
+)
+
+__all__ = [
+    "DetRerank",
+    "FairTopK",
+    "QuantileRepair",
+    "RepairResult",
+    "RepairStrategy",
+    "available_strategies",
+    "get_strategy",
+    "quota_table",
+    "ranked_order",
+    "register_strategy",
+    "repair_ranking",
+    "repair_scores",
+    "repaired_unfairness_curve",
+]

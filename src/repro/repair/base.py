@@ -1,0 +1,391 @@
+"""Pluggable mitigation strategies: the detect→repair half of the loop.
+
+An audit finds the *most unfair partitioning* of a ranked worker pool; a
+:class:`RepairStrategy` takes that partitioning as its group definition and
+produces a fairer ranking (or score vector) of the same population.
+Strategies register by name — exactly like metrics and algorithms — so the
+CLI, the service's ``mitigate`` job type and the bench harness all resolve
+them through one registry::
+
+    result = repair_ranking(population, scores, report.result.partitioning,
+                            strategy="fair_topk", k=100)
+
+Every strategy returns through the same :func:`repair_ranking` orchestrator,
+which prices the repair on the audited partitioning (unfairness
+before/after via the engine's vectorized kernels), measures utility loss
+(NDCG@k against the original ranking, retained score mass) and per-group
+exposure deltas, and stamps the wall-clock — the
+:class:`RepairResult` rows the paper-style mitigation tables report.
+
+Re-ranking strategies (``fair_topk``, ``det_rerank``) express their output
+as a permutation plus the *re-assigned score vector*: the worker at new
+rank ``r`` receives the ``r``-th highest original score.  The score
+multiset is preserved — only its assignment to workers changes — which
+keeps the histogram objective well-defined and lets the same pricing path
+serve re-rankers and re-scorers (``quantile``) alike.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.histogram import HistogramSpec
+from repro.core.partition import Partitioning
+from repro.core.population import Population
+from repro.engine.pricing import partition_codes, price_repair
+from repro.exceptions import RepairError
+from repro.marketplace.exposure import position_exposure
+from repro.metrics.base import HistogramDistance
+
+__all__ = [
+    "RepairResult",
+    "RepairStrategy",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
+    "repair_ranking",
+    "ranked_order",
+]
+
+
+def ranked_order(scores: np.ndarray) -> np.ndarray:
+    """Deterministic ranking of a score vector: descending, ties broken on
+    worker index (ascending) — the same order :func:`rank_workers` uses."""
+    n = scores.shape[0]
+    return np.lexsort((np.arange(n, dtype=np.int64), -scores)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of one mitigation run.
+
+    Attributes
+    ----------
+    strategy:
+        Registry name of the strategy that produced this result.
+    params:
+        The resolved strategy parameters (``k``, ``min_proportion``,
+        ``alpha``, ``amount``) — recorded so results are self-describing.
+    k:
+        Evaluation depth: NDCG and retained mass are measured over the top
+        ``k`` ranks (re-rankers also constrain exactly these ranks).
+    unfairness_before / unfairness_after:
+        The audited partitioning's average pairwise distance under the
+        original and repaired score assignments (same spec/metric/weighting
+        as the audit).
+    ndcg_at_k:
+        DCG of the repaired top-k (original scores as gains) over the DCG
+        of the original top-k; 1.0 = no utility lost.
+    retained_score_mass:
+        Sum of original scores over the repaired top-k divided by the
+        original top-k's sum.
+    exposure_before / exposure_after / exposure_delta:
+        Mean position-bias exposure (1/log2(rank+2)) per audited group,
+        keyed by the partition's human-readable label.
+    runtime_seconds:
+        Wall-clock of the strategy plus pricing.
+    order_before / order_after:
+        Full permutations (worker index per rank) of the original and the
+        repaired ranking.
+    repaired_scores:
+        The repaired per-worker score vector (re-assigned original scores
+        for re-rankers; transformed scores for re-scorers).
+    """
+
+    strategy: str
+    params: dict
+    k: int
+    unfairness_before: float
+    unfairness_after: float
+    ndcg_at_k: float
+    retained_score_mass: float
+    exposure_before: "dict[str, float]"
+    exposure_after: "dict[str, float]"
+    exposure_delta: "dict[str, float]"
+    runtime_seconds: float
+    order_before: np.ndarray = field(repr=False)
+    order_after: np.ndarray = field(repr=False)
+    repaired_scores: np.ndarray = field(repr=False)
+
+    @property
+    def improvement(self) -> float:
+        """Absolute unfairness drop (positive = the repair helped)."""
+        return self.unfairness_before - self.unfairness_after
+
+    def ranking_digest(self) -> int:
+        """CRC32 of the repaired permutation's raw bytes — a compact
+        bit-stability fingerprint for golden tables and bench payloads."""
+        return zlib.crc32(np.ascontiguousarray(self.order_after).tobytes())
+
+    def as_dict(self, include_arrays: bool = False) -> dict:
+        """JSON-safe summary (service results, bench rows, golden tables)."""
+        payload = {
+            "strategy": self.strategy,
+            "params": dict(self.params),
+            "k": int(self.k),
+            "unfairness_before": float(self.unfairness_before),
+            "unfairness_after": float(self.unfairness_after),
+            "ndcg_at_k": float(self.ndcg_at_k),
+            "retained_score_mass": float(self.retained_score_mass),
+            "exposure_before": {k: float(v) for k, v in self.exposure_before.items()},
+            "exposure_after": {k: float(v) for k, v in self.exposure_after.items()},
+            "exposure_delta": {k: float(v) for k, v in self.exposure_delta.items()},
+            "runtime_seconds": float(self.runtime_seconds),
+            "ranking_digest": self.ranking_digest(),
+        }
+        if include_arrays:
+            payload["order_after"] = [int(w) for w in self.order_after]
+            payload["repaired_scores"] = [float(s) for s in self.repaired_scores]
+        return payload
+
+
+class RepairStrategy(abc.ABC):
+    """One mitigation: map (scores, audited partitioning) to a fair ranking.
+
+    Subclasses implement :meth:`repair` and set :attr:`name`; they are
+    registered with :func:`register_strategy` and resolved by
+    :func:`get_strategy` — the same pattern the metric and algorithm
+    registries use.
+    """
+
+    #: Registry key; subclasses must set this.
+    name: str = ""
+
+    @abc.abstractmethod
+    def repair(
+        self,
+        scores: np.ndarray,
+        partitioning: Partitioning,
+        *,
+        k: int,
+        min_proportion: float,
+        alpha: float,
+        amount: float,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Return ``(order_after, repaired_scores)``.
+
+        ``order_after`` is a full permutation of worker indices (rank →
+        worker); ``repaired_scores`` is the per-worker score vector the
+        repaired ranking is consistent with.  Parameters a strategy does
+        not use (e.g. ``alpha`` for ``det_rerank``) are ignored.
+        """
+
+    @staticmethod
+    def group_codes(partitioning: Partitioning) -> np.ndarray:
+        """Per-worker group code of the audited partitioning."""
+        return partition_codes(partitioning)
+
+    @staticmethod
+    def reassign_scores(
+        scores: np.ndarray, order_after: np.ndarray
+    ) -> np.ndarray:
+        """Give the worker at new rank ``r`` the ``r``-th highest original
+        score: preserves the score multiset while realising the new order."""
+        repaired = np.empty_like(scores)
+        repaired[order_after] = scores[ranked_order(scores)]
+        return repaired
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: "dict[str, type[RepairStrategy]]" = {}
+
+
+def register_strategy(cls: "type[RepairStrategy]") -> "type[RepairStrategy]":
+    """Register a strategy class under its ``name`` (usable as a decorator)."""
+    if not cls.name:
+        raise RepairError(f"repair strategy {cls!r} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_strategy(name: "str | RepairStrategy", **options) -> RepairStrategy:
+    """Resolve a strategy by name (or pass an instance through).
+
+    ``options`` are forwarded to the strategy constructor (e.g.
+    ``get_strategy("det_rerank", variant="cons")``).
+    """
+    if isinstance(name, RepairStrategy):
+        return name
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise RepairError(
+            f"unknown repair strategy {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**options)
+
+
+def available_strategies() -> "tuple[str, ...]":
+    """Names of all registered repair strategies."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _dcg(gains: np.ndarray) -> float:
+    """DCG with the standard 1/log2(rank+2) discount (0-based ranks)."""
+    if gains.size == 0:
+        return 0.0
+    return float(np.sum(gains / np.log2(np.arange(gains.size) + 2.0)))
+
+
+def _group_labels(population: Population, partitioning: Partitioning) -> "list[str]":
+    """Human-readable, unique label per partition (iteration order)."""
+    labels: list[str] = []
+    seen: dict[str, int] = {}
+    for partition in partitioning:
+        label = partition.label(population.schema)
+        if label in seen:
+            seen[label] += 1
+            label = f"{label} #{seen[label]}"
+        else:
+            seen[label] = 1
+        labels.append(label)
+    return labels
+
+
+def _group_exposures(
+    partitioning: Partitioning, labels: "list[str]", order: np.ndarray
+) -> "dict[str, float]":
+    """Mean DCG-discount exposure per audited group under one full ranking."""
+    exposures = np.empty(order.shape[0], dtype=np.float64)
+    exposures[order] = position_exposure(order.shape[0])
+    return {
+        label: float(exposures[partition.indices].mean())
+        for label, partition in zip(labels, partitioning)
+    }
+
+
+def repair_ranking(
+    population: Population,
+    scores: np.ndarray,
+    partitioning: Partitioning,
+    strategy: "str | RepairStrategy" = "fair_topk",
+    *,
+    k: "int | None" = None,
+    min_proportion: float = 0.8,
+    alpha: float = 0.1,
+    amount: float = 1.0,
+    hist_spec: "HistogramSpec | None" = None,
+    metric: "str | HistogramDistance" = "emd",
+    weighting: str = "uniform",
+    strategy_options: "dict | None" = None,
+) -> RepairResult:
+    """Run one mitigation strategy and price the result.
+
+    Parameters
+    ----------
+    population, scores:
+        The audited population and the scoring function's values.
+    partitioning:
+        Group definition — typically the worst partitioning an audit found.
+    strategy:
+        Registry name (``fair_topk`` / ``det_rerank`` / ``quantile``) or a
+        :class:`RepairStrategy` instance.
+    k:
+        Re-rank/evaluation depth; ``None`` = the full population (the
+        strongest repair: every prefix of the ranking is constrained).
+    min_proportion:
+        Constraint tightness in (0, 1]: each group's target share is
+        ``min_proportion`` times its population share (1.0 = proportional
+        representation demanded at every prefix).
+    alpha:
+        Significance level of FA*IR's binomial quota test.
+    amount:
+        Interpolation strength of the ``quantile`` re-scorer.
+    hist_spec, metric, weighting:
+        Pricing configuration — pass the audit's values so before/after
+        are measured exactly as the audit measured unfairness.
+    strategy_options:
+        Extra constructor options, e.g. ``{"variant": "cons"}``.
+    """
+    start = time.perf_counter()
+    scores = np.asarray(scores, dtype=np.float64)
+    n = population.size
+    if scores.shape != (n,):
+        raise RepairError(f"scores have shape {scores.shape}, expected ({n},)")
+    if partitioning.population_size != n:
+        raise RepairError(
+            f"partitioning covers {partitioning.population_size} workers, "
+            f"population has {n}"
+        )
+    if not np.isfinite(scores).all():
+        raise RepairError("scores contain non-finite values; cannot repair")
+    eval_k = n if k is None else int(k)
+    if not 1 <= eval_k <= n:
+        raise RepairError(f"k must be in [1, {n}], got {eval_k}")
+    if not 0.0 < min_proportion <= 1.0:
+        raise RepairError(f"min_proportion must be in (0, 1], got {min_proportion}")
+    if not 0.0 < alpha < 1.0:
+        raise RepairError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0.0 <= amount <= 1.0:
+        raise RepairError(f"amount must be in [0, 1], got {amount}")
+    strategy_obj = get_strategy(strategy, **(strategy_options or {}))
+
+    order_before = ranked_order(scores)
+    order_after, repaired = strategy_obj.repair(
+        scores,
+        partitioning,
+        k=eval_k,
+        min_proportion=min_proportion,
+        alpha=alpha,
+        amount=amount,
+    )
+    order_after = np.asarray(order_after, dtype=np.int64)
+    repaired = np.asarray(repaired, dtype=np.float64)
+    if order_after.shape != (n,) or repaired.shape != (n,):
+        raise RepairError(
+            f"strategy {strategy_obj.name!r} returned shapes "
+            f"{order_after.shape}/{repaired.shape}, expected ({n},)"
+        )
+    if not np.array_equal(np.sort(order_after), np.arange(n, dtype=np.int64)):
+        raise RepairError(
+            f"strategy {strategy_obj.name!r} did not return a permutation"
+        )
+
+    report = price_repair(
+        partitioning, scores, repaired, hist_spec, metric, weighting
+    )
+    ideal_dcg = _dcg(scores[order_before[:eval_k]])
+    ndcg = (
+        _dcg(scores[order_after[:eval_k]]) / ideal_dcg if ideal_dcg > 0 else 1.0
+    )
+    ideal_mass = float(scores[order_before[:eval_k]].sum())
+    mass = (
+        float(scores[order_after[:eval_k]].sum()) / ideal_mass
+        if ideal_mass > 0
+        else 1.0
+    )
+    labels = _group_labels(population, partitioning)
+    exposure_before = _group_exposures(partitioning, labels, order_before)
+    exposure_after = _group_exposures(partitioning, labels, order_after)
+    exposure_delta = {
+        label: exposure_after[label] - exposure_before[label] for label in labels
+    }
+    return RepairResult(
+        strategy=strategy_obj.name,
+        params={
+            "k": eval_k,
+            "min_proportion": float(min_proportion),
+            "alpha": float(alpha),
+            "amount": float(amount),
+            **({"variant": strategy_obj.variant} if hasattr(strategy_obj, "variant") else {}),
+        },
+        k=eval_k,
+        unfairness_before=report.unfairness_before,
+        unfairness_after=report.unfairness_after,
+        ndcg_at_k=float(ndcg),
+        retained_score_mass=float(mass),
+        exposure_before=exposure_before,
+        exposure_after=exposure_after,
+        exposure_delta=exposure_delta,
+        runtime_seconds=time.perf_counter() - start,
+        order_before=order_before,
+        order_after=order_after,
+        repaired_scores=repaired,
+    )

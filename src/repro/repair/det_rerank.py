@@ -1,0 +1,139 @@
+"""Deterministic fairness-aware re-ranking (Geyik et al., KDD 2019).
+
+LinkedIn's production mitigation: walk the ranking top-down and, at each
+rank ``t``, keep every group's count within ``[floor(p_g·t), ceil(p_g·t)]``
+of its target share ``p_g``.  Two variants ship here:
+
+* ``greedy`` (DetGreedy): if any group is **below its floor**, emit the
+  best candidate among those groups; otherwise emit the best candidate
+  among groups still **below their ceiling** (falling back to all
+  remaining groups once every ceiling is saturated — possible because
+  ``min_proportion`` shrinks targets below a full distribution).
+* ``cons`` (DetCons): identical while a floor is violated; otherwise
+  prefer the group whose *next* floor violation is due soonest
+  (smallest ``ceil((counts_g + 1) / p_g)``), which trades a little
+  utility for fewer future hard overrides.
+
+As with :mod:`~repro.repair.fair_topk`, targets are multinomial:
+``p_g = min_proportion × (|g| / n)`` for every audited group, so the knob
+moves all constraints uniformly from "off" (→0) to exact proportional
+representation (1.0).  Ties always break score-descending then
+worker-index-ascending, so both variants are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.partition import Partitioning
+from repro.exceptions import RepairError
+from repro.repair.base import RepairStrategy, ranked_order, register_strategy
+
+__all__ = ["DetRerank"]
+
+_VARIANTS = ("greedy", "cons")
+
+
+@register_strategy
+class DetRerank(RepairStrategy):
+    """Geyik et al.'s deterministic constrained re-ranking."""
+
+    name = "det_rerank"
+
+    def __init__(self, variant: str = "greedy") -> None:
+        if variant not in _VARIANTS:
+            raise RepairError(
+                f"unknown det_rerank variant {variant!r}; available: {list(_VARIANTS)}"
+            )
+        self.variant = variant
+
+    def __repr__(self) -> str:
+        return f"DetRerank(variant={self.variant!r})"
+
+    def repair(
+        self,
+        scores: np.ndarray,
+        partitioning: Partitioning,
+        *,
+        k: int,
+        min_proportion: float,
+        alpha: float,
+        amount: float,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        n = scores.shape[0]
+        codes = self.group_codes(partitioning)
+        groups = partitioning.k
+        sizes = np.bincount(codes, minlength=groups).astype(np.int64)
+        proportions = min_proportion * sizes / n
+
+        order_all = ranked_order(scores)
+        queues = [order_all[codes[order_all] == g] for g in range(groups)]
+        ptr = np.zeros(groups, dtype=np.int64)
+        counts = np.zeros(groups, dtype=np.int64)
+        order_after = np.empty(n, dtype=np.int64)
+        for t in range(1, k + 1):
+            active = np.flatnonzero(ptr < sizes)
+            if active.size == 0:  # pragma: no cover - k <= n guarantees slack
+                raise RepairError("det_rerank ran out of candidates")
+            floors = np.floor(proportions * t).astype(np.int64)
+            below_min = active[counts[active] < floors[active]]
+            if below_min.size > 0:
+                pool = below_min
+                pick = self._best_scoring(pool, queues, ptr, scores)
+            elif self.variant == "greedy":
+                ceils = np.ceil(proportions * t).astype(np.int64)
+                below_max = active[counts[active] < ceils[active]]
+                pool = below_max if below_max.size > 0 else active
+                pick = self._best_scoring(pool, queues, ptr, scores)
+            else:  # cons: group whose next floor constraint is due soonest
+                pick = self._earliest_due(active, proportions, counts, queues, ptr, scores)
+            worker = int(queues[pick][ptr[pick]])
+            ptr[pick] += 1
+            counts[pick] += 1
+            order_after[t - 1] = worker
+        if k < n:
+            emitted = np.zeros(n, dtype=bool)
+            emitted[order_after[:k]] = True
+            order_after[k:] = order_all[~emitted[order_all]]
+        repaired = self.reassign_scores(scores, order_after)
+        return order_after, repaired
+
+    @staticmethod
+    def _best_scoring(pool, queues, ptr, scores) -> int:
+        """Group in ``pool`` whose head candidate scores highest (ties:
+        lower worker index)."""
+        best_group = -1
+        best_worker = -1
+        for g in pool:
+            worker = int(queues[g][ptr[g]])
+            if best_group < 0 or (
+                scores[worker] > scores[best_worker]
+                or (scores[worker] == scores[best_worker] and worker < best_worker)
+            ):
+                best_group, best_worker = int(g), worker
+        return best_group
+
+    @staticmethod
+    def _earliest_due(active, proportions, counts, queues, ptr, scores) -> int:
+        """DetCons pick: smallest next-due slot ``ceil((count+1)/p)``;
+        ties break by head score descending, then worker index."""
+        best_group = -1
+        best_due = math.inf
+        best_worker = -1
+        for g in active:
+            p = proportions[g]
+            due = math.ceil((counts[g] + 1) / p) if p > 0 else math.inf
+            worker = int(queues[g][ptr[g]])
+            better = False
+            if best_group < 0 or due < best_due:
+                better = True
+            elif due == best_due:
+                if scores[worker] > scores[best_worker] or (
+                    scores[worker] == scores[best_worker] and worker < best_worker
+                ):
+                    better = True
+            if better:
+                best_group, best_due, best_worker = int(g), due, worker
+        return best_group

@@ -1,0 +1,152 @@
+"""FA*IR top-k fair re-ranking (Zehlike et al., CIKM 2017), multinomial.
+
+FA*IR tests, at every prefix of a ranking, whether each protected group is
+represented at least as well as a fair lottery would predict: a prefix of
+length ``t`` fails the test for group ``g`` if the count of ``g``-members in
+it falls below the largest ``m`` that a Binomial(t, p_g) draw would reach
+with probability ≥ ``alpha``.  The smallest passing count per (group, t) is
+the **minimum-quota table**; the repair greedily emits the highest-scoring
+candidate at each rank, overridden whenever a group's quota is about to be
+violated.
+
+Two deviations from the binary original, both deliberate:
+
+* **Multinomial targets.**  The audit's worst partitioning has ``k`` groups,
+  none canonically "protected", so every group gets a target share
+  ``p_g = min_proportion × (|g| / n)`` — proportional representation scaled
+  by the tightness knob.  With ``min_proportion = 1`` this demands each
+  prefix mirror the population; smaller values relax all quotas uniformly.
+  The binary FA*IR setting is the special case of one protected group.
+* **Staggered quotas.**  Independent per-group ``binom.ppf`` tables can
+  increment two groups' quotas at the same rank, which no ranking that
+  fills one slot per rank can satisfy.  :func:`quota_table` therefore
+  staggers the raw tables: at each rank at most **one** group's adjusted
+  quota may grow (the group whose raw quota lags its adjusted quota most),
+  so total quota never grows faster than one per rank.  By induction the
+  greedy fill then satisfies the adjusted table at every prefix, and the
+  adjusted table never exceeds the raw table by construction, only delays
+  it minimally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import Partitioning
+from repro.exceptions import RepairError
+from repro.repair.base import RepairStrategy, ranked_order, register_strategy
+
+__all__ = ["FairTopK", "quota_table"]
+
+
+def quota_table(
+    k: int,
+    proportions: np.ndarray,
+    alpha: float,
+    group_sizes: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Feasible minimum-quota table, shape ``(groups, k)``.
+
+    ``table[g, t-1]`` is the minimum number of group-``g`` members any fair
+    prefix of length ``t`` must contain.  Raw quotas come from the binomial
+    test (``binom.ppf(alpha, t, p_g)``, clamped to the group's size); the
+    staggering pass then ensures column sums grow by at most one per rank,
+    which makes the table satisfiable by a greedy that fills one slot per
+    rank.
+    """
+    from scipy.stats import binom
+
+    proportions = np.asarray(proportions, dtype=np.float64)
+    if k < 1:
+        raise RepairError(f"quota table needs k >= 1, got {k}")
+    if proportions.ndim != 1 or proportions.size == 0:
+        raise RepairError("proportions must be a non-empty 1-d array")
+    if (proportions < 0.0).any() or (proportions > 1.0).any():
+        raise RepairError("group proportions must lie in [0, 1]")
+    groups = proportions.shape[0]
+    t = np.arange(1, k + 1, dtype=np.float64)
+    raw = binom.ppf(alpha, t[None, :], proportions[:, None])
+    raw = np.nan_to_num(raw, nan=0.0).astype(np.int64)
+    np.maximum(raw, 0, out=raw)
+    if group_sizes is not None:
+        sizes = np.asarray(group_sizes, dtype=np.int64)
+        np.minimum(raw, sizes[:, None], out=raw)
+    # Stagger: allow at most one total quota increment per rank, granted to
+    # the group whose raw quota is furthest ahead of its adjusted count.
+    adjusted = np.zeros_like(raw)
+    counts = np.zeros(groups, dtype=np.int64)
+    for i in range(k):
+        lag = raw[:, i] - counts
+        g = int(np.argmax(lag))
+        if lag[g] > 0:
+            counts[g] += 1
+        adjusted[:, i] = counts
+    return adjusted
+
+
+@register_strategy
+class FairTopK(RepairStrategy):
+    """Greedy FA*IR fill against the staggered minimum-quota table.
+
+    At each of the top ``k`` ranks: if some group's quota for this prefix
+    is not yet met, emit that group's best remaining candidate; otherwise
+    emit the overall best remaining candidate.  Ties break on score
+    descending, then worker index ascending — the library-wide ranking
+    convention — so output is deterministic.  Ranks past ``k`` keep the
+    original relative order of the remaining workers.
+    """
+
+    name = "fair_topk"
+
+    def repair(
+        self,
+        scores: np.ndarray,
+        partitioning: Partitioning,
+        *,
+        k: int,
+        min_proportion: float,
+        alpha: float,
+        amount: float,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        n = scores.shape[0]
+        codes = self.group_codes(partitioning)
+        groups = partitioning.k
+        sizes = np.bincount(codes, minlength=groups).astype(np.int64)
+        proportions = min_proportion * sizes / n
+        table = quota_table(k, proportions, alpha, group_sizes=sizes)
+
+        order_all = ranked_order(scores)
+        # Per-group candidate queues in global rank order: queues[g][ptr[g]]
+        # is group g's best remaining worker.
+        queues = [order_all[codes[order_all] == g] for g in range(groups)]
+        ptr = np.zeros(groups, dtype=np.int64)
+        counts = np.zeros(groups, dtype=np.int64)
+        order_after = np.empty(n, dtype=np.int64)
+        for t in range(k):
+            deficit = np.flatnonzero(counts < table[:, t])
+            if deficit.size == 0:
+                deficit = np.flatnonzero(ptr < sizes)
+            best_group = -1
+            best_worker = -1
+            for g in deficit:
+                if ptr[g] >= sizes[g]:
+                    continue
+                worker = int(queues[g][ptr[g]])
+                if best_group < 0 or (
+                    scores[worker] > scores[best_worker]
+                    or (scores[worker] == scores[best_worker] and worker < best_worker)
+                ):
+                    best_group, best_worker = int(g), worker
+            if best_group < 0:  # pragma: no cover - deficit groups exhausted
+                raise RepairError(
+                    "fair_topk quota table is infeasible for this population"
+                )
+            ptr[best_group] += 1
+            counts[best_group] += 1
+            order_after[t] = best_worker
+        if k < n:
+            emitted = np.zeros(n, dtype=bool)
+            emitted[order_after[:k]] = True
+            order_after[k:] = order_all[~emitted[order_all]]
+        repaired = self.reassign_scores(scores, order_after)
+        return order_after, repaired

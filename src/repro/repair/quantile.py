@@ -21,8 +21,9 @@ import numpy as np
 
 from repro.core.partition import Partitioning
 from repro.exceptions import PartitioningError
+from repro.repair.base import RepairStrategy, ranked_order, register_strategy
 
-__all__ = ["repair_scores", "repaired_unfairness_curve"]
+__all__ = ["QuantileRepair", "repair_scores", "repaired_unfairness_curve"]
 
 
 def repair_scores(
@@ -62,8 +63,20 @@ def repair_scores(
         raise PartitioningError("scores contain non-finite values; cannot repair")
     if amount == 0.0:
         return scores.copy()
+    if partitioning.k < 2:
+        # A single group (or the trivial ALL partitioning) has nothing to
+        # align against: the pooled distribution IS the group distribution,
+        # yet remapping through the mid-rank quantile map would still move
+        # scores (e.g. [0, 1] -> [0.25, 0.75]).  Identity is the only
+        # repair with zero unfairness change and zero utility loss.
+        return scores.copy()
 
     pooled = np.sort(scores)
+    if pooled[0] == pooled[-1]:
+        # All scores tie at one value: every group already matches the
+        # pooled distribution exactly, and the degenerate one-point
+        # quantile map would only introduce float noise.
+        return scores.copy()
     repaired = scores.copy()
     for partition in partitioning:
         group = scores[partition.indices]
@@ -88,6 +101,32 @@ def repair_scores(
         else:
             repaired[partition.indices] = (1.0 - amount) * group + amount * target
     return repaired
+
+
+@register_strategy
+class QuantileRepair(RepairStrategy):
+    """:func:`repair_scores` behind the :class:`RepairStrategy` protocol.
+
+    Unlike the re-rankers, this strategy changes score *values* rather than
+    their assignment; its output ranking is simply the repaired scores'
+    ranking, and ``k`` / ``min_proportion`` / ``alpha`` are ignored
+    (``amount`` is the strategy's only knob).
+    """
+
+    name = "quantile"
+
+    def repair(
+        self,
+        scores: np.ndarray,
+        partitioning: Partitioning,
+        *,
+        k: int,
+        min_proportion: float,
+        alpha: float,
+        amount: float,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        repaired = repair_scores(scores, partitioning, amount)
+        return ranked_order(repaired), repaired
 
 
 def repaired_unfairness_curve(

@@ -20,6 +20,8 @@ See ``docs/service.md`` and ``docs/streaming.md`` for the operational story.
 """
 
 from repro.service.jobs import (
+    JOB_KINDS,
+    JOB_SCHEMA,
     KNOWN_SCENARIOS,
     TERMINAL_STATES,
     VALID_TRANSITIONS,
@@ -45,6 +47,8 @@ __all__ = [
     "JobJournal",
     "JobRecord",
     "JobState",
+    "JOB_KINDS",
+    "JOB_SCHEMA",
     "JOURNAL_SCHEMA",
     "KNOWN_SCENARIOS",
     "MonitorSpec",

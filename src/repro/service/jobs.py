@@ -1,11 +1,15 @@
-"""Typed audit-job specs and their lifecycle state machine.
+"""Typed job specs (``repro.job/v2``) and their lifecycle state machine.
 
-An :class:`AuditJob` is one unit of work the audit daemon accepts: run one
-search algorithm over one scenario's scoring function(s), under a seed, a
-priority and an optional per-job deadline.  The spec is a plain frozen
+An :class:`AuditJob` is one unit of work the daemon accepts.  Since the
+``/v1`` API the spec is **kind-discriminated**: ``kind="audit"`` runs one
+search algorithm over one scenario's scoring function(s) and reports the
+most unfair partitioning; ``kind="mitigate"`` runs that same audit and then
+*repairs* the ranking with a registered strategy, reporting unfairness
+before/after and utility loss.  Either way the spec is a plain frozen
 dataclass that round-trips through JSON exactly (the journal stores it
-verbatim), and execution is deterministic given the spec — which is what
-lets a SIGKILL'd daemon re-run an in-flight job and land on byte-identical
+verbatim, tagged ``repro.job/v2``; untagged v1 records deserialise as audit
+jobs), and execution is deterministic given the spec — which is what lets a
+SIGKILL'd daemon re-run an in-flight job and land on byte-identical
 results.
 
 The lifecycle is a small explicit state machine::
@@ -37,6 +41,8 @@ __all__ = [
     "AuditJob",
     "JobRecord",
     "JobState",
+    "JOB_SCHEMA",
+    "JOB_KINDS",
     "VALID_TRANSITIONS",
     "TERMINAL_STATES",
     "KNOWN_SCENARIOS",
@@ -48,6 +54,14 @@ _ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 #: Scenario names a job may reference (the CLI experiment artefacts).
 KNOWN_SCENARIOS = ("figure1", "table1", "table2", "table3")
+
+#: Schema tag emitted with every serialised spec.  ``from_dict`` accepts the
+#: tag (and validates it) or its absence — v1 journals predate the tag and
+#: always described audit jobs.
+JOB_SCHEMA = "repro.job/v2"
+
+#: The ``kind`` discriminator's legal values.
+JOB_KINDS = ("audit", "mitigate")
 
 
 class JobState(str, Enum):
@@ -126,6 +140,17 @@ class AuditJob:
         Total tries before a repeatedly failing job is ``QUARANTINED``.
     metric:
         Histogram distance to optimise (paper default: EMD).
+    kind:
+        ``"audit"`` (detect only) or ``"mitigate"`` (detect, then repair the
+        ranking with ``strategy`` and report before/after).
+    strategy:
+        Repair strategy registry name (mitigate jobs only): ``fair_topk`` /
+        ``det_rerank`` / ``quantile``.
+    top_k:
+        Re-rank depth for mitigate jobs (``None`` = the full population).
+    min_proportion / alpha / amount:
+        Strategy knobs, forwarded to
+        :func:`~repro.repair.repair_ranking` (see its docstring).
     """
 
     id: str
@@ -138,6 +163,12 @@ class AuditJob:
     deadline_seconds: "float | None" = None
     max_attempts: int = 3
     metric: str = "emd"
+    kind: str = "audit"
+    strategy: str = "fair_topk"
+    top_k: "int | None" = None
+    min_proportion: float = 0.8
+    alpha: float = 0.1
+    amount: float = 1.0
 
     def __post_init__(self) -> None:
         if not _ID_PATTERN.match(self.id):
@@ -156,6 +187,30 @@ class AuditJob:
             raise ServiceError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.n_workers is not None and self.n_workers < 1:
             raise ServiceError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.kind not in JOB_KINDS:
+            raise ServiceError(
+                f"unknown job kind {self.kind!r}; choose from {JOB_KINDS}"
+            )
+        if self.kind == "mitigate":
+            # Lazy import: the repair registry pulls in scipy, which plain
+            # audit submissions should not pay for.
+            from repro.repair import available_strategies
+
+            if self.strategy not in available_strategies():
+                raise ServiceError(
+                    f"unknown repair strategy {self.strategy!r}; "
+                    f"choose from {available_strategies()}"
+                )
+            if self.top_k is not None and self.top_k < 1:
+                raise ServiceError(f"top_k must be >= 1, got {self.top_k}")
+            if not 0.0 < self.min_proportion <= 1.0:
+                raise ServiceError(
+                    f"min_proportion must be in (0, 1], got {self.min_proportion}"
+                )
+            if not 0.0 < self.alpha < 1.0:
+                raise ServiceError(f"alpha must be in (0, 1), got {self.alpha}")
+            if not 0.0 <= self.amount <= 1.0:
+                raise ServiceError(f"amount must be in [0, 1], got {self.amount}")
         object.__setattr__(self, "functions", tuple(self.functions))
 
     # ------------------------------------------------------------- (de)serde
@@ -164,16 +219,27 @@ class AuditJob:
         """JSON-safe spec (tuples become lists; exact round-trip)."""
         payload = asdict(self)
         payload["functions"] = list(self.functions)
+        payload["schema"] = JOB_SCHEMA
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "AuditJob":
-        """Rebuild a spec from :meth:`to_dict` output; unknown keys rejected."""
+        """Rebuild a spec from :meth:`to_dict` output; unknown keys rejected.
+
+        Accepts the ``repro.job/v2`` schema tag or its absence (v1 journal
+        records predate the tag and are always audit jobs); any other tag is
+        rejected rather than mis-parsed.
+        """
+        data = dict(payload)
+        schema = data.pop("schema", None)
+        if schema is not None and schema != JOB_SCHEMA:
+            raise ServiceError(
+                f"unsupported job schema {schema!r}; expected {JOB_SCHEMA!r}"
+            )
         fields = {f for f in cls.__dataclass_fields__}
-        unknown = set(payload) - fields
+        unknown = set(data) - fields
         if unknown:
             raise ServiceError(f"unknown AuditJob fields: {sorted(unknown)}")
-        data = dict(payload)
         if "functions" in data:
             data["functions"] = tuple(data["functions"])
         try:
@@ -227,6 +293,7 @@ class JobRecord:
         """JSON-safe summary for the HTTP ``/jobs`` endpoint and the CLI."""
         return {
             "id": self.job.id,
+            "kind": self.job.kind,
             "state": self.state.value,
             "attempt": self.attempt,
             "reason": self.reason,

@@ -30,8 +30,12 @@ Robustness properties, each backed by a test in ``tests/test_service.py``:
   ``PENDING`` in the journal and exit 0.
 
 The HTTP surface is intentionally tiny and dependency-free
-(:mod:`http.server`): ``GET /healthz``, ``GET /metrics``, ``GET /jobs``,
-``POST /submit``.  See ``docs/service.md``.
+(:mod:`http.server`), and versioned since ``/v1``: ``GET /v1/healthz``,
+``GET /v1/metrics``, ``GET/POST /v1/jobs``, ``GET /v1/jobs/<id>``,
+``/v1/populations...`` — with one shared error envelope
+``{"error": {"code", "message", "detail"}}``.  The historical unversioned
+routes survive as deprecated aliases (``Deprecation: true`` header).  See
+``docs/api.md`` and ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -661,6 +665,8 @@ class AuditService:
         ``job.seed`` and each cell checkpoints into the job's own
         directory, so a re-run after a crash resumes (``resume=True``)
         instead of recomputing — completed cells come back bit-identical.
+        ``kind="mitigate"`` jobs run the same audit per cell and then
+        repair the ranking (see :meth:`_execute_mitigate`).
         """
         from repro.engine.deadline import Deadline
         from repro.simulation.runner import run_scenario
@@ -669,6 +675,8 @@ class AuditService:
         deadline = (
             Deadline(job.deadline_seconds) if job.deadline_seconds is not None else None
         )
+        if job.kind == "mitigate":
+            return self._execute_mitigate(job, scenario, deadline)
         experiment = run_scenario(
             scenario,
             algorithms=(job.algorithm,),
@@ -695,6 +703,99 @@ class AuditService:
             "scenario": experiment.scenario,
             "rows": rows,
             "deadline_hit": any(row.deadline_hit for row in experiment.rows),
+        }
+
+    def _execute_mitigate(self, job: AuditJob, scenario, deadline) -> dict:
+        """Audit each cell, then repair its ranking with ``job.strategy``.
+
+        Checkpointed and deterministic like audit jobs: every completed
+        (function, algorithm) cell persists its JSON row via
+        :meth:`~repro.simulation.checkpoint.CheckpointStore.record_payload`,
+        so a crash mid-job resumes with bit-identical repaired rankings
+        (the digest in each row proves it).
+        """
+        import numpy as np
+
+        from repro.core.algorithms import get_algorithm
+        from repro.repair import repair_ranking
+        from repro.simulation.checkpoint import CheckpointStore, cell_key
+        from repro.simulation.runner import _cell_seed
+
+        fingerprint = {
+            "kind": "mitigate",
+            "scenario": scenario.name,
+            "seed": job.seed,
+            "metric": job.metric,
+            "algorithms": [job.algorithm],
+            "functions": list(scenario.functions),
+            "strategy": job.strategy,
+            "top_k": job.top_k,
+            "min_proportion": job.min_proportion,
+            "alpha": job.alpha,
+            "amount": job.amount,
+        }
+        store = CheckpointStore(self.config.workdir / "checkpoints" / job.id)
+        completed = store.begin(fingerprint, resume=True)
+        rows: "list[dict]" = []
+        deadline_hit = False
+        for function_name, function in scenario.functions.items():
+            key = cell_key(function_name, job.algorithm)
+            cell = completed.get(key)
+            if cell is not None and "payload" in cell:
+                rows.append(cell["payload"])
+                self.metrics.inc("checkpoint.cells_skipped")
+                continue
+            if deadline is not None and deadline.expired():
+                deadline_hit = True
+                break
+            scores = function(scenario.population)
+            seed_value = _cell_seed(job.seed, job.algorithm, function_name)
+            audit = get_algorithm(job.algorithm).run(
+                scenario.population,
+                scores,
+                hist_spec=scenario.hist_spec,
+                metric=job.metric,
+                rng=np.random.default_rng(seed_value),
+                metrics=self.metrics,
+                retry_policy=self.retry_policy,
+                deadline=deadline,
+            )
+            with self.metrics.time("service.repair_seconds"):
+                repair = repair_ranking(
+                    scenario.population,
+                    scores,
+                    audit.partitioning,
+                    job.strategy,
+                    k=job.top_k,
+                    min_proportion=job.min_proportion,
+                    alpha=job.alpha,
+                    amount=job.amount,
+                    hist_spec=scenario.hist_spec,
+                    metric=job.metric,
+                )
+            row = {
+                "function": function_name,
+                "algorithm": job.algorithm,
+                "strategy": job.strategy,
+                "audit_unfairness": audit.unfairness,
+                "unfairness_before": repair.unfairness_before,
+                "unfairness_after": repair.unfairness_after,
+                "ndcg_at_k": repair.ndcg_at_k,
+                "retained_score_mass": repair.retained_score_mass,
+                "k": repair.k,
+                "ranking_digest": repair.ranking_digest(),
+                "deadline_hit": audit.deadline_hit,
+            }
+            store.record_payload(key, row)
+            rows.append(row)
+            self.metrics.inc("service.repairs")
+            deadline_hit = deadline_hit or audit.deadline_hit
+        return {
+            "scenario": scenario.name,
+            "kind": "mitigate",
+            "rows": rows,
+            "deadline_hit": deadline_hit
+            or any(row["deadline_hit"] for row in rows),
         }
 
     def _build_scenario(self, job: AuditJob):
@@ -731,21 +832,59 @@ class AuditService:
 
 
 def _build_http_server(service: AuditService, host: str, port: int):
-    """A :class:`ThreadingHTTPServer` exposing the daemon's four endpoints."""
+    """A :class:`ThreadingHTTPServer` exposing the versioned ``/v1`` API.
+
+    ``/v1/...`` is the contract (see ``docs/api.md``): every error is the
+    shared envelope ``{"error": {"code", "message", "detail"}}`` and job
+    submission/inspection lives under ``/v1/jobs``.  The historical
+    unversioned routes (``/submit``, ``/jobs``, ``/healthz``, ...) remain
+    as thin aliases with their original response shapes, but every reply
+    on them carries a ``Deprecation: true`` header.
+    """
 
     class _Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
+        #: Set per request by :meth:`_route` before anything is sent.
+        api_v1 = False
+
         def log_message(self, *args) -> None:  # quiet: metrics cover this
             pass
+
+        def _route(self) -> str:
+            """Strip the version prefix; remember which surface was hit."""
+            if self.path == "/v1" or self.path.startswith("/v1/"):
+                self.api_v1 = True
+                return self.path[len("/v1"):] or "/"
+            self.api_v1 = False
+            return self.path
 
         def _send(self, status: int, payload: dict) -> None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if not self.api_v1:
+                self.send_header("Deprecation", "true")
             self.end_headers()
             self.wfile.write(body)
+
+        def _send_error(
+            self,
+            status: int,
+            code: str,
+            message: str,
+            detail: "str | None" = None,
+        ) -> None:
+            """One error shape per surface: the v1 envelope, or the legacy
+            flat body (without inventing keys old clients never saw)."""
+            if self.api_v1:
+                self._send(
+                    status,
+                    {"error": {"code": code, "message": message, "detail": detail}},
+                )
+            else:
+                self._send(status, {"error": message})
 
         def _send_rejection(self, exc: JobRejectedError) -> None:
             status = {
@@ -754,27 +893,41 @@ def _build_http_server(service: AuditService, host: str, port: int):
                 "invalid_spec": 400,
                 "shutting_down": 503,
             }.get(exc.reason, 400)
-            self._send(status, {"error": str(exc), "reason": exc.reason})
+            if self.api_v1:
+                self._send_error(status, exc.reason, str(exc))
+            else:
+                self._send(status, {"error": str(exc), "reason": exc.reason})
 
         def _read_json(self):
             length = int(self.headers.get("Content-Length", 0))
             try:
                 return json.loads(self.rfile.read(length) or b"{}")
             except json.JSONDecodeError as exc:
-                self._send(400, {"error": f"invalid JSON body: {exc}"})
+                self._send_error(400, "invalid_spec", f"invalid JSON body: {exc}")
                 return None
 
+        def _not_found(self) -> None:
+            self._send_error(404, "not_found", f"unknown path {self.path!r}")
+
         def do_GET(self) -> None:  # noqa: N802 - http.server API
-            if self.path == "/healthz":
+            route = self._route()
+            if route == "/healthz":
                 self._send(200, service.health())
-            elif self.path == "/metrics":
+            elif route == "/metrics":
                 self._send(200, service.metrics.as_dict())
-            elif self.path == "/jobs":
+            elif route == "/jobs":
                 self._send(200, {"jobs": service.jobs_snapshot()})
-            elif self.path == "/populations":
+            elif route.startswith("/jobs/") and self.api_v1:
+                try:
+                    record = service.record(route[len("/jobs/"):])
+                except ServiceError as exc:
+                    self._send_error(404, "not_found", str(exc))
+                    return
+                self._send(200, {"job": record.as_dict()})
+            elif route == "/populations":
                 self._send(200, {"populations": service.monitors_snapshot()})
-            elif self.path.startswith("/populations/"):
-                parts = self.path.strip("/").split("/")
+            elif route.startswith("/populations/"):
+                parts = route.strip("/").split("/")
                 try:
                     if len(parts) == 2:
                         self._send(200, service.monitor(parts[1]).as_dict())
@@ -783,14 +936,26 @@ def _build_http_server(service: AuditService, host: str, port: int):
                             200, {"series": service.monitor_series(parts[1])}
                         )
                     else:
-                        self._send(404, {"error": f"unknown path {self.path!r}"})
+                        self._not_found()
                 except ServiceError as exc:
-                    self._send(404, {"error": str(exc)})
+                    self._send_error(404, "not_found", str(exc))
             else:
-                self._send(404, {"error": f"unknown path {self.path!r}"})
+                self._not_found()
 
         def do_POST(self) -> None:  # noqa: N802 - http.server API
-            if self.path == "/submit":
+            route = self._route()
+            if route == "/jobs" and self.api_v1:
+                payload = self._read_json()
+                if payload is None:
+                    return
+                try:
+                    record = service.submit(payload)
+                except JobRejectedError as exc:
+                    self._send_rejection(exc)
+                    return
+                self._send(202, {"job": record.as_dict()})
+            elif route == "/submit" and not self.api_v1:
+                # Deprecated alias of POST /v1/jobs (original response shape).
                 payload = self._read_json()
                 if payload is None:
                     return
@@ -802,7 +967,7 @@ def _build_http_server(service: AuditService, host: str, port: int):
                 self._send(
                     202, {"accepted": record.job.id, "state": record.state.value}
                 )
-            elif self.path == "/populations":
+            elif route == "/populations":
                 payload = self._read_json()
                 if payload is None:
                     return
@@ -812,10 +977,10 @@ def _build_http_server(service: AuditService, host: str, port: int):
                     self._send_rejection(exc)
                     return
                 self._send(201, summary)
-            elif self.path.startswith("/populations/"):
-                parts = self.path.strip("/").split("/")
+            elif route.startswith("/populations/"):
+                parts = route.strip("/").split("/")
                 if len(parts) != 3 or parts[2] != "mutations":
-                    self._send(404, {"error": f"unknown path {self.path!r}"})
+                    self._not_found()
                     return
                 payload = self._read_json()
                 if payload is None:
@@ -828,10 +993,10 @@ def _build_http_server(service: AuditService, host: str, port: int):
                     self._send_rejection(exc)
                     return
                 except ServiceError as exc:
-                    self._send(404, {"error": str(exc)})
+                    self._send_error(404, "not_found", str(exc))
                     return
                 self._send(202, info)
             else:
-                self._send(404, {"error": f"unknown path {self.path!r}"})
+                self._not_found()
 
     return ThreadingHTTPServer((host, port), _Handler)

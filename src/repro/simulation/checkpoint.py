@@ -151,6 +151,18 @@ class CheckpointStore:
         }
         self._write()
 
+    def record_payload(self, key: str, payload: dict) -> None:
+        """Persist one completed cell as a free-form JSON payload.
+
+        Mitigation cells are not :class:`ExperimentRow` shaped (they carry
+        before/after unfairness and utility metrics); they checkpoint as
+        ``{"payload": ...}`` cells through the same atomic-rewrite path.
+        """
+        if self._payload is None:
+            raise CheckpointError("CheckpointStore.record_payload called before begin()")
+        self._payload["cells"][key] = {"payload": payload}
+        self._write()
+
     def _write(self) -> None:
         ensure_directory(self.directory)
         atomic_write_text(

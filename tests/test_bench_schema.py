@@ -117,6 +117,95 @@ def test_validator_rejects_malformed_service_section() -> None:
         )
 
 
+def _mitigation_case(**overrides) -> dict:
+    case = {
+        "scenario": "table1-quick",
+        "function": "f4",
+        "algorithm": "balanced",
+        "strategy": "fair_topk",
+        "params": {"k": 120, "min_proportion": 1.0, "alpha": 0.5, "amount": 1.0},
+        "n_partitions": 93,
+        "k": 120,
+        "audit_unfairness": 0.354,
+        "unfairness_before": 0.354,
+        "unfairness_after": 0.344,
+        "ndcg_at_k": 0.998,
+        "retained_score_mass": 1.0,
+        "runtime_seconds": 0.4,
+        "ranking_digest": 12345,
+    }
+    case.update(overrides)
+    return case
+
+
+def _mitigation_section(*cases: dict) -> dict:
+    return {
+        "function": "f4",
+        "algorithm": "balanced",
+        "cases": list(cases) or [_mitigation_case()],
+    }
+
+
+def test_validator_accepts_mitigation_section() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    run_bench.validate_bench_payload({**good, "mitigation": _mitigation_section()})
+
+
+def test_committed_benches_with_mitigation_pass_the_gate() -> None:
+    # The acceptance bar: every committed mitigation case improved, and the
+    # re-ranking strategies held the NDCG floor.
+    checked = 0
+    for path in _bench_files():
+        payload = json.loads(path.read_text())
+        if "mitigation" not in payload:
+            continue
+        assert run_bench.mitigation_failures(payload["mitigation"]) == []
+        checked += 1
+    assert checked, "at least one committed bench should carry mitigation"
+
+
+def test_validator_rejects_malformed_mitigation() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    with pytest.raises(ValueError, match="mitigation.cases"):
+        run_bench.validate_bench_payload(
+            {**good, "mitigation": {**_mitigation_section(), "cases": []}}
+        )
+    with pytest.raises(ValueError, match="ranking_digest"):
+        run_bench.validate_bench_payload(
+            {
+                **good,
+                "mitigation": _mitigation_section(
+                    _mitigation_case(ranking_digest="abc")
+                ),
+            }
+        )
+    with pytest.raises(ValueError, match="ndcg_at_k"):
+        run_bench.validate_bench_payload(
+            {**good, "mitigation": _mitigation_section(_mitigation_case(ndcg_at_k=1.5))}
+        )
+    with pytest.raises(ValueError, match="unfairness_before"):
+        run_bench.validate_bench_payload(
+            {
+                **good,
+                "mitigation": _mitigation_section(
+                    _mitigation_case(unfairness_before=-0.1)
+                ),
+            }
+        )
+
+
+def test_mitigation_failures_flags_regressions() -> None:
+    worse = _mitigation_case(unfairness_after=0.5)
+    lossy = _mitigation_case(strategy="det_rerank", ndcg_at_k=0.5)
+    rescored = _mitigation_case(strategy="quantile", ndcg_at_k=0.5)
+    failures = run_bench.mitigation_failures(
+        _mitigation_section(worse, lossy, rescored)
+    )
+    assert len(failures) == 2  # quantile's NDCG is informational, not gated
+    assert any("did not decrease" in f for f in failures)
+    assert any("below" in f for f in failures)
+
+
 def test_validator_rejects_malformed_payloads() -> None:
     good = json.loads(_bench_files()[0].read_text())
     with pytest.raises(ValueError, match="schema"):

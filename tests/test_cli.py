@@ -327,6 +327,163 @@ class TestWorkload:
         assert "malformed task spec" in capsys.readouterr().err
 
 
+class TestRepairFlagSurface:
+    """The shared --strategy/--k/--min-proportion/--alpha repair group."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["mitigate", "w.csv", "--strategy", "det_rerank", "--k", "10",
+             "--min-proportion", "0.9", "--alpha", "0.2", "--variant", "cons"],
+            ["workload", "w.csv", "t.json", "--strategy", "det_rerank", "--k", "10",
+             "--min-proportion", "0.9", "--alpha", "0.2", "--variant", "cons"],
+            ["experiment", "figure1", "--strategy", "det_rerank", "--k", "10",
+             "--min-proportion", "0.9", "--alpha", "0.2", "--variant", "cons"],
+            ["submit", "--id", "j", "--scenario", "figure1", "--strategy", "det_rerank",
+             "--k", "10", "--min-proportion", "0.9", "--alpha", "0.2",
+             "--variant", "cons"],
+        ],
+    )
+    def test_all_four_subcommands_accept_repair_flags(self, argv) -> None:
+        args = build_parser().parse_args(argv)
+        assert args.strategy == "det_rerank"
+        assert args.top_k == 10
+        assert args.min_proportion == 0.9
+        assert args.alpha == 0.2
+        assert args.variant == "cons"
+
+    def test_mitigate_defaults_to_fair_topk(self) -> None:
+        args = build_parser().parse_args(["mitigate", "w.csv"])
+        assert args.strategy == "fair_topk"
+        assert args.top_k is None
+        assert args.min_proportion == 0.8
+        assert args.alpha == 0.1
+
+    def test_workload_strategy_defaults_to_off(self) -> None:
+        assert build_parser().parse_args(["workload", "w.csv", "t.json"]).strategy is None
+
+    def test_unknown_strategy_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mitigate", "w.csv", "--strategy", "nope"])
+
+    def test_out_of_range_min_proportion_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mitigate", "w.csv", "--min-proportion", "1.5"])
+
+    def test_submit_kind_flag(self) -> None:
+        base = ["submit", "--id", "j", "--scenario", "figure1"]
+        assert build_parser().parse_args([*base, "--kind", "mitigate"]).kind == "mitigate"
+        assert build_parser().parse_args(base).kind == "audit"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([*base, "--kind", "transmogrify"])
+
+    def test_jobs_kind_filter(self) -> None:
+        args = build_parser().parse_args(["jobs", "--workdir", "w", "--kind", "mitigate"])
+        assert args.kind == "mitigate"
+        assert build_parser().parse_args(["jobs", "--workdir", "w"]).kind is None
+
+
+class TestMitigate:
+    @pytest.fixture()
+    def population_csv(self, tmp_path: Path, capsys) -> str:
+        csv_path = tmp_path / "workers.csv"
+        main(["generate", "--workers", "80", "--seed", "9", "--out", str(csv_path)])
+        capsys.readouterr()
+        return str(csv_path)
+
+    def test_mitigate_reports_before_and_after(
+        self, population_csv: str, tmp_path: Path, capsys
+    ) -> None:
+        out_path = tmp_path / "reranked.csv"
+        assert (
+            main(
+                [
+                    "mitigate",
+                    population_csv,
+                    "--function",
+                    "f6",
+                    "--strategy",
+                    "quantile",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "strategy: quantile" in out
+        assert "unfairness before" in out
+        assert "unfairness after" in out
+        assert "exposure delta" in out
+        assert out_path.exists()
+        header = out_path.read_text().splitlines()[0]
+        assert header == "rank,worker,original_score,repaired_score"
+
+    def test_mitigate_det_rerank_variant(self, population_csv: str, capsys) -> None:
+        assert (
+            main(
+                [
+                    "mitigate",
+                    population_csv,
+                    "--function",
+                    "f6",
+                    "--strategy",
+                    "det_rerank",
+                    "--variant",
+                    "cons",
+                ]
+            )
+            == 0
+        )
+        assert "variant" in capsys.readouterr().out
+
+    def test_mitigate_unknown_function(self, population_csv: str, capsys) -> None:
+        assert main(["mitigate", population_csv, "--function", "f99"]) == 2
+        assert "unknown function" in capsys.readouterr().err
+
+    def test_workload_with_repair_strategy(
+        self, population_csv: str, tmp_path: Path, capsys
+    ) -> None:
+        tasks_path = tmp_path / "tasks.json"
+        tasks_path.write_text(
+            json.dumps([{"id": "t1", "weights": {"language_test": 1.0}}])
+        )
+        assert (
+            main(
+                [
+                    "workload",
+                    population_csv,
+                    str(tasks_path),
+                    "--strategy",
+                    "quantile",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mitigation (quantile):" in out
+
+    def test_experiment_with_mitigation_table(self, capsys) -> None:
+        assert (
+            main(
+                [
+                    "experiment",
+                    "figure1",
+                    "--strategy",
+                    "fair_topk",
+                    "--alpha",
+                    "0.5",
+                    "--min-proportion",
+                    "1.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mitigation (fair_topk" in out
+        assert "ndcg@" in out
+
+
 class TestExperiment:
     def test_figure1_experiment(self, capsys) -> None:
         assert main(["experiment", "figure1"]) == 0

@@ -1,0 +1,153 @@
+"""Golden regression tests for the mitigation pipeline.
+
+``tests/golden/mitigation_small.json`` pins the exact repaired rankings —
+permutation digest, before/after unfairness, NDCG@k — of every registered
+repair strategy on a small audited population.  The acceptance bar for the
+mitigation suite is *bit-stable repaired rankings*: any change to quota
+staggering, tie-breaking, score reassignment or pricing that moves a single
+worker fails here before it silently shifts a committed bench.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/test_golden_mitigation.py --regenerate
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.algorithms import get_algorithm
+from repro.repair import repair_ranking
+from repro.simulation.config import PaperConfig
+from repro.simulation.scenarios import table1_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "mitigation_small.json"
+
+#: One audited ranking (table1 at 120 workers, the bench's quick scenario)
+#: repaired by every strategy.  FA*IR runs at parameters where its quotas
+#: bind on many-tiny-group partitionings (see docs/mitigation.md); seeds
+#: and parameters are frozen forever.
+SCENARIO = {"n_workers": 120, "seed": 42, "function": "f4", "audit_seed": 0}
+CASES = {
+    "fair_topk": {"strategy": "fair_topk", "min_proportion": 1.0, "alpha": 0.5},
+    "det_rerank_greedy": {
+        "strategy": "det_rerank",
+        "min_proportion": 0.8,
+        "strategy_options": {"variant": "greedy"},
+    },
+    "det_rerank_cons": {
+        "strategy": "det_rerank",
+        "min_proportion": 0.8,
+        "strategy_options": {"variant": "cons"},
+    },
+    "quantile": {"strategy": "quantile"},
+}
+
+#: Absolute tolerance on priced values; permutations must match exactly.
+TOLERANCE = 1e-12
+
+
+def _audited():
+    scenario = table1_scenario(
+        PaperConfig(n_workers=SCENARIO["n_workers"], seed=SCENARIO["seed"])
+    )
+    population = scenario.population
+    scores = scenario.functions[SCENARIO["function"]](population)
+    audit = get_algorithm("balanced").run(
+        population,
+        scores,
+        hist_spec=scenario.hist_spec,
+        rng=SCENARIO["audit_seed"],
+    )
+    return scenario, population, scores, audit
+
+
+def _run_case(spec: dict) -> dict:
+    scenario, population, scores, audit = _audited()
+    options = {k: v for k, v in spec.items() if k != "strategy"}
+    result = repair_ranking(
+        population,
+        scores,
+        audit.partitioning,
+        spec["strategy"],
+        hist_spec=scenario.hist_spec,
+        **options,
+    )
+    payload = result.as_dict(include_arrays=True)
+    del payload["repaired_scores"]  # the permutation + digest pin the repair
+    for key in ("exposure_before", "exposure_after", "exposure_delta"):
+        del payload[key]
+    payload["runtime_seconds"] = 0.0  # the one non-deterministic field
+    return payload
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_mitigation(name):
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden file {GOLDEN_PATH}; generate it with "
+        "'PYTHONPATH=src python tests/test_golden_mitigation.py --regenerate'"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())[name]
+    actual = _run_case(CASES[name])
+    assert actual["strategy"] == golden["strategy"]
+    assert actual["params"] == golden["params"]
+    # Bit-stable ranking: exact permutation and exact digest.
+    assert actual["order_after"] == golden["order_after"], (
+        f"{name}: repaired permutation drifted"
+    )
+    assert actual["ranking_digest"] == golden["ranking_digest"]
+    for key in (
+        "unfairness_before",
+        "unfairness_after",
+        "ndcg_at_k",
+        "retained_score_mass",
+    ):
+        assert actual[key] == pytest.approx(golden[key], abs=TOLERANCE), (
+            f"{key} drifted in {name}"
+        )
+
+
+def test_golden_covers_every_registered_strategy():
+    from repro.repair import available_strategies
+
+    pinned = {spec["strategy"] for spec in CASES.values()}
+    assert pinned == set(available_strategies())
+
+
+def test_golden_repairs_improve_without_wrecking_utility():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    for name, case in golden.items():
+        assert case["unfairness_after"] < case["unfairness_before"], name
+        assert case["ndcg_at_k"] >= 0.9, name
+
+
+def test_reranked_orders_are_permutations():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    n = SCENARIO["n_workers"]
+    for name, case in golden.items():
+        assert sorted(case["order_after"]) == list(range(n)), name
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    payload = {name: _run_case(spec) for name, spec in CASES.items()}
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    _ROOT = Path(__file__).resolve().parent.parent
+    if str(_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(_ROOT / "src"))
+
+    if "--regenerate" not in sys.argv:
+        raise SystemExit("usage: python tests/test_golden_mitigation.py --regenerate")
+    _regenerate()

@@ -1,0 +1,408 @@
+"""Tests for the pluggable fair re-ranking repair suite (:mod:`repro.repair`).
+
+Covers the strategy registry, FA*IR's staggered quota tables (property:
+every prefix of the repaired ranking satisfies the adjusted quota), the
+deterministic re-rankers' representation invariants and utility-loss
+behaviour, the quantile strategy's parity with :func:`repair_scores`, and
+the :func:`repair_ranking` orchestrator's pricing and validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import get_algorithm
+from repro.core.partition import Partition, Partitioning
+from repro.core.population import Population
+from repro.exceptions import RepairError
+from repro.marketplace.biased import paper_biased_functions
+from repro.repair import (
+    DetRerank,
+    FairTopK,
+    QuantileRepair,
+    RepairResult,
+    RepairStrategy,
+    available_strategies,
+    get_strategy,
+    quota_table,
+    ranked_order,
+    repair_ranking,
+    repair_scores,
+)
+
+
+@pytest.fixture()
+def audited(paper_population_small: Population):
+    """A population, biased scores and the partitioning an audit found."""
+    scores = paper_biased_functions()["f6"](paper_population_small)
+    result = get_algorithm("balanced").run(paper_population_small, scores)
+    return paper_population_small, scores, result.partitioning
+
+
+def _grouped(codes: np.ndarray) -> Partitioning:
+    """Partitioning with one partition per distinct code value."""
+    return Partitioning(
+        [Partition(np.flatnonzero(codes == g)) for g in np.unique(codes)],
+        population_size=codes.shape[0],
+    )
+
+
+def _biased_binary(n: int = 100, minority: int = 40, seed: int = 0):
+    """Scores uniformly drawn then depressed for a binary minority group."""
+    rng = np.random.default_rng(seed)
+    codes = np.array([0] * (n - minority) + [1] * minority)
+    scores = rng.uniform(0.5, 1.0, n)
+    scores[codes == 1] -= 0.45
+    return scores, codes, _grouped(codes)
+
+
+def _ndcg(scores: np.ndarray, order: np.ndarray, k: int) -> float:
+    def dcg(gains: np.ndarray) -> float:
+        return float(np.sum(gains / np.log2(np.arange(gains.size) + 2.0)))
+
+    return dcg(scores[order[:k]]) / dcg(scores[ranked_order(scores)[:k]])
+
+
+# A compact hypothesis profile: group assignments over 2-5 groups, scores
+# drawn from the seed, k anywhere in the ranking.
+random_cases = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),  # rng seed
+    st.integers(min_value=2, max_value=5),  # n_groups
+    st.integers(min_value=12, max_value=60),  # population size
+)
+
+
+class TestRegistry:
+    def test_all_three_strategies_registered(self) -> None:
+        assert {"det_rerank", "fair_topk", "quantile"} <= set(
+            available_strategies()
+        )
+
+    def test_available_is_sorted(self) -> None:
+        assert list(available_strategies()) == sorted(available_strategies())
+
+    def test_unknown_strategy_lists_available(self) -> None:
+        with pytest.raises(RepairError, match="fair_topk"):
+            get_strategy("nope")
+
+    def test_options_reach_the_constructor(self) -> None:
+        strategy = get_strategy("det_rerank", variant="cons")
+        assert isinstance(strategy, DetRerank)
+        assert strategy.variant == "cons"
+
+    def test_instances_pass_through(self) -> None:
+        strategy = FairTopK()
+        assert get_strategy(strategy) is strategy
+
+    def test_unknown_variant_rejected(self) -> None:
+        with pytest.raises(RepairError, match="variant"):
+            DetRerank(variant="liberal")
+
+
+class TestRankedOrderAndReassign:
+    def test_descending_with_index_tie_break(self) -> None:
+        scores = np.array([0.5, 0.9, 0.5, 0.1])
+        np.testing.assert_array_equal(ranked_order(scores), [1, 0, 2, 3])
+
+    def test_reassign_preserves_score_multiset(self) -> None:
+        rng = np.random.default_rng(3)
+        scores = rng.uniform(size=40)
+        order_after = rng.permutation(40)
+        repaired = RepairStrategy.reassign_scores(scores, order_after)
+        np.testing.assert_allclose(np.sort(repaired), np.sort(scores))
+
+    def test_reassign_realises_the_new_order(self) -> None:
+        # Rank r of the new order must hold the r-th highest original score,
+        # so ranking the repaired scores yields order_after back (up to ties).
+        rng = np.random.default_rng(4)
+        scores = rng.uniform(size=40)  # continuous draws: no ties
+        order_after = rng.permutation(40)
+        repaired = RepairStrategy.reassign_scores(scores, order_after)
+        np.testing.assert_array_equal(ranked_order(repaired), order_after)
+
+
+class TestQuotaTable:
+    @given(random_cases, st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_staggered_table_invariants(self, case, alpha) -> None:
+        seed, n_groups, n = case
+        rng = np.random.default_rng(seed)
+        sizes = rng.multinomial(n - n_groups, np.ones(n_groups) / n_groups) + 1
+        proportions = sizes / n
+        table = quota_table(n, proportions, alpha, group_sizes=sizes)
+        assert table.shape == (n_groups, n)
+        assert (table >= 0).all()
+        # Monotone per group, and at most ONE total increment per rank —
+        # the staggering that makes the table greedily satisfiable.
+        diffs = np.diff(np.hstack([np.zeros((n_groups, 1), dtype=table.dtype), table]))
+        assert (diffs >= 0).all()
+        assert (diffs.sum(axis=0) <= 1).all()
+        # Never demands more of a group than exists, nor more than the prefix.
+        assert (table <= sizes[:, None]).all()
+        assert (table.sum(axis=0) <= np.arange(1, n + 1)).all()
+
+    def test_tiny_alpha_never_binds(self) -> None:
+        # With alpha below the all-failures tail P(X=0) = 0.5^t at every
+        # t <= k, each binomial quantile stays zero: a no-op table.
+        table = quota_table(20, np.array([0.5, 0.5]), 1e-12)
+        assert not table.any()
+
+
+class TestFairTopK:
+    @given(random_cases)
+    @settings(max_examples=30, deadline=None)
+    def test_every_prefix_satisfies_the_quota(self, case) -> None:
+        seed, n_groups, n = case
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, n_groups, n)
+        codes[:n_groups] = np.arange(n_groups)  # every group non-empty
+        scores = rng.uniform(size=n)
+        partitioning = _grouped(codes)
+        k = int(rng.integers(1, n + 1))
+        min_proportion, alpha = 1.0, 0.5
+        order, repaired = FairTopK().repair(
+            scores, partitioning, k=k, min_proportion=min_proportion,
+            alpha=alpha, amount=1.0,
+        )
+        np.testing.assert_array_equal(np.sort(order), np.arange(n))
+        # Recompute the strategy's own table and check the prefix property.
+        sizes = np.bincount(codes, minlength=n_groups)
+        table = quota_table(
+            k, min_proportion * sizes / n, alpha, group_sizes=sizes
+        )
+        ranked_codes = codes[order]
+        counts = np.zeros(n_groups, dtype=np.int64)
+        for t in range(k):
+            counts[ranked_codes[t]] += 1
+            assert (counts >= table[:, t]).all(), f"quota violated at rank {t + 1}"
+
+    def test_unconstrained_prefix_is_score_order(self) -> None:
+        # Where no quota binds, FA*IR must emit the best remaining worker.
+        scores, _, partitioning = _biased_binary()
+        order, _ = FairTopK().repair(
+            scores, partitioning, k=scores.size, min_proportion=0.8,
+            alpha=1e-9, amount=1.0,
+        )
+        np.testing.assert_array_equal(order, ranked_order(scores))
+
+    def test_binding_quota_promotes_the_minority(self) -> None:
+        scores, codes, partitioning = _biased_binary()
+        order, _ = FairTopK().repair(
+            scores, partitioning, k=scores.size, min_proportion=1.0,
+            alpha=0.5, amount=1.0,
+        )
+        k = 20
+        before = int(codes[ranked_order(scores)[:k]].sum())
+        after = int(codes[order[:k]].sum())
+        assert after > before  # minority representation in the top-20 grew
+
+    def test_partial_k_keeps_tail_in_score_order(self) -> None:
+        scores, _, partitioning = _biased_binary()
+        k = 30
+        order, _ = FairTopK().repair(
+            scores, partitioning, k=k, min_proportion=1.0, alpha=0.5, amount=1.0,
+        )
+        tail = order[k:]
+        # The unconstrained tail preserves relative score order.
+        assert (np.diff(scores[tail]) <= 1e-12).all()
+
+
+class TestDetRerank:
+    @staticmethod
+    def _check_floors(variant: str, seed: int, n_groups: int, n: int) -> None:
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, n_groups, n)
+        codes[:n_groups] = np.arange(n_groups)
+        scores = rng.uniform(size=n)
+        partitioning = _grouped(codes)
+        min_proportion = float(rng.uniform(0.3, 1.0))
+        order, _ = DetRerank(variant=variant).repair(
+            scores, partitioning, k=n, min_proportion=min_proportion,
+            alpha=0.1, amount=1.0,
+        )
+        np.testing.assert_array_equal(np.sort(order), np.arange(n))
+        sizes = np.bincount(codes, minlength=n_groups)
+        proportions = min_proportion * sizes / n
+        ranked_codes = codes[order]
+        counts = np.zeros(n_groups, dtype=np.int64)
+        for t in range(1, n + 1):
+            counts[ranked_codes[t - 1]] += 1
+            floors = np.floor(proportions * t).astype(np.int64)
+            np.minimum(floors, sizes, out=floors)
+            assert (counts >= floors).all(), f"floor violated at rank {t}"
+
+    @given(random_cases)
+    @settings(max_examples=30, deadline=None)
+    def test_cons_minimum_representation_holds_at_every_prefix(
+        self, case
+    ) -> None:
+        # DetConstSort's anticipatory due-slot picking keeps every group at
+        # or above floor(p_g * t) for any number of groups.
+        seed, n_groups, n = case
+        self._check_floors("cons", seed, n_groups, n)
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=12, max_value=60),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_minimum_representation_holds_for_few_groups(
+        self, seed, n_groups, n
+    ) -> None:
+        # DetGreedy only guarantees feasibility up to 3 groups (Geyik et
+        # al.): with more, several floors can come due at the same rank
+        # while only one slot is available.
+        self._check_floors("greedy", seed, n_groups, n)
+
+    @pytest.mark.parametrize("variant", ["greedy", "cons"])
+    def test_tightening_never_gains_utility(self, variant) -> None:
+        # NDCG at the tightest constraint cannot exceed the loosest — the
+        # coarse monotonicity that survives both variants (stepwise NDCG is
+        # NOT monotone in min_proportion; see docs/mitigation.md).
+        scores, _, partitioning = _biased_binary()
+        ndcgs = {}
+        for min_proportion in (0.2, 1.0):
+            order, _ = DetRerank(variant=variant).repair(
+                scores, partitioning, k=scores.size,
+                min_proportion=min_proportion, alpha=0.1, amount=1.0,
+            )
+            ndcgs[min_proportion] = _ndcg(scores, order, scores.size)
+        assert ndcgs[1.0] <= ndcgs[0.2] + 1e-9
+
+    def test_variants_diverge_on_biased_input(self) -> None:
+        scores, _, partitioning = _biased_binary()
+        orders = {
+            variant: DetRerank(variant=variant).repair(
+                scores, partitioning, k=scores.size, min_proportion=0.8,
+                alpha=0.1, amount=1.0,
+            )[0]
+            for variant in ("greedy", "cons")
+        }
+        assert not np.array_equal(orders["greedy"], orders["cons"])
+
+    def test_repr_names_the_variant(self) -> None:
+        assert "cons" in repr(DetRerank(variant="cons"))
+
+
+class TestQuantileStrategy:
+    def test_parity_with_repair_scores(self, audited) -> None:
+        _, scores, partitioning = audited
+        for amount in (0.4, 1.0):
+            order, repaired = QuantileRepair().repair(
+                scores, partitioning, k=scores.size, min_proportion=0.8,
+                alpha=0.1, amount=amount,
+            )
+            np.testing.assert_array_equal(
+                repaired, repair_scores(scores, partitioning, amount=amount)
+            )
+            np.testing.assert_array_equal(order, ranked_order(repaired))
+
+
+class TestRepairRanking:
+    def test_prices_on_the_audited_partitioning(self, audited) -> None:
+        population, scores, partitioning = audited
+        result = repair_ranking(population, scores, partitioning, "quantile")
+        assert isinstance(result, RepairResult)
+        assert result.unfairness_after < result.unfairness_before
+        assert result.improvement > 0
+        assert 0.0 < result.ndcg_at_k <= 1.0 + 1e-9
+        assert 0.0 < result.retained_score_mass <= 1.0 + 1e-9
+        assert result.k == population.size
+        np.testing.assert_array_equal(
+            np.sort(result.order_after), np.arange(population.size)
+        )
+
+    def test_exposure_deltas_cover_every_group(self, audited) -> None:
+        population, scores, partitioning = audited
+        result = repair_ranking(population, scores, partitioning, "det_rerank")
+        assert len(result.exposure_delta) == partitioning.k
+        assert (
+            set(result.exposure_delta)
+            == set(result.exposure_before)
+            == set(result.exposure_after)
+        )
+        for label, delta in result.exposure_delta.items():
+            assert delta == pytest.approx(
+                result.exposure_after[label] - result.exposure_before[label]
+            )
+
+    def test_repeated_runs_are_bit_stable(self, audited) -> None:
+        population, scores, partitioning = audited
+        first, second = (
+            repair_ranking(
+                population, scores, partitioning, "fair_topk",
+                min_proportion=1.0, alpha=0.5,
+            )
+            for _ in range(2)
+        )
+        assert first.ranking_digest() == second.ranking_digest()
+        np.testing.assert_array_equal(first.order_after, second.order_after)
+        np.testing.assert_array_equal(
+            first.repaired_scores, second.repaired_scores
+        )
+
+    def test_variant_is_recorded_in_params(self, audited) -> None:
+        population, scores, partitioning = audited
+        result = repair_ranking(
+            population, scores, partitioning, "det_rerank",
+            strategy_options={"variant": "cons"},
+        )
+        assert result.params["variant"] == "cons"
+
+    def test_as_dict_is_json_safe(self, audited) -> None:
+        import json
+
+        population, scores, partitioning = audited
+        result = repair_ranking(population, scores, partitioning, "quantile")
+        payload = result.as_dict()
+        assert "order_after" not in payload
+        json.dumps(payload)  # must not raise
+        with_arrays = result.as_dict(include_arrays=True)
+        assert with_arrays["order_after"] == [int(w) for w in result.order_after]
+        json.dumps(with_arrays)
+
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            ({"k": 0}, "k must be"),
+            ({"k": 10_000}, "k must be"),
+            ({"min_proportion": 0.0}, "min_proportion"),
+            ({"min_proportion": 1.5}, "min_proportion"),
+            ({"alpha": 0.0}, "alpha"),
+            ({"alpha": 1.0}, "alpha"),
+            ({"amount": -0.1}, "amount"),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, audited, kwargs, match) -> None:
+        population, scores, partitioning = audited
+        with pytest.raises(RepairError, match=match):
+            repair_ranking(population, scores, partitioning, "quantile", **kwargs)
+
+    def test_non_finite_scores_rejected(self, audited) -> None:
+        population, scores, partitioning = audited
+        poisoned = scores.copy()
+        poisoned[0] = np.nan
+        with pytest.raises(RepairError, match="non-finite"):
+            repair_ranking(population, poisoned, partitioning)
+
+    def test_shape_mismatch_rejected(self, audited) -> None:
+        population, scores, partitioning = audited
+        with pytest.raises(RepairError, match="shape"):
+            repair_ranking(population, scores[:-1], partitioning)
+
+    def test_broken_strategy_caught(self, audited) -> None:
+        population, scores, partitioning = audited
+
+        class Broken(RepairStrategy):
+            name = "broken"
+
+            def repair(self, scores, partitioning, **_):
+                order = np.zeros(scores.shape[0], dtype=np.int64)  # not a perm
+                return order, scores.copy()
+
+        with pytest.raises(RepairError, match="permutation"):
+            repair_ranking(population, scores, partitioning, Broken())

@@ -150,6 +150,29 @@ class TestRepairScores:
             repair_scores(scores, partitioning, amount=1.5)
 
 
+class TestDegenerateInputs:
+    def test_single_group_partitioning_is_identity(self) -> None:
+        # One group vs the pool is the pool vs itself: nothing to repair.
+        # Regression: this used to push scores through the pooled quantile
+        # map anyway, compressing the range toward its inner quantiles.
+        scores = np.array([0.9, 0.1, 0.5, 0.3])
+        partitioning = Partitioning([Partition(np.arange(4))], population_size=4)
+        for amount in (0.5, 1.0):
+            repaired = repair_scores(scores, partitioning, amount=amount)
+            assert np.array_equal(repaired, scores)
+            assert repaired is not scores
+
+    def test_all_tied_scores_are_identity_at_partial_amounts(self, audited) -> None:
+        # Regression: a one-point pooled distribution used to be handed to
+        # the interpolator; it now early-returns a copy at every amount.
+        _, _, partitioning = audited
+        scores = np.full(partitioning.population_size, 0.123)
+        for amount in (0.3, 0.5, 1.0):
+            assert np.array_equal(
+                repair_scores(scores, partitioning, amount=amount), scores
+            )
+
+
 class TestRepairCurve:
     def test_curve_is_monotone_decreasing_overall(self, audited) -> None:
         population, scores, partitioning = audited

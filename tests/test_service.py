@@ -313,6 +313,214 @@ class TestHTTPEndpoints:
         assert status == 404
 
 
+class TestV1Api:
+    """The versioned surface: envelope errors, deprecation headers, parity."""
+
+    @pytest.fixture()
+    def http_service(self, tmp_path):
+        svc = AuditService(
+            ServiceConfig(tmp_path, queue_limit=2, workers=1, port=0,
+                          poll_seconds=0.01)
+        ).start()
+        host, port = svc.address
+        yield svc, f"http://{host}:{port}"
+        svc.stop()
+
+    def _get(self, url):
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                return response.status, json.load(response), dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.load(exc), dict(exc.headers)
+
+    def _post(self, url, payload):
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode(), method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return response.status, json.load(response), dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.load(exc), dict(exc.headers)
+
+    def test_v1_routes_carry_no_deprecation_header(self, http_service):
+        _, base = http_service
+        for path in ("/v1/healthz", "/v1/metrics", "/v1/jobs"):
+            status, _, headers = self._get(base + path)
+            assert status == 200
+            assert "Deprecation" not in headers, path
+
+    def test_legacy_routes_are_deprecated_aliases(self, http_service):
+        _, base = http_service
+        for path in ("/healthz", "/metrics", "/jobs"):
+            status, _, headers = self._get(base + path)
+            assert status == 200
+            assert headers.get("Deprecation") == "true", path
+
+    def test_v1_and_legacy_serve_the_same_payloads(self, http_service):
+        svc, base = http_service
+        svc.submit(_job("parity"))
+        assert svc.drain(timeout=60)
+        for path in ("/healthz", "/metrics", "/jobs"):
+            _, legacy, _ = self._get(base + path)
+            _, v1, _ = self._get(base + "/v1" + path)
+            assert legacy == v1, path
+
+    def test_post_v1_jobs_returns_the_record(self, http_service):
+        svc, base = http_service
+        status, body, _ = self._post(base + "/v1/jobs", _job("j1").to_dict())
+        assert status == 202
+        assert body["job"]["id"] == "j1"
+        assert body["job"]["kind"] == "audit"
+        assert body["job"]["state"] == "PENDING"
+        assert svc.drain(timeout=60)
+
+    def test_get_v1_job_by_id(self, http_service):
+        svc, base = http_service
+        svc.submit(_job("j2"))
+        assert svc.drain(timeout=60)
+        status, body, _ = self._get(base + "/v1/jobs/j2")
+        assert status == 200
+        assert body["job"]["state"] == "DONE"
+        assert body["job"]["result"]["rows"]
+        # By-id lookup is v1-only: the legacy surface never had it.
+        status, body, _ = self._get(base + "/jobs/j2")
+        assert status == 404
+
+    def test_v1_errors_use_the_shared_envelope(self, http_service):
+        svc, base = http_service
+        self._post(base + "/v1/jobs", _job("dup").to_dict())
+        status, body, _ = self._post(base + "/v1/jobs", _job("dup").to_dict())
+        assert status == 409
+        assert body["error"]["code"] == "duplicate_id"
+        assert "dup" in body["error"]["message"]
+        status, body, _ = self._post(
+            base + "/v1/jobs", {"id": "bad", "scenario": "no-such"}
+        )
+        assert (status, body["error"]["code"]) == (400, "invalid_spec")
+        status, body, _ = self._get(base + "/v1/jobs/missing")
+        assert (status, body["error"]["code"]) == (404, "not_found")
+        svc.request_shutdown()
+        status, body, _ = self._post(base + "/v1/jobs", _job("late").to_dict())
+        assert (status, body["error"]["code"]) == (503, "shutting_down")
+
+    def test_legacy_error_shape_is_preserved(self, http_service):
+        _, base = http_service
+        self._post(base + "/submit", _job("dup").to_dict())
+        status, body, headers = self._post(base + "/submit", _job("dup").to_dict())
+        assert status == 409
+        assert body["reason"] == "duplicate_id"  # flat legacy shape
+        assert "error" in body and isinstance(body["error"], str)
+        assert headers.get("Deprecation") == "true"
+
+    def test_malformed_json_body_is_invalid_spec(self, http_service):
+        _, base = http_service
+        request = urllib.request.Request(
+            base + "/v1/jobs", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert json.load(excinfo.value)["error"]["code"] == "invalid_spec"
+
+
+class TestJobSchemaV2:
+    def test_to_dict_carries_the_schema_tag(self):
+        from repro.service import JOB_SCHEMA
+
+        assert _job("s1").to_dict()["schema"] == JOB_SCHEMA
+
+    def test_round_trip_preserves_mitigate_fields(self):
+        job = _job(
+            "s2", kind="mitigate", strategy="det_rerank", top_k=50,
+            min_proportion=0.9, alpha=0.2, amount=0.5,
+        )
+        assert AuditJob.from_dict(job.to_dict()) == job
+
+    def test_untagged_payload_is_legacy_v1_audit(self):
+        # Journals written before the v2 schema carry no tag; they replay
+        # as plain audit jobs.
+        job = AuditJob.from_dict({"id": "old", "scenario": "figure1"})
+        assert job.kind == "audit"
+
+    def test_wrong_schema_tag_rejected(self):
+        with pytest.raises(ServiceError, match="schema"):
+            AuditJob.from_dict(
+                {"id": "s3", "scenario": "figure1", "schema": "repro.job/v99"}
+            )
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"kind": "transmogrify"},
+            {"kind": "mitigate", "strategy": "no-such-strategy"},
+            {"kind": "mitigate", "top_k": 0},
+            {"kind": "mitigate", "min_proportion": 0.0},
+            {"kind": "mitigate", "alpha": 1.0},
+            {"kind": "mitigate", "amount": 2.0},
+        ],
+    )
+    def test_invalid_mitigate_specs_rejected(self, overrides):
+        with pytest.raises(ServiceError):
+            _job("bad", **overrides)
+
+    def test_record_snapshot_reports_the_kind(self, service):
+        service.submit(_job("k1", kind="mitigate", strategy="quantile"))
+        assert service.drain(timeout=60)
+        assert service.record("k1").as_dict()["kind"] == "mitigate"
+
+
+class TestMitigateJobs:
+    def test_mitigate_job_end_to_end(self, service):
+        service.submit(
+            _job("m1", kind="mitigate", strategy="quantile", seed=3)
+        )
+        assert service.drain(timeout=60)
+        record = service.record("m1")
+        assert record.state is JobState.DONE
+        result = record.result
+        assert result["kind"] == "mitigate"
+        assert not result["deadline_hit"]
+        assert result["rows"], "mitigate job produced no rows"
+        for row in result["rows"]:
+            assert row["strategy"] == "quantile"
+            assert row["unfairness_after"] < row["unfairness_before"]
+            assert row["unfairness_before"] == pytest.approx(
+                row["audit_unfairness"]
+            )
+            assert isinstance(row["ranking_digest"], int)
+        assert service.metrics.counter("service.repairs") == len(result["rows"])
+
+    def test_mitigate_job_honours_deadlines(self, service):
+        service.submit(
+            _job(
+                "rushed-m", kind="mitigate", strategy="quantile",
+                deadline_seconds=1e-9,
+            )
+        )
+        assert service.drain(timeout=60)
+        record = service.record("rushed-m")
+        assert record.state is JobState.CANCELLED
+        assert record.result["deadline_hit"]
+
+    def test_mitigate_resume_skips_checkpointed_cells(self, service):
+        # The executor checkpoints each repaired cell; a re-execution of the
+        # same job (the post-crash path) replays stored rows instead of
+        # repairing again, bit-identically.
+        job = _job("ckpt", kind="mitigate", strategy="quantile", seed=11)
+        first = service._execute(job)
+        skipped_before = service.metrics.counter("checkpoint.cells_skipped")
+        second = service._execute(job)
+        assert second == first
+        assert service.metrics.counter("checkpoint.cells_skipped") == (
+            skipped_before + len(first["rows"])
+        )
+        checkpoint = (
+            service.config.workdir / "checkpoints" / "ckpt" / "checkpoint.json"
+        )
+        assert checkpoint.exists()
+
+
 def _start_daemon(workdir, extra=()):
     env = dict(os.environ, PYTHONPATH=REPO_SRC)
     process = subprocess.Popen(

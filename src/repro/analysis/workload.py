@@ -126,6 +126,7 @@ def audit_workload(
     fault_config=None,
     repair_strategy: "str | None" = None,
     repair_options: "dict | None" = None,
+    kernel: "str | None" = None,
 ) -> WorkloadAuditSummary:
     """Audit every task's scoring function over its eligible worker pool.
 
@@ -156,6 +157,7 @@ def audit_workload(
             metrics=metrics,
             retry_policy=retry_policy,
             fault_config=fault_config,
+            kernel=kernel,
         )
         attributes = report.result.partitioning.attributes_used()
         frequency.update(attributes)

@@ -71,7 +71,7 @@ from typing import Sequence
 from repro.core.algorithms import PAPER_ALGORITHMS, available_algorithms
 from repro.core.audit import FairnessAuditor
 from repro.core.histogram import HistogramSpec
-from repro.engine import available_backends
+from repro.engine import KERNEL_BACKENDS, available_backends
 from repro.io.serialization import (
     load_population,
     save_experiment_result,
@@ -169,6 +169,16 @@ def _add_engine_arguments(
         type=_positive_int,
         default=None,
         help="worker processes for --engine-backend process (default: all cores)",
+    )
+    group.add_argument(
+        "--engine-kernel",
+        dest="engine_kernel",
+        default=None,
+        choices=list(KERNEL_BACKENDS),
+        help="distance-kernel backend: numpy (default, fused vectorised), "
+        "scalar (per-pair reference), or numba (JIT-compiled; requires the "
+        "optional numba dependency and a passing bit-identity self-check). "
+        "All backends produce bit-identical results",
     )
     group.add_argument(
         "--engine-retries",
@@ -602,6 +612,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="compact the journal in place once it exceeds N bytes "
         "(default: never compact)",
     )
+    serve.add_argument(
+        "--cache-max-bytes",
+        dest="cache_max_bytes",
+        type=int,
+        default=256 * 1024 * 1024,
+        metavar="N",
+        help="byte budget of the content-addressed cross-job cache "
+        "(reuses populations, atom tables and pair scores across jobs; "
+        "0 disables it; default 256 MiB)",
+    )
     _add_engine_arguments(serve)
 
     submit = subparsers.add_parser(
@@ -671,6 +691,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="emd",
         choices=sorted(available_metrics()),
         help="histogram distance to maximise",
+    )
+    submit.add_argument(
+        "--engine-kernel",
+        dest="engine_kernel",
+        default=None,
+        choices=list(KERNEL_BACKENDS),
+        help="kernel backend for the job's distance computations "
+        "(bit-identical across backends; default: the daemon's)",
     )
     _add_repair_arguments(submit, default_strategy="fair_topk")
 
@@ -746,6 +774,7 @@ def _command_audit(args: argparse.Namespace) -> int:
             rng=args.seed,
             backend=args.engine_backend,
             workers=args.engine_workers,
+            kernel=args.engine_kernel,
             tracer=tracer,
             metrics=metrics,
             retry_policy=retry_policy,
@@ -792,6 +821,7 @@ def _command_compare(args: argparse.Namespace) -> int:
                 rng=args.seed,
                 backend=args.engine_backend,
                 workers=args.engine_workers,
+                kernel=args.engine_kernel,
                 tracer=tracer,
                 metrics=metrics,
                 retry_policy=retry_policy,
@@ -957,6 +987,7 @@ def _command_workload(args: argparse.Namespace) -> int:
             rng=args.seed,
             backend=args.engine_backend,
             workers=args.engine_workers,
+            kernel=args.engine_kernel,
             tracer=tracer,
             metrics=metrics,
             retry_policy=retry_policy,
@@ -985,6 +1016,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
             seed=args.seed,
             backend=args.engine_backend,
             workers=args.engine_workers,
+            kernel=args.engine_kernel,
             tracer=tracer,
             metrics=metrics,
             retry_policy=retry_policy,
@@ -1009,6 +1041,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
             seed=args.seed,
             backend=args.engine_backend,
             workers=args.engine_workers,
+            kernel=args.engine_kernel,
             tracer=tracer,
             metrics=metrics,
             retry_policy=retry_policy,
@@ -1099,6 +1132,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             snapshot_dir=snapshot_dir,
             snapshot_in=args.snapshot_in,
             journal_max_bytes=args.journal_max_bytes,
+            cache_max_bytes=args.cache_max_bytes,
+            engine_kernel=args.engine_kernel,
         ),
         retry_policy=retry_policy,
     )
@@ -1152,6 +1187,8 @@ def _command_submit(args: argparse.Namespace) -> int:
         payload["deadline_seconds"] = args.deadline
     if args.n_workers is not None:
         payload["n_workers"] = args.n_workers
+    if args.engine_kernel is not None:
+        payload["kernel"] = args.engine_kernel
     request = urllib.request.Request(
         args.url.rstrip("/") + "/v1/jobs",
         data=json.dumps(payload).encode("utf-8"),

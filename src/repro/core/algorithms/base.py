@@ -150,6 +150,7 @@ class PartitioningAlgorithm(abc.ABC):
         use_atoms: "bool | None" = None,
         deadline=None,
         engine_factory=None,
+        kernel: "str | None" = None,
     ) -> AlgorithmResult:
         """Search for the most unfair partitioning of ``population`` under ``scores``.
 
@@ -202,6 +203,11 @@ class PartitioningAlgorithm(abc.ABC):
             The streaming layer passes one that keeps a persistent
             :class:`~repro.engine.streaming.StreamingEngine` warm across
             re-audits instead of rebuilding per run.
+        kernel:
+            Kernel backend for the distance computations (``"numpy"`` /
+            ``"scalar"`` / ``"numba"``; ``None`` = default).  Bit-identical
+            across backends — purely a cost-model switch, like
+            ``use_atoms``.
         """
         if population.size == 0:
             raise PartitioningError("cannot partition an empty population")
@@ -220,6 +226,7 @@ class PartitioningAlgorithm(abc.ABC):
             retry_policy=retry_policy,
             fault_config=fault_config,
             use_atoms=use_atoms,
+            kernel=kernel,
         )
         generator = (
             np.random.default_rng(rng)

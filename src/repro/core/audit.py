@@ -154,6 +154,7 @@ class FairnessAuditor:
         retry_policy=None,
         fault_config=None,
         deadline=None,
+        kernel: "str | None" = None,
         **algorithm_options: object,
     ) -> AuditReport:
         """Find the most unfair partitioning under one scoring function.
@@ -188,6 +189,7 @@ class FairnessAuditor:
                 retry_policy=retry_policy,
                 fault_config=fault_config,
                 deadline=deadline,
+                kernel=kernel,
             )
         with run_tracer.span("audit.report", n_groups=result.partitioning.k):
             groups = tuple(
@@ -216,6 +218,7 @@ class FairnessAuditor:
         metrics=None,
         retry_policy=None,
         fault_config=None,
+        kernel: "str | None" = None,
         **algorithm_options: object,
     ) -> AuditReport:
         """Audit a task's ranking over the pool its requirements admit.
@@ -240,6 +243,7 @@ class FairnessAuditor:
             metrics=metrics,
             retry_policy=retry_policy,
             fault_config=fault_config,
+            kernel=kernel,
             **algorithm_options,
         )
 

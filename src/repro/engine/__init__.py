@@ -23,11 +23,16 @@ from repro.engine.faults import FaultConfig, FaultInjectionBackend
 from repro.engine.resilience import RetryingBackend, RetryPolicy, validate_batch
 from repro.engine.incremental import FullRecomputeObjective, IncrementalObjective
 from repro.engine.kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_BACKENDS,
+    available_kernel_backends,
     average_from_matrix,
     cross_matrix,
     full_objective,
     has_vectorized_kernel,
+    kernel_backend_status,
     pairwise_matrix,
+    resolve_kernel_backend,
 )
 from repro.engine.pricing import (
     RepricingReport,
@@ -66,6 +71,11 @@ __all__ = [
     "average_from_matrix",
     "full_objective",
     "has_vectorized_kernel",
+    "KERNEL_BACKENDS",
+    "DEFAULT_KERNEL",
+    "available_kernel_backends",
+    "kernel_backend_status",
+    "resolve_kernel_backend",
     "RepricingReport",
     "group_pmfs",
     "partition_codes",

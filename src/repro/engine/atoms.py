@@ -193,6 +193,24 @@ class AtomTable:
             self.codes.nbytes + self.counts.nbytes + self.sizes.nbytes + self.worker_atom.nbytes
         )
 
+    def fingerprint(self) -> str:
+        """Content-addressed SHA-256 over the table's defining arrays.
+
+        Two tables with the same fingerprint hold byte-identical codes,
+        counts, sizes and worker→atom mapping for the same attribute order —
+        the identity the service's cross-job cache keys entries on.  The
+        digest covers array *shapes* too, so reshaped-but-equal-bytes data
+        cannot alias.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(repr(tuple(self.attribute_names)).encode())
+        for array in (self.codes, self.counts, self.sizes, self.worker_atom):
+            digest.update(repr((array.shape, str(array.dtype))).encode())
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.hexdigest()
+
     # -------------------------------------------------------------- resolution
 
     def rows_for_constraints(

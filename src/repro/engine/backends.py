@@ -187,6 +187,7 @@ def _score_wire_tasks(
     weighting: str,
     atom_counts: "np.ndarray | None",
     chunk: "list[list[tuple]]",
+    kernel: "str | None" = None,
 ) -> list[float]:
     """Score one chunk of wire-format candidates.
 
@@ -197,8 +198,10 @@ def _score_wire_tasks(
     ``bincount`` over member indices — both divide the same integer counts
     by the same integer size, so the pmfs match bit for bit.
     """
-    from repro.engine.kernels import full_objective
+    from repro.engine.kernels import DEFAULT_KERNEL, full_objective
 
+    if kernel is None:
+        kernel = DEFAULT_KERNEL
     values: list[float] = []
     for entries in chunk:
         if len(entries) < 2:
@@ -218,7 +221,7 @@ def _score_wire_tasks(
         weights = None
         if weighting == "size":
             weights = np.array(sizes, dtype=np.float64)
-        value, _ = full_objective(metric, pmfs, spec, weights)
+        value, _ = full_objective(metric, pmfs, spec, weights, kernel=kernel)
         values.append(value)
     return values
 
@@ -237,6 +240,7 @@ def _score_chunk(
         _WORKER_STATE["weighting"],
         _WORKER_STATE.get("atom_counts"),
         chunk,
+        _WORKER_STATE.get("kernel"),
     )
     if (
         faults is not None
@@ -630,6 +634,7 @@ class ProcessPoolBackend(ExecutionBackend):
             payload["weighting"],
             payload["atom_counts"],
             tasks,
+            payload.get("kernel"),
         )
 
     def close(self) -> None:

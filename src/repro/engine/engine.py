@@ -41,10 +41,12 @@ from repro.engine.atoms import AtomTable
 from repro.engine.backends import ExecutionBackend, get_backend
 from repro.engine.incremental import FullRecomputeObjective, IncrementalObjective
 from repro.engine.kernels import (
+    KERNEL_COUNTER_KEYS,
     average_from_matrix,
     cross_matrix,
     full_objective,
     pairwise_matrix,
+    resolve_kernel_backend,
 )
 from repro.exceptions import PartitioningError
 from repro.metrics.base import HistogramDistance, get_metric
@@ -84,6 +86,7 @@ class EngineStats:
     pair_distances_full: int = 0
     backend: str = "sequential"
     workers: int = 1
+    kernel: str = "numpy"
 
     def as_dict(self) -> dict:
         """Plain-dict view for serialization."""
@@ -96,6 +99,7 @@ class EngineStats:
             "pair_distances_full": self.pair_distances_full,
             "backend": self.backend,
             "workers": self.workers,
+            "kernel": self.kernel,
         }
 
 
@@ -139,6 +143,21 @@ class EvaluationEngine:
         (default).  Pass ``False`` to force the member-array path — the
         benchmark's "member" baseline.  Always off in ``mode="full"``.
         Both paths are bit-identical; this is purely a cost-model switch.
+    kernel:
+        Kernel backend name (``"numpy"`` / ``"scalar"`` / ``"numba"``, see
+        :mod:`repro.engine.kernels`) deciding *how* distance blocks are
+        computed.  All backends are bit-identical (the parity harness pins
+        this), so like ``use_atoms`` this is purely a cost-model switch;
+        ``None`` means the default fused-numpy kernels.
+    atom_table:
+        Optional prebuilt :class:`~repro.engine.atoms.AtomTable` for this
+        exact (population, bin spec) binding — the service's cross-job
+        cache injects one on a hit so the engine skips its O(n) build.
+    seed_value_cache:
+        Optional mapping of value-cache entries (content-addressed pmf
+        multiset keys → objective values) to pre-warm the cache with; used
+        by the cross-job cache.  Entries beyond the cache cap are dropped
+        oldest-first.
     """
 
     def __init__(
@@ -156,6 +175,9 @@ class EvaluationEngine:
         retry_policy=None,
         fault_config=None,
         use_atoms: "bool | None" = None,
+        kernel: "str | None" = None,
+        atom_table: "AtomTable | None" = None,
+        seed_value_cache: "dict | None" = None,
     ) -> None:
         self.population = population
         self.spec = hist_spec or HistogramSpec()
@@ -170,6 +192,11 @@ class EvaluationEngine:
                 f"mode must be 'incremental' or 'full', got {mode!r}"
             )
         self.mode = mode
+        self.kernel = resolve_kernel_backend(kernel)
+        #: Kernel-effort counters (see ``KERNEL_COUNTER_KEYS``): entry-point
+        #: invocations, unique pairs actually evaluated, and output cells
+        #: served.  Mirrored into the registry as ``engine.kernel_*``.
+        self._kernel_counters: dict[str, int] = {}
         scores = np.asarray(scores, dtype=np.float64)
         if scores.shape != (population.size,):
             raise PartitioningError(
@@ -187,10 +214,15 @@ class EvaluationEngine:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._synced_stats: dict[str, int] = {}
         self.stats = EngineStats(
-            backend=self.backend.name, workers=self.backend.workers
+            backend=self.backend.name, workers=self.backend.workers, kernel=self.kernel
         )
         self._pmf_cache: dict[Partition, np.ndarray] = {}
         self._value_cache: "OrderedDict[tuple, float]" = OrderedDict()
+        if seed_value_cache:
+            for key, value in seed_value_cache.items():
+                self._value_cache[key] = value
+            while len(self._value_cache) > _CACHE_CAP:
+                self._value_cache.popitem(last=False)
         # Atom-table fast path: on by default in incremental mode, never in
         # mode="full" (the baseline cost model must keep paying member-array
         # prices).  The table itself is built lazily on first use.
@@ -198,6 +230,8 @@ class EvaluationEngine:
         if self.mode == "full":
             self._use_atoms = False
         self._atom_table: "AtomTable | None" = None
+        if atom_table is not None and self._use_atoms:
+            self._atom_table = atom_table
         self._atom_rows_cache: dict[Partition, object] = {}
         #: Monotone version of the atom-count binding.  The process backend
         #: keys its shared-memory publication on (engine id, atom_version),
@@ -318,7 +352,13 @@ class EvaluationEngine:
             # Baseline cost model: dense matrix, no cache, no closed forms.
             self.stats.n_full_evaluations += 1
             self.stats.pair_distances_computed += k * (k - 1) // 2
-            matrix = pairwise_matrix(self.metric, self.pmf_matrix(partitions), self.spec)
+            matrix = pairwise_matrix(
+                self.metric,
+                self.pmf_matrix(partitions),
+                self.spec,
+                kernel=self.kernel,
+                counters=self._kernel_counters,
+            )
             return average_from_matrix(matrix, self.partition_weights(partitions))
 
         key = self._cache_key(partitions)
@@ -332,6 +372,8 @@ class EvaluationEngine:
             self.pmf_matrix(partitions),
             self.spec,
             self.partition_weights(partitions),
+            kernel=self.kernel,
+            counters=self._kernel_counters,
         )
         self.stats.n_full_evaluations += 1
         self.stats.pair_distances_computed += pairs
@@ -351,6 +393,21 @@ class EvaluationEngine:
         scaling benchmark uses this to re-measure queries cold."""
         self._pmf_cache.clear()
         self._value_cache.clear()
+
+    def export_value_cache(self) -> "dict[tuple, float]":
+        """A plain-dict copy of the value cache, in LRU order (oldest first).
+
+        Keys are content-addressed — the multiset of partition-histogram
+        bytes (plus sizes under size weighting) — so entries are safe to
+        reuse in *any* engine bound to the same (bin spec, metric,
+        weighting), which is exactly what the service's cross-job cache
+        does.
+        """
+        return dict(self._value_cache)
+
+    def kernel_counters(self) -> "dict[str, int]":
+        """Plain-dict copy of the kernel-effort counters (see kernels.py)."""
+        return dict(self._kernel_counters)
 
     def union_average(
         self, group: Sequence[Partition], siblings: Sequence[Partition]
@@ -384,13 +441,24 @@ class EvaluationEngine:
         self.stats.pair_distances_full += n_pairs
         self.stats.pair_distances_computed += n_pairs
         matrix = cross_matrix(
-            self.metric, self.pmf_matrix(group), self.pmf_matrix(siblings), self.spec
+            self.metric,
+            self.pmf_matrix(group),
+            self.pmf_matrix(siblings),
+            self.spec,
+            kernel=self.kernel,
+            counters=self._kernel_counters,
         )
         return float(matrix.mean())
 
     def pairwise_matrix(self, partitions: Sequence[Partition]) -> np.ndarray:
         """Dense pairwise-distance matrix, for reporting and analysis."""
-        return pairwise_matrix(self.metric, self.pmf_matrix(list(partitions)), self.spec)
+        return pairwise_matrix(
+            self.metric,
+            self.pmf_matrix(list(partitions)),
+            self.spec,
+            kernel=self.kernel,
+            counters=self._kernel_counters,
+        )
 
     # ------------------------------------------------------------- batching
 
@@ -471,14 +539,27 @@ class EvaluationEngine:
         if self.mode == "full":
             self.stats.n_full_evaluations += 1
             self.stats.pair_distances_computed += k * (k - 1) // 2
-            matrix = pairwise_matrix(self.metric, pmfs, self.spec)
+            matrix = pairwise_matrix(
+                self.metric,
+                pmfs,
+                self.spec,
+                kernel=self.kernel,
+                counters=self._kernel_counters,
+            )
             return average_from_matrix(matrix, weights)
         cached = self._value_cache.get(key)
         if cached is not None:
             self._value_cache.move_to_end(key)
             self.stats.cache_hits += 1
             return cached
-        value, pairs = full_objective(self.metric, pmfs, self.spec, weights)
+        value, pairs = full_objective(
+            self.metric,
+            pmfs,
+            self.spec,
+            weights,
+            kernel=self.kernel,
+            counters=self._kernel_counters,
+        )
         self.stats.n_full_evaluations += 1
         self.stats.pair_distances_computed += pairs
         self._cache_insert(key, value)
@@ -582,12 +663,27 @@ class EvaluationEngine:
     # by IncrementalObjective and the backends; not part of the search API.
 
     def materialize_pairwise(self, pmfs: np.ndarray) -> np.ndarray:
-        """Dense pairwise matrix of a pmf stack (no stats side effects)."""
-        return pairwise_matrix(self.metric, pmfs, self.spec)
+        """Dense pairwise matrix of a pmf stack (no EngineStats side effects;
+        kernel-effort counters still accrue)."""
+        return pairwise_matrix(
+            self.metric,
+            pmfs,
+            self.spec,
+            kernel=self.kernel,
+            counters=self._kernel_counters,
+        )
 
     def materialize_cross(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        """Cross-distance matrix of two pmf stacks (no stats side effects)."""
-        return cross_matrix(self.metric, left, right, self.spec)
+        """Cross-distance matrix of two pmf stacks (no EngineStats side
+        effects; kernel-effort counters still accrue)."""
+        return cross_matrix(
+            self.metric,
+            left,
+            right,
+            self.spec,
+            kernel=self.kernel,
+            counters=self._kernel_counters,
+        )
 
     def record_incremental_evaluation(self, k: int, new_pairs: int) -> None:
         """Account one O(k·Δ) frontier query: ``new_pairs`` distances were
@@ -631,6 +727,7 @@ class EvaluationEngine:
             "bin_idx": self._bin_idx,
             "weighting": self.weighting,
             "atom_counts": self.atom_table.counts if self._use_atoms else None,
+            "kernel": self.kernel,
         }
 
     # ------------------------------------------------------------ lifecycle
@@ -667,6 +764,13 @@ class EvaluationEngine:
             if delta:
                 self.metrics.inc(f"engine.{key}", delta)
             self._synced_stats[key] = value
+        for key in KERNEL_COUNTER_KEYS:
+            value = self._kernel_counters.get(key, 0)
+            synced_key = f"kernel_{key}"
+            delta = value - self._synced_stats.get(synced_key, 0)
+            if delta:
+                self.metrics.inc(f"engine.{synced_key}", delta)
+            self._synced_stats[synced_key] = value
         self.metrics.set_gauge("engine.workers", self.stats.workers)
         self.metrics.set_gauge("engine.value_cache_size", len(self._value_cache))
         return self.metrics

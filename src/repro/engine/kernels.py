@@ -1,12 +1,27 @@
-"""Vectorized pairwise/cross distance kernels over histogram matrices.
+"""Pluggable pairwise/cross distance kernels over histogram matrices.
 
 The search algorithms spend essentially all of their time asking "how far
 apart are these score histograms?".  The seed code answered that one pair at
 a time through :meth:`HistogramDistance.distance` (except for the EMD
 average, which has a closed-form fast path).  This module batches the
-question: all candidate histograms of one greedy step are stacked into a
-single ``(c, bins)`` matrix and every registered metric evaluates a whole
-``(c, k)`` block of candidate-vs-frontier distances in one NumPy call.
+question — all candidate histograms of one greedy step are stacked into a
+single ``(c, bins)`` matrix and a whole ``(c, k)`` block of distances is
+produced per call — and makes the *implementation* of that block a pluggable
+**kernel backend**:
+
+``numpy`` (default)
+    The fused broadcast kernels: one vectorised NumPy expression per metric.
+``scalar``
+    The differential reference: a per-unique-pair Python loop over 1-D
+    mirrors of the fused kernels, sharing their exact dtype and order of
+    operations.  Slow, but the ground truth the parity harness compares
+    every other backend against bit-for-bit.
+``numba``
+    Optional JIT-compiled loops (pure-Python forms of the same arithmetic,
+    including a replica of NumPy's pairwise summation so reductions match
+    bit-for-bit).  Gated behind ``import numba``; an activation self-check
+    compares the compiled kernels against the ``numpy`` backend and refuses
+    to enable a backend that is not bit-identical.
 
 Two entry points:
 
@@ -15,29 +30,77 @@ Two entry points:
 * :func:`pairwise_matrix` — the dense symmetric ``(k, k)`` matrix for one
   stack of histograms.
 
-Both dispatch on the metric's registry ``name`` to a vectorized kernel and
-fall back to a scalar ``metric.distance`` loop for metrics without one
-(e.g. the LP-based ``emd-t``), so the engine works with *every* registered
-metric.  Vectorized and scalar paths agree to float round-off; the engine's
-property tests pin the agreement at 1e-12.
+Both entry points hoist unique-row deduplication: candidate stacks are full
+of repeated histograms (sibling partitions recur across candidates), so each
+*distinct* row pair is computed once and the unique-block result broadcast
+back out with ``np.ix_``.  Every output element is a pure function of its
+row pair, so dedup + scatter is bit-identical to the dense computation (the
+parity suite pins this with exact equality, and a counter-based regression
+test pins that duplicate pairs are never rescanned).  Dedup is *applied*
+only when it can pay for itself — see :data:`DEDUP_MIN_PAIRS_PER_ROW`; the
+gate is a pure function of the metric and the block shape, never of the
+kernel backend, so backends stay bit-identical, effort counters included.
+
+Metrics without a registered kernel (e.g. the LP-based ``emd-t``) fall back
+to a ``metric.distance`` loop over the same deduplicated pairs on every
+backend, so the engine works with *every* registered metric and backends
+still agree exactly.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import math
+from typing import Callable, MutableMapping
 
 import numpy as np
 
 from repro.core.histogram import HistogramSpec
+from repro.exceptions import KernelError
 from repro.metrics.base import HistogramDistance
 
 __all__ = [
+    "KERNEL_BACKENDS",
+    "DEFAULT_KERNEL",
+    "available_kernel_backends",
+    "resolve_kernel_backend",
+    "kernel_backend_status",
     "cross_matrix",
     "pairwise_matrix",
     "has_vectorized_kernel",
     "average_from_matrix",
     "full_objective",
 ]
+
+#: Registered kernel backend names, in documentation order.
+KERNEL_BACKENDS = ("numpy", "scalar", "numba")
+
+#: The backend every caller gets unless asked otherwise.
+DEFAULT_KERNEL = "numpy"
+
+#: Counter keys the entry points maintain when handed a ``counters`` mapping.
+#: ``pairs_evaluated`` counts distance computations actually performed
+#: (unique row pairs); ``pairs_served`` counts output cells delivered; the
+#: difference is the work dedup saved.
+KERNEL_COUNTER_KEYS = ("invocations", "pairs_evaluated", "pairs_served")
+
+#: Dedup profitability gate: a block is deduplicated only when it holds at
+#: least this many pairs per stacked row, i.e. ``l*r >= 64*(l + r)``.  The
+#: unique sort costs ~one row comparison per stacked row while the fused
+#: kernels cost ~one cheap vectorised cell per pair, so on skinny blocks
+#: (one updated pmf against a large frontier, a handful of candidate
+#: splits) the sort dwarfs the arithmetic it would save — measured on a
+#: ``(1, 10) x (1800, 10)`` EMD cross, ``np.unique`` alone costs ~8x the
+#: whole fused block.  Metrics without a vectorized kernel ignore the gate
+#: and always dedup: their unit of work is a per-pair Python call (an LP
+#: solve for ``emd-t``) that dwarfs the sort at any size.  The gate reads
+#: only the metric and the shapes — never the kernel backend — so all
+#: backends take the same branch and stay bit-identical, counters included.
+DEDUP_MIN_PAIRS_PER_ROW = 64
+
+
+# --------------------------------------------------------------------------
+# numpy backend: fused broadcast kernels (one vectorised call per metric)
+# --------------------------------------------------------------------------
 
 
 def _emd_cross(left: np.ndarray, right: np.ndarray, spec: HistogramSpec) -> np.ndarray:
@@ -86,9 +149,423 @@ _CROSS_KERNELS: dict[str, Callable[[np.ndarray, np.ndarray, HistogramSpec], np.n
 }
 
 
+# --------------------------------------------------------------------------
+# scalar backend: 1-D mirrors of the fused kernels (the parity reference)
+# --------------------------------------------------------------------------
+#
+# These are NOT the metrics' public ``distance`` implementations: e.g.
+# ``emd()`` computes ``cumsum(p - q)`` while the fused kernel computes
+# ``cumsum(p) - cumsum(q)``, which can differ in the last ulp.  The parity
+# contract is against the *kernel* arithmetic, so the reference mirrors the
+# fused expressions element-for-element on one pair at a time.
+
+
+def _emd_ref(p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+    return float(spec.bin_width * np.abs(np.cumsum(p) - np.cumsum(q)).sum())
+
+
+def _ks_ref(p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+    return float(np.abs(np.cumsum(p) - np.cumsum(q)).max())
+
+
+def _tv_ref(p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def _hellinger_ref(p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+    diff = np.sqrt(p) - np.sqrt(q)
+    return float(np.sqrt(0.5 * (diff**2).sum()))
+
+
+def _js_ref(p: np.ndarray, q: np.ndarray, spec: HistogramSpec) -> float:
+    m = 0.5 * (p + q)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        kl_p = np.where(p > 0, p * np.log2(np.where(p > 0, p / m, 1.0)), 0.0)
+        kl_q = np.where(q > 0, q * np.log2(np.where(q > 0, q / m, 1.0)), 0.0)
+    divergence = 0.5 * kl_p.sum() + 0.5 * kl_q.sum()
+    return float(np.sqrt(np.maximum(divergence, 0.0)))
+
+
+_REF_KERNELS: dict[str, Callable[[np.ndarray, np.ndarray, HistogramSpec], float]] = {
+    "emd": _emd_ref,
+    "ks": _ks_ref,
+    "tv": _tv_ref,
+    "hellinger": _hellinger_ref,
+    "js": _js_ref,
+}
+
+
+# --------------------------------------------------------------------------
+# numba backend: JIT-able pure-Python loops (bit-identical by construction)
+# --------------------------------------------------------------------------
+#
+# NumPy reduces ``.sum(axis=-1)`` with *pairwise summation*, not a naive
+# left-to-right loop, and the two disagree in the last ulp from ~100
+# elements.  The loop kernels therefore replicate NumPy's pairwise algorithm
+# (8-way unrolled 128-element blocks, recursive halving to a multiple of 8)
+# so their reductions are bit-identical to the fused kernels.  The functions
+# below are plain Python — importable and testable without numba — and are
+# fed to ``numba.njit`` only when the optional dependency is present.
+
+_PW_BLOCKSIZE = 128
+
+
+def _pairwise_sum(a: np.ndarray, lo: int, n: int) -> float:
+    if n < 8:
+        res = 0.0
+        for i in range(n):
+            res += a[lo + i]
+        return res
+    if n <= _PW_BLOCKSIZE:
+        r0 = a[lo]
+        r1 = a[lo + 1]
+        r2 = a[lo + 2]
+        r3 = a[lo + 3]
+        r4 = a[lo + 4]
+        r5 = a[lo + 5]
+        r6 = a[lo + 6]
+        r7 = a[lo + 7]
+        i = 8
+        while i < n - (n % 8):
+            r0 += a[lo + i]
+            r1 += a[lo + i + 1]
+            r2 += a[lo + i + 2]
+            r3 += a[lo + i + 3]
+            r4 += a[lo + i + 4]
+            r5 += a[lo + i + 5]
+            r6 += a[lo + i + 6]
+            r7 += a[lo + i + 7]
+            i += 8
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            res += a[lo + i]
+            i += 1
+        return res
+    n2 = n // 2
+    n2 -= n2 % 8
+    return _pairwise_sum(a, lo, n2) + _pairwise_sum(a, lo + n2, n - n2)
+
+
+def _row_cumsum(block: np.ndarray) -> np.ndarray:
+    out = np.empty_like(block)
+    rows, bins = block.shape
+    for i in range(rows):
+        acc = 0.0
+        for k in range(bins):
+            acc += block[i, k]
+            out[i, k] = acc
+    return out
+
+
+# Each loop kernel closes over its helpers so the numba path can rebuild the
+# same closures around *jitted* helpers without touching module globals (the
+# pure-Python forms below stay importable and testable with or without
+# numba installed).
+
+
+def _make_emd_block(pairwise_sum, row_cumsum):
+    def _emd_block(left, right, bin_width):
+        lc = row_cumsum(left)
+        rc = row_cumsum(right)
+        nl, bins = left.shape
+        nr = right.shape[0]
+        out = np.empty((nl, nr), dtype=np.float64)
+        tmp = np.empty(bins, dtype=np.float64)
+        for i in range(nl):
+            for j in range(nr):
+                for k in range(bins):
+                    tmp[k] = abs(lc[i, k] - rc[j, k])
+                out[i, j] = bin_width * pairwise_sum(tmp, 0, bins)
+        return out
+
+    return _emd_block
+
+
+def _make_ks_block(pairwise_sum, row_cumsum):
+    def _ks_block(left, right, bin_width):
+        lc = row_cumsum(left)
+        rc = row_cumsum(right)
+        nl, bins = left.shape
+        nr = right.shape[0]
+        out = np.empty((nl, nr), dtype=np.float64)
+        for i in range(nl):
+            for j in range(nr):
+                best = abs(lc[i, 0] - rc[j, 0])
+                for k in range(1, bins):
+                    d = abs(lc[i, k] - rc[j, k])
+                    if d > best:
+                        best = d
+                out[i, j] = best
+        return out
+
+    return _ks_block
+
+
+def _make_tv_block(pairwise_sum, row_cumsum):
+    def _tv_block(left, right, bin_width):
+        nl, bins = left.shape
+        nr = right.shape[0]
+        out = np.empty((nl, nr), dtype=np.float64)
+        tmp = np.empty(bins, dtype=np.float64)
+        for i in range(nl):
+            for j in range(nr):
+                for k in range(bins):
+                    tmp[k] = abs(left[i, k] - right[j, k])
+                out[i, j] = 0.5 * pairwise_sum(tmp, 0, bins)
+        return out
+
+    return _tv_block
+
+
+def _make_hellinger_block(pairwise_sum, row_cumsum):
+    def _hellinger_block(left, right, bin_width):
+        nl, bins = left.shape
+        nr = right.shape[0]
+        sl = np.empty_like(left)
+        sr = np.empty_like(right)
+        for i in range(nl):
+            for k in range(bins):
+                sl[i, k] = math.sqrt(left[i, k])
+        for j in range(nr):
+            for k in range(bins):
+                sr[j, k] = math.sqrt(right[j, k])
+        out = np.empty((nl, nr), dtype=np.float64)
+        tmp = np.empty(bins, dtype=np.float64)
+        for i in range(nl):
+            for j in range(nr):
+                for k in range(bins):
+                    d = sl[i, k] - sr[j, k]
+                    tmp[k] = d * d
+                out[i, j] = math.sqrt(0.5 * pairwise_sum(tmp, 0, bins))
+        return out
+
+    return _hellinger_block
+
+
+def _make_js_block(pairwise_sum, row_cumsum):
+    def _js_block(left, right, bin_width):
+        nl, bins = left.shape
+        nr = right.shape[0]
+        out = np.empty((nl, nr), dtype=np.float64)
+        kl_p = np.empty(bins, dtype=np.float64)
+        kl_q = np.empty(bins, dtype=np.float64)
+        for i in range(nl):
+            for j in range(nr):
+                for k in range(bins):
+                    p = left[i, k]
+                    q = right[j, k]
+                    m = 0.5 * (p + q)
+                    kl_p[k] = p * math.log2(p / m) if p > 0 else 0.0
+                    kl_q[k] = q * math.log2(q / m) if q > 0 else 0.0
+                divergence = 0.5 * pairwise_sum(kl_p, 0, bins) + 0.5 * pairwise_sum(
+                    kl_q, 0, bins
+                )
+                if not divergence > 0.0:
+                    divergence = 0.0
+                out[i, j] = math.sqrt(divergence)
+        return out
+
+    return _js_block
+
+
+_BLOCK_FACTORIES = {
+    "emd": _make_emd_block,
+    "ks": _make_ks_block,
+    "tv": _make_tv_block,
+    "hellinger": _make_hellinger_block,
+    "js": _make_js_block,
+}
+
+#: The pure-Python loop kernels (testable without numba installed).
+_PY_BLOCK_KERNELS: dict[str, Callable[[np.ndarray, np.ndarray, float], np.ndarray]] = {
+    name: factory(_pairwise_sum, _row_cumsum)
+    for name, factory in _BLOCK_FACTORIES.items()
+}
+
+#: Lazy numba activation state: ``None`` = not yet attempted, otherwise a
+#: dict with ``available`` / ``reason`` / ``kernels``.
+_NUMBA_STATE: "dict | None" = None
+
+
+def _self_check_blocks(
+    kernels: "dict[str, Callable[[np.ndarray, np.ndarray, float], np.ndarray]]",
+) -> "list[str]":
+    """Metric names whose block kernel is NOT bit-identical to numpy's.
+
+    Deterministic seeded probe covering several bin counts (crossing the
+    pairwise-summation block boundaries) plus degenerate shapes.
+    """
+    spec = HistogramSpec(bins=10)
+    failures: list[str] = []
+    rng = np.random.default_rng(20260809)
+    cases = []
+    for bins in (1, 3, 10, 100, 250):
+        left = rng.random((4, bins))
+        left /= left.sum(axis=1, keepdims=True)
+        right = rng.random((3, bins))
+        right /= right.sum(axis=1, keepdims=True)
+        cases.append((left, right))
+    one_hot = np.zeros((2, 10))
+    one_hot[0, 0] = 1.0
+    one_hot[1, 9] = 1.0
+    cases.append((one_hot, one_hot.copy()))
+    for name, kernel in kernels.items():
+        reference = _CROSS_KERNELS[name]
+        for left, right in cases:
+            expected = reference(left, right, spec)
+            got = kernel(left, right, spec.bin_width)
+            if not np.array_equal(expected, got):
+                failures.append(name)
+                break
+    return failures
+
+
+def _numba_state() -> dict:
+    """Probe-and-cache the optional numba backend (import + self-check)."""
+    global _NUMBA_STATE
+    if _NUMBA_STATE is not None:
+        return _NUMBA_STATE
+    try:
+        import numba
+    except ImportError:
+        _NUMBA_STATE = {
+            "available": False,
+            "reason": "numba is not installed",
+            "kernels": None,
+        }
+        return _NUMBA_STATE
+    try:
+        pairwise = numba.njit(cache=False)(_pairwise_sum)
+        row_cumsum = numba.njit(cache=False)(_row_cumsum)
+        compiled = {
+            name: numba.njit(cache=False)(factory(pairwise, row_cumsum))
+            for name, factory in _BLOCK_FACTORIES.items()
+        }
+        failures = _self_check_blocks(compiled)
+    except Exception as exc:  # pragma: no cover - depends on optional dep
+        _NUMBA_STATE = {
+            "available": False,
+            "reason": f"numba activation failed: {exc!r}",
+            "kernels": None,
+        }
+        return _NUMBA_STATE
+    if failures:
+        _NUMBA_STATE = {
+            "available": False,
+            "reason": (
+                "numba self-check failed (not bit-identical to numpy) for: "
+                + ", ".join(sorted(failures))
+            ),
+            "kernels": None,
+        }
+    else:
+        _NUMBA_STATE = {"available": True, "reason": "", "kernels": compiled}
+    return _NUMBA_STATE
+
+
+# --------------------------------------------------------------------------
+# backend registry and resolution
+# --------------------------------------------------------------------------
+
+
+def available_kernel_backends() -> tuple[str, ...]:
+    """Kernel backends that can actually run in this environment."""
+    names = ["numpy", "scalar"]
+    if _numba_state()["available"]:
+        names.append("numba")
+    return tuple(names)
+
+
+def kernel_backend_status() -> dict:
+    """Diagnostic map for CLI/CI notices (why numba is or is not active)."""
+    state = _numba_state()
+    return {
+        "registered": KERNEL_BACKENDS,
+        "available": available_kernel_backends(),
+        "numba": {"available": state["available"], "reason": state["reason"]},
+    }
+
+
+def resolve_kernel_backend(kernel: "str | None") -> str:
+    """Validate a kernel backend name (``None`` → the default).
+
+    Raises :class:`~repro.exceptions.KernelError` for unknown names and for
+    the numba backend when the dependency is missing or its bit-identity
+    self-check failed.
+    """
+    if kernel is None:
+        return DEFAULT_KERNEL
+    if kernel not in KERNEL_BACKENDS:
+        raise KernelError(
+            f"unknown kernel backend {kernel!r}; registered: {KERNEL_BACKENDS}"
+        )
+    if kernel == "numba":
+        state = _numba_state()
+        if not state["available"]:
+            raise KernelError(f"kernel backend 'numba' unavailable: {state['reason']}")
+    return kernel
+
+
 def has_vectorized_kernel(metric: HistogramDistance) -> bool:
-    """True when ``metric`` has a batched NumPy kernel (vs a scalar loop)."""
+    """True when ``metric`` has a batched kernel (vs a ``distance`` loop)."""
     return metric.name in _CROSS_KERNELS
+
+
+def _bump(
+    counters: "MutableMapping[str, int] | None", key: str, amount: int
+) -> None:
+    if counters is not None and amount:
+        counters[key] = counters.get(key, 0) + amount
+
+
+# --------------------------------------------------------------------------
+# entry points
+# --------------------------------------------------------------------------
+
+
+def _unique_rows(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    unique, inverse = np.unique(block, axis=0, return_inverse=True)
+    return unique, np.asarray(inverse).reshape(-1)
+
+
+def _should_dedup(metric: HistogramDistance, n_left: int, n_right: int) -> bool:
+    """Whether the unique-row sort is worth its cost for this block (see
+    :data:`DEDUP_MIN_PAIRS_PER_ROW`); pure in (metric, shapes) so every
+    kernel backend takes the same branch."""
+    if metric.name not in _CROSS_KERNELS:
+        return True
+    return n_left * n_right >= DEDUP_MIN_PAIRS_PER_ROW * (n_left + n_right)
+
+
+def _cross_block(
+    metric: HistogramDistance,
+    left_u: np.ndarray,
+    right_u: np.ndarray,
+    spec: HistogramSpec,
+    kernel: str,
+) -> "np.ndarray | None":
+    """Distance block over *unique* rows, or ``None`` for loop-fallback metrics."""
+    if metric.name not in _CROSS_KERNELS:
+        return None
+    if kernel == "numpy":
+        return _CROSS_KERNELS[metric.name](left_u, right_u, spec)
+    if kernel == "scalar":
+        ref = _REF_KERNELS[metric.name]
+        out = np.empty((left_u.shape[0], right_u.shape[0]), dtype=np.float64)
+        for i in range(left_u.shape[0]):
+            for j in range(right_u.shape[0]):
+                out[i, j] = ref(left_u[i], right_u[j], spec)
+        return out
+    if kernel == "numba":
+        state = _numba_state()
+        if not state["available"]:
+            raise KernelError(f"kernel backend 'numba' unavailable: {state['reason']}")
+        return state["kernels"][metric.name](
+            np.ascontiguousarray(left_u), np.ascontiguousarray(right_u), spec.bin_width
+        )
+    raise KernelError(
+        f"unknown kernel backend {kernel!r}; registered: {KERNEL_BACKENDS}"
+    )
 
 
 def cross_matrix(
@@ -96,51 +573,95 @@ def cross_matrix(
     left: np.ndarray,
     right: np.ndarray,
     spec: HistogramSpec,
+    *,
+    kernel: str = DEFAULT_KERNEL,
+    counters: "MutableMapping[str, int] | None" = None,
 ) -> np.ndarray:
     """``(nl, nr)`` matrix of distances between rows of ``left`` and ``right``.
 
-    One NumPy call per metric for the registered vectorized kernels; scalar
-    fallback otherwise.
+    Dedups unique rows up front (on every backend — the hoisted form of the
+    old scalar-fallback dedup) when the block is large enough to repay the
+    sort (:func:`_should_dedup`), computes the unique block with the
+    selected kernel backend, and scatters the block back out.
     """
     left = np.atleast_2d(np.asarray(left, dtype=np.float64))
     right = np.atleast_2d(np.asarray(right, dtype=np.float64))
     if left.shape[0] == 0 or right.shape[0] == 0:
         return np.zeros((left.shape[0], right.shape[0]), dtype=np.float64)
-    kernel = _CROSS_KERNELS.get(metric.name)
-    if kernel is not None:
-        return kernel(left, right, spec)
-    # Scalar fallback (metrics without a batched kernel, e.g. the LP-based
-    # emd-t): candidate stacks are full of repeated histograms — sibling
-    # partitions recur across candidates — so compute each *distinct* row
-    # pair once and broadcast the unique-block result back out.
-    left_u, left_inv = np.unique(left, axis=0, return_inverse=True)
-    right_u, right_inv = np.unique(right, axis=0, return_inverse=True)
-    out_u = np.zeros((left_u.shape[0], right_u.shape[0]), dtype=np.float64)
-    for i in range(left_u.shape[0]):
-        for j in range(right_u.shape[0]):
-            out_u[i, j] = metric.distance(left_u[i], right_u[j], spec)
+    _bump(counters, "invocations", 1)
+    _bump(counters, "pairs_served", left.shape[0] * right.shape[0])
+    dedup = _should_dedup(metric, left.shape[0], right.shape[0])
+    left_u, left_inv = _unique_rows(left) if dedup else (left, None)
+    right_u, right_inv = _unique_rows(right) if dedup else (right, None)
+    out_u = _cross_block(metric, left_u, right_u, spec, kernel)
+    if out_u is None:
+        # Metrics without a batched kernel (e.g. the LP-based emd-t): one
+        # metric.distance call per distinct row pair, identical on every
+        # backend.  (``_should_dedup`` always dedups these, so the loop
+        # only ever runs over unique rows.)
+        out_u = np.zeros((left_u.shape[0], right_u.shape[0]), dtype=np.float64)
+        for i in range(left_u.shape[0]):
+            for j in range(right_u.shape[0]):
+                out_u[i, j] = metric.distance(left_u[i], right_u[j], spec)
+    _bump(counters, "pairs_evaluated", left_u.shape[0] * right_u.shape[0])
+    if not dedup:
+        return out_u
     return out_u[np.ix_(left_inv, right_inv)]
 
 
 def pairwise_matrix(
-    metric: HistogramDistance, pmfs: np.ndarray, spec: HistogramSpec
+    metric: HistogramDistance,
+    pmfs: np.ndarray,
+    spec: HistogramSpec,
+    *,
+    kernel: str = DEFAULT_KERNEL,
+    counters: "MutableMapping[str, int] | None" = None,
 ) -> np.ndarray:
-    """Dense symmetric ``(k, k)`` distance matrix for one histogram stack."""
+    """Dense symmetric ``(k, k)`` distance matrix for one histogram stack.
+
+    Like :func:`cross_matrix`, dedups unique rows before computing (when
+    the stack is large enough to repay the sort): the old scalar path
+    rescanned duplicate atom pairs once per occurrence, which is exactly
+    the PR-4 inefficiency the hoisted dedup removes (pinned by a
+    counter-based regression test in ``tests/parity``).
+    """
     pmfs = np.atleast_2d(np.asarray(pmfs, dtype=np.float64))
     k = pmfs.shape[0]
     if k == 0:
         return np.zeros((0, 0), dtype=np.float64)
-    kernel = _CROSS_KERNELS.get(metric.name)
-    if kernel is not None:
-        out = kernel(pmfs, pmfs, spec)
+    _bump(counters, "invocations", 1)
+    _bump(counters, "pairs_served", k * k)
+    dedup = _should_dedup(metric, k, k)
+    unique, inverse = _unique_rows(pmfs) if dedup else (pmfs, None)
+    u = unique.shape[0]
+    out_u = _cross_block(metric, unique, unique, spec, kernel)
+    if out_u is not None:
+        _bump(counters, "pairs_evaluated", u * u)
         # The kernels are exactly symmetric in exact arithmetic but can
         # differ in the last ulp; symmetrise so downstream sums are stable.
-        np.fill_diagonal(out, 0.0)
-        return 0.5 * (out + out.T)
-    out = np.zeros((k, k), dtype=np.float64)
-    for i in range(k):
-        for j in range(i + 1, k):
-            out[i, j] = out[j, i] = metric.distance(pmfs[i], pmfs[j], spec)
+        # (Scatter of the symmetrised unique block == symmetrisation of the
+        # scattered dense matrix, elementwise.)
+        np.fill_diagonal(out_u, 0.0)
+        out_u = 0.5 * (out_u + out_u.T)
+        if not dedup:
+            return out_u
+        return out_u[np.ix_(inverse, inverse)]
+    counts = np.bincount(inverse, minlength=u)
+    out_u = np.zeros((u, u), dtype=np.float64)
+    evaluated = 0
+    for i in range(u):
+        # A unique row that occurs more than once pairs with itself in the
+        # dense matrix (off-diagonal duplicate cells), so its self-distance
+        # is needed; singleton rows only hit the (zeroed) diagonal.
+        if counts[i] > 1:
+            out_u[i, i] = metric.distance(unique[i], unique[i], spec)
+            evaluated += 1
+        for j in range(i + 1, u):
+            out_u[i, j] = out_u[j, i] = metric.distance(unique[i], unique[j], spec)
+            evaluated += 1
+    _bump(counters, "pairs_evaluated", evaluated)
+    out = out_u[np.ix_(inverse, inverse)]
+    np.fill_diagonal(out, 0.0)
     return out
 
 
@@ -172,6 +693,9 @@ def full_objective(
     pmfs: np.ndarray,
     spec: HistogramSpec,
     weights: np.ndarray | None = None,
+    *,
+    kernel: str = DEFAULT_KERNEL,
+    counters: "MutableMapping[str, int] | None" = None,
 ) -> tuple[float, int]:
     """Average pairwise distance of a histogram stack, computed from scratch.
 
@@ -182,6 +706,11 @@ def full_objective(
     element counts the individual pairwise distances actually computed —
     0 for metrics with a closed-form average (EMD's sorted-prefix-sum path
     never materialises a single pair).
+
+    Closed-form ``average_pairwise`` overrides are preferred on *every*
+    kernel backend, so the algorithm-level objective stays bit-identical
+    across backends by construction (the kernels only decide how the dense
+    matrices, cross blocks, and override-less averages are produced).
     """
     pmfs = np.atleast_2d(np.asarray(pmfs, dtype=np.float64))
     k = pmfs.shape[0]
@@ -194,5 +723,6 @@ def full_objective(
         return float(metric.average_pairwise(pmfs, spec, weights)), 0
     n_pairs = k * (k - 1) // 2
     if has_vectorized_kernel(metric):
-        return average_from_matrix(pairwise_matrix(metric, pmfs, spec), weights), n_pairs
+        matrix = pairwise_matrix(metric, pmfs, spec, kernel=kernel, counters=counters)
+        return average_from_matrix(matrix, weights), n_pairs
     return float(metric.average_pairwise(pmfs, spec, weights)), n_pairs

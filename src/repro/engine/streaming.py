@@ -175,6 +175,14 @@ class MutableAtomState:
             self._table_version = self.version
         return self._table
 
+    def fingerprint(self) -> str:
+        """Content fingerprint of the current atom state (the materialised
+        table's digest).  Mutations that change any count change it; two
+        states reached through different mutation orders but holding the
+        same counts share it — the content-addressing property the
+        cross-job cache relies on."""
+        return self.materialize().fingerprint()
+
 
 def proxy_population(schema, table: AtomTable) -> Population:
     """One synthetic worker per atom, carrying that atom's code tuple.
@@ -280,7 +288,9 @@ class StreamingEngine(EvaluationEngine):
             self.atom_version += 1
         self._pmf_cache.clear()
         self._atom_rows_cache.clear()
-        self.stats = EngineStats(backend=self.backend.name, workers=self.backend.workers)
+        self.stats = EngineStats(
+            backend=self.backend.name, workers=self.backend.workers, kernel=self.kernel
+        )
         self._synced_stats = {}
         self.metrics.set_gauge("engine.atoms", table.n_atoms)
 
@@ -394,6 +404,7 @@ class StreamingAuditor:
         algorithm_options: "dict | None" = None,
         metrics=None,
         tracer=None,
+        kernel: "str | None" = None,
     ) -> None:
         self.store = store
         self.algorithm = algorithm
@@ -401,6 +412,7 @@ class StreamingAuditor:
         self.weighting = weighting
         self.backend = backend
         self.workers = workers
+        self.kernel = kernel
         self.seed = seed
         self.retry_policy = retry_policy
         self.fault_config = fault_config
@@ -411,6 +423,10 @@ class StreamingAuditor:
         self.audits = 0
         self.mutations_absorbed = 0
         self._applied_seq = store.version
+        #: Optional engine value cache transplanted into the first engine
+        #: this auditor builds (see :mod:`repro.service.cache`); consumed
+        #: once, then cleared.
+        self.seed_value_cache: "dict | None" = None
         self._engine: "StreamingEngine | None" = None
         self._proxy: "Population | None" = None
         self._proxy_version = -1
@@ -445,11 +461,24 @@ class StreamingAuditor:
 
     def _engine_factory(self, population, scores, **kwargs):
         table = self.state.materialize()
+        if kwargs.get("kernel") is None and self.kernel is not None:
+            kwargs["kernel"] = self.kernel
         if self._engine is None:
+            if self.seed_value_cache is not None:
+                kwargs.setdefault("seed_value_cache", self.seed_value_cache)
+                self.seed_value_cache = None
             self._engine = StreamingEngine(population, scores, table=table, **kwargs)
         else:
             self._engine.rebind(population, scores, table)
         return self._engine
+
+    def engine_value_cache(self) -> "dict[tuple, float]":
+        """Exported objective value cache of the persistent engine (empty
+        before the first audit); safe to transplant into an engine with the
+        same spec/metric/weighting (keys are content-addressed)."""
+        if self._engine is None:
+            return {}
+        return self._engine.export_value_cache()
 
     # ----------------------------------------------------------------- audit
 
@@ -484,6 +513,7 @@ class StreamingAuditor:
             fault_config=self.fault_config,
             deadline=deadline,
             engine_factory=self._engine_factory,
+            kernel=self.kernel,
         )
         duration = time.perf_counter() - start
         engine = self._engine

@@ -51,6 +51,18 @@ class BackendError(ReproError):
     """An execution backend failed to evaluate a batch of candidates."""
 
 
+class KernelError(BackendError):
+    """A kernel backend is unknown, unavailable, or failed its self-check.
+
+    Raised when ``--engine-kernel`` names a backend that is not registered,
+    when the optional ``numba`` backend is requested but the dependency is
+    missing, or when a compiled backend's activation self-check found a
+    result that is not bit-identical to the reference ``numpy`` kernels (a
+    compiled path that cannot reproduce the reference exactly refuses to
+    run rather than silently perturbing audit results).
+    """
+
+
 class WorkerCrashError(BackendError):
     """A worker process (or injected fault) died while evaluating a chunk.
 

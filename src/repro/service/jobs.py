@@ -151,6 +151,11 @@ class AuditJob:
     min_proportion / alpha / amount:
         Strategy knobs, forwarded to
         :func:`~repro.repair.repair_ranking` (see its docstring).
+    kernel:
+        Kernel backend for the distance computations (``"numpy"`` /
+        ``"scalar"`` / ``"numba"``; ``None`` = the daemon default).
+        Bit-identical across backends, so results are unchanged whichever
+        is selected — it is a cost knob, not part of the job's identity.
     """
 
     id: str
@@ -169,6 +174,7 @@ class AuditJob:
     min_proportion: float = 0.8
     alpha: float = 0.1
     amount: float = 1.0
+    kernel: "str | None" = None
 
     def __post_init__(self) -> None:
         if not _ID_PATTERN.match(self.id):
@@ -187,6 +193,14 @@ class AuditJob:
             raise ServiceError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.n_workers is not None and self.n_workers < 1:
             raise ServiceError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.kernel is not None:
+            from repro.engine.kernels import KERNEL_BACKENDS
+
+            if self.kernel not in KERNEL_BACKENDS:
+                raise ServiceError(
+                    f"unknown kernel backend {self.kernel!r}; "
+                    f"choose from {KERNEL_BACKENDS}"
+                )
         if self.kind not in JOB_KINDS:
             raise ServiceError(
                 f"unknown job kind {self.kind!r}; choose from {JOB_KINDS}"

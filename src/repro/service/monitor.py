@@ -64,6 +64,11 @@ class MonitorSpec:
     buffer_limit: int = 4096
     deadline_seconds: "float | None" = None
     delta_series: bool = True
+    # Kernel backend for the distance computations; None = daemon default.
+    # Bit-identical across backends, and omitted from to_dict() when unset,
+    # so pre-existing spec fingerprints (which gate snapshot restore) are
+    # unchanged by its introduction.
+    kernel: "str | None" = None
 
     def __post_init__(self) -> None:
         if not self.id or not isinstance(self.id, str):
@@ -102,6 +107,14 @@ class MonitorSpec:
             raise ServiceError(
                 f"unknown weighting {self.weighting!r}; use 'uniform' or 'size'"
             )
+        if self.kernel is not None:
+            from repro.engine.kernels import KERNEL_BACKENDS
+
+            if self.kernel not in KERNEL_BACKENDS:
+                raise ServiceError(
+                    f"unknown kernel backend {self.kernel!r}; "
+                    f"choose from {KERNEL_BACKENDS}"
+                )
 
     # ------------------------------------------------------------- (de)serde
 
@@ -219,6 +232,7 @@ class MonitoredPopulation:
                 seed=self.spec.seed,
                 metrics=metrics,
                 retry_policy=retry_policy,
+                kernel=self.spec.kernel,
             )
         return self.auditor
 

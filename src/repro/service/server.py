@@ -95,6 +95,15 @@ class ServiceConfig:
         dropped).  ``None`` disables compaction.
     monitor_poll_seconds:
         Debounce-scheduler wake interval for monitored populations.
+    cache_max_bytes:
+        Byte budget of the content-addressed cross-job cache (see
+        :mod:`repro.service.cache`): repeated audits of the same tenant
+        reuse generated populations, atom tables and pair scores.
+        ``None`` or ``0`` disables caching.
+    engine_kernel:
+        Daemon-default kernel backend for distance computations
+        (``"numpy"`` / ``"scalar"`` / ``"numba"``); jobs and monitors may
+        override per spec.  Bit-identical across backends.
     """
 
     def __init__(
@@ -109,6 +118,8 @@ class ServiceConfig:
         snapshot_in: "str | Path | None" = None,
         journal_max_bytes: "int | None" = None,
         monitor_poll_seconds: float = 0.05,
+        cache_max_bytes: "int | None" = 256 * 1024 * 1024,
+        engine_kernel: "str | None" = None,
     ) -> None:
         if queue_limit < 1:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
@@ -134,6 +145,20 @@ class ServiceConfig:
         )
         self.journal_max_bytes = journal_max_bytes
         self.monitor_poll_seconds = monitor_poll_seconds
+        if cache_max_bytes is not None and cache_max_bytes < 0:
+            raise ServiceError(
+                f"cache_max_bytes must be >= 0, got {cache_max_bytes}"
+            )
+        self.cache_max_bytes = cache_max_bytes
+        if engine_kernel is not None:
+            from repro.engine.kernels import KERNEL_BACKENDS
+
+            if engine_kernel not in KERNEL_BACKENDS:
+                raise ServiceError(
+                    f"unknown kernel backend {engine_kernel!r}; "
+                    f"choose from {KERNEL_BACKENDS}"
+                )
+        self.engine_kernel = engine_kernel
 
 
 class AuditService:
@@ -171,6 +196,11 @@ class AuditService:
         self.address: "tuple[str, int] | None" = None
         self._monitors: "dict[str, MonitoredPopulation]" = {}
         self._monitor_thread: "threading.Thread | None" = None
+        from repro.service.cache import CrossJobCache
+
+        #: Content-addressed cross-job cache (in-memory only, so a crash
+        #: plus journal replay always restarts cache-cold and consistent).
+        self.cache = CrossJobCache(config.cache_max_bytes, metrics=self.metrics)
 
     # -------------------------------------------------------------- lifecycle
 
@@ -402,6 +432,11 @@ class AuditService:
                 )
             now = self._clock()
             info = monitor.apply_batch(mutations, now)
+            # The population changed: drop exactly this monitor's cached
+            # artifacts (still under its lock) so the next O(Δ) re-audit
+            # can never be seeded from the pre-mutation state.
+            if info["applied"]:
+                self.cache.invalidate_owner(f"monitor:{monitor_id}")
             record = monitor.batch_record(info, now)
             if record is not None:
                 with self._lock:
@@ -458,6 +493,7 @@ class AuditService:
         with monitor.lock:
             if monitor.unaudited <= 0:
                 return
+            self._seed_monitor(monitor)
             try:
                 with self.metrics.time("service.monitor_audit_seconds"):
                     point = monitor.run_audit(
@@ -470,9 +506,47 @@ class AuditService:
                 monitor.unaudited = 0
                 monitor.first_pending_at = None
                 return
+            self._harvest_monitor(monitor)
             self._append_series_point(monitor, point)
             self._write_snapshot(monitor)
         self._maybe_compact_journal()
+
+    def _monitor_cache_material(self, monitor: MonitoredPopulation) -> tuple:
+        # Keyed by the spec fingerprint (which pins scenario, function,
+        # metric, weighting and binning) — the value-cache entries inside
+        # the payload are themselves content-addressed pmf multisets, so
+        # they stay exact across population states; invalidation on
+        # mutation (see apply_mutations) keeps the entry's lifetime tied
+        # to the state it was harvested from anyway.
+        return ("monitor-values", monitor.spec.fingerprint())
+
+    def _seed_monitor(self, monitor: MonitoredPopulation) -> None:
+        """Transplant cached pair scores into a freshly built auditor
+        (caller holds the monitor's lock)."""
+        if not self.cache.enabled or monitor.auditor is not None:
+            return
+        hit = self.cache.get(self._monitor_cache_material(monitor))
+        if hit is not None:
+            auditor = monitor.ensure_auditor(
+                metrics=self.metrics, retry_policy=self.retry_policy
+            )
+            auditor.seed_value_cache = hit["value_cache"]
+
+    def _harvest_monitor(self, monitor: MonitoredPopulation) -> None:
+        """Donate the monitor engine's value cache after a successful audit
+        (caller holds the monitor's lock)."""
+        if not self.cache.enabled or monitor.auditor is None:
+            return
+        from repro.service.cache import value_cache_nbytes
+
+        values = monitor.auditor.engine_value_cache()
+        if values:
+            self.cache.put(
+                self._monitor_cache_material(monitor),
+                {"value_cache": values},
+                value_cache_nbytes(values),
+                owner=f"monitor:{monitor.spec.id}",
+            )
 
     def _write_snapshot(self, monitor: MonitoredPopulation) -> None:
         """Snapshot one monitor's state + series (caller holds its lock)."""
@@ -579,6 +653,7 @@ class AuditService:
                 "monitors": len(self._monitors),
                 "queue_limit": self.config.queue_limit,
                 "workers": self.config.workers,
+                "cache": self.cache.stats(),
             }
 
     def drain(self, timeout: "float | None" = None) -> bool:
@@ -669,6 +744,12 @@ class AuditService:
         repair the ranking (see :meth:`_execute_mitigate`).
         """
         from repro.engine.deadline import Deadline
+        from repro.metrics import get_metric
+        from repro.service.cache import (
+            CachingEngineFactory,
+            population_fingerprint,
+            spec_token,
+        )
         from repro.simulation.runner import run_scenario
 
         scenario = self._build_scenario(job)
@@ -677,6 +758,23 @@ class AuditService:
         )
         if job.kind == "mitigate":
             return self._execute_mitigate(job, scenario, deadline)
+        # Whole-experiment memo: the rows are a pure function of this
+        # material (per-cell seeds derive from job.seed and cell names; the
+        # kernel backend is parity-proven out of the key), so a repeat job
+        # on the same tenant replays byte-for-byte instead of re-searching.
+        result_material = (
+            "experiment",
+            job.scenario,
+            population_fingerprint(scenario.population),
+            tuple(scenario.functions),
+            (job.algorithm,),
+            get_metric(job.metric).name,
+            int(job.seed),
+            spec_token(scenario.hist_spec),
+        )
+        memo = self.cache.get(result_material)
+        if memo is not None:
+            return memo["payload"]
         experiment = run_scenario(
             scenario,
             algorithms=(job.algorithm,),
@@ -687,6 +785,10 @@ class AuditService:
             checkpoint=self.config.workdir / "checkpoints" / job.id,
             resume=True,
             deadline=deadline,
+            kernel=job.kernel or self.config.engine_kernel,
+            engine_factory=CachingEngineFactory(
+                self.cache, owner=f"scenario:{job.scenario}"
+            ),
         )
         rows = [
             {
@@ -699,11 +801,19 @@ class AuditService:
             }
             for row in experiment.rows
         ]
-        return {
+        payload = {
             "scenario": experiment.scenario,
             "rows": rows,
             "deadline_hit": any(row.deadline_hit for row in experiment.rows),
         }
+        if not payload["deadline_hit"]:  # never memoise partial results
+            self.cache.put(
+                result_material,
+                {"payload": payload},
+                len(repr(payload)) + 512,
+                owner=f"scenario:{job.scenario}",
+            )
+        return payload
 
     def _execute_mitigate(self, job: AuditJob, scenario, deadline) -> dict:
         """Audit each cell, then repair its ranking with ``job.strategy``.
@@ -718,8 +828,13 @@ class AuditService:
 
         from repro.core.algorithms import get_algorithm
         from repro.repair import repair_ranking
+        from repro.service.cache import CachingEngineFactory
         from repro.simulation.checkpoint import CheckpointStore, cell_key
         from repro.simulation.runner import _cell_seed
+
+        engine_factory = CachingEngineFactory(
+            self.cache, owner=f"scenario:{job.scenario}"
+        )
 
         fingerprint = {
             "kind": "mitigate",
@@ -759,6 +874,8 @@ class AuditService:
                 metrics=self.metrics,
                 retry_policy=self.retry_policy,
                 deadline=deadline,
+                kernel=job.kernel or self.config.engine_kernel,
+                engine_factory=engine_factory,
             )
             with self.metrics.time("service.repair_seconds"):
                 repair = repair_ranking(
@@ -799,20 +916,14 @@ class AuditService:
         }
 
     def _build_scenario(self, job: AuditJob):
-        from repro.simulation import scenarios as scenario_builders
-        from repro.simulation.config import PaperConfig
         from repro.simulation.scenarios import Scenario
 
-        if job.scenario == "figure1":
-            scenario = scenario_builders.figure1_scenario()
-        else:
-            builder = getattr(scenario_builders, f"{job.scenario}_scenario")
-            config = (
-                PaperConfig(n_workers=job.n_workers)
-                if job.n_workers is not None
-                else None
-            )
-            scenario = builder(config)
+        # Scenario generation is deterministic given (name, n_workers), so
+        # the memo is exact; function filtering stays per-job (it only
+        # wraps the shared population, never copies it).
+        scenario = self.cache.scenario(
+            job.scenario, job.n_workers, lambda: self._generate_scenario(job)
+        )
         if job.functions:
             missing = sorted(set(job.functions) - set(scenario.functions))
             if missing:
@@ -826,6 +937,20 @@ class AuditService:
                 hist_spec=scenario.hist_spec,
             )
         return scenario
+
+    def _generate_scenario(self, job: AuditJob):
+        from repro.simulation import scenarios as scenario_builders
+        from repro.simulation.config import PaperConfig
+
+        if job.scenario == "figure1":
+            return scenario_builders.figure1_scenario()
+        builder = getattr(scenario_builders, f"{job.scenario}_scenario")
+        config = (
+            PaperConfig(n_workers=job.n_workers)
+            if job.n_workers is not None
+            else None
+        )
+        return builder(config)
 
 
 # ------------------------------------------------------------------- HTTP

@@ -148,6 +148,8 @@ def run_scenario(
     checkpoint=None,
     resume: bool = False,
     deadline=None,
+    kernel: "str | None" = None,
+    engine_factory=None,
 ) -> ExperimentResult:
     """Run every algorithm on every scoring function of a scenario.
 
@@ -185,6 +187,16 @@ def run_scenario(
         Optional cooperative budget shared by every cell (see
         :mod:`repro.engine.deadline`); cells past it return flagged partial
         rows (``deadline_hit=True``) instead of running on.
+    kernel:
+        Kernel backend for the distance computations (``"numpy"`` /
+        ``"scalar"`` / ``"numba"``; ``None`` = default).  Bit-identical
+        across backends, so rows are unchanged whichever is selected.
+    engine_factory:
+        Optional engine factory forwarded to every cell's
+        :meth:`~repro.core.algorithms.base.PartitioningAlgorithm.run` —
+        the audit service passes its cross-job cache wrapper here so
+        repeated audits of the same tenant reuse atom tables and pair
+        scores.
     """
     options = algorithm_options or {}
     run_tracer = tracer if tracer is not None else NULL_TRACER
@@ -237,6 +249,8 @@ def run_scenario(
                         retry_policy=retry_policy,
                         fault_config=fault_config,
                         deadline=deadline,
+                        kernel=kernel,
+                        engine_factory=engine_factory,
                     )
                     cell_span.set(
                         unfairness=result.unfairness,

@@ -1,0 +1,144 @@
+"""Counter-pinned regression for the PR-4 dedup inefficiency.
+
+The old scalar ``cross_matrix`` fallback deduplicated unique rows but the
+pairwise loop still rescanned duplicate atom pairs — one ``metric.distance``
+call per *occurrence* rather than per *distinct* pair.  The dedup now lives
+in the kernel entry points (every backend), and these tests pin the exact
+evaluation counts so the inefficiency cannot quietly return.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import HistogramSpec
+from repro.engine.kernels import _REF_KERNELS, cross_matrix, pairwise_matrix
+from repro.metrics import get_metric
+
+SPEC = HistogramSpec(bins=6)
+
+#: The LP-based transport metric has no vectorized kernel, so it exercises
+#: the per-pair fallback loop whose call count the dedup bounds.
+FALLBACK = "emd-t"
+
+
+def _stack_with_duplicates(k: int, unique: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    base = rng.random((unique, SPEC.bins))
+    base /= base.sum(axis=1, keepdims=True)
+    rows = base[rng.integers(0, unique, size=k)]
+    # Force every distinct row to appear at least once.
+    rows[:unique] = base
+    return rows
+
+
+class _CountingMetric:
+    """Wraps a metric to count ``distance`` calls (the fallback's unit of
+    work)."""
+
+    def __init__(self, name: str):
+        self._metric = get_metric(name)
+        self.name = self._metric.name
+        self.calls = 0
+
+    def distance(self, p, q, spec):
+        self.calls += 1
+        return self._metric.distance(p, q, spec)
+
+    def __getattr__(self, attribute):
+        return getattr(self._metric, attribute)
+
+
+def test_pairwise_fallback_never_rescans_duplicate_pairs() -> None:
+    k, unique = 10, 4
+    stack = _stack_with_duplicates(k, unique, seed=3)
+    metric = _CountingMetric(FALLBACK)
+    counters: dict = {}
+    out = pairwise_matrix(metric, stack, SPEC, kernel="numpy", counters=counters)
+    # Distinct unordered pairs + one self-distance per duplicated unique row
+    # — never the naive k*(k-1)/2 = 45 rescans of duplicate pairs.
+    duplicated = sum(
+        1 for count in np.unique(stack, axis=0, return_counts=True)[1] if count > 1
+    )
+    expected = unique * (unique - 1) // 2 + duplicated
+    assert metric.calls == expected
+    assert counters["pairs_evaluated"] == expected
+    assert counters["pairs_served"] == k * k
+    assert metric.calls < k * (k - 1) // 2
+    # The scattered matrix is still the full dense answer.
+    reference = np.zeros((k, k))
+    for i in range(k):
+        for j in range(k):
+            if i != j:
+                reference[i, j] = get_metric(FALLBACK).distance(
+                    stack[i], stack[j], SPEC
+                )
+    assert np.allclose(out, out.T)
+    assert np.array_equal(np.diag(out), np.zeros(k))
+    assert np.allclose(out, reference)
+
+
+def test_cross_fallback_dedups_both_sides() -> None:
+    left = _stack_with_duplicates(8, 3, seed=5)
+    right = _stack_with_duplicates(6, 2, seed=7)
+    metric = _CountingMetric(FALLBACK)
+    counters: dict = {}
+    out = cross_matrix(metric, left, right, SPEC, kernel="numpy", counters=counters)
+    assert metric.calls == 3 * 2
+    assert counters["pairs_evaluated"] == 3 * 2
+    assert counters["pairs_served"] == 8 * 6
+    assert out.shape == (8, 6)
+
+
+@pytest.mark.parametrize("kernel", ["numpy", "scalar"])
+def test_fused_paths_also_dedup(kernel: str) -> None:
+    """The hoist covers the vectorized backends too: on stacks past the
+    profitability gate, duplicate rows never inflate ``pairs_evaluated``."""
+    k, unique = 256, 5  # k*k >= DEDUP_MIN_PAIRS_PER_ROW * 2k: gate open
+    stack = _stack_with_duplicates(k, unique, seed=11)
+    counters: dict = {}
+    pairwise_matrix(get_metric("emd"), stack, SPEC, kernel=kernel, counters=counters)
+    assert counters["pairs_evaluated"] == unique * unique
+    assert counters["pairs_served"] == k * k
+
+
+@pytest.mark.parametrize("kernel", ["numpy", "scalar"])
+def test_skinny_fused_blocks_skip_the_sort(kernel: str) -> None:
+    """Below the gate the unique sort costs more than the fused block it
+    would save (the streaming delta path's 1-row cross regression), so the
+    dense block is computed directly — on every backend, counters agree."""
+    metric = get_metric("emd")
+    stack = _stack_with_duplicates(40, 4, seed=17)
+    counters: dict = {}
+    out = cross_matrix(metric, stack[:1], stack, SPEC, kernel=kernel, counters=counters)
+    assert counters["pairs_evaluated"] == 1 * 40  # no dedup: full block
+    assert counters["pairs_served"] == 1 * 40
+    reference = np.array(
+        [[get_metric("emd").distance(stack[0], row, SPEC) for row in stack]]
+    )
+    assert np.allclose(out, reference)
+    # The fallback metric ignores the gate: a per-pair LP call dwarfs the
+    # sort at any size, so even a skinny block dedups.
+    fallback_counters: dict = {}
+    cross_matrix(
+        get_metric(FALLBACK), stack[:1], stack, SPEC,
+        kernel=kernel, counters=fallback_counters,
+    )
+    assert fallback_counters["pairs_evaluated"] == 1 * 4
+
+
+def test_dedup_scatter_matches_naive_dense() -> None:
+    """Bit-identity of the dedup'd path against a naive dense evaluation
+    (each output cell is a pure function of its row pair)."""
+    stack = _stack_with_duplicates(9, 4, seed=13)
+    metric = get_metric("emd")
+    fast = pairwise_matrix(metric, stack, SPEC, kernel="numpy")
+    reference = _REF_KERNELS["emd"]
+    naive = np.zeros((9, 9))
+    for i in range(9):
+        for j in range(9):
+            naive[i, j] = reference(stack[i], stack[j], SPEC)
+    np.fill_diagonal(naive, 0.0)
+    naive = 0.5 * (naive + naive.T)
+    assert np.array_equal(fast, naive)

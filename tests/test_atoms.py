@@ -197,26 +197,8 @@ def _run(algorithm: str, population, scores, **kwargs):
     return get_algorithm(algorithm).run(population, scores, metric="emd", rng=5, **kwargs)
 
 
-@pytest.mark.parametrize("algorithm", ["balanced", "unbalanced", "beam"])
-@pytest.mark.parametrize("weighting", ["uniform", "size"])
-def test_atom_and_member_paths_bit_identical(
-    paper_population_small, algorithm: str, weighting: str
-) -> None:
-    """Same unfairness, same partitioning, same *counters*: the atom path is
-    a different route through the same arithmetic, not a different model."""
-    scores = np.random.default_rng(11).random(paper_population_small.size)
-    atom = _run(
-        algorithm, paper_population_small, scores, weighting=weighting, use_atoms=True
-    )
-    member = _run(
-        algorithm, paper_population_small, scores, weighting=weighting, use_atoms=False
-    )
-    assert atom.unfairness == member.unfairness
-    assert atom.partitioning.canonical_key() == member.partitioning.canonical_key()
-    assert atom.n_evaluations == member.n_evaluations
-    assert atom.cache_hits == member.cache_hits
-    assert atom.n_full_evaluations == member.n_full_evaluations
-    assert atom.n_incremental_evaluations == member.n_incremental_evaluations
+# The atom-vs-member bit-identity matrix moved to
+# tests/parity/test_execution_parity.py (shared parity harness).
 
 
 def test_atom_path_disabled_in_full_mode(small_population) -> None:

@@ -273,26 +273,8 @@ def test_score_many_matches_individual_queries(small_population) -> None:
     assert batched == [engine.unfairness(c) for c in candidates]
 
 
-@pytest.mark.parametrize("algorithm", ["balanced", "unbalanced", "beam", "exhaustive"])
-def test_process_backend_bit_identical(request, algorithm) -> None:
-    # The exhaustive search space explodes on the six-attribute paper schema;
-    # run it on the three-attribute toy population instead.
-    population = request.getfixturevalue(
-        "small_population" if algorithm == "exhaustive" else "paper_population_small"
-    )
-    rng = np.random.default_rng(23)
-    scores = rng.random(population.size)
-    sequential = get_algorithm(algorithm).run(
-        population, scores, rng=0, backend="sequential"
-    )
-    pooled = get_algorithm(algorithm).run(
-        population, scores, rng=0, backend="process", workers=2
-    )
-    assert pooled.unfairness == sequential.unfairness  # bit-identical, no approx
-    assert pooled.partitioning.canonical_key() == sequential.partitioning.canonical_key()
-    assert pooled.backend == "process"
-    assert pooled.workers == 2
-    assert sequential.backend == "sequential"
+# The process-vs-sequential bit-identity matrix moved to
+# tests/parity/test_execution_parity.py (shared parity harness).
 
 
 # ------------------------------------------------------- engine integration

@@ -11,8 +11,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.algorithms.base import get_algorithm
-from repro.core.histogram import HistogramSpec
 from repro.core.partition import Partition, Partitioning
 from repro.core.population import Population
 from repro.engine.atoms import AtomTable, decode_keys, encode_codes, protected_cards
@@ -34,44 +32,9 @@ from repro.marketplace.streaming import (
     read_mutation_stream,
     write_mutation_stream,
 )
-from repro.simulation.config import PaperConfig
-from repro.simulation.scenarios import table1_scenario
-
-
-def small_store(seed: int = 0, n_workers: int = 120) -> MutablePopulation:
-    scenario = table1_scenario(PaperConfig(n_workers=n_workers, seed=seed))
-    population = scenario.population
-    scores = next(iter(scenario.functions.values()))(population)
-    return MutablePopulation.from_population(
-        population, scores, hist_spec=scenario.hist_spec
-    )
-
-
-def mutate(store: MutablePopulation, seed: int, count: int, weights=None):
-    kwargs = {} if weights is None else {"weights": weights}
-    for mutation in random_mutation_mix(
-        store, np.random.default_rng(seed), count, **kwargs
-    ):
-        store.apply(mutation)
-
-
-def batch_audit(store: MutablePopulation, algorithm="balanced", metric="emd", **kw):
-    population, scores = store.to_population()
-    return get_algorithm(algorithm).run(
-        population, scores, hist_spec=store.hist_spec, metric=metric, rng=0, **kw
-    )
-
-
-def group_table(result) -> list:
-    return sorted(
-        (tuple(sorted(p.constraints)), p.size) for p in result.partitioning
-    )
-
-
-def report_table(report) -> list:
-    return sorted(
-        zip((tuple(sorted(g)) for g in report.groups), report.group_sizes)
-    )
+# Shared with the parity harness; see tests/parity/conftest.py for the
+# single definitions of the store builders and table helpers.
+from tests.parity.conftest import batch_audit, mutate, small_store
 
 
 class TestMutablePopulationValidation:
@@ -226,41 +189,9 @@ class TestProxyPopulation:
             )
 
 
-ALGORITHMS = ("balanced", "unbalanced")
-METRICS = ("emd", "js", "tv")
-
-
 class TestStreamingBitIdentity:
-    @pytest.mark.parametrize("algorithm", ALGORITHMS)
-    @pytest.mark.parametrize("metric", METRICS)
-    def test_interleaving_then_audit_equals_fresh_batch(
-        self, algorithm: str, metric: str
-    ) -> None:
-        store = small_store(seed=1)
-        auditor = StreamingAuditor(store, algorithm=algorithm, metric=metric, seed=0)
-        try:
-            for round_seed in (21, 22, 23):
-                mutate(store, seed=round_seed, count=70)
-                report = auditor.audit()
-                result = batch_audit(store, algorithm=algorithm, metric=metric)
-                assert report.unfairness == result.unfairness
-                assert report_table(report) == group_table(result)
-                assert report.population_size == store.size
-        finally:
-            auditor.close()
-
-    def test_size_weighting_bit_identical(self) -> None:
-        store = small_store(seed=2)
-        mutate(store, seed=31, count=120)
-        auditor = StreamingAuditor(
-            store, algorithm="balanced", metric="emd", weighting="size", seed=0
-        )
-        try:
-            report = auditor.audit()
-            result = batch_audit(store, weighting="size")
-            assert report.unfairness == result.unfairness
-        finally:
-            auditor.close()
+    # The full interleaving × algorithm × metric bit-identity matrix and
+    # the size-weighting case moved to tests/parity/test_streaming_parity.py.
 
     def test_remove_all_but_a_few(self) -> None:
         store = small_store(seed=3, n_workers=60)

@@ -1,0 +1,499 @@
+"""Seeded load generator for the audit daemon: SLO curves vs offered load.
+
+Unlike ``run_bench.py``'s in-process ``service`` section (which measures
+the engine + journal under a thread pool), this harness exercises the
+**real deployment surface**: it forks ``repro.cli serve`` as a
+subprocess, submits audit jobs over HTTP through the asyncio front end
+(bulk ``POST /v1/jobs/batch``), waits for the daemon to drain, and reads
+completion latencies back out of ``GET /v1/jobs?state=DONE``.  Every
+run is fully seeded — arrival times, tenant choices, and the sprinkle of
+bad submissions in the adversarial mix all come from one
+``random.Random(seed)`` — so a load point is reproducible bit-for-bit at
+the plan level (wall-clock latencies, of course, are the measurement).
+
+Arrival mixes
+-------------
+
+``uniform``
+    Evenly spaced arrivals at the offered rate, tenants round-robin.
+    The baseline curve: no burstiness, perfectly fair offered load.
+``skewed``
+    Poisson arrivals (exponential gaps) with a zipf-ish tenant skew
+    (tenant *i* chosen with probability proportional to ``1/(i+1)^1.5``)
+    — one hot tenant dominating, the case the weighted stride scheduler
+    exists for.
+``adversarial``
+    Bursty arrivals (whole bursts land at one instant, then silence)
+    and ~10% bad submissions — duplicate ids and invalid specs — mixed
+    into the stream to price the typed-rejection path under load.
+
+Each load point gets a **fresh daemon and workdir**, so journal size and
+cache warmth never leak across points.  The emitted section::
+
+    {"daemon": {...knobs...},
+     "mixes": [{"mix": "uniform",
+                "points": [{"offered_jobs_per_second": ...,
+                            "duration_seconds": ...,
+                            "submitted": ..., "accepted": ...,
+                            "rejected": ..., "completed": ...,
+                            "jobs_per_second": ...,
+                            "latency_seconds": {"p50": ..., "p99": ...,
+                                                "max": ...}}, ...]}, ...]}
+
+is what ``run_bench.py --service-load`` embeds as ``"service_load"`` and
+what ``validate_service_load`` checks.  ``python benchmarks/load_gen.py
+--smoke`` is the CI gate: a short low-rate run that must validate and
+keep p99 under a deliberately generous bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import importlib.util
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+MIXES = ("uniform", "skewed", "adversarial")
+TENANTS = ("acme", "globex", "initech", "umbrella")
+#: Seeds are drawn from a small pool on purpose: the sweep measures the
+#: *service* path (intake, journal, scheduling, coalescing) on small
+#: audit jobs, so identical specs must actually recur — that is what
+#: lets the engine-dispatch batching and the cross-job cache engage,
+#: exactly as they would for a production tenant re-auditing one
+#: scenario under parameter sweeps.
+SEED_POOL = 4
+
+# Fraction of adversarial-mix submissions that are intentionally bad
+# (half duplicate ids, half invalid specs).
+ADVERSARIAL_BAD_FRACTION = 0.10
+
+# CI smoke bound: submit->result p99 under low offered load.  Generous on
+# purpose — it catches order-of-magnitude regressions (lost wakeups,
+# accidental polling, serialization collapse), not scheduler jitter.
+SMOKE_P99_BOUND_SECONDS = 5.0
+
+
+def _load_run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", Path(__file__).parent / "run_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# ---------------------------------------------------------------------- plans
+
+
+def build_plan(mix: str, rate: float, duration: float, rng: random.Random):
+    """Return the seeded submission plan: a list of ``(arrival, spec)``.
+
+    ``arrival`` is seconds from t0; specs are plain ``POST /v1/jobs``
+    bodies.  The plan is a pure function of ``(mix, rate, duration,
+    rng state)`` — no wall clock, no host entropy.
+    """
+    count = max(1, int(rate * duration))
+    if mix == "uniform":
+        arrivals = [i / rate for i in range(count)]
+        tenants = [TENANTS[i % len(TENANTS)] for i in range(count)]
+    elif mix == "skewed":
+        arrivals, clock = [], 0.0
+        for _ in range(count):
+            clock += rng.expovariate(rate)
+            arrivals.append(clock)
+        weights = [1.0 / (i + 1) ** 1.5 for i in range(len(TENANTS))]
+        tenants = rng.choices(TENANTS, weights=weights, k=count)
+    elif mix == "adversarial":
+        # Whole bursts land at one instant, then silence until the next
+        # burst window — the worst case for queue-depth spikes.
+        burst_every = 0.25
+        burst_size = max(1, int(rate * burst_every))
+        arrivals = [burst_every * (i // burst_size) for i in range(count)]
+        tenants = [rng.choice(TENANTS) for _ in range(count)]
+    else:
+        raise ValueError(f"unknown mix {mix!r}; expected one of {MIXES}")
+
+    plan = []
+    for i, (arrival, tenant) in enumerate(zip(arrivals, tenants)):
+        spec = {
+            "id": f"{mix}-{i:06d}",
+            "scenario": "figure1",
+            "algorithm": "balanced",
+            "seed": rng.randrange(SEED_POOL),
+            "tenant": tenant,
+        }
+        if mix == "adversarial" and rng.random() < ADVERSARIAL_BAD_FRACTION:
+            if i > 0 and rng.random() < 0.5:
+                spec["id"] = f"{mix}-{rng.randrange(i):06d}"  # duplicate
+            else:
+                spec["scenario"] = "no-such-scenario"  # invalid spec
+        plan.append((arrival, spec))
+    return plan
+
+
+# --------------------------------------------------------------------- daemon
+
+
+class Daemon:
+    """A ``repro.cli serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, workdir: str, queue_workers: int, batch_max: int):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--workdir", workdir,
+                "--host", "127.0.0.1",
+                "--port", "0",
+                "--queue-limit", "1000000",
+                "--queue-workers", str(queue_workers),
+                "--batch-max", str(batch_max),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+        )
+        line = self.proc.stdout.readline()
+        prefix = "audit service listening on http://"
+        if prefix not in line:
+            self.proc.kill()
+            raise RuntimeError(f"daemon failed to start: {line!r}")
+        address = line.split(prefix, 1)[1].split()[0].rstrip("/")
+        self.host, port = address.rsplit(":", 1)
+        self.port = int(port)
+
+    def connect(self) -> http.client.HTTPConnection:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=60)
+        conn.connect()
+        # The submit loop is many small request/response round trips;
+        # don't let Nagle add 40ms delayed-ACK stalls to each.
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def request(self, conn, method: str, path: str, payload=None):
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+        self.proc.stdout.close()
+
+
+# ----------------------------------------------------------------- load point
+
+
+def _submit_worker(daemon, jobs, t0, bulk_size, totals, lock):
+    """Replay one thread's slice of the plan over a persistent connection.
+
+    Consecutive due jobs are coalesced into ``POST /v1/jobs/batch`` bulks
+    of up to ``bulk_size`` — the amortization that lets one box clear
+    thousands of submissions per second through the HTTP surface.
+    """
+    conn = daemon.connect()
+    accepted = rejected = 0
+    try:
+        i = 0
+        while i < len(jobs):
+            now = time.monotonic() - t0
+            due = jobs[i][0] - now
+            if due > 0:
+                time.sleep(due)
+            bulk = [jobs[i][1]]
+            i += 1
+            # Bulk up everything already due (never future arrivals).
+            now = time.monotonic() - t0
+            while (
+                i < len(jobs)
+                and len(bulk) < bulk_size
+                and jobs[i][0] <= now
+            ):
+                bulk.append(jobs[i][1])
+                i += 1
+            status, payload = daemon.request(
+                conn, "POST", "/v1/jobs/batch", {"jobs": bulk}
+            )
+            if status == 202:
+                accepted += payload["accepted"]
+                rejected += payload["rejected"]
+            else:
+                rejected += len(bulk)
+    finally:
+        conn.close()
+    with lock:
+        totals["accepted"] += accepted
+        totals["rejected"] += rejected
+
+
+def run_point(
+    mix: str,
+    rate: float,
+    duration: float,
+    seed: int,
+    connections: int = 8,
+    bulk_size: int = 16,
+    queue_workers: int = 2,
+    batch_max: int = 32,
+    drain_timeout: float = 600.0,
+) -> dict:
+    """Run one (mix, offered rate) load point against a fresh daemon."""
+    rng = random.Random(f"{seed}:{mix}:{rate:g}")
+    plan = build_plan(mix, rate, duration, rng)
+    with tempfile.TemporaryDirectory(prefix="load-gen-") as workdir:
+        daemon = Daemon(workdir, queue_workers, batch_max)
+        try:
+            # Round-robin the plan across submitter threads; each slice
+            # stays in arrival order.
+            slices = [plan[k::connections] for k in range(connections)]
+            totals = {"accepted": 0, "rejected": 0}
+            lock = threading.Lock()
+            t0 = time.monotonic()
+            threads = [
+                threading.Thread(
+                    target=_submit_worker,
+                    args=(daemon, part, t0, bulk_size, totals, lock),
+                )
+                for part in slices
+                if part
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            # Drain: the daemon owns completion; poll health until idle.
+            conn = daemon.connect()
+            deadline = time.monotonic() + drain_timeout
+            while True:
+                _, health = daemon.request(conn, "GET", "/v1/healthz")
+                if health["queued"] == 0 and health["running"] == 0:
+                    break
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"{mix}@{rate}: drain timed out with "
+                        f"{health['queued']} queued / {health['running']} running"
+                    )
+                time.sleep(0.05)
+
+            _, listing = daemon.request(
+                conn, "GET", f"/v1/jobs?state=DONE&limit={len(plan)}"
+            )
+            conn.close()
+        finally:
+            daemon.stop()
+
+    done = listing["jobs"]
+    if not done:
+        raise RuntimeError(f"{mix}@{rate}: no jobs completed")
+    latencies = sorted(job["updated_at"] - job["submitted_at"] for job in done)
+    first_in = min(job["submitted_at"] for job in done)
+    last_out = max(job["updated_at"] for job in done)
+    span = max(last_out - first_in, 1e-9)
+    return {
+        "mix": mix,
+        "offered_jobs_per_second": float(rate),
+        "duration_seconds": float(duration),
+        "submitted": len(plan),
+        "accepted": int(totals["accepted"]),
+        "rejected": int(totals["rejected"]),
+        "completed": len(done),
+        "jobs_per_second": len(done) / span,
+        "latency_seconds": {
+            "p50": latencies[int(0.50 * (len(latencies) - 1))],
+            "p99": latencies[int(0.99 * (len(latencies) - 1))],
+            "max": latencies[-1],
+        },
+    }
+
+
+def run_load_suite(
+    mixes=("uniform", "skewed", "adversarial"),
+    rates=(500.0, 1500.0, 3000.0),
+    duration: float = 8.0,
+    seed: int = 42,
+    connections: int = 8,
+    bulk_size: int = 16,
+    queue_workers: int = 2,
+    batch_max: int = 32,
+) -> dict:
+    """Sweep the offered-load grid and return the ``service_load`` section."""
+    sections = []
+    for mix in mixes:
+        points = []
+        for rate in rates:
+            print(
+                f"[service_load] {mix} @ {rate:g} jobs/s offered "
+                f"for {duration:g}s ...",
+                flush=True,
+            )
+            point = run_point(
+                mix,
+                rate,
+                duration,
+                seed,
+                connections=connections,
+                bulk_size=bulk_size,
+                queue_workers=queue_workers,
+                batch_max=batch_max,
+            )
+            print(
+                f"    {point['jobs_per_second']:.0f} jobs/s sustained, "
+                f"p50 {point['latency_seconds']['p50'] * 1000:.0f}ms, "
+                f"p99 {point['latency_seconds']['p99'] * 1000:.0f}ms "
+                f"({point['completed']}/{point['submitted']} completed, "
+                f"{point['rejected']} rejected)",
+                flush=True,
+            )
+            point.pop("mix")
+            points.append(point)
+        sections.append({"mix": mix, "points": points})
+    return {
+        "daemon": {
+            "queue_workers": queue_workers,
+            "batch_max": batch_max,
+            "bulk_size": bulk_size,
+            "connections": connections,
+        },
+        "mixes": sections,
+    }
+
+
+# ------------------------------------------------------------------------ CLI
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mix",
+        action="append",
+        choices=MIXES,
+        help="arrival mix to run (repeatable; default: all three)",
+    )
+    parser.add_argument(
+        "--rate",
+        action="append",
+        type=float,
+        help="offered jobs/sec load point (repeatable; default: 500 1500 3000)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=8.0,
+        help="seconds of offered load per point (default: 8)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=8,
+        help="persistent submitter connections (default: 8)",
+    )
+    parser.add_argument(
+        "--bulk-size",
+        type=int,
+        default=16,
+        help="max jobs per POST /v1/jobs/batch (default: 16)",
+    )
+    parser.add_argument(
+        "--queue-workers",
+        type=int,
+        default=2,
+        help="daemon worker threads (default: 2)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        help="daemon engine-dispatch coalescing limit (default: 32)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the service_load section to this JSON file",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: one short low-rate point per mix (uniform + skewed), "
+        "validate the section schema, and fail unless p99 "
+        f"< {SMOKE_P99_BOUND_SECONDS:g}s",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        mixes = tuple(args.mix) if args.mix else ("uniform", "skewed")
+        rates = tuple(args.rate) if args.rate else (100.0,)
+        duration = min(args.duration, 4.0)
+    else:
+        mixes = tuple(args.mix) if args.mix else MIXES
+        rates = tuple(args.rate) if args.rate else (500.0, 1500.0, 3000.0)
+        duration = args.duration
+
+    section = run_load_suite(
+        mixes=mixes,
+        rates=rates,
+        duration=duration,
+        seed=args.seed,
+        connections=args.connections,
+        bulk_size=args.bulk_size,
+        queue_workers=args.queue_workers,
+        batch_max=args.batch_max,
+    )
+
+    run_bench = _load_run_bench()
+    try:
+        run_bench.validate_service_load(section)
+    except ValueError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print("service_load section validates against the bench schema")
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(section, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.smoke:
+        failures = []
+        for mix_section in section["mixes"]:
+            for point in mix_section["points"]:
+                p99 = point["latency_seconds"]["p99"]
+                if p99 >= SMOKE_P99_BOUND_SECONDS:
+                    failures.append(
+                        f"{mix_section['mix']}@{point['offered_jobs_per_second']:g}: "
+                        f"p99 {p99:.2f}s breaches the "
+                        f"{SMOKE_P99_BOUND_SECONDS:g}s smoke bound"
+                    )
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"smoke: all p99s under {SMOKE_P99_BOUND_SECONDS:g}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

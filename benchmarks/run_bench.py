@@ -63,7 +63,9 @@ drift fails the run instead of poisoning the trajectory.
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
+import os
 import platform
 import statistics
 import sys
@@ -86,6 +88,11 @@ from repro.simulation.scenarios import table1_scenario, table2_scenario  # noqa:
 BENCH_SCHEMA = "repro.bench/v1"
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 BACKENDS = ("sequential", "process")
+#: Arrival mixes of the ``--service-load`` SLO sweep (benchmarks/load_gen.py).
+LOAD_MIXES = ("uniform", "skewed", "adversarial")
+#: Offered jobs/sec grid of the service-load sweep (full / --quick).
+LOAD_RATES = (500.0, 1500.0, 3000.0)
+LOAD_RATES_QUICK = (100.0, 300.0, 600.0)
 #: One fixed scoring function per scenario keeps the suite comparable
 #: across PRs; f4 exercises every protected attribute's weight draw.
 BENCH_FUNCTION = "f4"
@@ -710,6 +717,27 @@ def run_service_bench(queue_depth: int = 8, workers: int = 2) -> dict:
     }
 
 
+def run_service_load(quick: bool) -> dict:
+    """The SLO-curve sweep: the **real daemon subprocess** under seeded
+    offered load at several rates and arrival mixes.
+
+    Delegates to :mod:`benchmarks.load_gen` (which forks ``repro.cli
+    serve`` per load point and submits over HTTP through the asyncio
+    front end) and returns its ``service_load`` section — latency
+    percentiles and sustained jobs/sec vs offered load.
+    """
+    spec = importlib.util.spec_from_file_location(
+        "load_gen", Path(__file__).resolve().parent / "load_gen.py"
+    )
+    load_gen = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(load_gen)
+    if quick:
+        return load_gen.run_load_suite(
+            mixes=LOAD_MIXES, rates=LOAD_RATES_QUICK, duration=3.0
+        )
+    return load_gen.run_load_suite(mixes=LOAD_MIXES, rates=LOAD_RATES)
+
+
 def run_mitigation(quick: bool) -> dict:
     """The repair-strategy sweep: one audited ranking per scenario, every
     registered strategy applied to its worst partitioning.
@@ -799,6 +827,68 @@ def mitigation_failures(mitigation: dict) -> list[str]:
     return failures
 
 
+def validate_service_load(section: dict) -> None:
+    """Raise ``ValueError`` unless ``section`` is a well-formed
+    ``service_load`` bench section (see ``benchmarks/load_gen.py``)."""
+
+    def fail(message: str) -> None:
+        raise ValueError(f"invalid service_load section: {message}")
+
+    if not isinstance(section, dict):
+        fail("must be a dict")
+    daemon = section.get("daemon")
+    if not isinstance(daemon, dict):
+        fail("daemon must be a dict")
+    for key in ("queue_workers", "batch_max", "bulk_size", "connections"):
+        value = daemon.get(key)
+        if not isinstance(value, int) or value < 1:
+            fail(f"daemon.{key} must be a positive int")
+    mixes = section.get("mixes")
+    if not isinstance(mixes, list) or not mixes:
+        fail("mixes must be a non-empty list")
+    for m, entry in enumerate(mixes):
+        if not isinstance(entry, dict):
+            fail(f"mixes[{m}] must be a dict")
+        if entry.get("mix") not in LOAD_MIXES:
+            fail(f"mixes[{m}].mix {entry.get('mix')!r} not in {LOAD_MIXES}")
+        points = entry.get("points")
+        if not isinstance(points, list) or not points:
+            fail(f"mixes[{m}].points must be a non-empty list")
+        for p, point in enumerate(points):
+            where = f"mixes[{m}].points[{p}]"
+            for key, kind in (
+                ("offered_jobs_per_second", float),
+                ("duration_seconds", float),
+                ("submitted", int),
+                ("accepted", int),
+                ("rejected", int),
+                ("completed", int),
+                ("jobs_per_second", float),
+                ("latency_seconds", dict),
+            ):
+                if not isinstance(point.get(key), kind):
+                    fail(f"{where}.{key} must be {kind.__name__}")
+            if point["offered_jobs_per_second"] <= 0:
+                fail(f"{where}.offered_jobs_per_second must be positive")
+            if point["duration_seconds"] <= 0:
+                fail(f"{where}.duration_seconds must be positive")
+            if point["submitted"] < 1 or point["jobs_per_second"] <= 0:
+                fail(f"{where} throughput fields must be positive")
+            if not (
+                0 <= point["completed"] <= point["accepted"] <= point["submitted"]
+            ):
+                fail(f"{where}: completed <= accepted <= submitted violated")
+            latency = point["latency_seconds"]
+            for key in ("p50", "p99", "max"):
+                value = latency.get(key)
+                if not isinstance(value, float) or value < 0:
+                    fail(f"{where}.latency_seconds.{key} must be a "
+                         "non-negative float")
+            if not latency["p50"] <= latency["p99"] <= latency["max"]:
+                fail(f"{where}: latency percentiles must be ordered "
+                     "p50 <= p99 <= max")
+
+
 def validate_bench_payload(payload: dict) -> None:
     """Raise ``ValueError`` unless ``payload`` is a well-formed v1 bench."""
 
@@ -810,6 +900,17 @@ def validate_bench_payload(payload: dict) -> None:
     for key in ("generated_at", "mode", "host", "cases", "overhead"):
         if key not in payload:
             fail(f"missing key {key!r}")
+    host = payload["host"]
+    if not isinstance(host, dict):
+        fail("host must be a dict")
+    for key in ("python", "platform"):
+        if not isinstance(host.get(key), str) or not host[key]:
+            fail(f"host.{key} must be a non-empty string")
+    # cpu_count is validated when present; payloads committed before it
+    # existed stay valid.
+    if "cpu_count" in host:
+        if not isinstance(host["cpu_count"], int) or host["cpu_count"] < 1:
+            fail("host.cpu_count must be a positive int")
     if not isinstance(payload["cases"], list) or not payload["cases"]:
         fail("cases must be a non-empty list")
     for index, case in enumerate(payload["cases"]):
@@ -872,6 +973,11 @@ def validate_bench_payload(payload: dict) -> None:
             value = service["latency_seconds"].get(key)
             if not isinstance(value, float) or value < 0:
                 fail(f"service.latency_seconds.{key} must be a non-negative float")
+    if "service_load" in payload:
+        try:
+            validate_service_load(payload["service_load"])
+        except ValueError as exc:
+            fail(str(exc))
     if "streaming" in payload:
         streaming = payload["streaming"]
         if not isinstance(streaming, dict):
@@ -1061,6 +1167,7 @@ def run_suite(
     streaming: bool = False,
     mitigation: bool = False,
     kernels: bool = False,
+    service_load: bool = False,
 ) -> dict:
     """Execute the fixed suite and return the (validated) payload."""
     cases = []
@@ -1092,6 +1199,7 @@ def run_suite(
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
         },
         "cases": cases,
         "overhead": overhead,
@@ -1105,6 +1213,8 @@ def run_suite(
         payload["mitigation"] = run_mitigation(quick)
     if kernels:
         payload["kernels"] = run_kernels(quick, repeats)
+    if service_load:
+        payload["service_load"] = run_service_load(quick)
     validate_bench_payload(payload)
     return payload
 
@@ -1167,6 +1277,13 @@ def main(argv=None) -> int:
         f">={KERNEL_CACHE_SPEEDUP_QUICK}x in --quick (implies --kernels)",
     )
     parser.add_argument(
+        "--service-load",
+        action="store_true",
+        help="also run the daemon SLO-curve load sweep (benchmarks/load_gen.py: "
+        f"offered rates {LOAD_RATES_QUICK} quick / {LOAD_RATES} full jobs/s "
+        f"across the {LOAD_MIXES} arrival mixes, real serve subprocess)",
+    )
+    parser.add_argument(
         "--mitigation",
         action="store_true",
         help="also run the repair-strategy sweep (every registered strategy "
@@ -1193,6 +1310,7 @@ def main(argv=None) -> int:
         streaming=streaming,
         mitigation=mitigation,
         kernels=kernels,
+        service_load=args.service_load,
     )
 
     if args.out:
@@ -1217,6 +1335,21 @@ def main(argv=None) -> int:
         f"({overhead['spans_per_audit']} span sites x "
         f"{overhead['noop_span_ns']:.0f}ns)"
     )
+    if "service_load" in payload:
+        best = max(
+            (
+                point
+                for entry in payload["service_load"]["mixes"]
+                for point in entry["points"]
+            ),
+            key=lambda point: point["jobs_per_second"],
+        )
+        print(
+            f"service_load: peak {best['jobs_per_second']:.0f} jobs/s sustained "
+            f"through the HTTP front end "
+            f"(at {best['offered_jobs_per_second']:g} jobs/s offered, "
+            f"p99 {best['latency_seconds']['p99'] * 1000:.0f}ms)"
+        )
     if "scaling" in payload:
         population, speedup = scaling_speedup(payload["scaling"])
         print(

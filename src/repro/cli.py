@@ -622,6 +622,50 @@ def build_parser() -> argparse.ArgumentParser:
         "(reuses populations, atom tables and pair scores across jobs; "
         "0 disables it; default 256 MiB)",
     )
+    serve.add_argument(
+        "--tenant-weight",
+        dest="tenant_weights",
+        action="append",
+        default=None,
+        metavar="TENANT=WEIGHT",
+        help="dispatch weight for one tenant in the weighted fair "
+        "scheduler (repeatable; unlisted tenants weigh 1.0)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        dest="rate_limit",
+        type=_positive_float,
+        default=None,
+        metavar="JOBS_PER_SECOND",
+        help="per-tenant sustained submission rate; excess submissions "
+        "are rejected with the typed rate_limited reason (HTTP 429)",
+    )
+    serve.add_argument(
+        "--rate-limit-burst",
+        dest="rate_limit_burst",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="token-bucket burst size (default: ceil of --rate-limit)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        dest="batch_max",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="coalesce up to N queued jobs with identical specs (up to "
+        "id/priority/tenant) into one engine dispatch; 1 disables batching",
+    )
+    serve.add_argument(
+        "--shard-workers",
+        dest="shard_workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="fan each job's engine work out across N worker processes "
+        "by atom-range (bit-identical to sequential; default: in-process)",
+    )
     _add_engine_arguments(serve)
 
     submit = subparsers.add_parser(
@@ -662,6 +706,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--seed", type=int, default=0, help="job seed")
     submit.add_argument(
         "--priority", type=int, default=0, help="smaller runs first among queued jobs"
+    )
+    submit.add_argument(
+        "--tenant",
+        default=None,
+        help="fair-share scheduling bucket (default: 'default')",
     )
     submit.add_argument(
         "--deadline",
@@ -720,6 +769,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=["audit", "mitigate"],
         help="only list jobs of this kind",
+    )
+    jobs.add_argument(
+        "--state",
+        default=None,
+        choices=["PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED", "QUARANTINED"],
+        help="only list jobs in this state",
+    )
+    jobs.add_argument(
+        "--tenant",
+        default=None,
+        help="only list jobs of this tenant",
+    )
+    jobs.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="keep only the N most recently submitted matches "
+        "(server-side when querying a daemon)",
     )
 
     verify_snapshot = subparsers.add_parser(
@@ -1116,6 +1184,25 @@ def _command_serve(args: argparse.Namespace) -> int:
     if getattr(args, "log_level", None):
         setup_logging(args.log_level)
     retry_policy, _ = _resilience(args)
+    tenant_weights = None
+    if args.tenant_weights:
+        tenant_weights = {}
+        for spec in args.tenant_weights:
+            name, sep, weight = spec.partition("=")
+            if not sep or not name:
+                print(
+                    f"--tenant-weight expects TENANT=WEIGHT, got {spec!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                tenant_weights[name] = float(weight)
+            except ValueError:
+                print(
+                    f"--tenant-weight weight must be a number, got {weight!r}",
+                    file=sys.stderr,
+                )
+                return 2
     if args.snapshot_out is None:
         snapshot_dir = ""  # ServiceConfig default: WORKDIR/snapshots
     elif args.snapshot_out.lower() == "none":
@@ -1134,6 +1221,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             journal_max_bytes=args.journal_max_bytes,
             cache_max_bytes=args.cache_max_bytes,
             engine_kernel=args.engine_kernel,
+            tenant_weights=tenant_weights,
+            rate_limit=args.rate_limit,
+            rate_limit_burst=args.rate_limit_burst,
+            batch_max=args.batch_max,
+            shard_workers=args.shard_workers,
         ),
         retry_policy=retry_policy,
     )
@@ -1181,6 +1273,8 @@ def _command_submit(args: argparse.Namespace) -> int:
         payload["amount"] = args.amount
         if args.top_k is not None:
             payload["top_k"] = args.top_k
+    if args.tenant is not None:
+        payload["tenant"] = args.tenant
     if args.functions:
         payload["functions"] = args.functions
     if args.deadline is not None:
@@ -1224,11 +1318,33 @@ def _command_jobs(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     if args.url:
+        from urllib.parse import urlencode
+
+        # Server-side filtering keeps the listing cheap on long-running
+        # daemons with thousands of journaled jobs.
+        params = {
+            key: value
+            for key, value in (
+                ("state", args.state),
+                ("kind", args.kind),
+                ("tenant", args.tenant),
+                ("limit", args.limit),
+            )
+            if value is not None
+        }
+        url = args.url.rstrip("/") + "/v1/jobs"
+        if params:
+            url += "?" + urlencode(params)
         try:
-            with urllib.request.urlopen(
-                args.url.rstrip("/") + "/v1/jobs", timeout=30
-            ) as response:
+            with urllib.request.urlopen(url, timeout=30) as response:
                 jobs = json.load(response)["jobs"]
+        except urllib.error.HTTPError as exc:
+            try:
+                envelope = json.load(exc).get("error", {})
+            except json.JSONDecodeError:
+                envelope = {"message": exc.reason}
+            print(f"listing rejected: {envelope.get('message')}", file=sys.stderr)
+            return 2
         except urllib.error.URLError as exc:
             print(f"cannot reach daemon at {args.url}: {exc.reason}", file=sys.stderr)
             return 2
@@ -1244,6 +1360,12 @@ def _command_jobs(args: argparse.Namespace) -> int:
             return 2
     if args.kind:
         jobs = [job for job in jobs if job.get("kind", "audit") == args.kind]
+    if args.state:
+        jobs = [job for job in jobs if job["state"] == args.state]
+    if args.tenant:
+        jobs = [job for job in jobs if job.get("tenant", "default") == args.tenant]
+    if args.limit is not None and len(jobs) > args.limit:
+        jobs = jobs[-args.limit:]
     if not jobs:
         print("no jobs")
         return 0

@@ -13,6 +13,7 @@ from repro.engine.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SequentialBackend,
+    ShardedBackend,
     available_backends,
     get_backend,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "ExecutionBackend",
     "SequentialBackend",
     "ProcessPoolBackend",
+    "ShardedBackend",
     "available_backends",
     "get_backend",
     "RetryPolicy",

@@ -66,6 +66,7 @@ __all__ = [
     "ExecutionBackend",
     "SequentialBackend",
     "ProcessPoolBackend",
+    "ShardedBackend",
     "available_backends",
     "get_backend",
 ]
@@ -196,7 +197,10 @@ def _score_wire_tasks(
     bit-identical values.  An ``("a", rows)`` entry is an int64 row-sum
     over the atom count matrix; an ``("m", members)`` entry is the legacy
     ``bincount`` over member indices — both divide the same integer counts
-    by the same integer size, so the pmfs match bit for bit.
+    by the same integer size, so the pmfs match bit for bit.  An
+    ``("h", counts, size)`` entry is a pre-merged int64 histogram (the
+    sharded backend's shard-sum output): the identical counts divided by
+    the identical size, so it too lands on the same pmf bytes.
     """
     from repro.engine.kernels import DEFAULT_KERNEL, full_objective
 
@@ -209,8 +213,12 @@ def _score_wire_tasks(
             continue
         pmfs = np.empty((len(entries), spec.bins), dtype=np.float64)
         sizes: list[int] = []
-        for i, (kind, payload) in enumerate(entries):
-            if kind == "a":
+        for i, entry in enumerate(entries):
+            kind, payload = entry[0], entry[1]
+            if kind == "h":
+                counts = payload
+                size = int(entry[2])
+            elif kind == "a":
                 counts = atom_counts[payload].sum(axis=0)
                 size = int(counts.sum())
             else:
@@ -249,6 +257,45 @@ def _score_chunk(
     ):
         values = faults.corrupt_values(values, task_key)
     return values
+
+
+def _sum_wire_ranges(
+    ranges: "list[tuple]",
+) -> "list[np.ndarray]":  # pragma: no cover - runs in workers
+    """Partial int64 histograms of one chunk of shard ranges.
+
+    Each range is an ``("a", rows_slice)`` / ``("m", member_slice)`` entry
+    exactly as in :func:`_score_wire_tasks`; the returned count vectors are
+    the same integer sums that routine would compute for the slice, so
+    merging contiguous slices back in shard order reproduces the unsharded
+    histogram bit for bit (int64 addition is exact).
+    """
+    return _partial_histograms(
+        _WORKER_STATE["spec"],
+        _WORKER_STATE["bin_idx"],
+        _WORKER_STATE.get("atom_counts"),
+        ranges,
+    )
+
+
+def _partial_histograms(
+    spec,
+    bin_idx: "np.ndarray | None",
+    atom_counts: "np.ndarray | None",
+    ranges: "list[tuple]",
+) -> "list[np.ndarray]":
+    """Int64 count vector of every ``("a"|"m", slice)`` range, in order.
+
+    Shared by pool workers and the parent's local fallback so a shard
+    computed on either side carries identical integers.
+    """
+    out: "list[np.ndarray]" = []
+    for kind, payload in ranges:
+        if kind == "a":
+            out.append(atom_counts[payload].sum(axis=0))
+        else:
+            out.append(spec.histogram_from_bin_indices(bin_idx[payload]))
+    return out
 
 
 class _ChunkTask:
@@ -654,9 +701,152 @@ class ProcessPoolBackend(ExecutionBackend):
         self._segments = []
 
 
+class ShardedBackend(ProcessPoolBackend):
+    """Split each *candidate's histograms* across worker processes by
+    atom-range and merge deterministically.
+
+    Where :class:`ProcessPoolBackend` parallelises across candidates (one
+    chunk of whole tasks per worker), this backend parallelises *inside*
+    large candidates: every ``("a", rows)`` / ``("m", members)`` wire entry
+    with at least ``shard_min_rows`` rows is cut into up to ``workers``
+    contiguous range shards, the pool computes each shard's partial int64
+    histogram against the shared-memory count cube, and the parent merges
+    the partials back **in shard order** before scoring the merged
+    ``("h", counts, size)`` entries through the exact
+    :func:`_score_wire_tasks` arithmetic.
+
+    Bit-identity argument (pinned by ``tests/parity/test_sharded_parity.py``):
+    the unsharded histogram is ``atom_counts[rows].sum(axis=0)`` — an exact
+    int64 sum, so partial sums over contiguous slices re-added in slice
+    order produce the *same integers*; the pmf is those integers divided by
+    the same integer size, hence the same float64 bytes; and
+    ``full_objective`` then sees inputs identical to the sequential path.
+    Any pool failure degrades a shard (or the whole batch) to the identical
+    local computation, so results never depend on where shards ran.
+
+    Entries below ``shard_min_rows`` are summed locally — shipping a dozen
+    atom ids to another process costs more than the row-sum itself.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        workers: "int | None" = None,
+        shard_min_rows: int = 512,
+        chunk_size: "int | None" = None,
+        policy: "RetryPolicy | None" = None,
+        faults: "FaultConfig | None" = None,
+    ) -> None:
+        super().__init__(workers, chunk_size=chunk_size, policy=policy, faults=faults)
+        if shard_min_rows < 2:
+            raise PartitioningError(
+                f"shard_min_rows must be >= 2, got {shard_min_rows}"
+            )
+        self.shard_min_rows = shard_min_rows
+
+    def _score_wire_batch(
+        self, engine: "EvaluationEngine", tasks: "list[list[tuple]]"
+    ) -> list[float]:
+        metrics = engine.metrics
+        self._batch_counter += 1
+        merged = self._merge_sharded(engine, tasks)
+        values = self._score_locally(engine, merged)
+        metrics.inc("backend.batches")
+        metrics.inc("backend.candidates", len(tasks))
+        engine.record_external_evaluations(tasks)
+        return values
+
+    def _merge_sharded(
+        self, engine: "EvaluationEngine", tasks: "list[list[tuple]]"
+    ) -> "list[list[tuple]]":
+        """Tasks with every large entry replaced by its merged histogram."""
+        out = [list(task) for task in tasks]
+        plan: "list[tuple[int, int, int, int, int]]" = []
+        shards: "list[tuple]" = []
+        for ti, task in enumerate(out):
+            for ei, entry in enumerate(task):
+                kind, payload = entry[0], entry[1]
+                if kind not in ("a", "m"):
+                    continue
+                n_rows = int(payload.shape[0])
+                if n_rows < self.shard_min_rows:
+                    continue
+                n_shards = min(self.workers, n_rows // (self.shard_min_rows // 2))
+                if n_shards < 2:
+                    continue
+                start = len(shards)
+                shards.extend(
+                    (kind, piece) for piece in np.array_split(payload, n_shards)
+                )
+                plan.append((ti, ei, start, n_shards, n_rows))
+        if not plan or self._degraded:
+            return out
+        partials = self._partials(engine, shards)
+        engine.metrics.inc("engine.shards_dispatched", len(shards))
+        for ti, ei, start, n_shards, n_rows in plan:
+            counts = partials[start].copy()
+            for j in range(1, n_shards):  # merge in shard order: exact int64
+                counts += partials[start + j]
+            size = (
+                int(counts.sum()) if out[ti][ei][0] == "a" else n_rows
+            )
+            out[ti][ei] = ("h", counts, size)
+        return out
+
+    def _partials(
+        self, engine: "EvaluationEngine", shards: "list[tuple]"
+    ) -> "list[np.ndarray]":
+        """Every shard's partial histogram, via the pool when possible.
+
+        Failed or irrecoverable chunks fall back to the parent's identical
+        local sum, so a broken pool changes *where* integers are added,
+        never which integers.
+        """
+        chunk_size = max(1, len(shards) // (2 * self.workers) or 1)
+        chunks = [
+            shards[i : i + chunk_size] for i in range(0, len(shards), chunk_size)
+        ]
+        results: "dict[int, list[np.ndarray]]" = {}
+        pending = list(range(len(chunks)))
+        attempt = 0
+        while pending and not self._degraded and attempt <= self.policy.max_retries:
+            failed: "list[int]" = []
+            try:
+                pool = self._ensure_pool(engine)
+                futures = {i: pool.submit(_sum_wire_ranges, chunks[i]) for i in pending}
+                for i, future in futures.items():
+                    try:
+                        results[i] = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception:
+                        engine.metrics.inc("engine.worker_crashes")
+                        failed.append(i)
+            except BrokenProcessPool:
+                engine.metrics.inc("engine.pool_rebuilds")
+                self._rebuilds += 1
+                self.close()
+                failed = [i for i in pending if i not in results]
+                if self._rebuilds > self.policy.max_retries:
+                    self._degraded = True
+            if failed and attempt < self.policy.max_retries and not self._degraded:
+                engine.metrics.inc("engine.retries", len(failed))
+            pending = failed
+            attempt += 1
+        if pending:  # exhausted: identical local arithmetic
+            engine.metrics.inc("engine.backend_fallbacks")
+            payload = engine.worker_payload()
+            for i in pending:
+                results[i] = _partial_histograms(
+                    payload["spec"], payload["bin_idx"], payload["atom_counts"], chunks[i]
+                )
+        return [counts for i in range(len(chunks)) for counts in results[i]]
+
+
 def available_backends() -> tuple[str, ...]:
     """Names accepted by :func:`get_backend` (and the CLI ``--engine-backend``)."""
-    return ("sequential", "process")
+    return ("sequential", "process", "sharded")
 
 
 def get_backend(
@@ -694,6 +884,8 @@ def get_backend(
         return resolved
     if backend == "process":
         return ProcessPoolBackend(workers, policy=policy, faults=faults)
+    if backend == "sharded":
+        return ShardedBackend(workers, policy=policy, faults=faults)
     raise PartitioningError(
         f"unknown backend {backend!r}; available: {available_backends()}"
     )

@@ -12,9 +12,16 @@ The three layers, bottom up:
   schedule with O(Δ) incremental work;
 * :mod:`repro.service.snapshot` — durable, digest-verified snapshots of
   monitored populations for byte-identical restarts;
+* :mod:`repro.service.scheduling` — fair-share dispatch: weighted
+  per-tenant priority queues (:class:`TenantScheduler`) and per-tenant
+  :class:`TokenBucket` rate limits;
 * :mod:`repro.service.server` — the :class:`AuditService` daemon: bounded
   queue with typed backpressure, worker threads, per-job deadlines,
-  poison-job quarantine, graceful drain and the stdlib HTTP endpoints.
+  poison-job quarantine, graceful drain, job batching and sharded
+  execution;
+* :mod:`repro.service.http` — the ``asyncio`` HTTP front end serving the
+  ``/v1`` API (and the deprecated legacy aliases) without a thread per
+  connection.
 
 See ``docs/service.md`` and ``docs/streaming.md`` for the operational story.
 """
@@ -32,6 +39,7 @@ from repro.service.jobs import (
 )
 from repro.service.journal import JOURNAL_SCHEMA, JobJournal
 from repro.service.monitor import MonitoredPopulation, MonitorSpec
+from repro.service.scheduling import TenantScheduler, TokenBucket
 from repro.service.server import REJECTION_REASONS, AuditService, ServiceConfig
 from repro.service.snapshot import (
     SNAPSHOT_SCHEMA,
@@ -57,6 +65,8 @@ __all__ = [
     "SNAPSHOT_SCHEMA",
     "ServiceConfig",
     "TERMINAL_STATES",
+    "TenantScheduler",
+    "TokenBucket",
     "VALID_TRANSITIONS",
     "check_transition",
     "compact_snapshot",

@@ -1,0 +1,358 @@
+"""Asyncio front end for the audit daemon's HTTP API.
+
+PR 9 replaces the blocking :class:`http.server.ThreadingHTTPServer` (one
+OS thread per in-flight connection) with a single-threaded ``asyncio``
+reactor that multiplexes every connection and keeps them alive between
+requests (connection pooling on the client side costs nothing when the
+server honours keep-alive).  Two invariants make the swap safe:
+
+* **Byte compatibility** — the route table, payloads, status codes, the
+  ``/v1`` error envelope and the legacy ``Deprecation: true`` aliases are
+  the exact shapes the threaded server produced; the pre-existing service
+  tests run unmodified against this implementation.  All routing lives in
+  :func:`dispatch`, a pure function from ``(method, target, body)`` to
+  ``(status, payload, api_v1)`` — trivially testable without a socket.
+* **Non-blocking reactor** — route handlers can block (``submit`` waits
+  on a journal fsync), so :func:`dispatch` runs on a bounded thread pool
+  via ``run_in_executor`` while the event loop keeps accepting and
+  parsing other connections.  Submit/status round-trips therefore never
+  queue behind a slow peer's socket.
+
+The server object exposes the same tiny surface the daemon used before
+(``server_address`` / ``serve_forever`` / ``shutdown`` / ``server_close``)
+so :class:`~repro.service.server.AuditService` drives it unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from http import HTTPStatus
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.exceptions import JobRejectedError, ServiceError
+
+__all__ = ["AsyncHTTPServer", "dispatch", "REJECTION_STATUS"]
+
+#: Typed rejection reason → HTTP status (shared by both API surfaces).
+REJECTION_STATUS = {
+    "queue_full": 429,
+    "rate_limited": 429,
+    "duplicate_id": 409,
+    "invalid_spec": 400,
+    "shutting_down": 503,
+}
+
+#: Upper bound on a request head (request line + headers).
+_MAX_HEAD_BYTES = 64 * 1024
+#: Upper bound on a request body we are willing to buffer.
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+# --------------------------------------------------------------------- routing
+
+
+def _error(
+    status: int,
+    code: str,
+    message: str,
+    api_v1: bool,
+    detail: "str | None" = None,
+):
+    """One error shape per surface: the v1 envelope, or the legacy flat
+    body (without inventing keys old clients never saw)."""
+    if api_v1:
+        payload = {"error": {"code": code, "message": message, "detail": detail}}
+    else:
+        payload = {"error": message}
+    return status, payload, api_v1
+
+
+def _rejection(exc: JobRejectedError, api_v1: bool):
+    status = REJECTION_STATUS.get(exc.reason, 400)
+    if api_v1:
+        return _error(status, exc.reason, str(exc), api_v1)
+    return status, {"error": str(exc), "reason": exc.reason}, api_v1
+
+
+def _jobs_query(query: str) -> dict:
+    """Parse/validate ``GET /jobs`` filters; raises ServiceError on junk."""
+    allowed = {"state", "kind", "tenant", "limit"}
+    filters: dict = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key not in allowed:
+            raise ServiceError(
+                f"unknown query parameter {key!r}; allowed: {sorted(allowed)}"
+            )
+        filters[key] = value
+    if "limit" in filters:
+        try:
+            filters["limit"] = int(filters["limit"])
+        except ValueError as exc:
+            raise ServiceError(f"limit must be an integer: {exc}") from exc
+        if filters["limit"] < 1:
+            raise ServiceError(f"limit must be >= 1, got {filters['limit']}")
+    return filters
+
+
+def dispatch(service, method: str, target: str, body: bytes):
+    """Route one request; returns ``(status, json_payload, api_v1)``.
+
+    ``target`` is the raw request target (path + optional query string);
+    ``body`` the raw request body.  Never raises for client errors — they
+    come back as the surface-appropriate error payload.
+    """
+    parts = urlsplit(target)
+    path = parts.path
+    api_v1 = path == "/v1" or path.startswith("/v1/")
+    route = (path[len("/v1"):] or "/") if api_v1 else path
+
+    def read_json():
+        try:
+            return json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _BadBody(f"invalid JSON body: {exc}") from exc
+
+    try:
+        if method == "GET":
+            return _dispatch_get(service, route, parts.query, api_v1, path)
+        if method == "POST":
+            return _dispatch_post(service, route, read_json, api_v1, path)
+    except _BadBody as exc:
+        return _error(400, "invalid_spec", str(exc), api_v1)
+    return _error(404, "not_found", f"unknown path {path!r}", api_v1)
+
+
+class _BadBody(Exception):
+    """Request body failed to parse as JSON."""
+
+
+def _dispatch_get(service, route: str, query: str, api_v1: bool, path: str):
+    if route == "/healthz":
+        return 200, service.health(), api_v1
+    if route == "/metrics":
+        return 200, service.metrics.as_dict(), api_v1
+    if route == "/jobs":
+        try:
+            filters = _jobs_query(query)
+            jobs = service.jobs_snapshot(**filters)
+        except ServiceError as exc:
+            return _error(400, "invalid_spec", str(exc), api_v1)
+        return 200, {"jobs": jobs}, api_v1
+    if route.startswith("/jobs/") and api_v1:
+        try:
+            record = service.record(route[len("/jobs/"):])
+        except ServiceError as exc:
+            return _error(404, "not_found", str(exc), api_v1)
+        return 200, {"job": record.as_dict()}, api_v1
+    if route == "/populations":
+        return 200, {"populations": service.monitors_snapshot()}, api_v1
+    if route.startswith("/populations/"):
+        segments = route.strip("/").split("/")
+        try:
+            if len(segments) == 2:
+                return 200, service.monitor(segments[1]).as_dict(), api_v1
+            if len(segments) == 3 and segments[2] == "series":
+                return 200, {"series": service.monitor_series(segments[1])}, api_v1
+        except ServiceError as exc:
+            return _error(404, "not_found", str(exc), api_v1)
+    return _error(404, "not_found", f"unknown path {path!r}", api_v1)
+
+
+def _dispatch_post(service, route: str, read_json, api_v1: bool, path: str):
+    if route == "/jobs/batch" and api_v1:
+        # Bulk submit: one request, one group-committed journal fsync,
+        # per-item acceptance (a batch can be partially rejected).
+        payload = read_json()
+        jobs = payload.get("jobs") if isinstance(payload, dict) else None
+        if not isinstance(jobs, list) or not jobs:
+            return _error(
+                400, "invalid_spec", "body must be {'jobs': [spec, ...]}", api_v1
+            )
+        results = []
+        accepted = 0
+        for outcome in service.submit_many(jobs):
+            if isinstance(outcome, JobRejectedError):
+                results.append(
+                    {"error": {"code": outcome.reason, "message": str(outcome)}}
+                )
+            else:
+                accepted += 1
+                results.append({"job": outcome.as_dict()})
+        return 202, {
+            "accepted": accepted,
+            "rejected": len(results) - accepted,
+            "results": results,
+        }, api_v1
+    if route == "/jobs" and api_v1:
+        payload = read_json()
+        try:
+            record = service.submit(payload)
+        except JobRejectedError as exc:
+            return _rejection(exc, api_v1)
+        return 202, {"job": record.as_dict()}, api_v1
+    if route == "/submit" and not api_v1:
+        # Deprecated alias of POST /v1/jobs (original response shape).
+        payload = read_json()
+        try:
+            record = service.submit(payload)
+        except JobRejectedError as exc:
+            return _rejection(exc, api_v1)
+        return 202, {"accepted": record.job.id, "state": record.state.value}, api_v1
+    if route == "/populations":
+        payload = read_json()
+        try:
+            summary = service.create_monitor(payload)
+        except JobRejectedError as exc:
+            return _rejection(exc, api_v1)
+        return 201, summary, api_v1
+    if route.startswith("/populations/"):
+        segments = route.strip("/").split("/")
+        if len(segments) != 3 or segments[2] != "mutations":
+            return _error(404, "not_found", f"unknown path {path!r}", api_v1)
+        payload = read_json()
+        if isinstance(payload, dict):
+            payload = payload.get("mutations", payload)
+        try:
+            info = service.apply_mutations(segments[1], payload)
+        except JobRejectedError as exc:
+            return _rejection(exc, api_v1)
+        except ServiceError as exc:
+            return _error(404, "not_found", str(exc), api_v1)
+        return 202, info, api_v1
+    return _error(404, "not_found", f"unknown path {path!r}", api_v1)
+
+
+# ---------------------------------------------------------------------- server
+
+
+def _render(status: int, payload: dict, api_v1: bool, keep_alive: bool) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = [
+        f"HTTP/1.1 {status} {HTTPStatus(status).phrase}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+    ]
+    if not api_v1:
+        head.append("Deprecation: true")
+    if not keep_alive:
+        head.append("Connection: close")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+class AsyncHTTPServer:
+    """Drop-in replacement for the daemon's ``ThreadingHTTPServer``.
+
+    The listening socket is bound in the constructor (so
+    ``server_address`` is immediately valid, and ``port=0`` resolves to a
+    real ephemeral port before any thread starts); the event loop runs
+    inside :meth:`serve_forever`, which the daemon calls on a dedicated
+    thread.  ``shutdown`` is thread-safe and idempotent.
+    """
+
+    def __init__(self, service, host: str, port: int) -> None:
+        self._service = service
+        self._socket = socket.create_server((host, port))
+        self.server_address = self._socket.getsockname()[:2]
+        self._executor = ThreadPoolExecutor(thread_name_prefix="audit-http")
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stop: "asyncio.Event | None" = None
+        self._started = threading.Event()
+        self._closed = False
+
+    def serve_forever(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._serve_connection, sock=self._socket, limit=_MAX_HEAD_BYTES
+        )
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+
+    def shutdown(self) -> None:
+        """Stop accepting and unwind the loop (callable from any thread)."""
+        if not self._started.wait(timeout=10):  # pragma: no cover - startup race
+            return
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+
+    def server_close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=False)
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - already closed by the loop
+            pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        """One keep-alive connection: parse → dispatch off-loop → respond."""
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                    break  # EOF between requests, or an oversized head
+                request = self._parse_head(head)
+                if request is None:
+                    writer.write(
+                        _render(400, {"error": "malformed request"}, True, False)
+                    )
+                    await writer.drain()
+                    break
+                method, target, headers, keep_alive = request
+                length = int(headers.get("content-length") or 0)
+                if length > _MAX_BODY_BYTES:
+                    writer.write(
+                        _render(413, {"error": "request body too large"}, True, False)
+                    )
+                    await writer.drain()
+                    break
+                body = await reader.readexactly(length) if length else b""
+                status, payload, api_v1 = await loop.run_in_executor(
+                    self._executor, dispatch, self._service, method, target, body
+                )
+                writer.write(_render(status, payload, api_v1, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-request; nothing was acknowledged
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _parse_head(head: bytes):
+        """``(method, target, headers, keep_alive)`` or None if malformed."""
+        request_line, _, header_block = head.partition(b"\r\n")
+        pieces = request_line.decode("latin-1").split()
+        if len(pieces) != 3:
+            return None
+        method, target, version = pieces
+        headers: "dict[str, str]" = {}
+        for line in header_block.decode("latin-1").split("\r\n"):
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                return None
+            headers[name.strip().lower()] = value.strip()
+        connection = headers.get("connection", "").lower()
+        keep_alive = connection != "close" and (
+            version != "HTTP/1.0" or connection == "keep-alive"
+        )
+        return method, target, headers, keep_alive

@@ -156,6 +156,11 @@ class AuditJob:
         ``"scalar"`` / ``"numba"``; ``None`` = the daemon default).
         Bit-identical across backends, so results are unchanged whichever
         is selected — it is a cost knob, not part of the job's identity.
+    tenant:
+        Fair-share scheduling bucket.  Jobs compete for priority only
+        within their tenant; across tenants the scheduler serves queues in
+        weighted stride order (see ``repro.service.scheduling``).  Absent
+        in old journals → ``"default"``.
     """
 
     id: str
@@ -175,11 +180,16 @@ class AuditJob:
     alpha: float = 0.1
     amount: float = 1.0
     kernel: "str | None" = None
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if not _ID_PATTERN.match(self.id):
             raise ServiceError(
                 f"job id {self.id!r} must match {_ID_PATTERN.pattern}"
+            )
+        if not _ID_PATTERN.match(self.tenant):
+            raise ServiceError(
+                f"tenant {self.tenant!r} must match {_ID_PATTERN.pattern}"
             )
         if self.scenario not in KNOWN_SCENARIOS:
             raise ServiceError(
@@ -312,6 +322,7 @@ class JobRecord:
             "attempt": self.attempt,
             "reason": self.reason,
             "priority": self.job.priority,
+            "tenant": self.job.tenant,
             "algorithm": self.job.algorithm,
             "scenario": self.job.scenario,
             "deadline_seconds": self.job.deadline_seconds,

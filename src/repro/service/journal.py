@@ -3,9 +3,11 @@
 The daemon's only durable state is one JSONL file: a header line followed
 by one record per event (job submitted, state transition, monitored-
 population lifecycle).  Every line uses the CRC-wrapped record grammar of
-:mod:`repro.io.records`; appends go through one ``write → flush → fsync``
-sequence, so once :meth:`JobJournal.append` returns, the record survives
-power loss.
+:mod:`repro.io.records`; appends are ordered under one writer lock and
+made durable by a **group-commit** fsync (:meth:`JobJournal.sync`) that
+concurrent appenders share, so once :meth:`JobJournal.append` returns
+(with the default ``sync=True``) the record survives power loss — at a
+cost of O(1) fsyncs per burst rather than one per record.
 
 Recovery semantics (:meth:`JobJournal.open`):
 
@@ -37,6 +39,7 @@ job states/attempts/reasons/results, same post-snapshot monitor events.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 from typing import Iterator
 
@@ -116,6 +119,18 @@ class JobJournal:
         self.path = Path(path)
         self._handle = None
         self.recovered_tail_bytes = 0
+        # Group-commit state.  Writes are ordered by ``_io_lock`` and
+        # numbered by ``_write_seq``; ``_sync_seq`` is the highest write
+        # known durable.  At most one thread fsyncs at a time
+        # (``_syncing``); everyone else waits on ``_sync_cond`` and is
+        # released when the in-flight fsync — which covers *all* writes
+        # issued before it started — lands.  That is the coalescing win:
+        # N threads appending concurrently share O(1) fsyncs, not N.
+        self._io_lock = threading.Lock()
+        self._sync_cond = threading.Condition()
+        self._write_seq = 0
+        self._sync_seq = 0
+        self._syncing = False
 
     # -------------------------------------------------------------- lifecycle
 
@@ -137,9 +152,13 @@ class JobJournal:
         return self
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._handle is None:
+            return
+        self.sync()  # nothing acknowledged is allowed to be in limbo
+        self._drain_sync()
+        with self._io_lock:
+            handle, self._handle = self._handle, None
+        handle.close()
 
     def __enter__(self) -> "JobJournal":
         return self.open()
@@ -149,15 +168,78 @@ class JobJournal:
 
     # -------------------------------------------------------------- appending
 
-    def append(self, record: dict) -> None:
-        """Durably append one record (write + flush + fsync before return)."""
-        if self._handle is None:
-            raise JournalError("journal not open for appending; call open() first")
-        self._handle.write(encode_record(record) + "\n")
-        fsync_handle(self._handle)
+    def append(self, record: dict, *, sync: bool = True) -> int:
+        """Append one record; durable before return unless ``sync=False``.
 
-    def append_submit(self, job: AuditJob, timestamp: float) -> None:
-        self.append({"type": "submit", "ts": timestamp, "job": job.to_dict()})
+        With ``sync=True`` (the default, and the historical behaviour) the
+        record is on stable storage when this returns — but the fsync is a
+        *group commit*: concurrent appenders piggyback on one another's
+        fsyncs instead of issuing one each.  With ``sync=False`` the write
+        is only buffered and ordered; the caller must invoke :meth:`sync`
+        (or a later ``sync=True`` append must land) before acknowledging
+        anything that depends on it.  Returns the record's write sequence
+        number, accepted by :meth:`sync`.
+        """
+        with self._io_lock:
+            if self._handle is None:
+                raise JournalError(
+                    "journal not open for appending; call open() first"
+                )
+            self._handle.write(encode_record(record) + "\n")
+            self._write_seq += 1
+            seq = self._write_seq
+        if sync:
+            self.sync(seq)
+        return seq
+
+    def sync(self, seq: "int | None" = None) -> None:
+        """Block until write ``seq`` (default: all writes so far) is durable.
+
+        Group commit: if another thread's fsync is already in flight, wait
+        for it — it may cover ``seq``.  Otherwise become the syncer,
+        capture the current write frontier, fsync once *outside* the
+        condition lock, and release every waiter at or below the frontier.
+        """
+        with self._sync_cond:
+            if seq is None:
+                seq = self._write_seq
+            while True:
+                if self._sync_seq >= seq:
+                    return
+                if not self._syncing:
+                    break
+                self._sync_cond.wait()
+            self._syncing = True
+            target = self._write_seq
+        try:
+            with self._io_lock:
+                handle = self._handle
+                if handle is not None:
+                    handle.flush()
+            if handle is not None:
+                os.fsync(handle.fileno())
+        except BaseException:
+            with self._sync_cond:
+                self._syncing = False
+                self._sync_cond.notify_all()
+            raise
+        with self._sync_cond:
+            self._syncing = False
+            self._sync_seq = max(self._sync_seq, target)
+            self._sync_cond.notify_all()
+
+    def _drain_sync(self) -> None:
+        """Wait out any in-flight group fsync (used before handle swaps)."""
+        with self._sync_cond:
+            while self._syncing:
+                self._sync_cond.wait()
+
+    def append_submit(
+        self, job: AuditJob, timestamp: float, *, sync: bool = True
+    ) -> int:
+        return self.append(
+            {"type": "submit", "ts": timestamp, "job": job.to_dict()}, sync=sync
+        )
 
     def append_state(
         self,
@@ -168,6 +250,7 @@ class JobJournal:
         attempt: "int | None" = None,
         reason: "str | None" = None,
         result: "dict | None" = None,
+        sync: bool = True,
     ) -> None:
         record = {"type": "state", "ts": timestamp, "id": job_id, "state": state.value}
         if attempt is not None:
@@ -176,7 +259,7 @@ class JobJournal:
             record["reason"] = reason
         if result is not None:
             record["result"] = result
-        self.append(record)
+        self.append(record, sync=sync)
 
     # ---------------------------------------------------------------- reading
 

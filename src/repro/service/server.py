@@ -29,23 +29,41 @@ Robustness properties, each backed by a test in ``tests/test_service.py``:
   ``shutting_down``), let in-flight jobs finish, leave queued jobs
   ``PENDING`` in the journal and exit 0.
 
-The HTTP surface is intentionally tiny and dependency-free
-(:mod:`http.server`), and versioned since ``/v1``: ``GET /v1/healthz``,
-``GET /v1/metrics``, ``GET/POST /v1/jobs``, ``GET /v1/jobs/<id>``,
-``/v1/populations...`` — with one shared error envelope
-``{"error": {"code", "message", "detail"}}``.  The historical unversioned
-routes survive as deprecated aliases (``Deprecation: true`` header).  See
-``docs/api.md`` and ``docs/service.md``.
+Since PR 9 the daemon is built for *throughput*, not just robustness:
+
+* **Fair-share scheduling** — jobs carry a ``tenant`` and are drained in
+  weighted stride order from per-tenant priority queues
+  (:class:`~repro.service.scheduling.TenantScheduler`); worker wake-ups
+  are event-driven (blocking get + shutdown sentinel), so idle dispatch
+  latency is zero rather than up to one poll interval.
+* **Rate limits** — optional per-tenant token buckets reject a tenant's
+  excess submissions with the typed ``rate_limited`` reason before they
+  consume queue slots.
+* **Batching** — identical small specs (same scenario/algorithm/seed...,
+  differing only in id/priority/tenant) queued together coalesce into
+  one engine dispatch whose result is journaled to every member with a
+  single group-commit fsync (``batch_max`` > 1 enables this).
+* **Sharded execution** — ``shard_workers`` routes each job's engine
+  work through the atom-range :class:`~repro.engine.backends.ShardedBackend`
+  (bit-identical to sequential; see ``tests/parity/test_sharded_parity.py``).
+
+The HTTP surface is intentionally tiny and dependency-free — an
+``asyncio`` reactor (see :mod:`repro.service.http`) — and versioned since
+``/v1``: ``GET /v1/healthz``, ``GET /v1/metrics``, ``GET/POST /v1/jobs``
+(listing accepts ``state=`` / ``kind=`` / ``tenant=`` / ``limit=``
+filters), ``GET /v1/jobs/<id>``, ``/v1/populations...`` — with one shared
+error envelope ``{"error": {"code", "message", "detail"}}``.  The
+historical unversioned routes survive as deprecated aliases
+(``Deprecation: true`` header).  See ``docs/api.md`` and
+``docs/service.md``.
 """
 
 from __future__ import annotations
 
 import json
-import queue
 import signal
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.exceptions import JobRejectedError, ServiceError
@@ -58,11 +76,18 @@ from repro.service.jobs import (
 )
 from repro.service.journal import JobJournal
 from repro.service.monitor import MonitoredPopulation, MonitorSpec
+from repro.service.scheduling import TenantScheduler, TokenBucket
 
 __all__ = ["AuditService", "ServiceConfig", "REJECTION_REASONS"]
 
 #: Typed reasons a submission can be rejected with (``JobRejectedError.reason``).
-REJECTION_REASONS = ("queue_full", "duplicate_id", "invalid_spec", "shutting_down")
+REJECTION_REASONS = (
+    "queue_full",
+    "duplicate_id",
+    "invalid_spec",
+    "shutting_down",
+    "rate_limited",
+)
 
 
 class ServiceConfig:
@@ -82,7 +107,10 @@ class ServiceConfig:
         HTTP bind address; ``port=0`` picks a free port (see
         :attr:`AuditService.address`).  ``port=None`` disables HTTP.
     poll_seconds:
-        Worker-loop queue poll interval; only affects shutdown latency.
+        Historical worker-loop poll interval.  Accepted (and kept for
+        config compatibility) but no longer load-bearing: workers now
+        block on the scheduler and are woken by submissions or the
+        shutdown sentinel, so dispatch latency is event-driven.
     snapshot_dir:
         Where monitored-population snapshots are written after each audit
         (default ``<workdir>/snapshots``).  ``None`` disables snapshotting.
@@ -104,6 +132,25 @@ class ServiceConfig:
         Daemon-default kernel backend for distance computations
         (``"numpy"`` / ``"scalar"`` / ``"numba"``); jobs and monitors may
         override per spec.  Bit-identical across backends.
+    tenant_weights:
+        Tenant name → dispatch weight for the weighted fair scheduler;
+        unlisted tenants weigh 1.0.  ``None`` = every tenant equal.
+    rate_limit:
+        Per-tenant sustained submission rate (jobs/second); submissions
+        beyond it are rejected with the typed ``rate_limited`` reason
+        (HTTP 429).  ``None`` disables rate limiting.
+    rate_limit_burst:
+        Token-bucket burst size (default: ``max(1, ceil(rate_limit))``).
+    batch_max:
+        Maximum jobs coalesced into one engine dispatch.  Followers must
+        have a spec identical to the leader's up to id/priority/tenant
+        and no deadline.  The default ``1`` disables batching, which
+        keeps single-job journal and metric behaviour exactly as before.
+    shard_workers:
+        When set, job execution fans each engine batch out across this
+        many worker processes by atom-range
+        (:class:`~repro.engine.backends.ShardedBackend`); results stay
+        bit-identical to sequential.  ``None`` keeps in-process scoring.
     """
 
     def __init__(
@@ -120,6 +167,11 @@ class ServiceConfig:
         monitor_poll_seconds: float = 0.05,
         cache_max_bytes: "int | None" = 256 * 1024 * 1024,
         engine_kernel: "str | None" = None,
+        tenant_weights: "dict[str, float] | None" = None,
+        rate_limit: "float | None" = None,
+        rate_limit_burst: "int | None" = None,
+        batch_max: int = 1,
+        shard_workers: "int | None" = None,
     ) -> None:
         if queue_limit < 1:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
@@ -159,6 +211,28 @@ class ServiceConfig:
                     f"choose from {KERNEL_BACKENDS}"
                 )
         self.engine_kernel = engine_kernel
+        for tenant, weight in (tenant_weights or {}).items():
+            if not float(weight) > 0:
+                raise ServiceError(
+                    f"tenant weight for {tenant!r} must be > 0, got {weight}"
+                )
+        self.tenant_weights = dict(tenant_weights) if tenant_weights else None
+        if rate_limit is not None and not rate_limit > 0:
+            raise ServiceError(f"rate_limit must be > 0 jobs/s, got {rate_limit}")
+        self.rate_limit = rate_limit
+        if rate_limit_burst is None and rate_limit is not None:
+            rate_limit_burst = max(1, int(-(-rate_limit // 1)))
+        if rate_limit_burst is not None and rate_limit_burst < 1:
+            raise ServiceError(
+                f"rate_limit_burst must be >= 1, got {rate_limit_burst}"
+            )
+        self.rate_limit_burst = rate_limit_burst
+        if batch_max < 1:
+            raise ServiceError(f"batch_max must be >= 1, got {batch_max}")
+        self.batch_max = batch_max
+        if shard_workers is not None and shard_workers < 1:
+            raise ServiceError(f"shard_workers must be >= 1, got {shard_workers}")
+        self.shard_workers = shard_workers
 
 
 class AuditService:
@@ -183,8 +257,8 @@ class AuditService:
         self._clock = clock
         self.journal = JobJournal(config.workdir / "journal.jsonl")
         self._records: "dict[str, JobRecord]" = {}
-        self._queue: "queue.PriorityQueue[tuple[int, int, str]]" = queue.PriorityQueue()
-        self._seq = 0
+        self._scheduler = TenantScheduler(config.tenant_weights)
+        self._buckets: "dict[str, TokenBucket]" = {}
         self._queued = 0
         self._running = 0
         self._lock = threading.RLock()
@@ -267,8 +341,13 @@ class AuditService:
             self.metrics.inc("service.requeued", recovered)
 
     def request_shutdown(self) -> None:
-        """Begin a graceful drain: stop intake, let in-flight jobs finish."""
+        """Begin a graceful drain: stop intake, let in-flight jobs finish.
+
+        Closing the scheduler releases every worker blocked on ``get``
+        with the ``None`` sentinel; jobs still queued stay PENDING in the
+        journal for the next daemon instance (drain semantics)."""
         self._shutdown.set()
+        self._scheduler.close()
 
     @property
     def shutting_down(self) -> bool:
@@ -329,7 +408,46 @@ class AuditService:
         Raises :class:`~repro.exceptions.JobRejectedError` with a typed
         ``reason`` (one of :data:`REJECTION_REASONS`).  Acceptance is
         all-or-nothing: by the time this returns, the submit record is
-        fsync'd — a crash immediately after cannot lose the job.
+        fsync'd — a crash immediately after cannot lose the job.  The
+        fsync itself happens *outside* the service lock, so concurrent
+        submitters share one group-committed flush instead of queueing
+        their own.
+        """
+        record, seq = self._accept(job)
+        self._commit([record], seq)
+        return record
+
+    def submit_many(self, jobs) -> "list[JobRecord | JobRejectedError]":
+        """Accept a batch of job specs with one group-committed fsync.
+
+        Returns one entry per input, in order: the accepted
+        :class:`JobRecord`, or the :class:`JobRejectedError` that submit
+        would have raised.  Admission (duplicate ids, rate limits, queue
+        capacity) is checked per job, so a batch can be partially
+        accepted; every accepted record is durable before this returns,
+        and none is dispatched to a worker until the whole batch is.
+        """
+        results: "list[JobRecord | JobRejectedError]" = []
+        accepted: "list[JobRecord]" = []
+        seq = 0
+        for payload in jobs:
+            try:
+                record, seq = self._accept(payload)
+            except JobRejectedError as exc:
+                results.append(exc)
+            else:
+                accepted.append(record)
+                results.append(record)
+        if accepted:
+            self._commit(accepted, seq)
+        return results
+
+    def _accept(self, job: "AuditJob | dict") -> "tuple[JobRecord, int]":
+        """Validate, journal (unsynced) and reserve a queue slot for one job.
+
+        The slot is reserved (``_queued`` bumped) while the lock is held,
+        so capacity checks stay exact even though the fsync and scheduler
+        dispatch happen after the lock drops (see :meth:`_commit`).
         """
         if self._shutdown.is_set():
             self._reject("shutting_down", "the daemon is draining for shutdown")
@@ -347,6 +465,12 @@ class AuditService:
         with self._lock:
             if job.id in self._records:
                 self._reject("duplicate_id", f"job id {job.id!r} already journaled")
+            if not self._admit(job.tenant):
+                self._reject(
+                    "rate_limited",
+                    f"tenant {job.tenant!r} exceeded "
+                    f"{self.config.rate_limit} jobs/s",
+                )
             if self._queued >= self.config.queue_limit:
                 self._reject(
                     "queue_full",
@@ -354,21 +478,61 @@ class AuditService:
                 )
             now = self._clock()
             record = JobRecord(job=job, submitted_at=now, updated_at=now)
-            self.journal.append_submit(job, now)
+            seq = self.journal.append_submit(job, now, sync=False)
             self._records[job.id] = record
-            self._enqueue(job)
+            self._queued += 1
+            self.metrics.set_gauge("service.queue_depth", self._queued)
             self.metrics.inc("service.submitted")
-        return record
+        return record, seq
+
+    def _commit(self, records: "list[JobRecord]", seq: int) -> None:
+        """Fsync accepted submits (group commit) and hand them to workers.
+
+        A failed flush unwinds the reservations so nothing unacknowledged
+        ever runs; a crash in the same window loses at most jobs whose
+        submitters never got a response.
+        """
+        try:
+            self.journal.sync(seq)
+        except BaseException:
+            with self._lock:
+                for record in records:
+                    self._records.pop(record.job.id, None)
+                    self._queued -= 1
+                self.metrics.set_gauge("service.queue_depth", self._queued)
+            raise
+        with self._lock:
+            for record in records:
+                self._dispatch(record.job)
+
+    def _dispatch(self, job: AuditJob) -> None:
+        """Hand one job to the scheduler, tagged with its coalescing key
+        (batchable specs only) so ``get_batch`` can pull followers in
+        O(batch) regardless of backlog depth."""
+        key = None
+        if self.config.batch_max > 1 and self._batchable(job):
+            key = self._batch_key(job)
+        self._scheduler.put(job.tenant, job.priority, job.id, key=key)
 
     def _reject(self, reason: str, detail: str) -> None:
         self.metrics.inc("service.rejected")
         self.metrics.inc(f"service.rejected.{reason}")
         raise JobRejectedError(reason, f"job rejected ({reason}): {detail}")
 
+    def _admit(self, tenant: str) -> bool:
+        """Charge one token to the tenant's bucket (caller holds the lock)."""
+        if self.config.rate_limit is None:
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.config.rate_limit, self.config.rate_limit_burst
+            )
+        return bucket.try_acquire()
+
     def _enqueue(self, job: AuditJob) -> None:
         with self._lock:
-            self._seq += 1
-            self._queue.put((job.priority, self._seq, job.id))
+            self._dispatch(job)
             self._queued += 1
             self.metrics.set_gauge("service.queue_depth", self._queued)
 
@@ -638,10 +802,46 @@ class AuditService:
                 raise ServiceError(f"unknown job id {job_id!r}")
             return self._records[job_id]
 
-    def jobs_snapshot(self) -> "list[dict]":
-        """JSON-safe summaries of every job, in submission order."""
+    def jobs_snapshot(
+        self,
+        state: "str | None" = None,
+        kind: "str | None" = None,
+        tenant: "str | None" = None,
+        limit: "int | None" = None,
+    ) -> "list[dict]":
+        """JSON-safe job summaries in submission order, optionally filtered.
+
+        ``state`` / ``kind`` / ``tenant`` narrow by exact match; ``limit``
+        keeps only the **most recently submitted** matches, so listing
+        stays cheap on daemons with thousands of journaled jobs.  Unknown
+        filter values raise :class:`ServiceError` (HTTP 400).
+        """
+        if state is not None and state not in JobState.__members__:
+            raise ServiceError(
+                f"unknown state {state!r}; choose from "
+                f"{sorted(JobState.__members__)}"
+            )
+        if kind is not None:
+            from repro.service.jobs import JOB_KINDS
+
+            if kind not in JOB_KINDS:
+                raise ServiceError(
+                    f"unknown kind {kind!r}; choose from {JOB_KINDS}"
+                )
+        if limit is not None and limit < 1:
+            raise ServiceError(f"limit must be >= 1, got {limit}")
         with self._lock:
-            return [record.as_dict() for record in self._records.values()]
+            records = list(self._records.values())
+        out = [
+            record.as_dict()
+            for record in records
+            if (state is None or record.state.value == state)
+            and (kind is None or record.job.kind == kind)
+            and (tenant is None or record.job.tenant == tenant)
+        ]
+        if limit is not None and len(out) > limit:
+            out = out[-limit:]
+        return out
 
     def health(self) -> dict:
         with self._lock:
@@ -668,23 +868,55 @@ class AuditService:
     # -------------------------------------------------------------- execution
 
     def _worker_loop(self) -> None:
-        while not self._shutdown.is_set():
-            try:
-                _, _, job_id = self._queue.get(timeout=self.config.poll_seconds)
-            except queue.Empty:
-                continue
-            if self._shutdown.is_set():
-                # Drain semantics: an un-started job stays PENDING in the
-                # journal for the next daemon instance.
+        # Event-driven: get() blocks on the scheduler's condition variable
+        # (zero idle latency) and returns the None sentinel once shutdown
+        # closes the scheduler.  A job popped after the sentinel race is
+        # simply abandoned here — its journal state is still PENDING, so
+        # the next daemon instance re-queues it (drain semantics).
+        while True:
+            batch = self._scheduler.get_batch(self.config.batch_max)
+            if batch is None or self._shutdown.is_set():
                 break
-            self._run_job(job_id)
+            if len(batch) == 1:
+                self._run_job(batch[0])
+            else:
+                self._run_batch(batch)
 
-    def _transition(self, record: JobRecord, state: JobState, **details) -> None:
-        """Apply one edge to the table and the journal atomically."""
+    def _transition(
+        self, record: JobRecord, state: JobState, sync: bool = True, **details
+    ) -> None:
+        """Apply one edge to the table and the journal atomically.
+
+        ``sync=False`` buffers the journal write (ordered, not yet
+        durable) so batch paths can group-commit many edges under one
+        fsync; the caller must invoke ``journal.sync()`` before treating
+        the edge as acknowledged.
+        """
         with self._lock:
             now = self._clock()
             record.transition(state, timestamp=now, **details)
-            self.journal.append_state(record.job.id, state, now, **details)
+            self.journal.append_state(record.job.id, state, now, sync=sync, **details)
+
+    def _start_running(self, record: JobRecord, *, sync: bool = True) -> None:
+        """Queue-exit bookkeeping + the RUNNING edge for one job."""
+        wait = self._clock() - record.updated_at
+        if wait >= 0:
+            self.metrics.observe("service.wait_seconds", wait)
+        self._transition(
+            record, JobState.RUNNING, attempt=record.attempt + 1, sync=sync
+        )
+
+    def _finish(self, record: JobRecord, result: dict, *, sync: bool = True) -> None:
+        """Apply the job's terminal edge for a successful execution."""
+        if result["deadline_hit"]:
+            self._transition(
+                record, JobState.CANCELLED, reason="deadline", result=result,
+                sync=sync,
+            )
+            self.metrics.inc("service.cancelled")
+        else:
+            self._transition(record, JobState.DONE, result=result, sync=sync)
+            self.metrics.inc("service.completed")
 
     def _run_job(self, job_id: str) -> None:
         with self._lock:
@@ -693,24 +925,62 @@ class AuditService:
             self._running += 1
             self.metrics.set_gauge("service.queue_depth", self._queued)
             self.metrics.set_gauge("service.running", self._running)
-        wait = self._clock() - record.updated_at
-        if wait >= 0:
-            self.metrics.observe("service.wait_seconds", wait)
-        self._transition(record, JobState.RUNNING, attempt=record.attempt + 1)
+        self._start_running(record)
         try:
             with self.metrics.time("service.job_seconds"):
                 result = self._execute(record.job)
         except Exception as exc:  # noqa: BLE001 - poison jobs raise anything
             self._handle_failure(record, exc)
         else:
-            if result["deadline_hit"]:
-                self._transition(
-                    record, JobState.CANCELLED, reason="deadline", result=result
-                )
-                self.metrics.inc("service.cancelled")
-            else:
-                self._transition(record, JobState.DONE, result=result)
-                self.metrics.inc("service.completed")
+            self._finish(record, result)
+        finally:
+            with self._idle:
+                self._running -= 1
+                self.metrics.set_gauge("service.running", self._running)
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------- batching
+
+    def _batch_key(self, job: AuditJob) -> str:
+        """Spec identity up to id/priority/tenant: batchable jobs sharing a
+        key produce (and may therefore share) the identical result payload."""
+        payload = job.to_dict()
+        for field in ("id", "priority", "tenant"):
+            payload.pop(field, None)
+        return json.dumps(payload, sort_keys=True)
+
+    @staticmethod
+    def _batchable(job: AuditJob) -> bool:
+        # Deadline-carrying jobs are excluded: their budget starts at
+        # execution and a shared dispatch would start several clocks at
+        # once; mitigate jobs stay solo for the same per-job checkpoint
+        # reason.
+        return job.deadline_seconds is None and job.kind == "audit"
+
+    def _run_batch(self, job_ids: "list[str]") -> None:
+        """One engine dispatch for N identical specs; every lifecycle edge
+        is journaled (ordered) with one group-commit fsync per phase."""
+        with self._lock:
+            records = [self._records[job_id] for job_id in job_ids]
+            self._queued -= len(records)
+            self._running += 1
+            self.metrics.set_gauge("service.queue_depth", self._queued)
+            self.metrics.set_gauge("service.running", self._running)
+        for record in records:
+            self._start_running(record, sync=False)
+        self.journal.sync()
+        try:
+            with self.metrics.time("service.job_seconds"):
+                result = self._execute(records[0].job)
+        except Exception as exc:  # noqa: BLE001 - poison jobs raise anything
+            for record in records:
+                self._handle_failure(record, exc)
+        else:
+            for record in records:
+                self._finish(record, result, sync=False)
+            self.journal.sync()
+            self.metrics.inc("service.batches")
+            self.metrics.inc("service.batched_jobs", len(records))
         finally:
             with self._idle:
                 self._running -= 1
@@ -775,11 +1045,16 @@ class AuditService:
         memo = self.cache.get(result_material)
         if memo is not None:
             return memo["payload"]
+        # Sharded execution fans histogram accumulation out by atom-range;
+        # parity-proven bit-identical, so the experiment memo above stays
+        # valid whichever backend computed the entry.
         experiment = run_scenario(
             scenario,
             algorithms=(job.algorithm,),
             metric=job.metric,
             seed=job.seed,
+            backend="sharded" if self.config.shard_workers else None,
+            workers=self.config.shard_workers,
             metrics=self.metrics,
             retry_policy=self.retry_policy,
             checkpoint=self.config.workdir / "checkpoints" / job.id,
@@ -957,171 +1232,17 @@ class AuditService:
 
 
 def _build_http_server(service: AuditService, host: str, port: int):
-    """A :class:`ThreadingHTTPServer` exposing the versioned ``/v1`` API.
+    """An :class:`~repro.service.http.AsyncHTTPServer` exposing ``/v1``.
 
     ``/v1/...`` is the contract (see ``docs/api.md``): every error is the
     shared envelope ``{"error": {"code", "message", "detail"}}`` and job
     submission/inspection lives under ``/v1/jobs``.  The historical
     unversioned routes (``/submit``, ``/jobs``, ``/healthz``, ...) remain
     as thin aliases with their original response shapes, but every reply
-    on them carries a ``Deprecation: true`` header.
+    on them carries a ``Deprecation: true`` header.  Routing is the pure
+    :func:`repro.service.http.dispatch`; this factory only exists as the
+    daemon's single seam for swapping server implementations.
     """
+    from repro.service.http import AsyncHTTPServer
 
-    class _Handler(BaseHTTPRequestHandler):
-        protocol_version = "HTTP/1.1"
-
-        #: Set per request by :meth:`_route` before anything is sent.
-        api_v1 = False
-
-        def log_message(self, *args) -> None:  # quiet: metrics cover this
-            pass
-
-        def _route(self) -> str:
-            """Strip the version prefix; remember which surface was hit."""
-            if self.path == "/v1" or self.path.startswith("/v1/"):
-                self.api_v1 = True
-                return self.path[len("/v1"):] or "/"
-            self.api_v1 = False
-            return self.path
-
-        def _send(self, status: int, payload: dict) -> None:
-            body = json.dumps(payload, sort_keys=True).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            if not self.api_v1:
-                self.send_header("Deprecation", "true")
-            self.end_headers()
-            self.wfile.write(body)
-
-        def _send_error(
-            self,
-            status: int,
-            code: str,
-            message: str,
-            detail: "str | None" = None,
-        ) -> None:
-            """One error shape per surface: the v1 envelope, or the legacy
-            flat body (without inventing keys old clients never saw)."""
-            if self.api_v1:
-                self._send(
-                    status,
-                    {"error": {"code": code, "message": message, "detail": detail}},
-                )
-            else:
-                self._send(status, {"error": message})
-
-        def _send_rejection(self, exc: JobRejectedError) -> None:
-            status = {
-                "queue_full": 429,
-                "duplicate_id": 409,
-                "invalid_spec": 400,
-                "shutting_down": 503,
-            }.get(exc.reason, 400)
-            if self.api_v1:
-                self._send_error(status, exc.reason, str(exc))
-            else:
-                self._send(status, {"error": str(exc), "reason": exc.reason})
-
-        def _read_json(self):
-            length = int(self.headers.get("Content-Length", 0))
-            try:
-                return json.loads(self.rfile.read(length) or b"{}")
-            except json.JSONDecodeError as exc:
-                self._send_error(400, "invalid_spec", f"invalid JSON body: {exc}")
-                return None
-
-        def _not_found(self) -> None:
-            self._send_error(404, "not_found", f"unknown path {self.path!r}")
-
-        def do_GET(self) -> None:  # noqa: N802 - http.server API
-            route = self._route()
-            if route == "/healthz":
-                self._send(200, service.health())
-            elif route == "/metrics":
-                self._send(200, service.metrics.as_dict())
-            elif route == "/jobs":
-                self._send(200, {"jobs": service.jobs_snapshot()})
-            elif route.startswith("/jobs/") and self.api_v1:
-                try:
-                    record = service.record(route[len("/jobs/"):])
-                except ServiceError as exc:
-                    self._send_error(404, "not_found", str(exc))
-                    return
-                self._send(200, {"job": record.as_dict()})
-            elif route == "/populations":
-                self._send(200, {"populations": service.monitors_snapshot()})
-            elif route.startswith("/populations/"):
-                parts = route.strip("/").split("/")
-                try:
-                    if len(parts) == 2:
-                        self._send(200, service.monitor(parts[1]).as_dict())
-                    elif len(parts) == 3 and parts[2] == "series":
-                        self._send(
-                            200, {"series": service.monitor_series(parts[1])}
-                        )
-                    else:
-                        self._not_found()
-                except ServiceError as exc:
-                    self._send_error(404, "not_found", str(exc))
-            else:
-                self._not_found()
-
-        def do_POST(self) -> None:  # noqa: N802 - http.server API
-            route = self._route()
-            if route == "/jobs" and self.api_v1:
-                payload = self._read_json()
-                if payload is None:
-                    return
-                try:
-                    record = service.submit(payload)
-                except JobRejectedError as exc:
-                    self._send_rejection(exc)
-                    return
-                self._send(202, {"job": record.as_dict()})
-            elif route == "/submit" and not self.api_v1:
-                # Deprecated alias of POST /v1/jobs (original response shape).
-                payload = self._read_json()
-                if payload is None:
-                    return
-                try:
-                    record = service.submit(payload)
-                except JobRejectedError as exc:
-                    self._send_rejection(exc)
-                    return
-                self._send(
-                    202, {"accepted": record.job.id, "state": record.state.value}
-                )
-            elif route == "/populations":
-                payload = self._read_json()
-                if payload is None:
-                    return
-                try:
-                    summary = service.create_monitor(payload)
-                except JobRejectedError as exc:
-                    self._send_rejection(exc)
-                    return
-                self._send(201, summary)
-            elif route.startswith("/populations/"):
-                parts = route.strip("/").split("/")
-                if len(parts) != 3 or parts[2] != "mutations":
-                    self._not_found()
-                    return
-                payload = self._read_json()
-                if payload is None:
-                    return
-                if isinstance(payload, dict):
-                    payload = payload.get("mutations", payload)
-                try:
-                    info = service.apply_mutations(parts[1], payload)
-                except JobRejectedError as exc:
-                    self._send_rejection(exc)
-                    return
-                except ServiceError as exc:
-                    self._send_error(404, "not_found", str(exc))
-                    return
-                self._send(202, info)
-            else:
-                self._not_found()
-
-    return ThreadingHTTPServer((host, port), _Handler)
+    return AsyncHTTPServer(service, host, port)

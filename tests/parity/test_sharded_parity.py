@@ -1,0 +1,158 @@
+"""Atom-range-sharded execution vs sequential: bit-identical answers.
+
+The :class:`~repro.engine.backends.ShardedBackend` splits every large
+histogram entry into contiguous atom-range (or member-range) shards,
+computes partial int64 count vectors on worker processes, and merges them
+back in shard order before scoring.  Because int64 addition is exact, the
+merged counts are the *same integers* the sequential path sums, the pmfs
+are the same float64 bytes, and ``full_objective`` sees identical inputs —
+so the answer (value, partitioning, tie-breaks) must match bit for bit for
+**every algorithm × metric combination**.  These tests force sharding with
+``shard_min_rows=2`` so even the small parity populations exercise the
+split/merge path, and run under the ``kernel-parity`` CI job.
+
+Like the process-backend parity test, effort counters are not compared —
+pool-evaluated candidates are accounted through
+``record_external_evaluations``, which is attribution, not arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.backends import ShardedBackend, _score_wire_tasks
+from repro.metrics.base import available_metrics
+from tests.parity.conftest import build_scores, run_audit, value_digest
+
+#: Every registered search algorithm; the exhaustive ones only ever run on
+#: the three-attribute "small" population (the paper schema blows up).
+ALGORITHMS = (
+    "balanced",
+    "unbalanced",
+    "r-balanced",
+    "r-unbalanced",
+    "beam",
+    "exhaustive",
+    "all-attributes",
+    "single-attribute",
+)
+
+
+def _sharded_backend() -> ShardedBackend:
+    # shard_min_rows=2 forces even tiny histogram entries through the
+    # split → pool partial-sum → shard-order merge path.
+    return ShardedBackend(workers=2, shard_min_rows=2)
+
+
+@pytest.mark.parity
+@pytest.mark.parametrize("metric", sorted(available_metrics()))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_sharded_bit_identical_every_algorithm_metric(
+    parity_populations, algorithm: str, metric: str
+) -> None:
+    population = parity_populations["small"]
+    scores = build_scores(population, 23)
+    sequential = run_audit(
+        population, scores, algorithm, metric=metric, backend="sequential"
+    )
+    backend = _sharded_backend()
+    try:
+        sharded = run_audit(
+            population, scores, algorithm, metric=metric, backend=backend
+        )
+    finally:
+        backend.close()
+    assert sharded.unfairness == sequential.unfairness  # bit-identical
+    assert (
+        sharded.partitioning.canonical_key()
+        == sequential.partitioning.canonical_key()
+    )
+    assert value_digest(sharded) == value_digest(sequential)
+    assert sharded.backend == "sharded"
+    assert sharded.workers == 2
+
+
+@pytest.mark.parity
+@pytest.mark.parametrize("algorithm", ["balanced", "unbalanced", "beam"])
+@pytest.mark.parametrize("weighting", ["uniform", "size"])
+def test_sharded_paper_population(parity_populations, algorithm, weighting) -> None:
+    """The realistic six-attribute population, both weightings."""
+    population = parity_populations["paper300"]
+    scores = build_scores(population, 11)
+    sequential = run_audit(
+        population, scores, algorithm, weighting=weighting, backend="sequential"
+    )
+    backend = ShardedBackend(workers=2, shard_min_rows=8)
+    try:
+        sharded = run_audit(
+            population, scores, algorithm, weighting=weighting, backend=backend
+        )
+    finally:
+        backend.close()
+    assert sharded.unfairness == sequential.unfairness
+    assert value_digest(sharded) == value_digest(sequential)
+
+
+def test_sharded_smoke_bit_identical(parity_populations) -> None:
+    """One fast unmarked combination so tier-1 exercises the real pool
+    split/merge path; the full algorithm × metric sweep runs under
+    ``-m parity`` in the kernel-parity CI job."""
+    population = parity_populations["small"]
+    scores = build_scores(population, 23)
+    sequential = run_audit(population, scores, "balanced", backend="sequential")
+    backend = _sharded_backend()
+    try:
+        sharded = run_audit(population, scores, "balanced", backend=backend)
+    finally:
+        backend.close()
+    assert sharded.unfairness == sequential.unfairness
+    assert value_digest(sharded) == value_digest(sequential)
+    assert sharded.backend == "sharded"
+
+
+def test_shard_merge_is_exact_for_member_entries() -> None:
+    """Unit-level pin of the merge contract: partial bincounts over
+    contiguous member ranges, re-added in shard order, equal the unsharded
+    bincount integer for integer — and an ("h", counts, size) entry scores
+    exactly like the ("m", members) entry it replaced."""
+    from repro.core.histogram import HistogramSpec
+    from repro.metrics.base import get_metric
+
+    rng = np.random.default_rng(0)
+    spec = HistogramSpec(bins=10)
+    scores = rng.random(1000)
+    bin_idx = spec.bin_indices(scores)
+    members = np.arange(1000)
+    whole = spec.histogram_from_bin_indices(bin_idx[members])
+    pieces = np.array_split(members, 7)
+    merged = spec.histogram_from_bin_indices(bin_idx[pieces[0]])
+    for piece in pieces[1:]:
+        merged = merged + spec.histogram_from_bin_indices(bin_idx[piece])
+    assert np.array_equal(merged, whole)
+
+    metric = get_metric("emd")
+    task_m = [("m", members[:500]), ("m", members[500:])]
+    task_h = [
+        ("h", spec.histogram_from_bin_indices(bin_idx[members[:500]]), 500),
+        ("h", spec.histogram_from_bin_indices(bin_idx[members[500:]]), 500),
+    ]
+    value_m = _score_wire_tasks(spec, metric, bin_idx, "uniform", None, [task_m])
+    value_h = _score_wire_tasks(spec, metric, bin_idx, "uniform", None, [task_h])
+    assert value_m == value_h
+
+
+def test_sharded_falls_back_locally_when_pool_degraded(parity_populations) -> None:
+    """A degraded backend (irrecoverable pool) must still produce the
+    bit-identical answer through the parent-local arithmetic."""
+    population = parity_populations["small"]
+    scores = build_scores(population, 23)
+    sequential = run_audit(population, scores, "balanced", backend="sequential")
+    backend = _sharded_backend()
+    backend._degraded = True  # simulate an irrecoverable pool
+    try:
+        sharded = run_audit(population, scores, "balanced", backend=backend)
+    finally:
+        backend.close()
+    assert sharded.unfairness == sequential.unfairness
+    assert value_digest(sharded) == value_digest(sequential)

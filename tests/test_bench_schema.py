@@ -117,6 +117,104 @@ def test_validator_rejects_malformed_service_section() -> None:
         )
 
 
+def _service_load_point(**overrides) -> dict:
+    point = {
+        "offered_jobs_per_second": 500.0,
+        "duration_seconds": 8.0,
+        "submitted": 4000,
+        "accepted": 3900,
+        "rejected": 100,
+        "completed": 3900,
+        "jobs_per_second": 1800.0,
+        "latency_seconds": {"p50": 0.02, "p99": 0.09, "max": 0.3},
+    }
+    point.update(overrides)
+    return point
+
+
+def _service_load_section(*points: dict) -> dict:
+    return {
+        "daemon": {
+            "queue_workers": 2,
+            "batch_max": 32,
+            "bulk_size": 16,
+            "connections": 8,
+        },
+        "mixes": [
+            {"mix": "uniform", "points": list(points) or [_service_load_point()]},
+            {"mix": "skewed", "points": [_service_load_point()]},
+        ],
+    }
+
+
+def test_validator_accepts_service_load_section() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    run_bench.validate_bench_payload(
+        {**good, "service_load": _service_load_section()}
+    )
+
+
+def test_validator_rejects_malformed_service_load() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    with pytest.raises(ValueError, match="mixes must be a non-empty list"):
+        run_bench.validate_bench_payload(
+            {**good, "service_load": {**_service_load_section(), "mixes": []}}
+        )
+    unknown_mix = _service_load_section()
+    unknown_mix["mixes"][0]["mix"] = "thundering-herd"
+    with pytest.raises(ValueError, match="mixes\\[0\\].mix"):
+        run_bench.validate_bench_payload({**good, "service_load": unknown_mix})
+    with pytest.raises(ValueError, match="daemon.batch_max"):
+        no_batch = _service_load_section()
+        no_batch["daemon"]["batch_max"] = 0
+        run_bench.validate_bench_payload({**good, "service_load": no_batch})
+    with pytest.raises(ValueError, match="jobs_per_second"):
+        run_bench.validate_bench_payload(
+            {
+                **good,
+                "service_load": _service_load_section(
+                    _service_load_point(jobs_per_second="fast")
+                ),
+            }
+        )
+    with pytest.raises(ValueError, match="completed <= accepted <= submitted"):
+        run_bench.validate_bench_payload(
+            {
+                **good,
+                "service_load": _service_load_section(
+                    _service_load_point(completed=5000)
+                ),
+            }
+        )
+    with pytest.raises(ValueError, match="p50 <= p99 <= max"):
+        run_bench.validate_bench_payload(
+            {
+                **good,
+                "service_load": _service_load_section(
+                    _service_load_point(
+                        latency_seconds={"p50": 0.2, "p99": 0.09, "max": 0.3}
+                    )
+                ),
+            }
+        )
+
+
+def test_validator_checks_host_metadata() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    # cpu_count is optional (older payloads predate it) but typed when present.
+    run_bench.validate_bench_payload(
+        {**good, "host": {**good["host"], "cpu_count": 8}}
+    )
+    with pytest.raises(ValueError, match="host.cpu_count"):
+        run_bench.validate_bench_payload(
+            {**good, "host": {**good["host"], "cpu_count": "eight"}}
+        )
+    with pytest.raises(ValueError, match="host.python"):
+        run_bench.validate_bench_payload(
+            {**good, "host": {**good["host"], "python": ""}}
+        )
+
+
 def _mitigation_case(**overrides) -> dict:
     case = {
         "scenario": "table1-quick",

@@ -250,12 +250,15 @@ def test_engine_matches_reference_evaluator(paper_population_small) -> None:
 
 
 def test_available_and_get_backend() -> None:
-    assert available_backends() == ("sequential", "process")
+    assert available_backends() == ("sequential", "process", "sharded")
     assert isinstance(get_backend(None), SequentialBackend)
     assert isinstance(get_backend("sequential"), SequentialBackend)
     pool = get_backend("process", workers=2)
     assert isinstance(pool, ProcessPoolBackend)
     assert pool.workers == 2
+    sharded = get_backend("sharded", workers=2)
+    assert type(sharded).__name__ == "ShardedBackend"
+    assert sharded.workers == 2
     with pytest.raises(PartitioningError):
         get_backend("gpu")
 

@@ -148,13 +148,18 @@ def build_plan(mix: str, rate: float, duration: float, rng: random.Random):
 class Daemon:
     """A ``repro.cli serve`` subprocess bound to an ephemeral port."""
 
-    def __init__(self, workdir: str, queue_workers: int, batch_max: int):
+    def __init__(
+        self,
+        workdir: str,
+        queue_workers: int,
+        batch_max: int,
+        chaos: "str | None" = None,
+    ):
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
         )
-        self.proc = subprocess.Popen(
-            [
+        command = [
                 sys.executable, "-m", "repro.cli", "serve",
                 "--workdir", workdir,
                 "--host", "127.0.0.1",
@@ -162,7 +167,11 @@ class Daemon:
                 "--queue-limit", "1000000",
                 "--queue-workers", str(queue_workers),
                 "--batch-max", str(batch_max),
-            ],
+        ]
+        if chaos:
+            command += ["--chaos", chaos]
+        self.proc = subprocess.Popen(
+            command,
             stdout=subprocess.PIPE,
             stderr=subprocess.DEVNULL,
             text=True,
@@ -330,6 +339,246 @@ def run_point(
     }
 
 
+# ---------------------------------------------------------------- chaos point
+
+#: Chaos spec of the committed ``"chaos"`` bench section: a 5% seeded
+#: fsync failure rate on the journal's group commits — enough injected
+#: disk trouble that the daemon demonstrably enters READ_ONLY and the
+#: probe loop demonstrably restores it, at a fixed reproducible schedule.
+CHAOS_SPEC = "disk-fsync=0.05,seed=42"
+#: Offered rate / duration of the chaos point (full and --smoke).
+CHAOS_RATE = 200.0
+CHAOS_DURATION = 6.0
+CHAOS_DURATION_SMOKE = 3.0
+#: How long after the drain the daemon gets to probe its way back to
+#: HEALTHY before the point is declared stuck.
+CHAOS_RECOVERY_TIMEOUT = 30.0
+
+
+def _health_watcher(daemon, stop, samples):
+    """Poll ``/v1/healthz`` every ~10ms, appending ``(t, state)`` samples.
+
+    External observation on purpose: availability and recovery time are
+    measured the way a load balancer would see them, not from the
+    daemon's own counters.
+    """
+    conn = daemon.connect()
+    try:
+        while not stop.is_set():
+            try:
+                _, health = daemon.request(conn, "GET", "/v1/healthz")
+            except (OSError, http.client.HTTPException):
+                conn.close()
+                conn = daemon.connect()
+                continue
+            samples.append((time.monotonic(), health["state"]))
+            time.sleep(0.01)
+    finally:
+        conn.close()
+
+
+def _degraded_episodes(samples):
+    """Closed READ_ONLY windows (seconds) observed in a health sample run."""
+    episodes, opened = [], None
+    for stamp, state in samples:
+        if state != "HEALTHY" and opened is None:
+            opened = stamp
+        elif state == "HEALTHY" and opened is not None:
+            episodes.append(stamp - opened)
+            opened = None
+    return episodes
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    return ordered[int(fraction * (len(ordered) - 1))]
+
+
+def _submit_with_retry(daemon, conn, spec, totals):
+    """Submit one job, retrying degraded rejections and broken connections.
+
+    Returns the (possibly reconnected) connection.  The retry loop is the
+    client contract chaos enforces: a 503 ``degraded`` backs off and
+    retries; a connection torn mid-response retries and treats the
+    resulting 409 ``duplicate_id`` as success (the ghosted first attempt
+    was journaled — at-least-once delivery observed from outside).
+    """
+    backoff = 0.01
+    while True:
+        totals["attempts"] += 1
+        try:
+            status, payload = daemon.request(conn, "POST", "/v1/jobs", spec)
+        except (OSError, http.client.HTTPException):
+            conn.close()
+            conn = daemon.connect()
+            totals["connection_errors"] += 1
+            continue
+        if status == 202:
+            totals["accepted"] += 1
+            return conn
+        if status == 409:  # ghosted ack from a torn earlier attempt
+            totals["accepted"] += 1
+            totals["ghosted_acks"] += 1
+            return conn
+        # v1 envelope: {"error": {"code": <reason>, ...}}.
+        reason = (payload.get("error") or {}).get("code")
+        if reason == "degraded":
+            totals["rejected_degraded"] += 1
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 0.5)
+            continue
+        totals["rejected_other"] += 1
+        return conn
+
+
+def run_chaos_point(
+    spec: str = CHAOS_SPEC,
+    rate: float = CHAOS_RATE,
+    duration: float = CHAOS_DURATION,
+    seed: int = 42,
+    queue_workers: int = 2,
+    batch_max: int = 32,
+    drain_timeout: float = 600.0,
+) -> dict:
+    """One chaos load point: the real daemon under ``--chaos`` fault
+    injection, measured from the outside.
+
+    Returns the ``"chaos"`` bench section: availability (fraction of
+    health polls answered HEALTHY), degraded-episode recovery-time
+    percentiles, sustained jobs/sec under the fault rate, and the
+    daemon's chaos/degradation counters.  Raises if any acknowledged job
+    is missing from the journal replay or the daemon fails to end
+    HEALTHY — the two invariants no amount of injected trouble may bend.
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.service.journal import JobJournal
+
+    rng = random.Random(f"{seed}:chaos:{rate:g}")
+    plan = build_plan("uniform", rate, duration, rng)
+    with tempfile.TemporaryDirectory(prefix="load-gen-chaos-") as workdir:
+        daemon = Daemon(workdir, queue_workers, batch_max, chaos=spec)
+        samples: list = []
+        stop = threading.Event()
+        watcher = threading.Thread(
+            target=_health_watcher, args=(daemon, stop, samples)
+        )
+        try:
+            watcher.start()
+            totals = {
+                "attempts": 0,
+                "accepted": 0,
+                "rejected_degraded": 0,
+                "rejected_other": 0,
+                "connection_errors": 0,
+                "ghosted_acks": 0,
+            }
+            conn = daemon.connect()
+            t0 = time.monotonic()
+            for arrival, job_spec in plan:
+                due = arrival - (time.monotonic() - t0)
+                if due > 0:
+                    time.sleep(due)
+                conn = _submit_with_retry(daemon, conn, job_spec, totals)
+
+            # Drain, then give the probe loop room to close any episode
+            # that was still open when the last job finished.
+            deadline = time.monotonic() + drain_timeout
+            while True:
+                try:
+                    _, health = daemon.request(conn, "GET", "/v1/healthz")
+                except (OSError, http.client.HTTPException):
+                    conn.close()
+                    conn = daemon.connect()
+                    continue
+                if health["queued"] == 0 and health["running"] == 0:
+                    break
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"chaos@{rate:g}: drain timed out with "
+                        f"{health['queued']} queued / {health['running']} running"
+                    )
+                time.sleep(0.05)
+            deadline = time.monotonic() + CHAOS_RECOVERY_TIMEOUT
+            while health["state"] != "HEALTHY":
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"chaos@{rate:g}: daemon stuck {health['state']} "
+                        f"({health['degraded_reasons']}) after the drain"
+                    )
+                time.sleep(0.05)
+                _, health = daemon.request(conn, "GET", "/v1/healthz")
+            final_state = health["state"]
+
+            _, metrics = daemon.request(conn, "GET", "/v1/metrics")
+            _, listing = daemon.request(
+                conn, "GET", f"/v1/jobs?state=DONE&limit={len(plan)}"
+            )
+            conn.close()
+        finally:
+            stop.set()
+            watcher.join(timeout=10)
+            daemon.stop()
+        # The daemon is dead; replay its journal the way a restart would
+        # and hold the no-acked-job-lost invariant against it.
+        replayed = JobJournal(Path(workdir) / "journal.jsonl").replay()
+
+    done = {job["id"] for job in listing["jobs"]}
+    missing = done - set(replayed)
+    if missing:
+        raise RuntimeError(
+            f"chaos@{rate:g}: {len(missing)} acknowledged jobs missing "
+            f"from the journal replay (e.g. {sorted(missing)[:3]})"
+        )
+    if totals["accepted"] != len(done):
+        raise RuntimeError(
+            f"chaos@{rate:g}: {totals['accepted']} accepted but only "
+            f"{len(done)} completed"
+        )
+    jobs = listing["jobs"]
+    span = max(
+        max(job["updated_at"] for job in jobs)
+        - min(job["submitted_at"] for job in jobs),
+        1e-9,
+    )
+    episodes = _degraded_episodes(samples)
+    healthy_polls = sum(1 for _, state in samples if state == "HEALTHY")
+    counters = metrics.get("counters", {})
+    return {
+        "spec": spec,
+        "seed": seed,
+        "offered_jobs_per_second": float(rate),
+        "duration_seconds": float(duration),
+        "submitted": len(plan),
+        "attempts": totals["attempts"],
+        "accepted": totals["accepted"],
+        "rejected_degraded": totals["rejected_degraded"],
+        "rejected_other": totals["rejected_other"],
+        "connection_errors": totals["connection_errors"],
+        "completed": len(done),
+        "jobs_per_second": len(done) / span,
+        "availability": healthy_polls / max(len(samples), 1),
+        "health_polls": len(samples),
+        "degraded_episodes": len(episodes),
+        "recovery_seconds": {
+            "p50": _percentile(episodes, 0.50) if episodes else 0.0,
+            "p99": _percentile(episodes, 0.99) if episodes else 0.0,
+            "max": max(episodes) if episodes else 0.0,
+        },
+        "final_state": final_state,
+        "counters": {
+            name: counters.get(name, 0)
+            for name in (
+                "chaos.faults_injected",
+                "service.journal_write_failures",
+                "service.degraded_entered",
+                "service.degraded_recoveries",
+                "service.watchdog_requeues",
+            )
+        },
+    }
+
+
 def run_load_suite(
     mixes=("uniform", "skewed", "adversarial"),
     rates=(500.0, 1500.0, 3000.0),
@@ -442,7 +691,75 @@ def main(argv=None) -> int:
         "validate the section schema, and fail unless p99 "
         f"< {SMOKE_P99_BOUND_SECONDS:g}s",
     )
+    parser.add_argument(
+        "--chaos",
+        nargs="?",
+        const=CHAOS_SPEC,
+        default=None,
+        metavar="SPEC",
+        help="run the chaos point instead of the load sweep: serve --chaos "
+        f"SPEC (default {CHAOS_SPEC!r}) under offered load, measure "
+        "availability and recovery time, and fail unless the daemon ends "
+        "HEALTHY with no acknowledged job lost",
+    )
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        duration = CHAOS_DURATION_SMOKE if args.smoke else min(
+            args.duration, CHAOS_DURATION
+        )
+        rate = args.rate[0] if args.rate else CHAOS_RATE
+        print(
+            f"[chaos] {args.chaos!r} @ {rate:g} jobs/s offered "
+            f"for {duration:g}s ...",
+            flush=True,
+        )
+        section = run_chaos_point(
+            spec=args.chaos,
+            rate=rate,
+            duration=duration,
+            seed=args.seed,
+            queue_workers=args.queue_workers,
+            batch_max=args.batch_max,
+        )
+        print(
+            "    availability {:.1%}, {} degraded episodes "
+            "(recovery p50 {:.0f}ms p99 {:.0f}ms), {:.0f} jobs/s, "
+            "ends {} with {}/{} acked jobs completed".format(
+                section["availability"],
+                section["degraded_episodes"],
+                section["recovery_seconds"]["p50"] * 1000,
+                section["recovery_seconds"]["p99"] * 1000,
+                section["jobs_per_second"],
+                section["final_state"],
+                section["completed"],
+                section["accepted"],
+            ),
+            flush=True,
+        )
+        run_bench = _load_run_bench()
+        try:
+            run_bench.validate_chaos(section)
+        except ValueError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print("chaos section validates against the bench schema")
+        if args.out:
+            Path(args.out).write_text(json.dumps(section, indent=2) + "\n")
+            print(f"wrote {args.out}")
+        degraded = max(
+            section["degraded_episodes"],
+            section["counters"]["service.degraded_recoveries"],
+        )
+        if args.smoke and degraded < 1:
+            # The smoke point exists to exercise the degrade/recover
+            # cycle; a run that never degraded proves nothing.  Counted
+            # both ways: externally (health polls) and from the daemon's
+            # own recovery counter, since a sub-poll-interval episode can
+            # slip between samples.
+            print("FAIL: chaos smoke observed no degraded episode", file=sys.stderr)
+            return 1
+        return 0
 
     if args.smoke:
         mixes = tuple(args.mix) if args.mix else ("uniform", "skewed")

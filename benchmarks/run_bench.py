@@ -889,6 +889,95 @@ def validate_service_load(section: dict) -> None:
                      "p50 <= p99 <= max")
 
 
+#: Counters the ``"chaos"`` bench section must carry (see
+#: ``benchmarks/load_gen.py::run_chaos_point``).
+CHAOS_COUNTERS = (
+    "chaos.faults_injected",
+    "service.journal_write_failures",
+    "service.degraded_entered",
+    "service.degraded_recoveries",
+    "service.watchdog_requeues",
+)
+
+
+def run_chaos(quick: bool) -> dict:
+    """The chaos point: the real daemon subprocess under ``--chaos``
+    seeded fault injection, measured externally (availability, degraded-
+    episode recovery time, sustained jobs/sec at the injected fault rate).
+
+    Delegates to :mod:`benchmarks.load_gen` and returns its ``"chaos"``
+    section.  The point itself enforces the hard invariants (ends
+    HEALTHY, no acknowledged job lost) by raising.
+    """
+    spec = importlib.util.spec_from_file_location(
+        "load_gen", Path(__file__).resolve().parent / "load_gen.py"
+    )
+    load_gen = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(load_gen)
+    duration = load_gen.CHAOS_DURATION_SMOKE if quick else load_gen.CHAOS_DURATION
+    return load_gen.run_chaos_point(duration=duration)
+
+
+def validate_chaos(section: dict) -> None:
+    """Raise ``ValueError`` unless ``section`` is a well-formed ``chaos``
+    bench section (see ``benchmarks/load_gen.py``)."""
+
+    def fail(message: str) -> None:
+        raise ValueError(f"invalid chaos section: {message}")
+
+    if not isinstance(section, dict):
+        fail("must be a dict")
+    if not isinstance(section.get("spec"), str) or not section["spec"]:
+        fail("spec must be a non-empty string")
+    if not isinstance(section.get("seed"), int):
+        fail("seed must be an int")
+    for key in ("offered_jobs_per_second", "duration_seconds", "jobs_per_second"):
+        value = section.get(key)
+        if not isinstance(value, float) or value <= 0:
+            fail(f"{key} must be a positive float")
+    for key in (
+        "submitted",
+        "attempts",
+        "accepted",
+        "rejected_degraded",
+        "rejected_other",
+        "connection_errors",
+        "completed",
+        "health_polls",
+        "degraded_episodes",
+    ):
+        value = section.get(key)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{key} must be a non-negative int")
+    if section["submitted"] < 1:
+        fail("submitted must be positive")
+    if not section["completed"] <= section["accepted"] <= section["attempts"]:
+        fail("completed <= accepted <= attempts violated")
+    availability = section.get("availability")
+    if not isinstance(availability, float) or not 0.0 <= availability <= 1.0:
+        fail("availability must be a float in [0, 1]")
+    recovery = section.get("recovery_seconds")
+    if not isinstance(recovery, dict):
+        fail("recovery_seconds must be a dict")
+    for key in ("p50", "p99", "max"):
+        value = recovery.get(key)
+        if not isinstance(value, float) or value < 0:
+            fail(f"recovery_seconds.{key} must be a non-negative float")
+    if not recovery["p50"] <= recovery["p99"] <= recovery["max"]:
+        fail("recovery percentiles must be ordered p50 <= p99 <= max")
+    if section["degraded_episodes"] > 0 and recovery["max"] <= 0:
+        fail("degraded episodes were observed but recovery max is zero")
+    if section.get("final_state") != "HEALTHY":
+        fail(f"final_state must be 'HEALTHY', got {section.get('final_state')!r}")
+    counters = section.get("counters")
+    if not isinstance(counters, dict):
+        fail("counters must be a dict")
+    for name in CHAOS_COUNTERS:
+        value = counters.get(name)
+        if not isinstance(value, (int, float)) or value < 0:
+            fail(f"counters[{name!r}] must be a non-negative number")
+
+
 def validate_bench_payload(payload: dict) -> None:
     """Raise ``ValueError`` unless ``payload`` is a well-formed v1 bench."""
 
@@ -976,6 +1065,11 @@ def validate_bench_payload(payload: dict) -> None:
     if "service_load" in payload:
         try:
             validate_service_load(payload["service_load"])
+        except ValueError as exc:
+            fail(str(exc))
+    if "chaos" in payload:
+        try:
+            validate_chaos(payload["chaos"])
         except ValueError as exc:
             fail(str(exc))
     if "streaming" in payload:
@@ -1168,6 +1262,7 @@ def run_suite(
     mitigation: bool = False,
     kernels: bool = False,
     service_load: bool = False,
+    chaos: bool = False,
 ) -> dict:
     """Execute the fixed suite and return the (validated) payload."""
     cases = []
@@ -1215,6 +1310,9 @@ def run_suite(
         payload["kernels"] = run_kernels(quick, repeats)
     if service_load:
         payload["service_load"] = run_service_load(quick)
+    if chaos:
+        print("[chaos] daemon under seeded fault injection ...", flush=True)
+        payload["chaos"] = run_chaos(quick)
     validate_bench_payload(payload)
     return payload
 
@@ -1284,6 +1382,14 @@ def main(argv=None) -> int:
         f"across the {LOAD_MIXES} arrival mixes, real serve subprocess)",
     )
     parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also run the chaos point (benchmarks/load_gen.py --chaos): the "
+        "real serve subprocess under seeded fault injection, recording "
+        "availability, recovery-time percentiles and jobs/s at the injected "
+        "fault rate",
+    )
+    parser.add_argument(
         "--mitigation",
         action="store_true",
         help="also run the repair-strategy sweep (every registered strategy "
@@ -1311,6 +1417,7 @@ def main(argv=None) -> int:
         mitigation=mitigation,
         kernels=kernels,
         service_load=args.service_load,
+        chaos=args.chaos,
     )
 
     if args.out:
@@ -1349,6 +1456,19 @@ def main(argv=None) -> int:
             f"through the HTTP front end "
             f"(at {best['offered_jobs_per_second']:g} jobs/s offered, "
             f"p99 {best['latency_seconds']['p99'] * 1000:.0f}ms)"
+        )
+    if "chaos" in payload:
+        chaos_section = payload["chaos"]
+        print(
+            "chaos: {:.1%} available under {} ({} degraded episodes, "
+            "recovery p99 {:.0f}ms, {:.0f} jobs/s, ends {})".format(
+                chaos_section["availability"],
+                chaos_section["spec"],
+                chaos_section["degraded_episodes"],
+                chaos_section["recovery_seconds"]["p99"] * 1000,
+                chaos_section["jobs_per_second"],
+                chaos_section["final_state"],
+            )
         )
     if "scaling" in payload:
         population, speedup = scaling_speedup(payload["scaling"])

@@ -666,6 +666,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan each job's engine work out across N worker processes "
         "by atom-range (bit-identical to sequential; default: in-process)",
     )
+    serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="seeded service-wide fault injection, e.g. "
+        "'disk-fsync=0.1,net-reset=0.05,worker-stall=0.02,seed=7' "
+        "(see docs/robustness.md for the full fault taxonomy)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        dest="request_timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="total HTTP header+body read deadline per request; slow-loris "
+        "peers get 408 and the socket back (0 disables; default 30)",
+    )
+    serve.add_argument(
+        "--watchdog-seconds",
+        dest="watchdog_seconds",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="re-queue jobs stuck RUNNING longer than this (stalled-worker "
+        "watchdog; default: disabled)",
+    )
     _add_engine_arguments(serve)
 
     submit = subparsers.add_parser(
@@ -1209,6 +1235,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         snapshot_dir = None
     else:
         snapshot_dir = args.snapshot_out
+    chaos = None
+    if args.chaos:
+        from repro.service.chaos import ChaosConfig
+
+        try:
+            chaos = ChaosConfig.parse(args.chaos)
+        except ValueError as exc:
+            print(f"--chaos: {exc}", file=sys.stderr)
+            return 2
     service = AuditService(
         ServiceConfig(
             args.workdir,
@@ -1226,6 +1261,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             rate_limit_burst=args.rate_limit_burst,
             batch_max=args.batch_max,
             shard_workers=args.shard_workers,
+            chaos=chaos,
+            request_timeout=(
+                args.request_timeout if args.request_timeout > 0 else None
+            ),
+            watchdog_seconds=args.watchdog_seconds,
         ),
         retry_policy=retry_policy,
     )
@@ -1240,6 +1280,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"(journal: {service.journal.path})",
         flush=True,
     )
+    if chaos is not None and chaos.enabled:
+        print(f"chaos enabled: {chaos.spec} (seed={chaos.seed})", flush=True)
     while not service.wait_for_shutdown(timeout=0.2):
         pass
     print("shutdown requested; draining in-flight jobs", flush=True)

@@ -133,8 +133,9 @@ class JobRejectedError(ServiceError):
     """A job submission was refused, with a typed machine-readable reason.
 
     ``reason`` is one of the :data:`~repro.service.server.REJECTION_REASONS`
-    (``queue_full``, ``duplicate_id``, ``invalid_spec``, ``shutting_down``)
-    so clients can distinguish backpressure from caller bugs.
+    (``queue_full``, ``duplicate_id``, ``invalid_spec``, ``shutting_down``,
+    ``rate_limited``, ``degraded``) so clients can distinguish backpressure
+    from caller bugs from a service that has lost its disk.
     """
 
     def __init__(self, reason: str, message: "str | None" = None) -> None:
@@ -153,6 +154,29 @@ class JournalError(ServiceError):
     raised; this error means a record before the tail failed its CRC — i.e.
     the file was damaged in a way recovery must not silently paper over.
     """
+
+
+class JournalWriteError(JournalError):
+    """A journal append or fsync failed — durability was NOT achieved.
+
+    Raised instead of a bare :class:`OSError` so the acknowledgement path
+    can tell "the disk refused this record" (reject the submit, flip the
+    service READ_ONLY, keep serving reads) apart from "the file is
+    corrupt" (:class:`JournalError` on open/replay).  Nothing guarded by
+    this error may be acknowledged to a client: the group-commit path
+    unwinds accepted-but-uncommitted records and rejects them with the
+    typed ``degraded`` reason.
+
+    ``written`` distinguishes the two failure shapes: ``False`` means the
+    record never reached the file (safe to re-append after recovery);
+    ``True`` means the bytes are in the file/OS cache but durability was
+    not achieved (re-appending would duplicate the record — a later
+    successful fsync is the only correct repair).
+    """
+
+    def __init__(self, message: "str | None" = None, *, written: bool = False) -> None:
+        self.written = written
+        super().__init__(message or "journal write failed")
 
 
 class SnapshotError(ServiceError):

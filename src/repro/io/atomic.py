@@ -13,6 +13,13 @@ same two guarantees:
   handle so an append-only log's records survive power loss once the
   append call returns.
 
+Every write and fsync routes through :mod:`repro.io.faultfs` — a no-op
+pass-through unless a chaos fault plane is installed, in which case the
+operation may fail the way real disks fail (ENOSPC, EIO, torn writes,
+failed fsync, slow I/O).  Callers that are part of the service's durable
+stores pass a ``crash_scope`` so the replace boundary is a named
+:func:`~repro.io.faultfs.crash_point` the torture harness can kill at.
+
 Directory creation is race-safe (``exist_ok=True``): two processes — or a
 daemon and a submitter — may create the same state directory concurrently
 without one of them crashing.
@@ -22,6 +29,8 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+
+from repro.io import faultfs
 
 __all__ = [
     "ensure_directory",
@@ -39,10 +48,10 @@ def ensure_directory(path: "str | Path") -> Path:
     return directory
 
 
-def fsync_handle(handle) -> None:
+def fsync_handle(handle, label: str = "file") -> None:
     """Flush python buffers and fsync the OS file description."""
     handle.flush()
-    os.fsync(handle.fileno())
+    faultfs.fsync(handle.fileno(), label)
 
 
 def fsync_directory(path: "str | Path") -> None:
@@ -61,25 +70,46 @@ def fsync_directory(path: "str | Path") -> None:
         os.close(fd)
 
 
-def atomic_write_bytes(path: "str | Path", data: bytes) -> Path:
+def atomic_write_bytes(
+    path: "str | Path", data: bytes, *, crash_scope: "str | None" = None
+) -> Path:
     """Atomically replace ``path`` with ``data`` (tmp + fsync + replace).
 
     The parent directory is created if missing.  A kill at any instant
     leaves either the previous content or the new content at ``path`` —
     never a partial write; stray ``.tmp`` files from a kill inside this
-    function are overwritten by the next call.
+    function are overwritten by the next call.  ``crash_scope`` names the
+    replace boundary for the crash-point torture harness
+    (``<scope>.before_replace`` / ``<scope>.after_replace``).
     """
     target = Path(path)
     ensure_directory(target.parent)
     tmp = target.with_name(target.name + ".tmp")
-    with tmp.open("wb") as handle:
-        handle.write(data)
-        fsync_handle(handle)
+    try:
+        with tmp.open("wb") as handle:
+            faultfs.write(handle, data, label=target.name)
+            fsync_handle(handle, label=target.name)
+    except OSError:
+        # A *failed* write (ENOSPC, EIO, failed fsync) must not leave a
+        # torn tmp squatting in the directory — on a full disk that
+        # garbage is precisely what keeps the disk full.  (A kill leaves
+        # the tmp behind; the next call overwrites it.)
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - unlink raced or refused
+            pass
+        raise
+    if crash_scope is not None:
+        faultfs.crash_point(f"{crash_scope}.before_replace")
     os.replace(tmp, target)
+    if crash_scope is not None:
+        faultfs.crash_point(f"{crash_scope}.after_replace")
     fsync_directory(target.parent)
     return target
 
 
-def atomic_write_text(path: "str | Path", text: str) -> Path:
+def atomic_write_text(
+    path: "str | Path", text: str, *, crash_scope: "str | None" = None
+) -> Path:
     """:func:`atomic_write_bytes` for UTF-8 text."""
-    return atomic_write_bytes(path, text.encode("utf-8"))
+    return atomic_write_bytes(path, text.encode("utf-8"), crash_scope=crash_scope)

@@ -21,11 +21,22 @@ The three layers, bottom up:
   execution;
 * :mod:`repro.service.http` — the ``asyncio`` HTTP front end serving the
   ``/v1`` API (and the deprecated legacy aliases) without a thread per
-  connection.
+  connection;
+* :mod:`repro.service.chaos` — the seeded, deterministic fault-injection
+  layer (disk/net/worker chaos specs and crash points) threaded through
+  every seam above; ``serve --chaos`` arms it, ``docs/robustness.md``
+  maps the taxonomy.
 
 See ``docs/service.md`` and ``docs/streaming.md`` for the operational story.
 """
 
+from repro.service.chaos import (
+    CRASH_POINTS,
+    ChaosConfig,
+    DiskFaultConfig,
+    NetChaosConfig,
+    WorkerChaosConfig,
+)
 from repro.service.jobs import (
     JOB_KINDS,
     JOB_SCHEMA,
@@ -40,7 +51,12 @@ from repro.service.jobs import (
 from repro.service.journal import JOURNAL_SCHEMA, JobJournal
 from repro.service.monitor import MonitoredPopulation, MonitorSpec
 from repro.service.scheduling import TenantScheduler, TokenBucket
-from repro.service.server import REJECTION_REASONS, AuditService, ServiceConfig
+from repro.service.server import (
+    HEALTH_STATES,
+    REJECTION_REASONS,
+    AuditService,
+    ServiceConfig,
+)
 from repro.service.snapshot import (
     SNAPSHOT_SCHEMA,
     compact_snapshot,
@@ -52,7 +68,13 @@ from repro.service.snapshot import (
 __all__ = [
     "AuditJob",
     "AuditService",
+    "CRASH_POINTS",
+    "ChaosConfig",
+    "DiskFaultConfig",
+    "HEALTH_STATES",
     "JobJournal",
+    "NetChaosConfig",
+    "WorkerChaosConfig",
     "JobRecord",
     "JobState",
     "JOB_KINDS",

@@ -26,6 +26,7 @@ so :class:`~repro.service.server.AuditService` drives it unchanged.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import socket
 import threading
@@ -44,6 +45,7 @@ REJECTION_STATUS = {
     "duplicate_id": 409,
     "invalid_spec": 400,
     "shutting_down": 503,
+    "degraded": 503,
 }
 
 #: Upper bound on a request head (request line + headers).
@@ -253,7 +255,14 @@ class AsyncHTTPServer:
     thread.  ``shutdown`` is thread-safe and idempotent.
     """
 
-    def __init__(self, service, host: str, port: int) -> None:
+    def __init__(
+        self,
+        service,
+        host: str,
+        port: int,
+        request_timeout: "float | None" = 30.0,
+        chaos=None,
+    ) -> None:
         self._service = service
         self._socket = socket.create_server((host, port))
         self.server_address = self._socket.getsockname()[:2]
@@ -262,6 +271,15 @@ class AsyncHTTPServer:
         self._stop: "asyncio.Event | None" = None
         self._started = threading.Event()
         self._closed = False
+        #: Total head+body deadline per request (None disables); a peer
+        #: that trickles bytes slower than this gets a 408 and the socket
+        #: back — one slow-loris client cannot pin reactor buffers open.
+        self._request_timeout = request_timeout
+        #: Optional :class:`repro.service.chaos.NetChaosConfig` — injected
+        #: response-side faults (reset/truncate/stall/close), deterministic
+        #: per response index so a seeded run replays the same carnage.
+        self._chaos = chaos if chaos is not None and chaos.enabled else None
+        self._responses = 0
 
     def serve_forever(self) -> None:
         asyncio.run(self._main())
@@ -294,15 +312,41 @@ class AsyncHTTPServer:
         except OSError:  # pragma: no cover - already closed by the loop
             pass
 
+    def _metric(self, name: str, value: float = 1) -> None:
+        metrics = getattr(self._service, "metrics", None)
+        if metrics is not None:
+            metrics.inc(name, value)
+
     async def _serve_connection(self, reader, writer) -> None:
-        """One keep-alive connection: parse → dispatch off-loop → respond."""
+        """One keep-alive connection: parse → dispatch off-loop → respond.
+
+        Every request gets a single deadline covering both the head and
+        body reads (``request_timeout``); a peer that stalls mid-head or
+        trickles its body (slow loris) is answered with 408 and
+        disconnected.  The same 408-then-close answers an idle keep-alive
+        connection that outlives the deadline — RFC 9110 blesses 408 as
+        the "close your idle connection" signal, and clients retry it on
+        a fresh connection.
+        """
         loop = asyncio.get_running_loop()
+        timeout = self._request_timeout
         try:
             while True:
+                deadline = loop.time() + timeout if timeout is not None else None
                 try:
-                    head = await reader.readuntil(b"\r\n\r\n")
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"),
+                        None if deadline is None else timeout,
+                    )
                 except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
                     break  # EOF between requests, or an oversized head
+                except asyncio.TimeoutError:
+                    self._metric("service.request_timeouts")
+                    writer.write(
+                        _render(408, {"error": "request timed out"}, True, False)
+                    )
+                    await writer.drain()
+                    break
                 request = self._parse_head(head)
                 if request is None:
                     writer.write(
@@ -318,12 +362,36 @@ class AsyncHTTPServer:
                     )
                     await writer.drain()
                     break
-                body = await reader.readexactly(length) if length else b""
+                try:
+                    if length:
+                        remaining = (
+                            None if deadline is None
+                            else max(0.001, deadline - loop.time())
+                        )
+                        body = await asyncio.wait_for(
+                            reader.readexactly(length), remaining
+                        )
+                    else:
+                        body = b""
+                except asyncio.TimeoutError:
+                    self._metric("service.request_timeouts")
+                    writer.write(
+                        _render(408, {"error": "request timed out"}, True, False)
+                    )
+                    await writer.drain()
+                    break
                 status, payload, api_v1 = await loop.run_in_executor(
                     self._executor, dispatch, self._service, method, target, body
                 )
-                writer.write(_render(status, payload, api_v1, keep_alive))
-                await writer.drain()
+                if self._chaos is not None:
+                    keep_alive, finished = await self._inject_response_chaos(
+                        writer, status, payload, api_v1, keep_alive
+                    )
+                    if not finished:
+                        break
+                else:
+                    writer.write(_render(status, payload, api_v1, keep_alive))
+                    await writer.drain()
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -334,6 +402,54 @@ class AsyncHTTPServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
+
+    async def _inject_response_chaos(
+        self, writer, status: int, payload: dict, api_v1: bool, keep_alive: bool
+    ) -> "tuple[bool, bool]":
+        """Write one response through the network fault plane.
+
+        Returns ``(keep_alive, finished)``; ``finished=False`` means the
+        connection was deliberately wrecked (reset mid-body or truncated)
+        and the caller must stop serving it.  Faults are injected strictly
+        *after* dispatch — the service processed the request, only the
+        client's view of the outcome is damaged, which is exactly the
+        partial-failure shape retrying clients must survive.
+        """
+        chaos = self._chaos
+        self._responses += 1
+        key = f"resp-{self._responses}"
+        if chaos.roll("stall", key):
+            self._metric("chaos.faults_injected")
+            self._metric("chaos.net_stall")
+            await asyncio.sleep(chaos.stall_seconds)
+        if chaos.roll("close", key) and keep_alive:
+            self._metric("chaos.faults_injected")
+            self._metric("chaos.net_close")
+            keep_alive = False  # keep-alive churn: force a reconnect
+        data = _render(status, payload, api_v1, keep_alive)
+        if chaos.roll("reset", key):
+            # Connection reset mid-body: half the bytes, then RST.
+            self._metric("chaos.faults_injected")
+            self._metric("chaos.net_reset")
+            writer.write(data[: max(1, len(data) // 2)])
+            with contextlib.suppress(OSError):
+                await writer.drain()
+            writer.transport.abort()
+            return False, False
+        if chaos.roll("truncate", key):
+            # Truncated response: full headers (full Content-Length
+            # declared), half the body, then a clean FIN.
+            self._metric("chaos.faults_injected")
+            self._metric("chaos.net_truncate")
+            head_end = data.index(b"\r\n\r\n") + 4
+            body_len = len(data) - head_end
+            writer.write(data[: len(data) - max(1, body_len // 2)])
+            with contextlib.suppress(OSError):
+                await writer.drain()
+            return False, False
+        writer.write(data)
+        await writer.drain()
+        return keep_alive, True
 
     @staticmethod
     def _parse_head(head: bytes):

@@ -43,7 +43,8 @@ import threading
 from pathlib import Path
 from typing import Iterator
 
-from repro.exceptions import JournalError, ServiceError
+from repro.exceptions import JournalError, JournalWriteError, ServiceError
+from repro.io import faultfs
 from repro.io.atomic import (
     atomic_write_text,
     ensure_directory,
@@ -131,6 +132,12 @@ class JobJournal:
         self._write_seq = 0
         self._sync_seq = 0
         self._syncing = False
+        # Failed-append repair state: ``_clean_bytes`` is the logical
+        # length of every successfully appended record (a failed write may
+        # leave a torn prefix after it); ``_dirty`` forces a flush+truncate
+        # back to that length before the next append.
+        self._clean_bytes = 0
+        self._dirty = False
 
     # -------------------------------------------------------------- lifecycle
 
@@ -148,17 +155,27 @@ class JobJournal:
                 handle.write(encode_record({"type": "header", "schema": JOURNAL_SCHEMA}) + "\n")
                 fsync_handle(handle)
             fsync_directory(self.path.parent)
+        self._clean_bytes = self.path.stat().st_size
+        self._dirty = False
         self._handle = self.path.open("a")
         return self
 
     def close(self) -> None:
         if self._handle is None:
             return
-        self.sync()  # nothing acknowledged is allowed to be in limbo
-        self._drain_sync()
-        with self._io_lock:
-            handle, self._handle = self._handle, None
-        handle.close()
+        try:
+            self.sync()  # nothing acknowledged is allowed to be in limbo
+        finally:
+            self._drain_sync()
+            with self._io_lock:
+                handle, self._handle = self._handle, None
+            try:
+                handle.close()
+            except OSError:
+                # A failing close (flush of a dirty buffer onto a broken
+                # disk) must not mask the sync() error already in flight;
+                # whatever it tore off the tail is truncated on next open.
+                pass
 
     def __enter__(self) -> "JobJournal":
         return self.open()
@@ -179,18 +196,52 @@ class JobJournal:
         (or a later ``sync=True`` append must land) before acknowledging
         anything that depends on it.  Returns the record's write sequence
         number, accepted by :meth:`sync`.
+
+        A write refused by the disk (ENOSPC, EIO, a torn partial write —
+        real or chaos-injected) raises :class:`JournalWriteError`; the
+        journal marks itself dirty and repairs (flush + truncate back to
+        the last good record) before the next append, so one failed write
+        never poisons the records behind or after it.
         """
+        line = encode_record(record) + "\n"
         with self._io_lock:
             if self._handle is None:
                 raise JournalError(
                     "journal not open for appending; call open() first"
                 )
-            self._handle.write(encode_record(record) + "\n")
+            if self._dirty:
+                self._repair_locked()
+            try:
+                faultfs.write(self._handle, line, label="journal")
+            except OSError as exc:
+                self._dirty = True
+                raise JournalWriteError(
+                    f"journal append failed: {exc}"
+                ) from exc
+            self._clean_bytes += len(line.encode("utf-8"))
             self._write_seq += 1
             seq = self._write_seq
+        faultfs.crash_point("journal.append.after_write")
         if sync:
             self.sync(seq)
         return seq
+
+    def _repair_locked(self) -> None:
+        """Truncate a torn prefix left by a failed append (io lock held).
+
+        Flushes whatever good records are still buffered (the torn
+        fragment is ordered last, so the truncate below removes exactly
+        it), cuts the file back to ``_clean_bytes``, and repositions the
+        append handle.
+        """
+        handle = self._handle
+        try:
+            handle.flush()
+        except OSError:  # pragma: no cover - flush onto a still-broken disk
+            pass
+        os.ftruncate(handle.fileno(), self._clean_bytes)
+        handle.seek(0, os.SEEK_END)
+        self._dirty = False
 
     def sync(self, seq: "int | None" = None) -> None:
         """Block until write ``seq`` (default: all writes so far) is durable.
@@ -215,9 +266,22 @@ class JobJournal:
             with self._io_lock:
                 handle = self._handle
                 if handle is not None:
-                    handle.flush()
+                    try:
+                        handle.flush()
+                    except OSError as exc:
+                        self._dirty = True
+                        raise JournalWriteError(
+                            f"journal flush failed: {exc}", written=True
+                        ) from exc
             if handle is not None:
-                os.fsync(handle.fileno())
+                faultfs.crash_point("journal.sync.before_fsync")
+                try:
+                    faultfs.fsync(handle.fileno(), label="journal")
+                except OSError as exc:
+                    raise JournalWriteError(
+                        f"journal fsync failed: {exc}", written=True
+                    ) from exc
+                faultfs.crash_point("journal.sync.after_fsync")
         except BaseException:
             with self._sync_cond:
                 self._syncing = False
@@ -282,10 +346,11 @@ class JobJournal:
             )
         self.recovered_tail_bytes = torn
         if torn:
+            faultfs.crash_point("journal.recover.before_truncate")
             with self.path.open("r+b") as handle:
                 handle.truncate(clean)
                 handle.flush()
-                os.fsync(handle.fileno())
+                faultfs.fsync(handle.fileno(), label="journal.recover")
 
     def read_records(self) -> list[dict]:
         """All verified records (header included); raises on mid-file rot.
@@ -345,6 +410,15 @@ class JobJournal:
                 except (KeyError, ServiceError) as exc:
                     raise JournalError(f"journal submit record invalid: {exc}") from exc
                 if job.id in jobs:
+                    # Degraded-mode signature: a group commit's appends hit
+                    # the file but its fsync failed, so the batch was
+                    # rejected (and unwound) with the submit records already
+                    # on disk; the client's retry then appended a second,
+                    # identical submit.  Idempotent replay — the retry IS the
+                    # same job.  A duplicate with a *different* spec is still
+                    # the corruption this guard exists for.
+                    if jobs[job.id].job == job:
+                        continue
                     raise JournalError(f"duplicate submit for job id {job.id!r}")
                 jobs[job.id] = JobRecord(
                     job=job, submitted_at=float(event.get("ts", 0.0))
@@ -359,6 +433,17 @@ class JobJournal:
                     state = JobState(event["state"])
                 except (KeyError, ValueError) as exc:
                     raise JournalError(f"journal state record invalid: {exc}") from exc
+                if state is JobState.RUNNING and jobs[job_id].state is JobState.RUNNING:
+                    # Degraded-mode signature: a stalled/refused RUNNING job
+                    # was re-queued but the broken disk swallowed the PENDING
+                    # edge, so the re-run's RUNNING edge lands on RUNNING.
+                    # Replay the implied re-queue hop rather than rejecting a
+                    # history the degraded service legitimately produces.
+                    jobs[job_id].transition(
+                        JobState.PENDING,
+                        reason="degraded",
+                        timestamp=float(event.get("ts", 0.0)),
+                    )
                 jobs[job_id].transition(
                     state,
                     attempt=event.get("attempt"),
@@ -413,8 +498,19 @@ class JobJournal:
         lines.extend(encode_record(event) for event in events)
         if was_open:
             self.close()
-        atomic_write_text(self.path, "\n".join(lines) + "\n")
+        try:
+            atomic_write_text(
+                self.path, "\n".join(lines) + "\n", crash_scope="journal.compact"
+            )
+        except OSError as exc:
+            # The replace is atomic, so a failed rewrite leaves the old
+            # file intact — re-open it and surface a typed write error.
+            if was_open:
+                self._clean_bytes = self.path.stat().st_size
+                self._handle = self.path.open("a")
+            raise JournalWriteError(f"journal compaction failed: {exc}") from exc
         if was_open:
+            self._clean_bytes = self.path.stat().st_size
             self._handle = self.path.open("a")
         return max(0, before - self.size_bytes())
 

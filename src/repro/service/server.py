@@ -66,7 +66,13 @@ import threading
 import time
 from pathlib import Path
 
-from repro.exceptions import JobRejectedError, ServiceError
+from repro.exceptions import (
+    JobRejectedError,
+    JournalWriteError,
+    ServiceError,
+    WorkerCrashError,
+)
+from repro.io import faultfs
 from repro.obs.metrics import MetricsRegistry
 from repro.service.jobs import (
     TERMINAL_STATES,
@@ -78,7 +84,7 @@ from repro.service.journal import JobJournal
 from repro.service.monitor import MonitoredPopulation, MonitorSpec
 from repro.service.scheduling import TenantScheduler, TokenBucket
 
-__all__ = ["AuditService", "ServiceConfig", "REJECTION_REASONS"]
+__all__ = ["AuditService", "ServiceConfig", "REJECTION_REASONS", "HEALTH_STATES"]
 
 #: Typed reasons a submission can be rejected with (``JobRejectedError.reason``).
 REJECTION_REASONS = (
@@ -87,7 +93,15 @@ REJECTION_REASONS = (
     "invalid_spec",
     "shutting_down",
     "rate_limited",
+    "degraded",
 )
+
+#: The degradation state machine reported by ``/v1/healthz``:
+#: ``HEALTHY → READ_ONLY`` on a journal/disk write failure (submits are
+#: rejected with the typed ``degraded`` reason, reads and metrics keep
+#: working), ``READ_ONLY → HEALTHY`` when the background probe re-verifies
+#: the disk, and ``→ DRAINING`` (terminal) once shutdown is requested.
+HEALTH_STATES = ("HEALTHY", "READ_ONLY", "DRAINING")
 
 
 class ServiceConfig:
@@ -151,6 +165,24 @@ class ServiceConfig:
         many worker processes by atom-range
         (:class:`~repro.engine.backends.ShardedBackend`); results stay
         bit-identical to sequential.  ``None`` keeps in-process scoring.
+    chaos:
+        A :class:`~repro.service.chaos.ChaosConfig` (``serve --chaos``):
+        seeded fault injection over the disk plane, the HTTP responses
+        and the worker loop.  The disk plane installs *after* journal
+        recovery (chaos targets steady state, not startup) and uninstalls
+        when the drain begins.  ``None`` disables all injection.
+    request_timeout:
+        Total header+body read deadline per HTTP request (seconds); a
+        slow-loris client gets 408 instead of pinning a connection slot.
+        ``None`` disables (the pre-PR-10 behaviour).
+    watchdog_seconds:
+        A job RUNNING longer than this is presumed stalled: the watchdog
+        re-queues it through the legal ``RUNNING → PENDING`` edge and the
+        original worker's late result is discarded by the attempt-token
+        check.  ``None`` disables the watchdog.
+    probe_backoff_seconds / probe_backoff_max_seconds:
+        Initial and capped delay between disk probes while READ_ONLY
+        (exponential backoff).
     """
 
     def __init__(
@@ -172,6 +204,11 @@ class ServiceConfig:
         rate_limit_burst: "int | None" = None,
         batch_max: int = 1,
         shard_workers: "int | None" = None,
+        chaos=None,
+        request_timeout: "float | None" = 30.0,
+        watchdog_seconds: "float | None" = None,
+        probe_backoff_seconds: float = 0.05,
+        probe_backoff_max_seconds: float = 2.0,
     ) -> None:
         if queue_limit < 1:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
@@ -233,6 +270,25 @@ class ServiceConfig:
         if shard_workers is not None and shard_workers < 1:
             raise ServiceError(f"shard_workers must be >= 1, got {shard_workers}")
         self.shard_workers = shard_workers
+        self.chaos = chaos
+        if request_timeout is not None and not request_timeout > 0:
+            raise ServiceError(
+                f"request_timeout must be > 0 seconds, got {request_timeout}"
+            )
+        self.request_timeout = request_timeout
+        if watchdog_seconds is not None and not watchdog_seconds > 0:
+            raise ServiceError(
+                f"watchdog_seconds must be > 0, got {watchdog_seconds}"
+            )
+        self.watchdog_seconds = watchdog_seconds
+        if not probe_backoff_seconds > 0:
+            raise ServiceError(
+                f"probe_backoff_seconds must be > 0, got {probe_backoff_seconds}"
+            )
+        self.probe_backoff_seconds = probe_backoff_seconds
+        self.probe_backoff_max_seconds = max(
+            probe_backoff_seconds, probe_backoff_max_seconds
+        )
 
 
 class AuditService:
@@ -270,6 +326,19 @@ class AuditService:
         self.address: "tuple[str, int] | None" = None
         self._monitors: "dict[str, MonitoredPopulation]" = {}
         self._monitor_thread: "threading.Thread | None" = None
+        # Degradation state machine (HEALTH_STATES).  Guarded by its own
+        # condition so health reads and probe wake-ups never contend with
+        # the job-table lock; lock order is always _lock → _health_cond.
+        self._health_cond = threading.Condition()
+        self._state = "HEALTHY"
+        self._state_since = self._clock()
+        self._degraded_reasons: "list[str]" = []
+        self._probe_thread: "threading.Thread | None" = None
+        self._watchdog_thread: "threading.Thread | None" = None
+        # Terminal edges that could not be appended while the disk was
+        # refusing writes; re-journaled by the probe after recovery.
+        self._unjournaled: "set[str]" = set()
+        self._fault_plane: "faultfs.FaultPlane | None" = None
         from repro.service.cache import CrossJobCache
 
         #: Content-addressed cross-job cache (in-memory only, so a crash
@@ -283,6 +352,22 @@ class AuditService:
         the worker threads and the HTTP listener."""
         self.journal.open()
         self._recover()
+        chaos = self.config.chaos
+        if chaos is not None and chaos.disk.enabled:
+            # Installed only after journal open/recovery: chaos drills the
+            # steady state; a daemon that cannot even start its journal is
+            # a provisioning failure, not a fault-tolerance scenario.
+            self._fault_plane = faultfs.FaultPlane(chaos.disk, metrics=self.metrics)
+            faultfs.install(self._fault_plane)
+        self._probe_thread = threading.Thread(
+            target=self._probe_loop, name="audit-disk-probe", daemon=True
+        )
+        self._probe_thread.start()
+        if self.config.watchdog_seconds is not None:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop, name="audit-watchdog", daemon=True
+            )
+            self._watchdog_thread.start()
         for i in range(self.config.workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"audit-worker-{i}", daemon=True
@@ -347,6 +432,8 @@ class AuditService:
         with the ``None`` sentinel; jobs still queued stay PENDING in the
         journal for the next daemon instance (drain semantics)."""
         self._shutdown.set()
+        with self._health_cond:
+            self._health_cond.notify_all()
         self._scheduler.close()
 
     @property
@@ -361,9 +448,21 @@ class AuditService:
         """Drain and stop: joins workers (in-flight jobs complete), shuts
         the HTTP listener down, snapshots monitors, closes the journal."""
         self.request_shutdown()
+        if self._fault_plane is not None:
+            # Chaos ends where the drain begins: shutdown must always be
+            # able to flush in-flight work and close the journal cleanly.
+            if faultfs.active() is self._fault_plane:
+                faultfs.uninstall()
+            self._fault_plane = None
         for thread in self._threads:
             thread.join()
         self._threads = []
+        if self._probe_thread is not None:
+            self._probe_thread.join()
+            self._probe_thread = None
+        if self._watchdog_thread is not None:
+            self._watchdog_thread.join()
+            self._watchdog_thread = None
         if self._monitor_thread is not None:
             self._monitor_thread.join()
             self._monitor_thread = None
@@ -399,6 +498,166 @@ class AuditService:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
+
+    # ---------------------------------------------------------- degradation
+
+    @property
+    def state(self) -> str:
+        """Current health state (one of :data:`HEALTH_STATES`)."""
+        if self._shutdown.is_set():
+            return "DRAINING"
+        with self._health_cond:
+            return self._state
+
+    def enter_degraded(self, reason: str) -> None:
+        """Flip the service READ_ONLY: submits are rejected (typed
+        ``degraded``), reads and metrics keep working, and the background
+        probe starts trying to win the disk back."""
+        with self._health_cond:
+            if self._state != "READ_ONLY":
+                self._state = "READ_ONLY"
+                self._state_since = self._clock()
+                self.metrics.set_gauge("service.degraded", 1)
+                self.metrics.inc("service.degraded_entered")
+            if reason not in self._degraded_reasons:
+                self._degraded_reasons.append(reason)
+            self._health_cond.notify_all()
+
+    def _restore_healthy(self) -> None:
+        """Probe succeeded: leave READ_ONLY and account the outage."""
+        with self._health_cond:
+            if self._state != "READ_ONLY":
+                return
+            duration = max(0.0, self._clock() - self._state_since)
+            self._state = "HEALTHY"
+            self._state_since = self._clock()
+            self._degraded_reasons = []
+            self.metrics.set_gauge("service.degraded", 0)
+            self._health_cond.notify_all()
+        self.metrics.inc("service.degraded_seconds", duration)
+        self.metrics.observe("service.degraded_recovery_seconds", duration)
+        self.metrics.inc("service.degraded_recoveries")
+        self._flush_unjournaled()
+
+    def _journal_failure(self, context: str, exc: BaseException) -> None:
+        """Book-keeping shared by every journal-write failure site."""
+        self.metrics.inc("service.journal_write_failures")
+        self.enter_degraded(f"{context}: {exc}")
+
+    def _await_healthy(self) -> bool:
+        """Block until HEALTHY (True) or shutdown begins (False)."""
+        with self._health_cond:
+            while self._state != "HEALTHY" and not self._shutdown.is_set():
+                self._health_cond.wait(0.5)
+            return self._state == "HEALTHY" and not self._shutdown.is_set()
+
+    def _probe_loop(self) -> None:
+        """Background disk prober: exponential backoff while READ_ONLY.
+
+        Every probe exercises the exact failure surface — a journal fsync
+        plus an atomic write into the workdir — through the same fault
+        plane the failure came from, so recovery means the disk genuinely
+        accepts durable writes again, not merely that time passed.
+        """
+        backoff = self.config.probe_backoff_seconds
+        while not self._shutdown.is_set():
+            with self._health_cond:
+                while self._state == "HEALTHY" and not self._shutdown.is_set():
+                    self._health_cond.wait()
+            if self._shutdown.is_set():
+                return
+            if self._shutdown.wait(backoff):
+                return
+            try:
+                self._probe_disk()
+            except (JournalWriteError, OSError):
+                self.metrics.inc("service.disk_probe_failures")
+                backoff = min(backoff * 2, self.config.probe_backoff_max_seconds)
+                continue
+            self._restore_healthy()
+            backoff = self.config.probe_backoff_seconds
+
+    def _probe_disk(self) -> None:
+        from repro.io.atomic import atomic_write_bytes
+
+        self.journal.sync()
+        atomic_write_bytes(self.config.workdir / ".disk-probe", b"ok\n")
+        self.metrics.inc("service.disk_probes")
+
+    def _flush_unjournaled(self) -> None:
+        """Re-append terminal edges the broken disk refused (post-recovery).
+
+        Only edges whose append *never reached the file* are parked here
+        (``JournalWriteError.written is False``); sync-level failures are
+        already in the file and become durable with the next successful
+        group commit, so re-appending those would corrupt the history
+        with duplicate edges.
+        """
+        with self._lock:
+            pending, self._unjournaled = self._unjournaled, set()
+            for job_id in sorted(pending):
+                record = self._records.get(job_id)
+                if record is None or record.state not in TERMINAL_STATES:
+                    continue
+                try:
+                    self.journal.append_state(
+                        record.job.id,
+                        record.state,
+                        record.updated_at,
+                        attempt=record.attempt,
+                        reason=record.reason,
+                        result=record.result,
+                    )
+                except JournalWriteError as exc:
+                    self._unjournaled.add(job_id)
+                    self._unjournaled |= pending - {job_id}
+                    self._journal_failure("journal_write_failure", exc)
+                    return
+                self.metrics.inc("service.journal_backfilled_edges")
+
+    # ------------------------------------------------------------- watchdog
+
+    def _watchdog_loop(self) -> None:
+        interval = max(0.01, min(1.0, self.config.watchdog_seconds / 4))
+        while not self._shutdown.wait(interval):
+            self._watchdog_sweep()
+
+    def _watchdog_sweep(self) -> int:
+        """Re-queue jobs RUNNING past the stall limit; returns the count.
+
+        The re-queue rides the existing crash-recovery ``RUNNING →
+        PENDING`` edge, and the bumped ``attempt`` counter doubles as a
+        lease token: when the stalled worker finally produces a result,
+        :meth:`_finish_if_current` sees the stale token and discards it
+        instead of double-completing the job.
+        """
+        limit = self.config.watchdog_seconds
+        requeued = 0
+        with self._lock:
+            now = self._clock()
+            for record in self._records.values():
+                if record.state is not JobState.RUNNING:
+                    continue
+                if now - record.updated_at <= limit:
+                    continue
+                failed = None
+                try:
+                    self._transition(record, JobState.PENDING, reason="watchdog")
+                except JournalWriteError as exc:
+                    # The in-memory edge already applied (transition runs
+                    # before the append), so the job must still be
+                    # re-dispatched; the journal's stale RUNNING replays
+                    # as a re-queue anyway.  Degrade and stop sweeping.
+                    failed = exc
+                self._dispatch(record.job)
+                self._queued += 1
+                self.metrics.set_gauge("service.queue_depth", self._queued)
+                self.metrics.inc("service.watchdog_requeues")
+                requeued += 1
+                if failed is not None:
+                    self._journal_failure("journal_write_failure", failed)
+                    break
+        return requeued
 
     # -------------------------------------------------------------- intake
 
@@ -439,7 +698,19 @@ class AuditService:
                 accepted.append(record)
                 results.append(record)
         if accepted:
-            self._commit(accepted, seq)
+            try:
+                self._commit(accepted, seq)
+            except JobRejectedError as exc:
+                # The group commit failed after acceptance: every accepted
+                # entry flips to the typed rejection — callers must never
+                # see a success for a job whose durability was refused.
+                rolled_back = {record.job.id for record in accepted}
+                results = [
+                    exc
+                    if isinstance(entry, JobRecord) and entry.job.id in rolled_back
+                    else entry
+                    for entry in results
+                ]
         return results
 
     def _accept(self, job: "AuditJob | dict") -> "tuple[JobRecord, int]":
@@ -451,6 +722,7 @@ class AuditService:
         """
         if self._shutdown.is_set():
             self._reject("shutting_down", "the daemon is draining for shutdown")
+        self._reject_if_degraded()
         if isinstance(job, dict):
             try:
                 job = AuditJob.from_dict(job)
@@ -478,7 +750,11 @@ class AuditService:
                 )
             now = self._clock()
             record = JobRecord(job=job, submitted_at=now, updated_at=now)
-            seq = self.journal.append_submit(job, now, sync=False)
+            try:
+                seq = self.journal.append_submit(job, now, sync=False)
+            except JournalWriteError as exc:
+                self._journal_failure("journal_write_failure", exc)
+                self._reject("degraded", f"journal refused the submit: {exc}")
             self._records[job.id] = record
             self._queued += 1
             self.metrics.set_gauge("service.queue_depth", self._queued)
@@ -489,17 +765,30 @@ class AuditService:
         """Fsync accepted submits (group commit) and hand them to workers.
 
         A failed flush unwinds the reservations so nothing unacknowledged
-        ever runs; a crash in the same window loses at most jobs whose
-        submitters never got a response.
+        ever runs, flips the service READ_ONLY and surfaces the typed
+        ``degraded`` rejection (the group-commit acknowledgement hole: a
+        caller must never get a success for a job whose fsync was
+        refused).  A crash in the same window loses at most jobs whose
+        submitters never got a response.  The reverse ghost is possible
+        and documented: a rejected submit's bytes may still land, so
+        after a crash the job can replay as PENDING — the client's retry
+        then collapses into ``duplicate_id`` (at-least-once semantics).
         """
         try:
             self.journal.sync(seq)
-        except BaseException:
+        except BaseException as exc:
             with self._lock:
                 for record in records:
                     self._records.pop(record.job.id, None)
                     self._queued -= 1
                 self.metrics.set_gauge("service.queue_depth", self._queued)
+            if isinstance(exc, (JournalWriteError, OSError)):
+                self._journal_failure("journal_write_failure", exc)
+                self._reject(
+                    "degraded",
+                    f"group commit failed; {len(records)} accepted submit(s) "
+                    f"rolled back: {exc}",
+                )
             raise
         with self._lock:
             for record in records:
@@ -518,6 +807,15 @@ class AuditService:
         self.metrics.inc("service.rejected")
         self.metrics.inc(f"service.rejected.{reason}")
         raise JobRejectedError(reason, f"job rejected ({reason}): {detail}")
+
+    def _reject_if_degraded(self) -> None:
+        with self._health_cond:
+            if self._state != "READ_ONLY":
+                return
+            reasons = "; ".join(self._degraded_reasons) or "degraded"
+            self._reject(
+                "degraded", f"service is READ_ONLY ({reasons}); retry after recovery"
+            )
 
     def _admit(self, tenant: str) -> bool:
         """Charge one token to the tenant's bucket (caller holds the lock)."""
@@ -544,6 +842,7 @@ class AuditService:
         (:data:`REJECTION_REASONS`)."""
         if self._shutdown.is_set():
             self._reject("shutting_down", "the daemon is draining for shutdown")
+        self._reject_if_degraded()
         if isinstance(spec, dict):
             try:
                 spec = MonitorSpec.from_dict(spec)
@@ -560,9 +859,13 @@ class AuditService:
             except ServiceError as exc:
                 self._reject("invalid_spec", str(exc))
             monitor = MonitoredPopulation(spec=spec, store=store, created_at=now)
-            self.journal.append(
-                {"type": "mpop_create", "ts": now, "spec": spec.to_dict()}
-            )
+            try:
+                self.journal.append(
+                    {"type": "mpop_create", "ts": now, "spec": spec.to_dict()}
+                )
+            except JournalWriteError as exc:
+                self._journal_failure("journal_write_failure", exc)
+                self._reject("degraded", f"journal refused the monitor: {exc}")
             self._monitors[spec.id] = monitor
             self.metrics.inc("service.monitors_created")
             self.metrics.set_gauge("service.monitors", len(self._monitors))
@@ -584,6 +887,7 @@ class AuditService:
         """
         if self._shutdown.is_set():
             self._reject("shutting_down", "the daemon is draining for shutdown")
+        self._reject_if_degraded()
         if not isinstance(mutations, list):
             self._reject("invalid_spec", "mutations payload must be a list")
         monitor = self.monitor(monitor_id)
@@ -604,7 +908,17 @@ class AuditService:
             record = monitor.batch_record(info, now)
             if record is not None:
                 with self._lock:
-                    self.journal.append(record)
+                    try:
+                        self.journal.append(record)
+                    except JournalWriteError as exc:
+                        # The batch is applied in memory but not journaled;
+                        # the typed rejection tells the client durability
+                        # failed, and a crash before recovery replays
+                        # without it — the documented at-least-once window.
+                        self._journal_failure("journal_write_failure", exc)
+                        self._reject(
+                            "degraded", f"journal refused the mutation batch: {exc}"
+                        )
             self.metrics.inc("service.mutations_applied", info["applied"])
             if "error" in info:
                 self._reject(
@@ -651,7 +965,13 @@ class AuditService:
                     break
                 if not monitor.should_audit(now):
                     continue
-                self._audit_monitor(monitor)
+                try:
+                    self._audit_monitor(monitor)
+                except (JournalWriteError, OSError) as exc:
+                    # Persistence (journal point, snapshot, compaction)
+                    # failed mid-audit: degrade instead of killing the
+                    # scheduler thread; the probe restores service.
+                    self._journal_failure("monitor_persistence_failure", exc)
 
     def _audit_monitor(self, monitor: MonitoredPopulation) -> None:
         with monitor.lock:
@@ -844,9 +1164,21 @@ class AuditService:
         return out
 
     def health(self) -> dict:
+        with self._health_cond:
+            state = "DRAINING" if self._shutdown.is_set() else self._state
+            degraded_reasons = list(self._degraded_reasons)
+            since = self._state_since
+        status = {
+            "HEALTHY": "ok",
+            "READ_ONLY": "degraded",
+            "DRAINING": "draining",
+        }[state]
         with self._lock:
-            return {
-                "status": "draining" if self._shutdown.is_set() else "ok",
+            payload = {
+                "status": status,
+                "state": state,
+                "degraded_reasons": degraded_reasons,
+                "since": since,
                 "queued": self._queued,
                 "running": self._running,
                 "jobs": len(self._records),
@@ -855,6 +1187,9 @@ class AuditService:
                 "workers": self.config.workers,
                 "cache": self.cache.stats(),
             }
+        if self.config.chaos is not None and self.config.chaos.enabled:
+            payload["chaos"] = self.config.chaos.describe()
+        return payload
 
     def drain(self, timeout: "float | None" = None) -> bool:
         """Block until no job is PENDING or RUNNING (or ``timeout`` passes)."""
@@ -876,6 +1211,11 @@ class AuditService:
         while True:
             batch = self._scheduler.get_batch(self.config.batch_max)
             if batch is None or self._shutdown.is_set():
+                break
+            # READ_ONLY gate: starting a job means journaling its RUNNING
+            # edge, which the broken disk would refuse — park here (the
+            # popped jobs stay PENDING) until the probe wins the disk back.
+            if not self._await_healthy():
                 break
             if len(batch) == 1:
                 self._run_job(batch[0])
@@ -918,6 +1258,29 @@ class AuditService:
             self._transition(record, JobState.DONE, result=result, sync=sync)
             self.metrics.inc("service.completed")
 
+    def _maybe_worker_chaos(self, key: str) -> None:
+        """Injected worker faults: stall (watchdog bait) or poison batch."""
+        chaos = self.config.chaos
+        if chaos is None or not chaos.worker.enabled:
+            return
+        if chaos.worker.roll("stall", key):
+            self.metrics.inc("chaos.faults_injected")
+            self.metrics.inc("chaos.worker_stall")
+            time.sleep(chaos.worker.stall_seconds)
+        if chaos.worker.roll("poison", key):
+            self.metrics.inc("chaos.faults_injected")
+            self.metrics.inc("chaos.worker_poison")
+            raise WorkerCrashError(f"injected poison batch at {key!r}")
+
+    def _lease_current(self, record: JobRecord, lease: int) -> bool:
+        """True while this worker still owns the job (lock held).
+
+        The attempt counter bumps on every RUNNING edge, so a watchdog
+        re-queue (and any subsequent re-run) invalidates the lease the
+        stalled worker captured; its late result must be discarded, not
+        double-applied."""
+        return record.state is JobState.RUNNING and record.attempt == lease
+
     def _run_job(self, job_id: str) -> None:
         with self._lock:
             record = self._records[job_id]
@@ -925,19 +1288,68 @@ class AuditService:
             self._running += 1
             self.metrics.set_gauge("service.queue_depth", self._queued)
             self.metrics.set_gauge("service.running", self._running)
-        self._start_running(record)
+            if record.state is not JobState.PENDING:
+                # A stale scheduler entry (the job advanced through another
+                # path while queued); nothing to run.
+                with self._idle:
+                    self._running -= 1
+                    self.metrics.set_gauge("service.running", self._running)
+                    self._idle.notify_all()
+                return
         try:
-            with self.metrics.time("service.job_seconds"):
-                result = self._execute(record.job)
-        except Exception as exc:  # noqa: BLE001 - poison jobs raise anything
-            self._handle_failure(record, exc)
-        else:
-            self._finish(record, result)
+            try:
+                self._start_running(record)
+            except JournalWriteError as exc:
+                # The RUNNING edge could not be journaled: put the job
+                # back, degrade, and let the gated worker loop retry
+                # after recovery.
+                self._requeue_degraded([record], exc)
+                return
+            lease = record.attempt
+            try:
+                with self.metrics.time("service.job_seconds"):
+                    self._maybe_worker_chaos(f"{record.job.id}:{lease}")
+                    result = self._execute(record.job)
+            except Exception as exc:  # noqa: BLE001 - poison jobs raise anything
+                self._handle_failure(record, exc, lease=lease)
+            else:
+                self._finish_if_current(record, result, lease)
         finally:
             with self._idle:
                 self._running -= 1
                 self.metrics.set_gauge("service.running", self._running)
                 self._idle.notify_all()
+
+    def _requeue_degraded(
+        self, records: "list[JobRecord]", exc: JournalWriteError
+    ) -> None:
+        """Jobs whose RUNNING edges the disk refused go back to PENDING."""
+        self._journal_failure("journal_write_failure", exc)
+        with self._lock:
+            now = self._clock()
+            for record in records:
+                if record.state is JobState.RUNNING:
+                    # The in-memory edge applied before the append failed;
+                    # ride the legal crash-recovery edge back.
+                    record.transition(JobState.PENDING, reason="degraded", timestamp=now)
+                self._dispatch(record.job)
+                self._queued += 1
+            self.metrics.set_gauge("service.queue_depth", self._queued)
+
+    def _finish_if_current(
+        self, record: JobRecord, result: dict, lease: int
+    ) -> None:
+        """Terminal edge for a successful run — unless the lease is stale."""
+        with self._lock:
+            if not self._lease_current(record, lease):
+                self.metrics.inc("service.stale_results_discarded")
+                return
+            try:
+                self._finish(record, result)
+            except JournalWriteError as exc:
+                if not exc.written:
+                    self._unjournaled.add(record.job.id)
+                self._journal_failure("journal_write_failure", exc)
 
     # ------------------------------------------------------------- batching
 
@@ -966,42 +1378,107 @@ class AuditService:
             self._running += 1
             self.metrics.set_gauge("service.queue_depth", self._queued)
             self.metrics.set_gauge("service.running", self._running)
-        for record in records:
-            self._start_running(record, sync=False)
-        self.journal.sync()
+            records = [r for r in records if r.state is JobState.PENDING]
         try:
-            with self.metrics.time("service.job_seconds"):
-                result = self._execute(records[0].job)
-        except Exception as exc:  # noqa: BLE001 - poison jobs raise anything
-            for record in records:
-                self._handle_failure(record, exc)
-        else:
-            for record in records:
-                self._finish(record, result, sync=False)
-            self.journal.sync()
-            self.metrics.inc("service.batches")
-            self.metrics.inc("service.batched_jobs", len(records))
+            if not records:
+                return
+            try:
+                for record in records:
+                    self._start_running(record, sync=False)
+                self.journal.sync()
+            except JournalWriteError as exc:
+                # Some RUNNING edges may be in memory/buffer, none are
+                # durable: park the whole batch back in the queue and
+                # degrade — the gated worker loop re-runs it post-recovery.
+                self._requeue_degraded(records, exc)
+                return
+            leases = {record.job.id: record.attempt for record in records}
+            try:
+                with self.metrics.time("service.job_seconds"):
+                    self._maybe_worker_chaos(
+                        f"{records[0].job.id}:{records[0].attempt}"
+                    )
+                    result = self._execute(records[0].job)
+            except Exception as exc:  # noqa: BLE001 - poison jobs raise anything
+                for record in records:
+                    self._handle_failure(record, exc, lease=leases[record.job.id])
+            else:
+                failed: "JournalWriteError | None" = None
+                with self._lock:
+                    live = [
+                        r for r in records if self._lease_current(r, leases[r.job.id])
+                    ]
+                    if len(live) < len(records):
+                        self.metrics.inc(
+                            "service.stale_results_discarded",
+                            len(records) - len(live),
+                        )
+                    for record in live:
+                        try:
+                            self._finish(record, result, sync=False)
+                        except JournalWriteError as exc:
+                            if not exc.written:
+                                self._unjournaled.add(record.job.id)
+                            failed = exc
+                    if failed is None and live:
+                        try:
+                            self.journal.sync()
+                        except JournalWriteError as exc:
+                            # written=True: the edges are in the file and
+                            # the next successful group commit makes them
+                            # durable — degrade, don't re-append.
+                            failed = exc
+                if failed is not None:
+                    self._journal_failure("journal_write_failure", failed)
+                elif live:
+                    self.metrics.inc("service.batches")
+                    self.metrics.inc("service.batched_jobs", len(live))
         finally:
             with self._idle:
                 self._running -= 1
                 self.metrics.set_gauge("service.running", self._running)
                 self._idle.notify_all()
 
-    def _handle_failure(self, record: JobRecord, exc: Exception) -> None:
+    def _handle_failure(
+        self, record: JobRecord, exc: Exception, *, lease: "int | None" = None
+    ) -> None:
         reason = f"{type(exc).__name__}: {exc}"
-        self._transition(record, JobState.FAILED, reason=reason)
-        self.metrics.inc("service.failed")
-        if record.attempt >= record.job.max_attempts:
-            self._transition(
-                record,
-                JobState.QUARANTINED,
-                reason=f"poison: failed {record.attempt} attempts; last: {reason}",
-            )
-            self.metrics.inc("service.quarantined")
-        else:
-            self._transition(record, JobState.PENDING, reason="retry")
-            self.metrics.inc("service.retries")
-            self._enqueue(record.job)
+        failed: "JournalWriteError | None" = None
+        with self._lock:
+            if lease is not None and not self._lease_current(record, lease):
+                self.metrics.inc("service.stale_results_discarded")
+                return
+            try:
+                self._transition(record, JobState.FAILED, reason=reason)
+            except JournalWriteError as jexc:
+                failed = jexc
+            self.metrics.inc("service.failed")
+            if record.attempt >= record.job.max_attempts:
+                try:
+                    self._transition(
+                        record,
+                        JobState.QUARANTINED,
+                        reason=f"poison: failed {record.attempt} attempts; "
+                        f"last: {reason}",
+                    )
+                except JournalWriteError as jexc:
+                    failed = jexc
+                self.metrics.inc("service.quarantined")
+            else:
+                try:
+                    self._transition(record, JobState.PENDING, reason="retry")
+                except JournalWriteError as jexc:
+                    failed = jexc
+                self.metrics.inc("service.retries")
+                self._enqueue(record.job)
+            if failed is not None:
+                # The record's in-memory state is authoritative; park the
+                # id so the post-recovery backfill re-appends its terminal
+                # edge if the disk swallowed the append entirely.
+                if not failed.written:
+                    self._unjournaled.add(record.job.id)
+        if failed is not None:
+            self._journal_failure("journal_write_failure", failed)
 
     def _execute(self, job: AuditJob) -> dict:
         """Run one job's scenario cells; returns the JSON result payload.
@@ -1245,4 +1722,11 @@ def _build_http_server(service: AuditService, host: str, port: int):
     """
     from repro.service.http import AsyncHTTPServer
 
-    return AsyncHTTPServer(service, host, port)
+    chaos = service.config.chaos
+    return AsyncHTTPServer(
+        service,
+        host,
+        port,
+        request_timeout=service.config.request_timeout,
+        chaos=None if chaos is None else chaos.net,
+    )

@@ -45,7 +45,11 @@ SNAPSHOT_SCHEMA = "repro.snapshot/v1"
 
 
 def _write_json(path: Path, payload: dict) -> None:
-    atomic_write_text(path, json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    atomic_write_text(
+        path,
+        json.dumps(payload, sort_keys=True, separators=(",", ":")),
+        crash_scope="snapshot",
+    )
 
 
 def spec_fingerprint(spec: Mapping[str, Any]) -> str:

@@ -166,7 +166,9 @@ class CheckpointStore:
     def _write(self) -> None:
         ensure_directory(self.directory)
         atomic_write_text(
-            self.path, json.dumps(self._payload, indent=2, sort_keys=True) + "\n"
+            self.path,
+            json.dumps(self._payload, indent=2, sort_keys=True) + "\n",
+            crash_scope="checkpoint",
         )
 
     @staticmethod

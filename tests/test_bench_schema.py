@@ -319,3 +319,92 @@ def test_validator_rejects_malformed_payloads() -> None:
         run_bench.validate_bench_payload(
             {**good, "overhead": {**good["overhead"], "relative": "fast"}}
         )
+
+
+def _chaos_section(**overrides) -> dict:
+    section = {
+        "spec": "disk-fsync=0.05,seed=42",
+        "seed": 42,
+        "offered_jobs_per_second": 200.0,
+        "duration_seconds": 3.0,
+        "submitted": 600,
+        "attempts": 780,
+        "accepted": 600,
+        "rejected_degraded": 180,
+        "rejected_other": 0,
+        "connection_errors": 0,
+        "completed": 600,
+        "jobs_per_second": 60.0,
+        "availability": 0.42,
+        "health_polls": 300,
+        "degraded_episodes": 30,
+        "recovery_seconds": {"p50": 0.055, "p99": 0.2, "max": 0.21},
+        "final_state": "HEALTHY",
+        "counters": {
+            "chaos.faults_injected": 38,
+            "service.journal_write_failures": 36,
+            "service.degraded_entered": 36,
+            "service.degraded_recoveries": 36,
+            "service.watchdog_requeues": 0,
+        },
+    }
+    section.update(overrides)
+    return section
+
+
+def test_validator_accepts_chaos_section() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    run_bench.validate_bench_payload({**good, "chaos": _chaos_section()})
+
+
+def test_validator_rejects_malformed_chaos() -> None:
+    good = json.loads(_bench_files()[0].read_text())
+    with pytest.raises(ValueError, match="final_state"):
+        run_bench.validate_bench_payload(
+            {**good, "chaos": _chaos_section(final_state="READ_ONLY")}
+        )
+    with pytest.raises(ValueError, match="availability"):
+        run_bench.validate_bench_payload(
+            {**good, "chaos": _chaos_section(availability=1.5)}
+        )
+    with pytest.raises(ValueError, match="completed <= accepted <= attempts"):
+        run_bench.validate_bench_payload(
+            {**good, "chaos": _chaos_section(completed=900)}
+        )
+    with pytest.raises(ValueError, match="p50 <= p99 <= max"):
+        run_bench.validate_bench_payload(
+            {
+                **good,
+                "chaos": _chaos_section(
+                    recovery_seconds={"p50": 0.3, "p99": 0.2, "max": 0.21}
+                ),
+            }
+        )
+    with pytest.raises(ValueError, match="recovery max is zero"):
+        run_bench.validate_bench_payload(
+            {
+                **good,
+                "chaos": _chaos_section(
+                    recovery_seconds={"p50": 0.0, "p99": 0.0, "max": 0.0}
+                ),
+            }
+        )
+    missing_counter = _chaos_section()
+    del missing_counter["counters"]["service.degraded_recoveries"]
+    with pytest.raises(ValueError, match="degraded_recoveries"):
+        run_bench.validate_bench_payload({**good, "chaos": missing_counter})
+
+
+def test_committed_bench_carries_a_chaos_section() -> None:
+    # The acceptance bar for the chaos layer: at least one committed bench
+    # demonstrates the daemon degrading under injected disk faults and
+    # probing its way back to HEALTHY.
+    sections = [
+        payload["chaos"]
+        for payload in (json.loads(p.read_text()) for p in _bench_files())
+        if "chaos" in payload
+    ]
+    assert sections, "at least one committed bench should carry a chaos section"
+    assert any(
+        s["counters"]["service.degraded_recoveries"] >= 1 for s in sections
+    ), "a committed chaos section should show a degrade/recover cycle"

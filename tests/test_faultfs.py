@@ -1,0 +1,226 @@
+"""Tests for the injectable filesystem fault plane (repro.io.faultfs)."""
+
+from __future__ import annotations
+
+import errno
+import io
+import os
+
+import pytest
+
+from repro.io import faultfs
+from repro.io.atomic import atomic_write_bytes, atomic_write_text
+from repro.io.faultfs import (
+    CrashPointRegistry,
+    DiskFaultConfig,
+    FaultPlane,
+    seeded_roll,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plane():
+    yield
+    faultfs.uninstall()
+
+
+# ----------------------------------------------------------------- schedule
+
+
+def test_seeded_roll_is_deterministic():
+    draws = [seeded_roll(7, "eio", f"journal:write-{i}", 0.3) for i in range(200)]
+    again = [seeded_roll(7, "eio", f"journal:write-{i}", 0.3) for i in range(200)]
+    assert draws == again
+    assert any(draws) and not all(draws)
+
+
+def test_seeded_roll_varies_with_seed_and_kind():
+    keys = [f"k-{i}" for i in range(500)]
+    a = [seeded_roll(1, "eio", k, 0.2) for k in keys]
+    b = [seeded_roll(2, "eio", k, 0.2) for k in keys]
+    c = [seeded_roll(1, "enospc", k, 0.2) for k in keys]
+    assert a != b
+    assert a != c
+
+
+def test_zero_rate_never_fires():
+    assert not any(seeded_roll(9, "torn", f"k-{i}", 0.0) for i in range(1000))
+
+
+def test_rate_one_always_fires():
+    assert all(seeded_roll(9, "torn", f"k-{i}", 1.0) for i in range(100))
+
+
+# ------------------------------------------------------------------- config
+
+
+def test_disk_config_validates_rates():
+    with pytest.raises(ValueError):
+        DiskFaultConfig(eio_rate=1.5)
+    with pytest.raises(ValueError):
+        DiskFaultConfig(slow_seconds=-1)
+
+
+def test_disk_config_parse_round_trip():
+    config = DiskFaultConfig.parse("enospc=0.1,fsync=0.2,slow-seconds=0.5,seed=3")
+    assert config.enospc_rate == 0.1
+    assert config.fsync_rate == 0.2
+    assert config.slow_seconds == 0.5
+    assert config.seed == 3
+    assert config.enabled
+
+
+def test_disk_config_parse_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown disk fault"):
+        DiskFaultConfig.parse("sparks=0.5")
+    with pytest.raises(ValueError, match="key=value"):
+        DiskFaultConfig.parse("enospc")
+
+
+def test_disabled_when_all_rates_zero():
+    assert not DiskFaultConfig().enabled
+    assert DiskFaultConfig(torn_rate=0.01).enabled
+
+
+# -------------------------------------------------------------------- plane
+
+
+def test_passthrough_without_plane(tmp_path):
+    path = tmp_path / "plain.txt"
+    with open(path, "w") as handle:
+        faultfs.write(handle, "hello", label="plain")
+        faultfs.fsync(handle.fileno(), label="plain")
+    assert path.read_text() == "hello"
+
+
+def test_enospc_injection_writes_nothing():
+    plane = FaultPlane(DiskFaultConfig(enospc_rate=1.0, seed=1))
+    buffer = io.StringIO()
+    with pytest.raises(OSError) as excinfo:
+        plane.write(buffer, "payload", label="test")
+    assert excinfo.value.errno == errno.ENOSPC
+    assert buffer.getvalue() == ""
+
+
+def test_torn_injection_writes_a_strict_prefix():
+    plane = FaultPlane(DiskFaultConfig(torn_rate=1.0, seed=1))
+    buffer = io.StringIO()
+    with pytest.raises(OSError) as excinfo:
+        plane.write(buffer, "0123456789", label="test")
+    assert excinfo.value.errno == errno.EIO
+    written = buffer.getvalue()
+    assert 0 < len(written) < 10
+    assert "0123456789".startswith(written)
+
+
+def test_fsync_injection_raises_eio(tmp_path):
+    plane = FaultPlane(DiskFaultConfig(fsync_rate=1.0, seed=1))
+    with open(tmp_path / "f", "w") as handle:
+        with pytest.raises(OSError) as excinfo:
+            plane.fsync(handle.fileno(), label="test")
+    assert excinfo.value.errno == errno.EIO
+
+
+def test_faults_are_transient_per_operation_counter():
+    # A fresh key per operation means a partial rate eventually passes —
+    # the degraded-mode probe loop relies on exactly this.
+    plane = FaultPlane(DiskFaultConfig(eio_rate=0.5, seed=11))
+    outcomes = []
+    for _ in range(50):
+        buffer = io.StringIO()
+        try:
+            plane.write(buffer, "x", label="probe")
+        except OSError:
+            outcomes.append(False)
+        else:
+            outcomes.append(True)
+    assert any(outcomes) and not all(outcomes)
+
+
+def test_plane_counts_fired_faults_into_metrics():
+    metrics = MetricsRegistry()
+    plane = FaultPlane(DiskFaultConfig(eio_rate=1.0, seed=1), metrics=metrics)
+    with pytest.raises(OSError):
+        plane.write(io.StringIO(), "x", label="test")
+    snapshot = metrics.as_dict()["counters"]
+    assert snapshot["chaos.faults_injected"] == 1
+    assert snapshot["chaos.disk_eio"] == 1
+
+
+def test_install_uninstall_routing(tmp_path):
+    plane = FaultPlane(DiskFaultConfig(eio_rate=1.0, seed=1))
+    faultfs.install(plane)
+    assert faultfs.active() is plane
+    with open(tmp_path / "f", "w") as handle:
+        with pytest.raises(OSError):
+            faultfs.write(handle, "x", label="test")
+    faultfs.uninstall()
+    assert faultfs.active() is None
+    with open(tmp_path / "f", "w") as handle:
+        faultfs.write(handle, "x", label="test")
+
+
+def test_atomic_write_survives_transient_faults(tmp_path):
+    # atomic_write_* goes through the plane: with a partial fault rate the
+    # target is either absent or complete, never torn.
+    faultfs.install(FaultPlane(DiskFaultConfig(torn_rate=0.4, eio_rate=0.2, seed=5)))
+    path = tmp_path / "out.json"
+    wrote = 0
+    for attempt in range(30):
+        try:
+            atomic_write_text(path, f"payload-{attempt}")
+        except OSError:
+            continue
+        wrote += 1
+        assert path.read_text() == f"payload-{attempt}"
+    assert wrote > 0
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "out.json"]
+    assert leftovers == []
+
+
+def test_atomic_write_bytes_under_enospc(tmp_path):
+    faultfs.install(FaultPlane(DiskFaultConfig(enospc_rate=1.0, seed=5)))
+    with pytest.raises(OSError):
+        atomic_write_bytes(tmp_path / "never.bin", b"data")
+    faultfs.uninstall()
+    assert not (tmp_path / "never.bin").exists()
+
+
+# ------------------------------------------------------------- crash points
+
+
+def test_crash_registry_counts_without_arming():
+    registry = CrashPointRegistry(environ={})
+    registry.hit("journal.sync.before_fsync")
+    registry.hit("journal.sync.before_fsync")
+    assert registry.seen["journal.sync.before_fsync"] == 2
+    assert registry.armed is None
+
+
+def test_crash_registry_arms_from_environment():
+    registry = CrashPointRegistry(
+        environ={
+            faultfs.ENV_CRASH_POINT: "snapshot.before_replace",
+            faultfs.ENV_CRASH_POINT_SKIP: "2",
+        }
+    )
+    assert registry.armed == "snapshot.before_replace"
+    assert registry.skip == 2
+    # Two skipped crossings survive; a third would _exit (not tested
+    # in-process — the torture harness covers the kill in a subprocess).
+    registry.hit("snapshot.before_replace")
+    registry.hit("snapshot.before_replace")
+    assert registry.skip == 0
+
+
+def test_crash_registry_ignores_other_points():
+    registry = CrashPointRegistry(environ={faultfs.ENV_CRASH_POINT: "a.b"})
+    registry.hit("c.d")  # would _exit if name matched
+    assert registry.seen == {"c.d": 1}
+
+
+def test_crash_point_exit_code_is_distinctive():
+    assert faultfs.CRASH_EXIT_CODE == 86
+    assert faultfs.CRASH_EXIT_CODE not in (0, 1, 2)
+    assert os.WEXITSTATUS(faultfs.CRASH_EXIT_CODE << 8) == 86

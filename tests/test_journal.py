@@ -14,6 +14,8 @@ import json
 import zlib
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import JournalError
 from repro.service.jobs import AuditJob, JobState
@@ -150,10 +152,16 @@ class TestReplay:
         assert jobs["job-2"].state is JobState.PENDING
 
     def test_replay_rejects_duplicate_submit(self, tmp_path):
+        # A duplicate submit with a *different* spec is corruption.  (An
+        # identical duplicate is the degraded group-commit retry signature
+        # and replays idempotently — see TestJournalWriteErrors.)
         path = tmp_path / "journal.jsonl"
         with JobJournal(path) as journal:
             journal.append_submit(_job(0), 0.0)
-            journal.append_submit(_job(0), 1.0)
+            journal.append_submit(
+                AuditJob(id="job-0", scenario="figure1", algorithm="greedy", seed=7),
+                1.0,
+            )
         with pytest.raises(JournalError, match="duplicate"):
             JobJournal(path).replay()
 
@@ -267,3 +275,178 @@ class TestCompaction:
         journal.close()
         jobs = JobJournal(populated).replay()
         assert "job-99" in jobs
+
+
+class TestGroupCommitTornTail:
+    """Satellite property: bulk appends group-committed with one fsync,
+    then torn at an arbitrary byte offset, must replay exactly the
+    acknowledged prefix — every full line before the cut, nothing after."""
+
+    @given(
+        batch_sizes=st.lists(st.integers(1, 5), min_size=1, max_size=4),
+        fraction=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_batches_times_random_truncation(
+        self, tmp_path_factory, batch_sizes, fraction
+    ):
+        tmp_path = tmp_path_factory.mktemp("torn")
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path).open()
+        index = 0
+        for size in batch_sizes:
+            for _ in range(size):
+                journal.append_submit(_job(index), timestamp=float(index), sync=False)
+                index += 1
+            journal.sync()  # one group commit per batch
+        journal.close()
+        data = path.read_bytes()
+
+        # Map each complete line to the id it acknowledges.
+        offsets, ids_by_offset, position = [0], {}, 0
+        for line in data.splitlines(keepends=True):
+            record = decode_line(line.decode("utf-8").rstrip("\n"))
+            position += len(line)
+            offsets.append(position)
+            if record.get("type") == "submit":
+                ids_by_offset[position] = record["job"]["id"]
+
+        offset = int(fraction * len(data))
+        largest_clean = max(o for o in offsets if o <= offset)
+        cut = tmp_path / "cut.jsonl"
+        cut.write_bytes(data[:offset])
+        if largest_clean == 0:
+            with pytest.raises(JournalError):
+                JobJournal(cut).open()
+            return
+        JobJournal(cut).open().close()
+        assert cut.read_bytes() == data[:largest_clean]
+        replayed = set(JobJournal(cut).replay())
+        expected = {
+            job_id for end, job_id in ids_by_offset.items() if end <= largest_clean
+        }
+        assert replayed == expected
+
+
+class TestJournalWriteErrors:
+    """Typed durability failures: the fault plane's OSErrors surface as
+    JournalWriteError with the correct ``written`` marker, and the dirty
+    buffer repairs itself before the next append."""
+
+    def _plane(self, **rates):
+        from repro.io.faultfs import DiskFaultConfig, FaultPlane
+
+        return FaultPlane(DiskFaultConfig(seed=1, **rates))
+
+    @pytest.fixture(autouse=True)
+    def _clean_plane(self):
+        from repro.io import faultfs
+
+        yield
+        faultfs.uninstall()
+
+    def test_append_eio_raises_unwritten_and_repairs(self, tmp_path):
+        from repro.io import faultfs
+        from repro.exceptions import JournalWriteError
+
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path).open()
+        faultfs.install(self._plane(eio_rate=1.0))
+        with pytest.raises(JournalWriteError) as excinfo:
+            journal.append_submit(_job(0), timestamp=0.0)
+        assert excinfo.value.written is False
+        faultfs.uninstall()
+        journal.append_submit(_job(1), timestamp=1.0)
+        journal.close()
+        assert set(JobJournal(path).replay()) == {"job-1"}
+
+    def test_torn_append_truncated_not_replayed(self, tmp_path):
+        from repro.io import faultfs
+        from repro.exceptions import JournalWriteError
+
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path).open()
+        journal.append_submit(_job(0), timestamp=0.0)
+        faultfs.install(self._plane(torn_rate=1.0))
+        with pytest.raises(JournalWriteError) as excinfo:
+            journal.append_submit(_job(1), timestamp=1.0)
+        assert excinfo.value.written is False
+        faultfs.uninstall()
+        # The dirty-buffer repair cuts the injected fragment exactly; the
+        # next append lands on a clean tail.
+        journal.append_submit(_job(2), timestamp=2.0)
+        journal.close()
+        assert set(JobJournal(path).replay()) == {"job-0", "job-2"}
+
+    def test_fsync_failure_marks_written_true(self, tmp_path):
+        from repro.io import faultfs
+        from repro.exceptions import JournalWriteError
+
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path).open()
+        journal.append_submit(_job(0), timestamp=0.0, sync=False)
+        faultfs.install(self._plane(fsync_rate=1.0))
+        with pytest.raises(JournalWriteError) as excinfo:
+            journal.sync()
+        assert excinfo.value.written is True
+        faultfs.uninstall()
+        # Durability deferred, not lost: a later sync persists the record
+        # exactly once (re-appending would have duplicated it).
+        journal.sync()
+        journal.close()
+        assert set(JobJournal(path).replay()) == {"job-0"}
+
+    def test_compaction_failure_keeps_old_file_and_append_handle(self, tmp_path):
+        from repro.io import faultfs
+        from repro.exceptions import JournalWriteError
+
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path).open()
+        journal.append_submit(_job(0), timestamp=0.0)
+        faultfs.install(self._plane(enospc_rate=1.0))
+        with pytest.raises(JournalWriteError):
+            journal.compact_to()
+        faultfs.uninstall()
+        journal.append_submit(_job(1), timestamp=1.0)
+        journal.close()
+        assert set(JobJournal(path).replay()) == {"job-0", "job-1"}
+
+    def test_replay_tolerates_degraded_running_running_history(self, tmp_path):
+        # The degraded-requeue signature: a RUNNING edge whose re-queue hop
+        # the broken disk swallowed, followed by the re-run's RUNNING edge.
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path).open()
+        journal.append_submit(_job(0), timestamp=0.0)
+        journal.append_state("job-0", JobState.RUNNING, 1.0, attempt=1)
+        journal.append_state("job-0", JobState.RUNNING, 2.0, attempt=2)
+        journal.append_state("job-0", JobState.DONE, 3.0, result={"rows": []})
+        journal.close()
+        record = JobJournal(path).replay()["job-0"]
+        assert record.state is JobState.DONE
+        assert record.attempt == 2
+
+    def test_replay_tolerates_identical_duplicate_submit(self, tmp_path):
+        # The other degraded signature: a group commit's appends hit the
+        # file, its fsync failed, the batch was rejected — and the client's
+        # retry appended the same submit again.
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path).open()
+        journal.append_submit(_job(0), timestamp=0.0)
+        journal.append_submit(_job(0), timestamp=1.0)
+        journal.append_state("job-0", JobState.RUNNING, 2.0, attempt=1)
+        journal.close()
+        record = JobJournal(path).replay()["job-0"]
+        assert record.state is JobState.RUNNING
+        assert record.submitted_at == 0.0  # the first submit wins
+
+    def test_replay_rejects_conflicting_duplicate_submit(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path).open()
+        journal.append_submit(_job(0), timestamp=0.0)
+        conflicting = AuditJob(
+            id="job-0", scenario="figure1", algorithm="unbalanced", seed=9
+        )
+        journal.append_submit(conflicting, timestamp=1.0)
+        journal.close()
+        with pytest.raises(JournalError, match="duplicate submit"):
+            JobJournal(path).replay()
